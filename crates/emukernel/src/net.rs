@@ -1,0 +1,470 @@
+//! Simulated network: DNS, scripted remote peers, and sockets.
+//!
+//! The paper's workloads talk to "fixed remote hosts" (Trojan
+//! command-and-control), act as servers accepting remote attackers
+//! (`pma`), and resolve names through `gethostbyname`. All of that is
+//! modelled here deterministically: remote peers are scripted byte
+//! exchanges, and the DNS table maps names to addresses with a reverse
+//! map so warnings can render `gateway:36982 (AF_INET)` like the paper.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// An IPv4-ish address (opaque 32-bit value).
+pub type Ip = u32;
+
+/// A network endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// Host address.
+    pub ip: Ip,
+    /// Port.
+    pub port: u16,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.ip.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}:{}", self.port)
+    }
+}
+
+/// A scripted remote server the monitored program may `connect` to.
+#[derive(Clone, Debug, Default)]
+pub struct Peer {
+    /// Chunks delivered into the socket as soon as the connection opens.
+    pub on_connect: Vec<Vec<u8>>,
+    /// One chunk is delivered after each `send` from the program.
+    pub replies: VecDeque<Vec<u8>>,
+    /// Everything the program sent to this peer.
+    pub received: Vec<Vec<u8>>,
+}
+
+/// A scripted remote client that will connect to a listening socket.
+#[derive(Clone, Debug)]
+pub struct RemoteClient {
+    /// The client's remote endpoint.
+    pub from: Endpoint,
+    /// Chunks the client sends; one is delivered per program `recv`.
+    pub sends: VecDeque<Vec<u8>>,
+    /// Everything the program sent back.
+    pub received: Vec<Vec<u8>>,
+}
+
+/// Socket lifecycle state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SocketState {
+    /// Created, unbound.
+    Created,
+    /// Bound to a local endpoint.
+    Bound(Endpoint),
+    /// Listening on a local endpoint.
+    Listening(Endpoint),
+    /// Connected (client side or accepted server side).
+    Connected {
+        /// Local endpoint.
+        local: Endpoint,
+        /// Remote endpoint.
+        remote: Endpoint,
+        /// True when this socket came from `accept` (we are the server).
+        accepted: bool,
+    },
+    /// Closed.
+    Closed,
+}
+
+/// A socket: state plus the inbound byte-chunk queue.
+#[derive(Clone, Debug)]
+pub struct Socket {
+    /// Lifecycle state.
+    pub state: SocketState,
+    /// Chunks available to `recv`.
+    pub inbox: VecDeque<Vec<u8>>,
+    /// Index into the per-port client list for accepted sockets.
+    pub client_ref: Option<(u16, usize)>,
+    /// Remote peer endpoint for connected client sockets.
+    pub peer_ref: Option<Endpoint>,
+}
+
+impl Socket {
+    fn new() -> Socket {
+        Socket { state: SocketState::Created, inbox: VecDeque::new(), client_ref: None, peer_ref: None }
+    }
+}
+
+/// Handle to a socket in the network's socket table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SocketId(pub usize);
+
+/// The simulated network.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    dns: HashMap<String, Ip>,
+    rdns: HashMap<Ip, String>,
+    peers: HashMap<Endpoint, Peer>,
+    pending_clients: HashMap<u16, VecDeque<RemoteClient>>,
+    accepted_clients: HashMap<u16, Vec<RemoteClient>>,
+    sockets: Vec<Socket>,
+    next_ephemeral: u16,
+    local_ip: Ip,
+}
+
+/// Error codes mirroring errno (negated in syscall returns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No peer at the destination (`ECONNREFUSED`).
+    Refused,
+    /// Name did not resolve (`h_errno`).
+    NoSuchHost,
+    /// Socket in the wrong state (`EINVAL`).
+    BadState,
+    /// Nothing to accept / read right now (`EAGAIN`).
+    WouldBlock,
+    /// Unknown socket id (`EBADF`).
+    BadSocket,
+}
+
+impl Network {
+    /// Creates an empty network; the local host is `127.0.0.1`
+    /// ("LocalHost" in reverse DNS, matching the paper's warnings).
+    pub fn new() -> Network {
+        let mut net = Network {
+            local_ip: 0x7f00_0001,
+            next_ephemeral: 32768,
+            ..Network::default()
+        };
+        net.add_host("LocalHost", 0x7f00_0001);
+        net
+    }
+
+    /// Registers a DNS name.
+    pub fn add_host(&mut self, name: &str, ip: Ip) {
+        self.dns.insert(name.to_string(), ip);
+        self.rdns.entry(ip).or_insert_with(|| name.to_string());
+    }
+
+    /// Installs a scripted server at `endpoint`.
+    pub fn add_peer(&mut self, endpoint: Endpoint, peer: Peer) {
+        self.peers.insert(endpoint, peer);
+    }
+
+    /// Queues a scripted client that will connect to local `port`.
+    pub fn queue_client(&mut self, port: u16, client: RemoteClient) {
+        self.pending_clients.entry(port).or_default().push_back(client);
+    }
+
+    /// Resolves a DNS name.
+    pub fn resolve(&self, name: &str) -> Result<Ip, NetError> {
+        self.dns.get(name).copied().ok_or(NetError::NoSuchHost)
+    }
+
+    /// Reverse-resolves an address for display; falls back to dotted quad.
+    pub fn display_host(&self, ip: Ip) -> String {
+        match self.rdns.get(&ip) {
+            Some(name) => name.clone(),
+            None => {
+                let [a, b, c, d] = ip.to_be_bytes();
+                format!("{a}.{b}.{c}.{d}")
+            }
+        }
+    }
+
+    /// Renders an endpoint the way the paper's warnings do:
+    /// `gateway:36982 (AF_INET)`.
+    pub fn display_endpoint(&self, ep: Endpoint) -> String {
+        format!("{}:{} (AF_INET)", self.display_host(ep.ip), ep.port)
+    }
+
+    /// The local host address.
+    pub fn local_ip(&self) -> Ip {
+        self.local_ip
+    }
+
+    // ---- socket operations -------------------------------------------------
+
+    /// `socket()`: allocates a socket.
+    pub fn socket(&mut self) -> SocketId {
+        self.sockets.push(Socket::new());
+        SocketId(self.sockets.len() - 1)
+    }
+
+    /// Socket accessor.
+    pub fn get(&self, id: SocketId) -> Result<&Socket, NetError> {
+        self.sockets.get(id.0).ok_or(NetError::BadSocket)
+    }
+
+    fn get_mut(&mut self, id: SocketId) -> Result<&mut Socket, NetError> {
+        self.sockets.get_mut(id.0).ok_or(NetError::BadSocket)
+    }
+
+    /// `bind()`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadState`] unless the socket is freshly created.
+    pub fn bind(&mut self, id: SocketId, ep: Endpoint) -> Result<(), NetError> {
+        let sock = self.get_mut(id)?;
+        if sock.state != SocketState::Created {
+            return Err(NetError::BadState);
+        }
+        sock.state = SocketState::Bound(ep);
+        Ok(())
+    }
+
+    /// `listen()`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadState`] unless the socket is bound.
+    pub fn listen(&mut self, id: SocketId) -> Result<Endpoint, NetError> {
+        let sock = self.get_mut(id)?;
+        let SocketState::Bound(ep) = sock.state else {
+            return Err(NetError::BadState);
+        };
+        sock.state = SocketState::Listening(ep);
+        Ok(ep)
+    }
+
+    /// `connect()` to a scripted peer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Refused`] when no peer is scripted at `remote`.
+    pub fn connect(&mut self, id: SocketId, remote: Endpoint) -> Result<Endpoint, NetError> {
+        let local_ip = self.local_ip;
+        let port = self.next_ephemeral;
+        let greeting = match self.peers.get(&remote) {
+            Some(peer) => peer.on_connect.clone(),
+            None => return Err(NetError::Refused),
+        };
+        let sock = self.get_mut(id)?;
+        if !matches!(sock.state, SocketState::Created | SocketState::Bound(_)) {
+            return Err(NetError::BadState);
+        }
+        self.next_ephemeral += 1;
+        let local = Endpoint { ip: local_ip, port };
+        let sock = self.get_mut(id)?;
+        sock.state = SocketState::Connected { local, remote, accepted: false };
+        sock.peer_ref = Some(remote);
+        sock.inbox.extend(greeting);
+        Ok(local)
+    }
+
+    /// `accept()` on a listening socket: takes the next scripted client.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WouldBlock`] when no client is queued;
+    /// [`NetError::BadState`] when the socket is not listening.
+    pub fn accept(&mut self, id: SocketId) -> Result<(SocketId, Endpoint), NetError> {
+        let SocketState::Listening(local) = self.get(id)?.state else {
+            return Err(NetError::BadState);
+        };
+        let queue = self.pending_clients.get_mut(&local.port).ok_or(NetError::WouldBlock)?;
+        let client = queue.pop_front().ok_or(NetError::WouldBlock)?;
+        let remote = client.from;
+        let accepted_list = self.accepted_clients.entry(local.port).or_default();
+        accepted_list.push(client);
+        let client_idx = accepted_list.len() - 1;
+        let mut sock = Socket::new();
+        sock.state = SocketState::Connected { local, remote, accepted: true };
+        sock.client_ref = Some((local.port, client_idx));
+        self.sockets.push(sock);
+        Ok((SocketId(self.sockets.len() - 1), remote))
+    }
+
+    /// `send()`: records the bytes with the far side and pulls any reply.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadState`] on unconnected sockets.
+    pub fn send(&mut self, id: SocketId, bytes: &[u8]) -> Result<usize, NetError> {
+        let (peer_ref, client_ref) = {
+            let sock = self.get(id)?;
+            if !matches!(sock.state, SocketState::Connected { .. }) {
+                return Err(NetError::BadState);
+            }
+            (sock.peer_ref, sock.client_ref)
+        };
+        let mut reply = None;
+        if let Some(remote) = peer_ref {
+            if let Some(peer) = self.peers.get_mut(&remote) {
+                peer.received.push(bytes.to_vec());
+                reply = peer.replies.pop_front();
+            }
+        } else if let Some((port, idx)) = client_ref {
+            if let Some(client) =
+                self.accepted_clients.get_mut(&port).and_then(|list| list.get_mut(idx))
+            {
+                client.received.push(bytes.to_vec());
+            }
+        }
+        if let Some(chunk) = reply {
+            self.get_mut(id)?.inbox.push_back(chunk);
+        }
+        Ok(bytes.len())
+    }
+
+    /// `recv()`: returns up to `len` bytes from the next queued chunk.
+    /// For accepted sockets, pulls the client's next scripted send when
+    /// the inbox is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WouldBlock`] when no data is available.
+    pub fn recv(&mut self, id: SocketId, len: usize) -> Result<Vec<u8>, NetError> {
+        let client_ref = {
+            let sock = self.get(id)?;
+            if !matches!(sock.state, SocketState::Connected { .. }) {
+                return Err(NetError::BadState);
+            }
+            sock.client_ref
+        };
+        if self.get(id)?.inbox.is_empty() {
+            if let Some((port, idx)) = client_ref {
+                if let Some(chunk) = self
+                    .accepted_clients
+                    .get_mut(&port)
+                    .and_then(|list| list.get_mut(idx))
+                    .and_then(|c| c.sends.pop_front())
+                {
+                    self.get_mut(id)?.inbox.push_back(chunk);
+                }
+            }
+        }
+        let sock = self.get_mut(id)?;
+        let Some(mut chunk) = sock.inbox.pop_front() else {
+            return Err(NetError::WouldBlock);
+        };
+        if chunk.len() > len {
+            let rest = chunk.split_off(len);
+            sock.inbox.push_front(rest);
+        }
+        Ok(chunk)
+    }
+
+    /// `close()`.
+    pub fn close(&mut self, id: SocketId) {
+        if let Ok(sock) = self.get_mut(id) {
+            sock.state = SocketState::Closed;
+        }
+    }
+
+    /// Everything a scripted peer received (assertions in tests/benches).
+    pub fn peer_received(&self, ep: Endpoint) -> &[Vec<u8>] {
+        self.peers.get(&ep).map_or(&[], |p| &p.received)
+    }
+
+    /// Everything accepted clients on `port` received from the program.
+    pub fn clients_received(&self, port: u16) -> Vec<&[u8]> {
+        self.accepted_clients
+            .get(&port)
+            .map(|list| list.iter().flat_map(|c| c.received.iter().map(Vec::as_slice)).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(ip: Ip, port: u16) -> Endpoint {
+        Endpoint { ip, port }
+    }
+
+    #[test]
+    fn dns_resolution_and_reverse() {
+        let mut net = Network::new();
+        net.add_host("duero", 0x0a00_0001);
+        assert_eq!(net.resolve("duero").unwrap(), 0x0a00_0001);
+        assert!(net.resolve("nope").is_err());
+        assert_eq!(net.display_host(0x0a00_0001), "duero");
+        assert_eq!(net.display_host(0x01020304), "1.2.3.4");
+        assert_eq!(net.display_endpoint(ep(0x7f00_0001, 11116)), "LocalHost:11116 (AF_INET)");
+    }
+
+    #[test]
+    fn client_connect_send_recv() {
+        let mut net = Network::new();
+        net.add_host("evil.example", 99);
+        let remote = ep(99, 40400);
+        net.add_peer(
+            remote,
+            Peer {
+                on_connect: vec![b"hello".to_vec()],
+                replies: VecDeque::from([b"ok".to_vec()]),
+                received: Vec::new(),
+            },
+        );
+        let s = net.socket();
+        net.connect(s, remote).unwrap();
+        assert_eq!(net.recv(s, 16).unwrap(), b"hello");
+        net.send(s, b"secret").unwrap();
+        assert_eq!(net.recv(s, 16).unwrap(), b"ok");
+        assert_eq!(net.peer_received(remote), &[b"secret".to_vec()]);
+    }
+
+    #[test]
+    fn connect_refused_without_peer() {
+        let mut net = Network::new();
+        let s = net.socket();
+        assert_eq!(net.connect(s, ep(1, 1)), Err(NetError::Refused));
+    }
+
+    #[test]
+    fn server_accept_flow() {
+        let mut net = Network::new();
+        let listener = net.socket();
+        let local = ep(net.local_ip(), 11111);
+        net.bind(listener, local).unwrap();
+        net.listen(listener).unwrap();
+        assert_eq!(net.accept(listener), Err(NetError::WouldBlock));
+        net.queue_client(
+            11111,
+            RemoteClient {
+                from: ep(0xc0a8_0105, 37047),
+                sends: VecDeque::from([b"passwd".to_vec(), b"ls\n".to_vec()]),
+                received: Vec::new(),
+            },
+        );
+        let (conn, remote) = net.accept(listener).unwrap();
+        assert_eq!(remote.port, 37047);
+        assert_eq!(net.recv(conn, 64).unwrap(), b"passwd");
+        net.send(conn, b"ok").unwrap();
+        assert_eq!(net.recv(conn, 64).unwrap(), b"ls\n");
+        assert_eq!(net.clients_received(11111), vec![b"ok".as_slice()]);
+    }
+
+    #[test]
+    fn recv_respects_len_and_requeues() {
+        let mut net = Network::new();
+        net.add_peer(ep(5, 5), Peer { on_connect: vec![b"abcdef".to_vec()], ..Peer::default() });
+        let s = net.socket();
+        net.connect(s, ep(5, 5)).unwrap();
+        assert_eq!(net.recv(s, 4).unwrap(), b"abcd");
+        assert_eq!(net.recv(s, 4).unwrap(), b"ef");
+        assert_eq!(net.recv(s, 4), Err(NetError::WouldBlock));
+    }
+
+    #[test]
+    fn state_machine_enforced() {
+        let mut net = Network::new();
+        let s = net.socket();
+        assert_eq!(net.listen(s), Err(NetError::BadState));
+        net.bind(s, ep(net.local_ip(), 80)).unwrap();
+        assert_eq!(net.bind(s, ep(net.local_ip(), 81)), Err(NetError::BadState));
+        net.listen(s).unwrap();
+        assert_eq!(net.send(s, b"x"), Err(NetError::BadState));
+    }
+
+    #[test]
+    fn ephemeral_ports_advance() {
+        let mut net = Network::new();
+        net.add_peer(ep(9, 9), Peer::default());
+        let a = net.socket();
+        let b = net.socket();
+        let la = net.connect(a, ep(9, 9)).unwrap();
+        let lb = net.connect(b, ep(9, 9)).unwrap();
+        assert_ne!(la.port, lb.port);
+    }
+}

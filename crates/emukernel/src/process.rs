@@ -1,0 +1,177 @@
+//! Processes and per-process file-descriptor tables.
+
+use hth_vm::Core;
+
+use crate::net::SocketId;
+
+/// What a file descriptor refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdKind {
+    /// Console input (`USER_INPUT` data source).
+    Stdin,
+    /// Console output.
+    Stdout,
+    /// Console error output.
+    Stderr,
+    /// An open VFS file (regular or FIFO).
+    File {
+        /// Path it was opened with.
+        path: String,
+        /// Read/write offset (ignored for FIFOs).
+        offset: usize,
+        /// True when the node is a FIFO.
+        fifo: bool,
+    },
+    /// A network socket.
+    Socket(SocketId),
+}
+
+/// A per-process descriptor table; fds 0/1/2 are pre-wired to the console.
+#[derive(Clone, Debug)]
+pub struct FdTable {
+    entries: Vec<Option<FdKind>>,
+}
+
+impl Default for FdTable {
+    fn default() -> FdTable {
+        FdTable::new()
+    }
+}
+
+impl FdTable {
+    /// A fresh table with stdin/stdout/stderr.
+    pub fn new() -> FdTable {
+        FdTable { entries: vec![Some(FdKind::Stdin), Some(FdKind::Stdout), Some(FdKind::Stderr)] }
+    }
+
+    /// Allocates the lowest free descriptor.
+    pub fn alloc(&mut self, kind: FdKind) -> i32 {
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(kind);
+                return i as i32;
+            }
+        }
+        self.entries.push(Some(kind));
+        (self.entries.len() - 1) as i32
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: i32) -> Option<&FdKind> {
+        if fd < 0 {
+            return None;
+        }
+        self.entries.get(fd as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable lookup (offset updates).
+    pub fn get_mut(&mut self, fd: i32) -> Option<&mut FdKind> {
+        if fd < 0 {
+            return None;
+        }
+        self.entries.get_mut(fd as usize).and_then(Option::as_mut)
+    }
+
+    /// `dup`: duplicates `fd` into the lowest free slot.
+    pub fn dup(&mut self, fd: i32) -> Option<i32> {
+        let kind = self.get(fd)?.clone();
+        Some(self.alloc(kind))
+    }
+
+    /// Closes a descriptor, returning what it referred to.
+    pub fn close(&mut self, fd: i32) -> Option<FdKind> {
+        if fd < 0 {
+            return None;
+        }
+        self.entries.get_mut(fd as usize).and_then(Option::take)
+    }
+
+    /// Number of live descriptors.
+    pub fn live(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// Process run state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcState {
+    /// Schedulable.
+    Running,
+    /// Exited with a status code.
+    Exited(i32),
+}
+
+/// A process: an execution core plus OS-visible state.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: u32,
+    /// Parent pid (0 for the initial process).
+    pub parent: u32,
+    /// CPU, memory and loaded images.
+    pub core: Core,
+    /// Descriptor table.
+    pub fds: FdTable,
+    /// Run state.
+    pub state: ProcState,
+    /// Path of the executing binary (the `BINARY` tag of its image).
+    pub image_name: String,
+    /// Command line, argv\[0\] first.
+    pub cmdline: Vec<String>,
+    /// Address range `[lo, hi)` of the initial stack content (argv,
+    /// environment, strings) — tagged `USER_INPUT` by the monitor.
+    pub initial_stack: (u32, u32),
+    /// Kernel tick at which the process started.
+    pub start_tick: u64,
+    /// Total heap bytes allocated via `brk` (resource-abuse tracking).
+    pub heap_bytes: u64,
+}
+
+impl Process {
+    /// True when the process can be scheduled.
+    pub fn runnable(&self) -> bool {
+        self.state == ProcState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_fds_prewired() {
+        let t = FdTable::new();
+        assert_eq!(t.get(0), Some(&FdKind::Stdin));
+        assert_eq!(t.get(1), Some(&FdKind::Stdout));
+        assert_eq!(t.get(2), Some(&FdKind::Stderr));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.get(-1), None);
+    }
+
+    #[test]
+    fn alloc_reuses_lowest_free() {
+        let mut t = FdTable::new();
+        let a = t.alloc(FdKind::Socket(SocketId(0)));
+        assert_eq!(a, 3);
+        t.close(1).unwrap();
+        let b = t.alloc(FdKind::Socket(SocketId(1)));
+        assert_eq!(b, 1, "reuses the freed stdout slot");
+    }
+
+    #[test]
+    fn dup_clones_kind() {
+        let mut t = FdTable::new();
+        let f = t.alloc(FdKind::File { path: "/a".into(), offset: 0, fifo: false });
+        let d = t.dup(f).unwrap();
+        assert_eq!(t.get(f), t.get(d));
+        assert!(t.dup(99).is_none());
+    }
+
+    #[test]
+    fn live_count() {
+        let mut t = FdTable::new();
+        assert_eq!(t.live(), 3);
+        t.close(0);
+        assert_eq!(t.live(), 2);
+    }
+}

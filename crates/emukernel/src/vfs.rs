@@ -1,0 +1,217 @@
+//! In-memory virtual filesystem.
+//!
+//! Regular files are byte vectors; FIFOs (named pipes, created with
+//! `mknod`) are byte queues — the paper's `pma` daemon bridges a shell
+//! through two FIFOs, so they matter for the Table 8 reproduction.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// File body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Ordinary file contents.
+    Regular(Vec<u8>),
+    /// Named pipe: bytes written are queued until read.
+    Fifo(VecDeque<u8>),
+}
+
+/// A filesystem node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileNode {
+    /// Contents.
+    pub kind: FileKind,
+    /// Execute permission (set by `chmod`, required by `execve`).
+    pub executable: bool,
+}
+
+impl FileNode {
+    /// A regular file with the given contents.
+    pub fn regular(data: impl Into<Vec<u8>>) -> FileNode {
+        FileNode { kind: FileKind::Regular(data.into()), executable: false }
+    }
+
+    /// An empty FIFO.
+    pub fn fifo() -> FileNode {
+        FileNode { kind: FileKind::Fifo(VecDeque::new()), executable: false }
+    }
+
+    /// Regular-file contents (empty for FIFOs).
+    pub fn data(&self) -> &[u8] {
+        match &self.kind {
+            FileKind::Regular(d) => d,
+            FileKind::Fifo(_) => &[],
+        }
+    }
+}
+
+/// The filesystem: a flat path → node map (no directory objects; paths
+/// are plain strings, as the monitor only ever compares them textually).
+#[derive(Clone, Debug, Default)]
+pub struct Vfs {
+    nodes: BTreeMap<String, FileNode>,
+}
+
+impl Vfs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Vfs {
+        Vfs::default()
+    }
+
+    /// Adds or replaces a regular file.
+    pub fn install(&mut self, path: impl Into<String>, node: FileNode) {
+        self.nodes.insert(path.into(), node);
+    }
+
+    /// True when `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Immutable node access.
+    pub fn get(&self, path: &str) -> Option<&FileNode> {
+        self.nodes.get(path)
+    }
+
+    /// Mutable node access.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut FileNode> {
+        self.nodes.get_mut(path)
+    }
+
+    /// Opens for writing: creates a regular file when missing; truncates
+    /// when `truncate` is set (FIFOs are never truncated).
+    pub fn open_write(&mut self, path: &str, truncate: bool) {
+        match self.nodes.get_mut(path) {
+            Some(node) => {
+                if truncate {
+                    if let FileKind::Regular(d) = &mut node.kind {
+                        d.clear();
+                    }
+                }
+            }
+            None => {
+                self.nodes.insert(path.to_string(), FileNode::regular(Vec::new()));
+            }
+        }
+    }
+
+    /// Creates a FIFO (like `mknod path p`). No-op if it already exists.
+    pub fn mkfifo(&mut self, path: &str) {
+        self.nodes.entry(path.to_string()).or_insert_with(FileNode::fifo);
+    }
+
+    /// Reads up to `len` bytes from `offset` (regular) or the queue head
+    /// (FIFO). Returns the bytes read.
+    pub fn read(&mut self, path: &str, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let node = self.nodes.get_mut(path)?;
+        Some(match &mut node.kind {
+            FileKind::Regular(d) => {
+                let start = offset.min(d.len());
+                let end = (offset + len).min(d.len());
+                d[start..end].to_vec()
+            }
+            FileKind::Fifo(q) => {
+                let take = len.min(q.len());
+                q.drain(..take).collect()
+            }
+        })
+    }
+
+    /// Appends bytes at `offset` (regular; extends the file) or to the
+    /// queue (FIFO). Returns bytes written.
+    pub fn write(&mut self, path: &str, offset: usize, bytes: &[u8]) -> Option<usize> {
+        let node = self.nodes.get_mut(path)?;
+        match &mut node.kind {
+            FileKind::Regular(d) => {
+                if d.len() < offset {
+                    d.resize(offset, 0);
+                }
+                let overlap = (d.len() - offset).min(bytes.len());
+                d[offset..offset + overlap].copy_from_slice(&bytes[..overlap]);
+                d.extend_from_slice(&bytes[overlap..]);
+            }
+            FileKind::Fifo(q) => q.extend(bytes.iter().copied()),
+        }
+        Some(bytes.len())
+    }
+
+    /// Sets the execute bit.
+    pub fn chmod_exec(&mut self, path: &str, executable: bool) -> bool {
+        match self.nodes.get_mut(path) {
+            Some(node) => {
+                node.executable = executable;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All paths, sorted (diagnostics and tests).
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.nodes.keys().map(String::as_str)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the filesystem is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_read_write() {
+        let mut vfs = Vfs::new();
+        vfs.open_write("/tmp/a", false);
+        assert_eq!(vfs.write("/tmp/a", 0, b"hello"), Some(5));
+        assert_eq!(vfs.read("/tmp/a", 0, 5).unwrap(), b"hello");
+        assert_eq!(vfs.read("/tmp/a", 3, 10).unwrap(), b"lo");
+        // Overwrite + extend.
+        vfs.write("/tmp/a", 3, b"XYZ!").unwrap();
+        assert_eq!(vfs.read("/tmp/a", 0, 10).unwrap(), b"helXYZ!");
+    }
+
+    #[test]
+    fn truncate_on_open() {
+        let mut vfs = Vfs::new();
+        vfs.install("/f", FileNode::regular(b"old".to_vec()));
+        vfs.open_write("/f", true);
+        assert_eq!(vfs.get("/f").unwrap().data(), b"");
+    }
+
+    #[test]
+    fn fifo_queues_bytes() {
+        let mut vfs = Vfs::new();
+        vfs.mkfifo("inpipe");
+        vfs.write("inpipe", 0, b"abc").unwrap();
+        vfs.write("inpipe", 0, b"def").unwrap();
+        assert_eq!(vfs.read("inpipe", 0, 4).unwrap(), b"abcd");
+        assert_eq!(vfs.read("inpipe", 0, 4).unwrap(), b"ef");
+        assert_eq!(vfs.read("inpipe", 0, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn chmod_and_exists() {
+        let mut vfs = Vfs::new();
+        assert!(!vfs.chmod_exec("/x", true));
+        vfs.install("/x", FileNode::regular(Vec::new()));
+        assert!(vfs.chmod_exec("/x", true));
+        assert!(vfs.get("/x").unwrap().executable);
+        assert!(vfs.exists("/x"));
+        assert!(!vfs.exists("/y"));
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut vfs = Vfs::new();
+        vfs.open_write("/s", false);
+        vfs.write("/s", 4, b"x").unwrap();
+        assert_eq!(vfs.read("/s", 0, 5).unwrap(), b"\0\0\0\0x");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the OS substrate: VFS read/write laws, fd
+//! table behaviour, FIFO queue semantics, and sockaddr round-trips.
+
+use proptest::prelude::*;
+
+use emukernel::{FdKind, FdTable, SocketId, Vfs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sequential writes at the current offset concatenate: a file
+    /// behaves like a growable byte vector.
+    #[test]
+    fn vfs_sequential_writes_concatenate(chunks in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..16), 0..8,
+    )) {
+        let mut vfs = Vfs::new();
+        vfs.open_write("/f", true);
+        let mut offset = 0;
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            vfs.write("/f", offset, chunk).unwrap();
+            offset += chunk.len();
+            expected.extend_from_slice(chunk);
+        }
+        prop_assert_eq!(vfs.get("/f").unwrap().data(), expected.as_slice());
+        // Reading past EOF truncates cleanly.
+        let read = vfs.read("/f", 0, expected.len() + 100).unwrap();
+        prop_assert_eq!(read, expected);
+    }
+
+    /// Random-offset writes then full read-back equal a Vec-based model.
+    #[test]
+    fn vfs_random_writes_match_model(writes in prop::collection::vec(
+        (0usize..64, prop::collection::vec(any::<u8>(), 1..16)), 0..12,
+    )) {
+        let mut vfs = Vfs::new();
+        vfs.open_write("/f", true);
+        let mut model: Vec<u8> = Vec::new();
+        for (offset, bytes) in &writes {
+            vfs.write("/f", *offset, bytes).unwrap();
+            if model.len() < *offset {
+                model.resize(*offset, 0);
+            }
+            let end = offset + bytes.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*offset..end].copy_from_slice(bytes);
+        }
+        prop_assert_eq!(vfs.get("/f").unwrap().data(), model.as_slice());
+    }
+
+    /// FIFOs are byte queues: total bytes read equals total written, in
+    /// order, regardless of chunking.
+    #[test]
+    fn fifo_preserves_order(
+        writes in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..8), 0..8),
+        read_sizes in prop::collection::vec(1usize..8, 0..20),
+    ) {
+        let mut vfs = Vfs::new();
+        vfs.mkfifo("pipe");
+        let mut expected: Vec<u8> = Vec::new();
+        for chunk in &writes {
+            vfs.write("pipe", 0, chunk).unwrap();
+            expected.extend_from_slice(chunk);
+        }
+        let mut got = Vec::new();
+        for size in &read_sizes {
+            got.extend(vfs.read("pipe", 0, *size).unwrap());
+        }
+        // Drain whatever is left.
+        got.extend(vfs.read("pipe", 0, usize::MAX).unwrap());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Fd allocation always returns the lowest free slot and never
+    /// aliases two live descriptors.
+    #[test]
+    fn fd_table_lowest_free_no_alias(ops in prop::collection::vec(any::<bool>(), 1..40)) {
+        let mut table = FdTable::new();
+        let mut live: Vec<i32> = vec![0, 1, 2];
+        let mut counter = 0usize;
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                let fd = table.alloc(FdKind::Socket(SocketId(counter)));
+                counter += 1;
+                // Lowest-free: no smaller fd may be free.
+                for smaller in 0..fd {
+                    prop_assert!(table.get(smaller).is_some(), "hole below fd {fd}");
+                }
+                prop_assert!(!live.contains(&fd));
+                live.push(fd);
+            } else {
+                let fd = live.swap_remove(live.len() / 2);
+                prop_assert!(table.close(fd).is_some());
+                prop_assert!(table.get(fd).is_none());
+            }
+        }
+        prop_assert_eq!(table.live(), live.len());
+    }
+}

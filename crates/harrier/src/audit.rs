@@ -1,0 +1,158 @@
+//! Static "Secure Binary" audit (paper Appendix B).
+//!
+//! A *Secure Binary* contains no hardcoded resource names. This module
+//! approximates the paper's static check by scanning an image's data
+//! section for NUL-terminated strings that look like resource
+//! identifiers (paths, host names, dotted quads) — the hardcoded values
+//! a Trojan would use.
+
+use hth_vm::Image;
+
+/// One suspicious hardcoded string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HardcodedString {
+    /// Address of the string in the image's data section.
+    pub addr: u32,
+    /// The string.
+    pub text: String,
+    /// Why it looks like a resource identifier.
+    pub reason: &'static str,
+}
+
+/// Audit verdict for an image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecureBinaryReport {
+    /// Image name.
+    pub image: String,
+    /// Resource-identifier-like strings found.
+    pub findings: Vec<HardcodedString>,
+}
+
+impl SecureBinaryReport {
+    /// True when the image satisfies the (relaxed) Secure Binary rule:
+    /// no hardcoded resource names.
+    pub fn is_secure(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Extracts printable NUL-terminated strings of length ≥ `min_len` from
+/// the image's data section, with their addresses.
+pub fn strings(image: &Image, min_len: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    let data = image.data();
+    for (i, &b) in data.iter().enumerate() {
+        let printable = (0x20..0x7f).contains(&b);
+        match (printable, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                if b == 0 && i - s >= min_len {
+                    let text = String::from_utf8_lossy(&data[s..i]).into_owned();
+                    out.push((image.data_base() + s as u32, text));
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn classify(text: &str) -> Option<&'static str> {
+    if text.starts_with('/') && text.len() > 1 {
+        return Some("absolute path");
+    }
+    if text.starts_with("./") || text.starts_with("../") {
+        return Some("relative path");
+    }
+    let dotted = text.split('.').collect::<Vec<_>>();
+    if dotted.len() == 4 && dotted.iter().all(|p| p.parse::<u8>().is_ok()) {
+        return Some("dotted-quad address");
+    }
+    if dotted.len() >= 2
+        && dotted.iter().all(|p| {
+            !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+        })
+        && dotted.last().is_some_and(|tld| tld.chars().all(|c| c.is_ascii_alphabetic()))
+        && text.chars().any(|c| c.is_ascii_alphabetic())
+    {
+        return Some("host name");
+    }
+    None
+}
+
+/// Audits an image per the relaxed Appendix B rule.
+pub fn audit(image: &Image) -> SecureBinaryReport {
+    let findings = strings(image, 3)
+        .into_iter()
+        .filter_map(|(addr, text)| {
+            classify(&text).map(|reason| HardcodedString { addr, text, reason })
+        })
+        .collect();
+    SecureBinaryReport { image: image.name().to_string(), findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hth_vm::asm::assemble;
+
+    #[test]
+    fn finds_paths_and_hosts() {
+        let img = assemble(
+            "/bin/trojan",
+            r#"
+            _start: hlt
+            .data
+            p1: .asciz "/bin/sh"
+            h1: .asciz "pop.mail.yahoo.com"
+            q1: .asciz "63.246.131.30"
+            ok: .asciz "hello world"
+            n:  .long 7
+            "#,
+            0,
+        )
+        .unwrap();
+        let report = audit(&img);
+        assert!(!report.is_secure());
+        let reasons: Vec<_> = report.findings.iter().map(|f| f.reason).collect();
+        assert!(reasons.contains(&"absolute path"));
+        assert!(reasons.contains(&"host name"));
+        assert!(reasons.contains(&"dotted-quad address"));
+        assert_eq!(report.findings.len(), 3, "plain text is not flagged");
+    }
+
+    #[test]
+    fn clean_binary_is_secure() {
+        let img = assemble(
+            "/bin/clean",
+            "_start: hlt\n.data\nmsg: .asciz \"usage: clean FILE\"\n",
+            0,
+        )
+        .unwrap();
+        assert!(audit(&img).is_secure());
+    }
+
+    #[test]
+    fn relative_paths_flagged() {
+        let img =
+            assemble("/bin/t", "_start: hlt\n.data\np: .asciz \"./Window\"\n", 0).unwrap();
+        assert_eq!(audit(&img).findings[0].reason, "relative path");
+    }
+
+    #[test]
+    fn string_extraction_addresses() {
+        let img = assemble(
+            "/bin/t",
+            "_start: hlt\n.data\na: .asciz \"abc\"\nb: .asciz \"defg\"\n",
+            0,
+        )
+        .unwrap();
+        let strs = strings(&img, 3);
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].1, "abc");
+        assert_eq!(strs[0].0, img.data_base());
+        assert_eq!(strs[1].0, img.data_base() + 4);
+    }
+}

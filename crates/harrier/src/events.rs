@@ -1,0 +1,215 @@
+//! Events Harrier sends to Secpert (paper §6.1.2).
+//!
+//! Two shapes: *resource access* (a syscall touched a named resource —
+//! `execve`, `clone`, `open`, socket calls) and *data transfer* (a write
+//! carried tagged bytes into a resource). Both carry the event time, the
+//! attributed application basic-block frequency, and the code address,
+//! exactly as the paper's CLIPS facts do (Appendix A.1).
+
+use std::fmt;
+
+/// Resource/source types as they appear in Secpert facts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResourceType {
+    /// Regular file or FIFO.
+    File,
+    /// Network socket.
+    Socket,
+    /// Binary image (hardcoded data).
+    Binary,
+    /// Command line / environment / console input.
+    UserInput,
+    /// Hardware-produced values.
+    Hardware,
+    /// Console output (never flagged by the policy).
+    Console,
+    /// Provenance unknown — incomplete tracking (paper footnote 4).
+    Unknown,
+}
+
+impl ResourceType {
+    /// Symbol used in CLIPS facts.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ResourceType::File => "FILE",
+            ResourceType::Socket => "SOCKET",
+            ResourceType::Binary => "BINARY",
+            ResourceType::UserInput => "USER_INPUT",
+            ResourceType::Hardware => "HARDWARE",
+            ResourceType::Console => "CONSOLE",
+            ResourceType::Unknown => "UNKNOWN",
+        }
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A typed, named source or resource.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceInfo {
+    /// Type.
+    pub kind: ResourceType,
+    /// Resource name (path, rendered endpoint, image, or a placeholder
+    /// like `STDIN`).
+    pub name: String,
+}
+
+impl SourceInfo {
+    /// Convenience constructor.
+    pub fn new(kind: ResourceType, name: impl Into<String>) -> SourceInfo {
+        SourceInfo { kind, name: name.into() }
+    }
+}
+
+impl fmt::Display for SourceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(\"{}\")", self.kind, self.name)
+    }
+}
+
+/// The data sources of a resource *identifier* (Table 2's "Resource ID
+/// (Origin) Data Source"): where the file name / socket address string
+/// came from. Empty means `UNKNOWN`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Origin {
+    /// Sources, in interning order.
+    pub sources: Vec<SourceInfo>,
+}
+
+impl Origin {
+    /// The unknown origin.
+    pub fn unknown() -> Origin {
+        Origin::default()
+    }
+
+    /// True when no source is known.
+    pub fn is_unknown(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// True when any source has the given type.
+    pub fn has(&self, kind: ResourceType) -> bool {
+        self.sources.iter().any(|s| s.kind == kind)
+    }
+}
+
+/// Server-side context attached to events on accepted connections: the
+/// listening address and where *it* came from (paper's pma warnings).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Rendered listening endpoint (e.g. `LocalHost:11116 (AF_INET)`).
+    pub address: String,
+    /// Origin of the listening address.
+    pub origin: Origin,
+}
+
+/// An event sent from Harrier to Secpert.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SecpertEvent {
+    /// A syscall accessed a named resource.
+    ResourceAccess {
+        /// Monitored process.
+        pid: u32,
+        /// Syscall name (`SYS_execve`, `SYS_clone`, `SYS_open`, …).
+        syscall: &'static str,
+        /// The resource accessed.
+        resource: SourceInfo,
+        /// Origin of the resource identifier.
+        origin: Origin,
+        /// Virtual time of the event.
+        time: u64,
+        /// Execution count of the attributed application basic block.
+        frequency: u64,
+        /// Code address of the attributed application basic block.
+        address: u32,
+        /// For `clone`/`fork`: total processes created so far.
+        proc_count: Option<u64>,
+        /// For `clone`/`fork`: forks within the recent window.
+        proc_rate: Option<u64>,
+        /// For `brk`: total heap bytes the process has allocated
+        /// (paper §10 extension: memory resource abuse).
+        mem_total: Option<u64>,
+        /// Listening-socket context for accepted connections.
+        server: Option<ServerInfo>,
+    },
+    /// A write carried tagged data into a resource.
+    DataTransfer {
+        /// Monitored process.
+        pid: u32,
+        /// Syscall name (`SYS_write` / `SYS_send`).
+        syscall: &'static str,
+        /// Data sources of the written bytes (taint of the buffer).
+        data_sources: Vec<SourceInfo>,
+        /// Union of the identifier origins of the named data sources
+        /// (e.g. for a `FILE` source, where its *file name* came from —
+        /// the "user gave file name" vs "hardcoded file name" distinction
+        /// of paper §4.3).
+        data_origin: Origin,
+        /// The resource written to.
+        target: SourceInfo,
+        /// Origin of the target's identifier.
+        target_origin: Origin,
+        /// Virtual time of the event.
+        time: u64,
+        /// Execution count of the attributed application basic block.
+        frequency: u64,
+        /// Code address of the attributed application basic block.
+        address: u32,
+        /// True when the written bytes look like executable content
+        /// (paper §10 extension: content analysis of downloads).
+        executable_content: bool,
+        /// Listening-socket context for accepted connections.
+        server: Option<ServerInfo>,
+    },
+}
+
+impl SecpertEvent {
+    /// The syscall name of the event.
+    pub fn syscall(&self) -> &'static str {
+        match self {
+            SecpertEvent::ResourceAccess { syscall, .. }
+            | SecpertEvent::DataTransfer { syscall, .. } => syscall,
+        }
+    }
+
+    /// The monitored process id.
+    pub fn pid(&self) -> u32 {
+        match self {
+            SecpertEvent::ResourceAccess { pid, .. } | SecpertEvent::DataTransfer { pid, .. } => {
+                *pid
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_predicates() {
+        let o = Origin {
+            sources: vec![
+                SourceInfo::new(ResourceType::Binary, "/bin/app"),
+                SourceInfo::new(ResourceType::UserInput, "STDIN"),
+            ],
+        };
+        assert!(o.has(ResourceType::Binary));
+        assert!(!o.has(ResourceType::Socket));
+        assert!(!o.is_unknown());
+        assert!(Origin::unknown().is_unknown());
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(ResourceType::UserInput.to_string(), "USER_INPUT");
+        assert_eq!(
+            SourceInfo::new(ResourceType::File, "/etc/passwd").to_string(),
+            "FILE(\"/etc/passwd\")"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # harrier — HTH's run-time monitor
+//!
+//! Harrier (paper §7) watches a program execute and produces the events
+//! the Secpert expert system reasons about. This crate implements it
+//! over the `hth-vm` interpreter and `emukernel` OS substrate:
+//!
+//! * **tag sets** ([`TagSet`]) — every register and memory byte carries a
+//!   *set* of [`DataSource`]s (`USER_INPUT`, `FILE(..)`, `SOCKET(..)`,
+//!   `BINARY(..)`, `HARDWARE`), not a single taint bit (§5.1),
+//! * **shadow state** ([`Shadow`]) updated from the VM's per-instruction
+//!   dataflow micro-ops (§7.3.1),
+//! * **loader tagging** — image data sections are `BINARY(image)`, the
+//!   initial stack (argv/env) is `USER_INPUT` (§7.3.2–7.3.3),
+//! * **basic-block frequency** with last-application-BB attribution
+//!   across shared objects (§7.4, Figure 3),
+//! * **resolution short-circuiting** — `gethostbyname` results inherit
+//!   the tag of the *name* argument (§7.2),
+//! * **event generation** ([`SecpertEvent`]) from kernel syscall effects:
+//!   resource accesses with resource-identifier origins (Table 2) and
+//!   data transfers carrying the written bytes' data sources (§6.1.2),
+//! * a static **Secure Binary audit** (Appendix B) in [`audit`].
+//!
+//! The monitoring *session* that wires Harrier to a kernel and processes
+//! lives in the `hth-core` crate.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+mod events;
+mod freq;
+mod monitor;
+mod shadow;
+mod tag;
+
+pub use events::{Origin, ResourceType, SecpertEvent, ServerInfo, SourceInfo};
+pub use freq::BbFreq;
+pub use monitor::{Harrier, HarrierConfig, HarrierHooks};
+pub use shadow::Shadow;
+pub use tag::{DataSource, SourceId, SourceTable, TagSet};

@@ -1,0 +1,207 @@
+//! Shadow state: one [`TagSet`] per register and per memory byte.
+
+use std::collections::HashMap;
+
+use hth_vm::{Loc, Reg, TaintOp};
+
+use crate::tag::{SourceId, TagSet};
+
+const PAGE: u32 = 4096;
+
+/// Per-process shadow register file and shadow memory.
+///
+/// Memory shadows are demand-allocated pages of per-byte tag sets;
+/// unshadowed bytes read as untainted.
+#[derive(Clone, Debug, Default)]
+pub struct Shadow {
+    regs: [TagSet; 8],
+    pages: HashMap<u32, Box<[TagSet]>>,
+}
+
+impl Shadow {
+    /// Fresh, fully-untainted shadow state.
+    pub fn new() -> Shadow {
+        Shadow::default()
+    }
+
+    /// Tag of a register.
+    pub fn reg(&self, reg: Reg) -> &TagSet {
+        &self.regs[reg.index()]
+    }
+
+    /// Sets a register's tag.
+    pub fn set_reg(&mut self, reg: Reg, tag: TagSet) {
+        self.regs[reg.index()] = tag;
+    }
+
+    /// Tag of one memory byte.
+    pub fn byte(&self, addr: u32) -> TagSet {
+        match self.pages.get(&(addr / PAGE)) {
+            Some(page) => page[(addr % PAGE) as usize].clone(),
+            None => TagSet::empty(),
+        }
+    }
+
+    fn page_mut(&mut self, page: u32) -> &mut [TagSet] {
+        self.pages.entry(page).or_insert_with(|| vec![TagSet::empty(); PAGE as usize].into())
+    }
+
+    /// Sets one memory byte's tag.
+    pub fn set_byte(&mut self, addr: u32, tag: TagSet) {
+        self.page_mut(addr / PAGE)[(addr % PAGE) as usize] = tag;
+    }
+
+    /// Union of the tags of `len` bytes starting at `addr`.
+    pub fn range(&self, addr: u32, len: u32) -> TagSet {
+        let mut out = TagSet::empty();
+        for i in 0..len {
+            out = out.union(&self.byte(addr.wrapping_add(i)));
+        }
+        out
+    }
+
+    /// Sets `len` bytes to the same tag.
+    pub fn set_range(&mut self, addr: u32, len: u32, tag: &TagSet) {
+        for i in 0..len {
+            self.set_byte(addr.wrapping_add(i), tag.clone());
+        }
+    }
+
+    /// Clears `len` bytes.
+    pub fn clear_range(&mut self, addr: u32, len: u32) {
+        self.set_range(addr, len, &TagSet::empty());
+    }
+
+    /// Tag at a [`Loc`].
+    pub fn read_loc(&self, loc: Loc) -> TagSet {
+        match loc {
+            Loc::Reg(r) => self.reg(r).clone(),
+            Loc::Mem(addr, len) => self.range(addr, len),
+        }
+    }
+
+    /// Sets the tag at a [`Loc`].
+    pub fn write_loc(&mut self, loc: Loc, tag: TagSet) {
+        match loc {
+            Loc::Reg(r) => self.set_reg(r, tag),
+            Loc::Mem(addr, len) => self.set_range(addr, len, &tag),
+        }
+    }
+
+    /// Applies one dataflow micro-op: destination tag becomes the union
+    /// of the source tags, plus the executing image's `BINARY` source for
+    /// immediates and `HARDWARE` for `cpuid` (paper §7.3.1).
+    pub fn apply(&mut self, op: &TaintOp, binary: SourceId, hardware: SourceId) {
+        let mut tag = TagSet::empty();
+        for src in op.srcs.iter().flatten() {
+            tag = tag.union(&self.read_loc(*src));
+        }
+        if op.imm {
+            tag = tag.with(binary);
+        }
+        if op.hardware {
+            tag = tag.with(hardware);
+        }
+        self.write_loc(op.dst, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{DataSource, SourceTable};
+
+    fn ids() -> (SourceTable, SourceId, SourceId, SourceId) {
+        let mut t = SourceTable::new();
+        let b = t.intern(DataSource::binary("/bin/app"));
+        let h = t.intern(DataSource::Hardware);
+        let f = t.intern(DataSource::file("/f"));
+        (t, b, h, f)
+    }
+
+    #[test]
+    fn byte_and_range_round_trip() {
+        let (_, b, _, f) = ids();
+        let mut s = Shadow::new();
+        s.set_range(0x1000, 4, &TagSet::single(f));
+        s.set_byte(0x1002, TagSet::single(b));
+        assert_eq!(s.byte(0x1000), TagSet::single(f));
+        assert_eq!(s.byte(0x1002), TagSet::single(b));
+        let r = s.range(0x1000, 4);
+        assert!(r.contains(f) && r.contains(b));
+        assert!(s.byte(0x9999_9999).is_empty());
+    }
+
+    #[test]
+    fn mov_propagates_and_imm_tags_binary() {
+        let (_, b, h, f) = ids();
+        let mut s = Shadow::new();
+        s.set_reg(Reg::Ebx, TagSet::single(f));
+        // mov eax, ebx
+        s.apply(
+            &TaintOp { dst: Loc::Reg(Reg::Eax), srcs: [Some(Loc::Reg(Reg::Ebx)), None], imm: false, hardware: false },
+            b,
+            h,
+        );
+        assert_eq!(s.reg(Reg::Eax), &TagSet::single(f));
+        // mov ecx, 5 (immediate)
+        s.apply(
+            &TaintOp { dst: Loc::Reg(Reg::Ecx), srcs: [None, None], imm: true, hardware: false },
+            b,
+            h,
+        );
+        assert_eq!(s.reg(Reg::Ecx), &TagSet::single(b));
+    }
+
+    #[test]
+    fn alu_unions_sources() {
+        let (_, b, h, f) = ids();
+        let mut s = Shadow::new();
+        s.set_reg(Reg::Eax, TagSet::single(f));
+        s.set_reg(Reg::Ebx, TagSet::single(h));
+        // add eax, ebx — eax gets both.
+        s.apply(
+            &TaintOp {
+                dst: Loc::Reg(Reg::Eax),
+                srcs: [Some(Loc::Reg(Reg::Eax)), Some(Loc::Reg(Reg::Ebx))],
+                imm: false,
+                hardware: false,
+            },
+            b,
+            h,
+        );
+        assert!(s.reg(Reg::Eax).contains(f) && s.reg(Reg::Eax).contains(h));
+    }
+
+    #[test]
+    fn clear_breaks_dependence() {
+        let (_, b, h, f) = ids();
+        let mut s = Shadow::new();
+        s.set_reg(Reg::Eax, TagSet::single(f));
+        s.apply(
+            &TaintOp { dst: Loc::Reg(Reg::Eax), srcs: [None, None], imm: false, hardware: false },
+            b,
+            h,
+        );
+        assert!(s.reg(Reg::Eax).is_empty());
+    }
+
+    #[test]
+    fn memory_loc_width_respected() {
+        let (_, b, h, f) = ids();
+        let mut s = Shadow::new();
+        s.set_reg(Reg::Eax, TagSet::single(f));
+        s.apply(
+            &TaintOp {
+                dst: Loc::Mem(0x2000, 4),
+                srcs: [Some(Loc::Reg(Reg::Eax)), None],
+                imm: false,
+                hardware: false,
+            },
+            b,
+            h,
+        );
+        assert_eq!(s.byte(0x2003), TagSet::single(f));
+        assert!(s.byte(0x2004).is_empty());
+    }
+}

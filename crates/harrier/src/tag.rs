@@ -1,0 +1,308 @@
+//! Data sources and tag sets (paper §5.1).
+//!
+//! HTH tracks more than a single taint bit: every register and memory
+//! byte carries a *set* of data sources, each with a type and a resource
+//! name — `USER_INPUT`, `FILE(name)`, `SOCKET(addr)`, `BINARY(image)`,
+//! `HARDWARE`. Sources are interned into dense ids; a [`TagSet`] is a
+//! small sorted id vector shared behind an `Arc` so tagging a whole
+//! buffer is one refcount bump per byte.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A data source (paper Table 2 rows).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataSource {
+    /// Command line, environment, console input.
+    UserInput,
+    /// Bytes read from a named file.
+    File(Arc<str>),
+    /// Bytes read from a socket (canonical endpoint rendering).
+    Socket(Arc<str>),
+    /// Bytes mapped from a binary image (hardcoded data, immediates).
+    Binary(Arc<str>),
+    /// Values produced by hardware (`cpuid`).
+    Hardware,
+}
+
+impl DataSource {
+    /// The paper's type name for this source.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            DataSource::UserInput => "USER_INPUT",
+            DataSource::File(_) => "FILE",
+            DataSource::Socket(_) => "SOCKET",
+            DataSource::Binary(_) => "BINARY",
+            DataSource::Hardware => "HARDWARE",
+        }
+    }
+
+    /// The resource name, when the source has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            DataSource::File(n) | DataSource::Socket(n) | DataSource::Binary(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn file(name: impl AsRef<str>) -> DataSource {
+        DataSource::File(Arc::from(name.as_ref()))
+    }
+
+    /// Convenience constructor.
+    pub fn socket(name: impl AsRef<str>) -> DataSource {
+        DataSource::Socket(Arc::from(name.as_ref()))
+    }
+
+    /// Convenience constructor.
+    pub fn binary(name: impl AsRef<str>) -> DataSource {
+        DataSource::Binary(Arc::from(name.as_ref()))
+    }
+}
+
+impl fmt::Display for DataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => write!(f, "{}(\"{name}\")", self.type_name()),
+            None => f.write_str(self.type_name()),
+        }
+    }
+}
+
+/// Interned id of a [`DataSource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(u32);
+
+impl SourceId {
+    /// Raw index into the source table.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// The interning table mapping [`DataSource`]s to dense [`SourceId`]s.
+#[derive(Debug, Default)]
+pub struct SourceTable {
+    by_id: Vec<DataSource>,
+    index: HashMap<DataSource, SourceId>,
+}
+
+impl SourceTable {
+    /// An empty table.
+    pub fn new() -> SourceTable {
+        SourceTable::default()
+    }
+
+    /// Interns a source, returning its stable id.
+    pub fn intern(&mut self, source: DataSource) -> SourceId {
+        if let Some(id) = self.index.get(&source) {
+            return *id;
+        }
+        let id = SourceId(self.by_id.len() as u32);
+        self.by_id.push(source.clone());
+        self.index.insert(source, id);
+        id
+    }
+
+    /// Resolves an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id did not come from this table.
+    pub fn get(&self, id: SourceId) -> &DataSource {
+        &self.by_id[id.0 as usize]
+    }
+
+    /// Number of interned sources.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+/// A set of source ids. Empty sets carry no allocation; non-empty sets
+/// share a sorted, deduplicated id slice behind an `Arc`.
+///
+/// The only combining operation is union — the paper's propagation rule
+/// ("the resulting set of data sources will be the union of the two
+/// sets", §7.3.1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TagSet(Option<Arc<[SourceId]>>);
+
+impl TagSet {
+    /// The empty tag set.
+    pub fn empty() -> TagSet {
+        TagSet(None)
+    }
+
+    /// A singleton tag set.
+    pub fn single(id: SourceId) -> TagSet {
+        TagSet(Some(Arc::from(vec![id])))
+    }
+
+    /// Builds a set from arbitrary ids (sorted/deduped).
+    pub fn from_ids(ids: impl IntoIterator<Item = SourceId>) -> TagSet {
+        let mut v: Vec<SourceId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            TagSet(None)
+        } else {
+            TagSet(Some(v.into()))
+        }
+    }
+
+    /// True when no source is present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: SourceId) -> bool {
+        self.0.as_ref().is_some_and(|s| s.binary_search(&id).is_ok())
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.0.iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Union with another set. Reuses an input allocation when one side
+    /// is empty or a superset.
+    #[must_use]
+    pub fn union(&self, other: &TagSet) -> TagSet {
+        match (&self.0, &other.0) {
+            (None, _) => other.clone(),
+            (_, None) => self.clone(),
+            (Some(a), Some(b)) => {
+                if a == b {
+                    return self.clone();
+                }
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&b[j..]);
+                if merged.len() == a.len() {
+                    self.clone()
+                } else if merged.len() == b.len() {
+                    other.clone()
+                } else {
+                    TagSet(Some(merged.into()))
+                }
+            }
+        }
+    }
+
+    /// Union with a single id.
+    #[must_use]
+    pub fn with(&self, id: SourceId) -> TagSet {
+        if self.contains(id) {
+            self.clone()
+        } else {
+            self.union(&TagSet::single(id))
+        }
+    }
+}
+
+impl FromIterator<SourceId> for TagSet {
+    fn from_iter<I: IntoIterator<Item = SourceId>>(iter: I) -> TagSet {
+        TagSet::from_ids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (SourceTable, SourceId, SourceId, SourceId) {
+        let mut t = SourceTable::new();
+        let u = t.intern(DataSource::UserInput);
+        let f = t.intern(DataSource::file("/etc/passwd"));
+        let b = t.intern(DataSource::binary("/bin/app"));
+        (t, u, f, b)
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let (mut t, u, f, _) = table();
+        assert_eq!(t.intern(DataSource::UserInput), u);
+        assert_eq!(t.intern(DataSource::file("/etc/passwd")), f);
+        assert_eq!(t.get(u), &DataSource::UserInput);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn union_semantics() {
+        let (_, u, f, b) = table();
+        let a = TagSet::from_ids([u, f]);
+        let c = TagSet::from_ids([f, b]);
+        let ab = a.union(&c);
+        assert_eq!(ab.len(), 3);
+        assert!(ab.contains(u) && ab.contains(f) && ab.contains(b));
+        // Idempotence and identity.
+        assert_eq!(a.union(&a), a);
+        assert_eq!(a.union(&TagSet::empty()), a);
+        assert_eq!(TagSet::empty().union(&a), a);
+        // Commutativity.
+        assert_eq!(a.union(&c), c.union(&a));
+    }
+
+    #[test]
+    fn superset_reuses_allocation() {
+        let (_, u, f, _) = table();
+        let big = TagSet::from_ids([u, f]);
+        let small = TagSet::single(u);
+        let out = big.union(&small);
+        assert_eq!(out, big);
+    }
+
+    #[test]
+    fn with_adds_one() {
+        let (_, u, f, _) = table();
+        let s = TagSet::single(u).with(f).with(f);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let (_, u, f, b) = table();
+        let s = TagSet::from_ids([b, u, f, u, b]);
+        let ids: Vec<_> = s.iter().collect();
+        assert_eq!(ids, vec![u, f, b]);
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(DataSource::UserInput.to_string(), "USER_INPUT");
+        assert_eq!(DataSource::file("/a").to_string(), "FILE(\"/a\")");
+        assert_eq!(DataSource::Hardware.to_string(), "HARDWARE");
+    }
+}

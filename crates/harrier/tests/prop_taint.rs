@@ -1,0 +1,125 @@
+//! Property-based tests for taint invariants: tag-set algebra and the
+//! "no invented sources" guarantee of shadow propagation.
+
+use proptest::prelude::*;
+
+use harrier::{DataSource, Shadow, SourceId, SourceTable, TagSet};
+use hth_vm::{Loc, Reg, TaintOp};
+
+fn table_with(n: usize) -> (SourceTable, Vec<SourceId>) {
+    let mut table = SourceTable::new();
+    let ids = (0..n).map(|i| table.intern(DataSource::file(format!("/f{i}")))).collect();
+    (table, ids)
+}
+
+fn subset_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..n, 0..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Union is commutative, associative, idempotent, with ∅ identity.
+    #[test]
+    fn union_is_a_semilattice(
+        a_idx in subset_strategy(6),
+        b_idx in subset_strategy(6),
+        c_idx in subset_strategy(6),
+    ) {
+        let (_, ids) = table_with(6);
+        let pick = |idxs: &[usize]| TagSet::from_ids(idxs.iter().map(|i| ids[*i]));
+        let (a, b, c) = (pick(&a_idx), pick(&b_idx), pick(&c_idx));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.union(&TagSet::empty()), a.clone());
+        // Union contains exactly the members of both sides.
+        let u = a.union(&b);
+        for id in ids {
+            prop_assert_eq!(u.contains(id), a.contains(id) || b.contains(id));
+        }
+    }
+
+    /// Shadow propagation never invents sources: after any sequence of
+    /// register-to-register moves and combines, every tag on every
+    /// register is one of the initially planted tags (or the BINARY /
+    /// HARDWARE ids the ops explicitly introduce).
+    #[test]
+    fn propagation_never_invents_sources(
+        plant in prop::collection::vec((0usize..8, 0usize..4), 1..4),
+        ops in prop::collection::vec((0usize..8, 0usize..8, any::<bool>(), any::<bool>()), 0..24),
+    ) {
+        let mut table = SourceTable::new();
+        let planted: Vec<SourceId> =
+            (0..4).map(|i| table.intern(DataSource::file(format!("/p{i}")))).collect();
+        let binary = table.intern(DataSource::binary("/bin/app"));
+        let hardware = table.intern(DataSource::Hardware);
+        let mut shadow = Shadow::new();
+        for (reg_idx, src_idx) in &plant {
+            shadow.set_reg(Reg::ALL[*reg_idx], TagSet::single(planted[*src_idx]));
+        }
+        let mut binary_used = false;
+        let mut hardware_used = false;
+        for (dst, src, imm, hw) in &ops {
+            binary_used |= imm;
+            hardware_used |= hw;
+            shadow.apply(
+                &TaintOp {
+                    dst: Loc::Reg(Reg::ALL[*dst]),
+                    srcs: [Some(Loc::Reg(Reg::ALL[*src])), Some(Loc::Reg(Reg::ALL[*dst]))],
+                    imm: *imm,
+                    hardware: *hw,
+                },
+                binary,
+                hardware,
+            );
+        }
+        let mut legal: Vec<SourceId> = planted.clone();
+        if binary_used {
+            legal.push(binary);
+        }
+        if hardware_used {
+            legal.push(hardware);
+        }
+        for reg in Reg::ALL {
+            for id in shadow.reg(reg).clone().iter() {
+                prop_assert!(legal.contains(&id), "invented source {:?}", table.get(id));
+            }
+        }
+    }
+
+    /// Memory range tagging: the union over a range equals the union of
+    /// its per-byte tags, for arbitrary overlapping writes.
+    #[test]
+    fn range_union_agrees_with_bytes(
+        writes in prop::collection::vec((0u32..64, 1u32..16, 0usize..4), 0..12),
+    ) {
+        let (_, ids) = table_with(4);
+        let mut shadow = Shadow::new();
+        for (offset, len, src) in &writes {
+            shadow.set_range(0x1000 + offset, *len, &TagSet::single(ids[*src]));
+        }
+        let whole = shadow.range(0x1000, 96);
+        let mut manual = TagSet::empty();
+        for i in 0..96 {
+            manual = manual.union(&shadow.byte(0x1000 + i));
+        }
+        prop_assert_eq!(whole, manual);
+    }
+
+    /// Clearing a destination with no sources erases taint regardless of
+    /// prior state (the xor-zeroing idiom).
+    #[test]
+    fn clear_always_clears(reg_idx in 0usize..8, pre in subset_strategy(4)) {
+        let (_, ids) = table_with(4);
+        let mut shadow = Shadow::new();
+        let reg = Reg::ALL[reg_idx];
+        shadow.set_reg(reg, TagSet::from_ids(pre.iter().map(|i| ids[*i])));
+        shadow.apply(
+            &TaintOp { dst: Loc::Reg(reg), srcs: [None, None], imm: false, hardware: false },
+            ids[0],
+            ids[1],
+        );
+        prop_assert!(shadow.reg(reg).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Criterion benches for the secpert-engine substrate: fact assertion,
+//! match-and-fire throughput, and the policy's per-event latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harrier::{Origin, ResourceType, SecpertEvent, SourceInfo};
+use hth_core::{PolicyConfig, Secpert};
+use secpert_engine::{Engine, Value};
+
+fn engine_with_rule() -> Engine {
+    let mut engine = Engine::new();
+    engine
+        .load_str(
+            r#"
+            (deftemplate ev (slot kind) (slot n))
+            (defrule hit
+              ?e <- (ev (kind open) (n ?n&:(> ?n 10)))
+              =>
+              (retract ?e))
+            "#,
+        )
+        .expect("loads");
+    engine
+}
+
+fn bench_assert_retract(c: &mut Criterion) {
+    c.bench_function("engine/assert+match+fire+retract", |b| {
+        let mut engine = engine_with_rule();
+        let mut n = 0i64;
+        b.iter(|| {
+            n += 1;
+            let fact = engine
+                .fact("ev")
+                .unwrap()
+                .slot("kind", Value::sym("open"))
+                .slot("n", 100 + n)
+                .build()
+                .unwrap();
+            engine.assert_fact(fact).unwrap();
+            engine.run(None).unwrap()
+        });
+    });
+}
+
+fn bench_non_matching_assert(c: &mut Criterion) {
+    c.bench_function("engine/assert-non-matching", |b| {
+        let mut engine = engine_with_rule();
+        let mut n = 0i64;
+        b.iter(|| {
+            n += 1;
+            let fact = engine
+                .fact("ev")
+                .unwrap()
+                .slot("kind", Value::sym("close"))
+                .slot("n", n)
+                .build()
+                .unwrap();
+            let id = engine.assert_fact(fact).unwrap().unwrap();
+            engine.retract_fact(id).unwrap();
+        });
+    });
+}
+
+fn bench_policy_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secpert-policy");
+    group.bench_function("execve-event (warns)", |b| {
+        b.iter_batched(
+            || Secpert::new(&PolicyConfig::default()).expect("loads"),
+            |mut secpert| {
+                let event = SecpertEvent::ResourceAccess {
+                    pid: 1,
+                    syscall: "SYS_execve",
+                    resource: SourceInfo::new(ResourceType::File, "/bin/ls"),
+                    origin: Origin {
+                        sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/app")],
+                    },
+                    time: 5,
+                    frequency: 3,
+                    address: 0x8048000,
+                    proc_count: None,
+                    proc_rate: None,
+                    mem_total: None,
+                    server: None,
+                };
+                secpert.process_event(&event).unwrap().len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("write-event (silent)", |b| {
+        let mut secpert = Secpert::new(&PolicyConfig::default()).expect("loads");
+        b.iter(|| {
+            let event = SecpertEvent::DataTransfer {
+                pid: 1,
+                syscall: "SYS_write",
+                data_sources: vec![SourceInfo::new(ResourceType::File, "/etc/motd")],
+                data_origin: Origin {
+                    sources: vec![SourceInfo::new(ResourceType::UserInput, "USER_INPUT")],
+                },
+                target: SourceInfo::new(ResourceType::Console, "STDOUT"),
+                target_origin: Origin::unknown(),
+                time: 5,
+                frequency: 3,
+                address: 0,
+                executable_content: false,
+                server: None,
+            };
+            secpert.process_event(&event).unwrap().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assert_retract,
+    bench_non_matching_assert,
+    bench_policy_event,
+    bench_rule_scaling
+);
+criterion_main!(benches);
+
+/// Incremental-matching ablation: per-event latency should be largely
+/// independent of the number of *unrelated* rules loaded, because
+/// asserts only seed-join into rules whose templates match.
+fn bench_rule_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule-scaling");
+    for extra_rules in [0usize, 32, 128] {
+        let mut engine = engine_with_rule();
+        for i in 0..extra_rules {
+            engine
+                .load_str(&format!(
+                    "(deftemplate other{i} (slot x)) \
+                     (defrule r{i} (other{i} (x ?v&:(> ?v 0))) => (printout t ?v))"
+                ))
+                .expect("inert rule loads");
+        }
+        group.bench_function(format!("assert+fire with {extra_rules} unrelated rules"), |b| {
+            let mut n = 0i64;
+            b.iter(|| {
+                n += 1;
+                let fact = engine
+                    .fact("ev")
+                    .unwrap()
+                    .slot("kind", secpert_engine::Value::sym("open"))
+                    .slot("n", 100 + n)
+                    .build()
+                    .unwrap();
+                engine.assert_fact(fact).unwrap();
+                engine.run(None).unwrap()
+            });
+        });
+    }
+    group.finish();
+}

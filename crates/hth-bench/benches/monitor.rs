@@ -1,0 +1,89 @@
+//! Criterion benches for the monitoring layers: interpreter step rate
+//! under increasing instrumentation (the §9 ablation as microbenchmarks)
+//! and taint-set union cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emukernel::Kernel;
+use harrier::{DataSource, Harrier, HarrierConfig, SourceTable, TagSet};
+use hth_bench::perf::workload_source;
+use hth_vm::{NullHooks, StepEvent};
+
+fn run_program(kernel: &mut Kernel, with_harrier: Option<HarrierConfig>) -> u64 {
+    let mut proc = kernel.spawn("/bench/compute", &["/bench/compute"], &[]).expect("spawns");
+    let mut harrier = with_harrier.map(Harrier::new);
+    if let Some(h) = harrier.as_mut() {
+        h.attach(&proc);
+    }
+    loop {
+        let step = match harrier.as_mut() {
+            Some(h) => {
+                let mut hooks = h.hooks(proc.pid);
+                proc.core.step(&mut hooks)
+            }
+            None => proc.core.step(&mut NullHooks),
+        };
+        match step.expect("no faults") {
+            StepEvent::Continue => {}
+            StepEvent::Halted => break,
+            StepEvent::Interrupt(0x80) => {
+                let record = kernel.syscall(&mut proc);
+                if let Some(h) = harrier.as_mut() {
+                    let _ = h.on_syscall(&proc, &record, kernel);
+                }
+                if !proc.runnable() {
+                    break;
+                }
+            }
+            StepEvent::Interrupt(_) => break,
+        }
+    }
+    proc.core.instret()
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(20);
+    let mut kernel = Kernel::new();
+    kernel.register_binary("/bench/compute", &workload_source(50), &[]);
+    group.bench_function("bare", |b| b.iter(|| run_program(&mut kernel, None)));
+    group.bench_function("harrier-syscalls-only", |b| {
+        b.iter(|| {
+            run_program(
+                &mut kernel,
+                Some(HarrierConfig {
+                    track_dataflow: false,
+                    track_bb_freq: false,
+                    ..HarrierConfig::default()
+                }),
+            )
+        })
+    });
+    group.bench_function("harrier-full-dataflow", |b| {
+        b.iter(|| run_program(&mut kernel, Some(HarrierConfig::default())))
+    });
+    group.finish();
+}
+
+fn bench_tagset(c: &mut Criterion) {
+    let mut table = SourceTable::new();
+    let ids: Vec<_> = (0..16)
+        .map(|i| table.intern(DataSource::file(format!("/file/{i}"))))
+        .collect();
+    let a = TagSet::from_ids(ids[0..8].iter().copied());
+    let b_set = TagSet::from_ids(ids[4..12].iter().copied());
+    let mut group = c.benchmark_group("tagset");
+    group.bench_function("union-overlapping-8x8", |bench| {
+        bench.iter(|| a.union(&b_set));
+    });
+    group.bench_function("union-identical", |bench| {
+        bench.iter(|| a.union(&a));
+    });
+    group.bench_function("union-with-empty", |bench| {
+        let empty = TagSet::empty();
+        bench.iter(|| a.union(&empty));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_tagset);
+criterion_main!(benches);

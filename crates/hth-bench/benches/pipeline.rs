@@ -1,0 +1,39 @@
+//! Criterion benches for the full HTH pipeline: complete monitored runs
+//! of representative scenarios (one benign, one Trojan, one multi-process
+//! backdoor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hth_workloads::{exploits, micro, trusted};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("trusted/ls (benign)", |b| {
+        b.iter(|| {
+            let scenario = &trusted::scenarios()[0];
+            scenario.run().expect("runs").warnings.len()
+        })
+    });
+    group.bench_function("micro/execve_hardcode (Low)", |b| {
+        b.iter(|| {
+            let scenario = &micro::exec_flow::scenarios()[1];
+            scenario.run().expect("runs").warnings.len()
+        })
+    });
+    group.bench_function("exploit/grabem (High)", |b| {
+        b.iter(|| {
+            let scenario = &exploits::scenarios()[3];
+            scenario.run().expect("runs").warnings.len()
+        })
+    });
+    group.bench_function("exploit/pma (multi-process backdoor)", |b| {
+        b.iter(|| {
+            let scenario = &exploits::scenarios()[5];
+            scenario.run().expect("runs").warnings.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Runs every experiment in paper order (Tables 1-8, macro benchmarks,
+//! appendices, and a small perf ablation).
+use hth_bench::{perf, results, tables};
+
+fn main() {
+    // `all_results --json <path>` writes machine-readable results
+    // instead of text tables.
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--json") {
+        let out = results::collect(500);
+        let json = serde_json::to_string_pretty(&out).expect("serializable");
+        match args.get(2) {
+            Some(path) => {
+                std::fs::write(path, &json).expect("writable path");
+                eprintln!("wrote {} scenario results to {path}", out.total);
+            }
+            None => println!("{json}"),
+        }
+        return;
+    }
+    println!("{}", tables::table1());
+    println!(
+        "{}",
+        tables::run_group(
+            "Table 1 models: behavioural reproductions of the cataloged malware",
+            hth_workloads::table1_models::scenarios(),
+        )
+    );
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+    println!("{}", tables::table4());
+    println!("{}", tables::table5());
+    println!("{}", tables::table6());
+    println!("{}", tables::table7());
+    println!("{}", tables::table8());
+    println!("{}", tables::macro_results());
+    println!(
+        "{}",
+        tables::run_group(
+            "Section 10: future-work extensions implemented by this reproduction",
+            hth_workloads::extensions::scenarios(),
+        )
+    );
+    println!("{}", tables::appendix_a());
+    println!("{}", tables::secure_binary());
+    println!("{}", perf::perf_table(500));
+}

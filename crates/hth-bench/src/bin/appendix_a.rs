@@ -1,0 +1,4 @@
+//! Regenerates the Appendix A CLIPS transcript.
+fn main() {
+    println!("{}", hth_bench::tables::appendix_a());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §10 extension results (features beyond the paper's
+//! prototype, proposed in its future-work list).
+fn main() {
+    println!(
+        "{}",
+        hth_bench::tables::run_group(
+            "Section 10: future-work extensions implemented by this reproduction",
+            hth_workloads::extensions::scenarios(),
+        )
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §8.4 macro-benchmark results.
+fn main() {
+    println!("{}", hth_bench::tables::macro_results());
+}

@@ -1,0 +1,4 @@
+//! Runs the Appendix B Secure Binary audit demonstration.
+fn main() {
+    println!("{}", hth_bench::tables::secure_binary());
+}

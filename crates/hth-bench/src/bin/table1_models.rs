@@ -1,0 +1,10 @@
+//! Runs the behavioural models of the Table 1 real-world malware.
+fn main() {
+    println!(
+        "{}",
+        hth_bench::tables::run_group(
+            "Table 1 models: behavioural reproductions of the cataloged malware",
+            hth_workloads::table1_models::scenarios(),
+        )
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 of the paper.
+fn main() {
+    println!("{}", hth_bench::tables::table2());
+}

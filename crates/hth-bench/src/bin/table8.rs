@@ -1,0 +1,4 @@
+//! Regenerates Table 8 of the paper.
+fn main() {
+    println!("{}", hth_bench::tables::table8());
+}

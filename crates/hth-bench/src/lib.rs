@@ -1,0 +1,15 @@
+//! # hth-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the HTH paper's evaluation.
+//! Each table has a binary (`cargo run -p hth-bench --bin tableN`); the
+//! `all_results` binary runs everything in order; `perf_eval` runs the
+//! §9 overhead ablation. Criterion micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod report;
+pub mod results;
+pub mod tables;
+
+pub use report::Table;

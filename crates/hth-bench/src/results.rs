@@ -1,0 +1,114 @@
+//! Machine-readable experiment results (serde), so downstream tooling
+//! can diff reproduction runs without scraping text tables.
+
+use serde::Serialize;
+
+use hth_workloads::Scenario;
+
+use crate::perf::{self, PerfRow};
+
+/// One scenario's outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioOutcome {
+    /// Scenario id (paper row).
+    pub id: String,
+    /// Paper table/section.
+    pub table: String,
+    /// Expected classification (debug rendering).
+    pub expected: String,
+    /// Observed maximum severity (`null` = silent).
+    pub observed: Option<String>,
+    /// Rules that fired.
+    pub rules: Vec<String>,
+    /// Warning count.
+    pub warnings: usize,
+    /// Harrier events processed.
+    pub events: usize,
+    /// Did the outcome match the expectation?
+    pub correct: bool,
+}
+
+/// One §9 ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfOutcome {
+    /// Configuration name.
+    pub config: String,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Slowdown vs. the bare interpreter.
+    pub slowdown: f64,
+}
+
+impl From<PerfRow> for PerfOutcome {
+    fn from(row: PerfRow) -> PerfOutcome {
+        PerfOutcome {
+            config: row.config.to_string(),
+            instructions: row.instructions,
+            seconds: row.seconds,
+            slowdown: row.slowdown,
+        }
+    }
+}
+
+/// The complete result set of one reproduction run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResults {
+    /// Per-scenario classification outcomes (Tables 4–8, §8.4, §10).
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// §9 ablation.
+    pub perf: Vec<PerfOutcome>,
+    /// Count of correctly classified scenarios.
+    pub correct: usize,
+    /// Total scenarios.
+    pub total: usize,
+}
+
+/// Runs every scenario plus a small perf ablation and collects the
+/// outcomes.
+pub fn collect(perf_outer: u32) -> RunResults {
+    let mut scenarios = Vec::new();
+    for scenario in hth_workloads::all_scenarios() {
+        scenarios.push(run_one(&scenario));
+    }
+    let correct = scenarios.iter().filter(|s| s.correct).count();
+    let total = scenarios.len();
+    RunResults {
+        scenarios,
+        perf: perf::ablation(perf_outer).into_iter().map(PerfOutcome::from).collect(),
+        correct,
+        total,
+    }
+}
+
+fn run_one(scenario: &Scenario) -> ScenarioOutcome {
+    let result = scenario.run().expect("scenario runs");
+    ScenarioOutcome {
+        id: scenario.id.to_string(),
+        table: scenario.group.table().to_string(),
+        expected: format!("{:?}", scenario.expected),
+        observed: result.max_severity().map(|s| s.label().to_string()),
+        rules: result.rules_fired().iter().map(|r| r.to_string()).collect(),
+        warnings: result.warnings.len(),
+        events: result.events,
+        correct: result.correct(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_is_serializable_and_all_correct() {
+        let results = collect(20);
+        assert_eq!(results.correct, results.total);
+        assert!(results.total >= 50);
+        let json = serde_json::to_string_pretty(&results).unwrap();
+        assert!(json.contains("\"id\": \"pma\""));
+        assert!(json.contains("\"perf\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["total"], results.total);
+    }
+}

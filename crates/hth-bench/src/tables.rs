@@ -1,0 +1,240 @@
+//! Regeneration of every table in the paper's evaluation (§8).
+
+use hth_core::{Secpert, PolicyConfig};
+use hth_workloads::{exploits, macro_bench, micro, trusted, Scenario};
+
+use crate::report::Table;
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "X"
+    } else {
+        ""
+    }
+}
+
+/// Table 1: execution patterns exhibited by real-world malicious code.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1: Execution patterns exhibited by malicious code",
+        &["Exploit Name", "No user intervention", "Remotely directed", "Hard-coded resources", "Degrading performance"],
+    );
+    for row in exploits::catalog() {
+        t.row(&[
+            row.name,
+            check(row.no_user_intervention),
+            check(row.remotely_directed),
+            check(row.hardcoded_resources),
+            check(row.degrading_performance),
+        ]);
+    }
+    t
+}
+
+/// Table 2: legal (data source × resource-ID origin) combinations.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2: Data source combinations",
+        &["Data Source", "Resource ID", "Resource ID (Origin) Data Sources"],
+    );
+    t.row(&["USER_INPUT", "-", "-"]);
+    t.row(&["FILE", "File name", "USER_INPUT | FILE | SOCKET | BINARY"]);
+    t.row(&["SOCKET", "Socket name (address)", "USER_INPUT | FILE | SOCKET | BINARY"]);
+    t.row(&["BINARY", "-", "-"]);
+    t.row(&["HARDWARE", "-", "-"]);
+    t.row(&["(incomplete tracking)", "-", "UNKNOWN"]);
+    t
+}
+
+/// Table 3: instrumentation granularity per policy input.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table 3: Information gathered at each instrumentation granularity",
+        &["Policy input", "Granularity", "Information gathered"],
+    );
+    t.row(&["Information flow", "Instruction", "Data flow (reg/mem, mem/mem, reg/reg)"]);
+    t.row(&["Information flow", "Instruction", "Hardware information (CPUID)"]);
+    t.row(&["Code frequency", "Basic block", "BB execution counts (app image only)"]);
+    t.row(&["Execution flow", "Instruction", "System calls (execve)"]);
+    t.row(&["Resource abuse", "Instruction", "System calls (clone/fork)"]);
+    t.row(&["Information flow", "Instruction", "System calls (IO read/write)"]);
+    t.row(&["Information flow", "Image", "Binary load (data tagged BINARY)"]);
+    t.row(&["Information flow", "Instruction", "Initial stack tagged USER_INPUT"]);
+    t.row(&["Information flow", "Routine", "Short-circuit data flow (gethostbyname)"]);
+    t
+}
+
+/// Runs a scenario group and renders the classification table.
+pub fn run_group(title: &str, scenarios: Vec<Scenario>) -> Table {
+    let mut t = Table::new(
+        title,
+        &["Benchmark", "Expected", "Observed", "Rules fired", "Correct"],
+    );
+    for scenario in scenarios {
+        let result = scenario.run().expect("scenario must run");
+        let expected = format!("{:?}", scenario.expected);
+        let observed = match result.max_severity() {
+            Some(sev) => format!("Warn [{sev}]"),
+            None => "silent".to_string(),
+        };
+        let rules = result.rules_fired().join(",");
+        let correct = if result.correct() { "yes" } else { "NO" };
+        t.row(&[scenario.id, &expected, &observed, &rules, correct]);
+    }
+    t
+}
+
+/// Table 4: execution-flow micro-benchmarks.
+pub fn table4() -> Table {
+    run_group("Table 4: HTH Micro benchmarks - Execution Flow", micro::exec_flow::scenarios())
+}
+
+/// Table 5: resource-abuse micro-benchmarks.
+pub fn table5() -> Table {
+    run_group("Table 5: HTH Micro benchmarks - Resource Abuse", micro::resource::scenarios())
+}
+
+/// Table 6: information-flow micro-benchmarks.
+pub fn table6() -> Table {
+    run_group("Table 6: HTH Micro benchmarks - Information Flow", micro::info_flow::scenarios())
+}
+
+/// Table 7: trusted programs (false positives).
+pub fn table7() -> Table {
+    run_group(
+        "Table 7: HTH success in not warning on well behaved programs",
+        trusted::scenarios(),
+    )
+}
+
+/// Table 8: real exploits.
+pub fn table8() -> Table {
+    run_group("Table 8: HTH success detecting real exploits", exploits::scenarios())
+}
+
+/// §8.4 macro benchmarks.
+pub fn macro_results() -> Table {
+    run_group("Section 8.4: Macro benchmarks", macro_bench::scenarios())
+}
+
+/// Appendix A: the CLIPS fact / rule / firing transcript for the
+/// hardcoded-execve example.
+pub fn appendix_a() -> String {
+    use harrier::{Origin, ResourceType, SecpertEvent, SourceInfo};
+    let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let event = SecpertEvent::ResourceAccess {
+        pid: 1,
+        syscall: "SYS_execve",
+        resource: SourceInfo::new(ResourceType::File, "/bin/ls"),
+        origin: Origin {
+            sources: vec![SourceInfo::new(
+                ResourceType::Binary,
+                "/proj/arch4/mmoffie/PIN/MicroBenchmarks/execve/execve.exe",
+            )],
+        },
+        time: 33,
+        frequency: 1,
+        address: 0x8048403,
+        proc_count: None,
+        proc_rate: None,
+        mem_total: None,
+        server: None,
+    };
+    let warnings = secpert.process_event(&event).expect("policy evaluates");
+    let mut out = String::new();
+    out.push_str("Appendix A: CLIPS fact assertion and rule firing\n");
+    out.push_str("------------------------------------------------\n\n");
+    out.push_str("Asserted fact (paper A.1):\n");
+    out.push_str(
+        "  (system_call_access (system_call_name SYS_execve)\n\
+         \x20                     (resource_name \"/bin/ls\") (resource_type FILE)\n\
+         \x20                     (resource_origin_name \"…/execve/execve.exe\")\n\
+         \x20                     (resource_origin_type BINARY)\n\
+         \x20                     (time 33) (frequency 1) (address \"8048403\"))\n\n",
+    );
+    out.push_str("Firing trace (paper A.3):\n");
+    for record in secpert.engine_mut().firings() {
+        out.push_str(&format!("  {record}\n"));
+    }
+    out.push_str("\nWarnings:\n");
+    for warning in warnings {
+        out.push_str(&format!("  {warning}\n"));
+    }
+    out.push_str("\nTranscript:\n");
+    for line in secpert.take_transcript().lines() {
+        out.push_str(&format!("  {line}\n"));
+    }
+    out
+}
+
+/// Appendix B: the Secure Binary audit, on a trojaned and a clean image.
+pub fn secure_binary() -> String {
+    use harrier::audit;
+    use hth_vm::asm::assemble;
+    let trojan = assemble(
+        "/exploits/dropper",
+        r#"
+        _start: hlt
+        .data
+        a: .asciz "/bin/sh"
+        b: .asciz "lol.ifud.cc"
+        c: .asciz "63.246.131.30"
+        d: .asciz "./Window"
+        m: .asciz "loading, please wait"
+        "#,
+        0x0804_8000,
+    )
+    .expect("assembles");
+    let clean = assemble(
+        "/bin/cleantool",
+        "_start: hlt\n.data\nmsg: .asciz \"usage: cleantool FILE\"\n",
+        0x0804_8000,
+    )
+    .expect("assembles");
+    let mut out = String::new();
+    out.push_str("Appendix B: Secure Binary audit\n");
+    out.push_str("-------------------------------\n");
+    for image in [trojan, clean] {
+        let report = audit::audit(&image);
+        out.push_str(&format!(
+            "\n{} — {}\n",
+            report.image,
+            if report.is_secure() { "SECURE (no hardcoded resource names)" } else { "NOT secure" },
+        ));
+        for finding in &report.findings {
+            out.push_str(&format!(
+                "  {:#010x}  {:<22}  {}\n",
+                finding.addr, finding.text, finding.reason
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_have_paper_shapes() {
+        assert_eq!(table1().len(), 9);
+        assert_eq!(table2().len(), 6);
+        assert_eq!(table3().len(), 9);
+    }
+
+    #[test]
+    fn appendix_a_contains_firing_and_warning() {
+        let out = appendix_a();
+        assert!(out.contains("check_execve"), "{out}");
+        assert!(out.contains("Warning [LOW]"), "{out}");
+        assert!(out.contains("/bin/ls"));
+    }
+
+    #[test]
+    fn secure_binary_flags_only_the_trojan() {
+        let out = secure_binary();
+        assert!(out.contains("/exploits/dropper — NOT secure"));
+        assert!(out.contains("/bin/cleantool — SECURE"));
+        assert!(out.contains("63.246.131.30"));
+    }
+}

@@ -1,0 +1,412 @@
+//! # hth-cli — command-line front end for the HTH framework
+//!
+//! ```text
+//! hth run <prog.s> [--arg V]… [--stdin TEXT]… [--file PATH=TEXT]…
+//!                  [--host NAME=a.b.c.d]… [--peer IP:PORT[=REPLY]]…
+//!                  [--client PORT[=SEND]]… [--lib NAME=FILE.s]…
+//!                  [--trust NAME]… [--no-dataflow] [--no-bb] [--hybrid]
+//!                  [--events] [--summary]
+//! hth audit <prog.s>      # Appendix B Secure Binary audit
+//! hth listing <prog.s>    # assemble and print the address listing
+//! ```
+//!
+//! The argument parser and command execution live here so they are unit
+//! testable; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use emukernel::{Endpoint, FileNode, Peer, RemoteClient};
+use harrier::audit;
+use hth_core::{Session, SessionConfig};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Monitor a program.
+    Run(Box<RunOptions>),
+    /// Static Secure Binary audit.
+    Audit {
+        /// Path to the assembly source.
+        source: String,
+    },
+    /// Print the assembled listing.
+    Listing {
+        /// Path to the assembly source.
+        source: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Options for `hth run`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunOptions {
+    /// Path to the assembly source of the program to monitor.
+    pub source: String,
+    /// Extra argv entries (argv\[0\] is the program path).
+    pub args: Vec<String>,
+    /// Environment entries.
+    pub env: Vec<(String, String)>,
+    /// Console input chunks.
+    pub stdin: Vec<String>,
+    /// VFS files to install, `path=content`.
+    pub files: Vec<(String, String)>,
+    /// DNS entries, `name=a.b.c.d`.
+    pub hosts: Vec<(String, u32)>,
+    /// Scripted peers `(endpoint, optional reply)`.
+    pub peers: Vec<(Endpoint, Option<String>)>,
+    /// Scripted inbound clients `(port, optional send)`.
+    pub clients: Vec<(u16, Option<String>)>,
+    /// Shared objects to register, `name=path`.
+    pub libs: Vec<(String, String)>,
+    /// Extra trusted binaries.
+    pub trust: Vec<String>,
+    /// Disable dataflow tracking.
+    pub no_dataflow: bool,
+    /// Disable BB frequency tracking.
+    pub no_bb: bool,
+    /// Enable the hybrid static pre-pass.
+    pub hybrid: bool,
+    /// Print Harrier events.
+    pub show_events: bool,
+    /// Print the session summary.
+    pub show_summary: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hth — Hunting Trojan Horses
+
+USAGE:
+  hth run <prog.s> [options]   monitor a program, print warnings
+  hth audit <prog.s>           Secure Binary audit (Appendix B)
+  hth listing <prog.s>         assemble and print the listing
+  hth help                     this text
+
+RUN OPTIONS:
+  --arg V            append an argv entry (repeatable)
+  --env K=V          set an environment variable
+  --stdin TEXT       queue one chunk of console input
+  --file PATH=TEXT   install a file in the VFS
+  --host NAME=IP     add a DNS entry (dotted quad)
+  --peer IP:PORT[=REPLY]   script a remote server
+  --client PORT[=SEND]     script an inbound client
+  --lib NAME=FILE.s  register a shared object from a source file
+  --trust NAME       add a trusted binary (substring match)
+  --no-dataflow      disable taint tracking (fast, loses origins)
+  --no-bb            disable basic-block frequency
+  --hybrid           static pre-pass: skip dataflow for Secure Binaries
+  --events           print every Harrier event
+  --summary          print the session summary
+";
+
+fn parse_ip(text: &str) -> Result<u32, String> {
+    let parts: Vec<&str> = text.split('.').collect();
+    if parts.len() != 4 {
+        return Err(format!("bad IP `{text}` (want a.b.c.d)"));
+    }
+    let mut ip = 0u32;
+    for part in parts {
+        let octet: u8 = part.parse().map_err(|_| format!("bad IP octet `{part}`"))?;
+        ip = (ip << 8) | u32::from(octet);
+    }
+    Ok(ip)
+}
+
+fn parse_kv(text: &str, what: &str) -> Result<(String, String), String> {
+    text.split_once('=')
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .ok_or_else(|| format!("bad {what} `{text}` (want K=V)"))
+}
+
+fn parse_endpoint(text: &str) -> Result<Endpoint, String> {
+    let (ip, port) = text
+        .split_once(':')
+        .ok_or_else(|| format!("bad endpoint `{text}` (want IP:PORT)"))?;
+    Ok(Endpoint { ip: parse_ip(ip)?, port: port.parse().map_err(|_| format!("bad port `{port}`"))? })
+}
+
+/// Parses a command line (without the leading program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values
+/// or malformed option payloads.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let source = it.next().ok_or_else(|| format!("`{command}` needs a source file"))?.clone();
+    match command {
+        "audit" => return Ok(Command::Audit { source }),
+        "listing" => return Ok(Command::Listing { source }),
+        "run" => {}
+        other => return Err(format!("unknown command `{other}` (try `hth help`)")),
+    }
+    let mut opts = RunOptions { source, ..RunOptions::default() };
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--arg" => opts.args.push(value("--arg")?),
+            "--env" => opts.env.push(parse_kv(&value("--env")?, "--env")?),
+            "--stdin" => opts.stdin.push(value("--stdin")?),
+            "--file" => opts.files.push(parse_kv(&value("--file")?, "--file")?),
+            "--host" => {
+                let (name, ip) = parse_kv(&value("--host")?, "--host")?;
+                opts.hosts.push((name, parse_ip(&ip)?));
+            }
+            "--peer" => {
+                let text = value("--peer")?;
+                let (ep, reply) = match text.split_once('=') {
+                    Some((ep, reply)) => (ep.to_string(), Some(reply.to_string())),
+                    None => (text, None),
+                };
+                opts.peers.push((parse_endpoint(&ep)?, reply));
+            }
+            "--client" => {
+                let text = value("--client")?;
+                let (port, send) = match text.split_once('=') {
+                    Some((port, send)) => (port.to_string(), Some(send.to_string())),
+                    None => (text, None),
+                };
+                opts.clients.push((
+                    port.parse().map_err(|_| format!("bad port `{port}`"))?,
+                    send,
+                ));
+            }
+            "--lib" => opts.libs.push(parse_kv(&value("--lib")?, "--lib")?),
+            "--trust" => opts.trust.push(value("--trust")?),
+            "--no-dataflow" => opts.no_dataflow = true,
+            "--no-bb" => opts.no_bb = true,
+            "--hybrid" => opts.hybrid = true,
+            "--events" => opts.show_events = true,
+            "--summary" => opts.show_summary = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Command::Run(Box::new(opts)))
+}
+
+/// Executes a parsed command; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a message for unreadable files, assembly errors and session
+/// failures.
+pub fn execute(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Audit { source } => {
+            let text = std::fs::read_to_string(&source)
+                .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+            let image = hth_vm::asm::assemble(&source, &text, emukernel::APP_BASE)
+                .map_err(|e| e.to_string())?;
+            let report = audit::audit(&image);
+            let mut out = String::new();
+            if report.is_secure() {
+                let _ = writeln!(out, "{source}: SECURE (no hardcoded resource names)");
+            } else {
+                let _ = writeln!(out, "{source}: NOT secure");
+                for finding in &report.findings {
+                    let _ = writeln!(
+                        out,
+                        "  {:#010x}  {:<24}  {}",
+                        finding.addr, finding.text, finding.reason
+                    );
+                }
+            }
+            Ok(out)
+        }
+        Command::Listing { source } => {
+            let text = std::fs::read_to_string(&source)
+                .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+            let image = hth_vm::asm::assemble(&source, &text, emukernel::APP_BASE)
+                .map_err(|e| e.to_string())?;
+            Ok(hth_vm::disasm::listing(image.text_base(), image.text()))
+        }
+        Command::Run(opts) => run(*opts),
+    }
+}
+
+/// Builds the session from options, runs it, renders the report.
+fn run(opts: RunOptions) -> Result<String, String> {
+    let program = std::fs::read_to_string(&opts.source)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.source))?;
+    let mut config = SessionConfig::default();
+    config.harrier.track_dataflow = !opts.no_dataflow;
+    config.harrier.track_bb_freq = !opts.no_bb;
+    config.hybrid_static_analysis = opts.hybrid;
+    config.policy.trusted_binaries.extend(opts.trust.iter().cloned());
+    let mut session = Session::new(config).map_err(|e| e.to_string())?;
+
+    for chunk in &opts.stdin {
+        session.kernel.push_stdin(chunk.as_bytes().to_vec());
+    }
+    for (path, content) in &opts.files {
+        session.kernel.vfs.install(path.clone(), FileNode::regular(content.as_bytes().to_vec()));
+    }
+    for (name, ip) in &opts.hosts {
+        session.kernel.net.add_host(name, *ip);
+    }
+    for (endpoint, reply) in &opts.peers {
+        let peer = match reply {
+            Some(text) => {
+                Peer { on_connect: vec![text.as_bytes().to_vec()], ..Peer::default() }
+            }
+            None => Peer::default(),
+        };
+        session.kernel.net.add_peer(*endpoint, peer);
+    }
+    for (port, send) in &opts.clients {
+        let sends = send.iter().map(|s| s.as_bytes().to_vec()).collect();
+        session.kernel.net.queue_client(
+            *port,
+            RemoteClient {
+                from: Endpoint { ip: 0xc0a8_0101, port: 40000 },
+                sends,
+                received: Vec::new(),
+            },
+        );
+    }
+    let mut lib_names = Vec::new();
+    for (name, path) in &opts.libs {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read library `{path}`: {e}"))?;
+        session.kernel.register_lib(name, &text);
+        lib_names.push(name.clone());
+    }
+    let libs: Vec<&str> = lib_names.iter().map(String::as_str).collect();
+    session.kernel.register_binary(&opts.source, &program, &libs);
+
+    let mut argv: Vec<&str> = vec![&opts.source];
+    argv.extend(opts.args.iter().map(String::as_str));
+    let env: Vec<(&str, &str)> =
+        opts.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(&opts.source, &argv, &env).map_err(|e| e.to_string())?;
+    let report = session.run().map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    if opts.show_events {
+        let _ = writeln!(out, "--- events ---");
+        for event in session.events() {
+            let _ = writeln!(out, "{event:?}");
+        }
+    }
+    let transcript = session.take_transcript();
+    if transcript.is_empty() {
+        let _ = writeln!(out, "clean: no warnings");
+    } else {
+        let _ = write!(out, "{transcript}");
+    }
+    if opts.show_summary {
+        let _ = writeln!(out, "--- summary ---");
+        let _ = write!(out, "{}", session.summary());
+    }
+    if report.truncated {
+        let _ = writeln!(out, "(run truncated at the instruction budget)");
+    }
+    for (pid, fault) in &report.faults {
+        let _ = writeln!(out, "(pid {pid} crashed: {fault})");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_and_errors() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&strs(&["help"])).unwrap(), Command::Help);
+        assert!(parse(&strs(&["bogus", "x.s"])).is_err());
+        assert!(parse(&strs(&["run"])).is_err());
+        assert!(parse(&strs(&["run", "x.s", "--nope"])).is_err());
+        assert!(parse(&strs(&["run", "x.s", "--arg"])).is_err());
+    }
+
+    #[test]
+    fn parse_run_options() {
+        let cmd = parse(&strs(&[
+            "run", "prog.s", "--arg", "a1", "--env", "K=V", "--stdin", "hello",
+            "--file", "/etc/x=data", "--host", "c2=10.0.0.1", "--peer", "10.0.0.1:80=resp",
+            "--client", "99=cmd", "--trust", "libfoo.so", "--no-dataflow", "--hybrid",
+            "--summary",
+        ]))
+        .unwrap();
+        let Command::Run(opts) = cmd else { panic!() };
+        assert_eq!(opts.args, vec!["a1"]);
+        assert_eq!(opts.env, vec![("K".to_string(), "V".to_string())]);
+        assert_eq!(opts.hosts, vec![("c2".to_string(), 0x0a00_0001)]);
+        assert_eq!(opts.peers[0].0, Endpoint { ip: 0x0a00_0001, port: 80 });
+        assert_eq!(opts.peers[0].1.as_deref(), Some("resp"));
+        assert_eq!(opts.clients, vec![(99, Some("cmd".to_string()))]);
+        assert!(opts.no_dataflow && opts.hybrid && opts.show_summary);
+        assert!(!opts.no_bb);
+    }
+
+    #[test]
+    fn parse_ip_validation() {
+        assert_eq!(parse_ip("1.2.3.4").unwrap(), 0x0102_0304);
+        assert!(parse_ip("1.2.3").is_err());
+        assert!(parse_ip("1.2.3.999").is_err());
+    }
+
+    #[test]
+    fn run_reports_warnings_end_to_end() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("dropper.s");
+        std::fs::write(
+            &src,
+            "_start:\n mov eax, 11\n mov ebx, prog\n int 0x80\n hlt\n.data\nprog: .asciz \"/bin/ls\"\n",
+        )
+        .unwrap();
+        let out = execute(Command::Run(Box::new(RunOptions {
+            source: src.to_string_lossy().into_owned(),
+            show_summary: true,
+            ..RunOptions::default()
+        })))
+        .unwrap();
+        assert!(out.contains("Warning [LOW]"), "{out}");
+        assert!(out.contains("--- summary ---"), "{out}");
+    }
+
+    #[test]
+    fn audit_and_listing_end_to_end() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("trojan.s");
+        std::fs::write(&src, "_start:\n hlt\n.data\np: .asciz \"/bin/sh\"\n").unwrap();
+        let path = src.to_string_lossy().into_owned();
+        let audit_out = execute(Command::Audit { source: path.clone() }).unwrap();
+        assert!(audit_out.contains("NOT secure"), "{audit_out}");
+        assert!(audit_out.contains("/bin/sh"));
+        let listing_out = execute(Command::Listing { source: path }).unwrap();
+        assert!(listing_out.contains("hlt"), "{listing_out}");
+    }
+
+    #[test]
+    fn clean_program_reports_clean() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("clean.s");
+        std::fs::write(&src, "_start:\n mov eax, 1\n mov ebx, 0\n int 0x80\n").unwrap();
+        let out = execute(Command::Run(Box::new(RunOptions {
+            source: src.to_string_lossy().into_owned(),
+            ..RunOptions::default()
+        })))
+        .unwrap();
+        assert!(out.contains("clean: no warnings"), "{out}");
+    }
+}

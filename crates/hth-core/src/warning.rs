@@ -1,0 +1,88 @@
+//! Warnings: the user-facing output of the HTH pipeline.
+
+use std::fmt;
+
+/// Warning severity (paper §4: confidence that the behaviour is
+/// actually malicious).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Low confidence — also seen in trusted programs.
+    Low,
+    /// Medium confidence.
+    Medium,
+    /// High confidence the behaviour is malicious.
+    High,
+}
+
+impl Severity {
+    /// Parses the policy's numeric encoding (1/2/3).
+    pub fn from_level(level: i64) -> Option<Severity> {
+        Some(match level {
+            1 => Severity::Low,
+            2 => Severity::Medium,
+            3 => Severity::High,
+            _ => return None,
+        })
+    }
+
+    /// The paper's rendering: `LOW`, `MEDIUM`, `HIGH`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Low => "LOW",
+            Severity::Medium => "MEDIUM",
+            Severity::High => "HIGH",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One warning issued by Secpert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// Severity level.
+    pub severity: Severity,
+    /// Name of the policy rule that fired.
+    pub rule: String,
+    /// Monitored process.
+    pub pid: u32,
+    /// Virtual time of the triggering event.
+    pub time: u64,
+    /// Human-readable message (paper-style).
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Warning [{}] {}", self.severity, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_levels() {
+        assert_eq!(Severity::from_level(1), Some(Severity::Low));
+        assert_eq!(Severity::from_level(3), Some(Severity::High));
+        assert_eq!(Severity::from_level(9), None);
+        assert!(Severity::High > Severity::Low);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let w = Warning {
+            severity: Severity::High,
+            rule: "flow_to_file_hardcoded".into(),
+            pid: 1,
+            time: 7,
+            message: "Found Write call to .exrc%".into(),
+        };
+        assert_eq!(w.to_string(), "Warning [HIGH] Found Write call to .exrc%");
+    }
+}

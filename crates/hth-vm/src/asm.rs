@@ -1,0 +1,890 @@
+//! Two-pass text assembler for the HTH ISA.
+//!
+//! Intel-flavoured syntax, one instruction or directive per line:
+//!
+//! ```text
+//! .equ SYS_open, 5
+//! .global _start
+//! .extern gethostbyname
+//! .text
+//! _start:
+//!     mov  eax, SYS_open
+//!     mov  ebx, path          ; label value = address
+//!     int  0x80
+//!     call gethostbyname      ; resolved by the loader at link time
+//!     hlt
+//! .data
+//! path: .asciz "/etc/passwd"
+//! buf:  .space 64
+//! argv: .long path, 0
+//! ```
+//!
+//! Labels in `.text` address instructions (4 address units each); labels
+//! in `.data` address bytes. `.equ` defines assembly-time constants.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::image::Image;
+use crate::isa::{AluOp, Cond, Instr, MemRef, Operand, Reg, Target};
+
+/// Assembly error with source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Section being assembled into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A symbol's location before relocation.
+#[derive(Clone, Copy, Debug)]
+enum SymLoc {
+    /// Instruction index in text.
+    Text(usize),
+    /// Byte offset in data.
+    Data(u32),
+}
+
+/// Assembles `source` into an [`Image`] named `name`, with the text
+/// section based at `text_base`. The data section is placed on the next
+/// page boundary after the text.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax problem,
+/// unknown mnemonic, or undefined symbol.
+pub fn assemble(name: &str, source: &str, text_base: u32) -> Result<Image, AsmError> {
+    let mut asm = Assembler::new(name, text_base);
+    asm.pass1(source)?;
+    asm.pass2(source)?;
+    Ok(asm.finish())
+}
+
+struct Assembler {
+    name: String,
+    text_base: u32,
+    data_base: u32,
+    section: Section,
+    text_count: usize,
+    data_size: u32,
+    symbols: HashMap<String, SymLoc>,
+    equs: HashMap<String, u32>,
+    globals: Vec<String>,
+    externs: Vec<String>,
+    text: Vec<Instr>,
+    data: Vec<u8>,
+    extern_fixups: Vec<(usize, Arc<str>)>,
+}
+
+/// Strips comments (`;` or `#`) and surrounding whitespace.
+fn clean(line: &str) -> &str {
+    let mut end = line.len();
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    line[..end].trim()
+}
+
+impl Assembler {
+    fn new(name: &str, text_base: u32) -> Assembler {
+        Assembler {
+            name: name.to_string(),
+            text_base,
+            data_base: 0,
+            section: Section::Text,
+            text_count: 0,
+            data_size: 0,
+            symbols: HashMap::new(),
+            equs: HashMap::new(),
+            globals: Vec::new(),
+            externs: Vec::new(),
+            text: Vec::new(),
+            data: Vec::new(),
+            extern_fixups: Vec::new(),
+        }
+    }
+
+    fn err(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    // ---- pass 1: sizes and symbols -------------------------------------
+
+    fn pass1(&mut self, source: &str) -> Result<(), AsmError> {
+        self.section = Section::Text;
+        for (lineno, raw) in source.lines().enumerate() {
+            let lineno = lineno + 1;
+            let mut line = clean(raw);
+            if line.is_empty() {
+                continue;
+            }
+            // Leading labels (possibly several).
+            while let Some(colon) = find_label_colon(line) {
+                let label = line[..colon].trim();
+                if !is_ident(label) {
+                    return Err(Self::err(lineno, format!("bad label `{label}`")));
+                }
+                let loc = match self.section {
+                    Section::Text => SymLoc::Text(self.text_count),
+                    Section::Data => SymLoc::Data(self.data_size),
+                };
+                if self.symbols.insert(label.to_string(), loc).is_some() {
+                    return Err(Self::err(lineno, format!("duplicate label `{label}`")));
+                }
+                line = line[colon + 1..].trim();
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                self.directive_pass1(lineno, rest)?;
+            } else {
+                if self.section != Section::Text {
+                    return Err(Self::err(lineno, "instruction outside .text"));
+                }
+                self.text_count += 1;
+            }
+        }
+        // Data goes on the page after the text.
+        let text_end = self.text_base + 4 * self.text_count as u32;
+        self.data_base = (text_end + 0xfff) & !0xfff;
+        Ok(())
+    }
+
+    fn directive_pass1(&mut self, lineno: usize, rest: &str) -> Result<(), AsmError> {
+        let (word, args) = split_word(rest);
+        match word {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "section" => {
+                let section = args.trim();
+                self.section = match section.trim_start_matches('.') {
+                    "text" => Section::Text,
+                    "data" => Section::Data,
+                    other => return Err(Self::err(lineno, format!("unknown section `{other}`"))),
+                };
+            }
+            "global" | "globl" => self.globals.push(args.trim().to_string()),
+            "extern" => self.externs.push(args.trim().to_string()),
+            "equ" => {
+                let (name, value) = args
+                    .split_once(',')
+                    .ok_or_else(|| Self::err(lineno, ".equ needs `name, value`"))?;
+                let value = parse_number(value.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad .equ value `{value}`")))?;
+                self.equs.insert(name.trim().to_string(), value);
+            }
+            "asciz" | "ascii" | "byte" | "word" | "long" | "space" | "align" => {
+                if self.section != Section::Data {
+                    return Err(Self::err(lineno, format!(".{word} outside .data")));
+                }
+                self.data_size += self.data_directive_size(lineno, word, args)?;
+            }
+            other => return Err(Self::err(lineno, format!("unknown directive `.{other}`"))),
+        }
+        Ok(())
+    }
+
+    /// Size in bytes a data directive will occupy (pass 1).
+    fn data_directive_size(&self, lineno: usize, word: &str, args: &str) -> Result<u32, AsmError> {
+        Ok(match word {
+            "asciz" | "ascii" => {
+                let s = parse_string(args.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad string `{args}`")))?;
+                s.len() as u32 + u32::from(word == "asciz")
+            }
+            "byte" => split_args(args).len() as u32,
+            "word" => 2 * split_args(args).len() as u32,
+            "long" => 4 * split_args(args).len() as u32,
+            "space" => parse_number(args.trim())
+                .ok_or_else(|| Self::err(lineno, format!("bad .space `{args}`")))?,
+            "align" => {
+                let n = parse_number(args.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad .align `{args}`")))?;
+                if n == 0 {
+                    return Err(Self::err(lineno, ".align 0 is meaningless"));
+                }
+                (n - self.data_size % n) % n
+            }
+            _ => unreachable!("caller filters directives"),
+        })
+    }
+
+    // ---- pass 2: emission ------------------------------------------------
+
+    fn pass2(&mut self, source: &str) -> Result<(), AsmError> {
+        self.section = Section::Text;
+        for (lineno, raw) in source.lines().enumerate() {
+            let lineno = lineno + 1;
+            let mut line = clean(raw);
+            while let Some(colon) = find_label_colon(line) {
+                line = line[colon + 1..].trim();
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                self.directive_pass2(lineno, rest)?;
+            } else {
+                let instr = self.instruction(lineno, line)?;
+                self.text.push(instr);
+            }
+        }
+        Ok(())
+    }
+
+    fn directive_pass2(&mut self, lineno: usize, rest: &str) -> Result<(), AsmError> {
+        let (word, args) = split_word(rest);
+        match word {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "section" => {
+                self.section = match args.trim().trim_start_matches('.') {
+                    "text" => Section::Text,
+                    _ => Section::Data,
+                };
+            }
+            "global" | "globl" | "extern" | "equ" => {}
+            "asciz" | "ascii" => {
+                let s = parse_string(args.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad string `{args}`")))?;
+                self.data.extend_from_slice(s.as_bytes());
+                if word == "asciz" {
+                    self.data.push(0);
+                }
+            }
+            "byte" => {
+                for part in split_args(args) {
+                    let v = self
+                        .resolve_value(&part)
+                        .ok_or_else(|| Self::err(lineno, format!("bad byte `{part}`")))?;
+                    self.data.push(v as u8);
+                }
+            }
+            "word" => {
+                for part in split_args(args) {
+                    let v = self
+                        .resolve_value(&part)
+                        .ok_or_else(|| Self::err(lineno, format!("bad word `{part}`")))?;
+                    self.data.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+            }
+            "long" => {
+                for part in split_args(args) {
+                    let v = self
+                        .resolve_value(&part)
+                        .ok_or_else(|| Self::err(lineno, format!("bad long `{part}`")))?;
+                    self.data.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            "space" => {
+                let n = parse_number(args.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad .space `{args}`")))?;
+                self.data.extend(std::iter::repeat_n(0, n as usize));
+            }
+            "align" => {
+                let n = parse_number(args.trim())
+                    .ok_or_else(|| Self::err(lineno, format!("bad .align `{args}`")))?;
+                while !(self.data.len() as u32).is_multiple_of(n) {
+                    self.data.push(0);
+                }
+            }
+            other => return Err(Self::err(lineno, format!("unknown directive `.{other}`"))),
+        }
+        Ok(())
+    }
+
+    /// Value of a symbol after relocation.
+    fn symbol_addr(&self, name: &str) -> Option<u32> {
+        match self.symbols.get(name)? {
+            SymLoc::Text(idx) => Some(self.text_base + 4 * *idx as u32),
+            SymLoc::Data(off) => Some(self.data_base + off),
+        }
+    }
+
+    /// Resolves a constant expression: number, char, `.equ` constant or
+    /// label address.
+    fn resolve_value(&self, token: &str) -> Option<u32> {
+        let token = token.trim().strip_prefix("offset ").unwrap_or(token.trim()).trim();
+        parse_number(token)
+            .or_else(|| self.equs.get(token).copied())
+            .or_else(|| self.symbol_addr(token))
+    }
+
+    fn operand(&self, lineno: usize, token: &str) -> Result<Operand, AsmError> {
+        let token = token.trim();
+        if let Some(reg) = Reg::from_name(token) {
+            return Ok(Operand::Reg(reg));
+        }
+        if token.starts_with('[') {
+            return Ok(Operand::Mem(self.memref(lineno, token)?));
+        }
+        self.resolve_value(token)
+            .map(Operand::Imm)
+            .ok_or_else(|| Self::err(lineno, format!("bad operand `{token}`")))
+    }
+
+    fn memref(&self, lineno: usize, token: &str) -> Result<MemRef, AsmError> {
+        let inner = token
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| Self::err(lineno, format!("bad memory operand `{token}`")))?;
+        let mut base = None;
+        let mut index = None;
+        let mut disp: i64 = 0;
+        for (sign, part) in split_signed(inner) {
+            let part = part.trim();
+            if let Some(reg) = Reg::from_name(part) {
+                if sign < 0 {
+                    return Err(Self::err(lineno, "cannot subtract a register"));
+                }
+                if base.is_none() {
+                    base = Some(reg);
+                } else if index.is_none() {
+                    index = Some(reg);
+                } else {
+                    return Err(Self::err(lineno, "too many registers in memory operand"));
+                }
+            } else if let Some(v) = self.resolve_value(part) {
+                disp += i64::from(sign) * i64::from(v as i32);
+            } else {
+                return Err(Self::err(lineno, format!("bad memory term `{part}`")));
+            }
+        }
+        Ok(MemRef { base, index, disp: disp as i32 })
+    }
+
+    fn target(&mut self, lineno: usize, token: &str) -> Result<Target, AsmError> {
+        let token = token.trim();
+        if let Some(addr) = self.resolve_value(token) {
+            return Ok(Target::Abs(addr));
+        }
+        if self.externs.iter().any(|e| e == token) {
+            let sym: Arc<str> = Arc::from(token);
+            self.extern_fixups.push((self.text.len(), sym.clone()));
+            return Ok(Target::Extern(sym));
+        }
+        Err(Self::err(lineno, format!("undefined target `{token}` (missing .extern?)")))
+    }
+
+    fn instruction(&mut self, lineno: usize, line: &str) -> Result<Instr, AsmError> {
+        let (mnemonic, rest) = split_word(line);
+        let args = split_args(rest);
+        let nargs = args.len();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if nargs == n {
+                Ok(())
+            } else {
+                Err(Self::err(lineno, format!("`{mnemonic}` takes {n} operand(s), got {nargs}")))
+            }
+        };
+        let instr = match mnemonic {
+            "mov" => {
+                need(2)?;
+                Instr::Mov(self.operand(lineno, &args[0])?, self.operand(lineno, &args[1])?)
+            }
+            "movb" => {
+                need(2)?;
+                Instr::MovB(self.operand(lineno, &args[0])?, self.operand(lineno, &args[1])?)
+            }
+            "lea" => {
+                need(2)?;
+                let Operand::Reg(reg) = self.operand(lineno, &args[0])? else {
+                    return Err(Self::err(lineno, "lea destination must be a register"));
+                };
+                Instr::Lea(reg, self.memref(lineno, args[1].trim())?)
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "imul" | "shl" | "shr" => {
+                need(2)?;
+                let op = match mnemonic {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "and" => AluOp::And,
+                    "or" => AluOp::Or,
+                    "xor" => AluOp::Xor,
+                    "imul" => AluOp::Imul,
+                    "shl" => AluOp::Shl,
+                    _ => AluOp::Shr,
+                };
+                Instr::Alu(op, self.operand(lineno, &args[0])?, self.operand(lineno, &args[1])?)
+            }
+            "cmp" => {
+                need(2)?;
+                Instr::Cmp(self.operand(lineno, &args[0])?, self.operand(lineno, &args[1])?)
+            }
+            "test" => {
+                need(2)?;
+                Instr::Test(self.operand(lineno, &args[0])?, self.operand(lineno, &args[1])?)
+            }
+            "inc" => {
+                need(1)?;
+                Instr::Inc(self.operand(lineno, &args[0])?)
+            }
+            "dec" => {
+                need(1)?;
+                Instr::Dec(self.operand(lineno, &args[0])?)
+            }
+            "neg" => {
+                need(1)?;
+                Instr::Neg(self.operand(lineno, &args[0])?)
+            }
+            "not" => {
+                need(1)?;
+                Instr::NotOp(self.operand(lineno, &args[0])?)
+            }
+            "push" => {
+                need(1)?;
+                Instr::Push(self.operand(lineno, &args[0])?)
+            }
+            "pop" => {
+                need(1)?;
+                Instr::Pop(self.operand(lineno, &args[0])?)
+            }
+            "jmp" => {
+                need(1)?;
+                Instr::Jmp(self.target(lineno, &args[0])?)
+            }
+            "call" => {
+                need(1)?;
+                Instr::Call(self.target(lineno, &args[0])?)
+            }
+            "ret" => {
+                need(0)?;
+                Instr::Ret
+            }
+            "int" => {
+                need(1)?;
+                let v = self
+                    .resolve_value(&args[0])
+                    .ok_or_else(|| Self::err(lineno, "bad interrupt number"))?;
+                Instr::Int(v as u8)
+            }
+            "cpuid" => {
+                need(0)?;
+                Instr::Cpuid
+            }
+            "movsb" => {
+                need(0)?;
+                Instr::Movsb
+            }
+            "loop" => {
+                need(1)?;
+                Instr::Loop(self.target(lineno, &args[0])?)
+            }
+            "nop" => {
+                need(0)?;
+                Instr::Nop
+            }
+            "hlt" => {
+                need(0)?;
+                Instr::Hlt
+            }
+            jcc if jcc.starts_with('j') => {
+                need(1)?;
+                let cond = match &jcc[1..] {
+                    "e" | "z" => Cond::E,
+                    "ne" | "nz" => Cond::Ne,
+                    "l" => Cond::L,
+                    "le" => Cond::Le,
+                    "g" => Cond::G,
+                    "ge" => Cond::Ge,
+                    "b" => Cond::B,
+                    "be" => Cond::Be,
+                    "a" => Cond::A,
+                    "ae" => Cond::Ae,
+                    "s" => Cond::S,
+                    "ns" => Cond::Ns,
+                    other => {
+                        return Err(Self::err(lineno, format!("unknown condition `j{other}`")))
+                    }
+                };
+                Instr::J(cond, self.target(lineno, &args[0])?)
+            }
+            other => return Err(Self::err(lineno, format!("unknown mnemonic `{other}`"))),
+        };
+        Ok(instr)
+    }
+
+    fn finish(self) -> Image {
+        let mut exports = HashMap::new();
+        for global in &self.globals {
+            if let Some(addr) = self.symbol_addr(global) {
+                exports.insert(Arc::from(global.as_str()), addr);
+            }
+        }
+        let entry = self.symbol_addr("_start").unwrap_or(self.text_base);
+        Image::from_parts(
+            &self.name,
+            self.text_base,
+            self.text,
+            self.data_base,
+            self.data,
+            entry,
+            exports,
+            self.extern_fixups,
+        )
+    }
+}
+
+// ---- small lexical helpers ------------------------------------------------
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Finds the colon ending a leading label (not inside brackets/strings,
+/// and only when the prefix is a valid identifier).
+fn find_label_colon(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    is_ident(line[..colon].trim()).then_some(colon)
+}
+
+fn split_word(line: &str) -> (&str, &str) {
+    match line.split_once(char::is_whitespace) {
+        Some((w, rest)) => (w, rest.trim()),
+        None => (line, ""),
+    }
+}
+
+/// Splits operand lists on commas outside brackets and strings.
+fn split_args(s: &str) -> Vec<String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' if !in_str => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 && !in_str => {
+                args.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    args.push(current.trim().to_string());
+    args
+}
+
+/// Splits `a+b-c` into signed terms.
+fn split_signed(s: &str) -> Vec<(i32, String)> {
+    let mut terms = Vec::new();
+    let mut sign = 1i32;
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '+' | '-' if !current.trim().is_empty() => {
+                terms.push((sign, current.trim().to_string()));
+                current.clear();
+                sign = if c == '-' { -1 } else { 1 };
+            }
+            '-' => {
+                // Leading minus on the first/next term.
+                sign = -sign;
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        terms.push((sign, current.trim().to_string()));
+    }
+    terms
+}
+
+/// Parses decimal, hex (`0x`), negative and character (`'c'`) literals.
+fn parse_number(token: &str) -> Option<u32> {
+    let token = token.trim();
+    if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = token.strip_prefix('-') {
+        if let Some(hex) = neg.strip_prefix("0x") {
+            return u32::from_str_radix(hex, 16).ok().map(|v| (v as i64).wrapping_neg() as u32);
+        }
+        return neg.parse::<i64>().ok().map(|v| (-v) as u32);
+    }
+    if token.len() == 3 && token.starts_with('\'') && token.ends_with('\'') {
+        return Some(token.as_bytes()[1] as u32);
+    }
+    token.parse::<u32>().ok()
+}
+
+fn parse_string(token: &str) -> Option<String> {
+    let inner = token.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                other => out.push(other),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u32 = 0x0804_8000;
+
+    #[test]
+    fn minimal_program_assembles() {
+        let img = assemble(
+            "/bin/test",
+            r"
+            _start:
+                mov eax, 1
+                mov ebx, 0
+                int 0x80
+            ",
+            BASE,
+        )
+        .unwrap();
+        assert_eq!(img.text().len(), 3);
+        assert_eq!(img.entry(), BASE);
+        assert_eq!(img.text()[0], Instr::Mov(Operand::Reg(Reg::Eax), Operand::Imm(1)));
+        assert_eq!(img.text()[2], Instr::Int(0x80));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let img = assemble(
+            "t",
+            r"
+            _start:
+                jmp end
+            loop:
+                nop
+                jmp loop
+            end:
+                hlt
+            ",
+            0,
+        )
+        .unwrap();
+        assert_eq!(img.text()[0], Instr::Jmp(Target::Abs(12)));
+        assert_eq!(img.text()[2], Instr::Jmp(Target::Abs(4)));
+    }
+
+    #[test]
+    fn data_labels_and_strings() {
+        let img = assemble(
+            "t",
+            r#"
+            _start:
+                mov ebx, path
+                hlt
+            .data
+            path: .asciz "/bin/ls"
+            n:    .long 42
+            "#,
+            0,
+        )
+        .unwrap();
+        let data_base = img.data_base();
+        assert_eq!(data_base % 0x1000, 0);
+        assert_eq!(img.text()[0], Instr::Mov(Operand::Reg(Reg::Ebx), Operand::Imm(data_base)));
+        assert_eq!(&img.data()[..8], b"/bin/ls\0");
+        assert_eq!(&img.data()[8..12], &42u32.to_le_bytes());
+    }
+
+    #[test]
+    fn data_can_hold_label_addresses() {
+        let img = assemble(
+            "t",
+            r#"
+            _start: hlt
+            .data
+            s:    .asciz "x"
+            ptrs: .long s, 0
+            "#,
+            0,
+        )
+        .unwrap();
+        let s_addr = img.data_base();
+        assert_eq!(&img.data()[2..6], &s_addr.to_le_bytes());
+    }
+
+    #[test]
+    fn equ_constants() {
+        let img = assemble(
+            "t",
+            r"
+            .equ SYS_write, 4
+            _start:
+                mov eax, SYS_write
+                hlt
+            ",
+            0,
+        )
+        .unwrap();
+        assert_eq!(img.text()[0], Instr::Mov(Operand::Reg(Reg::Eax), Operand::Imm(4)));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let img = assemble(
+            "t",
+            r"
+            _start:
+                mov eax, [ebx]
+                mov eax, [ebx+4]
+                mov eax, [ebp-8]
+                mov [esi+edi], eax
+                movb [buf+1], eax
+                hlt
+            .data
+            buf: .space 4
+            ",
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            img.text()[0],
+            Instr::Mov(Operand::Reg(Reg::Eax), Operand::Mem(MemRef::reg(Reg::Ebx)))
+        );
+        assert_eq!(
+            img.text()[2],
+            Instr::Mov(Operand::Reg(Reg::Eax), Operand::Mem(MemRef::reg_disp(Reg::Ebp, -8)))
+        );
+        let Instr::Mov(Operand::Mem(m), _) = &img.text()[3] else { panic!() };
+        assert_eq!((m.base, m.index), (Some(Reg::Esi), Some(Reg::Edi)));
+        let Instr::MovB(Operand::Mem(m), _) = &img.text()[4] else { panic!() };
+        assert_eq!(m.disp as u32, img.data_base() + 1);
+    }
+
+    #[test]
+    fn extern_calls_are_recorded() {
+        let img = assemble(
+            "t",
+            r"
+            .extern gethostbyname
+            _start:
+                call gethostbyname
+                hlt
+            ",
+            0,
+        )
+        .unwrap();
+        assert_eq!(img.externs().len(), 1);
+        assert_eq!(img.externs()[0].0, 0);
+        assert_eq!(&*img.externs()[0].1, "gethostbyname");
+    }
+
+    #[test]
+    fn undefined_target_is_an_error() {
+        let err = assemble("t", "_start:\n call nowhere\n", 0).unwrap_err();
+        assert!(err.message.contains("undefined target"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn globals_are_exported() {
+        let img = assemble(
+            "libc.so",
+            r"
+            .global helper
+            _start: hlt
+            helper: ret
+            ",
+            0x4000_0000,
+        )
+        .unwrap();
+        assert_eq!(img.exports()["helper"], 0x4000_0004);
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let err = assemble("t", "a:\n nop\na:\n nop\n", 0).unwrap_err();
+        assert!(err.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn instructions_in_data_section_error() {
+        let err = assemble("t", ".data\n mov eax, 1\n", 0).unwrap_err();
+        assert!(err.message.contains("outside .text"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble(
+            "t",
+            "; leading comment\n_start: nop ; trailing\n# hash comment\n\n hlt\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(img.text().len(), 2);
+    }
+
+    #[test]
+    fn numbers_hex_negative_char() {
+        assert_eq!(parse_number("0x80"), Some(0x80));
+        assert_eq!(parse_number("-1"), Some(u32::MAX));
+        assert_eq!(parse_number("'A'"), Some(65));
+        assert_eq!(parse_number("12"), Some(12));
+        assert_eq!(parse_number("zz"), None);
+    }
+
+    #[test]
+    fn jcc_variants() {
+        let img = assemble(
+            "t",
+            "_start:\n je _start\n jnz _start\n jge _start\n jb _start\n hlt\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(img.text()[0], Instr::J(Cond::E, Target::Abs(0)));
+        assert_eq!(img.text()[1], Instr::J(Cond::Ne, Target::Abs(0)));
+        assert_eq!(img.text()[2], Instr::J(Cond::Ge, Target::Abs(0)));
+        assert_eq!(img.text()[3], Instr::J(Cond::B, Target::Abs(0)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Basic-block discovery.
+//!
+//! A basic block is a maximal straight-line instruction sequence: if its
+//! first instruction executes, all of them do (paper §7.4). Leaders are
+//! the entry, every static jump/call target, and every instruction
+//! following a control transfer.
+
+use crate::isa::Instr;
+
+/// Computes sorted basic-block leader addresses for a text section
+/// starting at `base` (instructions are 4 address units apart).
+pub fn find_leaders(base: u32, text: &[Instr]) -> Vec<u32> {
+    let end = base + 4 * text.len() as u32;
+    let mut leaders = vec![base];
+    for (i, instr) in text.iter().enumerate() {
+        if let Some(target) = instr.static_target() {
+            if target >= base && target < end {
+                leaders.push(target);
+            }
+        }
+        if instr.ends_basic_block() {
+            let next = base + 4 * (i as u32 + 1);
+            if next < end {
+                leaders.push(next);
+            }
+        }
+    }
+    leaders.sort_unstable();
+    leaders.dedup();
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Instr, Operand, Reg, Target};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let text = vec![Instr::Nop, Instr::Nop, Instr::Hlt];
+        assert_eq!(find_leaders(0x1000, &text), vec![0x1000]);
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        // 0x1000: jne 0x1008 ; 0x1004: nop ; 0x1008: hlt
+        let text = vec![
+            Instr::J(Cond::Ne, Target::Abs(0x1008)),
+            Instr::Nop,
+            Instr::Hlt,
+        ];
+        assert_eq!(find_leaders(0x1000, &text), vec![0x1000, 0x1004, 0x1008]);
+    }
+
+    #[test]
+    fn call_target_and_fallthrough_are_leaders() {
+        // 0: call 8 ; 4: hlt ; 8: ret
+        let text = vec![Instr::Call(Target::Abs(8)), Instr::Hlt, Instr::Ret];
+        assert_eq!(find_leaders(0, &text), vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn out_of_image_targets_ignored() {
+        let text = vec![Instr::Jmp(Target::Abs(0x9999_0000)), Instr::Hlt];
+        assert_eq!(find_leaders(0, &text), vec![0, 4]);
+    }
+
+    #[test]
+    fn syscall_does_not_split_blocks() {
+        let text = vec![
+            Instr::Mov(Operand::Reg(Reg::Eax), Operand::Imm(5)),
+            Instr::Int(0x80),
+            Instr::Mov(Operand::Reg(Reg::Ebx), Operand::Imm(0)),
+            Instr::Hlt,
+        ];
+        assert_eq!(find_leaders(0, &text), vec![0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Instruction formatting for diagnostics and traces.
+
+use std::fmt;
+
+use crate::isa::Instr;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov(d, s) => write!(f, "mov {d}, {s}"),
+            Instr::MovB(d, s) => write!(f, "movb {d}, {s}"),
+            Instr::Lea(r, m) => write!(f, "lea {r}, {m}"),
+            Instr::Alu(op, d, s) => write!(f, "{op} {d}, {s}"),
+            Instr::Cmp(a, b) => write!(f, "cmp {a}, {b}"),
+            Instr::Test(a, b) => write!(f, "test {a}, {b}"),
+            Instr::Inc(x) => write!(f, "inc {x}"),
+            Instr::Dec(x) => write!(f, "dec {x}"),
+            Instr::Neg(x) => write!(f, "neg {x}"),
+            Instr::NotOp(x) => write!(f, "not {x}"),
+            Instr::Push(x) => write!(f, "push {x}"),
+            Instr::Pop(x) => write!(f, "pop {x}"),
+            Instr::Jmp(t) => write!(f, "jmp {t}"),
+            Instr::J(c, t) => write!(f, "j{c} {t}"),
+            Instr::Call(t) => write!(f, "call {t}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Int(n) => write!(f, "int {n:#x}"),
+            Instr::Cpuid => write!(f, "cpuid"),
+            Instr::Movsb => write!(f, "movsb"),
+            Instr::Loop(t) => write!(f, "loop {t}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Hlt => write!(f, "hlt"),
+        }
+    }
+}
+
+/// Formats a text section as an address-annotated listing.
+pub fn listing(base: u32, text: &[Instr]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, instr) in text.iter().enumerate() {
+        let _ = writeln!(out, "{:#010x}:  {instr}", base + 4 * i as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, MemRef, Operand, Reg, Target};
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(
+            Instr::Mov(Operand::Reg(Reg::Eax), Operand::Imm(5)).to_string(),
+            "mov eax, 0x5"
+        );
+        assert_eq!(
+            Instr::MovB(Operand::Mem(MemRef::reg(Reg::Ebx)), Operand::Reg(Reg::Eax)).to_string(),
+            "movb [ebx], eax"
+        );
+        assert_eq!(Instr::J(Cond::Ne, Target::Abs(0x10)).to_string(), "jne 0x10");
+        assert_eq!(Instr::Int(0x80).to_string(), "int 0x80");
+    }
+
+    #[test]
+    fn listing_includes_addresses() {
+        let out = listing(0x1000, &[Instr::Nop, Instr::Ret]);
+        assert!(out.contains("0x00001000:  nop"));
+        assert!(out.contains("0x00001004:  ret"));
+    }
+}

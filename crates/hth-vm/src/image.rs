@@ -1,0 +1,142 @@
+//! Loadable images: the output of the assembler, the input of the loader.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::isa::Instr;
+
+/// Identifier of a loaded image within one address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImageId(pub u32);
+
+/// A relocated, loadable program image — the "binary" the monitor tags
+/// with the `BINARY` data source when it is mapped.
+#[derive(Clone, Debug)]
+pub struct Image {
+    name: Arc<str>,
+    text_base: u32,
+    text: Vec<Instr>,
+    data_base: u32,
+    data: Vec<u8>,
+    entry: u32,
+    exports: HashMap<Arc<str>, u32>,
+    /// Instruction indexes whose `Call`/`Jmp` target is an unresolved
+    /// external symbol, with the symbol name (patched at load time).
+    externs: Vec<(usize, Arc<str>)>,
+    bb_leaders: Vec<u32>,
+}
+
+impl Image {
+    /// Assembles an image from parts; used by the assembler.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: &str,
+        text_base: u32,
+        text: Vec<Instr>,
+        data_base: u32,
+        data: Vec<u8>,
+        entry: u32,
+        exports: HashMap<Arc<str>, u32>,
+        externs: Vec<(usize, Arc<str>)>,
+    ) -> Image {
+        let bb_leaders = crate::bb::find_leaders(text_base, &text);
+        Image { name: Arc::from(name), text_base, text, data_base, data, entry, exports, externs, bb_leaders }
+    }
+
+    /// Image name (e.g. `/bin/app`, `libc.so`). This is the string that
+    /// shows up in `BINARY` data-source tags.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// First text address.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// One past the last text address.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + 4 * self.text.len() as u32
+    }
+
+    /// Instructions in address order.
+    pub fn text(&self) -> &[Instr] {
+        &self.text
+    }
+
+    /// Mutable access for link-time patching of extern targets.
+    pub(crate) fn text_mut(&mut self) -> &mut [Instr] {
+        &mut self.text
+    }
+
+    /// Unresolved external references.
+    pub fn externs(&self) -> &[(usize, Arc<str>)] {
+        &self.externs
+    }
+
+    /// Clears extern records once patched.
+    pub(crate) fn clear_externs(&mut self) {
+        self.externs.clear();
+    }
+
+    /// Address of the instruction at text index `idx`.
+    pub fn addr_of(&self, idx: usize) -> u32 {
+        self.text_base + 4 * idx as u32
+    }
+
+    /// Instruction at `addr`, if it lies inside this image's text.
+    pub fn instr_at(&self, addr: u32) -> Option<&Instr> {
+        if addr < self.text_base || addr >= self.text_end() || !(addr - self.text_base).is_multiple_of(4) {
+            return None;
+        }
+        self.text.get(((addr - self.text_base) / 4) as usize)
+    }
+
+    /// Base address of the initialised data section.
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// Initialised data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// One past the last data address.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+
+    /// Entry point address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Exported (`.global`) symbols.
+    pub fn exports(&self) -> &HashMap<Arc<str>, u32> {
+        &self.exports
+    }
+
+    /// Addresses that start a basic block, ascending.
+    pub fn bb_leaders(&self) -> &[u32] {
+        &self.bb_leaders
+    }
+
+    /// The basic-block leader governing `addr` (the greatest leader
+    /// `<= addr`), if `addr` is inside this image's text.
+    pub fn bb_of(&self, addr: u32) -> Option<u32> {
+        if addr < self.text_base || addr >= self.text_end() {
+            return None;
+        }
+        match self.bb_leaders.binary_search(&addr) {
+            Ok(i) => Some(self.bb_leaders[i]),
+            Err(0) => None,
+            Err(i) => Some(self.bb_leaders[i - 1]),
+        }
+    }
+
+    /// True when `addr` is inside this image's text section.
+    pub fn contains_text(&self, addr: u32) -> bool {
+        addr >= self.text_base && addr < self.text_end()
+    }
+}

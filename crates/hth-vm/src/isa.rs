@@ -1,0 +1,359 @@
+//! The instruction-set architecture: registers, operands, instructions.
+//!
+//! A small 32-bit x86-flavoured ISA — eight general-purpose registers,
+//! Intel-style two-operand instructions, `int 0x80` syscalls and `cpuid`.
+//! It is deliberately *not* byte-exact x86: instructions are interpreted
+//! as enum values at fixed 4-byte pseudo-encodings, which is all the
+//! monitor above needs (the paper's Harrier consumes instruction-level
+//! *events*, not encodings).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// General-purpose registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Eax = 0,
+    Ebx = 1,
+    Ecx = 2,
+    Edx = 3,
+    Esi = 4,
+    Edi = 5,
+    Ebp = 6,
+    Esp = 7,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 8] =
+        [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi, Reg::Ebp, Reg::Esp];
+
+    /// Dense index (0..8) for register files and shadow state.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Parses an assembler register name.
+    pub fn from_name(name: &str) -> Option<Reg> {
+        Some(match name {
+            "eax" => Reg::Eax,
+            "ebx" => Reg::Ebx,
+            "ecx" => Reg::Ecx,
+            "edx" => Reg::Edx,
+            "esi" => Reg::Esi,
+            "edi" => Reg::Edi,
+            "ebp" => Reg::Ebp,
+            "esp" => Reg::Esp,
+            _ => return None,
+        })
+    }
+
+    /// Assembler name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ebx => "ebx",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+            Reg::Ebp => "ebp",
+            Reg::Esp => "esp",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A memory reference `[base + index + disp]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Optional index register (scale is always 1 in this ISA).
+    pub index: Option<Reg>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// `[reg]`
+    pub fn reg(base: Reg) -> MemRef {
+        MemRef { base: Some(base), index: None, disp: 0 }
+    }
+
+    /// `[reg + disp]`
+    pub fn reg_disp(base: Reg, disp: i32) -> MemRef {
+        MemRef { base: Some(base), index: None, disp }
+    }
+
+    /// `[abs]`
+    pub fn abs(addr: u32) -> MemRef {
+        MemRef { base: None, index: None, disp: addr as i32 }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, "-{:#x}", -(i64::from(self.disp)))?;
+                } else {
+                    write!(f, "+{:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp as u32)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate (always carries the `BINARY` data source under taint
+    /// tracking — immediates live in the binary image).
+    Imm(u32),
+    /// Memory operand.
+    Mem(MemRef),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{:#x}", v),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Branch/conditional codes (subset of x86 condition codes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    E,
+    Ne,
+    L,
+    Le,
+    G,
+    Ge,
+    B,
+    Be,
+    A,
+    Ae,
+    S,
+    Ns,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A control-transfer target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Resolved absolute address.
+    Abs(u32),
+    /// Unresolved external symbol; the loader patches these at link time.
+    Extern(Arc<str>),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Abs(a) => write!(f, "{a:#x}"),
+            Target::Extern(s) => write!(f, "@{s}"),
+        }
+    }
+}
+
+/// Binary ALU operations sharing one execution path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Imul,
+    Shl,
+    Shr,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Imul => "imul",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instruction. All instructions occupy 4 address units, so the
+/// instruction at text index `i` lives at `text_base + 4*i`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// 32-bit move.
+    Mov(Operand, Operand),
+    /// 8-bit move (zero-extends into registers).
+    MovB(Operand, Operand),
+    /// Load effective address.
+    Lea(Reg, MemRef),
+    /// Two-operand ALU operation, result into the first operand.
+    Alu(AluOp, Operand, Operand),
+    /// Compare (sets flags, discards result).
+    Cmp(Operand, Operand),
+    /// Bitwise-AND compare (sets flags, discards result).
+    Test(Operand, Operand),
+    /// Increment.
+    Inc(Operand),
+    /// Decrement.
+    Dec(Operand),
+    /// Two's-complement negate.
+    Neg(Operand),
+    /// Bitwise not.
+    NotOp(Operand),
+    /// Push a 32-bit value.
+    Push(Operand),
+    /// Pop a 32-bit value.
+    Pop(Operand),
+    /// Unconditional jump.
+    Jmp(Target),
+    /// Conditional jump.
+    J(Cond, Target),
+    /// Call (pushes the return address).
+    Call(Target),
+    /// Return.
+    Ret,
+    /// Software interrupt; `int 0x80` is the syscall gate.
+    Int(u8),
+    /// CPU identification — the paper's example of a `HARDWARE` source.
+    Cpuid,
+    /// String move: copies the byte at `[esi]` to `[edi]`, then
+    /// increments both. Taint moves per byte (precision demo).
+    Movsb,
+    /// `loop target`: decrement `ecx`, jump when non-zero.
+    Loop(Target),
+    /// No operation.
+    Nop,
+    /// Halt the processor (process exit without syscall, error path).
+    Hlt,
+}
+
+impl Instr {
+    /// True when this instruction ends a basic block.
+    pub fn ends_basic_block(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp(_)
+                | Instr::J(..)
+                | Instr::Call(_)
+                | Instr::Ret
+                | Instr::Hlt
+                | Instr::Loop(_)
+        )
+    }
+
+    /// Local jump/call target address, if statically known.
+    pub fn static_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jmp(Target::Abs(a))
+            | Instr::J(_, Target::Abs(a))
+            | Instr::Call(Target::Abs(a))
+            | Instr::Loop(Target::Abs(a)) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_round_trip() {
+        for reg in Reg::ALL {
+            assert_eq!(Reg::from_name(reg.name()), Some(reg));
+        }
+        assert_eq!(Reg::from_name("rax"), None);
+    }
+
+    #[test]
+    fn register_indices_are_dense() {
+        for (i, reg) in Reg::ALL.iter().enumerate() {
+            assert_eq!(reg.index(), i);
+        }
+    }
+
+    #[test]
+    fn basic_block_enders() {
+        assert!(Instr::Ret.ends_basic_block());
+        assert!(Instr::Jmp(Target::Abs(0)).ends_basic_block());
+        assert!(Instr::J(Cond::E, Target::Abs(0)).ends_basic_block());
+        assert!(Instr::Call(Target::Abs(0)).ends_basic_block());
+        assert!(Instr::Hlt.ends_basic_block());
+        assert!(!Instr::Nop.ends_basic_block());
+        assert!(!Instr::Int(0x80).ends_basic_block());
+    }
+
+    #[test]
+    fn memref_display() {
+        assert_eq!(MemRef::reg(Reg::Ebx).to_string(), "[ebx]");
+        assert_eq!(MemRef::reg_disp(Reg::Ebp, -8).to_string(), "[ebp-0x8]");
+        assert_eq!(MemRef::abs(0x1000).to_string(), "[0x1000]");
+    }
+
+    #[test]
+    fn static_targets() {
+        assert_eq!(Instr::Jmp(Target::Abs(8)).static_target(), Some(8));
+        assert_eq!(Instr::Call(Target::Extern(Arc::from("f"))).static_target(), None);
+        assert_eq!(Instr::Ret.static_target(), None);
+    }
+}

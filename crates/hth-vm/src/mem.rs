@@ -1,0 +1,203 @@
+//! Sparse paged memory for the virtual machine.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Page size in bytes (4 KiB, like the hardware being modelled).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Error raised on access to unmapped memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u32,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault at {:#010x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// A sparse, demand-allocated 32-bit address space.
+///
+/// Pages must be [mapped](Memory::map) before access — unmapped accesses
+/// fault, which the interpreter reports as a crash of the monitored
+/// program (faithful to running a real binary under Pin).
+///
+/// ```
+/// use hth_vm::Memory;
+/// let mut m = Memory::new();
+/// m.map(0x1000, 0x2000);
+/// m.write_u32(0x1ffc, 0xdead_beef).unwrap();
+/// assert_eq!(m.read_u32(0x1ffc).unwrap(), 0xdead_beef);
+/// assert!(m.read_u8(0x3000).is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    mapped: Vec<(u32, u32)>,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Maps `[start, end)` (rounded out to page boundaries) as accessible,
+    /// zero-filled memory. Mapping an already-mapped range is a no-op for
+    /// the overlapping pages.
+    pub fn map(&mut self, start: u32, end: u32) {
+        assert!(start <= end, "map range reversed");
+        let first = start / PAGE_SIZE;
+        let last = end.saturating_add(PAGE_SIZE - 1) / PAGE_SIZE;
+        for page in first..last {
+            self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        }
+        self.mapped.push((start, end));
+    }
+
+    /// Mapped ranges in mapping order (diagnostics).
+    pub fn mappings(&self) -> &[(u32, u32)] {
+        &self.mapped
+    }
+
+    /// True when `addr` lies on a mapped page.
+    pub fn is_mapped(&self, addr: u32) -> bool {
+        self.pages.contains_key(&(addr / PAGE_SIZE))
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemFault> {
+        let page = self.pages.get(&(addr / PAGE_SIZE)).ok_or(MemFault { addr })?;
+        Ok(page[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemFault> {
+        let page = self.pages.get_mut(&(addr / PAGE_SIZE)).ok_or(MemFault { addr })?;
+        page[(addr % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian u32 (may straddle pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32))?;
+        }
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    /// Writes a little-endian u32 (may straddle pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemFault> {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemFault> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+    }
+
+    /// Writes a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string (lossy UTF-8), up to `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] on unmapped addresses before the terminator.
+    pub fn read_cstr(&self, addr: u32, max: u32) -> Result<String, MemFault> {
+        let mut bytes = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.wrapping_add(i))?;
+            if b == 0 {
+                break;
+            }
+            bytes.push(b);
+        }
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u8(0), Err(MemFault { addr: 0 }));
+        assert_eq!(m.write_u8(0x5000, 1), Err(MemFault { addr: 0x5000 }));
+    }
+
+    #[test]
+    fn mapping_rounds_to_pages() {
+        let mut m = Memory::new();
+        m.map(0x1100, 0x1200);
+        assert!(m.is_mapped(0x1000));
+        assert!(m.is_mapped(0x1fff));
+        assert!(!m.is_mapped(0x2000));
+    }
+
+    #[test]
+    fn u32_round_trip_across_page_boundary() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x3000);
+        let addr = 0x1ffe; // straddles the 0x2000 boundary
+        m.write_u32(addr, 0x0102_0304).unwrap();
+        assert_eq!(m.read_u32(addr).unwrap(), 0x0102_0304);
+        assert_eq!(m.read_u8(addr).unwrap(), 0x04, "little endian");
+    }
+
+    #[test]
+    fn cstr_reads_until_nul() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x2000);
+        m.write_bytes(0x1000, b"/bin/ls\0junk").unwrap();
+        assert_eq!(m.read_cstr(0x1000, 64).unwrap(), "/bin/ls");
+    }
+
+    #[test]
+    fn cstr_respects_max() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x2000);
+        m.write_bytes(0x1000, b"abcdef").unwrap();
+        assert_eq!(m.read_cstr(0x1000, 3).unwrap(), "abc");
+    }
+}

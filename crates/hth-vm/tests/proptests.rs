@@ -1,0 +1,167 @@
+//! Property-based tests for the VM substrate: memory, assembler
+//! round-trips, ALU/flag semantics against a Rust reference model.
+
+use proptest::prelude::*;
+
+use hth_vm::{asm, Core, Memory, NullHooks, Reg, StepEvent};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Byte writes read back; u32 accessors agree with little-endian
+    /// byte composition at arbitrary (mapped) addresses.
+    #[test]
+    fn memory_round_trips(
+        offset in 0u32..0x2000,
+        value in any::<u32>(),
+    ) {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 0x4000);
+        let addr = 0x1000 + offset;
+        mem.write_u32(addr, value).unwrap();
+        prop_assert_eq!(mem.read_u32(addr).unwrap(), value);
+        let bytes = value.to_le_bytes();
+        for (i, b) in bytes.iter().enumerate() {
+            prop_assert_eq!(mem.read_u8(addr + i as u32).unwrap(), *b);
+        }
+    }
+
+    /// Arithmetic programs compute what a Rust reference computes, for
+    /// every ALU operation and operand pair.
+    #[test]
+    fn alu_matches_reference(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        op_idx in 0usize..8,
+    ) {
+        let (mnemonic, reference): (&str, fn(u32, u32) -> u32) = [
+            ("add", (|x, y| x.wrapping_add(y)) as fn(u32, u32) -> u32),
+            ("sub", |x, y| x.wrapping_sub(y)),
+            ("and", |x, y| x & y),
+            ("or", |x, y| x | y),
+            ("xor", |x, y| x ^ y),
+            ("imul", |x, y| (x as i32).wrapping_mul(y as i32) as u32),
+            ("shl", |x, y| x.wrapping_shl(y & 31)),
+            ("shr", |x, y| x.wrapping_shr(y & 31)),
+        ][op_idx];
+        let src = format!(
+            "_start:\n mov eax, {a:#x}\n mov ebx, {b:#x}\n {mnemonic} eax, ebx\n hlt\n"
+        );
+        let image = asm::assemble("/t", &src, 0x1000).unwrap();
+        let mut core = Core::new();
+        core.load_image(image);
+        core.link().unwrap();
+        core.start();
+        while core.step(&mut NullHooks).unwrap() == StepEvent::Continue {}
+        prop_assert_eq!(core.cpu.get(Reg::Eax), reference(a, b));
+    }
+
+    /// Signed and unsigned conditional branches agree with Rust's
+    /// comparison operators on the same operands.
+    #[test]
+    fn branch_semantics_match_reference(a in any::<u32>(), b in any::<u32>()) {
+        let cases: [(&str, bool); 6] = [
+            ("jl", (a as i32) < (b as i32)),
+            ("jge", (a as i32) >= (b as i32)),
+            ("jb", a < b),
+            ("jae", a >= b),
+            ("je", a == b),
+            ("jne", a != b),
+        ];
+        for (jcc, expected) in cases {
+            let src = format!(
+                "_start:\n mov eax, {a:#x}\n mov ebx, {b:#x}\n cmp eax, ebx\n {jcc} taken\n mov ecx, 0\n hlt\ntaken:\n mov ecx, 1\n hlt\n"
+            );
+            let image = asm::assemble("/t", &src, 0x1000).unwrap();
+            let mut core = Core::new();
+            core.load_image(image);
+            core.link().unwrap();
+            core.start();
+            while core.step(&mut NullHooks).unwrap() == StepEvent::Continue {}
+            prop_assert_eq!(
+                core.cpu.get(Reg::Ecx) == 1,
+                expected,
+                "{} with a={:#x} b={:#x}", jcc, a, b
+            );
+        }
+    }
+
+    /// Push/pop sequences behave like a stack (LIFO), preserving values.
+    #[test]
+    fn stack_is_lifo(values in prop::collection::vec(any::<u32>(), 1..6)) {
+        let mut src = String::from("_start:\n");
+        for v in &values {
+            src.push_str(&format!(" mov eax, {v:#x}\n push eax\n"));
+        }
+        // Pop into memory slots in order.
+        for i in 0..values.len() {
+            src.push_str(&format!(" pop ebx\n mov [{:#x}], ebx\n", 0x0900_0000 + 4 * i as u32));
+        }
+        src.push_str(" hlt\n");
+        let image = asm::assemble("/t", &src, 0x1000).unwrap();
+        let mut core = Core::new();
+        core.load_image(image);
+        core.link().unwrap();
+        core.mem.map(0x0900_0000, 0x0900_1000);
+        core.mem.map(0xbfff_0000, 0xc000_0000);
+        core.cpu.set(Reg::Esp, 0xbfff_f000);
+        core.start();
+        while core.step(&mut NullHooks).unwrap() == StepEvent::Continue {}
+        for (i, v) in values.iter().rev().enumerate() {
+            prop_assert_eq!(core.mem.read_u32(0x0900_0000 + 4 * i as u32).unwrap(), *v);
+        }
+    }
+
+    /// The assembler accepts what the disassembler prints for
+    /// label-free instructions (partial round-trip).
+    #[test]
+    fn disasm_reassembles(
+        reg_idx in 0usize..8,
+        imm in any::<u32>(),
+        disp in -64i32..64,
+    ) {
+        let reg = Reg::ALL[reg_idx];
+        let lines = [
+            format!("mov {reg}, {imm:#x}"),
+            format!("add {reg}, {imm:#x}"),
+            format!("mov eax, [{reg}{}{:#x}]", if disp < 0 { "-" } else { "+" }, disp.unsigned_abs()),
+            format!("push {reg}"),
+            format!("neg {reg}"),
+        ];
+        for line in &lines {
+            let src = format!("_start:\n {line}\n hlt\n");
+            let image = asm::assemble("/t", &src, 0).unwrap();
+            let printed = image.text()[0].to_string();
+            let src2 = format!("_start:\n {printed}\n hlt\n");
+            let image2 = asm::assemble("/t", &src2, 0).unwrap();
+            prop_assert_eq!(&image.text()[0], &image2.text()[0], "line: {}", line);
+        }
+    }
+
+    /// Basic-block leaders always include the entry and are sorted,
+    /// deduplicated, and inside the image, for random small programs.
+    #[test]
+    fn bb_leaders_well_formed(
+        jumps in prop::collection::vec(0usize..8, 0..6),
+    ) {
+        let mut src = String::from("_start:\n");
+        for (i, _) in jumps.iter().enumerate() {
+            src.push_str(&format!("l{i}:\n nop\n"));
+        }
+        for (i, target) in jumps.iter().enumerate() {
+            src.push_str(&format!(" jne l{}\n", (*target).min(jumps.len().saturating_sub(1))));
+            let _ = i;
+        }
+        src.push_str(" hlt\n");
+        let image = asm::assemble("/t", &src, 0x2000).unwrap();
+        let leaders = image.bb_leaders();
+        prop_assert!(leaders.contains(&0x2000));
+        let mut sorted = leaders.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&sorted, leaders);
+        for leader in leaders {
+            prop_assert!(image.contains_text(*leader));
+        }
+    }
+}

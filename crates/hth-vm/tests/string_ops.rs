@@ -1,0 +1,112 @@
+//! Tests for the string instructions (`movsb`, `loop`) and — via the
+//! harrier-style taint hook — per-byte taint precision through copies.
+
+use hth_vm::{asm, Core, Hooks, ImageId, Loc, NullHooks, Reg, StepEvent, TaintOp};
+
+fn run(src: &str) -> Core {
+    let image = asm::assemble("/t", src, 0x1000).unwrap();
+    let mut core = Core::new();
+    core.load_image(image);
+    core.link().unwrap();
+    core.mem.map(0x0900_0000, 0x0901_0000);
+    core.start();
+    while core.step(&mut NullHooks).unwrap() == StepEvent::Continue {}
+    core
+}
+
+#[test]
+fn movsb_loop_copies_a_string() {
+    let core = run(
+        r#"
+        _start:
+            mov esi, src
+            mov edi, 0x09000000
+            mov ecx, 6
+        copy:
+            movsb
+            loop copy
+            hlt
+        .data
+        src: .asciz "secret"
+        "#,
+    );
+    assert_eq!(core.mem.read_bytes(0x0900_0000, 6).unwrap(), b"secret");
+    assert_eq!(core.cpu.get(Reg::Ecx), 0);
+    assert_eq!(core.cpu.get(Reg::Edi), 0x0900_0006);
+}
+
+#[test]
+fn loop_executes_exactly_ecx_times() {
+    let core = run(
+        r"
+        _start:
+            mov ecx, 7
+            xor eax, eax
+        again:
+            inc eax
+            loop again
+            hlt
+        ",
+    );
+    assert_eq!(core.cpu.get(Reg::Eax), 7);
+}
+
+#[test]
+fn movsb_emits_per_byte_taint_ops() {
+    struct Rec(Vec<TaintOp>);
+    impl Hooks for Rec {
+        fn on_taint(&mut self, _: ImageId, op: &TaintOp) {
+            self.0.push(*op);
+        }
+    }
+    let image = asm::assemble(
+        "/t",
+        r#"
+        _start:
+            mov esi, src
+            mov edi, 0x09000000
+            mov ecx, 3
+        copy:
+            movsb
+            loop copy
+            hlt
+        .data
+        src: .asciz "abc"
+        "#,
+        0x1000,
+    )
+    .unwrap();
+    let src_base = image.data_base();
+    let mut core = Core::new();
+    core.load_image(image);
+    core.link().unwrap();
+    core.mem.map(0x0900_0000, 0x0901_0000);
+    core.start();
+    let mut hooks = Rec(Vec::new());
+    while core.step(&mut hooks).unwrap() == StepEvent::Continue {}
+    // Each movsb must move exactly one byte of taint from src+i to dst+i
+    // — the per-byte precision the paper's shadow design requires.
+    let moves: Vec<&TaintOp> = hooks
+        .0
+        .iter()
+        .filter(|op| matches!(op.dst, Loc::Mem(addr, 1) if (0x0900_0000..0x0900_0003).contains(&addr)))
+        .collect();
+    assert_eq!(moves.len(), 3);
+    for (i, op) in moves.iter().enumerate() {
+        assert_eq!(op.dst, Loc::Mem(0x0900_0000 + i as u32, 1));
+        assert_eq!(op.srcs[0], Some(Loc::Mem(src_base + i as u32, 1)));
+        assert!(!op.imm && !op.hardware);
+    }
+}
+
+#[test]
+fn loop_is_a_basic_block_boundary() {
+    let image = asm::assemble(
+        "/t",
+        "_start:\n mov ecx, 2\nbody:\n nop\n loop body\n hlt\n",
+        0x1000,
+    )
+    .unwrap();
+    // Leaders: entry, `body` (loop target), and the post-loop hlt.
+    assert_eq!(image.bb_leaders(), &[0x1000, 0x1004, 0x100c]);
+}

@@ -1,0 +1,44 @@
+//! # hth-workloads — every benchmark from the HTH paper
+//!
+//! Each evaluation row of the paper (§8) is a [`Scenario`]: an assembly
+//! program for the `hth-vm` substrate plus the environment it needs
+//! (files, scripted network peers, console input) and the expected
+//! classification. The groups map to the paper's tables:
+//!
+//! * [`micro::exec_flow`] — Table 4 execution-flow benchmarks,
+//! * [`micro::resource`] — Table 5 resource-abuse benchmarks,
+//! * [`micro::info_flow`] — Table 6 information-flow matrix,
+//! * [`trusted`] — Table 7 false-positive study (ls, column, make, g++,
+//!   awk, pico, tail, diff, wc, bc, xeyes),
+//! * [`exploits`] — Table 8 real exploits (ElmExploit, nlspath, procex,
+//!   grabem, vixie crontab, pma, superforker) and the Table 1 catalog,
+//! * [`macro_bench`] — §8.4 macro benchmarks (pwsafe, mw2.2.1,
+//!   Tic-Tac-Toe, clean and trojaned variants),
+//! * [`extensions`] — §10 future-work features implemented here
+//!   (memory abuse, downloaded-executable content analysis),
+//! * [`table1_models`] — behavioural models of the §2.1 real-world
+//!   malware (PWSteal.Tarno.Q, Trojan.Lodeight.A, W32.Mytob.J@mm).
+
+#![warn(missing_docs)]
+
+pub mod exploits;
+pub mod extensions;
+pub mod libc;
+pub mod macro_bench;
+pub mod micro;
+pub mod scenario;
+pub mod table1_models;
+pub mod trusted;
+
+pub use scenario::{Expectation, Group, Scenario, ScenarioResult, StartSpec};
+
+/// Every scenario in the repository, in table order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let mut all = micro::scenarios();
+    all.extend(trusted::scenarios());
+    all.extend(exploits::scenarios());
+    all.extend(macro_bench::scenarios());
+    all.extend(extensions::scenarios());
+    all.extend(table1_models::scenarios());
+    all
+}

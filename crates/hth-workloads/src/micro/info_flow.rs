@@ -1,0 +1,657 @@
+//! Table 6 — information-flow micro-benchmarks.
+//!
+//! A small code generator assembles one program per (source, target,
+//! identifier-origin) combination: data is acquired from a binary
+//! literal, a file, a socket, the hardware (`cpuid`) or the console,
+//! then written to a file or a socket whose name/address is hardcoded,
+//! user-supplied or received from a remote host. Socket rows also come
+//! in a *server* variant (bind/listen/accept), as in the paper.
+
+use emukernel::{Endpoint, Peer, RemoteClient};
+use hth_core::{Session, Severity};
+
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// Where a resource identifier (file name / socket address) comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NameOrigin {
+    /// Command line (file names) or stdin (socket addresses).
+    User,
+    /// The program's own data section.
+    Hardcoded,
+    /// Received over a control socket.
+    Remote,
+}
+
+/// Data source half of a flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowSource {
+    /// Hardcoded bytes from the binary.
+    Binary,
+    /// Contents of a file whose name has the given origin.
+    File(NameOrigin),
+    /// Bytes received from a connected socket (client side).
+    Socket(NameOrigin),
+    /// Bytes received on an accepted connection (server side,
+    /// hardcoded listening address).
+    SocketServer,
+    /// `cpuid` output.
+    Hardware,
+    /// Console input.
+    UserInput,
+}
+
+/// Data target half of a flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowTarget {
+    /// A file whose name has the given origin.
+    File(NameOrigin),
+    /// A connected socket (client side).
+    Socket(NameOrigin),
+    /// An accepted connection (server side, hardcoded listening address).
+    SocketServer,
+}
+
+const SCRATCH: &str = "0x09000000";
+const NAMEBUF: &str = "0x09010000";
+const ADDRBUF: &str = "0x09020000";
+const DATA_LEN: u32 = 12;
+
+/// Remote control peer (serves file names for `NameOrigin::Remote`).
+const CTRL_IP: u32 = 0x0a00_00cc;
+const CTRL_PORT: u16 = 7777;
+/// Data peer for client-socket sources/targets with hardcoded address.
+const PEER_IP: u32 = 0x0a00_0042;
+const PEER_PORT: u16 = 4040;
+/// Listening port for server variants.
+const SERVE_PORT: u16 = 11111;
+
+/// Accumulates generated code and environment requirements.
+#[derive(Default)]
+struct Gen {
+    code: String,
+    data: String,
+    argv: Vec<String>,
+    stdin: Vec<Vec<u8>>,
+    files: Vec<(String, Vec<u8>)>,
+    want_ctrl_peer: bool,
+    want_data_peer_sends: Option<Vec<u8>>,
+    want_client: Option<Vec<Vec<u8>>>,
+}
+
+impl Gen {
+    fn emit(&mut self, code: &str) {
+        self.code.push_str(code);
+        self.code.push('\n');
+    }
+
+    fn data(&mut self, data: &str) {
+        self.data.push_str(data);
+        self.data.push('\n');
+    }
+
+    fn next_argv(&mut self, value: &str) -> usize {
+        self.argv.push(value.to_string());
+        self.argv.len() // argv[0] is the program itself; index in argv[]
+    }
+
+    /// Emits code leaving a file-name pointer in `ebx`.
+    fn file_name(&mut self, origin: NameOrigin, default_name: &str, label: &str) {
+        match origin {
+            NameOrigin::Hardcoded => {
+                self.data(&format!("{label}: .asciz \"{default_name}\""));
+                self.emit(&format!("    mov ebx, {label}"));
+            }
+            NameOrigin::User => {
+                let idx = self.next_argv(default_name);
+                self.emit(&format!("    mov ebx, [ebp+{}]", 4 + 4 * idx));
+            }
+            NameOrigin::Remote => {
+                self.want_ctrl_peer = true;
+                self.connect_socket("ctl", CTRL_IP, CTRL_PORT, "edx");
+                self.emit(&format!(
+                    "    ; receive the file name from the control host\n\
+                     \x20   mov [ctl_recv], edx\n\
+                     \x20   mov eax, 102\n\
+                     \x20   mov ebx, 10\n\
+                     \x20   mov ecx, ctl_recv\n\
+                     \x20   int 0x80\n\
+                     \x20   mov ebx, {NAMEBUF}"
+                ));
+                self.data(&format!("ctl_recv: .long 0, {NAMEBUF}, 64, 0"));
+            }
+        }
+    }
+
+    /// Emits socket()+connect() to a hardcoded endpoint; fd in `fd_reg`.
+    fn connect_socket(&mut self, prefix: &str, ip: u32, port: u16, fd_reg: &str) {
+        self.data(&format!(
+            "{prefix}_sa: .long 2, 1, 0\n\
+             {prefix}_ad: .word 2\n\
+             {prefix}_po: .word {port}\n\
+             {prefix}_ip: .long {ip:#x}\n\
+             {prefix}_cn: .long 0, {prefix}_ad, 8"
+        ));
+        self.emit(&format!(
+            "    mov eax, 102\n\
+             \x20   mov ebx, 1\n\
+             \x20   mov ecx, {prefix}_sa\n\
+             \x20   int 0x80\n\
+             \x20   mov {fd_reg}, eax\n\
+             \x20   mov [{prefix}_cn], {fd_reg}\n\
+             \x20   mov eax, 102\n\
+             \x20   mov ebx, 3\n\
+             \x20   mov ecx, {prefix}_cn\n\
+             \x20   int 0x80"
+        ));
+    }
+
+    /// Emits socket()+connect() to an address read from stdin; fd in
+    /// `fd_reg`. The sockaddr bytes arrive as one stdin chunk.
+    fn connect_socket_user(&mut self, prefix: &str, ip: u32, port: u16, fd_reg: &str) {
+        let mut sockaddr = Vec::new();
+        sockaddr.extend_from_slice(&2u16.to_le_bytes());
+        sockaddr.extend_from_slice(&port.to_le_bytes());
+        sockaddr.extend_from_slice(&ip.to_le_bytes());
+        self.stdin.push(sockaddr);
+        self.data(&format!(
+            "{prefix}_sa: .long 2, 1, 0\n\
+             {prefix}_cn: .long 0, {ADDRBUF}, 8"
+        ));
+        self.emit(&format!(
+            "    ; the user types the destination address\n\
+             \x20   mov eax, 3\n\
+             \x20   mov ebx, 0\n\
+             \x20   mov ecx, {ADDRBUF}\n\
+             \x20   mov edx, 8\n\
+             \x20   int 0x80\n\
+             \x20   mov eax, 102\n\
+             \x20   mov ebx, 1\n\
+             \x20   mov ecx, {prefix}_sa\n\
+             \x20   int 0x80\n\
+             \x20   mov {fd_reg}, eax\n\
+             \x20   mov [{prefix}_cn], {fd_reg}\n\
+             \x20   mov eax, 102\n\
+             \x20   mov ebx, 3\n\
+             \x20   mov ecx, {prefix}_cn\n\
+             \x20   int 0x80"
+        ));
+    }
+
+    /// Emits bind/listen/accept on the hardcoded serve port; accepted fd
+    /// in `fd_reg`.
+    fn accept_socket(&mut self, prefix: &str, fd_reg: &str) {
+        self.data(&format!(
+            "{prefix}_sa: .long 2, 1, 0\n\
+             {prefix}_ad: .word 2\n\
+             {prefix}_po: .word {SERVE_PORT}\n\
+             {prefix}_ip: .long 0\n\
+             {prefix}_bn: .long 0, {prefix}_ad, 8\n\
+             {prefix}_ls: .long 0, 1\n\
+             {prefix}_ac: .long 0, 0, 0"
+        ));
+        self.emit(&format!(
+            "    mov eax, 102\n\
+             \x20   mov ebx, 1\n\
+             \x20   mov ecx, {prefix}_sa\n\
+             \x20   int 0x80\n\
+             \x20   mov {fd_reg}, eax\n\
+             \x20   mov [{prefix}_bn], {fd_reg}\n\
+             \x20   mov eax, 102\n\
+             \x20   mov ebx, 2          ; bind\n\
+             \x20   mov ecx, {prefix}_bn\n\
+             \x20   int 0x80\n\
+             \x20   mov [{prefix}_ls], {fd_reg}\n\
+             \x20   mov eax, 102\n\
+             \x20   mov ebx, 4          ; listen\n\
+             \x20   mov ecx, {prefix}_ls\n\
+             \x20   int 0x80\n\
+             \x20   mov [{prefix}_ac], {fd_reg}\n\
+             \x20   mov eax, 102\n\
+             \x20   mov ebx, 5          ; accept\n\
+             \x20   mov ecx, {prefix}_ac\n\
+             \x20   int 0x80\n\
+             \x20   mov {fd_reg}, eax"
+        ));
+    }
+
+    /// Emits source acquisition; returns the buffer expression to write.
+    fn source(&mut self, source: FlowSource) -> String {
+        match source {
+            FlowSource::Binary => {
+                self.data("blob: .asciz \"MALPAYLOAD!\"");
+                "blob".to_string()
+            }
+            FlowSource::File(origin) => {
+                self.files.push(("secret.dat".to_string(), b"TOP-SECRET-A".to_vec()));
+                self.file_name(origin, "secret.dat", "spath");
+                self.emit(&format!(
+                    "    mov eax, 5          ; open(source, O_RDONLY)\n\
+                     \x20   mov ecx, 0\n\
+                     \x20   int 0x80\n\
+                     \x20   mov edi, eax\n\
+                     \x20   mov eax, 3          ; read\n\
+                     \x20   mov ebx, edi\n\
+                     \x20   mov ecx, {SCRATCH}\n\
+                     \x20   mov edx, {DATA_LEN}\n\
+                     \x20   int 0x80"
+                ));
+                SCRATCH.to_string()
+            }
+            FlowSource::Socket(origin) => {
+                self.want_data_peer_sends = Some(b"REMOTE-BYTES".to_vec());
+                match origin {
+                    NameOrigin::User => self.connect_socket_user("src", PEER_IP, PEER_PORT, "edi"),
+                    _ => self.connect_socket("src", PEER_IP, PEER_PORT, "edi"),
+                }
+                self.data(&format!("src_rv: .long 0, {SCRATCH}, {DATA_LEN}, 0"));
+                self.emit(
+                    "    mov [src_rv], edi\n\
+                     \x20   mov eax, 102\n\
+                     \x20   mov ebx, 10         ; recv\n\
+                     \x20   mov ecx, src_rv\n\
+                     \x20   int 0x80",
+                );
+                SCRATCH.to_string()
+            }
+            FlowSource::SocketServer => {
+                self.want_client = Some(vec![b"ATTACKERCMD!".to_vec()]);
+                self.accept_socket("srv", "edi");
+                self.data(&format!("srv_rv: .long 0, {SCRATCH}, {DATA_LEN}, 0"));
+                self.emit(
+                    "    mov [srv_rv], edi\n\
+                     \x20   mov eax, 102\n\
+                     \x20   mov ebx, 10         ; recv\n\
+                     \x20   mov ecx, srv_rv\n\
+                     \x20   int 0x80",
+                );
+                SCRATCH.to_string()
+            }
+            FlowSource::Hardware => {
+                self.emit(&format!(
+                    "    cpuid\n\
+                     \x20   mov [{SCRATCH}], eax\n\
+                     \x20   mov [{SCRATCH}+4], ebx\n\
+                     \x20   mov [{SCRATCH}+8], ecx"
+                ));
+                SCRATCH.to_string()
+            }
+            FlowSource::UserInput => {
+                self.stdin.push(b"hunter2pass!".to_vec());
+                self.emit(&format!(
+                    "    mov eax, 3          ; read(stdin)\n\
+                     \x20   mov ebx, 0\n\
+                     \x20   mov ecx, {SCRATCH}\n\
+                     \x20   mov edx, {DATA_LEN}\n\
+                     \x20   int 0x80"
+                ));
+                SCRATCH.to_string()
+            }
+        }
+    }
+
+    /// Emits target acquisition leaving the fd in `esi`.
+    fn target(&mut self, target: FlowTarget) {
+        match target {
+            FlowTarget::File(origin) => {
+                self.file_name(origin, "drop.dat", "tpath");
+                self.emit(
+                    "    mov eax, 5          ; open(target, O_CREAT|O_WRONLY)\n\
+                     \x20   mov ecx, 0x41\n\
+                     \x20   int 0x80\n\
+                     \x20   mov esi, eax",
+                );
+            }
+            FlowTarget::Socket(origin) => {
+                if self.want_data_peer_sends.is_none() {
+                    self.want_data_peer_sends = Some(Vec::new());
+                }
+                match origin {
+                    NameOrigin::User => self.connect_socket_user("tgt", PEER_IP, PEER_PORT, "esi"),
+                    _ => self.connect_socket("tgt", PEER_IP, PEER_PORT, "esi"),
+                }
+            }
+            FlowTarget::SocketServer => {
+                if self.want_client.is_none() {
+                    self.want_client = Some(Vec::new());
+                }
+                self.accept_socket("tsrv", "esi");
+            }
+        }
+    }
+
+    fn finish(mut self, buf: &str, target_is_socket: bool) -> (String, GenSetup) {
+        if target_is_socket {
+            self.data(&format!("wr_args: .long 0, {buf}, {DATA_LEN}, 0"));
+            self.emit(
+                "    mov [wr_args], esi\n\
+                 \x20   mov eax, 102\n\
+                 \x20   mov ebx, 9          ; send\n\
+                 \x20   mov ecx, wr_args\n\
+                 \x20   int 0x80",
+            );
+        } else {
+            self.emit(&format!(
+                "    mov eax, 4          ; write\n\
+                 \x20   mov ebx, esi\n\
+                 \x20   mov ecx, {buf}\n\
+                 \x20   mov edx, {DATA_LEN}\n\
+                 \x20   int 0x80"
+            ));
+        }
+        self.emit("    mov eax, 1\n    mov ebx, 0\n    int 0x80");
+        let program = format!("_start:\n    mov ebp, esp\n{}\n.data\n{}", self.code, self.data);
+        (
+            program,
+            GenSetup {
+                argv: self.argv,
+                stdin: self.stdin,
+                files: self.files,
+                want_ctrl_peer: self.want_ctrl_peer,
+                want_data_peer_sends: self.want_data_peer_sends,
+                want_client: self.want_client,
+            },
+        )
+    }
+}
+
+/// Environment the generated program needs.
+#[derive(Clone, Debug)]
+struct GenSetup {
+    argv: Vec<String>,
+    stdin: Vec<Vec<u8>>,
+    files: Vec<(String, Vec<u8>)>,
+    want_ctrl_peer: bool,
+    want_data_peer_sends: Option<Vec<u8>>,
+    want_client: Option<Vec<Vec<u8>>>,
+}
+
+impl GenSetup {
+    fn apply(&self, session: &mut Session) {
+        for chunk in &self.stdin {
+            session.kernel.push_stdin(chunk.clone());
+        }
+        for (path, content) in &self.files {
+            session.kernel.vfs.install(path.clone(), emukernel::FileNode::regular(content.clone()));
+        }
+        if self.want_ctrl_peer {
+            session.kernel.net.add_host("ctrl.example", CTRL_IP);
+            session.kernel.net.add_peer(
+                Endpoint { ip: CTRL_IP, port: CTRL_PORT },
+                Peer { on_connect: vec![b"dropzone.dat\0".to_vec()], ..Peer::default() },
+            );
+        }
+        if let Some(sends) = &self.want_data_peer_sends {
+            session.kernel.net.add_host("peer.example", PEER_IP);
+            let on_connect =
+                if sends.is_empty() { Vec::new() } else { vec![sends.clone()] };
+            session.kernel.net.add_peer(
+                Endpoint { ip: PEER_IP, port: PEER_PORT },
+                Peer { on_connect, ..Peer::default() },
+            );
+        }
+        if let Some(sends) = &self.want_client {
+            session.kernel.net.add_host("gateway", 0xc0a8_0105);
+            session.kernel.net.queue_client(
+                SERVE_PORT,
+                RemoteClient {
+                    from: Endpoint { ip: 0xc0a8_0105, port: 37047 },
+                    sends: sends.clone().into(),
+                    received: Vec::new(),
+                },
+            );
+        }
+    }
+}
+
+/// Builds one Table 6 scenario.
+fn flow_scenario(
+    id: &'static str,
+    description: &'static str,
+    source: FlowSource,
+    target: FlowTarget,
+    expected: Expectation,
+    paper_note: &'static str,
+) -> Scenario {
+    Scenario {
+        id,
+        group: Group::InfoFlow,
+        description,
+        paper_note,
+        expected,
+        setup: Box::new(move |session: &mut Session| {
+            let mut gen = Gen::default();
+            let buf = gen.source(source);
+            gen.target(target);
+            let target_is_socket =
+                matches!(target, FlowTarget::Socket(_) | FlowTarget::SocketServer);
+            let (program, setup) = gen.finish(&buf, target_is_socket);
+            setup.apply(session);
+            session.kernel.register_binary("/bench/flow", &program, &[]);
+            let mut start = StartSpec::plain("/bench/flow");
+            for arg in &setup.argv {
+                start = start.arg(arg.clone());
+            }
+            start
+        }),
+    }
+}
+
+/// All Table 6 scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    use Expectation::{Silent, Warn, WarnAtLeast};
+    use FlowSource as S;
+    use FlowTarget as T;
+    use NameOrigin::{Hardcoded as H, Remote as R, User as U};
+    use Severity::{High, Low, Medium};
+
+    vec![
+        // Binary → File.
+        flow_scenario(
+            "binary_to_file_user",
+            "hardcoded data written to a user-named file",
+            S::Binary,
+            T::File(U),
+            Silent,
+            "correctly classified (trusted behaviour)",
+        ),
+        flow_scenario(
+            "binary_to_file_hard",
+            "hardcoded data written to a hardcoded-name file",
+            S::Binary,
+            T::File(H),
+            Warn(High),
+            "malicious: the dropper pattern",
+        ),
+        flow_scenario(
+            "binary_to_file_remote",
+            "hardcoded data written to a file named by a remote host",
+            S::Binary,
+            T::File(R),
+            WarnAtLeast(High),
+            "malicious: remote party chooses the drop location",
+        ),
+        // Binary → Socket.
+        flow_scenario(
+            "binary_to_socket_user",
+            "hardcoded data sent to a user-given address",
+            S::Binary,
+            T::Socket(U),
+            Silent,
+            "correctly classified (user directed the send)",
+        ),
+        flow_scenario(
+            "binary_to_socket_hard",
+            "hardcoded data sent to a hardcoded address",
+            S::Binary,
+            T::Socket(H),
+            Warn(Low),
+            "the beacon pattern (paper's pwsafe warnings were Low)",
+        ),
+        // File → File.
+        flow_scenario(
+            "file_to_file_user_user",
+            "user-named file copied to a user-named file",
+            S::File(U),
+            T::File(U),
+            Silent,
+            "cp(1): trusted",
+        ),
+        flow_scenario(
+            "file_to_file_user_hard",
+            "user-named file copied to a hardcoded-name file",
+            S::File(U),
+            T::File(H),
+            Warn(Low),
+            "suspicious fixed destination",
+        ),
+        flow_scenario(
+            "file_to_file_hard_user",
+            "hardcoded-name file copied to a user-named file",
+            S::File(H),
+            T::File(U),
+            Warn(Low),
+            "suspicious fixed source",
+        ),
+        flow_scenario(
+            "file_to_file_hard_hard",
+            "hardcoded-name file copied to a hardcoded-name file",
+            S::File(H),
+            T::File(H),
+            Warn(Medium),
+            "self-contained copy, no user in the loop",
+        ),
+        // File → Socket.
+        flow_scenario(
+            "file_to_socket_user_user",
+            "user-named file sent to a user-given address",
+            S::File(U),
+            T::Socket(U),
+            Silent,
+            "scp-like: trusted",
+        ),
+        flow_scenario(
+            "file_to_socket_user_hard",
+            "user-named file sent to a hardcoded address",
+            S::File(U),
+            T::Socket(H),
+            Warn(Low),
+            "paper §4.3 rule 1: Low",
+        ),
+        flow_scenario(
+            "file_to_socket_hard_user",
+            "hardcoded-name file sent to a user-given address",
+            S::File(H),
+            T::Socket(U),
+            Warn(Low),
+            "paper §4.3 rule 1: Low",
+        ),
+        flow_scenario(
+            "file_to_socket_hard_hard",
+            "hardcoded-name file sent to a hardcoded address",
+            S::File(H),
+            T::Socket(H),
+            Warn(High),
+            "paper §4.3 rule 1: High — exfiltration",
+        ),
+        flow_scenario(
+            "file_to_socket_hard_hard_server",
+            "hardcoded-name file served over a hardcoded listening socket",
+            S::File(H),
+            T::SocketServer,
+            WarnAtLeast(High),
+            "server variant (paper ran socket tests twice)",
+        ),
+        // Socket → File.
+        flow_scenario(
+            "socket_to_file_user_user",
+            "download from a user-given address into a user-named file",
+            S::Socket(U),
+            T::File(U),
+            Silent,
+            "wget-like: trusted",
+        ),
+        flow_scenario(
+            "socket_to_file_user_hard",
+            "download from a user-given address into a hardcoded file",
+            S::Socket(U),
+            T::File(H),
+            Warn(Low),
+            "fixed drop location",
+        ),
+        flow_scenario(
+            "socket_to_file_hard_user",
+            "download from a hardcoded address into a user-named file",
+            S::Socket(H),
+            T::File(U),
+            Silent,
+            "curl-with-default-mirror: tolerated",
+        ),
+        flow_scenario(
+            "socket_to_file_hard_hard",
+            "download from a hardcoded address into a hardcoded file",
+            S::Socket(H),
+            T::File(H),
+            Warn(High),
+            "the download-and-store pattern",
+        ),
+        flow_scenario(
+            "socket_to_file_hard_hard_server",
+            "accepted-connection data written into a hardcoded file",
+            S::SocketServer,
+            T::File(H),
+            WarnAtLeast(High),
+            "server variant: pma's socket→inpipe flow",
+        ),
+        // Hardware → File.
+        flow_scenario(
+            "hardware_to_file_user",
+            "cpuid output written to a user-named file",
+            S::Hardware,
+            T::File(U),
+            Silent,
+            "user asked for the report",
+        ),
+        flow_scenario(
+            "hardware_to_file_hard",
+            "cpuid output written to a hardcoded-name file",
+            S::Hardware,
+            T::File(H),
+            Warn(High),
+            "paper §4.3 rule 2: fingerprinting",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_all_correctly_classified() {
+        let mut failures = Vec::new();
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            if !result.correct() {
+                failures.push(format!(
+                    "{}: expected {:?}, got {:?} (rules {:?})\n{}",
+                    scenario.id,
+                    scenario.expected,
+                    result.max_severity(),
+                    result.rules_fired(),
+                    result.transcript,
+                ));
+            }
+        }
+        assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+    }
+
+    #[test]
+    fn matrix_covers_paper_rows() {
+        let ids: Vec<&str> = scenarios().iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 21);
+        assert!(ids.contains(&"binary_to_file_remote"));
+        assert!(ids.contains(&"socket_to_file_hard_hard_server"));
+        assert!(ids.contains(&"hardware_to_file_hard"));
+    }
+}

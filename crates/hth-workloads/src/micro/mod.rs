@@ -1,0 +1,15 @@
+//! Micro-benchmarks: Tables 4, 5 and 6 of the paper (§8.1).
+
+pub mod exec_flow;
+pub mod info_flow;
+pub mod resource;
+
+use crate::scenario::Scenario;
+
+/// Every micro-benchmark scenario (Tables 4–6).
+pub fn scenarios() -> Vec<Scenario> {
+    let mut all = exec_flow::scenarios();
+    all.extend(resource::scenarios());
+    all.extend(info_flow::scenarios());
+    all
+}

@@ -1,0 +1,111 @@
+//! Table 5 — resource-abuse micro-benchmarks: `loop_forker` and
+//! `tree_forker` (paper §8.1.2).
+
+use hth_core::Severity;
+
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// The two Table 5 scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![loop_forker(), tree_forker()]
+}
+
+fn loop_forker() -> Scenario {
+    Scenario {
+        id: "loop_forker",
+        group: Group::ResourceAbuse,
+        description: "one main thread forks repeatedly; children idle",
+        paper_note: "detected: process-count threshold and creation rate",
+        expected: Expectation::Rules(
+            Severity::Medium,
+            &["check_clone_count", "check_clone_rate"],
+        ),
+        setup: Box::new(|session| {
+            session.kernel.register_binary(
+                "/bench/loop_forker",
+                r"
+                _start:
+                    mov edi, 25
+                main_loop:
+                    mov eax, 2          ; fork
+                    int 0x80
+                    cmp eax, 0
+                    je child
+                    dec edi
+                    cmp edi, 0
+                    jne main_loop
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                child:
+                    mov eax, 162        ; nanosleep(1)
+                    mov ebx, 1
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/bench/loop_forker")
+        }),
+    }
+}
+
+fn tree_forker() -> Scenario {
+    Scenario {
+        id: "tree_forker",
+        group: Group::ResourceAbuse,
+        description: "fork tree: parent and child both keep forking",
+        paper_note: "detected: process-count threshold and creation rate",
+        expected: Expectation::Rules(
+            Severity::Medium,
+            &["check_clone_count", "check_clone_rate"],
+        ),
+        setup: Box::new(|session| {
+            session.kernel.register_binary(
+                "/bench/tree_forker",
+                r"
+                _start:
+                    mov edi, 5
+                tloop:
+                    mov eax, 2          ; fork: BOTH sides continue
+                    int 0x80
+                    dec edi
+                    cmp edi, 0
+                    jne tloop
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/bench/tree_forker")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_both_detected() {
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            assert!(
+                result.correct(),
+                "{}: rules fired {:?}, transcript:\n{}",
+                scenario.id,
+                result.rules_fired(),
+                result.transcript,
+            );
+        }
+    }
+
+    #[test]
+    fn loop_forker_spawns_many_processes() {
+        let result = loop_forker().run().unwrap();
+        assert!(result.report.exited.len() >= 20, "exits: {:?}", result.report.exited.len());
+    }
+}

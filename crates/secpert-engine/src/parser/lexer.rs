@@ -1,0 +1,392 @@
+//! Tokenizer for the CLIPS-style surface syntax.
+
+use crate::error::{EngineError, Result};
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// Bare symbol, e.g. `SYS_execve`, `<-`, `=` (when not `=>`/`=(`).
+    Sym(String),
+    /// Double-quoted string (escapes processed).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `?name`
+    Var(String),
+    /// `$?name`
+    MultiVar(String),
+    /// `?*name*`
+    Global(String),
+    /// Bare `?` wildcard.
+    Question,
+    /// Bare `$?` wildcard.
+    DollarQuestion,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `~`
+    Tilde,
+    /// `:` (predicate-constraint prefix, as in `:(expr)`)
+    Colon,
+    /// `=` immediately followed by `(` — return-value constraint prefix.
+    EqParen,
+    /// `=>`
+    Arrow,
+}
+
+/// A token with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Characters that terminate a symbol.
+fn is_delimiter(c: char) -> bool {
+    c.is_whitespace() || matches!(c, '(' | ')' | '"' | ';' | '&' | '|' | '~')
+}
+
+/// Tokenizes CLIPS-style source text.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Parse`] on unterminated strings or malformed
+/// global references.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(EngineError::Parse { line, col, message: format!($($arg)*) })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |tok: Tok| tokens.push(Token { tok, line: tline, col: tcol });
+
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+
+        match c {
+            _ if c.is_whitespace() => advance(&mut i, &mut line, &mut col),
+            ';' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '(' => {
+                push(Tok::LParen);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ')' => {
+                push(Tok::RParen);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '&' => {
+                push(Tok::Amp);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '|' => {
+                push(Tok::Pipe);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '~' => {
+                push(Tok::Tilde);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        err!("unterminated string literal");
+                    }
+                    match chars[i] {
+                        '"' => {
+                            advance(&mut i, &mut line, &mut col);
+                            break;
+                        }
+                        '\\' => {
+                            advance(&mut i, &mut line, &mut col);
+                            if i >= chars.len() {
+                                err!("unterminated escape in string literal");
+                            }
+                            let esc = chars[i];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                        other => {
+                            s.push(other);
+                            advance(&mut i, &mut line, &mut col);
+                        }
+                    }
+                }
+                push(Tok::Str(s));
+            }
+            '?' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '*' {
+                    advance(&mut i, &mut line, &mut col);
+                    let mut name = String::new();
+                    while i < chars.len() && chars[i] != '*' {
+                        if is_delimiter(chars[i]) {
+                            err!("malformed global: expected closing `*`");
+                        }
+                        name.push(chars[i]);
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    if i >= chars.len() {
+                        err!("malformed global: expected closing `*`");
+                    }
+                    advance(&mut i, &mut line, &mut col); // closing '*'
+                    push(Tok::Global(name));
+                } else {
+                    let mut name = String::new();
+                    while i < chars.len() && !is_delimiter(chars[i]) && chars[i] != ':' {
+                        name.push(chars[i]);
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    if name.is_empty() {
+                        push(Tok::Question);
+                    } else {
+                        push(Tok::Var(name));
+                    }
+                }
+            }
+            '$' if i + 1 < chars.len() && chars[i + 1] == '?' => {
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+                let mut name = String::new();
+                while i < chars.len() && !is_delimiter(chars[i]) {
+                    name.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if name.is_empty() {
+                    push(Tok::DollarQuestion);
+                } else {
+                    push(Tok::MultiVar(name));
+                }
+            }
+            ':' if i + 1 < chars.len() && chars[i + 1] == '(' => {
+                push(Tok::Colon);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '=' if i + 1 < chars.len() && chars[i + 1] == '>' => {
+                push(Tok::Arrow);
+                advance(&mut i, &mut line, &mut col);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '=' if i + 1 < chars.len() && chars[i + 1] == '(' => {
+                push(Tok::EqParen);
+                advance(&mut i, &mut line, &mut col);
+            }
+            _ => {
+                // Symbol or number: consume until delimiter.
+                let mut text = String::new();
+                while i < chars.len() && !is_delimiter(chars[i]) {
+                    text.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                debug_assert!(!text.is_empty());
+                if let Ok(n) = text.parse::<i64>() {
+                    push(Tok::Int(n));
+                } else if looks_numeric(&text) {
+                    match text.parse::<f64>() {
+                        Ok(x) => push(Tok::Float(x)),
+                        Err(_) => push(Tok::Sym(text)),
+                    }
+                } else {
+                    push(Tok::Sym(text));
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// True for texts that should parse as floats (avoids turning symbols
+/// like `e5` or `-` into numbers).
+fn looks_numeric(text: &str) -> bool {
+    let rest = text.strip_prefix(['+', '-']).unwrap_or(text);
+    rest.starts_with(|c: char| c.is_ascii_digit() || c == '.')
+        && rest.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        && rest.chars().any(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("(deftemplate ev (slot a))"),
+            vec![
+                Tok::LParen,
+                Tok::Sym("deftemplate".into()),
+                Tok::Sym("ev".into()),
+                Tok::LParen,
+                Tok::Sym("slot".into()),
+                Tok::Sym("a".into()),
+                Tok::RParen,
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_globals() {
+        assert_eq!(
+            toks("?x $?rest ?*LIMIT* ? $?"),
+            vec![
+                Tok::Var("x".into()),
+                Tok::MultiVar("rest".into()),
+                Tok::Global("LIMIT".into()),
+                Tok::Question,
+                Tok::DollarQuestion,
+            ]
+        );
+    }
+
+    #[test]
+    fn connective_tokens() {
+        assert_eq!(
+            toks("?x&~A|B"),
+            vec![
+                Tok::Var("x".into()),
+                Tok::Amp,
+                Tok::Tilde,
+                Tok::Sym("A".into()),
+                Tok::Pipe,
+                Tok::Sym("B".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn predicate_and_return_value_prefixes() {
+        assert_eq!(
+            toks(":(> ?x 1) =(+ 1 2)"),
+            vec![
+                Tok::Colon,
+                Tok::LParen,
+                Tok::Sym(">".into()),
+                Tok::Var("x".into()),
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::EqParen,
+                Tok::LParen,
+                Tok::Sym("+".into()),
+                Tok::Int(1),
+                Tok::Int(2),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_equals_symbol() {
+        assert_eq!(toks("=>"), vec![Tok::Arrow]);
+        assert_eq!(
+            toks("(= ?x 1)"),
+            vec![
+                Tok::LParen,
+                Tok::Sym("=".into()),
+                Tok::Var("x".into()),
+                Tok::Int(1),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""/bin/ls" "a\"b" "tab\there""#),
+            vec![
+                Tok::Str("/bin/ls".into()),
+                Tok::Str("a\"b".into()),
+                Tok::Str("tab\there".into()),
+            ]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers_and_number_like_symbols() {
+        assert_eq!(
+            toks("42 -7 3.5 -0.25 1e3"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(-7),
+                Tok::Float(3.5),
+                Tok::Float(-0.25),
+                Tok::Float(1000.0),
+            ]
+        );
+        assert_eq!(toks("-"), vec![Tok::Sym("-".into())]);
+        assert_eq!(toks("e5"), vec![Tok::Sym("e5".into())]);
+        assert_eq!(toks("nth$"), vec![Tok::Sym("nth$".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a ; comment here\nb"),
+            vec![Tok::Sym("a".into()), Tok::Sym("b".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn fact_address_arrow_symbol() {
+        assert_eq!(
+            toks("?f <- (ev)"),
+            vec![
+                Tok::Var("f".into()),
+                Tok::Sym("<-".into()),
+                Tok::LParen,
+                Tok::Sym("ev".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! CLIPS-syntax frontend: `deftemplate`, `defrule`, `defglobal`,
+//! `deffacts` and fact forms, parsed into the engine's native structures.
+//!
+//! The subset implemented is exactly what the HTH policy (paper Appendix
+//! A) uses, plus the general expression grammar so new rules can be
+//! authored without touching Rust.
+
+mod lexer;
+mod reader;
+
+pub use lexer::{lex, Tok, Token};
+pub use reader::{parse_fact_form, parse_program, Construct, ParsedFact};
+
+use crate::engine::Engine;
+use crate::error::Result;
+use crate::fact::{Fact, FactId};
+use crate::value::Value;
+
+impl Engine {
+    /// Loads CLIPS-style source: `deftemplate`, `defrule`, `defglobal`
+    /// and `deffacts` constructs, applied in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors (with positions) and semantic errors
+    /// (unknown templates/slots, redefinitions).
+    ///
+    /// ```
+    /// use secpert_engine::Engine;
+    /// # fn main() -> Result<(), secpert_engine::EngineError> {
+    /// let mut engine = Engine::new();
+    /// engine.load_str("(deftemplate ev (slot n)) (defglobal ?*LIMIT* = 5)")?;
+    /// assert!(engine.template("ev").is_some());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn load_str(&mut self, src: &str) -> Result<()> {
+        let constructs = parse_program(src, &|name| self.template(name).cloned())?;
+        for construct in constructs {
+            match construct {
+                Construct::Template(t) => {
+                    self.add_template(t)?;
+                }
+                Construct::Rule(r) => self.add_rule(r)?,
+                Construct::Global(name, value) => self.set_global(name, value),
+                Construct::Function(f) => self.add_function(f)?,
+                Construct::Deffacts(facts) => {
+                    for parsed in facts {
+                        let fact = self.build_parsed_fact(&parsed)?;
+                        self.add_deffact(fact);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and asserts a single fact form like
+    /// `(system_call_access (time 33) (resource_name "/bin/ls"))`.
+    ///
+    /// Returns the new fact id, or `None` for suppressed duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors and unknown template/slot errors.
+    pub fn assert_str(&mut self, src: &str) -> Result<Option<FactId>> {
+        let parsed = parse_fact_form(src)?;
+        let fact = self.build_parsed_fact(&parsed)?;
+        self.assert_fact(fact)
+    }
+
+    fn build_parsed_fact(&self, parsed: &ParsedFact) -> Result<Fact> {
+        let mut builder = self.fact(&parsed.template)?;
+        for (slot, values) in &parsed.slots {
+            let value = match values.as_slice() {
+                [single] => single.clone(),
+                many => Value::multi(many.iter().cloned()),
+            };
+            builder = builder.slot(slot, value);
+        }
+        builder.build()
+    }
+}

@@ -1,0 +1,728 @@
+//! Recursive-descent reader: tokens → engine constructs.
+
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::pattern::{Atom, CondElem, FieldConstraint, PatternCE, SlotPattern, Term};
+use crate::engine::UserFn;
+use crate::rule::Rule;
+use crate::template::{SlotDef, SlotKind, Template};
+use crate::value::Value;
+
+use super::lexer::{lex, Tok, Token};
+
+/// A top-level construct produced by [`parse_program`].
+#[derive(Clone, Debug)]
+pub enum Construct {
+    /// `(deftemplate …)`
+    Template(Template),
+    /// `(defrule …)`
+    Rule(Rule),
+    /// `(defglobal ?*name* = value)`
+    Global(String, Value),
+    /// `(deffacts name (fact)…)`
+    Deffacts(Vec<ParsedFact>),
+    /// `(deffunction name (?a ?b [$?rest]) expr…)`
+    Function(UserFn),
+}
+
+/// A parsed fact form (template instantiation with literal slot values).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedFact {
+    /// Template name.
+    pub template: String,
+    /// Slot name → field values (several ⇒ multifield).
+    pub slots: Vec<(String, Vec<Value>)>,
+}
+
+/// Resolves template names during parsing (templates already registered
+/// with the engine, plus ones defined earlier in the same source).
+type TemplateLookup<'a> = &'a dyn Fn(&str) -> Option<Arc<Template>>;
+
+/// Parses a whole source text into constructs.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Parse`] with position info on syntax errors and
+/// semantic errors ([`EngineError::UnknownTemplate`], …) on bad references.
+pub fn parse_program(src: &str, lookup: TemplateLookup<'_>) -> Result<Vec<Construct>> {
+    let tokens = lex(src)?;
+    let mut reader = Reader::new(&tokens, lookup);
+    let mut constructs = Vec::new();
+    while !reader.at_end() {
+        constructs.push(reader.construct()?);
+    }
+    Ok(constructs)
+}
+
+/// Parses a single fact form like `(ev (slot value…)…)`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Parse`] on syntax errors.
+pub fn parse_fact_form(src: &str) -> Result<ParsedFact> {
+    let tokens = lex(src)?;
+    let mut reader = Reader::new(&tokens, &|_| None);
+    let fact = reader.fact_form()?;
+    if !reader.at_end() {
+        return Err(reader.error("trailing tokens after fact form"));
+    }
+    Ok(fact)
+}
+
+struct Reader<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    lookup: TemplateLookup<'a>,
+    local_templates: Vec<Arc<Template>>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(tokens: &'a [Token], lookup: TemplateLookup<'a>) -> Reader<'a> {
+        Reader { tokens, pos: 0, lookup, local_templates: Vec::new() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Result<&'a Token> {
+        let t = self.tokens.get(self.pos).ok_or_else(|| self.eof_error())?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn error(&self, message: impl Into<String>) -> EngineError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or((0, 0), |t| (t.line, t.col));
+        EngineError::Parse { line, col, message: message.into() }
+    }
+
+    fn eof_error(&self) -> EngineError {
+        let (line, col) = self.tokens.last().map_or((1, 1), |t| (t.line, t.col));
+        EngineError::Parse { line, col, message: "unexpected end of input".into() }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        let t = self.next()?;
+        if &t.tok == tok {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.error(format!("expected {what}, found {:?}", t.tok)))
+        }
+    }
+
+    fn symbol(&mut self, what: &str) -> Result<String> {
+        match &self.next()?.tok {
+            Tok::Sym(s) => Ok(s.clone()),
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("expected {what}, found {other:?}")))
+            }
+        }
+    }
+
+    fn find_template(&self, name: &str) -> Option<Arc<Template>> {
+        self.local_templates
+            .iter()
+            .find(|t| t.name() == name)
+            .cloned()
+            .or_else(|| (self.lookup)(name))
+    }
+
+    // ----- top-level constructs -----------------------------------------
+
+    fn construct(&mut self) -> Result<Construct> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let head = self.symbol("construct keyword")?;
+        match head.as_str() {
+            "deftemplate" => self.deftemplate(),
+            "defrule" => self.defrule(),
+            "defglobal" => self.defglobal(),
+            "deffacts" => self.deffacts(),
+            "deffunction" => self.deffunction(),
+            other => Err(self.error(format!("unknown construct `{other}`"))),
+        }
+    }
+
+    fn deftemplate(&mut self) -> Result<Construct> {
+        let name = self.symbol("template name")?;
+        let mut doc = None;
+        if let Some(Tok::Str(s)) = self.peek() {
+            doc = Some(s.clone());
+            self.pos += 1;
+        }
+        let mut slots = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            self.expect(&Tok::LParen, "`(slot …)`")?;
+            let kind = self.symbol("`slot` or `multislot`")?;
+            let slot_name = self.symbol("slot name")?;
+            let mut def = match kind.as_str() {
+                "slot" => SlotDef::single(&slot_name),
+                "multislot" => SlotDef::multi(&slot_name),
+                other => return Err(self.error(format!("expected slot kind, found `{other}`"))),
+            };
+            // Optional attributes: we honour (default <value>) and skip
+            // (type …) — types are advisory in this subset.
+            while self.peek() == Some(&Tok::LParen) {
+                self.pos += 1;
+                let attr = self.symbol("slot attribute")?;
+                match attr.as_str() {
+                    "default" => {
+                        let v = self.value()?;
+                        def = def.with_default(v);
+                    }
+                    "type" => {
+                        // Consume the type symbols without acting on them.
+                        while self.peek() != Some(&Tok::RParen) {
+                            self.next()?;
+                        }
+                    }
+                    other => {
+                        return Err(self.error(format!("unsupported slot attribute `{other}`")))
+                    }
+                }
+                self.expect(&Tok::RParen, "`)` closing slot attribute")?;
+            }
+            self.expect(&Tok::RParen, "`)` closing slot")?;
+            slots.push(def);
+        }
+        self.expect(&Tok::RParen, "`)` closing deftemplate")?;
+        let mut template = Template::new(&name, slots);
+        if let Some(d) = doc {
+            template = template.with_doc(d);
+        }
+        self.local_templates.push(Arc::new(template.clone()));
+        Ok(Construct::Template(template))
+    }
+
+    fn defglobal(&mut self) -> Result<Construct> {
+        let name = match &self.next()?.tok {
+            Tok::Global(name) => name.clone(),
+            other => {
+                self.pos -= 1;
+                return Err(self.error(format!("expected `?*name*`, found {other:?}")));
+            }
+        };
+        match &self.next()?.tok {
+            Tok::Sym(s) if s == "=" => {}
+            other => {
+                self.pos -= 1;
+                return Err(self.error(format!("expected `=`, found {other:?}")));
+            }
+        }
+        let value = self.value()?;
+        self.expect(&Tok::RParen, "`)` closing defglobal")?;
+        Ok(Construct::Global(name, value))
+    }
+
+    fn deffacts(&mut self) -> Result<Construct> {
+        let _name = self.symbol("deffacts name")?;
+        let mut facts = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            self.expect(&Tok::LParen, "`(` opening fact")?;
+            facts.push(self.fact_body()?);
+        }
+        self.expect(&Tok::RParen, "`)` closing deffacts")?;
+        Ok(Construct::Deffacts(facts))
+    }
+
+    fn deffunction(&mut self) -> Result<Construct> {
+        let name = self.symbol("function name")?;
+        if let Some(Tok::Str(_)) = self.peek() {
+            self.pos += 1; // optional doc string
+        }
+        self.expect(&Tok::LParen, "`(` opening parameter list")?;
+        let mut params = Vec::new();
+        let mut wildcard = None;
+        while self.peek() != Some(&Tok::RParen) {
+            match &self.next()?.tok {
+                Tok::Var(p) => {
+                    if wildcard.is_some() {
+                        return Err(self.error("`$?rest` must be the last parameter"));
+                    }
+                    params.push(Arc::from(p.as_str()));
+                }
+                Tok::MultiVar(p) => {
+                    if wildcard.is_some() {
+                        return Err(self.error("only one `$?rest` parameter allowed"));
+                    }
+                    wildcard = Some(Arc::from(p.as_str()));
+                }
+                other => {
+                    self.pos -= 1;
+                    return Err(self.error(format!("expected parameter, found {other:?}")));
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)` closing parameter list")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            body.push(self.expr()?);
+        }
+        self.expect(&Tok::RParen, "`)` closing deffunction")?;
+        Ok(Construct::Function(UserFn { name: Arc::from(name.as_str()), params, wildcard, body }))
+    }
+
+    fn fact_form(&mut self) -> Result<ParsedFact> {
+        self.expect(&Tok::LParen, "`(` opening fact")?;
+        self.fact_body()
+    }
+
+    /// Fact body after the opening paren: `tmpl (slot value…)… )`.
+    fn fact_body(&mut self) -> Result<ParsedFact> {
+        let template = self.symbol("template name")?;
+        let mut slots = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            self.expect(&Tok::LParen, "`(` opening slot value")?;
+            let slot = self.symbol("slot name")?;
+            let mut values = Vec::new();
+            while self.peek() != Some(&Tok::RParen) {
+                values.push(self.value()?);
+            }
+            self.expect(&Tok::RParen, "`)` closing slot value")?;
+            slots.push((slot, values));
+        }
+        self.expect(&Tok::RParen, "`)` closing fact")?;
+        Ok(ParsedFact { template, slots })
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match &self.next()?.tok {
+            Tok::Sym(s) => Ok(Value::sym(s)),
+            Tok::Str(s) => Ok(Value::str(s)),
+            Tok::Int(n) => Ok(Value::Int(*n)),
+            Tok::Float(x) => Ok(Value::Float(*x)),
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("expected a literal value, found {other:?}")))
+            }
+        }
+    }
+
+    // ----- defrule -------------------------------------------------------
+
+    fn defrule(&mut self) -> Result<Construct> {
+        let name = self.symbol("rule name")?;
+        let mut doc = None;
+        if let Some(Tok::Str(s)) = self.peek() {
+            doc = Some(s.clone());
+            self.pos += 1;
+        }
+        let mut salience = 0;
+        // Optional (declare (salience N)).
+        if self.peek() == Some(&Tok::LParen) {
+            if let Some(Tok::Sym(s)) = self.tokens.get(self.pos + 1).map(|t| &t.tok) {
+                if s == "declare" {
+                    self.pos += 2;
+                    self.expect(&Tok::LParen, "`(salience …)`")?;
+                    let kw = self.symbol("`salience`")?;
+                    if kw != "salience" {
+                        return Err(self.error(format!("unsupported declaration `{kw}`")));
+                    }
+                    match &self.next()?.tok {
+                        Tok::Int(n) => salience = *n as i32,
+                        other => {
+                            self.pos -= 1;
+                            return Err(
+                                self.error(format!("expected salience value, found {other:?}"))
+                            );
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)` closing salience")?;
+                    self.expect(&Tok::RParen, "`)` closing declare")?;
+                }
+            }
+        }
+        // LHS condition elements until `=>`.
+        let mut lhs = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Arrow) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Tok::Var(_)) => {
+                    // `?f <- (pattern)`
+                    let Tok::Var(binding) = &self.next()?.tok else { unreachable!() };
+                    let arrow = self.symbol("`<-`")?;
+                    if arrow != "<-" {
+                        return Err(self.error(format!("expected `<-`, found `{arrow}`")));
+                    }
+                    let pattern = self.pattern_ce()?.bind(binding);
+                    lhs.push(CondElem::Pattern(pattern));
+                }
+                Some(Tok::LParen) => {
+                    let ce = self.cond_elem()?;
+                    lhs.push(ce);
+                }
+                Some(other) => {
+                    return Err(self.error(format!("expected condition element, found {other:?}")))
+                }
+                None => return Err(self.eof_error()),
+            }
+        }
+        // RHS actions until the closing paren of the defrule.
+        let mut rhs = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            rhs.push(self.expr()?);
+        }
+        self.expect(&Tok::RParen, "`)` closing defrule")?;
+        let mut rule = Rule::new(&name, salience, lhs, rhs);
+        if let Some(d) = doc {
+            rule = rule.with_doc(d);
+        }
+        Ok(Construct::Rule(rule))
+    }
+
+    fn cond_elem(&mut self) -> Result<CondElem> {
+        // Called with peek == LParen.
+        match self.tokens.get(self.pos + 1).map(|t| &t.tok) {
+            Some(Tok::Sym(s)) if s == "not" => {
+                self.pos += 2;
+                let inner = self.pattern_ce()?;
+                self.expect(&Tok::RParen, "`)` closing not")?;
+                Ok(CondElem::Not(inner))
+            }
+            Some(Tok::Sym(s)) if s == "test" => {
+                self.pos += 2;
+                let expr = self.expr()?;
+                self.expect(&Tok::RParen, "`)` closing test")?;
+                Ok(CondElem::Test(expr))
+            }
+            _ => Ok(CondElem::Pattern(self.pattern_ce()?)),
+        }
+    }
+
+    /// Parses `(tmpl (slot constraints…)…)`.
+    fn pattern_ce(&mut self) -> Result<PatternCE> {
+        self.expect(&Tok::LParen, "`(` opening pattern")?;
+        let template_name = self.symbol("template name")?;
+        let template = self
+            .find_template(&template_name)
+            .ok_or(EngineError::UnknownTemplate(template_name.clone()))?;
+        let mut pattern = PatternCE::new(&template_name);
+        while self.peek() != Some(&Tok::RParen) {
+            self.expect(&Tok::LParen, "`(` opening slot pattern")?;
+            let slot_name = self.symbol("slot name")?;
+            let slot_def = template.slot(&slot_name)?;
+            let mut constraints = Vec::new();
+            while self.peek() != Some(&Tok::RParen) {
+                constraints.push(self.field_constraint()?);
+            }
+            self.expect(&Tok::RParen, "`)` closing slot pattern")?;
+            let slot_pattern = match slot_def.kind() {
+                SlotKind::Single => {
+                    if constraints.len() != 1 {
+                        return Err(self.error(format!(
+                            "single-valued slot `{slot_name}` takes exactly one constraint, \
+                             found {}",
+                            constraints.len()
+                        )));
+                    }
+                    SlotPattern::Single(constraints.into_iter().next().expect("len checked"))
+                }
+                SlotKind::Multi => SlotPattern::MultiSeq(constraints),
+            };
+            pattern = pattern.slot(&slot_name, slot_pattern);
+        }
+        self.expect(&Tok::RParen, "`)` closing pattern")?;
+        Ok(pattern)
+    }
+
+    /// Parses one field constraint: `conj (| conj)*` where
+    /// `conj = atom (& atom)*`.
+    fn field_constraint(&mut self) -> Result<FieldConstraint> {
+        let mut alts = Vec::new();
+        let mut conj = vec![self.constraint_atom()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Amp) => {
+                    self.pos += 1;
+                    conj.push(self.constraint_atom()?);
+                }
+                Some(Tok::Pipe) => {
+                    self.pos += 1;
+                    alts.push(std::mem::take(&mut conj));
+                    conj.push(self.constraint_atom()?);
+                }
+                _ => break,
+            }
+        }
+        alts.push(conj);
+        Ok(FieldConstraint { alts })
+    }
+
+    fn constraint_atom(&mut self) -> Result<Atom> {
+        match &self.next()?.tok {
+            Tok::Tilde => Ok(Atom::Not(Box::new(self.constraint_atom()?))),
+            Tok::Colon => Ok(Atom::Pred(self.expr()?)),
+            Tok::EqParen => Ok(Atom::EqExpr(self.expr()?)),
+            Tok::Sym(s) => Ok(Atom::Term(Term::Literal(Value::sym(s)))),
+            Tok::Str(s) => Ok(Atom::Term(Term::Literal(Value::str(s)))),
+            Tok::Int(n) => Ok(Atom::Term(Term::Literal(Value::Int(*n)))),
+            Tok::Float(x) => Ok(Atom::Term(Term::Literal(Value::Float(*x)))),
+            Tok::Var(name) => Ok(Atom::Term(Term::Var(Arc::from(name.as_str())))),
+            Tok::MultiVar(name) => Ok(Atom::Term(Term::MultiVar(Arc::from(name.as_str())))),
+            Tok::Question => Ok(Atom::Term(Term::Wildcard)),
+            Tok::DollarQuestion => Ok(Atom::Term(Term::MultiWildcard)),
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("expected field constraint, found {other:?}")))
+            }
+        }
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        match &self.next()?.tok {
+            Tok::Sym(s) => Ok(Expr::Const(Value::sym(s))),
+            Tok::Str(s) => Ok(Expr::Const(Value::str(s))),
+            Tok::Int(n) => Ok(Expr::Const(Value::Int(*n))),
+            Tok::Float(x) => Ok(Expr::Const(Value::Float(*x))),
+            Tok::Var(name) => Ok(Expr::Var(Arc::from(name.as_str()))),
+            Tok::MultiVar(name) => Ok(Expr::Var(Arc::from(name.as_str()))),
+            Tok::Global(name) => Ok(Expr::Global(Arc::from(name.as_str()))),
+            Tok::LParen => self.call_expr(),
+            other => {
+                self.pos -= 1;
+                Err(self.error(format!("expected expression, found {other:?}")))
+            }
+        }
+    }
+
+    /// Parses a call-shaped expression (opening paren already consumed).
+    fn call_expr(&mut self) -> Result<Expr> {
+        let head = self.symbol("function name")?;
+        match head.as_str() {
+            "if" => {
+                let cond = Box::new(self.expr()?);
+                let kw = self.symbol("`then`")?;
+                if kw != "then" {
+                    return Err(self.error(format!("expected `then`, found `{kw}`")));
+                }
+                let mut then = Vec::new();
+                let mut els = Vec::new();
+                let mut in_else = false;
+                while self.peek() != Some(&Tok::RParen) {
+                    if let Some(Tok::Sym(s)) = self.peek() {
+                        if s == "else" && !in_else {
+                            in_else = true;
+                            self.pos += 1;
+                            continue;
+                        }
+                    }
+                    let e = self.expr()?;
+                    if in_else {
+                        els.push(e);
+                    } else {
+                        then.push(e);
+                    }
+                }
+                self.expect(&Tok::RParen, "`)` closing if")?;
+                Ok(Expr::If { cond, then, els })
+            }
+            "bind" => {
+                let var = match &self.next()?.tok {
+                    Tok::Var(name) | Tok::MultiVar(name) => Arc::from(name.as_str()),
+                    other => {
+                        self.pos -= 1;
+                        return Err(self.error(format!("expected variable, found {other:?}")));
+                    }
+                };
+                let value = Box::new(self.expr()?);
+                self.expect(&Tok::RParen, "`)` closing bind")?;
+                Ok(Expr::Bind(var, value))
+            }
+            "assert" => {
+                self.expect(&Tok::LParen, "`(` opening asserted fact")?;
+                let template = self.symbol("template name")?;
+                let mut slots = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    self.expect(&Tok::LParen, "`(` opening slot")?;
+                    let slot = self.symbol("slot name")?;
+                    let mut fields = Vec::new();
+                    while self.peek() != Some(&Tok::RParen) {
+                        fields.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen, "`)` closing slot")?;
+                    slots.push((Arc::from(slot.as_str()), fields));
+                }
+                self.expect(&Tok::RParen, "`)` closing asserted fact")?;
+                self.expect(&Tok::RParen, "`)` closing assert")?;
+                Ok(Expr::Assert { template: Arc::from(template.as_str()), slots })
+            }
+            "modify" => {
+                let target = Box::new(self.expr()?);
+                let mut slots = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    self.expect(&Tok::LParen, "`(` opening slot")?;
+                    let slot = self.symbol("slot name")?;
+                    let mut fields = Vec::new();
+                    while self.peek() != Some(&Tok::RParen) {
+                        fields.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen, "`)` closing slot")?;
+                    slots.push((Arc::from(slot.as_str()), fields));
+                }
+                self.expect(&Tok::RParen, "`)` closing modify")?;
+                Ok(Expr::Modify { target, slots })
+            }
+            "retract" => {
+                let mut targets = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    targets.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen, "`)` closing retract")?;
+                Ok(Expr::Retract(targets))
+            }
+            "printout" => {
+                let mut parts = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    parts.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen, "`)` closing printout")?;
+                Ok(Expr::Printout(parts))
+            }
+            _ => {
+                let mut args = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    args.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen, "`)` closing call")?;
+                Ok(Expr::Call(Arc::from(head.as_str()), args))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_templates(_: &str) -> Option<Arc<Template>> {
+        None
+    }
+
+    #[test]
+    fn parse_template_with_defaults() {
+        let src = r#"(deftemplate ev "doc" (slot a (default 3)) (multislot b) (slot c (type SYMBOL)))"#;
+        let constructs = parse_program(src, &no_templates).unwrap();
+        let Construct::Template(t) = &constructs[0] else { panic!("expected template") };
+        assert_eq!(t.name(), "ev");
+        assert_eq!(t.doc(), Some("doc"));
+        assert_eq!(t.slots()[0].default(), Some(&Value::Int(3)));
+        assert_eq!(t.slots()[1].kind(), SlotKind::Multi);
+    }
+
+    #[test]
+    fn parse_global() {
+        let constructs = parse_program("(defglobal ?*RARE_FREQUENCY* = 3)", &no_templates).unwrap();
+        let Construct::Global(name, value) = &constructs[0] else { panic!("expected global") };
+        assert_eq!(name, "RARE_FREQUENCY");
+        assert_eq!(value, &Value::Int(3));
+    }
+
+    #[test]
+    fn parse_fact_with_multifield() {
+        let fact =
+            parse_fact_form(r#"(ev (a SYS_execve) (b "/bin/ls" BINARY) (c 33))"#).unwrap();
+        assert_eq!(fact.template, "ev");
+        assert_eq!(fact.slots[1].1, vec![Value::str("/bin/ls"), Value::sym("BINARY")]);
+    }
+
+    #[test]
+    fn parse_rule_full_shape() {
+        let src = r#"
+            (deftemplate ev (slot kind) (slot n) (multislot src))
+            (deftemplate resolution (slot status))
+            (defrule check "docstring"
+                (declare (salience 5))
+                ?e <- (ev (kind SYS_execve) (n ?n&:(> ?n 2)) (src $? BINARY $?))
+                ?r <- (resolution (status RESOLVE))
+                (not (ev (kind ignore)))
+                (test (< ?n 100))
+                =>
+                (bind ?w 1)
+                (if (> ?n 50) then (bind ?w 2) else (bind ?w 1))
+                (printout t "warn " ?w crlf)
+                (retract ?e)
+                (assert (resolution (status STOP))))
+        "#;
+        let constructs = parse_program(src, &no_templates).unwrap();
+        assert_eq!(constructs.len(), 3);
+        let Construct::Rule(rule) = &constructs[2] else { panic!("expected rule") };
+        assert_eq!(rule.name(), "check");
+        assert_eq!(rule.salience(), 5);
+        assert_eq!(rule.doc(), Some("docstring"));
+        assert_eq!(rule.lhs().len(), 4);
+        assert_eq!(rule.rhs().len(), 5);
+        let CondElem::Pattern(p) = &rule.lhs()[0] else { panic!("expected pattern") };
+        assert_eq!(p.binding.as_deref(), Some("e"));
+        assert_eq!(p.slots.len(), 3);
+        let (_, SlotPattern::MultiSeq(seq)) = &p.slots[2] else { panic!("expected multiseq") };
+        assert_eq!(seq.len(), 3);
+        assert!(matches!(rule.lhs()[2], CondElem::Not(_)));
+        assert!(matches!(rule.lhs()[3], CondElem::Test(_)));
+    }
+
+    #[test]
+    fn unknown_template_in_pattern_is_an_error() {
+        let src = "(defrule r (nope) => )";
+        assert!(matches!(
+            parse_program(src, &no_templates),
+            Err(EngineError::UnknownTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_slot_in_pattern_is_an_error() {
+        let src = "(deftemplate ev (slot a)) (defrule r (ev (b 1)) => )";
+        assert!(matches!(
+            parse_program(src, &no_templates),
+            Err(EngineError::UnknownSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn single_slot_rejects_multiple_constraints() {
+        let src = "(deftemplate ev (slot a)) (defrule r (ev (a 1 2)) => )";
+        assert!(parse_program(src, &no_templates).is_err());
+    }
+
+    #[test]
+    fn alternatives_and_negation_parse() {
+        let src = "(deftemplate ev (slot a)) (defrule r (ev (a open|close&~?x)) => )";
+        let constructs = parse_program(src, &no_templates).unwrap();
+        let Construct::Rule(rule) = &constructs[1] else { panic!() };
+        let CondElem::Pattern(p) = &rule.lhs()[0] else { panic!() };
+        let (_, SlotPattern::Single(c)) = &p.slots[0] else { panic!() };
+        assert_eq!(c.alts.len(), 2);
+        assert_eq!(c.alts[0].len(), 1);
+        assert_eq!(c.alts[1].len(), 2);
+        assert!(matches!(c.alts[1][1], Atom::Not(_)));
+    }
+
+    #[test]
+    fn deffacts_parse() {
+        let src = "(deftemplate ev (slot a)) (deffacts startup (ev (a 1)) (ev (a 2)))";
+        let constructs = parse_program(src, &no_templates).unwrap();
+        let Construct::Deffacts(facts) = &constructs[1] else { panic!() };
+        assert_eq!(facts.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_program("(deftemplate)", &no_templates).unwrap_err();
+        assert!(matches!(err, EngineError::Parse { line: 1, .. }));
+    }
+}

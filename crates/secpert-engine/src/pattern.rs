@@ -1,0 +1,483 @@
+//! Patterns, condition elements, and the matcher.
+//!
+//! The grammar follows CLIPS: a rule's left-hand side is a sequence of
+//! condition elements — pattern CEs (optionally bound to a fact address
+//! with `?f <-`), `not` CEs and `test` CEs. Within a pattern, each slot
+//! carries field constraints built from literals, variables (`?x`),
+//! multifield variables (`$?x`), wildcards (`?`, `$?`), negation (`~`),
+//! alternatives (`|`), conjunction (`&`), predicate constraints
+//! (`:(expr)`) and return-value constraints (`=(expr)`).
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::expr::{eval, Bindings, Expr, Host};
+use crate::fact::Fact;
+use crate::value::Value;
+
+/// A primitive field term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// Literal value that must be equal (type-strict) to the field.
+    Literal(Value),
+    /// Single-field variable `?x`: binds on first use, tests thereafter.
+    Var(Arc<str>),
+    /// Multifield variable `$?x`: binds a sub-sequence of a multislot.
+    MultiVar(Arc<str>),
+    /// Single-field wildcard `?`.
+    Wildcard,
+    /// Multifield wildcard `$?`.
+    MultiWildcard,
+}
+
+/// One atom of a field constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    /// A primitive term.
+    Term(Term),
+    /// `~atom`: the atom must *not* match.
+    Not(Box<Atom>),
+    /// `:(expr)`: predicate constraint, truthy under current bindings.
+    Pred(Expr),
+    /// `=(expr)`: the field must equal the evaluated expression.
+    EqExpr(Expr),
+}
+
+impl Atom {
+    /// True when this atom can consume a variable number of fields.
+    fn is_multi(&self) -> bool {
+        matches!(self, Atom::Term(Term::MultiVar(_)) | Atom::Term(Term::MultiWildcard))
+    }
+}
+
+/// A single field constraint: `|`-separated alternatives of `&`-connected
+/// atoms, e.g. `?x&~BINARY|SOCKET`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldConstraint {
+    /// Alternatives; the constraint matches if any alternative matches.
+    pub alts: Vec<Vec<Atom>>,
+}
+
+impl FieldConstraint {
+    /// A constraint made of a single atom.
+    pub fn atom(atom: Atom) -> FieldConstraint {
+        FieldConstraint { alts: vec![vec![atom]] }
+    }
+
+    /// A constraint requiring equality with a literal.
+    pub fn literal(v: impl Into<Value>) -> FieldConstraint {
+        FieldConstraint::atom(Atom::Term(Term::Literal(v.into())))
+    }
+
+    /// A constraint binding/testing a single-field variable.
+    pub fn var(name: impl AsRef<str>) -> FieldConstraint {
+        FieldConstraint::atom(Atom::Term(Term::Var(Arc::from(name.as_ref()))))
+    }
+
+    /// True when any atom in any alternative is a multifield term.
+    pub fn is_multi(&self) -> bool {
+        self.alts.iter().flatten().any(Atom::is_multi)
+    }
+
+    /// Matches one field value, possibly extending `bindings`.
+    ///
+    /// Bindings made by a failing alternative are rolled back before the
+    /// next alternative is tried.
+    fn match_single(
+        &self,
+        value: &Value,
+        bindings: &mut Bindings,
+        host: &mut dyn Host,
+    ) -> Result<bool> {
+        for alt in &self.alts {
+            let snapshot = bindings.clone();
+            let mut ok = true;
+            for atom in alt {
+                if !match_atom(atom, value, bindings, host)? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Ok(true);
+            }
+            *bindings = snapshot;
+        }
+        Ok(false)
+    }
+}
+
+fn match_atom(
+    atom: &Atom,
+    value: &Value,
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<bool> {
+    match atom {
+        Atom::Term(Term::Literal(lit)) => Ok(lit == value),
+        Atom::Term(Term::Var(name)) => match bindings.get(name.as_ref()) {
+            Some(bound) => Ok(bound == value),
+            None => {
+                bindings.insert(name.clone(), value.clone());
+                Ok(true)
+            }
+        },
+        Atom::Term(Term::Wildcard) => Ok(true),
+        Atom::Term(Term::MultiVar(_)) | Atom::Term(Term::MultiWildcard) => {
+            // A multifield term inside a single-field position matches the
+            // whole field as a one-element sequence (CLIPS behaviour when
+            // `$?x` appears in a single slot).
+            if let Atom::Term(Term::MultiVar(name)) = atom {
+                match bindings.get(name.as_ref()) {
+                    Some(bound) => Ok(bound == &Value::multi([value.clone()])),
+                    None => {
+                        bindings.insert(name.clone(), Value::multi([value.clone()]));
+                        Ok(true)
+                    }
+                }
+            } else {
+                Ok(true)
+            }
+        }
+        Atom::Not(inner) => {
+            let mut scratch = bindings.clone();
+            Ok(!match_atom(inner, value, &mut scratch, host)?)
+        }
+        Atom::Pred(expr) => Ok(eval(expr, bindings, host)?.is_truthy()),
+        Atom::EqExpr(expr) => Ok(&eval(expr, bindings, host)? == value),
+    }
+}
+
+/// Pattern for one slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SlotPattern {
+    /// Constraint on a single-valued slot.
+    Single(FieldConstraint),
+    /// Sequence of constraints over a multislot's fields; multifield
+    /// terms (`$?x`, `$?`) may consume zero or more fields.
+    MultiSeq(Vec<FieldConstraint>),
+}
+
+/// A pattern condition element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternCE {
+    /// Template the pattern matches against.
+    pub template: Arc<str>,
+    /// Constrained slots (unmentioned slots match anything).
+    pub slots: Vec<(Arc<str>, SlotPattern)>,
+    /// Fact-address binding from `?f <- (pattern)`.
+    pub binding: Option<Arc<str>>,
+}
+
+impl PatternCE {
+    /// Creates an unconstrained pattern for `template`.
+    pub fn new(template: impl AsRef<str>) -> PatternCE {
+        PatternCE { template: Arc::from(template.as_ref()), slots: Vec::new(), binding: None }
+    }
+
+    /// Adds a slot constraint.
+    #[must_use]
+    pub fn slot(mut self, name: impl AsRef<str>, pattern: SlotPattern) -> PatternCE {
+        self.slots.push((Arc::from(name.as_ref()), pattern));
+        self
+    }
+
+    /// Binds the matched fact address to `?name`.
+    #[must_use]
+    pub fn bind(mut self, name: impl AsRef<str>) -> PatternCE {
+        self.binding = Some(Arc::from(name.as_ref()));
+        self
+    }
+
+    /// Attempts to match `fact`, extending `bindings` on success.
+    ///
+    /// On failure `bindings` is left in an unspecified (partially
+    /// extended) state; callers snapshot before calling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from predicate constraints.
+    pub fn matches(
+        &self,
+        fact: &Fact,
+        bindings: &mut Bindings,
+        host: &mut dyn Host,
+    ) -> Result<bool> {
+        if fact.template().name() != self.template.as_ref() {
+            return Ok(false);
+        }
+        for (slot, pattern) in &self.slots {
+            let value = fact.get(slot)?;
+            let ok = match pattern {
+                SlotPattern::Single(constraint) => match value {
+                    // A multifield value in a "single" pattern position can
+                    // only come from a multislot constrained with a single
+                    // constraint; match it against the whole sequence.
+                    Value::Multi(items) => {
+                        match_sequence(std::slice::from_ref(constraint), items, bindings, host)?
+                    }
+                    v => constraint.match_single(v, bindings, host)?,
+                },
+                SlotPattern::MultiSeq(constraints) => {
+                    let items = value.as_multi()?;
+                    match_sequence(constraints, items, bindings, host)?
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Backtracking matcher for multifield sequences.
+fn match_sequence(
+    constraints: &[FieldConstraint],
+    items: &[Value],
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<bool> {
+    let Some((first, rest)) = constraints.split_first() else {
+        return Ok(items.is_empty());
+    };
+    if first.is_multi() {
+        // Try consuming 0..=items.len() fields, longest-first to mirror
+        // CLIPS's preference is unspecified; shortest-first is fine and
+        // deterministic.
+        for take in 0..=items.len() {
+            let snapshot = bindings.clone();
+            if match_multi_constraint(first, &items[..take], bindings, host)?
+                && match_sequence(rest, &items[take..], bindings, host)?
+            {
+                return Ok(true);
+            }
+            *bindings = snapshot;
+        }
+        Ok(false)
+    } else {
+        let Some((head, tail)) = items.split_first() else {
+            return Ok(false);
+        };
+        let snapshot = bindings.clone();
+        if first.match_single(head, bindings, host)? && match_sequence(rest, tail, bindings, host)?
+        {
+            return Ok(true);
+        }
+        *bindings = snapshot;
+        Ok(false)
+    }
+}
+
+/// Matches a multifield constraint (`$?x`, `$?`, possibly `&`-combined
+/// with predicates) against a consumed sub-slice.
+fn match_multi_constraint(
+    constraint: &FieldConstraint,
+    consumed: &[Value],
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<bool> {
+    let seq = Value::multi(consumed.iter().cloned());
+    for alt in &constraint.alts {
+        let snapshot = bindings.clone();
+        let mut ok = true;
+        for atom in alt {
+            let matched = match atom {
+                Atom::Term(Term::MultiVar(name)) => match bindings.get(name.as_ref()) {
+                    Some(bound) => bound == &seq,
+                    None => {
+                        bindings.insert(name.clone(), seq.clone());
+                        true
+                    }
+                },
+                Atom::Term(Term::MultiWildcard) => true,
+                Atom::Pred(expr) => eval(expr, bindings, host)?.is_truthy(),
+                Atom::EqExpr(expr) => eval(expr, bindings, host)? == seq,
+                // Single-field atoms inside a multifield constraint require
+                // exactly one consumed value.
+                other => {
+                    consumed.len() == 1 && match_atom(other, &consumed[0], bindings, host)?
+                }
+            };
+            if !matched {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return Ok(true);
+        }
+        *bindings = snapshot;
+    }
+    Ok(false)
+}
+
+/// A condition element of a rule's left-hand side.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CondElem {
+    /// A positive pattern.
+    Pattern(PatternCE),
+    /// `(not (pattern))`: no fact may match under the current bindings.
+    Not(PatternCE),
+    /// `(test (expr))`: expression must be truthy under current bindings.
+    Test(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins;
+    use crate::error::EngineError;
+    use crate::fact::{FactBuilder, FactId};
+    use crate::template::{SlotDef, Template};
+
+    struct NullHost;
+    impl Host for NullHost {
+        fn global(&self, name: &str) -> Result<Value> {
+            Err(EngineError::UnknownGlobal(name.to_string()))
+        }
+        fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
+            builtins::call(name, args)
+        }
+        fn assert(&mut self, _: &str, _: &[(Arc<str>, Value)]) -> Result<Value> {
+            unreachable!()
+        }
+        fn retract(&mut self, _: FactId) -> Result<()> {
+            unreachable!()
+        }
+        fn print(&mut self, _: &str) -> Result<()> {
+            unreachable!()
+        }
+    }
+
+    fn template() -> Arc<Template> {
+        Arc::new(Template::new(
+            "ev",
+            [SlotDef::single("kind"), SlotDef::single("n"), SlotDef::multi("src")],
+        ))
+    }
+
+    fn fact(kind: &str, n: i64, src: &[&str]) -> Fact {
+        FactBuilder::new(template())
+            .slot("kind", Value::sym(kind))
+            .slot("n", n)
+            .slot("src", Value::multi(src.iter().map(Value::str)))
+            .build()
+            .unwrap()
+    }
+
+    fn matches(p: &PatternCE, f: &Fact) -> (bool, Bindings) {
+        let mut b = Bindings::new();
+        let ok = p.matches(f, &mut b, &mut NullHost).unwrap();
+        (ok, b)
+    }
+
+    #[test]
+    fn literal_and_variable() {
+        let p = PatternCE::new("ev")
+            .slot("kind", SlotPattern::Single(FieldConstraint::literal(Value::sym("open"))))
+            .slot("n", SlotPattern::Single(FieldConstraint::var("n")));
+        let (ok, b) = matches(&p, &fact("open", 7, &[]));
+        assert!(ok);
+        assert_eq!(b.get("n"), Some(&Value::Int(7)));
+        let (ok, _) = matches(&p, &fact("close", 7, &[]));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn variable_consistency_across_slots() {
+        let p = PatternCE::new("ev")
+            .slot("kind", SlotPattern::Single(FieldConstraint::var("x")))
+            .slot("n", SlotPattern::Single(FieldConstraint::var("x")));
+        // kind is a symbol, n an int — can never be equal.
+        let (ok, _) = matches(&p, &fact("open", 7, &[]));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn negated_literal() {
+        let not_open = FieldConstraint::atom(Atom::Not(Box::new(Atom::Term(Term::Literal(
+            Value::sym("open"),
+        )))));
+        let p = PatternCE::new("ev").slot("kind", SlotPattern::Single(not_open));
+        assert!(!matches(&p, &fact("open", 1, &[])).0);
+        assert!(matches(&p, &fact("close", 1, &[])).0);
+    }
+
+    #[test]
+    fn alternatives() {
+        let c = FieldConstraint {
+            alts: vec![
+                vec![Atom::Term(Term::Literal(Value::sym("open")))],
+                vec![Atom::Term(Term::Literal(Value::sym("close")))],
+            ],
+        };
+        let p = PatternCE::new("ev").slot("kind", SlotPattern::Single(c));
+        assert!(matches(&p, &fact("open", 1, &[])).0);
+        assert!(matches(&p, &fact("close", 1, &[])).0);
+        assert!(!matches(&p, &fact("read", 1, &[])).0);
+    }
+
+    #[test]
+    fn conjunction_with_predicate() {
+        let c = FieldConstraint {
+            alts: vec![vec![
+                Atom::Term(Term::Var(Arc::from("n"))),
+                Atom::Pred(Expr::call("<", [Expr::var("n"), Expr::lit(10)])),
+            ]],
+        };
+        let p = PatternCE::new("ev").slot("n", SlotPattern::Single(c));
+        assert!(matches(&p, &fact("open", 7, &[])).0);
+        assert!(!matches(&p, &fact("open", 12, &[])).0);
+    }
+
+    #[test]
+    fn multifield_binding() {
+        let p = PatternCE::new("ev").slot(
+            "src",
+            SlotPattern::MultiSeq(vec![FieldConstraint::atom(Atom::Term(Term::MultiVar(
+                Arc::from("all"),
+            )))]),
+        );
+        let (ok, b) = matches(&p, &fact("open", 1, &["a", "b"]));
+        assert!(ok);
+        assert_eq!(b.get("all"), Some(&Value::multi([Value::str("a"), Value::str("b")])));
+    }
+
+    #[test]
+    fn multifield_sequence_split() {
+        // ($?pre ?x $?post) with ?x forced to "b" by a literal alternative.
+        let p = PatternCE::new("ev").slot(
+            "src",
+            SlotPattern::MultiSeq(vec![
+                FieldConstraint::atom(Atom::Term(Term::MultiWildcard)),
+                FieldConstraint::literal(Value::str("b")),
+                FieldConstraint::atom(Atom::Term(Term::MultiVar(Arc::from("post")))),
+            ]),
+        );
+        let (ok, b) = matches(&p, &fact("open", 1, &["a", "b", "c", "d"]));
+        assert!(ok);
+        assert_eq!(b.get("post"), Some(&Value::multi([Value::str("c"), Value::str("d")])));
+        assert!(!matches(&p, &fact("open", 1, &["a", "c"])).0);
+    }
+
+    #[test]
+    fn empty_multifield_matches_only_multi_terms() {
+        let multi = PatternCE::new("ev").slot(
+            "src",
+            SlotPattern::MultiSeq(vec![FieldConstraint::atom(Atom::Term(Term::MultiWildcard))]),
+        );
+        assert!(matches(&multi, &fact("open", 1, &[])).0);
+        let single = PatternCE::new("ev").slot(
+            "src",
+            SlotPattern::MultiSeq(vec![FieldConstraint::var("x")]),
+        );
+        assert!(!matches(&single, &fact("open", 1, &[])).0);
+    }
+
+    #[test]
+    fn wrong_template_never_matches() {
+        let p = PatternCE::new("other");
+        assert!(!matches(&p, &fact("open", 1, &[])).0);
+    }
+}

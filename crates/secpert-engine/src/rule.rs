@@ -1,0 +1,182 @@
+//! Rule definitions (`defrule`).
+
+use std::sync::Arc;
+
+use crate::expr::Expr;
+use crate::pattern::{CondElem, PatternCE};
+
+/// A production rule: named left-hand side (condition elements) plus a
+/// right-hand side (actions evaluated when the rule fires).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    name: Arc<str>,
+    doc: Option<String>,
+    salience: i32,
+    lhs: Vec<CondElem>,
+    rhs: Vec<Expr>,
+}
+
+impl Rule {
+    /// Creates a rule from its parts. Prefer [`RuleBuilder`] in host code.
+    pub fn new(
+        name: impl AsRef<str>,
+        salience: i32,
+        lhs: Vec<CondElem>,
+        rhs: Vec<Expr>,
+    ) -> Rule {
+        Rule { name: Arc::from(name.as_ref()), doc: None, salience, lhs, rhs }
+    }
+
+    /// Attaches a documentation string.
+    #[must_use]
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Rule {
+        self.doc = Some(doc.into());
+        self
+    }
+
+    /// Rule name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Documentation string, if any.
+    pub fn doc(&self) -> Option<&str> {
+        self.doc.as_deref()
+    }
+
+    /// Conflict-resolution priority; higher fires first.
+    pub fn salience(&self) -> i32 {
+        self.salience
+    }
+
+    /// Left-hand side condition elements in order.
+    pub fn lhs(&self) -> &[CondElem] {
+        &self.lhs
+    }
+
+    /// Right-hand side actions in order.
+    pub fn rhs(&self) -> &[Expr] {
+        &self.rhs
+    }
+
+    /// Indexes (into `lhs`) of the positive pattern CEs.
+    pub fn positive_positions(&self) -> impl Iterator<Item = (usize, &PatternCE)> {
+        self.lhs.iter().enumerate().filter_map(|(i, ce)| match ce {
+            CondElem::Pattern(p) => Some((i, p)),
+            _ => None,
+        })
+    }
+
+    /// True when the LHS has no positive pattern (needs the implicit
+    /// `initial-fact` seed).
+    pub fn needs_initial_fact(&self) -> bool {
+        self.positive_positions().next().is_none()
+    }
+}
+
+/// Fluent builder for rules constructed from Rust (rather than parsed).
+///
+/// ```
+/// use secpert_engine::{RuleBuilder, PatternCE, Expr, Value};
+/// let rule = RuleBuilder::new("notice-open")
+///     .pattern(PatternCE::new("syscall").bind("f"))
+///     .action(Expr::Printout(vec![Expr::lit("seen"), Expr::lit(Value::sym("crlf"))]))
+///     .build();
+/// assert_eq!(rule.name(), "notice-open");
+/// ```
+#[derive(Debug, Default)]
+pub struct RuleBuilder {
+    name: String,
+    doc: Option<String>,
+    salience: i32,
+    lhs: Vec<CondElem>,
+    rhs: Vec<Expr>,
+}
+
+impl RuleBuilder {
+    /// Starts a rule with the given name.
+    pub fn new(name: impl Into<String>) -> RuleBuilder {
+        RuleBuilder { name: name.into(), ..RuleBuilder::default() }
+    }
+
+    /// Sets the doc-string.
+    #[must_use]
+    pub fn doc(mut self, doc: impl Into<String>) -> RuleBuilder {
+        self.doc = Some(doc.into());
+        self
+    }
+
+    /// Sets the salience.
+    #[must_use]
+    pub fn salience(mut self, salience: i32) -> RuleBuilder {
+        self.salience = salience;
+        self
+    }
+
+    /// Appends a positive pattern CE.
+    #[must_use]
+    pub fn pattern(mut self, pattern: PatternCE) -> RuleBuilder {
+        self.lhs.push(CondElem::Pattern(pattern));
+        self
+    }
+
+    /// Appends a `(not (pattern))` CE.
+    #[must_use]
+    pub fn not(mut self, pattern: PatternCE) -> RuleBuilder {
+        self.lhs.push(CondElem::Not(pattern));
+        self
+    }
+
+    /// Appends a `(test (expr))` CE.
+    #[must_use]
+    pub fn test(mut self, expr: Expr) -> RuleBuilder {
+        self.lhs.push(CondElem::Test(expr));
+        self
+    }
+
+    /// Appends an RHS action.
+    #[must_use]
+    pub fn action(mut self, expr: Expr) -> RuleBuilder {
+        self.rhs.push(expr);
+        self
+    }
+
+    /// Finishes the rule.
+    pub fn build(self) -> Rule {
+        let mut rule = Rule::new(self.name, self.salience, self.lhs, self.rhs);
+        if let Some(doc) = self.doc {
+            rule = rule.with_doc(doc);
+        }
+        rule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_rule() {
+        let r = RuleBuilder::new("r")
+            .doc("docs")
+            .salience(10)
+            .pattern(PatternCE::new("a"))
+            .not(PatternCE::new("b"))
+            .test(Expr::lit(true))
+            .action(Expr::lit(1))
+            .build();
+        assert_eq!(r.name(), "r");
+        assert_eq!(r.doc(), Some("docs"));
+        assert_eq!(r.salience(), 10);
+        assert_eq!(r.lhs().len(), 3);
+        assert_eq!(r.rhs().len(), 1);
+        assert_eq!(r.positive_positions().count(), 1);
+        assert!(!r.needs_initial_fact());
+    }
+
+    #[test]
+    fn rule_without_positive_pattern_needs_seed() {
+        let r = RuleBuilder::new("seedless").test(Expr::lit(true)).build();
+        assert!(r.needs_initial_fact());
+    }
+}

@@ -1,0 +1,220 @@
+//! Fact templates (`deftemplate`): named, typed slot layouts.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+
+/// Whether a slot holds exactly one value or a sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// `(slot name)` — holds a single non-multifield value.
+    Single,
+    /// `(multislot name)` — holds zero or more values.
+    Multi,
+}
+
+/// Definition of one slot inside a template.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotDef {
+    name: Arc<str>,
+    kind: SlotKind,
+    default: Option<Value>,
+}
+
+impl SlotDef {
+    /// Creates a single-valued slot definition.
+    pub fn single(name: impl AsRef<str>) -> SlotDef {
+        SlotDef { name: Arc::from(name.as_ref()), kind: SlotKind::Single, default: None }
+    }
+
+    /// Creates a multifield slot definition.
+    pub fn multi(name: impl AsRef<str>) -> SlotDef {
+        SlotDef { name: Arc::from(name.as_ref()), kind: SlotKind::Multi, default: None }
+    }
+
+    /// Attaches a default value used when `assert` omits the slot.
+    #[must_use]
+    pub fn with_default(mut self, default: Value) -> SlotDef {
+        self.default = Some(default);
+        self
+    }
+
+    /// Slot name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Single or multi.
+    pub fn kind(&self) -> SlotKind {
+        self.kind
+    }
+
+    /// Declared default, if any.
+    pub fn default(&self) -> Option<&Value> {
+        self.default.as_ref()
+    }
+
+    /// The value stored when a slot has no explicit value and no default:
+    /// `nil` for single slots, the empty multifield for multislots.
+    pub fn implicit_default(&self) -> Value {
+        match self.kind {
+            SlotKind::Single => Value::sym("nil"),
+            SlotKind::Multi => Value::empty_multi(),
+        }
+    }
+}
+
+/// A fact template: an ordered collection of named slots.
+///
+/// ```
+/// use secpert_engine::{Template, SlotDef};
+/// let t = Template::new(
+///     "system_call_access",
+///     [SlotDef::single("system_call_name"), SlotDef::multi("resource_name")],
+/// );
+/// assert_eq!(t.name(), "system_call_access");
+/// assert!(t.slot_index("resource_name").is_some());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Template {
+    name: Arc<str>,
+    doc: Option<String>,
+    slots: Vec<SlotDef>,
+    index: HashMap<Arc<str>, usize>,
+}
+
+impl Template {
+    /// Creates a template from its name and slot definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two slots share a name — template definitions are static
+    /// program structure, so this is a programming error, not input error.
+    pub fn new(name: impl AsRef<str>, slots: impl IntoIterator<Item = SlotDef>) -> Template {
+        let slots: Vec<SlotDef> = slots.into_iter().collect();
+        let mut index = HashMap::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let previous = index.insert(slot.name.clone(), i);
+            assert!(previous.is_none(), "duplicate slot `{}` in template", slot.name());
+        }
+        Template { name: Arc::from(name.as_ref()), doc: None, slots, index }
+    }
+
+    /// Attaches a documentation comment (the CLIPS doc-string).
+    #[must_use]
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Template {
+        self.doc = Some(doc.into());
+        self
+    }
+
+    /// Template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Documentation string, if any.
+    pub fn doc(&self) -> Option<&str> {
+        self.doc.as_deref()
+    }
+
+    /// Slot definitions in declaration order.
+    pub fn slots(&self) -> &[SlotDef] {
+        &self.slots
+    }
+
+    /// Index of `slot` in declaration order, if it exists.
+    pub fn slot_index(&self, slot: &str) -> Option<usize> {
+        self.index.get(slot).copied()
+    }
+
+    /// Looks up a slot definition by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownSlot`] when the slot does not exist.
+    pub fn slot(&self, slot: &str) -> Result<&SlotDef> {
+        self.slot_index(slot).map(|i| &self.slots[i]).ok_or_else(|| EngineError::UnknownSlot {
+            template: self.name.to_string(),
+            slot: slot.to_string(),
+        })
+    }
+
+    /// Validates a value against a slot's arity, normalising multislot
+    /// scalars into one-element multifields (CLIPS does the same).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SlotArity`] when a single slot receives a
+    /// multifield.
+    pub fn coerce(&self, slot: &SlotDef, value: Value) -> Result<Value> {
+        match (slot.kind(), value) {
+            (SlotKind::Single, Value::Multi(m)) => Err(EngineError::SlotArity {
+                template: self.name.to_string(),
+                slot: slot.name().to_string(),
+                message: format!("single-valued slot given multifield of length {}", m.len()),
+            }),
+            (SlotKind::Single, v) => Ok(v),
+            (SlotKind::Multi, Value::Multi(m)) => Ok(Value::Multi(m)),
+            (SlotKind::Multi, v) => Ok(Value::multi([v])),
+        }
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(deftemplate {}", self.name)?;
+        for slot in &self.slots {
+            let kw = match slot.kind() {
+                SlotKind::Single => "slot",
+                SlotKind::Multi => "multislot",
+            };
+            write!(f, " ({kw} {})", slot.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_lookup() {
+        let t = Template::new("ev", [SlotDef::single("a"), SlotDef::multi("b")]);
+        assert_eq!(t.slot_index("a"), Some(0));
+        assert_eq!(t.slot_index("b"), Some(1));
+        assert_eq!(t.slot_index("c"), None);
+        assert!(matches!(t.slot("c"), Err(EngineError::UnknownSlot { .. })));
+    }
+
+    #[test]
+    fn coerce_normalises_multislot_scalars() {
+        let t = Template::new("ev", [SlotDef::single("a"), SlotDef::multi("b")]);
+        let a = t.slots()[0].clone();
+        let b = t.slots()[1].clone();
+        assert_eq!(t.coerce(&b, Value::Int(1)).unwrap(), Value::multi([Value::Int(1)]));
+        assert!(t.coerce(&a, Value::multi([Value::Int(1)])).is_err());
+        assert_eq!(t.coerce(&a, Value::Int(1)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slot")]
+    fn duplicate_slots_panic() {
+        let _ = Template::new("ev", [SlotDef::single("a"), SlotDef::single("a")]);
+    }
+
+    #[test]
+    fn implicit_defaults() {
+        assert_eq!(SlotDef::single("x").implicit_default(), Value::sym("nil"));
+        assert_eq!(SlotDef::multi("x").implicit_default(), Value::empty_multi());
+    }
+
+    #[test]
+    fn display_shape() {
+        let t = Template::new("ev", [SlotDef::single("a"), SlotDef::multi("b")]);
+        assert_eq!(t.to_string(), "(deftemplate ev (slot a) (multislot b))");
+    }
+}

@@ -1,0 +1,335 @@
+//! The dynamic value type flowing through facts, patterns and expressions.
+//!
+//! Mirrors the CLIPS primitive types: symbols, strings, integers, floats,
+//! multifields, plus fact addresses (used for `?f <- (pattern)` bindings).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::fact::FactId;
+
+/// A CLIPS-style dynamic value.
+///
+/// Equality is *type-strict* (like CLIPS `eq`): `Int(1)` ≠ `Float(1.0)`.
+/// Use [`Value::num_eq`] for numeric (`=`) comparison.
+///
+/// ```
+/// use secpert_engine::Value;
+/// let v = Value::sym("SYS_execve");
+/// assert!(v.is_sym("SYS_execve"));
+/// assert_ne!(Value::Int(1), Value::Float(1.0));
+/// assert!(Value::Int(1).num_eq(&Value::Float(1.0)));
+/// ```
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Bare symbol, e.g. `SYS_execve`, `FILE`, `TRUE`.
+    Sym(Arc<str>),
+    /// Double-quoted string, e.g. `"/bin/ls"`.
+    Str(Arc<str>),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Multifield (ordered sequence of non-multifield values).
+    Multi(Arc<[Value]>),
+    /// Fact address, produced by `?f <- (pattern)` bindings.
+    Fact(FactId),
+}
+
+impl Value {
+    /// The canonical boolean-true symbol.
+    pub fn truth() -> Value {
+        Value::sym("TRUE")
+    }
+
+    /// The canonical boolean-false symbol.
+    pub fn falsity() -> Value {
+        Value::sym("FALSE")
+    }
+
+    /// Builds a symbol value.
+    pub fn sym(s: impl AsRef<str>) -> Value {
+        Value::Sym(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a multifield from an iterator of values.
+    pub fn multi(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Multi(items.into_iter().collect::<Vec<_>>().into())
+    }
+
+    /// Builds an empty multifield.
+    pub fn empty_multi() -> Value {
+        Value::Multi(Arc::from(Vec::new()))
+    }
+
+    /// Converts a Rust bool into the CLIPS `TRUE`/`FALSE` symbols.
+    pub fn bool(b: bool) -> Value {
+        if b {
+            Value::truth()
+        } else {
+            Value::falsity()
+        }
+    }
+
+    /// True for every value except the symbol `FALSE` (CLIPS truthiness).
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Sym(s) if &**s == "FALSE")
+    }
+
+    /// Returns true when `self` is the symbol `name`.
+    pub fn is_sym(&self, name: &str) -> bool {
+        matches!(self, Value::Sym(s) if &**s == name)
+    }
+
+    /// Text content of a symbol or string; `None` for other types.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Sym(s) | Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, accepting exact floats; errors otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Type`] when the value is not numeric.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(x) if x.fract() == 0.0 => Ok(*x as i64),
+            other => Err(EngineError::Type { expected: "integer", found: other.to_string() }),
+        }
+    }
+
+    /// Numeric content widened to `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Type`] when the value is not numeric.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(x) => Ok(*x),
+            other => Err(EngineError::Type { expected: "number", found: other.to_string() }),
+        }
+    }
+
+    /// Multifield content; errors for non-multifield values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Type`] when the value is not a multifield.
+    pub fn as_multi(&self) -> Result<&[Value]> {
+        match self {
+            Value::Multi(items) => Ok(items),
+            other => Err(EngineError::Type { expected: "multifield", found: other.to_string() }),
+        }
+    }
+
+    /// Fact-address content; errors for other types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Type`] when the value is not a fact address.
+    pub fn as_fact(&self) -> Result<FactId> {
+        match self {
+            Value::Fact(id) => Ok(*id),
+            other => Err(EngineError::Type { expected: "fact-address", found: other.to_string() }),
+        }
+    }
+
+    /// Numeric equality (CLIPS `=`): compares across `Int`/`Float`.
+    pub fn num_eq(&self, other: &Value) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => self == other,
+        }
+    }
+
+    /// Rendering used by `printout`: strings lose their quotes, everything
+    /// else renders as in facts.
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            Value::Multi(items) => items
+                .iter()
+                .map(Value::to_display_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+            other => other.to_string(),
+        }
+    }
+
+    /// Short name of the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Sym(_) => "symbol",
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Multi(_) => "multifield",
+            Value::Fact(_) => "fact-address",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Sym(a), Value::Sym(b)) | (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Multi(a), Value::Multi(b)) => a == b,
+            (Value::Fact(a), Value::Fact(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Sym(s) | Value::Str(s) => s.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Multi(items) => items.hash(state),
+            Value::Fact(id) => id.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Multi(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Fact(id) => write!(f, "<Fact-{}>", id.raw()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<FactId> for Value {
+    fn from(id: FactId) -> Value {
+        Value::Fact(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_clips() {
+        assert!(Value::truth().is_truthy());
+        assert!(!Value::falsity().is_truthy());
+        assert!(Value::Int(0).is_truthy(), "0 is truthy in CLIPS");
+        assert!(Value::str("").is_truthy(), "empty string is truthy");
+        assert!(Value::empty_multi().is_truthy());
+    }
+
+    #[test]
+    fn strict_vs_numeric_equality() {
+        assert_ne!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2).num_eq(&Value::Float(2.0)));
+        assert_ne!(Value::sym("abc"), Value::str("abc"));
+        assert!(!Value::sym("abc").num_eq(&Value::str("abc")));
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Value::sym("FILE").to_string(), "FILE");
+        assert_eq!(Value::str("/bin/ls").to_string(), "\"/bin/ls\"");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        let m = Value::multi([Value::sym("a"), Value::Int(1)]);
+        assert_eq!(m.to_string(), "(a 1)");
+    }
+
+    #[test]
+    fn printout_rendering_strips_quotes() {
+        assert_eq!(Value::str("/bin/sh").to_display_string(), "/bin/sh");
+        let m = Value::multi([Value::str("a"), Value::sym("b")]);
+        assert_eq!(m.to_display_string(), "a b");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::truth());
+        assert_eq!(Value::Int(7).as_f64().unwrap(), 7.0);
+        assert_eq!(Value::Float(7.0).as_int().unwrap(), 7);
+        assert!(Value::Float(7.5).as_int().is_err());
+        assert!(Value::sym("x").as_f64().is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Tests for the `modify` action: CLIPS-style stateful rules (the
+//! mechanism behind counting policies like the paper's §10 cross-session
+//! extensions).
+
+use secpert_engine::Engine;
+
+/// A counter fact incremented by a rule on every event — the canonical
+/// CLIPS accumulate-with-modify pattern.
+#[test]
+fn modify_implements_counters() {
+    let mut engine = Engine::new();
+    engine
+        .load_str(
+            r"
+            (deftemplate hit (slot n))
+            (deftemplate counter (slot total (default 0)))
+            (deffacts init (counter))
+
+            (defrule count_hits
+              ?h <- (hit)
+              ?c <- (counter (total ?t))
+              =>
+              (retract ?h)
+              (modify ?c (total (+ ?t 1))))
+            ",
+        )
+        .unwrap();
+    engine.reset().unwrap();
+    for i in 0..5 {
+        engine.assert_str(&format!("(hit (n {i}))")).unwrap();
+        engine.run(None).unwrap();
+    }
+    let counters = engine.facts_of("counter");
+    assert_eq!(counters.len(), 1);
+    assert_eq!(counters[0].1.get("total").unwrap().to_string(), "5");
+}
+
+/// `modify` returns the new fact address and the old id is dead.
+#[test]
+fn modify_replaces_the_fact() {
+    let mut engine = Engine::new();
+    engine
+        .load_str(
+            r#"
+            (deftemplate item (slot state) (slot tag))
+            (defrule promote
+              ?i <- (item (state raw) (tag ?tag))
+              =>
+              (modify ?i (state cooked))
+              (printout t "promoted " ?tag crlf))
+            "#,
+        )
+        .unwrap();
+    let id = engine.assert_str("(item (state raw) (tag alpha))").unwrap().unwrap();
+    assert_eq!(engine.run(None).unwrap(), 1);
+    assert!(engine.get_fact(id).is_none(), "old fact retracted");
+    let items = engine.facts_of("item");
+    assert_eq!(items.len(), 1);
+    assert!(items[0].1.get("state").unwrap().is_sym("cooked"));
+    assert_eq!(engine.take_output(), "promoted alpha\n");
+    // The promote rule does not match the cooked fact: no infinite loop.
+    assert_eq!(engine.run(None).unwrap(), 0);
+}
+
+/// A modify that re-satisfies the same rule fires again (new fact id ⇒
+/// new activation): the classic runaway loop is the author's problem —
+/// bounded here with a limit.
+#[test]
+fn modify_can_refire_rules() {
+    let mut engine = Engine::new();
+    engine
+        .load_str(
+            r"
+            (deftemplate tick (slot n))
+            (defrule grow
+              ?t <- (tick (n ?n&:(< ?n 10)))
+              =>
+              (modify ?t (n (+ ?n 1))))
+            ",
+        )
+        .unwrap();
+    engine.assert_str("(tick (n 0))").unwrap();
+    assert_eq!(engine.run(Some(100)).unwrap(), 10);
+    assert_eq!(engine.facts_of("tick")[0].1.get("n").unwrap().to_string(), "10");
+}
+
+/// Multifield slots can be grown through modify.
+#[test]
+fn modify_multifield_slots() {
+    let mut engine = Engine::new();
+    engine
+        .load_str(
+            r"
+            (deftemplate bag (multislot items))
+            (deftemplate add (slot item))
+            (defrule absorb
+              ?a <- (add (item ?i))
+              ?b <- (bag (items $?existing))
+              =>
+              (retract ?a)
+              (modify ?b (items $?existing ?i)))
+            ",
+        )
+        .unwrap();
+    engine.assert_str("(bag)").unwrap();
+    for item in ["x", "y", "z"] {
+        engine.assert_str(&format!("(add (item {item}))")).unwrap();
+        engine.run(None).unwrap();
+    }
+    let bags = engine.facts_of("bag");
+    assert_eq!(bags[0].1.get("items").unwrap().to_string(), "(x y z)");
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the expert-system engine: the incremental
+//! agenda must agree with a brute-force matcher, duplicate suppression
+//! must be sound, and the parser must round-trip facts.
+
+use proptest::prelude::*;
+use secpert_engine::{
+    Engine, Expr, FieldConstraint, PatternCE, RuleBuilder, SlotDef, SlotPattern, Template, Value,
+};
+
+/// A small universe of slot values so joins actually happen.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0..4i64).prop_map(Value::Int),
+        prop_oneof![Just("open"), Just("close"), Just("read")].prop_map(Value::sym),
+        prop_oneof![Just("/a"), Just("/b")].prop_map(Value::str),
+    ]
+}
+
+fn engine_with_templates() -> Engine {
+    let mut engine = Engine::new();
+    engine
+        .add_template(Template::new("ev", [SlotDef::single("kind"), SlotDef::single("n")]))
+        .unwrap();
+    engine
+        .add_template(Template::new("res", [SlotDef::single("kind")]))
+        .unwrap();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Asserting random facts and running a two-pattern join rule fires
+    /// exactly once per distinct (ev, res) pair with matching `kind` —
+    /// the same count a brute-force cross product predicts.
+    #[test]
+    fn join_count_matches_brute_force(
+        events in prop::collection::vec((value_strategy(), 0..4i64), 0..8),
+        resources in prop::collection::vec(value_strategy(), 0..8),
+    ) {
+        let mut engine = engine_with_templates();
+        engine
+            .add_rule(
+                RuleBuilder::new("join")
+                    .pattern(
+                        PatternCE::new("ev")
+                            .slot("kind", SlotPattern::Single(FieldConstraint::var("k"))),
+                    )
+                    .pattern(
+                        PatternCE::new("res")
+                            .slot("kind", SlotPattern::Single(FieldConstraint::var("k"))),
+                    )
+                    .action(Expr::lit(1))
+                    .build(),
+            )
+            .unwrap();
+        let mut kept_events = Vec::new();
+        for (kind, n) in &events {
+            let fact = engine
+                .fact("ev").unwrap()
+                .slot("kind", kind.clone())
+                .slot("n", *n)
+                .build().unwrap();
+            if engine.assert_fact(fact).unwrap().is_some() {
+                kept_events.push((kind.clone(), *n));
+            }
+        }
+        let mut kept_resources = Vec::new();
+        for kind in &resources {
+            let fact = engine
+                .fact("res").unwrap()
+                .slot("kind", kind.clone())
+                .build().unwrap();
+            if engine.assert_fact(fact).unwrap().is_some() {
+                kept_resources.push(kind.clone());
+            }
+        }
+        let expected: usize = kept_events
+            .iter()
+            .map(|(k, _)| kept_resources.iter().filter(|r| *r == k).count())
+            .sum();
+        let fired = engine.run(None).unwrap();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// Duplicate facts are suppressed: asserting the same slots twice
+    /// yields one live fact, and retraction empties working memory.
+    #[test]
+    fn duplicate_suppression_and_retraction(
+        kinds in prop::collection::vec(value_strategy(), 1..12),
+    ) {
+        let mut engine = engine_with_templates();
+        let mut ids = Vec::new();
+        let mut distinct = std::collections::HashSet::new();
+        for kind in &kinds {
+            let fact = engine
+                .fact("res").unwrap()
+                .slot("kind", kind.clone())
+                .build().unwrap();
+            if let Some(id) = engine.assert_fact(fact).unwrap() {
+                ids.push(id);
+                distinct.insert(format!("{kind}"));
+            }
+        }
+        prop_assert_eq!(engine.fact_count(), distinct.len());
+        for id in ids {
+            engine.retract_fact(id).unwrap();
+        }
+        prop_assert_eq!(engine.fact_count(), 0);
+    }
+
+    /// Fact forms rendered by the engine parse back to identical facts.
+    #[test]
+    fn fact_render_parse_round_trip(
+        kind in value_strategy(),
+        n in -100..100i64,
+    ) {
+        let mut engine = engine_with_templates();
+        let fact = engine
+            .fact("ev").unwrap()
+            .slot("kind", kind)
+            .slot("n", n)
+            .build().unwrap();
+        let rendered = fact.to_string();
+        let id = engine.assert_fact(fact.clone()).unwrap().unwrap();
+        engine.retract_fact(id).unwrap();
+        let id2 = engine.assert_str(&rendered).unwrap().unwrap();
+        let parsed = engine.get_fact(id2).unwrap();
+        prop_assert_eq!(&*parsed, &fact);
+    }
+
+    /// Refraction: re-running after quiescence never re-fires, whatever
+    /// the fact mix; resetting restores exactly one full firing pass.
+    #[test]
+    fn refraction_is_stable(kinds in prop::collection::vec(value_strategy(), 0..8)) {
+        let mut engine = engine_with_templates();
+        engine
+            .add_rule(
+                RuleBuilder::new("any")
+                    .pattern(PatternCE::new("res"))
+                    .action(Expr::lit(0))
+                    .build(),
+            )
+            .unwrap();
+        for kind in &kinds {
+            let fact = engine
+                .fact("res").unwrap()
+                .slot("kind", kind.clone())
+                .build().unwrap();
+            engine.assert_fact(fact).unwrap();
+        }
+        let first = engine.run(None).unwrap();
+        prop_assert_eq!(engine.run(None).unwrap(), 0);
+        prop_assert_eq!(engine.run(None).unwrap(), 0);
+        prop_assert_eq!(first, engine.fact_count());
+    }
+}
+
+// Negation consistency: a `not` CE rule fires exactly when no blocker
+// exists, under arbitrary interleavings of asserts and retracts.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn negation_tracks_blockers(ops in prop::collection::vec(any::<bool>(), 1..12)) {
+        let mut engine = engine_with_templates();
+        engine
+            .add_template(Template::new("blocker", []))
+            .unwrap();
+        engine
+            .add_rule(
+                RuleBuilder::new("guarded")
+                    .pattern(PatternCE::new("res"))
+                    .not(PatternCE::new("blocker"))
+                    .action(Expr::lit(0))
+                    .build(),
+            )
+            .unwrap();
+        let res = engine.fact("res").unwrap().slot("kind", Value::sym("x")).build().unwrap();
+        engine.assert_fact(res).unwrap();
+        let mut blocker_id = None;
+        for add in ops {
+            if add && blocker_id.is_none() {
+                let f = engine.fact("blocker").unwrap().build().unwrap();
+                blocker_id = engine.assert_fact(f).unwrap();
+            } else if let Some(id) = blocker_id.take() {
+                engine.retract_fact(id).unwrap();
+            }
+            let expected = usize::from(blocker_id.is_none());
+            prop_assert_eq!(engine.agenda_len(), expected, "blocked = {}", blocker_id.is_some());
+        }
+    }
+}

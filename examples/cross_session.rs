@@ -1,0 +1,110 @@
+//! Cross-session hunting (paper §10, items 3 and 6): correlate behaviour
+//! *across* monitored runs — a dropper in one session, the execution of
+//! its payload in another, and two bots sharing a command-and-control
+//! host.
+//!
+//! Run with `cargo run --example cross_session`.
+
+use hth::{Session, SessionConfig, SessionHistory};
+
+const DOWNLOADER: &str = r#"
+_start:
+    mov eax, 5          ; open("/tmp/update", O_CREAT|O_WRONLY)
+    mov ebx, path
+    mov ecx, 0x41
+    int 0x80
+    mov esi, eax
+    mov eax, 4          ; write the payload
+    mov ebx, esi
+    mov ecx, payload
+    mov edx, 8
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+.data
+path:    .asciz "/tmp/update"
+payload: .asciz "PAYLOAD"
+"#;
+
+const LAUNCHER: &str = r"
+_start:
+    mov ebp, esp
+    mov ebx, [ebp+8]    ; argv[1] — the user names the file!
+    mov eax, 11         ; execve
+    int 0x80
+    hlt
+";
+
+const BOT: &str = r"
+_start:
+    mov eax, 102
+    mov ebx, 1
+    mov ecx, sockargs
+    int 0x80
+    mov esi, eax
+    mov [connargs], esi
+    mov eax, 102        ; beacon to the hardcoded C2
+    mov ebx, 3
+    mov ecx, connargs
+    int 0x80
+    mov eax, 1
+    mov ebx, 0
+    int 0x80
+.data
+sockargs: .long 2, 1, 0
+addr:     .word 2
+port:     .word 6667
+ip:       .long 0x0a0000c2
+connargs: .long 0, addr, 8
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut history = SessionHistory::new();
+
+    // --- Session 1: the dropper plants /tmp/update (High on its own,
+    //     but the interesting part is what the history remembers). ---
+    let mut s1 = Session::new(SessionConfig::default())?;
+    s1.kernel.register_binary("/bin/downloader", DOWNLOADER, &[]);
+    s1.start("/bin/downloader", &["/bin/downloader"], &[])?;
+    s1.run()?;
+    history.absorb(&s1, "/bin/downloader");
+    println!("session 1: downloader ran; history remembers {} drop(s)", history.drops().count());
+
+    // --- Session 2: a different program executes the dropped file. The
+    //     file name comes from the *user*, so the single-session policy
+    //     is silent — only the cross-session rule sees the pattern. ---
+    let mut s2 = Session::new(SessionConfig::default())?;
+    history.arm(&mut s2)?;
+    s2.kernel.register_binary("/bin/launcher", LAUNCHER, &[]);
+    s2.start("/bin/launcher", &["/bin/launcher", "/tmp/update"], &[])?;
+    s2.run()?;
+    println!("\nsession 2: launcher executed /tmp/update");
+    for warning in s2.warnings() {
+        println!("  [{}] {}", warning.severity, warning.message);
+    }
+
+    // --- Sessions 3 and 4: two unrelated programs beacon to the same
+    //     hardcoded host — the §10 bot-network correlation. ---
+    for bot in ["/bin/bot-a", "/bin/bot-b"] {
+        let mut s = Session::new(SessionConfig::default())?;
+        s.kernel.net.add_host("c2.example", 0x0a00_00c2);
+        s.kernel.net.add_peer(
+            hth::emukernel::Endpoint { ip: 0x0a00_00c2, port: 6667 },
+            hth::emukernel::Peer::default(),
+        );
+        s.kernel.register_binary(bot, BOT, &[]);
+        s.start(bot, &[bot], &[])?;
+        s.run()?;
+        history.absorb(&s, bot);
+    }
+    println!("\nsessions 3+4: two bots beaconed");
+    for report in history.shared_c2(2) {
+        println!(
+            "  BOTNET: {} is contacted (hardcoded) by {}",
+            report.endpoint,
+            report.programs.join(" and "),
+        );
+    }
+    Ok(())
+}

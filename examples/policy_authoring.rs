@@ -1,0 +1,69 @@
+//! Policy authoring: extend Secpert with a custom CLIPS rule, exactly
+//! the way the paper's Appendix A writes its rules.
+//!
+//! Run with `cargo run --example policy_authoring`.
+//!
+//! The custom rule flags any program that *reads* the password database
+//! (a resource access the stock policy only observes): a corporate
+//! policy layered on top of HTH's generic one.
+
+use hth::{Session, SessionConfig};
+
+const CUSTOM_RULE: &str = r#"
+(defglobal ?*PASSWORD_DB* = "/home/user/.pwsafe.dat")
+
+(defrule corp_password_db_access "flag any open of the password database"
+  ?e <- (system_call_access (system_call_name SYS_open)
+          (pid ?pid) (resource_name ?name) (time ?time))
+  (test (eq ?name ?*PASSWORD_DB*))
+  =>
+  (bind ?msg (str-cat "Corporate policy: " ?name " was opened"))
+  (printout t (severity-text 2) " " ?msg crlf)
+  (warn 2 corp_password_db_access ?pid ?time ?msg))
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new(SessionConfig::default())?;
+
+    // Load the extra rule on top of the standard paper policy.
+    session.secpert_mut().load_policy(CUSTOM_RULE)?;
+
+    session.kernel.vfs.install(
+        "/home/user/.pwsafe.dat",
+        hth::emukernel::FileNode::regular(b"site=bank pass=hunter2".to_vec()),
+    );
+    session.kernel.register_binary(
+        "/bin/sneaky-reader",
+        r#"
+        _start:
+            mov eax, 5          ; open the password DB (hardcoded path)
+            mov ebx, db
+            mov ecx, 0
+            int 0x80
+            mov edi, eax
+            mov eax, 3          ; read it
+            mov ebx, edi
+            mov ecx, 0x09000000
+            mov edx, 22
+            int 0x80
+            mov eax, 1
+            mov ebx, 0
+            int 0x80
+        .data
+        db: .asciz "/home/user/.pwsafe.dat"
+        "#,
+        &[],
+    );
+
+    session.start("/bin/sneaky-reader", &["/bin/sneaky-reader"], &[])?;
+    session.run()?;
+
+    print!("{}", session.take_transcript());
+    println!("\nwarnings:");
+    for warning in session.warnings() {
+        println!("  [{}] {} — {}", warning.severity, warning.rule, warning.message);
+    }
+    assert!(session.warnings().iter().any(|w| w.rule == "corp_password_db_access"));
+    println!("\nthe custom CLIPS rule fired alongside the standard policy.");
+    Ok(())
+}

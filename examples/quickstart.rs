@@ -1,0 +1,70 @@
+//! Quickstart: monitor a Trojan dropper and print HTH's verdict.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The program models the most common Trojan pattern from the paper's
+//! §2.2: it writes a hardcoded payload into a hardcoded file, then
+//! executes a hardcoded program — all without any user direction.
+
+use hth::{Session, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new(SessionConfig::default())?;
+
+    // Register the program to monitor. Workloads are small assembly
+    // programs for the bundled VM — the paper's benchmarks are written
+    // the same way.
+    session.kernel.register_binary(
+        "/bin/innocent-looking-tool",
+        r#"
+        _start:
+            ; Drop a payload: hardcoded bytes into a hardcoded file name.
+            mov eax, 5              ; open("/tmp/.hidden", O_CREAT|O_WRONLY)
+            mov ebx, dropname
+            mov ecx, 0x41
+            int 0x80
+            mov esi, eax
+            mov eax, 4              ; write(fd, payload, 20)
+            mov ebx, esi
+            mov ecx, payload
+            mov edx, 20
+            int 0x80
+            mov eax, 6              ; close(fd)
+            mov ebx, esi
+            int 0x80
+            ; And run a hardcoded program.
+            mov eax, 11             ; execve("/bin/uname")
+            mov ebx, prog
+            int 0x80
+            mov eax, 1              ; exit(0)
+            mov ebx, 0
+            int 0x80
+        .data
+        dropname: .asciz "/tmp/.hidden"
+        payload:  .asciz "TROJAN-STAGE-TWO!!!"
+        prog:     .asciz "/bin/uname"
+        "#,
+        &[],
+    );
+
+    session.start("/bin/innocent-looking-tool", &["/bin/innocent-looking-tool"], &[])?;
+    let report = session.run()?;
+
+    println!("monitored {} instructions", report.instructions);
+    println!("processed {} events\n", session.events().len());
+
+    println!("--- Secpert transcript (paper-style) ---");
+    print!("{}", session.take_transcript());
+
+    println!("\n--- structured warnings ---");
+    for warning in session.warnings() {
+        println!("[{}] rule={} pid={} t={}", warning.severity, warning.rule, warning.pid, warning.time);
+        println!("    {}", warning.message);
+    }
+
+    match session.max_severity() {
+        Some(sev) => println!("\nverdict: suspicious (max severity {sev})"),
+        None => println!("\nverdict: clean"),
+    }
+    Ok(())
+}

