@@ -1,0 +1,259 @@
+//! # criterion-shim — an offline, dependency-free subset of `criterion`
+//!
+//! The build container has no network access, so the real `criterion`
+//! crate cannot be downloaded. This shim provides the API surface the
+//! repository's benches use — [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], benchmark groups, `iter`/`iter_batched`,
+//! [`black_box`] — measuring with `std::time::Instant` and printing
+//! `[min median max]` per-iteration times in criterion's style.
+//!
+//! Flags understood (all others are ignored so `cargo bench`'s argument
+//! passing never breaks):
+//!
+//! * `--test` — run every benchmark body exactly once and report `ok`;
+//!   this is the smoke mode CI uses.
+//! * any bare argument — substring filter on benchmark names.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to bench closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Mean per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in a timing loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~5 ms?
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measures `routine` over fresh inputs from `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size.max(10) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { test_mode: false, filter: None, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builds a runner from the process arguments (see crate docs).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                a if a.starts_with("--") => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Runs (or skips) one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else if bencher.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+        } else {
+            let mut s = bencher.samples;
+            s.sort_by(|a, b| a.total_cmp(b));
+            let (min, med, max) = (s[0], s[s.len() / 2], s[s.len() - 1]);
+            println!("{id:<50} time: [{} {} {}]", format_ns(min), format_ns(med), format_ns(max));
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A named group of benchmarks (`group/name` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.bench_function(full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion { test_mode: true, filter: None, sample_size: 3 };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_filter_skips() {
+        let mut c = Criterion { test_mode: true, filter: Some("zzz".into()), sample_size: 3 };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).bench_function("skipped", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0, "filter must skip non-matching ids");
+    }
+
+    #[test]
+    fn iter_batched_measures() {
+        let mut b = Bencher { test_mode: false, sample_size: 4, samples: Vec::new() };
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 10);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_500.0), "12.50 µs");
+        assert_eq!(format_ns(3_200_000.0), "3.20 ms");
+    }
+}

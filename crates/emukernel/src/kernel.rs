@@ -340,12 +340,7 @@ pub struct Kernel {
 impl Kernel {
     /// Creates a kernel with an empty filesystem and default network.
     pub fn new() -> Kernel {
-        Kernel {
-            net: Network::new(),
-            instr_per_tick: 50,
-            next_pid: 1,
-            ..Kernel::default()
-        }
+        Kernel { net: Network::new(), instr_per_tick: 50, next_pid: 1, ..Kernel::default() }
     }
 
     // ---- configuration -----------------------------------------------------
@@ -354,7 +349,10 @@ impl Kernel {
     pub fn register_binary(&mut self, path: &str, source: &str, libs: &[&str]) {
         self.binaries.insert(
             path.to_string(),
-            BinarySpec { source: source.to_string(), libs: libs.iter().map(|s| s.to_string()).collect() },
+            BinarySpec {
+                source: source.to_string(),
+                libs: libs.iter().map(|s| s.to_string()).collect(),
+            },
         );
     }
 
@@ -671,14 +669,22 @@ impl Kernel {
                         accepted: false,
                     },
                 },
-                Err(_) => {
-                    Resource::Socket { local: None, remote: None, listening: false, accepted: false }
-                }
+                Err(_) => Resource::Socket {
+                    local: None,
+                    remote: None,
+                    listening: false,
+                    accepted: false,
+                },
             },
         }
     }
 
-    fn sys_open(&mut self, proc: &mut Process, path_ptr: u32, flags: u32) -> (&'static str, i32, SyscallEffect) {
+    fn sys_open(
+        &mut self,
+        proc: &mut Process,
+        path_ptr: u32,
+        flags: u32,
+    ) -> (&'static str, i32, SyscallEffect) {
         let name = "SYS_open";
         let path = match proc.core.mem.read_cstr(path_ptr, 4096) {
             Ok(p) => p,
@@ -708,7 +714,13 @@ impl Kernel {
         )
     }
 
-    fn sys_read(&mut self, proc: &mut Process, fd: i32, buf: u32, len: u32) -> (&'static str, i32, SyscallEffect) {
+    fn sys_read(
+        &mut self,
+        proc: &mut Process,
+        fd: i32,
+        buf: u32,
+        len: u32,
+    ) -> (&'static str, i32, SyscallEffect) {
         let name = "SYS_read";
         let Some(kind) = proc.fds.get(fd).cloned() else {
             return (name, -errno::EBADF, SyscallEffect::None);
@@ -739,7 +751,13 @@ impl Kernel {
         (name, take as i32, SyscallEffect::Read { resource, buf, len: take as u32 })
     }
 
-    fn sys_write(&mut self, proc: &mut Process, fd: i32, buf: u32, len: u32) -> (&'static str, i32, SyscallEffect) {
+    fn sys_write(
+        &mut self,
+        proc: &mut Process,
+        fd: i32,
+        buf: u32,
+        len: u32,
+    ) -> (&'static str, i32, SyscallEffect) {
         let name = "SYS_write";
         let Some(kind) = proc.fds.get(fd).cloned() else {
             return (name, -errno::EBADF, SyscallEffect::None);
@@ -771,7 +789,12 @@ impl Kernel {
         (name, written as i32, SyscallEffect::Write { resource, buf, len: written as u32 })
     }
 
-    fn sys_socketcall(&mut self, proc: &mut Process, call: u32, args_ptr: u32) -> (&'static str, i32, SyscallEffect) {
+    fn sys_socketcall(
+        &mut self,
+        proc: &mut Process,
+        call: u32,
+        args_ptr: u32,
+    ) -> (&'static str, i32, SyscallEffect) {
         let arg = |core: &Core, i: u32| core.mem.read_u32(args_ptr + 4 * i);
         match call {
             sockcall::SOCKET => {
@@ -863,7 +886,9 @@ impl Kernel {
                         let resource = self.resource_of(&FdKind::Socket(conn));
                         ("SYS_accept", new_fd, SyscallEffect::Accept { fd: new_fd, resource })
                     }
-                    Err(NetError::WouldBlock) => ("SYS_accept", -errno::EAGAIN, SyscallEffect::None),
+                    Err(NetError::WouldBlock) => {
+                        ("SYS_accept", -errno::EAGAIN, SyscallEffect::None)
+                    }
                     Err(_) => ("SYS_accept", -errno::EINVAL, SyscallEffect::None),
                 }
             }
@@ -1254,7 +1279,9 @@ mod tests {
             &[],
         );
         let (records, _) = run(&mut kernel, "/bin/piper", &["p"]);
-        assert!(matches!(&records[0].effect, SyscallEffect::Mknod { path, .. } if path == "inpipe1"));
+        assert!(
+            matches!(&records[0].effect, SyscallEffect::Mknod { path, .. } if path == "inpipe1")
+        );
         assert!(matches!(
             &records[2].effect,
             SyscallEffect::Write { resource: Resource::File { fifo: true, .. }, .. }

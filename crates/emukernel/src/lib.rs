@@ -59,9 +59,9 @@ mod process;
 mod vfs;
 
 pub use kernel::{
-    build_initial_stack, errno, oflags, sockcall, sysno, BinarySpec, Kernel, Resource,
-    SpawnError, SyscallEffect, SyscallRecord, APP_BASE, HEAP_BASE, LIB_BASE, LIB_STRIDE,
-    MAX_HEAP, SCRATCH_BASE, SCRATCH_SIZE, STACK_BASE, STACK_TOP,
+    build_initial_stack, errno, oflags, sockcall, sysno, BinarySpec, Kernel, Resource, SpawnError,
+    SyscallEffect, SyscallRecord, APP_BASE, HEAP_BASE, LIB_BASE, LIB_STRIDE, MAX_HEAP,
+    SCRATCH_BASE, SCRATCH_SIZE, STACK_BASE, STACK_TOP,
 };
 pub use net::{Endpoint, Ip, NetError, Network, Peer, RemoteClient, Socket, SocketId, SocketState};
 pub use process::{FdKind, FdTable, ProcState, Process};

@@ -88,7 +88,12 @@ pub struct Socket {
 
 impl Socket {
     fn new() -> Socket {
-        Socket { state: SocketState::Created, inbox: VecDeque::new(), client_ref: None, peer_ref: None }
+        Socket {
+            state: SocketState::Created,
+            inbox: VecDeque::new(),
+            client_ref: None,
+            peer_ref: None,
+        }
     }
 }
 
@@ -128,11 +133,8 @@ impl Network {
     /// Creates an empty network; the local host is `127.0.0.1`
     /// ("LocalHost" in reverse DNS, matching the paper's warnings).
     pub fn new() -> Network {
-        let mut net = Network {
-            local_ip: 0x7f00_0001,
-            next_ephemeral: 32768,
-            ..Network::default()
-        };
+        let mut net =
+            Network { local_ip: 0x7f00_0001, next_ephemeral: 32768, ..Network::default() };
         net.add_host("LocalHost", 0x7f00_0001);
         net
     }

@@ -71,9 +71,9 @@ fn classify(text: &str) -> Option<&'static str> {
         return Some("dotted-quad address");
     }
     if dotted.len() >= 2
-        && dotted.iter().all(|p| {
-            !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
-        })
+        && dotted
+            .iter()
+            .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'))
         && dotted.last().is_some_and(|tld| tld.chars().all(|c| c.is_ascii_alphabetic()))
         && text.chars().any(|c| c.is_ascii_alphabetic())
     {
@@ -125,30 +125,23 @@ mod tests {
 
     #[test]
     fn clean_binary_is_secure() {
-        let img = assemble(
-            "/bin/clean",
-            "_start: hlt\n.data\nmsg: .asciz \"usage: clean FILE\"\n",
-            0,
-        )
-        .unwrap();
+        let img =
+            assemble("/bin/clean", "_start: hlt\n.data\nmsg: .asciz \"usage: clean FILE\"\n", 0)
+                .unwrap();
         assert!(audit(&img).is_secure());
     }
 
     #[test]
     fn relative_paths_flagged() {
-        let img =
-            assemble("/bin/t", "_start: hlt\n.data\np: .asciz \"./Window\"\n", 0).unwrap();
+        let img = assemble("/bin/t", "_start: hlt\n.data\np: .asciz \"./Window\"\n", 0).unwrap();
         assert_eq!(audit(&img).findings[0].reason, "relative path");
     }
 
     #[test]
     fn string_extraction_addresses() {
-        let img = assemble(
-            "/bin/t",
-            "_start: hlt\n.data\na: .asciz \"abc\"\nb: .asciz \"defg\"\n",
-            0,
-        )
-        .unwrap();
+        let img =
+            assemble("/bin/t", "_start: hlt\n.data\na: .asciz \"abc\"\nb: .asciz \"defg\"\n", 0)
+                .unwrap();
         let strs = strings(&img, 3);
         assert_eq!(strs.len(), 2);
         assert_eq!(strs[0].1, "abc");

@@ -4,11 +4,15 @@
 //! the Secpert expert system reasons about. This crate implements it
 //! over the `hth-vm` interpreter and `emukernel` OS substrate:
 //!
-//! * **tag sets** ([`TagSet`]) — every register and memory byte carries a
-//!   *set* of [`DataSource`]s (`USER_INPUT`, `FILE(..)`, `SOCKET(..)`,
-//!   `BINARY(..)`, `HARDWARE`), not a single taint bit (§5.1),
+//! * **tag sets** — every register and memory byte carries a *set* of
+//!   [`DataSource`]s (`USER_INPUT`, `FILE(..)`, `SOCKET(..)`,
+//!   `BINARY(..)`, `HARDWARE`), not a single taint bit (§5.1). Sets are
+//!   hash-consed in a [`TagStore`] and handled as `Copy` [`TagRef`]s;
+//!   [`TagSet`] remains as the standalone value type,
 //! * **shadow state** ([`Shadow`]) updated from the VM's per-instruction
-//!   dataflow micro-ops (§7.3.1),
+//!   dataflow micro-ops (§7.3.1), with uniform/dense page compression
+//!   (the [`NaiveShadow`] per-byte oracle is kept for differential
+//!   testing under the `naive-shadow` feature),
 //! * **loader tagging** — image data sections are `BINARY(image)`, the
 //!   initial stack (argv/env) is `USER_INPUT` (§7.3.2–7.3.3),
 //! * **basic-block frequency** with last-application-BB attribution
@@ -29,11 +33,15 @@ pub mod audit;
 mod events;
 mod freq;
 mod monitor;
+#[cfg(any(test, feature = "naive-shadow"))]
+mod naive;
 mod shadow;
 mod tag;
 
 pub use events::{Origin, ResourceType, SecpertEvent, ServerInfo, SourceInfo};
 pub use freq::BbFreq;
 pub use monitor::{Harrier, HarrierConfig, HarrierHooks};
+#[cfg(any(test, feature = "naive-shadow"))]
+pub use naive::NaiveShadow;
 pub use shadow::Shadow;
-pub use tag::{DataSource, SourceId, SourceTable, TagSet};
+pub use tag::{DataSource, SourceId, SourceTable, TagRef, TagSet, TagStore, TaintStats};

@@ -17,7 +17,7 @@ use hth_vm::{Hooks, ImageId, Instr, Reg, TaintOp};
 use crate::events::{Origin, ResourceType, SecpertEvent, ServerInfo, SourceInfo};
 use crate::freq::BbFreq;
 use crate::shadow::Shadow;
-use crate::tag::{DataSource, SourceId, SourceTable, TagSet};
+use crate::tag::{DataSource, SourceId, SourceTable, TagRef, TagStore, TaintStats};
 
 /// Monitor configuration — the knobs behind the paper's §9 ablation.
 #[derive(Clone, Debug)]
@@ -48,8 +48,8 @@ impl Default for HarrierConfig {
 /// opened/connected/bound, consulted when it is written).
 #[derive(Clone, Debug, Default)]
 struct OriginRecord {
-    tags: TagSet,
-    server: Option<(String, TagSet)>,
+    tags: TagRef,
+    server: Option<(String, TagRef)>,
 }
 
 /// Per-process monitor state.
@@ -57,8 +57,8 @@ struct OriginRecord {
 struct ProcMon {
     shadow: Shadow,
     freq: BbFreq,
-    /// `BINARY` source id per loaded image.
-    image_binary: Vec<SourceId>,
+    /// `BINARY` tag per loaded image.
+    image_tags: Vec<TagRef>,
     /// Resource name → identifier origin.
     origins: HashMap<String, OriginRecord>,
     /// Local port → rendered listening endpoint (server bookkeeping).
@@ -72,8 +72,10 @@ struct ProcMon {
 pub struct Harrier {
     config: HarrierConfig,
     sources: SourceTable,
-    user_input: SourceId,
-    hardware: SourceId,
+    /// Hash-consed tag sets, shared by every monitored process.
+    store: TagStore,
+    user_tag: TagRef,
+    hardware_tag: TagRef,
     procs: HashMap<u32, ProcMon>,
     events_emitted: u64,
 }
@@ -84,7 +86,18 @@ impl Harrier {
         let mut sources = SourceTable::new();
         let user_input = sources.intern(DataSource::UserInput);
         let hardware = sources.intern(DataSource::Hardware);
-        Harrier { config, sources, user_input, hardware, procs: HashMap::new(), events_emitted: 0 }
+        let mut store = TagStore::new();
+        let user_tag = store.single(user_input);
+        let hardware_tag = store.single(hardware);
+        Harrier {
+            config,
+            sources,
+            store,
+            user_tag,
+            hardware_tag,
+            procs: HashMap::new(),
+            events_emitted: 0,
+        }
     }
 
     /// Monitor configuration.
@@ -95,6 +108,16 @@ impl Harrier {
     /// The source interning table (read access for diagnostics).
     pub fn sources(&self) -> &SourceTable {
         &self.sources
+    }
+
+    /// The tag store (read access for diagnostics).
+    pub fn tag_store(&self) -> &TagStore {
+        &self.store
+    }
+
+    /// Interning and union-memoization counters.
+    pub fn taint_stats(&self) -> TaintStats {
+        self.store.stats()
     }
 
     /// Total events emitted since creation.
@@ -108,7 +131,7 @@ impl Harrier {
         let mut mon = ProcMon {
             shadow: Shadow::new(),
             freq: BbFreq::new(ImageId(0)),
-            image_binary: Vec::new(),
+            image_tags: Vec::new(),
             origins: HashMap::new(),
             bound_ports: HashMap::new(),
             last_syscall_addr: 0,
@@ -116,22 +139,19 @@ impl Harrier {
         self.shadow_images(&mut mon, proc);
         let (lo, hi) = proc.initial_stack;
         if self.config.track_dataflow && hi > lo {
-            mon.shadow.set_range(lo, hi - lo, &TagSet::single(self.user_input));
+            mon.shadow.set_range(lo, hi - lo, self.user_tag);
         }
         self.procs.insert(proc.pid, mon);
     }
 
     fn shadow_images(&mut self, mon: &mut ProcMon, proc: &Process) {
-        mon.image_binary.clear();
+        mon.image_tags.clear();
         for image in proc.core.images() {
             let id = self.sources.intern(DataSource::Binary(image.name().clone()));
-            mon.image_binary.push(id);
+            let tag = self.store.single(id);
+            mon.image_tags.push(tag);
             if self.config.track_dataflow && !image.data().is_empty() {
-                mon.shadow.set_range(
-                    image.data_base(),
-                    image.data().len() as u32,
-                    &TagSet::single(id),
-                );
+                mon.shadow.set_range(image.data_base(), image.data().len() as u32, tag);
             }
         }
     }
@@ -149,11 +169,8 @@ impl Harrier {
     /// Re-attaches after a successful `execve` (new image, fresh shadow;
     /// descriptor origins survive, like the descriptors themselves).
     pub fn on_exec(&mut self, proc: &Process) {
-        let origins = self
-            .procs
-            .remove(&proc.pid)
-            .map(|m| (m.origins, m.bound_ports))
-            .unwrap_or_default();
+        let origins =
+            self.procs.remove(&proc.pid).map(|m| (m.origins, m.bound_ports)).unwrap_or_default();
         self.attach(proc);
         if let Some(mon) = self.procs.get_mut(&proc.pid) {
             (mon.origins, mon.bound_ports) = origins;
@@ -174,9 +191,10 @@ impl Harrier {
         let mon = self.procs.get_mut(&pid).expect("hooks for unmonitored process");
         HarrierHooks {
             mon,
+            store: &mut self.store,
             track_dataflow: self.config.track_dataflow,
             track_bb: self.config.track_bb_freq,
-            hardware: self.hardware,
+            hardware: self.hardware_tag,
         }
     }
 
@@ -188,14 +206,14 @@ impl Harrier {
     /// Reads the current tag set of a memory range (tests/diagnostics).
     pub fn mem_tags(&self, pid: u32, addr: u32, len: u32) -> Vec<SourceInfo> {
         match self.procs.get(&pid) {
-            Some(mon) => self.render_tags(&mon.shadow.range(addr, len)),
+            Some(mon) => self.render_ids(&mon.shadow.range_ids(addr, len, &self.store)),
             None => Vec::new(),
         }
     }
 
-    fn render_tags(&self, tags: &TagSet) -> Vec<SourceInfo> {
-        tags.iter()
-            .map(|id| {
+    fn render_ids(&self, ids: &[SourceId]) -> Vec<SourceInfo> {
+        ids.iter()
+            .map(|&id| {
                 let src = self.sources.get(id);
                 SourceInfo {
                     kind: match src {
@@ -211,8 +229,8 @@ impl Harrier {
             .collect()
     }
 
-    fn origin_from(&self, tags: &TagSet) -> Origin {
-        Origin { sources: self.render_tags(tags) }
+    fn origin_from(&self, tags: TagRef) -> Origin {
+        Origin { sources: self.render_ids(self.store.ids(tags)) }
     }
 
     /// Renders a kernel resource as a typed name (sockets use the
@@ -249,7 +267,12 @@ impl Harrier {
         })
     }
 
-    fn server_info_for(&self, mon: &ProcMon, resource: &Resource, kernel: &Kernel) -> Option<ServerInfo> {
+    fn server_info_for(
+        &self,
+        mon: &ProcMon,
+        resource: &Resource,
+        kernel: &Kernel,
+    ) -> Option<ServerInfo> {
         let Resource::Socket { local, accepted: true, .. } = resource else {
             return None;
         };
@@ -259,11 +282,8 @@ impl Harrier {
             .get(&local.port)
             .cloned()
             .unwrap_or_else(|| kernel.net.display_endpoint(local));
-        let origin = mon
-            .origins
-            .get(&address)
-            .map(|rec| self.origin_from(&rec.tags))
-            .unwrap_or_default();
+        let origin =
+            mon.origins.get(&address).map(|rec| self.origin_from(rec.tags)).unwrap_or_default();
         Some(ServerInfo { address, origin })
     }
 
@@ -283,14 +303,12 @@ impl Harrier {
         let time = kernel.now();
         let (address, frequency) = {
             let mon = &self.procs[&pid];
-            mon.freq
-                .attribution()
-                .unwrap_or((proc.core.cpu.eip.wrapping_sub(4), 1))
+            mon.freq.attribution().unwrap_or((proc.core.cpu.eip.wrapping_sub(4), 1))
         };
         // Kernel return values are fresh data: clear eax's taint.
         if self.config.track_dataflow {
             if let Some(mon) = self.procs.get_mut(&pid) {
-                mon.shadow.set_reg(Reg::Eax, TagSet::empty());
+                mon.shadow.set_reg(Reg::Eax, TagRef::EMPTY);
             }
         }
         let mut events = Vec::new();
@@ -328,8 +346,9 @@ impl Harrier {
                 };
                 let info = self.resource_info(&resource, kernel);
                 let name_len = info.name.len() as u32;
-                let tags = self.procs[&pid].shadow.range(path_addr, name_len.max(1));
-                let origin = self.origin_from(&tags);
+                let tags =
+                    self.procs[&pid].shadow.range(path_addr, name_len.max(1), &mut self.store);
+                let origin = self.origin_from(tags);
                 self.procs
                     .get_mut(&pid)
                     .expect("attached above")
@@ -353,11 +372,12 @@ impl Harrier {
                 if self.config.track_dataflow && *len > 0 {
                     if let Some(src) = self.read_source(resource, kernel) {
                         let id = self.sources.intern(src);
+                        let tag = self.store.single(id);
                         self.procs
                             .get_mut(&pid)
                             .expect("attached above")
                             .shadow
-                            .set_range(*buf, *len, &TagSet::single(id));
+                            .set_range(*buf, *len, tag);
                     }
                 }
             }
@@ -369,31 +389,33 @@ impl Harrier {
                     .read_bytes(*buf, (*len).min(4))
                     .map(|head| looks_executable(&head))
                     .unwrap_or(false);
-                let (data_sources, data_origin, target_origin, server) = {
-                    let mon = &self.procs[&pid];
-                    let tags = mon.shadow.range(*buf, *len);
-                    // Union the identifier origins of every named data
-                    // source (where did each source *file's name* come
-                    // from — §4.3's user-vs-hardcoded distinction).
-                    let mut origin_tags = TagSet::empty();
-                    for id in tags.iter() {
-                        if let Some(name) = self.sources.get(id).name() {
-                            if let Some(rec) = mon.origins.get(name) {
-                                origin_tags = origin_tags.union(&rec.tags);
-                            }
+                let tags = self.procs[&pid].shadow.range(*buf, *len, &mut self.store);
+                // Union the identifier origins of every named data
+                // source (where did each source *file's name* come
+                // from — §4.3's user-vs-hardcoded distinction).
+                let mut origin_tags = TagRef::EMPTY;
+                let data_ids: Vec<SourceId> = self.store.ids(tags).to_vec();
+                for id in data_ids {
+                    if let Some(name) = self.sources.get(id).name() {
+                        let named = self.procs[&pid].origins.get(name).map(|rec| rec.tags);
+                        if let Some(named) = named {
+                            origin_tags = self.store.union(origin_tags, named);
                         }
                     }
+                }
+                let (data_sources, data_origin, target_origin, server) = {
+                    let mon = &self.procs[&pid];
                     let target_origin = mon
                         .origins
                         .get(&target.name)
-                        .map(|rec| self.origin_from(&rec.tags))
+                        .map(|rec| self.origin_from(rec.tags))
                         .unwrap_or_default();
                     let server = self
                         .server_info_for(mon, resource, kernel)
-                        .or_else(|| self.server_from_data(mon, &tags));
+                        .or_else(|| self.server_from_data(mon, tags));
                     (
-                        self.render_tags(&tags),
-                        self.origin_from(&origin_tags),
+                        self.render_ids(self.store.ids(tags)),
+                        self.origin_from(origin_tags),
                         target_origin,
                         server,
                     )
@@ -413,8 +435,12 @@ impl Harrier {
                 });
             }
             SyscallEffect::ExecRequested { path, path_addr, .. } => {
-                let tags = self.procs[&pid].shadow.range(*path_addr, path.len().max(1) as u32);
-                let origin = self.origin_from(&tags);
+                let tags = self.procs[&pid].shadow.range(
+                    *path_addr,
+                    path.len().max(1) as u32,
+                    &mut self.store,
+                );
+                let origin = self.origin_from(tags);
                 events.push(SecpertEvent::ResourceAccess {
                     pid,
                     syscall: record.name,
@@ -432,8 +458,7 @@ impl Harrier {
             SyscallEffect::ForkRequested => {
                 let count = kernel.fork_ticks.len() as u64;
                 let window_start = time.saturating_sub(self.config.fork_rate_window);
-                let rate =
-                    kernel.fork_ticks.iter().filter(|&&t| t >= window_start).count() as u64;
+                let rate = kernel.fork_ticks.iter().filter(|&&t| t >= window_start).count() as u64;
                 events.push(SecpertEvent::ResourceAccess {
                     pid,
                     syscall: record.name,
@@ -451,8 +476,8 @@ impl Harrier {
             SyscallEffect::Bind { resource, addr_ptr, endpoint } => {
                 let info = self.resource_info(resource, kernel);
                 let rendered = kernel.net.display_endpoint(*endpoint);
-                let tags = self.procs[&pid].shadow.range(*addr_ptr, 8);
-                let origin = self.origin_from(&tags);
+                let tags = self.procs[&pid].shadow.range(*addr_ptr, 8, &mut self.store);
+                let origin = self.origin_from(tags);
                 let mon = self.procs.get_mut(&pid).expect("attached above");
                 mon.bound_ports.insert(endpoint.port, rendered.clone());
                 mon.origins.insert(rendered, OriginRecord { tags, server: None });
@@ -475,7 +500,7 @@ impl Harrier {
                 let origin = self.procs[&pid]
                     .origins
                     .get(&info.name)
-                    .map(|rec| self.origin_from(&rec.tags))
+                    .map(|rec| self.origin_from(rec.tags))
                     .unwrap_or_default();
                 events.push(SecpertEvent::ResourceAccess {
                     pid,
@@ -494,8 +519,8 @@ impl Harrier {
             SyscallEffect::Connect { resource, addr_ptr, endpoint } => {
                 let info = self.resource_info(resource, kernel);
                 let rendered = kernel.net.display_endpoint(*endpoint);
-                let tags = self.procs[&pid].shadow.range(*addr_ptr, 8);
-                let origin = self.origin_from(&tags);
+                let tags = self.procs[&pid].shadow.range(*addr_ptr, 8, &mut self.store);
+                let origin = self.origin_from(tags);
                 self.procs
                     .get_mut(&pid)
                     .expect("attached above")
@@ -518,14 +543,15 @@ impl Harrier {
             SyscallEffect::Accept { resource, .. } => {
                 let info = self.resource_info(resource, kernel);
                 let socket_src = self.sources.intern(DataSource::socket(&info.name));
+                let socket_tag = self.store.single(socket_src);
                 let server = self.server_info_for(&self.procs[&pid], resource, kernel);
-                let origin = Origin { sources: vec![SourceInfo::new(ResourceType::Socket, info.name.clone())] };
-                let server_rec = server
-                    .as_ref()
-                    .map(|s| (s.address.clone(), TagSet::empty()));
+                let origin = Origin {
+                    sources: vec![SourceInfo::new(ResourceType::Socket, info.name.clone())],
+                };
+                let server_rec = server.as_ref().map(|s| (s.address.clone(), TagRef::EMPTY));
                 self.procs.get_mut(&pid).expect("attached above").origins.insert(
                     info.name.clone(),
-                    OriginRecord { tags: TagSet::single(socket_src), server: server_rec },
+                    OriginRecord { tags: socket_tag, server: server_rec },
                 );
                 events.push(SecpertEvent::ResourceAccess {
                     pid,
@@ -543,7 +569,11 @@ impl Harrier {
             }
             SyscallEffect::Resolve { name, name_addr, ok } => {
                 if self.config.track_dataflow && self.config.short_circuit_resolution && *ok {
-                    let tags = self.procs[&pid].shadow.range(*name_addr, name.len().max(1) as u32);
+                    let tags = self.procs[&pid].shadow.range(
+                        *name_addr,
+                        name.len().max(1) as u32,
+                        &mut self.store,
+                    );
                     self.procs
                         .get_mut(&pid)
                         .expect("attached above")
@@ -558,16 +588,16 @@ impl Harrier {
 
     /// Server context when the *data* flowed out of an accepted socket
     /// (pma's `outpipe → attacker` direction).
-    fn server_from_data(&self, mon: &ProcMon, tags: &TagSet) -> Option<ServerInfo> {
-        for id in tags.iter() {
+    fn server_from_data(&self, mon: &ProcMon, tags: TagRef) -> Option<ServerInfo> {
+        for &id in self.store.ids(tags) {
             if let DataSource::Socket(name) = self.sources.get(id) {
                 if let Some(rec) = mon.origins.get(name.as_ref()) {
                     if let Some((address, server_tags)) = &rec.server {
                         let origin = mon
                             .origins
                             .get(address)
-                            .map(|r| self.origin_from(&r.tags))
-                            .unwrap_or_else(|| self.origin_from(server_tags));
+                            .map(|r| self.origin_from(r.tags))
+                            .unwrap_or_else(|| self.origin_from(*server_tags));
                         return Some(ServerInfo { address: address.clone(), origin });
                     }
                 }
@@ -583,12 +613,14 @@ fn looks_executable(head: &[u8]) -> bool {
     head.starts_with(b"\x7fELF") || head.starts_with(b"MZ") || head.starts_with(b"#!")
 }
 
-/// [`Hooks`] adapter borrowing one process's monitor state.
+/// [`Hooks`] adapter borrowing one process's monitor state plus the
+/// shared tag store.
 pub struct HarrierHooks<'a> {
     mon: &'a mut ProcMon,
+    store: &'a mut TagStore,
     track_dataflow: bool,
     track_bb: bool,
-    hardware: SourceId,
+    hardware: TagRef,
 }
 
 impl Hooks for HarrierHooks<'_> {
@@ -606,8 +638,8 @@ impl Hooks for HarrierHooks<'_> {
 
     fn on_taint(&mut self, image: ImageId, op: &TaintOp) {
         if self.track_dataflow {
-            let binary = self.mon.image_binary[image.0 as usize];
-            self.mon.shadow.apply(op, binary, self.hardware);
+            let binary = self.mon.image_tags[image.0 as usize];
+            self.mon.shadow.apply(op, binary, self.hardware, self.store);
         }
     }
 }

@@ -1,0 +1,112 @@
+//! The original per-byte shadow implementation, kept verbatim as a
+//! reference oracle.
+//!
+//! [`NaiveShadow`] stores one heap-allocated [`TagSet`] per register and
+//! per shadowed memory byte — the straightforward reading of paper §5.1
+//! that the compressed [`crate::Shadow`] replaces. It is compiled only
+//! for tests and under the `naive-shadow` feature, where the
+//! differential oracle (`tests/shadow_diff.rs`) and the taint benchmarks
+//! drive both implementations on identical operation sequences.
+
+use std::collections::HashMap;
+
+use hth_vm::{Loc, Reg, TaintOp};
+
+use crate::tag::{SourceId, TagSet};
+
+const PAGE: u32 = 4096;
+
+/// Per-process shadow state with one [`TagSet`] per byte (the
+/// pre-optimization representation).
+#[derive(Clone, Debug, Default)]
+pub struct NaiveShadow {
+    regs: [TagSet; 8],
+    pages: HashMap<u32, Box<[TagSet]>>,
+}
+
+impl NaiveShadow {
+    /// Fresh, fully-untainted shadow state.
+    pub fn new() -> NaiveShadow {
+        NaiveShadow::default()
+    }
+
+    /// Tag of a register.
+    pub fn reg(&self, reg: Reg) -> &TagSet {
+        &self.regs[reg.index()]
+    }
+
+    /// Sets a register's tag.
+    pub fn set_reg(&mut self, reg: Reg, tag: TagSet) {
+        self.regs[reg.index()] = tag;
+    }
+
+    /// Tag of one memory byte.
+    pub fn byte(&self, addr: u32) -> TagSet {
+        match self.pages.get(&(addr / PAGE)) {
+            Some(page) => page[(addr % PAGE) as usize].clone(),
+            None => TagSet::empty(),
+        }
+    }
+
+    fn page_mut(&mut self, page: u32) -> &mut [TagSet] {
+        self.pages.entry(page).or_insert_with(|| vec![TagSet::empty(); PAGE as usize].into())
+    }
+
+    /// Sets one memory byte's tag.
+    pub fn set_byte(&mut self, addr: u32, tag: TagSet) {
+        self.page_mut(addr / PAGE)[(addr % PAGE) as usize] = tag;
+    }
+
+    /// Union of the tags of `len` bytes starting at `addr`.
+    pub fn range(&self, addr: u32, len: u32) -> TagSet {
+        let mut out = TagSet::empty();
+        for i in 0..len {
+            out = out.union(&self.byte(addr.wrapping_add(i)));
+        }
+        out
+    }
+
+    /// Sets `len` bytes to the same tag.
+    pub fn set_range(&mut self, addr: u32, len: u32, tag: &TagSet) {
+        for i in 0..len {
+            self.set_byte(addr.wrapping_add(i), tag.clone());
+        }
+    }
+
+    /// Clears `len` bytes.
+    pub fn clear_range(&mut self, addr: u32, len: u32) {
+        self.set_range(addr, len, &TagSet::empty());
+    }
+
+    /// Tag at a [`Loc`].
+    pub fn read_loc(&self, loc: Loc) -> TagSet {
+        match loc {
+            Loc::Reg(r) => self.reg(r).clone(),
+            Loc::Mem(addr, len) => self.range(addr, len),
+        }
+    }
+
+    /// Sets the tag at a [`Loc`].
+    pub fn write_loc(&mut self, loc: Loc, tag: TagSet) {
+        match loc {
+            Loc::Reg(r) => self.set_reg(r, tag),
+            Loc::Mem(addr, len) => self.set_range(addr, len, &tag),
+        }
+    }
+
+    /// Applies one dataflow micro-op (paper §7.3.1), exactly as the
+    /// compressed [`crate::Shadow::apply`] must.
+    pub fn apply(&mut self, op: &TaintOp, binary: SourceId, hardware: SourceId) {
+        let mut tag = TagSet::empty();
+        for src in op.srcs.iter().flatten() {
+            tag = tag.union(&self.read_loc(*src));
+        }
+        if op.imm {
+            tag = tag.with(binary);
+        }
+        if op.hardware {
+            tag = tag.with(hardware);
+        }
+        self.write_loc(op.dst, tag);
+    }
+}

@@ -238,6 +238,191 @@ impl FromIterator<SourceId> for TagSet {
     }
 }
 
+/// A compact, copyable handle to a canonical tag set interned in a
+/// [`TagStore`].
+///
+/// Two refs from the same store are equal exactly when they denote the
+/// same set of sources, so equality is O(1) and shadow state can store a
+/// plain `u32` per byte instead of an `Arc` per byte. [`TagRef::EMPTY`]
+/// (the default) is the empty set in every store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagRef(u32);
+
+impl TagRef {
+    /// The empty tag set (slot 0 of every store).
+    pub const EMPTY: TagRef = TagRef(0);
+
+    /// True for the empty set.
+    pub fn is_empty(self) -> bool {
+        self == TagRef::EMPTY
+    }
+
+    /// Raw index into the owning store.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Snapshot of a [`TagStore`]'s interning and memoization counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaintStats {
+    /// Distinct tag sets interned (including the empty set).
+    pub interned_sets: usize,
+    /// Union results answered from the memo cache.
+    pub memo_hits: u64,
+    /// Unions that had to merge id slices.
+    pub memo_misses: u64,
+}
+
+/// Hash-consing store for tag sets.
+///
+/// Every distinct set of [`SourceId`]s is interned exactly once as a
+/// canonical sorted slice and addressed by a [`TagRef`]; the union of
+/// two refs is memoized, so the steady-state cost of the paper's
+/// propagation rule (§7.3.1) is one hash lookup instead of a merge and
+/// an allocation per instruction.
+#[derive(Debug)]
+pub struct TagStore {
+    sets: Vec<Arc<[SourceId]>>,
+    index: HashMap<Arc<[SourceId]>, u32>,
+    unions: HashMap<(u32, u32), u32>,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl Default for TagStore {
+    fn default() -> TagStore {
+        TagStore::new()
+    }
+}
+
+impl TagStore {
+    /// A store containing only the empty set.
+    pub fn new() -> TagStore {
+        let empty: Arc<[SourceId]> = Arc::from(Vec::new());
+        let mut index = HashMap::new();
+        index.insert(empty.clone(), 0);
+        TagStore { sets: vec![empty], index, unions: HashMap::new(), memo_hits: 0, memo_misses: 0 }
+    }
+
+    fn intern_sorted(&mut self, ids: Vec<SourceId>) -> TagRef {
+        if let Some(&slot) = self.index.get(ids.as_slice()) {
+            return TagRef(slot);
+        }
+        let arc: Arc<[SourceId]> = ids.into();
+        let slot = self.sets.len() as u32;
+        self.sets.push(arc.clone());
+        self.index.insert(arc, slot);
+        TagRef(slot)
+    }
+
+    /// Interns a singleton set.
+    pub fn single(&mut self, id: SourceId) -> TagRef {
+        self.intern_sorted(vec![id])
+    }
+
+    /// Interns arbitrary ids (sorted/deduped to the canonical form).
+    pub fn from_ids(&mut self, ids: impl IntoIterator<Item = SourceId>) -> TagRef {
+        let mut v: Vec<SourceId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        self.intern_sorted(v)
+    }
+
+    /// Interns an existing [`TagSet`].
+    pub fn intern_set(&mut self, set: &TagSet) -> TagRef {
+        self.from_ids(set.iter())
+    }
+
+    /// The canonical sorted id slice behind a ref.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ref did not come from this store.
+    pub fn ids(&self, r: TagRef) -> &[SourceId] {
+        &self.sets[r.0 as usize]
+    }
+
+    /// Materializes a ref back into a standalone [`TagSet`].
+    pub fn to_set(&self, r: TagRef) -> TagSet {
+        TagSet::from_ids(self.ids(r).iter().copied())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: TagRef, id: SourceId) -> bool {
+        self.ids(r).binary_search(&id).is_ok()
+    }
+
+    /// Union of two refs (memoized; the only combining operation).
+    pub fn union(&mut self, a: TagRef, b: TagRef) -> TagRef {
+        if a == b || b.is_empty() {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if let Some(&slot) = self.unions.get(&key) {
+            self.memo_hits += 1;
+            return TagRef(slot);
+        }
+        self.memo_misses += 1;
+        let merged = {
+            let (xs, ys) = (self.ids(a), self.ids(b));
+            let mut merged = Vec::with_capacity(xs.len() + ys.len());
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].cmp(&ys[j]) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(xs[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(ys[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(xs[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&xs[i..]);
+            merged.extend_from_slice(&ys[j..]);
+            merged
+        };
+        let out = if merged.len() == self.ids(a).len() {
+            a
+        } else if merged.len() == self.ids(b).len() {
+            b
+        } else {
+            self.intern_sorted(merged)
+        };
+        self.unions.insert(key, out.0);
+        out
+    }
+
+    /// Union with a single id.
+    pub fn with(&mut self, r: TagRef, id: SourceId) -> TagRef {
+        if self.contains(r, id) {
+            r
+        } else {
+            let s = self.single(id);
+            self.union(r, s)
+        }
+    }
+
+    /// Interning/memoization counters (benchmark instrumentation).
+    pub fn stats(&self) -> TaintStats {
+        TaintStats {
+            interned_sets: self.sets.len(),
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +489,58 @@ mod tests {
         assert_eq!(DataSource::UserInput.to_string(), "USER_INPUT");
         assert_eq!(DataSource::file("/a").to_string(), "FILE(\"/a\")");
         assert_eq!(DataSource::Hardware.to_string(), "HARDWARE");
+    }
+
+    #[test]
+    fn store_interns_canonically() {
+        let (_, u, f, b) = table();
+        let mut store = TagStore::new();
+        let x = store.from_ids([u, f, b]);
+        let y = store.from_ids([b, b, f, u]);
+        assert_eq!(x, y);
+        assert_eq!(store.ids(x), &[u, f, b]);
+        assert_eq!(store.from_ids([]), TagRef::EMPTY);
+        assert!(TagRef::default().is_empty());
+    }
+
+    #[test]
+    fn store_union_is_memoized() {
+        let (_, u, f, b) = table();
+        let mut store = TagStore::new();
+        let a = store.from_ids([u, f]);
+        let c = store.from_ids([f, b]);
+        let first = store.union(a, c);
+        assert_eq!(store.ids(first), &[u, f, b]);
+        let misses = store.stats().memo_misses;
+        let again = store.union(c, a);
+        assert_eq!(first, again);
+        assert_eq!(store.stats().memo_misses, misses, "second union must hit the memo");
+        assert!(store.stats().memo_hits >= 1);
+    }
+
+    #[test]
+    fn store_union_shortcuts_allocate_nothing() {
+        let (_, u, f, _) = table();
+        let mut store = TagStore::new();
+        let big = store.from_ids([u, f]);
+        let small = store.single(u);
+        let interned = store.stats().interned_sets;
+        assert_eq!(store.union(big, TagRef::EMPTY), big);
+        assert_eq!(store.union(TagRef::EMPTY, big), big);
+        assert_eq!(store.union(big, big), big);
+        assert_eq!(store.union(big, small), big, "superset result reuses the input ref");
+        assert_eq!(store.stats().interned_sets, interned);
+    }
+
+    #[test]
+    fn store_round_trips_tag_sets() {
+        let (_, u, f, b) = table();
+        let mut store = TagStore::new();
+        let set = TagSet::from_ids([b, u, f]);
+        let r = store.intern_set(&set);
+        assert_eq!(store.to_set(r), set);
+        assert!(store.contains(r, u) && store.contains(r, f) && store.contains(r, b));
+        let with = store.with(r, u);
+        assert_eq!(with, r, "adding a member is a no-op");
     }
 }

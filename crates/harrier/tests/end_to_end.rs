@@ -8,7 +8,11 @@ use hth_vm::StepEvent;
 
 /// Drives one process to completion under the monitor, returning all
 /// events (no Secpert in the loop — that is hth-core's job).
-fn run_monitored(kernel: &mut Kernel, harrier: &mut Harrier, proc: &mut Process) -> Vec<SecpertEvent> {
+fn run_monitored(
+    kernel: &mut Kernel,
+    harrier: &mut Harrier,
+    proc: &mut Process,
+) -> Vec<SecpertEvent> {
     harrier.attach(proc);
     let mut events = Vec::new();
     for _ in 0..500_000 {
@@ -160,10 +164,7 @@ fn file_to_socket_flow_carries_file_source_and_hardcoded_origins() {
     assert!(origin.has(ResourceType::Binary));
 
     // connect event: hardcoded sockaddr.
-    let connect = events
-        .iter()
-        .find(|e| e.syscall() == "SYS_connect")
-        .expect("connect event");
+    let connect = events.iter().find(|e| e.syscall() == "SYS_connect").expect("connect event");
     let SecpertEvent::ResourceAccess { origin, resource, .. } = connect else { panic!() };
     assert!(origin.has(ResourceType::Binary), "sockaddr literal lives in .data");
     assert_eq!(resource.name, "evil.example:4444 (AF_INET)");

@@ -1,9 +1,10 @@
-//! Property-based tests for taint invariants: tag-set algebra and the
+//! Property-based tests for taint invariants: tag-set algebra (both the
+//! standalone `TagSet` values and the hash-consed `TagStore`), and the
 //! "no invented sources" guarantee of shadow propagation.
 
 use proptest::prelude::*;
 
-use harrier::{DataSource, Shadow, SourceId, SourceTable, TagSet};
+use harrier::{DataSource, Shadow, SourceId, SourceTable, TagRef, TagSet, TagStore};
 use hth_vm::{Loc, Reg, TaintOp};
 
 fn table_with(n: usize) -> (SourceTable, Vec<SourceId>) {
@@ -40,6 +41,120 @@ proptest! {
         }
     }
 
+    /// The same laws hold for interned refs — and because interning is
+    /// canonical, they hold as O(1) handle equality, not just set
+    /// equality.
+    #[test]
+    fn store_union_is_a_semilattice(
+        a_idx in subset_strategy(6),
+        b_idx in subset_strategy(6),
+        c_idx in subset_strategy(6),
+    ) {
+        let (_, ids) = table_with(6);
+        let mut store = TagStore::new();
+        let pick = |s: &mut TagStore, idxs: &[usize]| s.from_ids(idxs.iter().map(|i| ids[*i]));
+        let a = pick(&mut store, &a_idx);
+        let b = pick(&mut store, &b_idx);
+        let c = pick(&mut store, &c_idx);
+        prop_assert_eq!(store.union(a, b), store.union(b, a));
+        let ab_c = { let ab = store.union(a, b); store.union(ab, c) };
+        let a_bc = { let bc = store.union(b, c); store.union(a, bc) };
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(store.union(a, a), a);
+        prop_assert_eq!(store.union(a, TagRef::EMPTY), a);
+        prop_assert_eq!(store.union(TagRef::EMPTY, a), a);
+        let u = store.union(a, b);
+        for id in ids {
+            prop_assert_eq!(store.contains(u, id),
+                store.contains(a, id) || store.contains(b, id));
+        }
+    }
+
+    /// Interning is canonical: any reordering/duplication of the same
+    /// ids produces the *same* handle, and it round-trips to the same
+    /// `TagSet` the value type would build.
+    #[test]
+    fn interning_is_canonical(
+        idxs in subset_strategy(8),
+        shuffle_keys in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let (_, ids) = table_with(8);
+        let picked: Vec<SourceId> = idxs.iter().map(|i| ids[*i]).collect();
+        // A deterministic shuffle driven by generated sort keys.
+        let mut keyed: Vec<(u32, SourceId)> = picked
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (shuffle_keys[i % shuffle_keys.len()].wrapping_add(i as u32), id))
+            .collect();
+        keyed.sort_unstable();
+        let shuffled: Vec<SourceId> = keyed.into_iter().map(|(_, id)| id).collect();
+
+        let mut store = TagStore::new();
+        let direct = store.from_ids(picked.iter().copied());
+        let reordered = store.from_ids(shuffled.iter().copied());
+        let doubled = store.from_ids(picked.iter().chain(picked.iter()).copied());
+        prop_assert_eq!(direct, reordered);
+        prop_assert_eq!(direct, doubled);
+        let round_trip = store.to_set(direct);
+        prop_assert_eq!(round_trip.clone(), TagSet::from_ids(picked.iter().copied()));
+        prop_assert_eq!(store.intern_set(&round_trip), direct);
+    }
+
+    /// The union memo cache is invisible: replaying any union sequence
+    /// against a cold store yields the same id slices as a warmed store
+    /// that answers from cache, and both match the `TagSet` reference
+    /// semantics.
+    #[test]
+    fn memo_cache_never_changes_results(
+        seeds in prop::collection::vec(subset_strategy(6), 1..5),
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 0..24),
+    ) {
+        let (_, ids) = table_with(6);
+        let mut warm = TagStore::new();
+        let mut cold = TagStore::new();
+        let mut warm_refs: Vec<TagRef> = seeds
+            .iter()
+            .map(|s| warm.from_ids(s.iter().map(|i| ids[*i])))
+            .collect();
+        let mut cold_refs: Vec<TagRef> = seeds
+            .iter()
+            .map(|s| cold.from_ids(s.iter().map(|i| ids[*i])))
+            .collect();
+        let mut model: Vec<TagSet> =
+            seeds.iter().map(|s| TagSet::from_ids(s.iter().map(|i| ids[*i]))).collect();
+        // Warm the memo: run the whole sequence once, discarding results.
+        for (i, j) in &pairs {
+            let (a, b) = (warm_refs[i % warm_refs.len()], warm_refs[j % warm_refs.len()]);
+            let r = warm.union(a, b);
+            warm_refs.push(r);
+        }
+        warm_refs.truncate(seeds.len());
+        let hits_before = warm.stats().memo_hits;
+        // Replay against both stores and the reference model.
+        for (i, j) in &pairs {
+            let n = warm_refs.len();
+            let w = {
+                let (a, b) = (warm_refs[i % n], warm_refs[j % n]);
+                warm.union(a, b)
+            };
+            let c = {
+                let (a, b) = (cold_refs[i % n], cold_refs[j % n]);
+                cold.union(a, b)
+            };
+            let m = model[i % n].union(&model[j % n]);
+            prop_assert_eq!(warm.ids(w), cold.ids(c), "warm and cold stores disagree");
+            let m_ids: Vec<SourceId> = m.iter().collect();
+            prop_assert_eq!(warm.ids(w), m_ids.as_slice(), "store disagrees with TagSet");
+            warm_refs.push(w);
+            cold_refs.push(c);
+            model.push(m);
+        }
+        if !pairs.is_empty() {
+            prop_assert!(warm.stats().memo_hits > hits_before || warm.stats().memo_misses == 0,
+                "warmed store should answer repeated unions from cache");
+        }
+    }
+
     /// Shadow propagation never invents sources: after any sequence of
     /// register-to-register moves and combines, every tag on every
     /// register is one of the initially planted tags (or the BINARY /
@@ -54,9 +169,13 @@ proptest! {
             (0..4).map(|i| table.intern(DataSource::file(format!("/p{i}")))).collect();
         let binary = table.intern(DataSource::binary("/bin/app"));
         let hardware = table.intern(DataSource::Hardware);
+        let mut store = TagStore::new();
+        let binary_tag = store.single(binary);
+        let hardware_tag = store.single(hardware);
         let mut shadow = Shadow::new();
         for (reg_idx, src_idx) in &plant {
-            shadow.set_reg(Reg::ALL[*reg_idx], TagSet::single(planted[*src_idx]));
+            let tag = store.single(planted[*src_idx]);
+            shadow.set_reg(Reg::ALL[*reg_idx], tag);
         }
         let mut binary_used = false;
         let mut hardware_used = false;
@@ -70,8 +189,9 @@ proptest! {
                     imm: *imm,
                     hardware: *hw,
                 },
-                binary,
-                hardware,
+                binary_tag,
+                hardware_tag,
+                &mut store,
             );
         }
         let mut legal: Vec<SourceId> = planted.clone();
@@ -82,7 +202,7 @@ proptest! {
             legal.push(hardware);
         }
         for reg in Reg::ALL {
-            for id in shadow.reg(reg).clone().iter() {
+            for &id in store.ids(shadow.reg(reg)) {
                 prop_assert!(legal.contains(&id), "invented source {:?}", table.get(id));
             }
         }
@@ -95,16 +215,22 @@ proptest! {
         writes in prop::collection::vec((0u32..64, 1u32..16, 0usize..4), 0..12),
     ) {
         let (_, ids) = table_with(4);
+        let mut store = TagStore::new();
         let mut shadow = Shadow::new();
         for (offset, len, src) in &writes {
-            shadow.set_range(0x1000 + offset, *len, &TagSet::single(ids[*src]));
+            let tag = store.single(ids[*src]);
+            shadow.set_range(0x1000 + offset, *len, tag);
         }
-        let whole = shadow.range(0x1000, 96);
-        let mut manual = TagSet::empty();
+        let whole = shadow.range(0x1000, 96, &mut store);
+        let mut manual = TagRef::EMPTY;
         for i in 0..96 {
-            manual = manual.union(&shadow.byte(0x1000 + i));
+            let b = shadow.byte(0x1000 + i);
+            manual = store.union(manual, b);
         }
         prop_assert_eq!(whole, manual);
+        // The read-only diagnostic view agrees too.
+        let whole_ids: Vec<SourceId> = store.ids(whole).to_vec();
+        prop_assert_eq!(shadow.range_ids(0x1000, 96, &store), whole_ids);
     }
 
     /// Clearing a destination with no sources erases taint regardless of
@@ -112,13 +238,17 @@ proptest! {
     #[test]
     fn clear_always_clears(reg_idx in 0usize..8, pre in subset_strategy(4)) {
         let (_, ids) = table_with(4);
+        let mut store = TagStore::new();
         let mut shadow = Shadow::new();
         let reg = Reg::ALL[reg_idx];
-        shadow.set_reg(reg, TagSet::from_ids(pre.iter().map(|i| ids[*i])));
+        let pre_tag = store.from_ids(pre.iter().map(|i| ids[*i]));
+        shadow.set_reg(reg, pre_tag);
+        let (b, h) = (store.single(ids[0]), store.single(ids[1]));
         shadow.apply(
             &TaintOp { dst: Loc::Reg(reg), srcs: [None, None], imm: false, hardware: false },
-            ids[0],
-            ids[1],
+            b,
+            h,
+            &mut store,
         );
         prop_assert!(shadow.reg(reg).is_empty());
     }

@@ -1,0 +1,197 @@
+//! Differential oracle: the compressed `Shadow` must be observationally
+//! identical to the per-byte `NaiveShadow` it replaced.
+//!
+//! Proptest generates arbitrary interleavings of byte writes, range
+//! fills, clears, register writes and dataflow micro-ops; both
+//! implementations consume the same sequence, and after every operation
+//! the *resolved* tag sets (sorted `SourceId` slices) of all registers
+//! and the touched range must agree. A final sweep compares every byte
+//! of the exercised arena.
+
+use proptest::prelude::*;
+
+use harrier::{DataSource, NaiveShadow, Shadow, SourceId, SourceTable, TagRef, TagSet, TagStore};
+use hth_vm::{Loc, Reg, TaintOp};
+
+/// Arena the operations address: spans three page boundaries so page
+/// fast paths (uniform fills, boundary-straddling ranges) get exercised.
+const BASE: u32 = 0x1000 - 64;
+const ARENA: u32 = 3 * 4096 + 128;
+
+#[derive(Clone, Debug)]
+enum DiffOp {
+    SetByte { off: u32, src: usize },
+    SetRange { off: u32, len: u32, src: Option<usize> },
+    SetReg { reg: usize, srcs: Vec<usize> },
+    Apply { dst: LocSpec, src1: Option<LocSpec>, src2: Option<LocSpec>, imm: bool, hw: bool },
+}
+
+#[derive(Clone, Debug)]
+enum LocSpec {
+    Reg(usize),
+    Mem { off: u32, len: u32 },
+}
+
+impl LocSpec {
+    fn loc(&self) -> Loc {
+        match self {
+            LocSpec::Reg(i) => Loc::Reg(Reg::ALL[*i]),
+            LocSpec::Mem { off, len } => Loc::Mem(BASE + off, *len),
+        }
+    }
+}
+
+fn loc_strategy() -> impl Strategy<Value = LocSpec> {
+    prop_oneof![
+        (0usize..8).prop_map(LocSpec::Reg),
+        (0u32..ARENA - 8, 1u32..=8).prop_map(|(off, len)| LocSpec::Mem { off, len }),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = DiffOp> {
+    prop_oneof![
+        (0u32..ARENA, 0usize..6).prop_map(|(off, src)| DiffOp::SetByte { off, src }),
+        (0u32..ARENA - 160, 1u32..160, prop_oneof![Just(None), (0usize..6).prop_map(Some)])
+            .prop_map(|(off, len, src)| DiffOp::SetRange { off, len, src }),
+        (0usize..8, prop::collection::vec(0usize..6, 0..=3))
+            .prop_map(|(reg, srcs)| DiffOp::SetReg { reg, srcs }),
+        (
+            loc_strategy(),
+            prop_oneof![Just(None), loc_strategy().prop_map(Some)],
+            prop_oneof![Just(None), loc_strategy().prop_map(Some)],
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(dst, src1, src2, imm, hw)| DiffOp::Apply {
+                dst,
+                src1,
+                src2,
+                imm,
+                hw
+            }),
+    ]
+}
+
+struct Harness {
+    store: TagStore,
+    srcs: Vec<SourceId>,
+    binary: SourceId,
+    hardware: SourceId,
+    naive: NaiveShadow,
+    fast: Shadow,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let mut table = SourceTable::new();
+        let srcs = (0..6).map(|i| table.intern(DataSource::file(format!("/d{i}")))).collect();
+        let binary = table.intern(DataSource::binary("/bin/app"));
+        let hardware = table.intern(DataSource::Hardware);
+        Harness {
+            store: TagStore::new(),
+            srcs,
+            binary,
+            hardware,
+            naive: NaiveShadow::new(),
+            fast: Shadow::new(),
+        }
+    }
+
+    fn resolve(&mut self, r: TagRef) -> Vec<SourceId> {
+        self.store.ids(r).to_vec()
+    }
+
+    fn step(&mut self, op: &DiffOp) {
+        match op {
+            DiffOp::SetByte { off, src } => {
+                let id = self.srcs[*src];
+                self.naive.set_byte(BASE + off, TagSet::single(id));
+                let tag = self.store.single(id);
+                self.fast.set_byte(BASE + off, tag);
+            }
+            DiffOp::SetRange { off, len, src } => {
+                let (set, tag) = match src {
+                    Some(s) => {
+                        let id = self.srcs[*s];
+                        (TagSet::single(id), self.store.single(id))
+                    }
+                    None => (TagSet::empty(), TagRef::EMPTY),
+                };
+                self.naive.set_range(BASE + off, *len, &set);
+                self.fast.set_range(BASE + off, *len, tag);
+            }
+            DiffOp::SetReg { reg, srcs } => {
+                let ids: Vec<SourceId> = srcs.iter().map(|s| self.srcs[*s]).collect();
+                self.naive.set_reg(Reg::ALL[*reg], TagSet::from_ids(ids.iter().copied()));
+                let tag = self.store.from_ids(ids.iter().copied());
+                self.fast.set_reg(Reg::ALL[*reg], tag);
+            }
+            DiffOp::Apply { dst, src1, src2, imm, hw } => {
+                let taint_op = TaintOp {
+                    dst: dst.loc(),
+                    srcs: [src1.as_ref().map(LocSpec::loc), src2.as_ref().map(LocSpec::loc)],
+                    imm: *imm,
+                    hardware: *hw,
+                };
+                self.naive.apply(&taint_op, self.binary, self.hardware);
+                let b = self.store.single(self.binary);
+                let h = self.store.single(self.hardware);
+                self.fast.apply(&taint_op, b, h, &mut self.store);
+            }
+        }
+    }
+
+    /// The memory span an op touches (for targeted post-op checks).
+    fn touched(op: &DiffOp) -> Option<(u32, u32)> {
+        match op {
+            DiffOp::SetByte { off, .. } => Some((BASE + off, 1)),
+            DiffOp::SetRange { off, len, .. } => Some((BASE + off, *len)),
+            DiffOp::SetReg { .. } => None,
+            DiffOp::Apply { dst, .. } => match dst {
+                LocSpec::Mem { off, len } => Some((BASE + off, *len)),
+                LocSpec::Reg(_) => None,
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lock-step equivalence of naive and compressed shadows.
+    #[test]
+    fn compressed_shadow_matches_naive_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..48),
+    ) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.step(op);
+            // Registers must agree after every single operation.
+            for reg in Reg::ALL {
+                let naive: Vec<SourceId> = h.naive.reg(reg).iter().collect();
+                let fast_ref = h.fast.reg(reg);
+                prop_assert_eq!(&naive, &h.resolve(fast_ref), "reg {:?} after {:?}", reg, op);
+            }
+            // The touched range must resolve identically, including a
+            // widened window to catch off-by-one page-boundary bugs.
+            if let Some((addr, len)) = Harness::touched(op) {
+                let lo = addr.saturating_sub(2).max(BASE);
+                let wide = (len + 4).min(BASE + ARENA - lo);
+                let naive: Vec<SourceId> = h.naive.range(lo, wide).iter().collect();
+                let fast_ref = h.fast.range(lo, wide, &mut h.store);
+                prop_assert_eq!(&naive, &h.resolve(fast_ref), "range after {:?}", op);
+            }
+        }
+        // Final sweep: every byte of the arena agrees.
+        for addr in BASE..BASE + ARENA {
+            let naive: Vec<SourceId> = h.naive.byte(addr).iter().collect();
+            let fast_ref = h.fast.byte(addr);
+            prop_assert_eq!(&naive, &h.resolve(fast_ref), "byte {addr:#x} diverged");
+        }
+        // And the whole-arena union agrees (exercises the page-skipping
+        // fast path against the per-byte fold).
+        let naive: Vec<SourceId> = h.naive.range(BASE, ARENA).iter().collect();
+        let fast_ref = h.fast.range(BASE, ARENA, &mut h.store);
+        prop_assert_eq!(&naive, &h.resolve(fast_ref), "whole-arena union diverged");
+    }
+}

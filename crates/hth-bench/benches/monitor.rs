@@ -66,9 +66,8 @@ fn bench_interpreter(c: &mut Criterion) {
 
 fn bench_tagset(c: &mut Criterion) {
     let mut table = SourceTable::new();
-    let ids: Vec<_> = (0..16)
-        .map(|i| table.intern(DataSource::file(format!("/file/{i}"))))
-        .collect();
+    let ids: Vec<_> =
+        (0..16).map(|i| table.intern(DataSource::file(format!("/file/{i}")))).collect();
     let a = TagSet::from_ids(ids[0..8].iter().copied());
     let b_set = TagSet::from_ids(ids[4..12].iter().copied());
     let mut group = c.benchmark_group("tagset");

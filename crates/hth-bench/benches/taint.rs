@@ -1,0 +1,164 @@
+//! Taint-representation micro-benchmarks: the hash-consed compressed
+//! shadow (`Shadow` + `TagStore`) against the per-byte `NaiveShadow`
+//! oracle on the two workload shapes the paper's §9 overhead numbers
+//! are dominated by:
+//!
+//! * **union-heavy** — an ALU-style loop repeatedly combining a handful
+//!   of live tag sets (every `add reg, reg` is a set union, §7.3.1);
+//! * **memcpy-heavy** — bulk buffer tagging and range reads (`read()`
+//!   into a buffer, then copy/write it out).
+//!
+//! Run with `cargo bench -p hth-bench --bench taint`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harrier::{DataSource, NaiveShadow, Shadow, SourceId, SourceTable, TagRef, TagSet, TagStore};
+use hth_vm::{Loc, Reg, TaintOp};
+
+const UNION_OPS: usize = 2_000;
+const BUF: u32 = 4096;
+const COPIES: usize = 32;
+
+fn sources(n: usize) -> Vec<SourceId> {
+    let mut table = SourceTable::new();
+    (0..n).map(|i| table.intern(DataSource::file(format!("/src{i}")))).collect()
+}
+
+/// The op mix of an inner loop: rotate through registers, combining two
+/// sources into a destination, with an occasional immediate.
+fn alu_ops() -> Vec<TaintOp> {
+    (0..UNION_OPS)
+        .map(|i| TaintOp {
+            dst: Loc::Reg(Reg::ALL[i % 8]),
+            srcs: [Some(Loc::Reg(Reg::ALL[(i + 1) % 8])), Some(Loc::Reg(Reg::ALL[(i + 3) % 8]))],
+            imm: i % 7 == 0,
+            hardware: false,
+        })
+        .collect()
+}
+
+fn bench_union_heavy(c: &mut Criterion) {
+    let ids = sources(8);
+    let ops = alu_ops();
+    let mut group = c.benchmark_group("taint_union_heavy");
+    group.sample_size(20);
+
+    group.bench_function("naive", |b| {
+        b.iter_batched(
+            || {
+                let mut shadow = NaiveShadow::new();
+                for (i, reg) in Reg::ALL.into_iter().enumerate() {
+                    shadow.set_reg(reg, TagSet::from_ids([ids[i % ids.len()]]));
+                }
+                shadow
+            },
+            |mut shadow| {
+                for op in &ops {
+                    shadow.apply(op, ids[6], ids[7]);
+                }
+                shadow
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("hashconsed", |b| {
+        b.iter_batched(
+            || {
+                let mut store = TagStore::new();
+                let mut shadow = Shadow::new();
+                for (i, reg) in Reg::ALL.into_iter().enumerate() {
+                    let tag = store.single(ids[i % ids.len()]);
+                    shadow.set_reg(reg, tag);
+                }
+                let binary = store.single(ids[6]);
+                let hardware = store.single(ids[7]);
+                (store, shadow, binary, hardware)
+            },
+            |(mut store, mut shadow, binary, hardware)| {
+                for op in &ops {
+                    shadow.apply(op, binary, hardware, &mut store);
+                }
+                (store, shadow)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_memcpy_heavy(c: &mut Criterion) {
+    let ids = sources(4);
+    let mut group = c.benchmark_group("taint_memcpy_heavy");
+    group.sample_size(20);
+
+    // Tag a page-sized source buffer, then repeatedly "copy" it: read
+    // the range union and fill a destination with it, like the monitor
+    // does for read()/write() pairs.
+    group.bench_function("naive", |b| {
+        b.iter_batched(
+            NaiveShadow::new,
+            |mut shadow| {
+                shadow.set_range(0x1_0000, BUF, &TagSet::from_ids([ids[0], ids[1]]));
+                for i in 0..COPIES as u32 {
+                    let tag = shadow.range(0x1_0000, BUF);
+                    shadow.set_range(0x2_0000 + i * BUF, BUF, &tag);
+                }
+                shadow
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("hashconsed", |b| {
+        b.iter_batched(
+            || (TagStore::new(), Shadow::new()),
+            |(mut store, mut shadow)| {
+                let src = store.from_ids([ids[0], ids[1]]);
+                shadow.set_range(0x1_0000, BUF, src);
+                for i in 0..COPIES as u32 {
+                    let tag = shadow.range(0x1_0000, BUF, &mut store);
+                    shadow.set_range(0x2_0000 + i * BUF, BUF, tag);
+                }
+                (store, shadow)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Sanity stats: a union-heavy run should be answered almost entirely
+/// from the memo cache.
+fn bench_memo_rates(c: &mut Criterion) {
+    c.bench_function("taint_store_memo_warm", |b| {
+        let ids = sources(8);
+        let ops = alu_ops();
+        let mut store = TagStore::new();
+        let mut shadow = Shadow::new();
+        for (i, reg) in Reg::ALL.into_iter().enumerate() {
+            let tag = store.single(ids[i % ids.len()]);
+            shadow.set_reg(reg, tag);
+        }
+        let binary = store.single(ids[6]);
+        let hardware = store.single(ids[7]);
+        b.iter(|| {
+            for op in &ops {
+                shadow.apply(op, binary, hardware, &mut store);
+            }
+            store.stats().memo_hits
+        });
+        let stats = store.stats();
+        let total = stats.memo_hits + stats.memo_misses;
+        eprintln!(
+            "taint_store stats: {} interned sets, {}/{} memoized unions ({:.1}% hit rate)",
+            stats.interned_sets,
+            stats.memo_hits,
+            total,
+            100.0 * stats.memo_hits as f64 / total.max(1) as f64,
+        );
+        assert_eq!(TagRef::EMPTY, TagRef::default());
+    });
+}
+
+criterion_group!(benches, bench_union_heavy, bench_memcpy_heavy, bench_memo_rates);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Runs every experiment in paper order (Tables 1-8, macro benchmarks,
 //! appendices, and a small perf ablation).
+use hth_bench::json::ToJson;
 use hth_bench::{perf, results, tables};
 
 fn main() {
@@ -8,7 +9,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--json") {
         let out = results::collect(500);
-        let json = serde_json::to_string_pretty(&out).expect("serializable");
+        let json = out.to_json().to_string_pretty();
         match args.get(2) {
             Some(path) => {
                 std::fs::write(path, &json).expect("writable path");

@@ -1,8 +1,5 @@
 //! Runs the §9 monitoring-overhead ablation.
 fn main() {
-    let outer: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let outer: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
     println!("{}", hth_bench::perf::perf_table(outer));
 }

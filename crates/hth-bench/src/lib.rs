@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod perf;
 pub mod report;
 pub mod results;

@@ -1,14 +1,13 @@
-//! Machine-readable experiment results (serde), so downstream tooling
+//! Machine-readable experiment results (JSON), so downstream tooling
 //! can diff reproduction runs without scraping text tables.
-
-use serde::Serialize;
 
 use hth_workloads::Scenario;
 
+use crate::json::{Json, ToJson};
 use crate::perf::{self, PerfRow};
 
 /// One scenario's outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScenarioOutcome {
     /// Scenario id (paper row).
     pub id: String,
@@ -28,8 +27,23 @@ pub struct ScenarioOutcome {
     pub correct: bool,
 }
 
+impl ToJson for ScenarioOutcome {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), self.id.to_json()),
+            ("table".into(), self.table.to_json()),
+            ("expected".into(), self.expected.to_json()),
+            ("observed".into(), self.observed.to_json()),
+            ("rules".into(), self.rules.to_json()),
+            ("warnings".into(), self.warnings.to_json()),
+            ("events".into(), self.events.to_json()),
+            ("correct".into(), self.correct.to_json()),
+        ])
+    }
+}
+
 /// One §9 ablation row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PerfOutcome {
     /// Configuration name.
     pub config: String,
@@ -52,8 +66,19 @@ impl From<PerfRow> for PerfOutcome {
     }
 }
 
+impl ToJson for PerfOutcome {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".into(), self.config.to_json()),
+            ("instructions".into(), self.instructions.to_json()),
+            ("seconds".into(), self.seconds.to_json()),
+            ("slowdown".into(), self.slowdown.to_json()),
+        ])
+    }
+}
+
 /// The complete result set of one reproduction run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunResults {
     /// Per-scenario classification outcomes (Tables 4–8, §8.4, §10).
     pub scenarios: Vec<ScenarioOutcome>,
@@ -63,6 +88,17 @@ pub struct RunResults {
     pub correct: usize,
     /// Total scenarios.
     pub total: usize,
+}
+
+impl ToJson for RunResults {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenarios".into(), self.scenarios.to_json()),
+            ("perf".into(), self.perf.to_json()),
+            ("correct".into(), self.correct.to_json()),
+            ("total".into(), self.total.to_json()),
+        ])
+    }
 }
 
 /// Runs every scenario plus a small perf ablation and collects the
@@ -105,10 +141,10 @@ mod tests {
         let results = collect(20);
         assert_eq!(results.correct, results.total);
         assert!(results.total >= 50);
-        let json = serde_json::to_string_pretty(&results).unwrap();
+        let json = results.to_json().to_string_pretty();
         assert!(json.contains("\"id\": \"pma\""));
         assert!(json.contains("\"perf\""));
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = Json::parse(&json).unwrap();
         assert_eq!(parsed["total"], results.total);
     }
 }

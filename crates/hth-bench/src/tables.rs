@@ -1,6 +1,6 @@
 //! Regeneration of every table in the paper's evaluation (§8).
 
-use hth_core::{Secpert, PolicyConfig};
+use hth_core::{PolicyConfig, Secpert};
 use hth_workloads::{exploits, macro_bench, micro, trusted, Scenario};
 
 use crate::report::Table;
@@ -17,7 +17,13 @@ fn check(b: bool) -> &'static str {
 pub fn table1() -> Table {
     let mut t = Table::new(
         "Table 1: Execution patterns exhibited by malicious code",
-        &["Exploit Name", "No user intervention", "Remotely directed", "Hard-coded resources", "Degrading performance"],
+        &[
+            "Exploit Name",
+            "No user intervention",
+            "Remotely directed",
+            "Hard-coded resources",
+            "Degrading performance",
+        ],
     );
     for row in exploits::catalog() {
         t.row(&[
@@ -66,10 +72,7 @@ pub fn table3() -> Table {
 
 /// Runs a scenario group and renders the classification table.
 pub fn run_group(title: &str, scenarios: Vec<Scenario>) -> Table {
-    let mut t = Table::new(
-        title,
-        &["Benchmark", "Expected", "Observed", "Rules fired", "Correct"],
-    );
+    let mut t = Table::new(title, &["Benchmark", "Expected", "Observed", "Rules fired", "Correct"]);
     for scenario in scenarios {
         let result = scenario.run().expect("scenario must run");
         let expected = format!("{:?}", scenario.expected);
@@ -101,10 +104,7 @@ pub fn table6() -> Table {
 
 /// Table 7: trusted programs (false positives).
 pub fn table7() -> Table {
-    run_group(
-        "Table 7: HTH success in not warning on well behaved programs",
-        trusted::scenarios(),
-    )
+    run_group("Table 7: HTH success in not warning on well behaved programs", trusted::scenarios())
 }
 
 /// Table 8: real exploits.

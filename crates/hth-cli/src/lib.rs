@@ -122,10 +122,12 @@ fn parse_kv(text: &str, what: &str) -> Result<(String, String), String> {
 }
 
 fn parse_endpoint(text: &str) -> Result<Endpoint, String> {
-    let (ip, port) = text
-        .split_once(':')
-        .ok_or_else(|| format!("bad endpoint `{text}` (want IP:PORT)"))?;
-    Ok(Endpoint { ip: parse_ip(ip)?, port: port.parse().map_err(|_| format!("bad port `{port}`"))? })
+    let (ip, port) =
+        text.split_once(':').ok_or_else(|| format!("bad endpoint `{text}` (want IP:PORT)"))?;
+    Ok(Endpoint {
+        ip: parse_ip(ip)?,
+        port: port.parse().map_err(|_| format!("bad port `{port}`"))?,
+    })
 }
 
 /// Parses a command line (without the leading program name).
@@ -175,10 +177,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     Some((port, send)) => (port.to_string(), Some(send.to_string())),
                     None => (text, None),
                 };
-                opts.clients.push((
-                    port.parse().map_err(|_| format!("bad port `{port}`"))?,
-                    send,
-                ));
+                opts.clients.push((port.parse().map_err(|_| format!("bad port `{port}`"))?, send));
             }
             "--lib" => opts.libs.push(parse_kv(&value("--lib")?, "--lib")?),
             "--trust" => opts.trust.push(value("--trust")?),
@@ -256,9 +255,7 @@ fn run(opts: RunOptions) -> Result<String, String> {
     }
     for (endpoint, reply) in &opts.peers {
         let peer = match reply {
-            Some(text) => {
-                Peer { on_connect: vec![text.as_bytes().to_vec()], ..Peer::default() }
-            }
+            Some(text) => Peer { on_connect: vec![text.as_bytes().to_vec()], ..Peer::default() },
             None => Peer::default(),
         };
         session.kernel.net.add_peer(*endpoint, peer);
@@ -286,8 +283,7 @@ fn run(opts: RunOptions) -> Result<String, String> {
 
     let mut argv: Vec<&str> = vec![&opts.source];
     argv.extend(opts.args.iter().map(String::as_str));
-    let env: Vec<(&str, &str)> =
-        opts.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let env: Vec<(&str, &str)> = opts.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
     session.start(&opts.source, &argv, &env).map_err(|e| e.to_string())?;
     let report = session.run().map_err(|e| e.to_string())?;
 
@@ -338,9 +334,26 @@ mod tests {
     #[test]
     fn parse_run_options() {
         let cmd = parse(&strs(&[
-            "run", "prog.s", "--arg", "a1", "--env", "K=V", "--stdin", "hello",
-            "--file", "/etc/x=data", "--host", "c2=10.0.0.1", "--peer", "10.0.0.1:80=resp",
-            "--client", "99=cmd", "--trust", "libfoo.so", "--no-dataflow", "--hybrid",
+            "run",
+            "prog.s",
+            "--arg",
+            "a1",
+            "--env",
+            "K=V",
+            "--stdin",
+            "hello",
+            "--file",
+            "/etc/x=data",
+            "--host",
+            "c2=10.0.0.1",
+            "--peer",
+            "10.0.0.1:80=resp",
+            "--client",
+            "99=cmd",
+            "--trust",
+            "libfoo.so",
+            "--no-dataflow",
+            "--hybrid",
             "--summary",
         ]))
         .unwrap();

@@ -161,10 +161,7 @@ impl SessionHistory {
                 .fact("dropped_file")?
                 .slot("path", Value::str(&drop.path))
                 .slot("by", Value::str(&drop.by))
-                .slot(
-                    "data_types",
-                    Value::multi(drop.data_types.iter().map(Value::sym)),
-                )
+                .slot("data_types", Value::multi(drop.data_types.iter().map(Value::sym)))
                 .slot("session", drop.session as i64)
                 .build()?;
             engine.assert_fact(fact)?;
@@ -329,13 +326,8 @@ mod tests {
         history.sessions = 1;
         let mut s2 = Session::new(SessionConfig::default()).unwrap();
         history.arm(&mut s2).unwrap();
-        s2.kernel
-            .vfs
-            .install("/tmp/loot", emukernel::FileNode::regular(b"secrets".to_vec()));
-        s2.kernel.net.add_peer(
-            emukernel::Endpoint { ip: 9, port: 9 },
-            emukernel::Peer::default(),
-        );
+        s2.kernel.vfs.install("/tmp/loot", emukernel::FileNode::regular(b"secrets".to_vec()));
+        s2.kernel.net.add_peer(emukernel::Endpoint { ip: 9, port: 9 }, emukernel::Peer::default());
         s2.kernel.register_binary(
             "/bin/exfil",
             r#"

@@ -252,10 +252,8 @@ fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Warning>>>) {
                 found: format!("{} arguments", args.len()),
             });
         };
-        let severity = Severity::from_level(level.as_int()?).ok_or(EngineError::Type {
-            expected: "severity 1..=3",
-            found: level.to_string(),
-        })?;
+        let severity = Severity::from_level(level.as_int()?)
+            .ok_or(EngineError::Type { expected: "severity 1..=3", found: level.to_string() })?;
         let warning = Warning {
             severity,
             rule: rule.as_text().unwrap_or("?").to_string(),
@@ -526,7 +524,9 @@ mod tests {
                 Some(server),
             ))
             .unwrap();
-        assert!(w.iter().any(|w| w.rule == "check_backdoor_server" && w.severity == Severity::High));
+        assert!(w
+            .iter()
+            .any(|w| w.rule == "check_backdoor_server" && w.severity == Severity::High));
         assert!(w.iter().any(|w| w.message.contains("server with the address")));
     }
 

@@ -338,6 +338,12 @@ impl Session {
         &self.harrier
     }
 
+    /// Tag interning and union-memoization counters from the monitor's
+    /// hash-consed tag store (perf diagnostics).
+    pub fn taint_stats(&self) -> harrier::TaintStats {
+        self.harrier.taint_stats()
+    }
+
     /// Paper-style warning transcript accumulated by the policy rules.
     pub fn take_transcript(&mut self) -> String {
         self.secpert.take_transcript()

@@ -856,12 +856,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let img = assemble(
-            "t",
-            "; leading comment\n_start: nop ; trailing\n# hash comment\n\n hlt\n",
-            0,
-        )
-        .unwrap();
+        let img =
+            assemble("t", "; leading comment\n_start: nop ; trailing\n# hash comment\n\n hlt\n", 0)
+                .unwrap();
         assert_eq!(img.text().len(), 2);
     }
 
@@ -876,12 +873,9 @@ mod tests {
 
     #[test]
     fn jcc_variants() {
-        let img = assemble(
-            "t",
-            "_start:\n je _start\n jnz _start\n jge _start\n jb _start\n hlt\n",
-            0,
-        )
-        .unwrap();
+        let img =
+            assemble("t", "_start:\n je _start\n jnz _start\n jge _start\n jb _start\n hlt\n", 0)
+                .unwrap();
         assert_eq!(img.text()[0], Instr::J(Cond::E, Target::Abs(0)));
         assert_eq!(img.text()[1], Instr::J(Cond::Ne, Target::Abs(0)));
         assert_eq!(img.text()[2], Instr::J(Cond::Ge, Target::Abs(0)));

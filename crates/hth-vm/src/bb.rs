@@ -44,11 +44,7 @@ mod tests {
     #[test]
     fn branch_splits_blocks() {
         // 0x1000: jne 0x1008 ; 0x1004: nop ; 0x1008: hlt
-        let text = vec![
-            Instr::J(Cond::Ne, Target::Abs(0x1008)),
-            Instr::Nop,
-            Instr::Hlt,
-        ];
+        let text = vec![Instr::J(Cond::Ne, Target::Abs(0x1008)), Instr::Nop, Instr::Hlt];
         assert_eq!(find_leaders(0x1000, &text), vec![0x1000, 0x1004, 0x1008]);
     }
 

@@ -50,10 +50,7 @@ mod tests {
 
     #[test]
     fn display_shapes() {
-        assert_eq!(
-            Instr::Mov(Operand::Reg(Reg::Eax), Operand::Imm(5)).to_string(),
-            "mov eax, 0x5"
-        );
+        assert_eq!(Instr::Mov(Operand::Reg(Reg::Eax), Operand::Imm(5)).to_string(), "mov eax, 0x5");
         assert_eq!(
             Instr::MovB(Operand::Mem(MemRef::reg(Reg::Ebx)), Operand::Reg(Reg::Eax)).to_string(),
             "movb [ebx], eax"

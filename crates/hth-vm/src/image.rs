@@ -40,7 +40,17 @@ impl Image {
         externs: Vec<(usize, Arc<str>)>,
     ) -> Image {
         let bb_leaders = crate::bb::find_leaders(text_base, &text);
-        Image { name: Arc::from(name), text_base, text, data_base, data, entry, exports, externs, bb_leaders }
+        Image {
+            name: Arc::from(name),
+            text_base,
+            text,
+            data_base,
+            data,
+            entry,
+            exports,
+            externs,
+            bb_leaders,
+        }
     }
 
     /// Image name (e.g. `/bin/app`, `libc.so`). This is the string that
@@ -86,7 +96,10 @@ impl Image {
 
     /// Instruction at `addr`, if it lies inside this image's text.
     pub fn instr_at(&self, addr: u32) -> Option<&Instr> {
-        if addr < self.text_base || addr >= self.text_end() || !(addr - self.text_base).is_multiple_of(4) {
+        if addr < self.text_base
+            || addr >= self.text_end()
+            || !(addr - self.text_base).is_multiple_of(4)
+        {
             return None;
         }
         self.text.get(((addr - self.text_base) / 4) as usize)

@@ -30,8 +30,7 @@ pub struct Flags {
 }
 
 /// Architectural CPU state.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Cpu {
     /// General-purpose register file, indexed by [`Reg::index`].
     pub regs: [u32; 8],
@@ -40,7 +39,6 @@ pub struct Cpu {
     /// Condition flags.
     pub flags: Flags,
 }
-
 
 impl Cpu {
     /// Reads a register.
@@ -118,7 +116,13 @@ pub trait Hooks {
 
     /// A `call` transferred control; `symbol` is set when the target is
     /// an exported routine (routine-granularity instrumentation).
-    fn on_call(&mut self, from_image: ImageId, to_image: ImageId, target: u32, symbol: Option<&Arc<str>>) {
+    fn on_call(
+        &mut self,
+        from_image: ImageId,
+        to_image: ImageId,
+        target: u32,
+        symbol: Option<&Arc<str>>,
+    ) {
         let _ = (from_image, to_image, target, symbol);
     }
 
@@ -263,9 +267,8 @@ impl Core {
         for image in &mut self.images {
             let fixups: Vec<(usize, Arc<str>)> = image.externs().to_vec();
             for (idx, sym) in fixups {
-                let addr = *exports
-                    .get(&sym)
-                    .ok_or_else(|| VmError::UnresolvedExtern(sym.to_string()))?;
+                let addr =
+                    *exports.get(&sym).ok_or_else(|| VmError::UnresolvedExtern(sym.to_string()))?;
                 match &mut image.text_mut()[idx] {
                     Instr::Call(t) | Instr::Jmp(t) | Instr::J(_, t) => *t = Target::Abs(addr),
                     other => panic!("extern fixup on non-branch {other:?}"),
@@ -591,10 +594,8 @@ impl Core {
                 self.mem.write_u32(esp, next)?;
                 hooks.on_taint(image_id, &TaintOp::clear(Loc::Mem(esp, 4)));
                 self.cpu.eip = target;
-                let to_image = self
-                    .image_at(target)
-                    .map(|(id, _)| id)
-                    .ok_or(VmError::NoText(target))?;
+                let to_image =
+                    self.image_at(target).map(|(id, _)| id).ok_or(VmError::NoText(target))?;
                 let symbol = self.symbol_at.get(&target).cloned();
                 hooks.on_call(image_id, to_image, target, symbol.as_ref());
             }
@@ -603,8 +604,7 @@ impl Core {
                 let ret = self.mem.read_u32(esp)?;
                 self.cpu.set(Reg::Esp, esp.wrapping_add(4));
                 self.cpu.eip = ret;
-                let to_image =
-                    self.image_at(ret).map(|(id, _)| id).ok_or(VmError::NoText(ret))?;
+                let to_image = self.image_at(ret).map(|(id, _)| id).ok_or(VmError::NoText(ret))?;
                 hooks.on_ret(to_image, ret);
             }
             Instr::Movsb => {
@@ -832,18 +832,11 @@ mod tests {
 
     #[test]
     fn cross_image_call_via_extern() {
-        let app = assemble(
-            "/bin/app",
-            ".extern helper\n_start:\n call helper\n hlt\n",
-            0x0804_8000,
-        )
-        .unwrap();
-        let lib = assemble(
-            "libc.so",
-            ".global helper\nhelper:\n mov eax, 99\n ret\n",
-            0x4000_0000,
-        )
-        .unwrap();
+        let app =
+            assemble("/bin/app", ".extern helper\n_start:\n call helper\n hlt\n", 0x0804_8000)
+                .unwrap();
+        let lib = assemble("libc.so", ".global helper\nhelper:\n mov eax, 99\n ret\n", 0x4000_0000)
+            .unwrap();
         let mut core = Core::new();
         core.load_image(app);
         core.load_image(lib);
@@ -876,8 +869,7 @@ mod tests {
 
     #[test]
     fn missing_extern_fails_at_link() {
-        let app =
-            assemble("/bin/app", ".extern nope\n_start:\n call nope\n hlt\n", 0).unwrap();
+        let app = assemble("/bin/app", ".extern nope\n_start:\n call nope\n hlt\n", 0).unwrap();
         let mut core = Core::new();
         core.load_image(app);
         assert!(matches!(core.link(), Err(VmError::UnresolvedExtern(_))));

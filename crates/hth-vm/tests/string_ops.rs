@@ -16,8 +16,7 @@ fn run(src: &str) -> Core {
 
 #[test]
 fn movsb_loop_copies_a_string() {
-    let core = run(
-        r#"
+    let core = run(r#"
         _start:
             mov esi, src
             mov edi, 0x09000000
@@ -28,8 +27,7 @@ fn movsb_loop_copies_a_string() {
             hlt
         .data
         src: .asciz "secret"
-        "#,
-    );
+        "#);
     assert_eq!(core.mem.read_bytes(0x0900_0000, 6).unwrap(), b"secret");
     assert_eq!(core.cpu.get(Reg::Ecx), 0);
     assert_eq!(core.cpu.get(Reg::Edi), 0x0900_0006);
@@ -37,8 +35,7 @@ fn movsb_loop_copies_a_string() {
 
 #[test]
 fn loop_executes_exactly_ecx_times() {
-    let core = run(
-        r"
+    let core = run(r"
         _start:
             mov ecx, 7
             xor eax, eax
@@ -46,8 +43,7 @@ fn loop_executes_exactly_ecx_times() {
             inc eax
             loop again
             hlt
-        ",
-    );
+        ");
     assert_eq!(core.cpu.get(Reg::Eax), 7);
 }
 
@@ -89,7 +85,9 @@ fn movsb_emits_per_byte_taint_ops() {
     let moves: Vec<&TaintOp> = hooks
         .0
         .iter()
-        .filter(|op| matches!(op.dst, Loc::Mem(addr, 1) if (0x0900_0000..0x0900_0003).contains(&addr)))
+        .filter(
+            |op| matches!(op.dst, Loc::Mem(addr, 1) if (0x0900_0000..0x0900_0003).contains(&addr)),
+        )
         .collect();
     assert_eq!(moves.len(), 3);
     for (i, op) in moves.iter().enumerate() {
@@ -101,12 +99,9 @@ fn movsb_emits_per_byte_taint_ops() {
 
 #[test]
 fn loop_is_a_basic_block_boundary() {
-    let image = asm::assemble(
-        "/t",
-        "_start:\n mov ecx, 2\nbody:\n nop\n loop body\n hlt\n",
-        0x1000,
-    )
-    .unwrap();
+    let image =
+        asm::assemble("/t", "_start:\n mov ecx, 2\nbody:\n nop\n loop body\n hlt\n", 0x1000)
+            .unwrap();
     // Leaders: entry, `body` (loop target), and the post-loop hlt.
     assert_eq!(image.bb_leaders(), &[0x1000, 0x1004, 0x100c]);
 }

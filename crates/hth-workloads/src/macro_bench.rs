@@ -14,14 +14,7 @@ use crate::scenario::{Expectation, Group, Scenario, StartSpec};
 
 /// All §8.4 scenarios.
 pub fn scenarios() -> Vec<Scenario> {
-    vec![
-        pwsafe_clean(),
-        pwsafe_trojaned(),
-        mw_lookup(),
-        mw_forkbomb(),
-        ttt_clean(),
-        ttt_trojaned(),
-    ]
+    vec![pwsafe_clean(), pwsafe_trojaned(), mw_lookup(), mw_forkbomb(), ttt_clean(), ttt_trojaned()]
 }
 
 const PWSAFE_DB: &str = "/home/user/.pwsafe.dat";
@@ -92,10 +85,7 @@ fn pwsafe_trojaned() -> Scenario {
         setup: Box::new(|session: &mut Session| {
             install_pwsafe_db(session);
             session.kernel.net.add_host("duero", 0x0a14_0001);
-            session
-                .kernel
-                .net
-                .add_peer(Endpoint { ip: 0x0a14_0001, port: 40400 }, Peer::default());
+            session.kernel.net.add_peer(Endpoint { ip: 0x0a14_0001, port: 40400 }, Peer::default());
             session.kernel.register_binary(
                 "/usr/bin/pwsafe",
                 r#"
@@ -161,10 +151,7 @@ fn mw_lookup() -> Scenario {
             session.kernel.net.add_host("www.m-w.com", 0x0a1e_0001);
             session.kernel.net.add_peer(
                 Endpoint { ip: 0x0a1e_0001, port: 80 },
-                Peer {
-                    on_connect: vec![b"HTTP/1.0 200 OK".to_vec()],
-                    ..Peer::default()
-                },
+                Peer { on_connect: vec![b"HTTP/1.0 200 OK".to_vec()], ..Peer::default() },
             );
             // The user supplies both the word and (conceptually) the site;
             // the address bytes arrive from the console like a config.
@@ -235,10 +222,7 @@ fn mw_forkbomb() -> Scenario {
         group: Group::Macro,
         description: "the modified script forks more than 20 children",
         paper_note: "Low (frequent clone) then Medium (very frequent)",
-        expected: Expectation::Rules(
-            Severity::Medium,
-            &["check_clone_count", "check_clone_rate"],
-        ),
+        expected: Expectation::Rules(Severity::Medium, &["check_clone_count", "check_clone_rate"]),
         setup: Box::new(|session: &mut Session| {
             session.kernel.register_binary(
                 "/usr/bin/mw",
@@ -405,8 +389,7 @@ mod tests {
     fn ttt_exec_of_dropped_file_fails_but_is_reported() {
         let result = ttt_trojaned().run().unwrap();
         assert!(result.transcript.contains("malicious_code.txt"));
-        let execs: Vec<_> =
-            result.warnings.iter().filter(|w| w.rule == "check_execve").collect();
+        let execs: Vec<_> = result.warnings.iter().filter(|w| w.rule == "check_execve").collect();
         assert_eq!(execs.len(), 1);
     }
 }

@@ -383,8 +383,7 @@ impl GenSetup {
         }
         if let Some(sends) = &self.want_data_peer_sends {
             session.kernel.net.add_host("peer.example", PEER_IP);
-            let on_connect =
-                if sends.is_empty() { Vec::new() } else { vec![sends.clone()] };
+            let on_connect = if sends.is_empty() { Vec::new() } else { vec![sends.clone()] };
             session.kernel.net.add_peer(
                 Endpoint { ip: PEER_IP, port: PEER_PORT },
                 Peer { on_connect, ..Peer::default() },

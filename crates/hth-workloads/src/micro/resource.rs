@@ -16,10 +16,7 @@ fn loop_forker() -> Scenario {
         group: Group::ResourceAbuse,
         description: "one main thread forks repeatedly; children idle",
         paper_note: "detected: process-count threshold and creation rate",
-        expected: Expectation::Rules(
-            Severity::Medium,
-            &["check_clone_count", "check_clone_rate"],
-        ),
+        expected: Expectation::Rules(Severity::Medium, &["check_clone_count", "check_clone_rate"]),
         setup: Box::new(|session| {
             session.kernel.register_binary(
                 "/bench/loop_forker",
@@ -58,10 +55,7 @@ fn tree_forker() -> Scenario {
         group: Group::ResourceAbuse,
         description: "fork tree: parent and child both keep forking",
         paper_note: "detected: process-count threshold and creation rate",
-        expected: Expectation::Rules(
-            Severity::Medium,
-            &["check_clone_count", "check_clone_rate"],
-        ),
+        expected: Expectation::Rules(Severity::Medium, &["check_clone_count", "check_clone_rate"]),
         setup: Box::new(|session| {
             session.kernel.register_binary(
                 "/bench/tree_forker",

@@ -35,10 +35,7 @@ fn pwsteal_tarno() -> Scenario {
         setup: Box::new(|session: &mut Session| {
             session.kernel.push_stdin(b"bank-password".to_vec());
             session.kernel.net.add_host("collector.evil", 0x0b00_0001);
-            session
-                .kernel
-                .net
-                .add_peer(Endpoint { ip: 0x0b00_0001, port: 80 }, Peer::default());
+            session.kernel.net.add_peer(Endpoint { ip: 0x0b00_0001, port: 80 }, Peer::default());
             session.kernel.register_binary(
                 "/models/tarno",
                 r#"
@@ -276,10 +273,7 @@ fn mytob() -> Scenario {
                 emukernel::FileNode::regular(b"alice@example;bob@example".to_vec()),
             );
             session.kernel.net.add_host("smtp.example", 0x0d00_0001);
-            session
-                .kernel
-                .net
-                .add_peer(Endpoint { ip: 0x0d00_0001, port: 25 }, Peer::default());
+            session.kernel.net.add_peer(Endpoint { ip: 0x0d00_0001, port: 25 }, Peer::default());
             session.kernel.net.queue_client(
                 10027,
                 RemoteClient {

@@ -530,10 +530,7 @@ fn xeyes() -> Scenario {
         expected: Expectation::Warn(Severity::Low),
         setup: Box::new(|session: &mut Session| {
             // The X server listens on the (hardcoded) local display port.
-            session
-                .kernel
-                .net
-                .add_peer(Endpoint { ip: 0x7f00_0001, port: 6000 }, Peer::default());
+            session.kernel.net.add_peer(Endpoint { ip: 0x7f00_0001, port: 6000 }, Peer::default());
             session.kernel.register_lib("libX11.so", LIBX11_SO);
             session.kernel.register_binary(
                 "/usr/bin/xeyes",

@@ -328,10 +328,7 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        assert_eq!(
-            c("str-cat", &[Value::str("/bin/"), Value::sym("ls")]),
-            Value::str("/bin/ls")
-        );
+        assert_eq!(c("str-cat", &[Value::str("/bin/"), Value::sym("ls")]), Value::str("/bin/ls"));
         assert_eq!(c("str-length", &[Value::str("abc")]), Value::Int(3));
         assert_eq!(c("str-index", &[Value::str("in"), Value::str("binary")]), Value::Int(2));
         assert_eq!(c("str-index", &[Value::str("zz"), Value::str("binary")]), Value::falsity());
@@ -347,10 +344,7 @@ mod tests {
 
     #[test]
     fn unknown_function_falls_through() {
-        assert!(matches!(
-            call("no-such-fn", &[]),
-            Err(EngineError::UnknownFunction(_))
-        ));
+        assert!(matches!(call("no-such-fn", &[]), Err(EngineError::UnknownFunction(_))));
     }
 
     #[test]

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use crate::builtins;
 use crate::error::{EngineError, Result};
-use crate::expr::{eval, Bindings, Host};
 use crate::explain::FiringRecord;
+use crate::expr::{eval, Bindings, Host};
 use crate::fact::{Fact, FactBuilder, FactId, WorkingMemory};
 use crate::pattern::CondElem;
 use crate::rule::Rule;
@@ -76,10 +76,7 @@ struct MatchHost<'a> {
 
 impl Host for MatchHost<'_> {
     fn global(&self, name: &str) -> Result<Value> {
-        self.globals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
+        self.globals.get(name).cloned().ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
     }
 
     fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
@@ -393,9 +390,7 @@ impl Engine {
         self.refraction.clear();
         self.transcript.clear();
         self.firings.clear();
-        self.assert_fact(Fact::with_defaults(
-            self.templates["initial-fact"].clone(),
-        ))?;
+        self.assert_fact(Fact::with_defaults(self.templates["initial-fact"].clone()))?;
         for fact in self.deffacts.clone() {
             self.assert_fact(fact)?;
         }
@@ -429,7 +424,11 @@ impl Engine {
     fn recompute_rule(&mut self, rule_idx: usize) -> Result<()> {
         self.remove_rule_activations(rule_idx);
         let matches = {
-            let mut host = MatchHost { globals: &self.globals, natives: &self.natives, userfns: &self.userfns };
+            let mut host = MatchHost {
+                globals: &self.globals,
+                natives: &self.natives,
+                userfns: &self.userfns,
+            };
             compute_matches(&self.wm, &self.rules[rule_idx], None, &mut host)?
         };
         for (facts, bindings) in matches {
@@ -444,11 +443,16 @@ impl Engine {
         let mut seeded: Vec<(usize, Vec<Match>)> = Vec::new();
         let mut recompute: Vec<usize> = Vec::new();
         {
-            let mut host = MatchHost { globals: &self.globals, natives: &self.natives, userfns: &self.userfns };
+            let mut host = MatchHost {
+                globals: &self.globals,
+                natives: &self.natives,
+                userfns: &self.userfns,
+            };
             for (ri, rule) in self.rules.iter().enumerate() {
-                let negated_on_template = rule.lhs().iter().any(|ce| {
-                    matches!(ce, CondElem::Not(p) if p.template.as_ref() == template)
-                });
+                let negated_on_template = rule
+                    .lhs()
+                    .iter()
+                    .any(|ce| matches!(ce, CondElem::Not(p) if p.template.as_ref() == template));
                 if negated_on_template {
                     // Negation may invalidate existing activations and the
                     // seed-join below cannot see that; recompute fully.
@@ -518,18 +522,13 @@ impl Engine {
                 entries.sort_by_key(|a| (std::cmp::Reverse(a.salience), std::cmp::Reverse(a.seq)));
             }
             Strategy::Breadth => {
-                entries.sort_by(|a, b| {
-                    b.salience.cmp(&a.salience).then(a.seq.cmp(&b.seq))
-                });
+                entries.sort_by(|a, b| b.salience.cmp(&a.salience).then(a.seq.cmp(&b.seq)));
             }
         }
         entries
             .into_iter()
             .map(|a| {
-                (
-                    self.rules[a.rule].name().to_string(),
-                    a.facts.iter().flatten().copied().collect(),
-                )
+                (self.rules[a.rule].name().to_string(), a.facts.iter().flatten().copied().collect())
             })
             .collect()
     }
@@ -576,8 +575,7 @@ impl Engine {
         self.refraction.insert((act.rule, act.facts.clone()));
         let rule = self.rules[act.rule].clone();
         if self.watch {
-            let ids: Vec<String> =
-                act.facts.iter().flatten().map(|id| id.to_string()).collect();
+            let ids: Vec<String> = act.facts.iter().flatten().map(|id| id.to_string()).collect();
             self.trace.push(format!(
                 "FIRE {} {}: {}",
                 self.fired_total + 1,
@@ -635,10 +633,7 @@ impl Engine {
 
 impl Host for Engine {
     fn global(&self, name: &str) -> Result<Value> {
-        self.globals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
+        self.globals.get(name).cloned().ok_or_else(|| EngineError::UnknownGlobal(name.to_string()))
     }
 
     fn call(&mut self, name: &str, args: &[Value]) -> Result<Value> {
@@ -705,7 +700,12 @@ fn bind_userfn_args(f: &UserFn, args: &[Value]) -> Result<Bindings> {
     if args.len() < f.params.len() || (f.wildcard.is_none() && args.len() != f.params.len()) {
         return Err(EngineError::Type {
             expected: "matching deffunction arity",
-            found: format!("{} called with {} arguments, expects {}", f.name, args.len(), f.params.len()),
+            found: format!(
+                "{} called with {} arguments, expects {}",
+                f.name,
+                args.len(),
+                f.params.len()
+            ),
         });
     }
     let mut bindings = Bindings::new();
@@ -813,11 +813,8 @@ mod tests {
 
     fn engine_with_event() -> Engine {
         let mut e = Engine::new();
-        e.add_template(Template::new(
-            "event",
-            [SlotDef::single("kind"), SlotDef::single("n")],
-        ))
-        .unwrap();
+        e.add_template(Template::new("event", [SlotDef::single("kind"), SlotDef::single("n")]))
+            .unwrap();
         e
     }
 
@@ -880,10 +877,7 @@ mod tests {
     fn retract_removes_pending_activation() {
         let mut e = engine_with_event();
         e.add_rule(
-            RuleBuilder::new("r")
-                .pattern(PatternCE::new("event"))
-                .action(Expr::lit(1))
-                .build(),
+            RuleBuilder::new("r").pattern(PatternCE::new("event")).action(Expr::lit(1)).build(),
         )
         .unwrap();
         let id = e.assert_fact(event(&e, "open", 1)).unwrap().unwrap();
@@ -915,10 +909,12 @@ mod tests {
         e.add_template(Template::new("alarm", [SlotDef::single("level")])).unwrap();
         e.add_rule(
             RuleBuilder::new("escalate")
-                .pattern(PatternCE::new("event").slot(
-                    "kind",
-                    SlotPattern::Single(FieldConstraint::literal(Value::sym("bad"))),
-                ))
+                .pattern(
+                    PatternCE::new("event").slot(
+                        "kind",
+                        SlotPattern::Single(FieldConstraint::literal(Value::sym("bad"))),
+                    ),
+                )
                 .action(Expr::Assert {
                     template: Arc::from("alarm"),
                     slots: vec![(Arc::from("level"), vec![Expr::lit(Value::sym("HIGH"))])],
@@ -1068,10 +1064,7 @@ mod tests {
                     PatternCE::new("event")
                         .slot("n", SlotPattern::Single(FieldConstraint::var("n"))),
                 )
-                .test(Expr::call("=", [
-                    Expr::call("double", [Expr::var("n")]),
-                    Expr::lit(8),
-                ]))
+                .test(Expr::call("=", [Expr::call("double", [Expr::var("n")]), Expr::lit(8)]))
                 .action(Expr::Printout(vec![Expr::lit("four")]))
                 .build(),
         )
@@ -1085,10 +1078,7 @@ mod tests {
     fn run_limit_is_respected() {
         let mut e = engine_with_event();
         e.add_rule(
-            RuleBuilder::new("r")
-                .pattern(PatternCE::new("event"))
-                .action(Expr::lit(0))
-                .build(),
+            RuleBuilder::new("r").pattern(PatternCE::new("event")).action(Expr::lit(0)).build(),
         )
         .unwrap();
         for i in 0..5 {

@@ -326,10 +326,8 @@ mod tests {
     #[test]
     fn and_short_circuits() {
         // Second arg would divide by zero; `and` must not evaluate it.
-        let e = Expr::call(
-            "and",
-            [Expr::lit(false), Expr::call("/", [Expr::lit(1), Expr::lit(0)])],
-        );
+        let e =
+            Expr::call("and", [Expr::lit(false), Expr::call("/", [Expr::lit(1), Expr::lit(0)])]);
         assert_eq!(run(&e).unwrap(), Value::falsity());
     }
 
@@ -344,8 +342,8 @@ mod tests {
         let mut b = Bindings::new();
         let mut host = TestHost::new();
         eval(&Expr::Bind(Arc::from("x"), Box::new(Expr::lit(4))), &mut b, &mut host).unwrap();
-        let v = eval(&Expr::call("*", [Expr::var("x"), Expr::var("x")]), &mut b, &mut host)
-            .unwrap();
+        let v =
+            eval(&Expr::call("*", [Expr::var("x"), Expr::var("x")]), &mut b, &mut host).unwrap();
         assert_eq!(v, Value::Int(16));
     }
 
@@ -388,12 +386,7 @@ mod tests {
         let mut host = TestHost::new();
         let mut b = Bindings::new();
         b.insert(Arc::from("m"), Value::multi([Value::Int(1), Value::Int(2)]));
-        let v = eval_fields(
-            &[Expr::var("m"), Expr::lit(3)],
-            &mut b,
-            &mut host,
-        )
-        .unwrap();
+        let v = eval_fields(&[Expr::var("m"), Expr::lit(3)], &mut b, &mut host).unwrap();
         assert_eq!(v, Value::multi([Value::Int(1), Value::Int(2), Value::Int(3)]));
     }
 }

@@ -321,13 +321,7 @@ mod tests {
         assert_eq!(toks("=>"), vec![Tok::Arrow]);
         assert_eq!(
             toks("(= ?x 1)"),
-            vec![
-                Tok::LParen,
-                Tok::Sym("=".into()),
-                Tok::Var("x".into()),
-                Tok::Int(1),
-                Tok::RParen,
-            ]
+            vec![Tok::LParen, Tok::Sym("=".into()), Tok::Var("x".into()), Tok::Int(1), Tok::RParen,]
         );
     }
 
@@ -335,11 +329,7 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             toks(r#""/bin/ls" "a\"b" "tab\there""#),
-            vec![
-                Tok::Str("/bin/ls".into()),
-                Tok::Str("a\"b".into()),
-                Tok::Str("tab\there".into()),
-            ]
+            vec![Tok::Str("/bin/ls".into()), Tok::Str("a\"b".into()), Tok::Str("tab\there".into()),]
         );
         assert!(lex("\"unterminated").is_err());
     }
@@ -363,10 +353,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(
-            toks("a ; comment here\nb"),
-            vec![Tok::Sym("a".into()), Tok::Sym("b".into())]
-        );
+        assert_eq!(toks("a ; comment here\nb"), vec![Tok::Sym("a".into()), Tok::Sym("b".into())]);
     }
 
     #[test]

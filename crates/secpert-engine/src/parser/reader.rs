@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
+use crate::engine::UserFn;
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
 use crate::pattern::{Atom, CondElem, FieldConstraint, PatternCE, SlotPattern, Term};
-use crate::engine::UserFn;
 use crate::rule::Rule;
 use crate::template::{SlotDef, SlotKind, Template};
 use crate::value::Value;
@@ -615,7 +615,8 @@ mod tests {
 
     #[test]
     fn parse_template_with_defaults() {
-        let src = r#"(deftemplate ev "doc" (slot a (default 3)) (multislot b) (slot c (type SYMBOL)))"#;
+        let src =
+            r#"(deftemplate ev "doc" (slot a (default 3)) (multislot b) (slot c (type SYMBOL)))"#;
         let constructs = parse_program(src, &no_templates).unwrap();
         let Construct::Template(t) = &constructs[0] else { panic!("expected template") };
         assert_eq!(t.name(), "ev");
@@ -634,8 +635,7 @@ mod tests {
 
     #[test]
     fn parse_fact_with_multifield() {
-        let fact =
-            parse_fact_form(r#"(ev (a SYS_execve) (b "/bin/ls" BINARY) (c 33))"#).unwrap();
+        let fact = parse_fact_form(r#"(ev (a SYS_execve) (b "/bin/ls" BINARY) (c 33))"#).unwrap();
         assert_eq!(fact.template, "ev");
         assert_eq!(fact.slots[1].1, vec![Value::str("/bin/ls"), Value::sym("BINARY")]);
     }
@@ -678,19 +678,13 @@ mod tests {
     #[test]
     fn unknown_template_in_pattern_is_an_error() {
         let src = "(defrule r (nope) => )";
-        assert!(matches!(
-            parse_program(src, &no_templates),
-            Err(EngineError::UnknownTemplate(_))
-        ));
+        assert!(matches!(parse_program(src, &no_templates), Err(EngineError::UnknownTemplate(_))));
     }
 
     #[test]
     fn unknown_slot_in_pattern_is_an_error() {
         let src = "(deftemplate ev (slot a)) (defrule r (ev (b 1)) => )";
-        assert!(matches!(
-            parse_program(src, &no_templates),
-            Err(EngineError::UnknownSlot { .. })
-        ));
+        assert!(matches!(parse_program(src, &no_templates), Err(EngineError::UnknownSlot { .. })));
     }
 
     #[test]

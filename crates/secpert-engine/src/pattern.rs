@@ -295,9 +295,7 @@ fn match_multi_constraint(
                 Atom::EqExpr(expr) => eval(expr, bindings, host)? == seq,
                 // Single-field atoms inside a multifield constraint require
                 // exactly one consumed value.
-                other => {
-                    consumed.len() == 1 && match_atom(other, &consumed[0], bindings, host)?
-                }
+                other => consumed.len() == 1 && match_atom(other, &consumed[0], bindings, host)?,
             };
             if !matched {
                 ok = false;
@@ -468,10 +466,8 @@ mod tests {
             SlotPattern::MultiSeq(vec![FieldConstraint::atom(Atom::Term(Term::MultiWildcard))]),
         );
         assert!(matches(&multi, &fact("open", 1, &[])).0);
-        let single = PatternCE::new("ev").slot(
-            "src",
-            SlotPattern::MultiSeq(vec![FieldConstraint::var("x")]),
-        );
+        let single = PatternCE::new("ev")
+            .slot("src", SlotPattern::MultiSeq(vec![FieldConstraint::var("x")]));
         assert!(!matches(&single, &fact("open", 1, &[])).0);
     }
 

@@ -18,12 +18,7 @@ pub struct Rule {
 
 impl Rule {
     /// Creates a rule from its parts. Prefer [`RuleBuilder`] in host code.
-    pub fn new(
-        name: impl AsRef<str>,
-        salience: i32,
-        lhs: Vec<CondElem>,
-        rhs: Vec<Expr>,
-    ) -> Rule {
+    pub fn new(name: impl AsRef<str>, salience: i32, lhs: Vec<CondElem>, rhs: Vec<Expr>) -> Rule {
         Rule { name: Arc::from(name.as_ref()), doc: None, salience, lhs, rhs }
     }
 

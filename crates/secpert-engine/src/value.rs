@@ -159,11 +159,9 @@ impl Value {
     pub fn to_display_string(&self) -> String {
         match self {
             Value::Str(s) => s.to_string(),
-            Value::Multi(items) => items
-                .iter()
-                .map(Value::to_display_string)
-                .collect::<Vec<_>>()
-                .join(" "),
+            Value::Multi(items) => {
+                items.iter().map(Value::to_display_string).collect::<Vec<_>>().join(" ")
+            }
             other => other.to_string(),
         }
     }

@@ -81,11 +81,7 @@ fn deffunction_usable_in_pattern_predicates() {
 fn deffunction_arity_checked() {
     let mut engine = Engine::new();
     engine.load_str("(deffunction two (?a ?b) (+ ?a ?b))").unwrap();
-    engine
-        .load_str(
-            "(deftemplate t (slot x)) (defrule r (t) => (printout t (two 1)))",
-        )
-        .unwrap();
+    engine.load_str("(deftemplate t (slot x)) (defrule r (t) => (printout t (two 1)))").unwrap();
     engine.assert_str("(t (x 1))").unwrap();
     assert!(engine.run(None).is_err(), "missing argument must error");
 }

@@ -21,9 +21,7 @@ fn engine_with_templates() -> Engine {
     engine
         .add_template(Template::new("ev", [SlotDef::single("kind"), SlotDef::single("n")]))
         .unwrap();
-    engine
-        .add_template(Template::new("res", [SlotDef::single("kind")]))
-        .unwrap();
+    engine.add_template(Template::new("res", [SlotDef::single("kind")])).unwrap();
     engine
 }
 

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- structured warnings ---");
     for warning in session.warnings() {
-        println!("[{}] rule={} pid={} t={}", warning.severity, warning.rule, warning.pid, warning.time);
+        println!(
+            "[{}] rule={} pid={} t={}",
+            warning.severity, warning.rule, warning.pid, warning.time
+        );
         println!("    {}", warning.message);
     }
 

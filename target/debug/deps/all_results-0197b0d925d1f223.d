@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_results-0197b0d925d1f223.d: crates/hth-bench/src/bin/all_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_results-0197b0d925d1f223.rmeta: crates/hth-bench/src/bin/all_results.rs Cargo.toml
+
+crates/hth-bench/src/bin/all_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_results-754d83b7ec66f78b.d: crates/hth-bench/src/bin/all_results.rs
+
+/root/repo/target/debug/deps/all_results-754d83b7ec66f78b: crates/hth-bench/src/bin/all_results.rs
+
+crates/hth-bench/src/bin/all_results.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_results-980d2e2c2bce04f7.d: crates/hth-bench/src/bin/all_results.rs
+
+/root/repo/target/debug/deps/all_results-980d2e2c2bce04f7: crates/hth-bench/src/bin/all_results.rs
+
+crates/hth-bench/src/bin/all_results.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_results-e0fe020fdd324bc5.d: crates/hth-bench/src/bin/all_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_results-e0fe020fdd324bc5.rmeta: crates/hth-bench/src/bin/all_results.rs Cargo.toml
+
+crates/hth-bench/src/bin/all_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

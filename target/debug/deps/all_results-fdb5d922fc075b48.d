@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_results-fdb5d922fc075b48.d: crates/hth-bench/src/bin/all_results.rs
+
+/root/repo/target/debug/deps/all_results-fdb5d922fc075b48: crates/hth-bench/src/bin/all_results.rs
+
+crates/hth-bench/src/bin/all_results.rs:

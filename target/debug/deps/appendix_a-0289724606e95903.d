@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_a-0289724606e95903.d: crates/hth-bench/src/bin/appendix_a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_a-0289724606e95903.rmeta: crates/hth-bench/src/bin/appendix_a.rs Cargo.toml
+
+crates/hth-bench/src/bin/appendix_a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

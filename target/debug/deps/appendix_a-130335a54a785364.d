@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appendix_a-130335a54a785364.d: crates/hth-bench/src/bin/appendix_a.rs
+
+/root/repo/target/debug/deps/appendix_a-130335a54a785364: crates/hth-bench/src/bin/appendix_a.rs
+
+crates/hth-bench/src/bin/appendix_a.rs:

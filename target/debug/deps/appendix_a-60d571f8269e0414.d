@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_a-60d571f8269e0414.d: crates/hth-bench/src/bin/appendix_a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_a-60d571f8269e0414.rmeta: crates/hth-bench/src/bin/appendix_a.rs Cargo.toml
+
+crates/hth-bench/src/bin/appendix_a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

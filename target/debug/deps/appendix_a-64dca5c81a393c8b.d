@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appendix_a-64dca5c81a393c8b.d: crates/hth-bench/src/bin/appendix_a.rs
+
+/root/repo/target/debug/deps/appendix_a-64dca5c81a393c8b: crates/hth-bench/src/bin/appendix_a.rs
+
+crates/hth-bench/src/bin/appendix_a.rs:

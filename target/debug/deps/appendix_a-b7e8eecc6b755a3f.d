@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/appendix_a-b7e8eecc6b755a3f.d: crates/hth-bench/src/bin/appendix_a.rs
+
+/root/repo/target/debug/deps/appendix_a-b7e8eecc6b755a3f: crates/hth-bench/src/bin/appendix_a.rs
+
+crates/hth-bench/src/bin/appendix_a.rs:

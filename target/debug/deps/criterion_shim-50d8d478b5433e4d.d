@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion_shim-50d8d478b5433e4d.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/criterion_shim-50d8d478b5433e4d: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

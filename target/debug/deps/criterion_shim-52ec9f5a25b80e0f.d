@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion_shim-52ec9f5a25b80e0f.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion_shim-52ec9f5a25b80e0f.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion_shim-52ec9f5a25b80e0f.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

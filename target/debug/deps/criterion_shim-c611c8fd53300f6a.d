@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_shim-c611c8fd53300f6a.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_shim-c611c8fd53300f6a.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

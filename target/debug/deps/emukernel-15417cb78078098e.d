@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/emukernel-15417cb78078098e.d: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+/root/repo/target/debug/deps/emukernel-15417cb78078098e: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+crates/emukernel/src/lib.rs:
+crates/emukernel/src/kernel.rs:
+crates/emukernel/src/net.rs:
+crates/emukernel/src/process.rs:
+crates/emukernel/src/vfs.rs:

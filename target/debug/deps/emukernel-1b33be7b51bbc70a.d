@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/emukernel-1b33be7b51bbc70a.d: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+/root/repo/target/debug/deps/libemukernel-1b33be7b51bbc70a.rlib: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+/root/repo/target/debug/deps/libemukernel-1b33be7b51bbc70a.rmeta: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+crates/emukernel/src/lib.rs:
+crates/emukernel/src/kernel.rs:
+crates/emukernel/src/net.rs:
+crates/emukernel/src/process.rs:
+crates/emukernel/src/vfs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/emukernel-ded7b0b96536685e.d: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libemukernel-ded7b0b96536685e.rmeta: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs Cargo.toml
+
+crates/emukernel/src/lib.rs:
+crates/emukernel/src/kernel.rs:
+crates/emukernel/src/net.rs:
+crates/emukernel/src/process.rs:
+crates/emukernel/src/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

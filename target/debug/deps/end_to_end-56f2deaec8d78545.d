@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-56f2deaec8d78545.d: crates/harrier/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-56f2deaec8d78545: crates/harrier/tests/end_to_end.rs
+
+crates/harrier/tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-873e343fb497ef51.d: crates/harrier/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-873e343fb497ef51.rmeta: crates/harrier/tests/end_to_end.rs Cargo.toml
+
+crates/harrier/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

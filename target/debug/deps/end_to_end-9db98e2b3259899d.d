@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9db98e2b3259899d.d: crates/harrier/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9db98e2b3259899d: crates/harrier/tests/end_to_end.rs
+
+crates/harrier/tests/end_to_end.rs:

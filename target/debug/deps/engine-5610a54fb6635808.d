@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-5610a54fb6635808.d: crates/hth-bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-5610a54fb6635808.rmeta: crates/hth-bench/benches/engine.rs Cargo.toml
+
+crates/hth-bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-670447df2ac8baa8.d: crates/hth-bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-670447df2ac8baa8.rmeta: crates/hth-bench/benches/engine.rs Cargo.toml
+
+crates/hth-bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-1316b5d802bd657f.d: crates/hth-bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-1316b5d802bd657f.rmeta: crates/hth-bench/src/bin/extensions.rs Cargo.toml
+
+crates/hth-bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

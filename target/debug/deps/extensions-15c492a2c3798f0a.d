@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-15c492a2c3798f0a.d: crates/hth-bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-15c492a2c3798f0a.rmeta: crates/hth-bench/src/bin/extensions.rs Cargo.toml
+
+crates/hth-bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1a98be106a9fbfd1.d: crates/hth-bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1a98be106a9fbfd1: crates/hth-bench/src/bin/extensions.rs
+
+crates/hth-bench/src/bin/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-c20b7551cb5608f9.d: crates/hth-bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-c20b7551cb5608f9.rmeta: crates/hth-bench/src/bin/extensions.rs Cargo.toml
+
+crates/hth-bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

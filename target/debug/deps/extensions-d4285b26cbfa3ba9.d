@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d4285b26cbfa3ba9.d: crates/hth-bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d4285b26cbfa3ba9: crates/hth-bench/src/bin/extensions.rs
+
+crates/hth-bench/src/bin/extensions.rs:

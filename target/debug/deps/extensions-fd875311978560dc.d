@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-fd875311978560dc.d: crates/hth-bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-fd875311978560dc: crates/hth-bench/src/bin/extensions.rs
+
+crates/hth-bench/src/bin/extensions.rs:

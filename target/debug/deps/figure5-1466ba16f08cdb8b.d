@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-1466ba16f08cdb8b.d: crates/hth-bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-1466ba16f08cdb8b.rmeta: crates/hth-bench/src/bin/figure5.rs Cargo.toml
+
+crates/hth-bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-65cbe817c13b8544.d: crates/hth-bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-65cbe817c13b8544.rmeta: crates/hth-bench/src/bin/figure5.rs Cargo.toml
+
+crates/hth-bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-89649a09f14babf8.d: crates/hth-bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-89649a09f14babf8: crates/hth-bench/src/bin/figure5.rs
+
+crates/hth-bench/src/bin/figure5.rs:

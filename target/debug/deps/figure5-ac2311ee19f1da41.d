@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-ac2311ee19f1da41.d: crates/hth-bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-ac2311ee19f1da41: crates/hth-bench/src/bin/figure5.rs
+
+crates/hth-bench/src/bin/figure5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-f920f7a8ec61651e.d: crates/hth-bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-f920f7a8ec61651e.rmeta: crates/hth-bench/src/bin/figure5.rs Cargo.toml
+
+crates/hth-bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-fcd8ba426b8c94ff.d: crates/hth-bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-fcd8ba426b8c94ff: crates/hth-bench/src/bin/figure5.rs
+
+crates/hth-bench/src/bin/figure5.rs:

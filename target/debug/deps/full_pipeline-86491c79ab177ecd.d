@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/full_pipeline-86491c79ab177ecd.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-86491c79ab177ecd: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/full_pipeline-bf2995311f1130e5.d: tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-bf2995311f1130e5.rmeta: tests/full_pipeline.rs Cargo.toml
+
+tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-e55208bbd2e54b70.d: tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-e55208bbd2e54b70.rmeta: tests/full_pipeline.rs Cargo.toml
+
+tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

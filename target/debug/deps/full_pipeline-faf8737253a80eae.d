@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/full_pipeline-faf8737253a80eae.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-faf8737253a80eae: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

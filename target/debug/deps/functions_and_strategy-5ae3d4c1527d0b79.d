@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functions_and_strategy-5ae3d4c1527d0b79.d: crates/secpert-engine/tests/functions_and_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctions_and_strategy-5ae3d4c1527d0b79.rmeta: crates/secpert-engine/tests/functions_and_strategy.rs Cargo.toml
+
+crates/secpert-engine/tests/functions_and_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

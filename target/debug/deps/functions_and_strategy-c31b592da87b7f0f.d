@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functions_and_strategy-c31b592da87b7f0f.d: crates/secpert-engine/tests/functions_and_strategy.rs
+
+/root/repo/target/debug/deps/functions_and_strategy-c31b592da87b7f0f: crates/secpert-engine/tests/functions_and_strategy.rs
+
+crates/secpert-engine/tests/functions_and_strategy.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/harrier-0d54ef99aa49b002.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharrier-0d54ef99aa49b002.rmeta: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs Cargo.toml
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/naive.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

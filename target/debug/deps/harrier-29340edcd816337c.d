@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/harrier-29340edcd816337c.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/debug/deps/harrier-29340edcd816337c: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/naive.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:

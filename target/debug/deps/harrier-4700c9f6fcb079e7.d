@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/harrier-4700c9f6fcb079e7.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/debug/deps/libharrier-4700c9f6fcb079e7.rlib: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/debug/deps/libharrier-4700c9f6fcb079e7.rmeta: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:

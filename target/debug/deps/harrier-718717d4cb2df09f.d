@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/harrier-718717d4cb2df09f.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/debug/deps/libharrier-718717d4cb2df09f.rlib: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/debug/deps/libharrier-718717d4cb2df09f.rmeta: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/naive.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:

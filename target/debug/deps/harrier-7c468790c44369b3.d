@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/harrier-7c468790c44369b3.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharrier-7c468790c44369b3.rmeta: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs Cargo.toml
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

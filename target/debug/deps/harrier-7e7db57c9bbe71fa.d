@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/harrier-7e7db57c9bbe71fa.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharrier-7e7db57c9bbe71fa.rmeta: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs Cargo.toml
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

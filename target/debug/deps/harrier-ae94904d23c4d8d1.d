@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/harrier-ae94904d23c4d8d1.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/debug/deps/harrier-ae94904d23c4d8d1: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hth-1d535a3f76a34489.d: crates/hth-cli/src/main.rs
+
+/root/repo/target/debug/deps/hth-1d535a3f76a34489: crates/hth-cli/src/main.rs
+
+crates/hth-cli/src/main.rs:

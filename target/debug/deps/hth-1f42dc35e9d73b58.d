@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-1f42dc35e9d73b58.d: crates/hth-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-1f42dc35e9d73b58.rmeta: crates/hth-cli/src/main.rs Cargo.toml
+
+crates/hth-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

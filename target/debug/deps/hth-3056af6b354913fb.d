@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-3056af6b354913fb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-3056af6b354913fb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hth-5c0facf91cf80229.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhth-5c0facf91cf80229.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhth-5c0facf91cf80229.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-6b37e0bddc99ddf3.d: crates/hth-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-6b37e0bddc99ddf3.rmeta: crates/hth-cli/src/main.rs Cargo.toml
+
+crates/hth-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hth-89e4fa240aacea59.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhth-89e4fa240aacea59.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhth-89e4fa240aacea59.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hth-90d6f05f64fe88dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/hth-90d6f05f64fe88dc: src/lib.rs
+
+src/lib.rs:

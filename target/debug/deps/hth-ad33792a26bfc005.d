@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hth-ad33792a26bfc005.d: src/lib.rs
+
+/root/repo/target/debug/deps/hth-ad33792a26bfc005: src/lib.rs
+
+src/lib.rs:

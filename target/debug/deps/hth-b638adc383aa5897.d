@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-b638adc383aa5897.d: crates/hth-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-b638adc383aa5897.rmeta: crates/hth-cli/src/main.rs Cargo.toml
+
+crates/hth-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

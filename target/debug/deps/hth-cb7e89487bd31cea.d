@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-cb7e89487bd31cea.d: crates/hth-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-cb7e89487bd31cea.rmeta: crates/hth-cli/src/main.rs Cargo.toml
+
+crates/hth-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

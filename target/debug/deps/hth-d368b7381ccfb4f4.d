@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-d368b7381ccfb4f4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-d368b7381ccfb4f4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

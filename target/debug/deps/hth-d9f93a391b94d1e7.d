@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-d9f93a391b94d1e7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-d9f93a391b94d1e7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth-f5a1c458c6336926.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth-f5a1c458c6336926.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

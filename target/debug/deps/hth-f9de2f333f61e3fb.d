@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hth-f9de2f333f61e3fb.d: crates/hth-cli/src/main.rs
+
+/root/repo/target/debug/deps/hth-f9de2f333f61e3fb: crates/hth-cli/src/main.rs
+
+crates/hth-cli/src/main.rs:

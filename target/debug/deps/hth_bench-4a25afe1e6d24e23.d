@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hth_bench-4a25afe1e6d24e23.d: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth_bench-4a25afe1e6d24e23.rmeta: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs Cargo.toml
+
+crates/hth-bench/src/lib.rs:
+crates/hth-bench/src/json.rs:
+crates/hth-bench/src/perf.rs:
+crates/hth-bench/src/report.rs:
+crates/hth-bench/src/results.rs:
+crates/hth-bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

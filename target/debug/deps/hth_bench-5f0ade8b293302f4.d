@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hth_bench-5f0ade8b293302f4.d: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/debug/deps/hth_bench-5f0ade8b293302f4: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+crates/hth-bench/src/lib.rs:
+crates/hth-bench/src/json.rs:
+crates/hth-bench/src/perf.rs:
+crates/hth-bench/src/report.rs:
+crates/hth-bench/src/results.rs:
+crates/hth-bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hth_bench-dfb9d09b01013f6a.d: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhth_bench-dfb9d09b01013f6a.rlib: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhth_bench-dfb9d09b01013f6a.rmeta: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+crates/hth-bench/src/lib.rs:
+crates/hth-bench/src/json.rs:
+crates/hth-bench/src/perf.rs:
+crates/hth-bench/src/report.rs:
+crates/hth-bench/src/results.rs:
+crates/hth-bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hth_bench-f409fd2398053d36.d: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhth_bench-f409fd2398053d36.rlib: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/debug/deps/libhth_bench-f409fd2398053d36.rmeta: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+crates/hth-bench/src/lib.rs:
+crates/hth-bench/src/json.rs:
+crates/hth-bench/src/perf.rs:
+crates/hth-bench/src/report.rs:
+crates/hth-bench/src/results.rs:
+crates/hth-bench/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hth_cli-2470e7521da328a3.d: crates/hth-cli/src/lib.rs
+
+/root/repo/target/debug/deps/hth_cli-2470e7521da328a3: crates/hth-cli/src/lib.rs
+
+crates/hth-cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth_cli-3fcce13ea9753576.d: crates/hth-cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth_cli-3fcce13ea9753576.rmeta: crates/hth-cli/src/lib.rs Cargo.toml
+
+crates/hth-cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hth_cli-8ffdf37038ae2be4.d: crates/hth-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhth_cli-8ffdf37038ae2be4.rlib: crates/hth-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhth_cli-8ffdf37038ae2be4.rmeta: crates/hth-cli/src/lib.rs
+
+crates/hth-cli/src/lib.rs:

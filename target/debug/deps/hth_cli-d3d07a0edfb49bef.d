@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hth_cli-d3d07a0edfb49bef.d: crates/hth-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhth_cli-d3d07a0edfb49bef.rlib: crates/hth-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhth_cli-d3d07a0edfb49bef.rmeta: crates/hth-cli/src/lib.rs
+
+crates/hth-cli/src/lib.rs:

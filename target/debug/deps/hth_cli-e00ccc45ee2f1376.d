@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hth_cli-e00ccc45ee2f1376.d: crates/hth-cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth_cli-e00ccc45ee2f1376.rmeta: crates/hth-cli/src/lib.rs Cargo.toml
+
+crates/hth-cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hth_cli-f7ccabcb88c1d923.d: crates/hth-cli/src/lib.rs
+
+/root/repo/target/debug/deps/hth_cli-f7ccabcb88c1d923: crates/hth-cli/src/lib.rs
+
+crates/hth-cli/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hth_core-10dc3bae34dc4024.d: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth_core-10dc3bae34dc4024.rmeta: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs Cargo.toml
+
+crates/hth-core/src/lib.rs:
+crates/hth-core/src/cross_session.rs:
+crates/hth-core/src/policy.rs:
+crates/hth-core/src/secpert.rs:
+crates/hth-core/src/session.rs:
+crates/hth-core/src/warning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

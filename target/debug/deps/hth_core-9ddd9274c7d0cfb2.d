@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hth_core-9ddd9274c7d0cfb2.d: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/debug/deps/hth_core-9ddd9274c7d0cfb2: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+crates/hth-core/src/lib.rs:
+crates/hth-core/src/cross_session.rs:
+crates/hth-core/src/policy.rs:
+crates/hth-core/src/secpert.rs:
+crates/hth-core/src/session.rs:
+crates/hth-core/src/warning.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hth_core-a5b38e48a8950b3b.d: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/debug/deps/libhth_core-a5b38e48a8950b3b.rlib: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/debug/deps/libhth_core-a5b38e48a8950b3b.rmeta: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+crates/hth-core/src/lib.rs:
+crates/hth-core/src/cross_session.rs:
+crates/hth-core/src/policy.rs:
+crates/hth-core/src/secpert.rs:
+crates/hth-core/src/session.rs:
+crates/hth-core/src/warning.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hth_vm-64544364d2c7f843.d: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+/root/repo/target/debug/deps/libhth_vm-64544364d2c7f843.rlib: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+/root/repo/target/debug/deps/libhth_vm-64544364d2c7f843.rmeta: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+crates/hth-vm/src/lib.rs:
+crates/hth-vm/src/asm.rs:
+crates/hth-vm/src/bb.rs:
+crates/hth-vm/src/disasm.rs:
+crates/hth-vm/src/image.rs:
+crates/hth-vm/src/isa.rs:
+crates/hth-vm/src/machine.rs:
+crates/hth-vm/src/mem.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hth_vm-b41deb2c87dc3b57.d: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth_vm-b41deb2c87dc3b57.rmeta: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs Cargo.toml
+
+crates/hth-vm/src/lib.rs:
+crates/hth-vm/src/asm.rs:
+crates/hth-vm/src/bb.rs:
+crates/hth-vm/src/disasm.rs:
+crates/hth-vm/src/image.rs:
+crates/hth-vm/src/isa.rs:
+crates/hth-vm/src/machine.rs:
+crates/hth-vm/src/mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hth_vm-c201990cbe6fd08a.d: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+/root/repo/target/debug/deps/hth_vm-c201990cbe6fd08a: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+crates/hth-vm/src/lib.rs:
+crates/hth-vm/src/asm.rs:
+crates/hth-vm/src/bb.rs:
+crates/hth-vm/src/disasm.rs:
+crates/hth-vm/src/image.rs:
+crates/hth-vm/src/isa.rs:
+crates/hth-vm/src/machine.rs:
+crates/hth-vm/src/mem.rs:

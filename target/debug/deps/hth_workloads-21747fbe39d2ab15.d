@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hth_workloads-21747fbe39d2ab15.d: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhth_workloads-21747fbe39d2ab15.rmeta: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs Cargo.toml
+
+crates/hth-workloads/src/lib.rs:
+crates/hth-workloads/src/exploits.rs:
+crates/hth-workloads/src/extensions.rs:
+crates/hth-workloads/src/libc.rs:
+crates/hth-workloads/src/macro_bench.rs:
+crates/hth-workloads/src/micro/mod.rs:
+crates/hth-workloads/src/micro/exec_flow.rs:
+crates/hth-workloads/src/micro/info_flow.rs:
+crates/hth-workloads/src/micro/resource.rs:
+crates/hth-workloads/src/scenario.rs:
+crates/hth-workloads/src/table1_models.rs:
+crates/hth-workloads/src/trusted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

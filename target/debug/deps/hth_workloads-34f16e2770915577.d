@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hth_workloads-34f16e2770915577.d: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs
+
+/root/repo/target/debug/deps/libhth_workloads-34f16e2770915577.rlib: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs
+
+/root/repo/target/debug/deps/libhth_workloads-34f16e2770915577.rmeta: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs
+
+crates/hth-workloads/src/lib.rs:
+crates/hth-workloads/src/exploits.rs:
+crates/hth-workloads/src/extensions.rs:
+crates/hth-workloads/src/libc.rs:
+crates/hth-workloads/src/macro_bench.rs:
+crates/hth-workloads/src/micro/mod.rs:
+crates/hth-workloads/src/micro/exec_flow.rs:
+crates/hth-workloads/src/micro/info_flow.rs:
+crates/hth-workloads/src/micro/resource.rs:
+crates/hth-workloads/src/scenario.rs:
+crates/hth-workloads/src/table1_models.rs:
+crates/hth-workloads/src/trusted.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_results-550dd331071f6087.d: crates/hth-bench/src/bin/macro_results.rs
+
+/root/repo/target/debug/deps/macro_results-550dd331071f6087: crates/hth-bench/src/bin/macro_results.rs
+
+crates/hth-bench/src/bin/macro_results.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_results-9b11c13c931d2efd.d: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_results-9b11c13c931d2efd.rmeta: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+crates/hth-bench/src/bin/macro_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_results-a3dfc153775d6a61.d: crates/hth-bench/src/bin/macro_results.rs
+
+/root/repo/target/debug/deps/macro_results-a3dfc153775d6a61: crates/hth-bench/src/bin/macro_results.rs
+
+crates/hth-bench/src/bin/macro_results.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_results-ceb2d7b7a172a6ea.d: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_results-ceb2d7b7a172a6ea.rmeta: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+crates/hth-bench/src/bin/macro_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_results-d978a8a706426f04.d: crates/hth-bench/src/bin/macro_results.rs
+
+/root/repo/target/debug/deps/macro_results-d978a8a706426f04: crates/hth-bench/src/bin/macro_results.rs
+
+crates/hth-bench/src/bin/macro_results.rs:

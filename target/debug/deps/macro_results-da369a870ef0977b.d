@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_results-da369a870ef0977b.d: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_results-da369a870ef0977b.rmeta: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+crates/hth-bench/src/bin/macro_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

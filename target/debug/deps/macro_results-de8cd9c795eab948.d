@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_results-de8cd9c795eab948.d: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_results-de8cd9c795eab948.rmeta: crates/hth-bench/src/bin/macro_results.rs Cargo.toml
+
+crates/hth-bench/src/bin/macro_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modify-54ce9057833d7e07.d: crates/secpert-engine/tests/modify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodify-54ce9057833d7e07.rmeta: crates/secpert-engine/tests/modify.rs Cargo.toml
+
+crates/secpert-engine/tests/modify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/modify-7db93ae9523f9039.d: crates/secpert-engine/tests/modify.rs
+
+/root/repo/target/debug/deps/modify-7db93ae9523f9039: crates/secpert-engine/tests/modify.rs
+
+crates/secpert-engine/tests/modify.rs:

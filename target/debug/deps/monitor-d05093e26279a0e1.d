@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitor-d05093e26279a0e1.d: crates/hth-bench/benches/monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitor-d05093e26279a0e1.rmeta: crates/hth-bench/benches/monitor.rs Cargo.toml
+
+crates/hth-bench/benches/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitor-f974070a0d286baa.d: crates/hth-bench/benches/monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitor-f974070a0d286baa.rmeta: crates/hth-bench/benches/monitor.rs Cargo.toml
+
+crates/hth-bench/benches/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

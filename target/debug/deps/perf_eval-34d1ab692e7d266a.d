@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_eval-34d1ab692e7d266a.d: crates/hth-bench/src/bin/perf_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_eval-34d1ab692e7d266a.rmeta: crates/hth-bench/src/bin/perf_eval.rs Cargo.toml
+
+crates/hth-bench/src/bin/perf_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_eval-3cc2e83a6d082fec.d: crates/hth-bench/src/bin/perf_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_eval-3cc2e83a6d082fec.rmeta: crates/hth-bench/src/bin/perf_eval.rs Cargo.toml
+
+crates/hth-bench/src/bin/perf_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

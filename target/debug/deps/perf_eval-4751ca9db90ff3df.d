@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_eval-4751ca9db90ff3df.d: crates/hth-bench/src/bin/perf_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_eval-4751ca9db90ff3df.rmeta: crates/hth-bench/src/bin/perf_eval.rs Cargo.toml
+
+crates/hth-bench/src/bin/perf_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

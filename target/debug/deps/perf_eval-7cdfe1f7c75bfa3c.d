@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_eval-7cdfe1f7c75bfa3c.d: crates/hth-bench/src/bin/perf_eval.rs
+
+/root/repo/target/debug/deps/perf_eval-7cdfe1f7c75bfa3c: crates/hth-bench/src/bin/perf_eval.rs
+
+crates/hth-bench/src/bin/perf_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_eval-9fd2b004ca988f40.d: crates/hth-bench/src/bin/perf_eval.rs
+
+/root/repo/target/debug/deps/perf_eval-9fd2b004ca988f40: crates/hth-bench/src/bin/perf_eval.rs
+
+crates/hth-bench/src/bin/perf_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_eval-a22ee3f795ca3bf0.d: crates/hth-bench/src/bin/perf_eval.rs
+
+/root/repo/target/debug/deps/perf_eval-a22ee3f795ca3bf0: crates/hth-bench/src/bin/perf_eval.rs
+
+crates/hth-bench/src/bin/perf_eval.rs:

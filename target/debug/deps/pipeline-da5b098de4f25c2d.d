@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-da5b098de4f25c2d.d: crates/hth-bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-da5b098de4f25c2d.rmeta: crates/hth-bench/benches/pipeline.rs Cargo.toml
+
+crates/hth-bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-eced7fbf71e1a614.d: crates/hth-bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-eced7fbf71e1a614.rmeta: crates/hth-bench/benches/pipeline.rs Cargo.toml
+
+crates/hth-bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

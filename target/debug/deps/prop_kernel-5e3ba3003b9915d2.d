@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_kernel-5e3ba3003b9915d2.d: crates/emukernel/tests/prop_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_kernel-5e3ba3003b9915d2.rmeta: crates/emukernel/tests/prop_kernel.rs Cargo.toml
+
+crates/emukernel/tests/prop_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

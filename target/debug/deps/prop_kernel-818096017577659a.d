@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_kernel-818096017577659a.d: crates/emukernel/tests/prop_kernel.rs
+
+/root/repo/target/debug/deps/prop_kernel-818096017577659a: crates/emukernel/tests/prop_kernel.rs
+
+crates/emukernel/tests/prop_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_taint-197bf065638f583a.d: crates/harrier/tests/prop_taint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_taint-197bf065638f583a.rmeta: crates/harrier/tests/prop_taint.rs Cargo.toml
+
+crates/harrier/tests/prop_taint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_taint-3a5b9f9250b8bf83.d: crates/harrier/tests/prop_taint.rs
+
+/root/repo/target/debug/deps/prop_taint-3a5b9f9250b8bf83: crates/harrier/tests/prop_taint.rs
+
+crates/harrier/tests/prop_taint.rs:

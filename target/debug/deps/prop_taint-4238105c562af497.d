@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_taint-4238105c562af497.d: crates/harrier/tests/prop_taint.rs
+
+/root/repo/target/debug/deps/prop_taint-4238105c562af497: crates/harrier/tests/prop_taint.rs
+
+crates/harrier/tests/prop_taint.rs:

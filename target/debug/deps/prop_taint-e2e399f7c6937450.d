@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_taint-e2e399f7c6937450.d: crates/harrier/tests/prop_taint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_taint-e2e399f7c6937450.rmeta: crates/harrier/tests/prop_taint.rs Cargo.toml
+
+crates/harrier/tests/prop_taint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest_shim-35ff5b0e55d97b2a.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+/root/repo/target/debug/deps/proptest_shim-35ff5b0e55d97b2a: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/collection.rs:

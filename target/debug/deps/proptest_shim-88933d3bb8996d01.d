@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest_shim-88933d3bb8996d01.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest_shim-88933d3bb8996d01.rlib: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest_shim-88933d3bb8996d01.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/collection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest_shim-a5adcae2282088f0.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_shim-a5adcae2282088f0.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-05443cdc6776e980.d: crates/secpert-engine/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-05443cdc6776e980.rmeta: crates/secpert-engine/tests/proptests.rs Cargo.toml
+
+crates/secpert-engine/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

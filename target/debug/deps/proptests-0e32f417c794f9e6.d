@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0e32f417c794f9e6.d: crates/secpert-engine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0e32f417c794f9e6: crates/secpert-engine/tests/proptests.rs
+
+crates/secpert-engine/tests/proptests.rs:

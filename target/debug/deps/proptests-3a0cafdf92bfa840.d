@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3a0cafdf92bfa840.d: crates/hth-vm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3a0cafdf92bfa840.rmeta: crates/hth-vm/tests/proptests.rs Cargo.toml
+
+crates/hth-vm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d5e24e1dbec8f5b4.d: crates/hth-vm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d5e24e1dbec8f5b4: crates/hth-vm/tests/proptests.rs
+
+crates/hth-vm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-4f43e7b5ec133a9d.d: crates/secpert-engine/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-4f43e7b5ec133a9d: crates/secpert-engine/tests/robustness.rs
+
+crates/secpert-engine/tests/robustness.rs:

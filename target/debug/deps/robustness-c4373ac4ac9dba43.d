@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-c4373ac4ac9dba43.d: crates/secpert-engine/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-c4373ac4ac9dba43.rmeta: crates/secpert-engine/tests/robustness.rs Cargo.toml
+
+crates/secpert-engine/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

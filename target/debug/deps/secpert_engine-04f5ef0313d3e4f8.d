@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/secpert_engine-04f5ef0313d3e4f8.d: crates/secpert-engine/src/lib.rs crates/secpert-engine/src/builtins.rs crates/secpert-engine/src/engine.rs crates/secpert-engine/src/error.rs crates/secpert-engine/src/explain.rs crates/secpert-engine/src/expr.rs crates/secpert-engine/src/fact.rs crates/secpert-engine/src/parser/mod.rs crates/secpert-engine/src/parser/lexer.rs crates/secpert-engine/src/parser/reader.rs crates/secpert-engine/src/pattern.rs crates/secpert-engine/src/rule.rs crates/secpert-engine/src/template.rs crates/secpert-engine/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecpert_engine-04f5ef0313d3e4f8.rmeta: crates/secpert-engine/src/lib.rs crates/secpert-engine/src/builtins.rs crates/secpert-engine/src/engine.rs crates/secpert-engine/src/error.rs crates/secpert-engine/src/explain.rs crates/secpert-engine/src/expr.rs crates/secpert-engine/src/fact.rs crates/secpert-engine/src/parser/mod.rs crates/secpert-engine/src/parser/lexer.rs crates/secpert-engine/src/parser/reader.rs crates/secpert-engine/src/pattern.rs crates/secpert-engine/src/rule.rs crates/secpert-engine/src/template.rs crates/secpert-engine/src/value.rs Cargo.toml
+
+crates/secpert-engine/src/lib.rs:
+crates/secpert-engine/src/builtins.rs:
+crates/secpert-engine/src/engine.rs:
+crates/secpert-engine/src/error.rs:
+crates/secpert-engine/src/explain.rs:
+crates/secpert-engine/src/expr.rs:
+crates/secpert-engine/src/fact.rs:
+crates/secpert-engine/src/parser/mod.rs:
+crates/secpert-engine/src/parser/lexer.rs:
+crates/secpert-engine/src/parser/reader.rs:
+crates/secpert-engine/src/pattern.rs:
+crates/secpert-engine/src/rule.rs:
+crates/secpert-engine/src/template.rs:
+crates/secpert-engine/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/secpert_engine-5a2e4680794e878c.d: crates/secpert-engine/src/lib.rs crates/secpert-engine/src/builtins.rs crates/secpert-engine/src/engine.rs crates/secpert-engine/src/error.rs crates/secpert-engine/src/explain.rs crates/secpert-engine/src/expr.rs crates/secpert-engine/src/fact.rs crates/secpert-engine/src/parser/mod.rs crates/secpert-engine/src/parser/lexer.rs crates/secpert-engine/src/parser/reader.rs crates/secpert-engine/src/pattern.rs crates/secpert-engine/src/rule.rs crates/secpert-engine/src/template.rs crates/secpert-engine/src/value.rs
+
+/root/repo/target/debug/deps/libsecpert_engine-5a2e4680794e878c.rlib: crates/secpert-engine/src/lib.rs crates/secpert-engine/src/builtins.rs crates/secpert-engine/src/engine.rs crates/secpert-engine/src/error.rs crates/secpert-engine/src/explain.rs crates/secpert-engine/src/expr.rs crates/secpert-engine/src/fact.rs crates/secpert-engine/src/parser/mod.rs crates/secpert-engine/src/parser/lexer.rs crates/secpert-engine/src/parser/reader.rs crates/secpert-engine/src/pattern.rs crates/secpert-engine/src/rule.rs crates/secpert-engine/src/template.rs crates/secpert-engine/src/value.rs
+
+/root/repo/target/debug/deps/libsecpert_engine-5a2e4680794e878c.rmeta: crates/secpert-engine/src/lib.rs crates/secpert-engine/src/builtins.rs crates/secpert-engine/src/engine.rs crates/secpert-engine/src/error.rs crates/secpert-engine/src/explain.rs crates/secpert-engine/src/expr.rs crates/secpert-engine/src/fact.rs crates/secpert-engine/src/parser/mod.rs crates/secpert-engine/src/parser/lexer.rs crates/secpert-engine/src/parser/reader.rs crates/secpert-engine/src/pattern.rs crates/secpert-engine/src/rule.rs crates/secpert-engine/src/template.rs crates/secpert-engine/src/value.rs
+
+crates/secpert-engine/src/lib.rs:
+crates/secpert-engine/src/builtins.rs:
+crates/secpert-engine/src/engine.rs:
+crates/secpert-engine/src/error.rs:
+crates/secpert-engine/src/explain.rs:
+crates/secpert-engine/src/expr.rs:
+crates/secpert-engine/src/fact.rs:
+crates/secpert-engine/src/parser/mod.rs:
+crates/secpert-engine/src/parser/lexer.rs:
+crates/secpert-engine/src/parser/reader.rs:
+crates/secpert-engine/src/pattern.rs:
+crates/secpert-engine/src/rule.rs:
+crates/secpert-engine/src/template.rs:
+crates/secpert-engine/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_binary-6ce68b19fa207eb8.d: crates/hth-bench/src/bin/secure_binary.rs
+
+/root/repo/target/debug/deps/secure_binary-6ce68b19fa207eb8: crates/hth-bench/src/bin/secure_binary.rs
+
+crates/hth-bench/src/bin/secure_binary.rs:

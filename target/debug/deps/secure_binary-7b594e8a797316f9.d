@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_binary-7b594e8a797316f9.d: crates/hth-bench/src/bin/secure_binary.rs
+
+/root/repo/target/debug/deps/secure_binary-7b594e8a797316f9: crates/hth-bench/src/bin/secure_binary.rs
+
+crates/hth-bench/src/bin/secure_binary.rs:

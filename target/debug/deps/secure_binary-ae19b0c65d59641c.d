@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_binary-ae19b0c65d59641c.d: crates/hth-bench/src/bin/secure_binary.rs
+
+/root/repo/target/debug/deps/secure_binary-ae19b0c65d59641c: crates/hth-bench/src/bin/secure_binary.rs
+
+crates/hth-bench/src/bin/secure_binary.rs:

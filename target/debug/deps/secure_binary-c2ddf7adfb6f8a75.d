@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secure_binary-c2ddf7adfb6f8a75.d: crates/hth-bench/src/bin/secure_binary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecure_binary-c2ddf7adfb6f8a75.rmeta: crates/hth-bench/src/bin/secure_binary.rs Cargo.toml
+
+crates/hth-bench/src/bin/secure_binary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secure_binary-c5ea488227d700fa.d: crates/hth-bench/src/bin/secure_binary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecure_binary-c5ea488227d700fa.rmeta: crates/hth-bench/src/bin/secure_binary.rs Cargo.toml
+
+crates/hth-bench/src/bin/secure_binary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secure_binary-ff1e807b406baed9.d: crates/hth-bench/src/bin/secure_binary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecure_binary-ff1e807b406baed9.rmeta: crates/hth-bench/src/bin/secure_binary.rs Cargo.toml
+
+crates/hth-bench/src/bin/secure_binary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

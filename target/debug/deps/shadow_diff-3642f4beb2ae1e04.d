@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_diff-3642f4beb2ae1e04.d: crates/harrier/tests/shadow_diff.rs
+
+/root/repo/target/debug/deps/shadow_diff-3642f4beb2ae1e04: crates/harrier/tests/shadow_diff.rs
+
+crates/harrier/tests/shadow_diff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_diff-9c2de3d90e5befa6.d: crates/harrier/tests/shadow_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_diff-9c2de3d90e5befa6.rmeta: crates/harrier/tests/shadow_diff.rs Cargo.toml
+
+crates/harrier/tests/shadow_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

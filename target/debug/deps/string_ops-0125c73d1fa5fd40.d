@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/string_ops-0125c73d1fa5fd40.d: crates/hth-vm/tests/string_ops.rs
+
+/root/repo/target/debug/deps/string_ops-0125c73d1fa5fd40: crates/hth-vm/tests/string_ops.rs
+
+crates/hth-vm/tests/string_ops.rs:

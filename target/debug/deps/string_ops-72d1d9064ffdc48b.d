@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/string_ops-72d1d9064ffdc48b.d: crates/hth-vm/tests/string_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstring_ops-72d1d9064ffdc48b.rmeta: crates/hth-vm/tests/string_ops.rs Cargo.toml
+
+crates/hth-vm/tests/string_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

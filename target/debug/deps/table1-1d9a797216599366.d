@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1d9a797216599366.d: crates/hth-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1d9a797216599366: crates/hth-bench/src/bin/table1.rs
+
+crates/hth-bench/src/bin/table1.rs:

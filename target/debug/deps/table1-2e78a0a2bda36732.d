@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-2e78a0a2bda36732.d: crates/hth-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-2e78a0a2bda36732.rmeta: crates/hth-bench/src/bin/table1.rs Cargo.toml
+
+crates/hth-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

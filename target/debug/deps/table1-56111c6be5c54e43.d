@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-56111c6be5c54e43.d: crates/hth-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-56111c6be5c54e43.rmeta: crates/hth-bench/src/bin/table1.rs Cargo.toml
+
+crates/hth-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7034dbe71e10eebf.d: crates/hth-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7034dbe71e10eebf: crates/hth-bench/src/bin/table1.rs
+
+crates/hth-bench/src/bin/table1.rs:

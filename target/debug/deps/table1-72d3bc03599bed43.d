@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-72d3bc03599bed43.d: crates/hth-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-72d3bc03599bed43.rmeta: crates/hth-bench/src/bin/table1.rs Cargo.toml
+
+crates/hth-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-81b179208ab0f1b2.d: crates/hth-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-81b179208ab0f1b2: crates/hth-bench/src/bin/table1.rs
+
+crates/hth-bench/src/bin/table1.rs:

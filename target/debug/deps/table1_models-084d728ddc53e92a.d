@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_models-084d728ddc53e92a.d: crates/hth-bench/src/bin/table1_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_models-084d728ddc53e92a.rmeta: crates/hth-bench/src/bin/table1_models.rs Cargo.toml
+
+crates/hth-bench/src/bin/table1_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

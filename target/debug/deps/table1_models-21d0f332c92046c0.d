@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_models-21d0f332c92046c0.d: crates/hth-bench/src/bin/table1_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_models-21d0f332c92046c0.rmeta: crates/hth-bench/src/bin/table1_models.rs Cargo.toml
+
+crates/hth-bench/src/bin/table1_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

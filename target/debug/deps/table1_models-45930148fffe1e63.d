@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_models-45930148fffe1e63.d: crates/hth-bench/src/bin/table1_models.rs
+
+/root/repo/target/debug/deps/table1_models-45930148fffe1e63: crates/hth-bench/src/bin/table1_models.rs
+
+crates/hth-bench/src/bin/table1_models.rs:

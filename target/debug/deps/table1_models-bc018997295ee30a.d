@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_models-bc018997295ee30a.d: crates/hth-bench/src/bin/table1_models.rs
+
+/root/repo/target/debug/deps/table1_models-bc018997295ee30a: crates/hth-bench/src/bin/table1_models.rs
+
+crates/hth-bench/src/bin/table1_models.rs:

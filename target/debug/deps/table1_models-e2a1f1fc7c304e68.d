@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_models-e2a1f1fc7c304e68.d: crates/hth-bench/src/bin/table1_models.rs
+
+/root/repo/target/debug/deps/table1_models-e2a1f1fc7c304e68: crates/hth-bench/src/bin/table1_models.rs
+
+crates/hth-bench/src/bin/table1_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1de8e08dc2bdc6a5.d: crates/hth-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1de8e08dc2bdc6a5: crates/hth-bench/src/bin/table2.rs
+
+crates/hth-bench/src/bin/table2.rs:

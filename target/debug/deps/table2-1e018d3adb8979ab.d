@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1e018d3adb8979ab.d: crates/hth-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1e018d3adb8979ab: crates/hth-bench/src/bin/table2.rs
+
+crates/hth-bench/src/bin/table2.rs:

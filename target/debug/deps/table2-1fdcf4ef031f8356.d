@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-1fdcf4ef031f8356.d: crates/hth-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-1fdcf4ef031f8356.rmeta: crates/hth-bench/src/bin/table2.rs Cargo.toml
+
+crates/hth-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2327bb273ad9d094.d: crates/hth-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2327bb273ad9d094: crates/hth-bench/src/bin/table2.rs
+
+crates/hth-bench/src/bin/table2.rs:

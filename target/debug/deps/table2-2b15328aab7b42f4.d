@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-2b15328aab7b42f4.d: crates/hth-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-2b15328aab7b42f4.rmeta: crates/hth-bench/src/bin/table2.rs Cargo.toml
+
+crates/hth-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-ee8448aa71aa40d7.d: crates/hth-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-ee8448aa71aa40d7.rmeta: crates/hth-bench/src/bin/table2.rs Cargo.toml
+
+crates/hth-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

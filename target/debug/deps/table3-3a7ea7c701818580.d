@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-3a7ea7c701818580.d: crates/hth-bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-3a7ea7c701818580: crates/hth-bench/src/bin/table3.rs
+
+crates/hth-bench/src/bin/table3.rs:

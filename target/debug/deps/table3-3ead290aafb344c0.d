@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-3ead290aafb344c0.d: crates/hth-bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-3ead290aafb344c0.rmeta: crates/hth-bench/src/bin/table3.rs Cargo.toml
+
+crates/hth-bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

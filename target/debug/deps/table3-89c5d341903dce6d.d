@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-89c5d341903dce6d.d: crates/hth-bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-89c5d341903dce6d: crates/hth-bench/src/bin/table3.rs
+
+crates/hth-bench/src/bin/table3.rs:

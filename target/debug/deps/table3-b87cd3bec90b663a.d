@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-b87cd3bec90b663a.d: crates/hth-bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-b87cd3bec90b663a.rmeta: crates/hth-bench/src/bin/table3.rs Cargo.toml
+
+crates/hth-bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-de49b2d600ceea77.d: crates/hth-bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-de49b2d600ceea77: crates/hth-bench/src/bin/table3.rs
+
+crates/hth-bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-3c45a233cea84de8.d: crates/hth-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-3c45a233cea84de8: crates/hth-bench/src/bin/table4.rs
+
+crates/hth-bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-8fb6aff46d4ce6c7.d: crates/hth-bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-8fb6aff46d4ce6c7.rmeta: crates/hth-bench/src/bin/table4.rs Cargo.toml
+
+crates/hth-bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a465a425a0f11f66.d: crates/hth-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-a465a425a0f11f66: crates/hth-bench/src/bin/table4.rs
+
+crates/hth-bench/src/bin/table4.rs:

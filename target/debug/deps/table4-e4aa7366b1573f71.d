@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e4aa7366b1573f71.d: crates/hth-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-e4aa7366b1573f71: crates/hth-bench/src/bin/table4.rs
+
+crates/hth-bench/src/bin/table4.rs:

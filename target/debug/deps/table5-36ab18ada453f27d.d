@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-36ab18ada453f27d.d: crates/hth-bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-36ab18ada453f27d: crates/hth-bench/src/bin/table5.rs
+
+crates/hth-bench/src/bin/table5.rs:

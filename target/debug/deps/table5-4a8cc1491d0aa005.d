@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-4a8cc1491d0aa005.d: crates/hth-bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-4a8cc1491d0aa005.rmeta: crates/hth-bench/src/bin/table5.rs Cargo.toml
+
+crates/hth-bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

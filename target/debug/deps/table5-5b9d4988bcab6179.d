@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-5b9d4988bcab6179.d: crates/hth-bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-5b9d4988bcab6179: crates/hth-bench/src/bin/table5.rs
+
+crates/hth-bench/src/bin/table5.rs:

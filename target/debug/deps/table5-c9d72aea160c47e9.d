@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-c9d72aea160c47e9.d: crates/hth-bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-c9d72aea160c47e9: crates/hth-bench/src/bin/table5.rs
+
+crates/hth-bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-dcadad12cdb7bd15.d: crates/hth-bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-dcadad12cdb7bd15.rmeta: crates/hth-bench/src/bin/table5.rs Cargo.toml
+
+crates/hth-bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

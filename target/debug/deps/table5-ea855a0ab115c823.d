@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-ea855a0ab115c823.d: crates/hth-bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-ea855a0ab115c823.rmeta: crates/hth-bench/src/bin/table5.rs Cargo.toml
+
+crates/hth-bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

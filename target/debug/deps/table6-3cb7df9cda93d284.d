@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-3cb7df9cda93d284.d: crates/hth-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-3cb7df9cda93d284: crates/hth-bench/src/bin/table6.rs
+
+crates/hth-bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-57adc929cafd52f9.d: crates/hth-bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-57adc929cafd52f9.rmeta: crates/hth-bench/src/bin/table6.rs Cargo.toml
+
+crates/hth-bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

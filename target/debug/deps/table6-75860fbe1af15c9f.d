@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-75860fbe1af15c9f.d: crates/hth-bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-75860fbe1af15c9f.rmeta: crates/hth-bench/src/bin/table6.rs Cargo.toml
+
+crates/hth-bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

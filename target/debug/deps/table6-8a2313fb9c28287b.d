@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-8a2313fb9c28287b.d: crates/hth-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-8a2313fb9c28287b: crates/hth-bench/src/bin/table6.rs
+
+crates/hth-bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-8f6d0ab5dc3fb04e.d: crates/hth-bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-8f6d0ab5dc3fb04e.rmeta: crates/hth-bench/src/bin/table6.rs Cargo.toml
+
+crates/hth-bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

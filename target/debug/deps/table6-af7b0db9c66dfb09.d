@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-af7b0db9c66dfb09.d: crates/hth-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-af7b0db9c66dfb09: crates/hth-bench/src/bin/table6.rs
+
+crates/hth-bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-17e85f0a9f11e183.d: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-17e85f0a9f11e183.rmeta: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+crates/hth-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

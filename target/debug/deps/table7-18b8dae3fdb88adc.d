@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-18b8dae3fdb88adc.d: crates/hth-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-18b8dae3fdb88adc: crates/hth-bench/src/bin/table7.rs
+
+crates/hth-bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-1c801dac900ae24c.d: crates/hth-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-1c801dac900ae24c: crates/hth-bench/src/bin/table7.rs
+
+crates/hth-bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-40c1550a3c2ec156.d: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-40c1550a3c2ec156.rmeta: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+crates/hth-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

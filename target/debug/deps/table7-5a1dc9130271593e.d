@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-5a1dc9130271593e.d: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-5a1dc9130271593e.rmeta: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+crates/hth-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

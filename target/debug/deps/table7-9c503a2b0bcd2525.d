@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-9c503a2b0bcd2525.d: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-9c503a2b0bcd2525.rmeta: crates/hth-bench/src/bin/table7.rs Cargo.toml
+
+crates/hth-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

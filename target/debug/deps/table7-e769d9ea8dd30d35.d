@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-e769d9ea8dd30d35.d: crates/hth-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-e769d9ea8dd30d35: crates/hth-bench/src/bin/table7.rs
+
+crates/hth-bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-3228718d2fb83851.d: crates/hth-bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-3228718d2fb83851.rmeta: crates/hth-bench/src/bin/table8.rs Cargo.toml
+
+crates/hth-bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

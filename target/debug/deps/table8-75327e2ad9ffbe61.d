@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-75327e2ad9ffbe61.d: crates/hth-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-75327e2ad9ffbe61: crates/hth-bench/src/bin/table8.rs
+
+crates/hth-bench/src/bin/table8.rs:

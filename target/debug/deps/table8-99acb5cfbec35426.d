@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-99acb5cfbec35426.d: crates/hth-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-99acb5cfbec35426: crates/hth-bench/src/bin/table8.rs
+
+crates/hth-bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-9e305c8e5c7a122b.d: crates/hth-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-9e305c8e5c7a122b: crates/hth-bench/src/bin/table8.rs
+
+crates/hth-bench/src/bin/table8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-ca58d0402396d125.d: crates/hth-bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-ca58d0402396d125.rmeta: crates/hth-bench/src/bin/table8.rs Cargo.toml
+
+crates/hth-bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

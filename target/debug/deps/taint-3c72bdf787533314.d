@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taint-3c72bdf787533314.d: crates/hth-bench/benches/taint.rs
+
+/root/repo/target/debug/deps/taint-3c72bdf787533314: crates/hth-bench/benches/taint.rs
+
+crates/hth-bench/benches/taint.rs:

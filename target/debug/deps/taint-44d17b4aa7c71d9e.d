@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/taint-44d17b4aa7c71d9e.d: crates/hth-bench/benches/taint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtaint-44d17b4aa7c71d9e.rmeta: crates/hth-bench/benches/taint.rs Cargo.toml
+
+crates/hth-bench/benches/taint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backdoor_hunt-5818e12554631714.d: examples/backdoor_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackdoor_hunt-5818e12554631714.rmeta: examples/backdoor_hunt.rs Cargo.toml
+
+examples/backdoor_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backdoor_hunt-88ad53c98b73af4a.d: examples/backdoor_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackdoor_hunt-88ad53c98b73af4a.rmeta: examples/backdoor_hunt.rs Cargo.toml
+
+examples/backdoor_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backdoor_hunt-b1a5c8ed88055620.d: examples/backdoor_hunt.rs
+
+/root/repo/target/debug/examples/backdoor_hunt-b1a5c8ed88055620: examples/backdoor_hunt.rs
+
+examples/backdoor_hunt.rs:

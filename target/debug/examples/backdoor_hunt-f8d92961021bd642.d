@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backdoor_hunt-f8d92961021bd642.d: examples/backdoor_hunt.rs
+
+/root/repo/target/debug/examples/backdoor_hunt-f8d92961021bd642: examples/backdoor_hunt.rs
+
+examples/backdoor_hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_session-0942062b20832c81.d: examples/cross_session.rs
+
+/root/repo/target/debug/examples/cross_session-0942062b20832c81: examples/cross_session.rs
+
+examples/cross_session.rs:

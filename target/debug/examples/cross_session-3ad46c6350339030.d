@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_session-3ad46c6350339030.d: examples/cross_session.rs
+
+/root/repo/target/debug/examples/cross_session-3ad46c6350339030: examples/cross_session.rs
+
+examples/cross_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_session-a2f04f943d0b438b.d: examples/cross_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_session-a2f04f943d0b438b.rmeta: examples/cross_session.rs Cargo.toml
+
+examples/cross_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

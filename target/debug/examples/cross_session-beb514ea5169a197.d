@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_session-beb514ea5169a197.d: examples/cross_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_session-beb514ea5169a197.rmeta: examples/cross_session.rs Cargo.toml
+
+examples/cross_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/false_positive_audit-42d70a5756035ad5.d: examples/false_positive_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfalse_positive_audit-42d70a5756035ad5.rmeta: examples/false_positive_audit.rs Cargo.toml
+
+examples/false_positive_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

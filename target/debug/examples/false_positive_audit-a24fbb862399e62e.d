@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/false_positive_audit-a24fbb862399e62e.d: examples/false_positive_audit.rs
+
+/root/repo/target/debug/examples/false_positive_audit-a24fbb862399e62e: examples/false_positive_audit.rs
+
+examples/false_positive_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/false_positive_audit-a766430a945305cc.d: examples/false_positive_audit.rs
+
+/root/repo/target/debug/examples/false_positive_audit-a766430a945305cc: examples/false_positive_audit.rs
+
+examples/false_positive_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/false_positive_audit-fe2970fc20f91ade.d: examples/false_positive_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfalse_positive_audit-fe2970fc20f91ade.rmeta: examples/false_positive_audit.rs Cargo.toml
+
+examples/false_positive_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_authoring-3dd1c24a9718563e.d: examples/policy_authoring.rs
+
+/root/repo/target/debug/examples/policy_authoring-3dd1c24a9718563e: examples/policy_authoring.rs
+
+examples/policy_authoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_authoring-bb69771719f9e445.d: examples/policy_authoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_authoring-bb69771719f9e445.rmeta: examples/policy_authoring.rs Cargo.toml
+
+examples/policy_authoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

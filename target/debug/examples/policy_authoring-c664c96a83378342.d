@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_authoring-c664c96a83378342.d: examples/policy_authoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_authoring-c664c96a83378342.rmeta: examples/policy_authoring.rs Cargo.toml
+
+examples/policy_authoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

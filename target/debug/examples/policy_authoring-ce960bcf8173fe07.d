@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_authoring-ce960bcf8173fe07.d: examples/policy_authoring.rs
+
+/root/repo/target/debug/examples/policy_authoring-ce960bcf8173fe07: examples/policy_authoring.rs
+
+examples/policy_authoring.rs:

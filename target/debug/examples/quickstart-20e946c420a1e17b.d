@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-20e946c420a1e17b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-20e946c420a1e17b: examples/quickstart.rs
+
+examples/quickstart.rs:

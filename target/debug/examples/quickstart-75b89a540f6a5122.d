@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-75b89a540f6a5122.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-75b89a540f6a5122: examples/quickstart.rs
+
+examples/quickstart.rs:

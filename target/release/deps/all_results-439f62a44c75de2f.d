@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_results-439f62a44c75de2f.d: crates/hth-bench/src/bin/all_results.rs
+
+/root/repo/target/release/deps/all_results-439f62a44c75de2f: crates/hth-bench/src/bin/all_results.rs
+
+crates/hth-bench/src/bin/all_results.rs:

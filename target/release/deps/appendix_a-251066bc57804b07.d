@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/appendix_a-251066bc57804b07.d: crates/hth-bench/src/bin/appendix_a.rs
+
+/root/repo/target/release/deps/appendix_a-251066bc57804b07: crates/hth-bench/src/bin/appendix_a.rs
+
+crates/hth-bench/src/bin/appendix_a.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion_shim-56f7e2ee4b3296b5.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion_shim-56f7e2ee4b3296b5.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion_shim-56f7e2ee4b3296b5.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/emukernel-a0516f1c704b6c91.d: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+/root/repo/target/release/deps/libemukernel-a0516f1c704b6c91.rlib: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+/root/repo/target/release/deps/libemukernel-a0516f1c704b6c91.rmeta: crates/emukernel/src/lib.rs crates/emukernel/src/kernel.rs crates/emukernel/src/net.rs crates/emukernel/src/process.rs crates/emukernel/src/vfs.rs
+
+crates/emukernel/src/lib.rs:
+crates/emukernel/src/kernel.rs:
+crates/emukernel/src/net.rs:
+crates/emukernel/src/process.rs:
+crates/emukernel/src/vfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-80d745b74dda67d9.d: crates/hth-bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-80d745b74dda67d9: crates/hth-bench/src/bin/extensions.rs
+
+crates/hth-bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-636a6072f7bf81b6.d: crates/hth-bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-636a6072f7bf81b6: crates/hth-bench/src/bin/figure5.rs
+
+crates/hth-bench/src/bin/figure5.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/harrier-8111c56fed7b6cae.d: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/release/deps/libharrier-8111c56fed7b6cae.rlib: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+/root/repo/target/release/deps/libharrier-8111c56fed7b6cae.rmeta: crates/harrier/src/lib.rs crates/harrier/src/audit.rs crates/harrier/src/events.rs crates/harrier/src/freq.rs crates/harrier/src/monitor.rs crates/harrier/src/naive.rs crates/harrier/src/shadow.rs crates/harrier/src/tag.rs
+
+crates/harrier/src/lib.rs:
+crates/harrier/src/audit.rs:
+crates/harrier/src/events.rs:
+crates/harrier/src/freq.rs:
+crates/harrier/src/monitor.rs:
+crates/harrier/src/naive.rs:
+crates/harrier/src/shadow.rs:
+crates/harrier/src/tag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hth-5e60011a2c207490.d: crates/hth-cli/src/main.rs
+
+/root/repo/target/release/deps/hth-5e60011a2c207490: crates/hth-cli/src/main.rs
+
+crates/hth-cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hth-f017e91f25807efc.d: src/lib.rs
+
+/root/repo/target/release/deps/libhth-f017e91f25807efc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhth-f017e91f25807efc.rmeta: src/lib.rs
+
+src/lib.rs:

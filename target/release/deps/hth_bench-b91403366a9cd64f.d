@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hth_bench-b91403366a9cd64f.d: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/release/deps/libhth_bench-b91403366a9cd64f.rlib: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+/root/repo/target/release/deps/libhth_bench-b91403366a9cd64f.rmeta: crates/hth-bench/src/lib.rs crates/hth-bench/src/json.rs crates/hth-bench/src/perf.rs crates/hth-bench/src/report.rs crates/hth-bench/src/results.rs crates/hth-bench/src/tables.rs
+
+crates/hth-bench/src/lib.rs:
+crates/hth-bench/src/json.rs:
+crates/hth-bench/src/perf.rs:
+crates/hth-bench/src/report.rs:
+crates/hth-bench/src/results.rs:
+crates/hth-bench/src/tables.rs:

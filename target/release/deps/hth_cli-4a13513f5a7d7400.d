@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hth_cli-4a13513f5a7d7400.d: crates/hth-cli/src/lib.rs
+
+/root/repo/target/release/deps/libhth_cli-4a13513f5a7d7400.rlib: crates/hth-cli/src/lib.rs
+
+/root/repo/target/release/deps/libhth_cli-4a13513f5a7d7400.rmeta: crates/hth-cli/src/lib.rs
+
+crates/hth-cli/src/lib.rs:

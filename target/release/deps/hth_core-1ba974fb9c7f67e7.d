@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hth_core-1ba974fb9c7f67e7.d: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/release/deps/libhth_core-1ba974fb9c7f67e7.rlib: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/release/deps/libhth_core-1ba974fb9c7f67e7.rmeta: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+crates/hth-core/src/lib.rs:
+crates/hth-core/src/cross_session.rs:
+crates/hth-core/src/policy.rs:
+crates/hth-core/src/secpert.rs:
+crates/hth-core/src/session.rs:
+crates/hth-core/src/warning.rs:

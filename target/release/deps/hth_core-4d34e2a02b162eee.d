@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hth_core-4d34e2a02b162eee.d: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/release/deps/libhth_core-4d34e2a02b162eee.rlib: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+/root/repo/target/release/deps/libhth_core-4d34e2a02b162eee.rmeta: crates/hth-core/src/lib.rs crates/hth-core/src/cross_session.rs crates/hth-core/src/policy.rs crates/hth-core/src/secpert.rs crates/hth-core/src/session.rs crates/hth-core/src/warning.rs
+
+crates/hth-core/src/lib.rs:
+crates/hth-core/src/cross_session.rs:
+crates/hth-core/src/policy.rs:
+crates/hth-core/src/secpert.rs:
+crates/hth-core/src/session.rs:
+crates/hth-core/src/warning.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hth_vm-5ace993737525d71.d: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+/root/repo/target/release/deps/libhth_vm-5ace993737525d71.rlib: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+/root/repo/target/release/deps/libhth_vm-5ace993737525d71.rmeta: crates/hth-vm/src/lib.rs crates/hth-vm/src/asm.rs crates/hth-vm/src/bb.rs crates/hth-vm/src/disasm.rs crates/hth-vm/src/image.rs crates/hth-vm/src/isa.rs crates/hth-vm/src/machine.rs crates/hth-vm/src/mem.rs
+
+crates/hth-vm/src/lib.rs:
+crates/hth-vm/src/asm.rs:
+crates/hth-vm/src/bb.rs:
+crates/hth-vm/src/disasm.rs:
+crates/hth-vm/src/image.rs:
+crates/hth-vm/src/isa.rs:
+crates/hth-vm/src/machine.rs:
+crates/hth-vm/src/mem.rs:

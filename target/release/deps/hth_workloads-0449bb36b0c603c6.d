@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hth_workloads-0449bb36b0c603c6.d: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs
+
+/root/repo/target/release/deps/libhth_workloads-0449bb36b0c603c6.rlib: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs
+
+/root/repo/target/release/deps/libhth_workloads-0449bb36b0c603c6.rmeta: crates/hth-workloads/src/lib.rs crates/hth-workloads/src/exploits.rs crates/hth-workloads/src/extensions.rs crates/hth-workloads/src/libc.rs crates/hth-workloads/src/macro_bench.rs crates/hth-workloads/src/micro/mod.rs crates/hth-workloads/src/micro/exec_flow.rs crates/hth-workloads/src/micro/info_flow.rs crates/hth-workloads/src/micro/resource.rs crates/hth-workloads/src/scenario.rs crates/hth-workloads/src/table1_models.rs crates/hth-workloads/src/trusted.rs
+
+crates/hth-workloads/src/lib.rs:
+crates/hth-workloads/src/exploits.rs:
+crates/hth-workloads/src/extensions.rs:
+crates/hth-workloads/src/libc.rs:
+crates/hth-workloads/src/macro_bench.rs:
+crates/hth-workloads/src/micro/mod.rs:
+crates/hth-workloads/src/micro/exec_flow.rs:
+crates/hth-workloads/src/micro/info_flow.rs:
+crates/hth-workloads/src/micro/resource.rs:
+crates/hth-workloads/src/scenario.rs:
+crates/hth-workloads/src/table1_models.rs:
+crates/hth-workloads/src/trusted.rs:

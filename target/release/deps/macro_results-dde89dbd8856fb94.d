@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/macro_results-dde89dbd8856fb94.d: crates/hth-bench/src/bin/macro_results.rs
+
+/root/repo/target/release/deps/macro_results-dde89dbd8856fb94: crates/hth-bench/src/bin/macro_results.rs
+
+crates/hth-bench/src/bin/macro_results.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_eval-cea657e0ab9f2b3d.d: crates/hth-bench/src/bin/perf_eval.rs
+
+/root/repo/target/release/deps/perf_eval-cea657e0ab9f2b3d: crates/hth-bench/src/bin/perf_eval.rs
+
+crates/hth-bench/src/bin/perf_eval.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest_shim-a305bd2c418abf1d.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+/root/repo/target/release/deps/libproptest_shim-a305bd2c418abf1d.rlib: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+/root/repo/target/release/deps/libproptest_shim-a305bd2c418abf1d.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/collection.rs
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/collection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/secure_binary-ee5a90fe4bef066c.d: crates/hth-bench/src/bin/secure_binary.rs
+
+/root/repo/target/release/deps/secure_binary-ee5a90fe4bef066c: crates/hth-bench/src/bin/secure_binary.rs
+
+crates/hth-bench/src/bin/secure_binary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-980e2fbb805200df.d: crates/hth-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-980e2fbb805200df: crates/hth-bench/src/bin/table1.rs
+
+crates/hth-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_models-d5f9db63d3315613.d: crates/hth-bench/src/bin/table1_models.rs
+
+/root/repo/target/release/deps/table1_models-d5f9db63d3315613: crates/hth-bench/src/bin/table1_models.rs
+
+crates/hth-bench/src/bin/table1_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1e43c801b304373b.d: crates/hth-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1e43c801b304373b: crates/hth-bench/src/bin/table2.rs
+
+crates/hth-bench/src/bin/table2.rs:

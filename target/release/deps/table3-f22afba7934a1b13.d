@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-f22afba7934a1b13.d: crates/hth-bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-f22afba7934a1b13: crates/hth-bench/src/bin/table3.rs
+
+crates/hth-bench/src/bin/table3.rs:

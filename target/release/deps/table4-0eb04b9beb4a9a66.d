@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-0eb04b9beb4a9a66.d: crates/hth-bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-0eb04b9beb4a9a66: crates/hth-bench/src/bin/table4.rs
+
+crates/hth-bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-29da1bac72799fd6.d: crates/hth-bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-29da1bac72799fd6: crates/hth-bench/src/bin/table5.rs
+
+crates/hth-bench/src/bin/table5.rs:

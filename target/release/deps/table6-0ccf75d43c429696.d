@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-0ccf75d43c429696.d: crates/hth-bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-0ccf75d43c429696: crates/hth-bench/src/bin/table6.rs
+
+crates/hth-bench/src/bin/table6.rs:

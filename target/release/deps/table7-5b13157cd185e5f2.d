@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-5b13157cd185e5f2.d: crates/hth-bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-5b13157cd185e5f2: crates/hth-bench/src/bin/table7.rs
+
+crates/hth-bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-d5c4e790c18096a3.d: crates/hth-bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-d5c4e790c18096a3: crates/hth-bench/src/bin/table8.rs
+
+crates/hth-bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/taint-9135b48acfd12c1f.d: crates/hth-bench/benches/taint.rs
+
+/root/repo/target/release/deps/taint-9135b48acfd12c1f: crates/hth-bench/benches/taint.rs
+
+crates/hth-bench/benches/taint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8cca3c5d88fc9afa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8cca3c5d88fc9afa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -63,10 +63,7 @@ fn trusted_false_positives_are_low_only() {
 fn exfiltration_warning_explains_itself() {
     use hth::emukernel::{Endpoint, FileNode, Peer};
     let mut session = Session::new(SessionConfig::default()).unwrap();
-    session
-        .kernel
-        .vfs
-        .install("/etc/shadow", FileNode::regular(b"root:$6$salt$hash".to_vec()));
+    session.kernel.vfs.install("/etc/shadow", FileNode::regular(b"root:$6$salt$hash".to_vec()));
     session.kernel.net.add_host("exfil.example", 0x0505_0505);
     session.kernel.net.add_peer(Endpoint { ip: 0x0505_0505, port: 443 }, Peer::default());
     session.kernel.register_binary(
@@ -143,8 +140,7 @@ fn trusting_x_libraries_silences_xeyes() {
 /// the policy's precision depends on taint tracking.
 #[test]
 fn no_dataflow_means_no_origin_warnings() {
-    let scenario =
-        all_scenarios().into_iter().find(|s| s.id == "execve_hardcode").unwrap();
+    let scenario = all_scenarios().into_iter().find(|s| s.id == "execve_hardcode").unwrap();
     let mut config = SessionConfig::default();
     config.harrier.track_dataflow = false;
     let result = scenario.run_with(config).unwrap();
@@ -263,6 +259,49 @@ fn hybrid_static_analysis_skips_dataflow_for_secure_binaries() {
     session.run().unwrap();
     assert!(session.harrier().config().track_dataflow);
     assert_eq!(session.max_severity(), Some(Severity::Low));
+}
+
+/// Golden warning traces for the §8 workloads (Table 8 exploits and the
+/// §8.4 macro benchmarks): the exact rule/severity/message sequence of
+/// every warning is pinned byte-for-byte. Any change to taint
+/// propagation, origin attribution, or rule evaluation shows up here as
+/// a readable diff. Regenerate intentionally with
+/// `UPDATE_GOLDEN=1 cargo test golden`.
+#[test]
+fn exploit_warning_traces_match_golden_snapshot() {
+    let mut rendered = String::new();
+    for scenario in all_scenarios() {
+        if scenario.group != Group::Exploit && scenario.group != Group::Macro {
+            continue;
+        }
+        let result = scenario.run().expect("scenario runs");
+        rendered.push_str(&format!("== {} ({})\n", scenario.id, scenario.group.table()));
+        if result.warnings.is_empty() {
+            rendered.push_str("(silent)\n");
+        }
+        for w in &result.warnings {
+            rendered.push_str(&format!(
+                "t={} pid={} {} [{}] {}\n",
+                w.time,
+                w.pid,
+                w.rule,
+                w.severity.label(),
+                w.message
+            ));
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/warnings.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("golden path writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        golden, rendered,
+        "warning traces diverged from tests/golden/warnings.txt; \
+         if the change is intended, regenerate with UPDATE_GOLDEN=1"
+    );
 }
 
 /// execve into a *registered* binary replaces the image and monitoring
