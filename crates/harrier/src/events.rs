@@ -28,6 +28,17 @@ pub enum ResourceType {
 }
 
 impl ResourceType {
+    /// Every variant, in wire-code order (index == [`ResourceType::code`]).
+    pub const ALL: [ResourceType; 7] = [
+        ResourceType::File,
+        ResourceType::Socket,
+        ResourceType::Binary,
+        ResourceType::UserInput,
+        ResourceType::Hardware,
+        ResourceType::Console,
+        ResourceType::Unknown,
+    ];
+
     /// Symbol used in CLIPS facts.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -39,6 +50,17 @@ impl ResourceType {
             ResourceType::Console => "CONSOLE",
             ResourceType::Unknown => "UNKNOWN",
         }
+    }
+
+    /// Stable numeric code for binary serialisation (the `hth-fleet`
+    /// wire format). Codes are append-only: new variants get new codes.
+    pub fn code(self) -> u8 {
+        ResourceType::ALL.iter().position(|t| *t == self).expect("variant in ALL") as u8
+    }
+
+    /// Inverse of [`ResourceType::code`].
+    pub fn from_code(code: u8) -> Option<ResourceType> {
+        ResourceType::ALL.get(code as usize).copied()
     }
 }
 
@@ -167,6 +189,58 @@ pub enum SecpertEvent {
     },
 }
 
+/// Syscall names the kernel substrate emits today, so decoding a
+/// recorded event stream normally allocates nothing.
+const KNOWN_SYSCALLS: &[&str] = &[
+    "SYS_accept",
+    "SYS_bind",
+    "SYS_brk",
+    "SYS_chmod",
+    "SYS_clone",
+    "SYS_close",
+    "SYS_connect",
+    "SYS_dup",
+    "SYS_execve",
+    "SYS_exit",
+    "SYS_fork",
+    "SYS_getpid",
+    "SYS_listen",
+    "SYS_mknod",
+    "SYS_nanosleep",
+    "SYS_open",
+    "SYS_read",
+    "SYS_recv",
+    "SYS_resolve",
+    "SYS_send",
+    "SYS_socket",
+    "SYS_time",
+    "SYS_unknown",
+    "SYS_write",
+];
+
+/// Interns a syscall name as `&'static str`, as required by
+/// [`SecpertEvent`]'s `syscall` fields. Names from the known kernel set
+/// resolve without allocating; anything else (events recorded by a newer
+/// kernel, hand-written journals) is leaked once and cached, so repeated
+/// decoding of the same stream stays bounded.
+pub fn intern_syscall(name: &str) -> &'static str {
+    if let Ok(idx) = KNOWN_SYSCALLS.binary_search(&name) {
+        return KNOWN_SYSCALLS[idx];
+    }
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static EXTRA: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut extra = EXTRA.get_or_init(|| Mutex::new(BTreeSet::new())).lock().expect("interner");
+    match extra.get(name) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+            extra.insert(leaked);
+            leaked
+        }
+    }
+}
+
 impl SecpertEvent {
     /// The syscall name of the event.
     pub fn syscall(&self) -> &'static str {
@@ -202,6 +276,25 @@ mod tests {
         assert!(!o.has(ResourceType::Socket));
         assert!(!o.is_unknown());
         assert!(Origin::unknown().is_unknown());
+    }
+
+    #[test]
+    fn resource_type_codes_round_trip() {
+        for t in ResourceType::ALL {
+            assert_eq!(ResourceType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(ResourceType::from_code(ResourceType::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn syscall_interning() {
+        assert!(KNOWN_SYSCALLS.windows(2).all(|w| w[0] < w[1]), "binary search needs order");
+        // Known names come back as the same static without allocation.
+        assert_eq!(intern_syscall("SYS_execve"), "SYS_execve");
+        // Unknown names intern to a stable address.
+        let a = intern_syscall("SYS_fleet_test_only");
+        let b = intern_syscall(&String::from("SYS_fleet_test_only"));
+        assert!(std::ptr::eq(a, b));
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod naive;
 mod shadow;
 mod tag;
 
-pub use events::{Origin, ResourceType, SecpertEvent, ServerInfo, SourceInfo};
+pub use events::{intern_syscall, Origin, ResourceType, SecpertEvent, ServerInfo, SourceInfo};
 pub use freq::BbFreq;
 pub use monitor::{Harrier, HarrierConfig, HarrierHooks};
 #[cfg(any(test, feature = "naive-shadow"))]

@@ -7,7 +7,10 @@
 //!                  [--trust NAME]… [--no-dataflow] [--no-bb] [--hybrid]
 //!                  [--events] [--summary]
 //! hth audit <prog.s>      # Appendix B Secure Binary audit
-//! hth listing <prog.s>    # assemble and print the address listing
+//! hth listing <prog.s>    # assemble and print the listing
+//! hth fleet [--sessions N] [--shards N] [--workers N] [--queue N]
+//!           [--drop-oldest] [--trust NAME]…
+//! hth replay <events.hthj> [--trust NAME]…
 //! ```
 //!
 //! The argument parser and command execution live here so they are unit
@@ -16,10 +19,12 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 use emukernel::{Endpoint, FileNode, Peer, RemoteClient};
 use harrier::audit;
-use hth_core::{Session, SessionConfig};
+use hth_core::{PolicyConfig, Secpert, Session, SessionConfig};
+use hth_fleet::{Backpressure, FleetConfig, JournalReader, JournalWriter};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,8 +41,47 @@ pub enum Command {
         /// Path to the assembly source.
         source: String,
     },
+    /// Run a workload fleet through the sharded analyst pool.
+    Fleet(FleetOptions),
+    /// Replay a recorded event journal through a fresh Secpert.
+    Replay {
+        /// Path to the journal recorded with `hth run --journal`.
+        journal: String,
+        /// Extra trusted binaries for the replay policy.
+        trust: Vec<String>,
+    },
     /// Print usage.
     Help,
+}
+
+/// Options for `hth fleet`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetOptions {
+    /// Workload sessions to run (the Table 8 catalog, cycled).
+    pub sessions: usize,
+    /// Analyst pool shards.
+    pub shards: usize,
+    /// Session-runner threads.
+    pub workers: usize,
+    /// Per-shard queue capacity.
+    pub queue: usize,
+    /// Shed load (`DropOldest`) instead of blocking producers.
+    pub drop_oldest: bool,
+    /// Extra trusted binaries.
+    pub trust: Vec<String>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            sessions: 8,
+            shards: 4,
+            workers: 4,
+            queue: 1024,
+            drop_oldest: false,
+            trust: Vec::new(),
+        }
+    }
 }
 
 /// Options for `hth run`.
@@ -73,6 +117,8 @@ pub struct RunOptions {
     pub show_events: bool,
     /// Print the session summary.
     pub show_summary: bool,
+    /// Record the event stream to a journal file.
+    pub journal: Option<String>,
 }
 
 /// Usage text.
@@ -83,6 +129,9 @@ USAGE:
   hth run <prog.s> [options]   monitor a program, print warnings
   hth audit <prog.s>           Secure Binary audit (Appendix B)
   hth listing <prog.s>         assemble and print the listing
+  hth fleet [options]          run a workload fleet through the analyst pool
+  hth replay <events.hthj> [--trust NAME]…
+                               replay a recorded journal offline
   hth help                     this text
 
 RUN OPTIONS:
@@ -100,6 +149,15 @@ RUN OPTIONS:
   --hybrid           static pre-pass: skip dataflow for Secure Binaries
   --events           print every Harrier event
   --summary          print the session summary
+  --journal PATH     record the event stream to a journal file
+
+FLEET OPTIONS:
+  --sessions N       workload sessions to run (default 8)
+  --shards N         analyst pool shards (default 4)
+  --workers N        session-runner threads (default 4)
+  --queue N          per-shard queue capacity (default 1024)
+  --drop-oldest      shed load instead of blocking when a queue fills
+  --trust NAME       add a trusted binary (substring match)
 ";
 
 fn parse_ip(text: &str) -> Result<u32, String> {
@@ -142,10 +200,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
         Some(c) => c,
     };
-    let source = it.next().ok_or_else(|| format!("`{command}` needs a source file"))?.clone();
+    if command == "fleet" {
+        return parse_fleet(it);
+    }
+    let operand = if command == "replay" { "journal file" } else { "source file" };
+    let source = it.next().ok_or_else(|| format!("`{command}` needs a {operand}"))?.clone();
     match command {
         "audit" => return Ok(Command::Audit { source }),
         "listing" => return Ok(Command::Listing { source }),
+        "replay" => {
+            let mut trust = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--trust" => trust.push(
+                        it.next().cloned().ok_or_else(|| "--trust needs a value".to_string())?,
+                    ),
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            return Ok(Command::Replay { journal: source, trust });
+        }
         "run" => {}
         other => return Err(format!("unknown command `{other}` (try `hth help`)")),
     }
@@ -186,10 +260,37 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--hybrid" => opts.hybrid = true,
             "--events" => opts.show_events = true,
             "--summary" => opts.show_summary = true,
+            "--journal" => opts.journal = Some(value("--journal")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(Command::Run(Box::new(opts)))
+}
+
+fn parse_count(text: &str, what: &str) -> Result<usize, String> {
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("bad {what} `{text}` (want a positive count)")),
+    }
+}
+
+fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let mut opts = FleetOptions::default();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--sessions" => opts.sessions = parse_count(&value("--sessions")?, "--sessions")?,
+            "--shards" => opts.shards = parse_count(&value("--shards")?, "--shards")?,
+            "--workers" => opts.workers = parse_count(&value("--workers")?, "--workers")?,
+            "--queue" => opts.queue = parse_count(&value("--queue")?, "--queue")?,
+            "--drop-oldest" => opts.drop_oldest = true,
+            "--trust" => opts.trust.push(value("--trust")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Command::Fleet(opts))
 }
 
 /// Executes a parsed command; returns the text to print.
@@ -230,7 +331,64 @@ pub fn execute(command: Command) -> Result<String, String> {
             Ok(hth_vm::disasm::listing(image.text_base(), image.text()))
         }
         Command::Run(opts) => run(*opts),
+        Command::Fleet(opts) => fleet(opts),
+        Command::Replay { journal, trust } => replay_journal(&journal, trust),
     }
+}
+
+/// Runs `opts.sessions` workload sessions (the Table 8 exploit catalog,
+/// cycled) through the sharded analyst pool and renders the report.
+fn fleet(opts: FleetOptions) -> Result<String, String> {
+    let mut scenarios = Vec::with_capacity(opts.sessions);
+    while scenarios.len() < opts.sessions {
+        for scenario in hth_workloads::exploits::scenarios() {
+            if scenarios.len() == opts.sessions {
+                break;
+            }
+            scenarios.push(scenario);
+        }
+    }
+    let mut config = FleetConfig::default();
+    config.pool.shards = opts.shards;
+    config.pool.queue_capacity = opts.queue;
+    config.pool.backpressure =
+        if opts.drop_oldest { Backpressure::DropOldest } else { Backpressure::Block };
+    config.workers = opts.workers;
+    config.session.policy.trusted_binaries.extend(opts.trust.iter().cloned());
+    let report = hth_fleet::run_scenarios(scenarios, &config).map_err(|e| e.to_string())?;
+    Ok(report.render())
+}
+
+/// Replays a recorded journal through a fresh Secpert, printing every
+/// warning the offline analysis reproduces.
+fn replay_journal(journal: &str, trust: Vec<String>) -> Result<String, String> {
+    let file = std::fs::File::open(journal)
+        .map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
+    let reader = JournalReader::new(std::io::BufReader::new(file))
+        .map_err(|e| format!("`{journal}`: {e}"))?;
+    let mut policy = PolicyConfig::default();
+    policy.trusted_binaries.extend(trust);
+    let mut secpert = Secpert::new(&policy).map_err(|e| e.to_string())?;
+    let warnings =
+        hth_fleet::replay(reader, &mut secpert).map_err(|e| format!("`{journal}`: {e}"))?;
+    let mut out = String::new();
+    if warnings.is_empty() {
+        let _ = writeln!(out, "clean: no warnings");
+    } else {
+        for warning in &warnings {
+            let _ = writeln!(
+                out,
+                "t={} pid={} {} [{}] {}",
+                warning.time,
+                warning.pid,
+                warning.rule,
+                warning.severity.label(),
+                warning.message
+            );
+        }
+    }
+    let _ = writeln!(out, "replay: {} warnings", warnings.len());
+    Ok(out)
 }
 
 /// Builds the session from options, runs it, renders the report.
@@ -243,6 +401,31 @@ fn run(opts: RunOptions) -> Result<String, String> {
     config.hybrid_static_analysis = opts.hybrid;
     config.policy.trusted_binaries.extend(opts.trust.iter().cloned());
     let mut session = Session::new(config).map_err(|e| e.to_string())?;
+
+    // (writer, first append error) — the tap can't propagate errors, so
+    // the first failure is parked here and reported after the run.
+    type JournalSink =
+        Arc<Mutex<(JournalWriter<std::io::BufWriter<std::fs::File>>, Option<String>)>>;
+    let journal: Option<JournalSink> = match &opts.journal {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create journal `{path}`: {e}"))?;
+            let writer = JournalWriter::new(std::io::BufWriter::new(file))
+                .map_err(|e| format!("cannot start journal `{path}`: {e}"))?;
+            let sink: JournalSink = Arc::new(Mutex::new((writer, None)));
+            let tap = Arc::clone(&sink);
+            session.set_event_tap(Box::new(move |event| {
+                let mut guard = tap.lock().expect("journal sink poisoned");
+                if guard.1.is_none() {
+                    if let Err(e) = guard.0.append(event) {
+                        guard.1 = Some(e.to_string());
+                    }
+                }
+            }));
+            Some(sink)
+        }
+        None => None,
+    };
 
     for chunk in &opts.stdin {
         session.kernel.push_stdin(chunk.as_bytes().to_vec());
@@ -310,6 +493,20 @@ fn run(opts: RunOptions) -> Result<String, String> {
     for (pid, fault) in &report.faults {
         let _ = writeln!(out, "(pid {pid} crashed: {fault})");
     }
+    if let Some(sink) = journal {
+        drop(session); // releases the tap's Arc so the sink has one owner
+        let (writer, error) = Arc::try_unwrap(sink)
+            .unwrap_or_else(|_| unreachable!("tap dropped with the session"))
+            .into_inner()
+            .map_err(|_| "journal sink poisoned".to_string())?;
+        let path = opts.journal.as_deref().unwrap_or_default();
+        if let Some(e) = error {
+            return Err(format!("journal `{path}` write failed: {e}"));
+        }
+        let events = writer.events();
+        writer.finish().map_err(|e| format!("journal `{path}` flush failed: {e}"))?;
+        let _ = writeln!(out, "journal: {events} events recorded to {path}");
+    }
     Ok(out)
 }
 
@@ -369,6 +566,46 @@ mod tests {
     }
 
     #[test]
+    fn parse_fleet_options() {
+        assert_eq!(parse(&strs(&["fleet"])).unwrap(), Command::Fleet(FleetOptions::default()));
+        let cmd = parse(&strs(&[
+            "fleet",
+            "--sessions",
+            "12",
+            "--shards",
+            "2",
+            "--workers",
+            "3",
+            "--queue",
+            "64",
+            "--drop-oldest",
+            "--trust",
+            "libfoo.so",
+        ]))
+        .unwrap();
+        let Command::Fleet(opts) = cmd else { panic!() };
+        assert_eq!(opts.sessions, 12);
+        assert_eq!(opts.shards, 2);
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.queue, 64);
+        assert!(opts.drop_oldest);
+        assert_eq!(opts.trust, vec!["libfoo.so"]);
+        assert!(parse(&strs(&["fleet", "--shards", "0"])).is_err());
+        assert!(parse(&strs(&["fleet", "--sessions"])).is_err());
+        assert!(parse(&strs(&["fleet", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_replay_options() {
+        assert_eq!(
+            parse(&strs(&["replay", "events.hthj", "--trust", "make"])).unwrap(),
+            Command::Replay { journal: "events.hthj".to_string(), trust: vec!["make".to_string()] }
+        );
+        assert!(parse(&strs(&["replay"])).is_err());
+        assert!(parse(&strs(&["replay", "events.hthj", "--nope"])).is_err());
+    }
+
+    #[test]
     fn parse_ip_validation() {
         assert_eq!(parse_ip("1.2.3.4").unwrap(), 0x0102_0304);
         assert!(parse_ip("1.2.3").is_err());
@@ -407,6 +644,48 @@ mod tests {
         assert!(audit_out.contains("/bin/sh"));
         let listing_out = execute(Command::Listing { source: path }).unwrap();
         assert!(listing_out.contains("hlt"), "{listing_out}");
+    }
+
+    #[test]
+    fn journal_then_replay_end_to_end() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("journaled.s");
+        std::fs::write(
+            &src,
+            "_start:\n mov eax, 11\n mov ebx, prog\n int 0x80\n hlt\n.data\nprog: .asciz \"/bin/ls\"\n",
+        )
+        .unwrap();
+        let journal = dir.join("journaled.hthj");
+        let run_out = execute(Command::Run(Box::new(RunOptions {
+            source: src.to_string_lossy().into_owned(),
+            journal: Some(journal.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        })))
+        .unwrap();
+        assert!(run_out.contains("Warning [LOW]"), "{run_out}");
+        assert!(run_out.contains("events recorded"), "{run_out}");
+
+        let replay_out = execute(Command::Replay {
+            journal: journal.to_string_lossy().into_owned(),
+            trust: Vec::new(),
+        })
+        .unwrap();
+        assert!(replay_out.contains("[LOW]"), "{replay_out}");
+        assert!(replay_out.contains("replay: 1 warnings"), "{replay_out}");
+    }
+
+    #[test]
+    fn small_fleet_end_to_end() {
+        let out = execute(Command::Fleet(FleetOptions {
+            sessions: 4,
+            shards: 2,
+            workers: 2,
+            ..FleetOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("fleet: 4 sessions"), "{out}");
+        assert!(out.contains("[HIGH]"), "{out}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod warning;
 pub use cross_session::{BotnetReport, DropRecord, SessionHistory};
 pub use policy::{PolicyConfig, POLICY_CLIPS};
 pub use secpert::Secpert;
-pub use session::{RunReport, Session, SessionConfig, SessionError, SessionSummary};
+pub use session::{EventTap, RunReport, Session, SessionConfig, SessionError, SessionSummary};
 pub use warning::{Severity, Warning};
 
 // Re-export the layers below so downstream users need only this crate.

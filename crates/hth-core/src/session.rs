@@ -27,6 +27,11 @@ pub struct SessionConfig {
     pub max_processes: usize,
     /// Keep every Harrier event for inspection (tables/benches).
     pub record_events: bool,
+    /// Feed events through this session's own Secpert as they happen
+    /// (the classic single-threaded pipeline). Fleet deployments turn
+    /// this off and ship events to a shared analyst pool through an
+    /// event tap instead (see [`Session::set_event_tap`]).
+    pub analyze_inline: bool,
     /// Hybrid static/dynamic monitoring (paper §10 item 2): before a
     /// program runs, the Appendix B Secure Binary audit scans its image;
     /// if no hardcoded resource names are found, expensive data-flow
@@ -44,6 +49,7 @@ impl Default for SessionConfig {
             quantum: 200,
             max_processes: 128,
             record_events: true,
+            analyze_inline: true,
             hybrid_static_analysis: false,
         }
     }
@@ -130,6 +136,12 @@ impl std::fmt::Display for SessionSummary {
     }
 }
 
+/// Observer for the live event stream: called once per Harrier event, in
+/// order, before inline analysis. This is the Harrier→Secpert protocol
+/// boundary made pluggable — journal recorders and fleet analyst pools
+/// both attach here.
+pub type EventTap = Box<dyn FnMut(&SecpertEvent) + Send>;
+
 /// An HTH monitoring session over one program (and its children).
 pub struct Session {
     /// The emulated OS (configure files, hosts and peers through this).
@@ -139,6 +151,7 @@ pub struct Session {
     procs: Vec<Process>,
     warnings: Vec<Warning>,
     events: Vec<SecpertEvent>,
+    taps: Vec<EventTap>,
     config: SessionConfig,
     instructions: u64,
 }
@@ -157,6 +170,7 @@ impl Session {
             procs: Vec::new(),
             warnings: Vec::new(),
             events: Vec::new(),
+            taps: Vec::new(),
             config,
             instructions: 0,
         })
@@ -297,8 +311,13 @@ impl Session {
         // origins are read from the *current* shadow state.
         let events = self.harrier.on_syscall(&self.procs[idx], &record, &self.kernel);
         for event in &events {
-            let warnings = self.secpert.process_event(event)?;
-            self.warnings.extend(warnings);
+            for tap in &mut self.taps {
+                tap(event);
+            }
+            if self.config.analyze_inline {
+                let warnings = self.secpert.process_event(event)?;
+                self.warnings.extend(warnings);
+            }
         }
         if self.config.record_events {
             self.events.extend(events);
@@ -311,6 +330,13 @@ impl Session {
             }
         }
         Ok(())
+    }
+
+    /// Attaches an event tap: it sees every Harrier event as it is
+    /// generated, before (and regardless of) inline analysis. Multiple
+    /// taps run in attachment order.
+    pub fn set_event_tap(&mut self, tap: EventTap) {
+        self.taps.push(tap);
     }
 
     /// All warnings issued so far, in order.

@@ -1,0 +1,233 @@
+//! The fleet orchestrator: run many workload sessions concurrently,
+//! fan their event streams into a shared [`AnalystPool`], aggregate one
+//! [`FleetReport`].
+//!
+//! This is the ROADMAP's production shape in miniature: monitoring
+//! (sessions stepping VMs) and analysis (Secpert shards) are decoupled
+//! by the event protocol, each side scaled by its own thread count.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hth_core::{SessionConfig, Severity};
+use hth_workloads::Scenario;
+use secpert_engine::EngineError;
+
+use crate::pool::{AnalystPool, PoolConfig, SessionId, ShardStats};
+
+/// Fleet sizing: how many analyst shards, how many session-runner
+/// threads, and the per-session configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Analyst pool shape.
+    pub pool: PoolConfig,
+    /// Session-runner threads (the monitoring side's parallelism).
+    pub workers: usize,
+    /// Configuration applied to every session. `analyze_inline` is
+    /// forced off — analysis happens in the pool — and `record_events`
+    /// off; the event stream lives in the queues, not in session memory.
+    pub session: SessionConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig { pool: PoolConfig::default(), workers: 4, session: SessionConfig::default() }
+    }
+}
+
+/// A warning multiset key: severity × rule.
+pub type WarningKey = (Severity, String);
+
+/// Aggregated outcome of a fleet run.
+#[derive(Debug, Default)]
+pub struct FleetReport {
+    /// Sessions run to completion (including ones that produced faults).
+    pub sessions: usize,
+    /// Events analysed across all shards.
+    pub events: u64,
+    /// Wall-clock duration of the whole run (sessions + analysis drain).
+    pub elapsed: Duration,
+    /// Aggregate warning multiset: (severity, rule) → count.
+    pub warning_counts: BTreeMap<WarningKey, usize>,
+    /// Per-shard queue/drop/volume counters.
+    pub shards: Vec<ShardStats>,
+    /// Session-level failures (spawn errors, policy errors in setup).
+    pub session_errors: Vec<String>,
+    /// Shard-level engine failures.
+    pub analyst_errors: Vec<String>,
+}
+
+impl FleetReport {
+    /// Events analysed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Total warnings across the fleet.
+    pub fn warnings(&self) -> usize {
+        self.warning_counts.values().sum()
+    }
+
+    /// Renders the report as a human-readable block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} sessions, {} events in {:.2?} ({:.0} events/sec), {} warnings",
+            self.sessions,
+            self.events,
+            self.elapsed,
+            self.events_per_sec(),
+            self.warnings(),
+        );
+        for ((severity, rule), count) in self.warning_counts.iter().rev() {
+            let _ = writeln!(out, "  {count:5}x [{severity}] {rule}");
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {i}: {} events, {} warnings, queue high-water {}, dropped {}",
+                shard.events, shard.warnings, shard.high_water, shard.dropped,
+            );
+        }
+        for error in self.session_errors.iter().chain(&self.analyst_errors) {
+            let _ = writeln!(out, "  error: {error}");
+        }
+        out
+    }
+}
+
+/// Builds the aggregate multiset from per-warning data.
+pub fn warning_multiset<'a>(
+    warnings: impl IntoIterator<Item = &'a hth_core::Warning>,
+) -> BTreeMap<WarningKey, usize> {
+    let mut counts = BTreeMap::new();
+    for warning in warnings {
+        *counts.entry((warning.severity, warning.rule.clone())).or_default() += 1;
+    }
+    counts
+}
+
+/// Runs every scenario as one fleet session, events fanned into a
+/// sharded analyst pool; blocks until both sides drain.
+///
+/// # Errors
+///
+/// Returns the policy error if any shard engine fails to build. Session
+/// and analyst failures during the run are collected in the report.
+pub fn run_scenarios(
+    scenarios: Vec<Scenario>,
+    config: &FleetConfig,
+) -> Result<FleetReport, EngineError> {
+    let started = Instant::now();
+    let sessions = scenarios.len();
+    let pool = Arc::new(AnalystPool::new(&config.pool, &config.session.policy)?);
+
+    let jobs: Arc<Mutex<VecDeque<(SessionId, Scenario)>>> = Arc::new(Mutex::new(
+        scenarios.into_iter().enumerate().map(|(i, s)| (i as SessionId, s)).collect(),
+    ));
+    let session_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let workers = config.workers.clamp(1, sessions.max(1));
+    let mut runners = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let jobs = Arc::clone(&jobs);
+        let pool = Arc::clone(&pool);
+        let errors = Arc::clone(&session_errors);
+        let mut session_config = config.session.clone();
+        session_config.analyze_inline = false;
+        session_config.record_events = false;
+        runners.push(std::thread::spawn(move || loop {
+            let job = jobs.lock().expect("job queue poisoned").pop_front();
+            let Some((sid, scenario)) = job else { return };
+            if let Err(e) = run_one(sid, &scenario, session_config.clone(), &pool) {
+                errors.lock().expect("error sink poisoned").push(format!("{}: {e}", scenario.id));
+            }
+        }));
+    }
+    for runner in runners {
+        runner.join().expect("session runner panicked");
+    }
+
+    let report = Arc::try_unwrap(pool)
+        .unwrap_or_else(|_| unreachable!("all runners joined, pool has one owner"))
+        .finish();
+    Ok(FleetReport {
+        sessions,
+        events: report.events,
+        elapsed: started.elapsed(),
+        warning_counts: warning_multiset(&report.warnings),
+        shards: report.shards,
+        session_errors: Arc::try_unwrap(session_errors)
+            .expect("runners joined")
+            .into_inner()
+            .expect("error sink poisoned"),
+        analyst_errors: report.errors,
+    })
+}
+
+/// Runs one scenario session with its event stream tapped into the pool.
+fn run_one(
+    sid: SessionId,
+    scenario: &Scenario,
+    config: SessionConfig,
+    pool: &Arc<AnalystPool>,
+) -> Result<(), hth_core::SessionError> {
+    let mut session = hth_core::Session::new(config)?;
+    let start = (scenario.setup)(&mut session);
+    let tap_pool = Arc::clone(pool);
+    session.set_event_tap(Box::new(move |event| tap_pool.submit(sid, event.clone())));
+    let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+    let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(start.path, &argv, &env)?;
+    session.run()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rendering_and_rates() {
+        let mut report = FleetReport {
+            sessions: 2,
+            events: 100,
+            elapsed: Duration::from_millis(500),
+            ..FleetReport::default()
+        };
+        report.warning_counts.insert((Severity::High, "check_execve".into()), 3);
+        assert_eq!(report.events_per_sec(), 200.0);
+        assert_eq!(report.warnings(), 3);
+        let text = report.render();
+        assert!(text.contains("2 sessions"), "{text}");
+        assert!(text.contains("3x [HIGH] check_execve"), "{text}");
+    }
+
+    #[test]
+    fn small_fleet_runs_scenarios() {
+        let scenarios: Vec<Scenario> = hth_workloads::exploits::scenarios()
+            .into_iter()
+            .filter(|s| s.id == "ElmExploit" || s.id == "grabem")
+            .collect();
+        let config = FleetConfig {
+            pool: PoolConfig { shards: 2, ..PoolConfig::default() },
+            workers: 2,
+            ..FleetConfig::default()
+        };
+        let report = run_scenarios(scenarios, &config).expect("policy loads");
+        assert_eq!(report.sessions, 2);
+        assert!(report.session_errors.is_empty(), "{:?}", report.session_errors);
+        assert!(report.analyst_errors.is_empty(), "{:?}", report.analyst_errors);
+        // Both exploits produce exactly one High warning each.
+        let highs: usize = report
+            .warning_counts
+            .iter()
+            .filter(|((sev, _), _)| *sev == Severity::High)
+            .map(|(_, count)| count)
+            .sum();
+        assert_eq!(highs, 2, "{:?}", report.warning_counts);
+    }
+}

@@ -1,0 +1,271 @@
+//! Append-only event journals: record a live session's event stream
+//! once, replay it through any policy offline.
+//!
+//! A journal is a [`wire`](crate::wire) stream with one extra layer of
+//! framing: each event is preceded by its encoded length (varint), so a
+//! reader can detect truncated tails and a future tool can skip records
+//! without decoding them. The string-interning table spans the whole
+//! journal — records must be read in order.
+
+use std::io::{Read, Write};
+
+use harrier::SecpertEvent;
+use hth_core::{Secpert, Warning};
+use secpert_engine::EngineError;
+
+use crate::wire::{read_header, write_header, EventDecoder, EventEncoder, WireError, HEADER_LEN};
+
+/// Writes an event journal to any [`Write`] sink.
+pub struct JournalWriter<W: Write> {
+    sink: W,
+    encoder: EventEncoder,
+    scratch: Vec<u8>,
+    events: u64,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Starts a journal: writes the stream header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink write errors.
+    pub fn new(mut sink: W) -> Result<JournalWriter<W>, WireError> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        write_header(&mut header);
+        sink.write_all(&header)?;
+        Ok(JournalWriter { sink, encoder: EventEncoder::new(), scratch: Vec::new(), events: 0 })
+    }
+
+    /// Appends one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink write errors.
+    pub fn append(&mut self, event: &SecpertEvent) -> Result<(), WireError> {
+        self.scratch.clear();
+        self.encoder.encode(event, &mut self.scratch);
+        let mut frame = Vec::with_capacity(self.scratch.len() + 4);
+        let mut len = self.scratch.len() as u64;
+        loop {
+            let byte = (len & 0x7f) as u8;
+            len >>= 7;
+            if len == 0 {
+                frame.push(byte);
+                break;
+            }
+            frame.push(byte | 0x80);
+        }
+        frame.extend_from_slice(&self.scratch);
+        self.sink.write_all(&frame)?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Events appended so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink flush errors.
+    pub fn finish(mut self) -> Result<W, WireError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads an event journal from any [`Read`] source.
+pub struct JournalReader<R: Read> {
+    source: R,
+    decoder: EventDecoder,
+    frame: Vec<u8>,
+}
+
+impl<R: Read> JournalReader<R> {
+    /// Opens a journal: reads and checks the stream header.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMagic`] / [`WireError::BadVersion`] for foreign
+    /// streams, i/o and truncation errors otherwise.
+    pub fn new(mut source: R) -> Result<JournalReader<R>, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        source.read_exact(&mut header).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+            _ => WireError::Io(e),
+        })?;
+        read_header(&header)?;
+        Ok(JournalReader { source, decoder: EventDecoder::new(), frame: Vec::new() })
+    }
+
+    /// Reads the next event; `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Truncated frames, malformed payloads and i/o errors.
+    pub fn next_event(&mut self) -> Result<Option<SecpertEvent>, WireError> {
+        let len = match self.read_varint()? {
+            Some(len) => len as usize,
+            None => return Ok(None),
+        };
+        self.frame.resize(len, 0);
+        self.source.read_exact(&mut self.frame).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+            _ => WireError::Io(e),
+        })?;
+        let (event, used) = self.decoder.decode(&self.frame)?;
+        if used != len {
+            // A frame with trailing garbage is as corrupt as a short one.
+            return Err(WireError::Truncated);
+        }
+        Ok(Some(event))
+    }
+
+    /// Reads a varint byte-by-byte; `None` when the stream ends cleanly
+    /// *before* the first byte.
+    fn read_varint(&mut self) -> Result<Option<u64>, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            match self.source.read(&mut byte) {
+                Ok(0) if shift == 0 => return Ok(None),
+                Ok(0) => return Err(WireError::Truncated),
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+            if shift >= 64 || (shift == 63 && byte[0] > 1) {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(Some(value));
+            }
+            shift += 7;
+        }
+    }
+}
+
+impl<R: Read> Iterator for JournalReader<R> {
+    type Item = Result<SecpertEvent, WireError>;
+
+    fn next(&mut self) -> Option<Result<SecpertEvent, WireError>> {
+        self.next_event().transpose()
+    }
+}
+
+/// Replay failures: either the journal is bad or the policy is.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The journal could not be decoded.
+    Wire(WireError),
+    /// The policy failed while re-processing an event.
+    Policy(EngineError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Wire(e) => write!(f, "journal error: {e}"),
+            ReplayError::Policy(e) => write!(f, "policy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<WireError> for ReplayError {
+    fn from(e: WireError) -> ReplayError {
+        ReplayError::Wire(e)
+    }
+}
+
+impl From<EngineError> for ReplayError {
+    fn from(e: EngineError) -> ReplayError {
+        ReplayError::Policy(e)
+    }
+}
+
+/// Replays a journal through a Secpert instance, returning the warnings
+/// in event order. The expert system sees exactly the event sequence the
+/// live session produced, so a replay through an identically-configured
+/// policy reproduces the live warning sequence.
+///
+/// # Errors
+///
+/// [`ReplayError`] on journal corruption or policy failures.
+pub fn replay<R: Read>(
+    mut reader: JournalReader<R>,
+    secpert: &mut Secpert,
+) -> Result<Vec<Warning>, ReplayError> {
+    let mut warnings = Vec::new();
+    while let Some(event) = reader.next_event()? {
+        warnings.extend(secpert.process_event(&event)?);
+    }
+    Ok(warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harrier::{Origin, ResourceType, SourceInfo};
+
+    fn event(i: u64) -> SecpertEvent {
+        SecpertEvent::ResourceAccess {
+            pid: 1,
+            syscall: "SYS_open",
+            resource: SourceInfo::new(ResourceType::File, format!("/tmp/f{}", i % 3)),
+            origin: Origin::unknown(),
+            time: i,
+            frequency: 1,
+            address: 0,
+            proc_count: None,
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut writer = JournalWriter::new(Vec::new()).unwrap();
+        let events: Vec<SecpertEvent> = (0..10).map(event).collect();
+        for e in &events {
+            writer.append(e).unwrap();
+        }
+        assert_eq!(writer.events(), 10);
+        let bytes = writer.finish().unwrap();
+        let reader = JournalReader::new(&bytes[..]).unwrap();
+        let decoded: Result<Vec<SecpertEvent>, WireError> = reader.collect();
+        assert_eq!(decoded.unwrap(), events);
+    }
+
+    #[test]
+    fn truncated_tail_is_an_error_not_a_clean_end() {
+        let mut writer = JournalWriter::new(Vec::new()).unwrap();
+        writer.append(&event(0)).unwrap();
+        writer.append(&event(1)).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = JournalReader::new(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(reader.next_event().unwrap().is_some());
+        assert!(matches!(reader.next_event(), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn empty_journal_reads_cleanly() {
+        let writer = JournalWriter::new(Vec::new()).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = JournalReader::new(&bytes[..]).unwrap();
+        assert!(reader.next_event().unwrap().is_none());
+    }
+
+    #[test]
+    fn foreign_stream_is_rejected() {
+        assert!(matches!(JournalReader::new(&b"ELF\x7f..."[..]), Err(WireError::BadMagic(_))));
+        assert!(matches!(JournalReader::new(&b"HT"[..]), Err(WireError::Truncated)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # hth-fleet — concurrent monitoring fleets over the event protocol
+//!
+//! The paper's architecture (§6.1.2, Figure 1) decouples Harrier (the
+//! monitor) from Secpert (the analyst) with an event protocol. This
+//! crate makes that protocol a real, concurrent, persistable stream:
+//!
+//! * [`wire`] — a compact versioned binary codec for
+//!   [`harrier::SecpertEvent`] (varints, per-stream string interning,
+//!   magic + version header),
+//! * [`journal`] — append-only event journals over any `Write`/`Read`,
+//!   so a live session is recorded once and replayed through any policy
+//!   offline ([`journal::replay`]),
+//! * [`pool`] — a sharded analyst pool: worker threads with private
+//!   [`hth_core::Secpert`] engines, sessions hashed to shards, bounded
+//!   queues with explicit [`pool::Backpressure`],
+//! * [`fleet`] — an orchestrator running many workload sessions across
+//!   threads, fanning events into the pool and aggregating a
+//!   [`fleet::FleetReport`].
+
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod journal;
+pub mod pool;
+pub mod wire;
+
+pub use fleet::{run_scenarios, warning_multiset, FleetConfig, FleetReport};
+pub use journal::{replay, JournalReader, JournalWriter, ReplayError};
+pub use pool::{AnalystPool, Backpressure, PoolConfig, PoolReport, SessionId, ShardStats};
+pub use wire::{EventDecoder, EventEncoder, WireError};

@@ -1,0 +1,495 @@
+//! The Harrier→Secpert event protocol as a compact, versioned binary
+//! wire format.
+//!
+//! The paper (§6.1.2, Figure 1) describes Harrier streaming `resource
+//! access` / `data transfer` events to Secpert over an event protocol;
+//! this module is that protocol's on-the-wire shape. Layout:
+//!
+//! * **Stream header** — magic `HTHW` + a version byte, written once per
+//!   stream (see [`write_header`] / [`read_header`]).
+//! * **Varints** — all integers are LEB128 (7 bits per byte, high bit =
+//!   continuation), so the common small pids/times/frequencies cost one
+//!   byte.
+//! * **String interning** — resource names, syscall names and server
+//!   addresses repeat heavily within a stream. The first occurrence is
+//!   sent inline (`0` marker, length, UTF-8 bytes) and assigns the next
+//!   table index; later occurrences send `index + 1` as a single varint.
+//!   Encoder and decoder grow identical tables, so a stream is
+//!   self-describing but must be decoded in order.
+//! * **Events** — a tag byte (`0` = `ResourceAccess`, `1` =
+//!   `DataTransfer`) followed by the variant's fields in declaration
+//!   order. `Option` fields are a presence byte; vectors are a count
+//!   varint; [`ResourceType`] is its stable [`ResourceType::code`].
+//!
+//! Encoding is infallible (it writes to a `Vec<u8>`); decoding returns
+//! [`WireError`] on malformed input and never panics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use harrier::{intern_syscall, Origin, ResourceType, SecpertEvent, ServerInfo, SourceInfo};
+
+/// First bytes of every stream.
+pub const MAGIC: [u8; 4] = *b"HTHW";
+
+/// Current wire-format version.
+pub const VERSION: u8 = 1;
+
+const TAG_RESOURCE_ACCESS: u8 = 0;
+const TAG_DATA_TRANSFER: u8 = 1;
+
+/// Decode-side failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying reader failed.
+    Io(std::io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The stream's version is not one this build understands.
+    BadVersion(u8),
+    /// Unknown event tag byte.
+    BadTag(u8),
+    /// Unknown [`ResourceType`] code.
+    BadResourceType(u8),
+    /// A string back-reference pointed outside the interning table.
+    BadStringRef(u64),
+    /// An inline string was not valid UTF-8.
+    Utf8(std::str::Utf8Error),
+    /// The input ended inside a value.
+    Truncated,
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (not an HTH event stream)"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v} (max {VERSION})"),
+            WireError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            WireError::BadResourceType(c) => write!(f, "unknown resource-type code {c}"),
+            WireError::BadStringRef(i) => write!(f, "string back-reference {i} out of range"),
+            WireError::Utf8(e) => write!(f, "string is not UTF-8: {e}"),
+            WireError::Truncated => f.write_str("input truncated mid-value"),
+            WireError::VarintOverflow => f.write_str("varint longer than 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Writes the stream header (magic + version).
+pub fn write_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+}
+
+/// Size of the stream header in bytes.
+pub const HEADER_LEN: usize = MAGIC.len() + 1;
+
+/// Checks the stream header; returns the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] / [`WireError::BadVersion`] on foreign or
+/// future streams, [`WireError::Truncated`] on short input.
+pub fn read_header(buf: &[u8]) -> Result<usize, WireError> {
+    let header = buf.get(..HEADER_LEN).ok_or(WireError::Truncated)?;
+    if header[..4] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1], header[2], header[3]]));
+    }
+    if header[4] != VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    Ok(HEADER_LEN)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encodes [`SecpertEvent`]s into a stream, growing the string table as
+/// it goes. One encoder per stream; events must be decoded by a single
+/// [`EventDecoder`] in the same order.
+#[derive(Debug, Default)]
+pub struct EventEncoder {
+    strings: HashMap<String, u64>,
+}
+
+impl EventEncoder {
+    /// A fresh encoder with an empty string table.
+    pub fn new() -> EventEncoder {
+        EventEncoder::default()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn interned_strings(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Appends one event's encoding to `out`.
+    pub fn encode(&mut self, event: &SecpertEvent, out: &mut Vec<u8>) {
+        match event {
+            SecpertEvent::ResourceAccess {
+                pid,
+                syscall,
+                resource,
+                origin,
+                time,
+                frequency,
+                address,
+                proc_count,
+                proc_rate,
+                mem_total,
+                server,
+            } => {
+                out.push(TAG_RESOURCE_ACCESS);
+                put_varint(out, u64::from(*pid));
+                self.put_str(out, syscall);
+                self.put_source(out, resource);
+                self.put_origin(out, origin);
+                put_varint(out, *time);
+                put_varint(out, *frequency);
+                put_varint(out, u64::from(*address));
+                self.put_opt_u64(out, *proc_count);
+                self.put_opt_u64(out, *proc_rate);
+                self.put_opt_u64(out, *mem_total);
+                self.put_server(out, server);
+            }
+            SecpertEvent::DataTransfer {
+                pid,
+                syscall,
+                data_sources,
+                data_origin,
+                target,
+                target_origin,
+                time,
+                frequency,
+                address,
+                executable_content,
+                server,
+            } => {
+                out.push(TAG_DATA_TRANSFER);
+                put_varint(out, u64::from(*pid));
+                self.put_str(out, syscall);
+                put_varint(out, data_sources.len() as u64);
+                for source in data_sources {
+                    self.put_source(out, source);
+                }
+                self.put_origin(out, data_origin);
+                self.put_source(out, target);
+                self.put_origin(out, target_origin);
+                put_varint(out, *time);
+                put_varint(out, *frequency);
+                put_varint(out, u64::from(*address));
+                out.push(u8::from(*executable_content));
+                self.put_server(out, server);
+            }
+        }
+    }
+
+    fn put_str(&mut self, out: &mut Vec<u8>, s: &str) {
+        if let Some(idx) = self.strings.get(s) {
+            put_varint(out, idx + 1);
+            return;
+        }
+        put_varint(out, 0);
+        put_varint(out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+        self.strings.insert(s.to_string(), self.strings.len() as u64);
+    }
+
+    fn put_source(&mut self, out: &mut Vec<u8>, source: &SourceInfo) {
+        out.push(source.kind.code());
+        self.put_str(out, &source.name);
+    }
+
+    fn put_origin(&mut self, out: &mut Vec<u8>, origin: &Origin) {
+        put_varint(out, origin.sources.len() as u64);
+        for source in &origin.sources {
+            self.put_source(out, source);
+        }
+    }
+
+    fn put_opt_u64(&mut self, out: &mut Vec<u8>, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                out.push(1);
+                put_varint(out, v);
+            }
+            None => out.push(0),
+        }
+    }
+
+    fn put_server(&mut self, out: &mut Vec<u8>, server: &Option<ServerInfo>) {
+        match server {
+            Some(info) => {
+                out.push(1);
+                self.put_str(out, &info.address);
+                self.put_origin(out, &info.origin);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+/// Decodes a stream produced by one [`EventEncoder`], mirroring its
+/// string table.
+#[derive(Debug, Default)]
+pub struct EventDecoder {
+    strings: Vec<String>,
+}
+
+/// Cursor over the undecoded remainder of a buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+impl EventDecoder {
+    /// A fresh decoder with an empty string table.
+    pub fn new() -> EventDecoder {
+        EventDecoder::default()
+    }
+
+    /// Decodes one event from the front of `buf`; returns the event and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input. The decoder's string table
+    /// may have grown by then; discard the decoder after an error.
+    pub fn decode(&mut self, buf: &[u8]) -> Result<(SecpertEvent, usize), WireError> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let event = match cur.byte()? {
+            TAG_RESOURCE_ACCESS => SecpertEvent::ResourceAccess {
+                pid: cur.varint()? as u32,
+                syscall: intern_syscall(&self.get_str(&mut cur)?),
+                resource: self.get_source(&mut cur)?,
+                origin: self.get_origin(&mut cur)?,
+                time: cur.varint()?,
+                frequency: cur.varint()?,
+                address: cur.varint()? as u32,
+                proc_count: self.get_opt_u64(&mut cur)?,
+                proc_rate: self.get_opt_u64(&mut cur)?,
+                mem_total: self.get_opt_u64(&mut cur)?,
+                server: self.get_server(&mut cur)?,
+            },
+            TAG_DATA_TRANSFER => SecpertEvent::DataTransfer {
+                pid: cur.varint()? as u32,
+                syscall: intern_syscall(&self.get_str(&mut cur)?),
+                data_sources: {
+                    let n = cur.varint()? as usize;
+                    let mut sources = Vec::with_capacity(n.min(64));
+                    for _ in 0..n {
+                        sources.push(self.get_source(&mut cur)?);
+                    }
+                    sources
+                },
+                data_origin: self.get_origin(&mut cur)?,
+                target: self.get_source(&mut cur)?,
+                target_origin: self.get_origin(&mut cur)?,
+                time: cur.varint()?,
+                frequency: cur.varint()?,
+                address: cur.varint()? as u32,
+                executable_content: cur.byte()? != 0,
+                server: self.get_server(&mut cur)?,
+            },
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        Ok((event, cur.pos))
+    }
+
+    fn get_str(&mut self, cur: &mut Cursor<'_>) -> Result<String, WireError> {
+        let marker = cur.varint()?;
+        if marker == 0 {
+            let len = cur.varint()? as usize;
+            let text = std::str::from_utf8(cur.take(len)?).map_err(WireError::Utf8)?;
+            self.strings.push(text.to_string());
+            return Ok(text.to_string());
+        }
+        self.strings.get(marker as usize - 1).cloned().ok_or(WireError::BadStringRef(marker - 1))
+    }
+
+    fn get_source(&mut self, cur: &mut Cursor<'_>) -> Result<SourceInfo, WireError> {
+        let code = cur.byte()?;
+        let kind = ResourceType::from_code(code).ok_or(WireError::BadResourceType(code))?;
+        let name = self.get_str(cur)?;
+        Ok(SourceInfo { kind, name })
+    }
+
+    fn get_origin(&mut self, cur: &mut Cursor<'_>) -> Result<Origin, WireError> {
+        let n = cur.varint()? as usize;
+        let mut sources = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            sources.push(self.get_source(cur)?);
+        }
+        Ok(Origin { sources })
+    }
+
+    fn get_opt_u64(&mut self, cur: &mut Cursor<'_>) -> Result<Option<u64>, WireError> {
+        match cur.byte()? {
+            0 => Ok(None),
+            _ => Ok(Some(cur.varint()?)),
+        }
+    }
+
+    fn get_server(&mut self, cur: &mut Cursor<'_>) -> Result<Option<ServerInfo>, WireError> {
+        match cur.byte()? {
+            0 => Ok(None),
+            _ => {
+                let address = self.get_str(cur)?;
+                let origin = self.get_origin(cur)?;
+                Ok(Some(ServerInfo { address, origin }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_access() -> SecpertEvent {
+        SecpertEvent::ResourceAccess {
+            pid: 1,
+            syscall: "SYS_execve",
+            resource: SourceInfo::new(ResourceType::File, "/bin/ls"),
+            origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/app")] },
+            time: 42,
+            frequency: 7,
+            address: 0x0804_8403,
+            proc_count: Some(3),
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        }
+    }
+
+    fn sample_transfer() -> SecpertEvent {
+        SecpertEvent::DataTransfer {
+            pid: 300,
+            syscall: "SYS_write",
+            data_sources: vec![
+                SourceInfo::new(ResourceType::File, "/etc/passwd"),
+                SourceInfo::new(ResourceType::UserInput, ""),
+            ],
+            data_origin: Origin::unknown(),
+            target: SourceInfo::new(ResourceType::Socket, "évil:99 (AF_INET)"),
+            target_origin: Origin {
+                sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/app")],
+            },
+            time: u64::MAX,
+            frequency: 0,
+            address: u32::MAX,
+            executable_content: true,
+            server: Some(ServerInfo {
+                address: "LocalHost:11116 (AF_INET)".into(),
+                origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "pmad")] },
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_both_variants() {
+        let mut enc = EventEncoder::new();
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        enc.encode(&sample_access(), &mut buf);
+        enc.encode(&sample_transfer(), &mut buf);
+
+        let mut dec = EventDecoder::new();
+        let mut pos = read_header(&buf).unwrap();
+        let (a, used) = dec.decode(&buf[pos..]).unwrap();
+        pos += used;
+        assert_eq!(a, sample_access());
+        let (b, used) = dec.decode(&buf[pos..]).unwrap();
+        pos += used;
+        assert_eq!(b, sample_transfer());
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn interning_makes_repeats_cheap() {
+        let mut enc = EventEncoder::new();
+        let mut first = Vec::new();
+        enc.encode(&sample_access(), &mut first);
+        let mut second = Vec::new();
+        enc.encode(&sample_access(), &mut second);
+        assert!(
+            second.len() < first.len() / 2,
+            "repeat encoding should collapse to back-references: {} vs {}",
+            second.len(),
+            first.len()
+        );
+    }
+
+    #[test]
+    fn header_rejects_foreign_streams() {
+        assert!(matches!(read_header(b"HTH"), Err(WireError::Truncated)));
+        assert!(matches!(read_header(b"NOPE\x01rest"), Err(WireError::BadMagic(_))));
+        assert!(matches!(read_header(b"HTHW\x63rest"), Err(WireError::BadVersion(0x63))));
+    }
+
+    #[test]
+    fn malformed_input_errors_cleanly() {
+        let mut dec = EventDecoder::new();
+        assert!(matches!(dec.decode(&[]), Err(WireError::Truncated)));
+        assert!(matches!(dec.decode(&[9]), Err(WireError::BadTag(9))));
+        // ResourceAccess with a string back-reference into an empty table.
+        assert!(matches!(
+            EventDecoder::new().decode(&[TAG_RESOURCE_ACCESS, 1, 5]),
+            Err(WireError::BadStringRef(4))
+        ));
+        // Varint that never terminates within 64 bits.
+        let mut buf = vec![TAG_RESOURCE_ACCESS];
+        buf.extend_from_slice(&[0xff; 11]);
+        assert!(matches!(EventDecoder::new().decode(&buf), Err(WireError::VarintOverflow)));
+    }
+}

@@ -1,0 +1,55 @@
+//! The fleet acceptance property: running ≥ 8 sessions across a
+//! 4-shard analyst pool produces the same aggregate warning multiset
+//! (severity × rule counts) as running the same sessions sequentially
+//! through the classic inline pipeline.
+
+use hth_fleet::{run_scenarios, warning_multiset, FleetConfig, PoolConfig};
+use hth_workloads::Scenario;
+
+/// The workload set: every Table 8 exploit plus the trojaned tic-tac-toe
+/// macro benchmarks — 9 sessions, all of which warn.
+fn workload() -> Vec<Scenario> {
+    let mut scenarios = hth_workloads::exploits::scenarios();
+    scenarios.extend(
+        hth_workloads::macro_bench::scenarios()
+            .into_iter()
+            .filter(|s| s.id == "ttt" || s.id == "ttt_trojaned"),
+    );
+    scenarios
+}
+
+#[test]
+fn fleet_matches_sequential_warning_multiset() {
+    let scenarios = workload();
+    assert!(scenarios.len() >= 8, "acceptance requires >= 8 sessions, got {}", scenarios.len());
+
+    // Sequential baseline: each scenario through its own inline session.
+    let mut sequential = Vec::new();
+    for scenario in &scenarios {
+        let result = scenario.run().expect("scenario runs");
+        sequential.extend(result.warnings);
+    }
+    let expected = warning_multiset(&sequential);
+    assert!(!expected.is_empty(), "the exploit corpus must warn");
+
+    // The same scenarios as a fleet over 4 analyst shards.
+    let config = FleetConfig {
+        pool: PoolConfig { shards: 4, ..PoolConfig::default() },
+        workers: 4,
+        ..FleetConfig::default()
+    };
+    let report = run_scenarios(workload(), &config).expect("policy loads");
+
+    assert!(report.session_errors.is_empty(), "{:?}", report.session_errors);
+    assert!(report.analyst_errors.is_empty(), "{:?}", report.analyst_errors);
+    assert_eq!(report.sessions, scenarios.len());
+    assert_eq!(
+        report.warning_counts, expected,
+        "fleet and sequential runs must agree on the warning multiset"
+    );
+    // The pool really was sharded: stats exist for all 4 shards and the
+    // analysed volume adds up.
+    assert_eq!(report.shards.len(), 4);
+    assert_eq!(report.shards.iter().map(|s| s.events).sum::<u64>(), report.events);
+    assert_eq!(report.shards.iter().map(|s| s.dropped).sum::<u64>(), 0, "Block policy is lossless");
+}

@@ -1,0 +1,88 @@
+//! Replay determinism: record the `backdoor_hunt` workload (the paper's
+//! `pma` backdoor, the scenario behind `examples/backdoor_hunt.rs`) to a
+//! journal through the session event tap, replay the journal through a
+//! fresh Secpert, and require the *identical* warning sequence — and the
+//! same trace the golden snapshot from PR 1 pins.
+
+use std::sync::{Arc, Mutex};
+
+use hth_core::{PolicyConfig, Secpert, Session, SessionConfig, Warning};
+use hth_fleet::{replay, JournalReader, JournalWriter};
+use hth_workloads::Scenario;
+
+fn pma() -> Scenario {
+    hth_workloads::exploits::scenarios()
+        .into_iter()
+        .find(|s| s.id == "pma")
+        .expect("pma is in the Table 8 set")
+}
+
+/// Runs a scenario live (inline analysis on) while recording its event
+/// stream; returns the live warnings and the journal bytes.
+fn record(scenario: &Scenario) -> (Vec<Warning>, Vec<u8>) {
+    let journal = Arc::new(Mutex::new(JournalWriter::new(Vec::new()).expect("vec sink")));
+    let mut session = Session::new(SessionConfig::default()).expect("policy loads");
+    let start = (scenario.setup)(&mut session);
+    let sink = Arc::clone(&journal);
+    session.set_event_tap(Box::new(move |event| {
+        sink.lock().expect("journal sink").append(event).expect("vec journal append");
+    }));
+    let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+    let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(start.path, &argv, &env).expect("spawns");
+    session.run().expect("runs");
+    let warnings = session.warnings().to_vec();
+    drop(session); // releases the tap's Arc
+    let writer = Arc::try_unwrap(journal)
+        .unwrap_or_else(|_| unreachable!("tap dropped with the session"))
+        .into_inner()
+        .expect("sink");
+    (warnings, writer.finish().expect("flush"))
+}
+
+#[test]
+fn journal_replay_reproduces_the_live_warning_sequence() {
+    let (live, bytes) = record(&pma());
+    assert!(!live.is_empty(), "pma must warn");
+
+    let reader = JournalReader::new(&bytes[..]).expect("journal header");
+    let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let replayed = replay(reader, &mut secpert).expect("replay");
+
+    assert_eq!(replayed, live, "offline replay must reproduce the live run warning-for-warning");
+}
+
+#[test]
+fn replayed_warnings_match_the_golden_snapshot() {
+    let (_, bytes) = record(&pma());
+    let reader = JournalReader::new(&bytes[..]).expect("journal header");
+    let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let replayed = replay(reader, &mut secpert).expect("replay");
+
+    let mut rendered = String::new();
+    for w in &replayed {
+        rendered.push_str(&format!(
+            "t={} pid={} {} [{}] {}\n",
+            w.time,
+            w.pid,
+            w.rule,
+            w.severity.label(),
+            w.message
+        ));
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/warnings.txt");
+    let golden = std::fs::read_to_string(path).expect("PR 1's golden snapshot exists");
+    let pma_block: String = golden
+        .split("== ")
+        .find(|block| block.starts_with("pma "))
+        .expect("pma block in golden")
+        .lines()
+        .skip(1) // the "pma (Table 8)" heading itself
+        .map(|line| format!("{line}\n"))
+        .collect();
+    assert_eq!(
+        rendered, pma_block,
+        "replayed warning trace diverged from the pinned golden pma trace"
+    );
+}

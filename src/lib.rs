@@ -23,6 +23,11 @@
 //! files, sockets, DNS and processes. Every workload of the paper's
 //! evaluation is included in [`hth_workloads`].
 //!
+//! The event protocol between the two halves is first-class in
+//! [`hth_fleet`]: a binary wire codec, append-once/replay-offline event
+//! journals, and a sharded analyst pool that scales Secpert across
+//! threads for whole fleets of monitored sessions.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -54,6 +59,7 @@
 pub use emukernel;
 pub use harrier;
 pub use hth_core;
+pub use hth_fleet;
 pub use hth_vm;
 pub use hth_workloads;
 pub use secpert_engine;
