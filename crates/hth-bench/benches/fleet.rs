@@ -62,7 +62,12 @@ impl Measurement {
 /// fresh pool, each copy as its own session id so the Fibonacci shard
 /// hash spreads the load; returns the drain-to-drain measurement.
 fn measure(corpus: &Arc<Vec<SecpertEvent>>, shards: usize, replicate: usize) -> Measurement {
-    let config = PoolConfig { shards, queue_capacity: 4096, backpressure: Backpressure::Block };
+    let config = PoolConfig {
+        shards,
+        queue_capacity: 4096,
+        backpressure: Backpressure::Block,
+        ..PoolConfig::default()
+    };
     let pool = Arc::new(AnalystPool::new(&config, &PolicyConfig::default()).expect("policy loads"));
     let start = Instant::now();
     let mut producers = Vec::with_capacity(PRODUCERS);

@@ -9,8 +9,8 @@
 //! hth audit <prog.s>      # Appendix B Secure Binary audit
 //! hth listing <prog.s>    # assemble and print the listing
 //! hth fleet [--sessions N] [--shards N] [--workers N] [--queue N]
-//!           [--drop-oldest] [--trust NAME]…
-//! hth replay <events.hthj> [--trust NAME]…
+//!           [--drop-oldest] [--chaos-seed N] [--trust NAME]…
+//! hth replay <events.hthj> [--repair] [--trust NAME]…
 //! ```
 //!
 //! The argument parser and command execution live here so they are unit
@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 use emukernel::{Endpoint, FileNode, Peer, RemoteClient};
 use harrier::audit;
 use hth_core::{PolicyConfig, Secpert, Session, SessionConfig};
-use hth_fleet::{Backpressure, FleetConfig, JournalReader, JournalWriter};
+use hth_fleet::{Backpressure, FaultPlan, FleetConfig, JournalReader, JournalWriter};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +49,9 @@ pub enum Command {
         journal: String,
         /// Extra trusted binaries for the replay policy.
         trust: Vec<String>,
+        /// Salvage every decodable frame from a damaged journal instead
+        /// of failing on the first corrupt byte.
+        repair: bool,
     },
     /// Print usage.
     Help,
@@ -67,6 +70,9 @@ pub struct FleetOptions {
     pub queue: usize,
     /// Shed load (`DropOldest`) instead of blocking producers.
     pub drop_oldest: bool,
+    /// Seed for deterministic fault injection (chaos testing); `None`
+    /// runs the fleet fault-free.
+    pub chaos_seed: Option<u64>,
     /// Extra trusted binaries.
     pub trust: Vec<String>,
 }
@@ -79,6 +85,7 @@ impl Default for FleetOptions {
             workers: 4,
             queue: 1024,
             drop_oldest: false,
+            chaos_seed: None,
             trust: Vec::new(),
         }
     }
@@ -130,8 +137,10 @@ USAGE:
   hth audit <prog.s>           Secure Binary audit (Appendix B)
   hth listing <prog.s>         assemble and print the listing
   hth fleet [options]          run a workload fleet through the analyst pool
-  hth replay <events.hthj> [--trust NAME]…
-                               replay a recorded journal offline
+  hth replay <events.hthj> [--repair] [--trust NAME]…
+                               replay a recorded journal offline; --repair
+                               salvages every decodable frame from a
+                               damaged journal and reports what was lost
   hth help                     this text
 
 RUN OPTIONS:
@@ -157,6 +166,9 @@ FLEET OPTIONS:
   --workers N        session-runner threads (default 4)
   --queue N          per-shard queue capacity (default 1024)
   --drop-oldest      shed load instead of blocking when a queue fills
+  --chaos-seed N     inject deterministic faults (shard panics, queue
+                     stalls) derived from seed N; losses are counted,
+                     never silent
   --trust NAME       add a trusted binary (substring match)
 ";
 
@@ -210,15 +222,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "listing" => return Ok(Command::Listing { source }),
         "replay" => {
             let mut trust = Vec::new();
+            let mut repair = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--trust" => trust.push(
                         it.next().cloned().ok_or_else(|| "--trust needs a value".to_string())?,
                     ),
+                    "--repair" => repair = true,
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
-            return Ok(Command::Replay { journal: source, trust });
+            return Ok(Command::Replay { journal: source, trust, repair });
         }
         "run" => {}
         other => return Err(format!("unknown command `{other}` (try `hth help`)")),
@@ -286,6 +300,13 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
             "--workers" => opts.workers = parse_count(&value("--workers")?, "--workers")?,
             "--queue" => opts.queue = parse_count(&value("--queue")?, "--queue")?,
             "--drop-oldest" => opts.drop_oldest = true,
+            "--chaos-seed" => {
+                let text = value("--chaos-seed")?;
+                opts.chaos_seed = Some(
+                    text.parse::<u64>()
+                        .map_err(|_| format!("bad --chaos-seed `{text}` (want a u64)"))?,
+                );
+            }
             "--trust" => opts.trust.push(value("--trust")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -332,7 +353,7 @@ pub fn execute(command: Command) -> Result<String, String> {
         }
         Command::Run(opts) => run(*opts),
         Command::Fleet(opts) => fleet(opts),
-        Command::Replay { journal, trust } => replay_journal(&journal, trust),
+        Command::Replay { journal, trust, repair } => replay_journal(&journal, trust, repair),
     }
 }
 
@@ -354,24 +375,52 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
     config.pool.backpressure =
         if opts.drop_oldest { Backpressure::DropOldest } else { Backpressure::Block };
     config.workers = opts.workers;
+    if let Some(seed) = opts.chaos_seed {
+        config.pool.faults = Some(Arc::new(FaultPlan::from_seed(seed)));
+    }
     config.session.policy.trusted_binaries.extend(opts.trust.iter().cloned());
     let report = hth_fleet::run_scenarios(scenarios, &config).map_err(|e| e.to_string())?;
-    Ok(report.render())
+    let mut out = report.render();
+    if let Some(seed) = opts.chaos_seed {
+        let _ = writeln!(
+            out,
+            "chaos: seed {seed}, {} lost of {} submitted, {} respawns (all accounted)",
+            report.lost(),
+            report.submitted,
+            report.respawns,
+        );
+    }
+    Ok(out)
 }
 
 /// Replays a recorded journal through a fresh Secpert, printing every
-/// warning the offline analysis reproduces.
-fn replay_journal(journal: &str, trust: Vec<String>) -> Result<String, String> {
-    let file = std::fs::File::open(journal)
-        .map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
-    let reader = JournalReader::new(std::io::BufReader::new(file))
-        .map_err(|e| format!("`{journal}`: {e}"))?;
+/// warning the offline analysis reproduces. With `repair`, a damaged
+/// journal is salvaged frame by frame instead of aborting: every
+/// decodable prefix is replayed and the recovery report says exactly
+/// what was dropped.
+fn replay_journal(journal: &str, trust: Vec<String>, repair: bool) -> Result<String, String> {
     let mut policy = PolicyConfig::default();
     policy.trusted_binaries.extend(trust);
     let mut secpert = Secpert::new(&policy).map_err(|e| e.to_string())?;
-    let warnings =
-        hth_fleet::replay(reader, &mut secpert).map_err(|e| format!("`{journal}`: {e}"))?;
+    let (warnings, recovery) = if repair {
+        let bytes =
+            std::fs::read(journal).map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
+        let (warnings, report) = hth_fleet::replay_repair(&bytes, &mut secpert)
+            .map_err(|e| format!("`{journal}`: {e}"))?;
+        (warnings, Some(report))
+    } else {
+        let file = std::fs::File::open(journal)
+            .map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
+        let reader = JournalReader::new(std::io::BufReader::new(file))
+            .map_err(|e| format!("`{journal}`: {e}"))?;
+        let warnings =
+            hth_fleet::replay(reader, &mut secpert).map_err(|e| format!("`{journal}`: {e}"))?;
+        (warnings, None)
+    };
     let mut out = String::new();
+    if let Some(report) = &recovery {
+        let _ = writeln!(out, "recovery: {}", report.render());
+    }
     if warnings.is_empty() {
         let _ = writeln!(out, "clean: no warnings");
     } else {
@@ -599,10 +648,28 @@ mod tests {
     fn parse_replay_options() {
         assert_eq!(
             parse(&strs(&["replay", "events.hthj", "--trust", "make"])).unwrap(),
-            Command::Replay { journal: "events.hthj".to_string(), trust: vec!["make".to_string()] }
+            Command::Replay {
+                journal: "events.hthj".to_string(),
+                trust: vec!["make".to_string()],
+                repair: false,
+            }
+        );
+        assert_eq!(
+            parse(&strs(&["replay", "events.hthj", "--repair"])).unwrap(),
+            Command::Replay { journal: "events.hthj".to_string(), trust: vec![], repair: true }
         );
         assert!(parse(&strs(&["replay"])).is_err());
         assert!(parse(&strs(&["replay", "events.hthj", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_chaos_seed() {
+        let cmd = parse(&strs(&["fleet", "--chaos-seed", "7"])).unwrap();
+        let Command::Fleet(opts) = cmd else { panic!() };
+        assert_eq!(opts.chaos_seed, Some(7));
+        assert!(parse(&strs(&["fleet", "--chaos-seed"])).is_err());
+        assert!(parse(&strs(&["fleet", "--chaos-seed", "x"])).is_err());
+        assert!(parse(&strs(&["fleet", "--chaos-seed", "-1"])).is_err());
     }
 
     #[test]
@@ -669,10 +736,53 @@ mod tests {
         let replay_out = execute(Command::Replay {
             journal: journal.to_string_lossy().into_owned(),
             trust: Vec::new(),
+            repair: false,
         })
         .unwrap();
         assert!(replay_out.contains("[LOW]"), "{replay_out}");
         assert!(replay_out.contains("replay: 1 warnings"), "{replay_out}");
+
+        // --repair on an intact journal is a no-op salvage: same
+        // warnings, clean recovery report.
+        let repair_out = execute(Command::Replay {
+            journal: journal.to_string_lossy().into_owned(),
+            trust: Vec::new(),
+            repair: true,
+        })
+        .unwrap();
+        assert!(repair_out.contains("replay: 1 warnings"), "{repair_out}");
+        assert!(repair_out.contains("clean EOF"), "{repair_out}");
+    }
+
+    #[test]
+    fn repair_salvages_a_truncated_journal() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("torn.s");
+        std::fs::write(
+            &src,
+            "_start:\n mov eax, 11\n mov ebx, prog\n int 0x80\n hlt\n.data\nprog: .asciz \"/bin/ls\"\n",
+        )
+        .unwrap();
+        let journal = dir.join("torn.hthj");
+        execute(Command::Run(Box::new(RunOptions {
+            source: src.to_string_lossy().into_owned(),
+            journal: Some(journal.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        })))
+        .unwrap();
+        // Tear the tail: chop the last 3 bytes off the recorded file.
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - 3]).unwrap();
+
+        let path = journal.to_string_lossy().into_owned();
+        let strict =
+            execute(Command::Replay { journal: path.clone(), trust: vec![], repair: false });
+        assert!(strict.is_err(), "strict replay must fail on a torn journal");
+        let repaired =
+            execute(Command::Replay { journal: path, trust: vec![], repair: true }).unwrap();
+        assert!(repaired.contains("torn tail"), "{repaired}");
+        assert!(repaired.contains("replay:"), "{repaired}");
     }
 
     #[test]

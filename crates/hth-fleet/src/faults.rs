@@ -1,0 +1,216 @@
+//! Deterministic fault injection for the fleet pipeline.
+//!
+//! Trojans stress their hosts; a fleet that only works on a healthy
+//! machine is not a monitor. A [`FaultPlan`] decides — purely as a
+//! function of a seed and an event's coordinates — where the pipeline
+//! misbehaves: a journal byte flips, a frame is torn mid-write, an
+//! analyst shard panics, a queue stalls. Because every decision is
+//! deterministic, a chaos run is reproducible (`hth fleet --chaos-seed
+//! N` fails the same way every time) and the whole failure model is
+//! testable: the chaos suite asserts that every injected loss shows up
+//! in a counter and nothing vanishes silently.
+//!
+//! Two ways to build a plan:
+//!
+//! * [`FaultPlan::from_seed`] — rate-based faults derived from the seed
+//!   (what `--chaos-seed` uses); coordinates are hashed with SplitMix64
+//!   so the same seed always faults the same events,
+//! * explicit points ([`FaultPlan::panic_on`], [`FaultPlan::stall_on`],
+//!   [`FaultPlan::flip_bit`], [`FaultPlan::truncate`]) — surgical
+//!   placement for unit tests and fixture generation.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A fault applied to one journal frame, selected by event index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalFault {
+    /// XOR one bit of the encoded frame (length prefix, CRC or payload —
+    /// whichever the bit offset lands in, modulo the frame length).
+    FlipBit {
+        /// Bit offset into the frame, taken modulo the frame's bit
+        /// length.
+        bit: u64,
+    },
+    /// Write only the first `keep` bytes of the frame, then stop — a
+    /// torn write. Everything after this event is lost.
+    Truncate {
+        /// Bytes of the frame to keep (clamped to the frame length).
+        keep: usize,
+    },
+}
+
+/// A seeded, deterministic plan of where the pipeline misbehaves.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// One panic in `panic_denom` analysed events (0 = off).
+    panic_denom: u64,
+    /// One stall in `stall_denom` analysed events (0 = off).
+    stall_denom: u64,
+    stall_millis: u64,
+    /// One journal fault in `journal_denom` appended events (0 = off).
+    journal_denom: u64,
+    panics: Vec<(usize, u64)>,
+    stalls: BTreeMap<(usize, u64), Duration>,
+    journal: BTreeMap<u64, JournalFault>,
+}
+
+/// SplitMix64 finalizer over a combined coordinate, the deterministic
+/// core of every rate-based decision.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults until points are added.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The standard chaos mix for a seed (what `--chaos-seed` builds):
+    /// roughly one shard panic per 96 analysed events, one short queue
+    /// stall per 160, journal faults off. Every decision is a pure
+    /// function of `(seed, shard, event index)`.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_denom: 96,
+            stall_denom: 160,
+            stall_millis: 1 + mix(seed) % 3,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The seed the rate-based faults are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds an explicit shard panic: the analyst handling `shard`'s
+    /// `nth` event (1-based) panics instead of analysing it.
+    #[must_use]
+    pub fn panic_on(mut self, shard: usize, nth: u64) -> FaultPlan {
+        self.panics.push((shard, nth));
+        self
+    }
+
+    /// Adds an explicit queue stall before `shard`'s `nth` event.
+    #[must_use]
+    pub fn stall_on(mut self, shard: usize, nth: u64, millis: u64) -> FaultPlan {
+        self.stalls.insert((shard, nth), Duration::from_millis(millis));
+        self
+    }
+
+    /// Flips one bit of the frame encoding journal event `index`
+    /// (0-based append order).
+    #[must_use]
+    pub fn flip_bit(mut self, event: u64, bit: u64) -> FaultPlan {
+        self.journal.insert(event, JournalFault::FlipBit { bit });
+        self
+    }
+
+    /// Tears the write of journal event `index` after `keep` bytes.
+    #[must_use]
+    pub fn truncate(mut self, event: u64, keep: usize) -> FaultPlan {
+        self.journal.insert(event, JournalFault::Truncate { keep });
+        self
+    }
+
+    /// Enables rate-based journal faults: one fault per `denom` appended
+    /// events, alternating bit flips and torn writes by hash parity.
+    #[must_use]
+    pub fn with_journal_rate(mut self, denom: u64) -> FaultPlan {
+        self.journal_denom = denom;
+        self
+    }
+
+    /// Should the analyst panic on `shard`'s `nth` event? (1-based.)
+    pub fn should_panic(&self, shard: usize, nth: u64) -> bool {
+        if self.panics.contains(&(shard, nth)) {
+            return true;
+        }
+        self.panic_denom != 0
+            && mix(self.seed ^ 0xA11C_E000 ^ ((shard as u64) << 32) ^ nth)
+                .is_multiple_of(self.panic_denom)
+    }
+
+    /// How long the analyst should stall before `shard`'s `nth` event.
+    pub fn stall(&self, shard: usize, nth: u64) -> Option<Duration> {
+        if let Some(d) = self.stalls.get(&(shard, nth)) {
+            return Some(*d);
+        }
+        if self.stall_denom != 0
+            && mix(self.seed ^ 0x57A1_1000 ^ ((shard as u64) << 32) ^ nth)
+                .is_multiple_of(self.stall_denom)
+        {
+            return Some(Duration::from_millis(self.stall_millis));
+        }
+        None
+    }
+
+    /// The fault, if any, applied to journal event `index` (0-based).
+    pub fn journal_fault(&self, event: u64) -> Option<JournalFault> {
+        if let Some(f) = self.journal.get(&event) {
+            return Some(*f);
+        }
+        if self.journal_denom != 0 {
+            let h = mix(self.seed ^ 0x10BB_ED00 ^ event);
+            if h.is_multiple_of(self.journal_denom) {
+                return Some(if h & 0x100 == 0 {
+                    JournalFault::FlipBit { bit: h >> 9 }
+                } else {
+                    JournalFault::Truncate { keep: (h >> 9) as usize % 32 }
+                });
+            }
+        }
+        None
+    }
+
+    /// True when the plan can never fire (no rates, no points) — lets
+    /// hot paths skip the bookkeeping entirely.
+    pub fn is_empty(&self) -> bool {
+        self.panic_denom == 0
+            && self.stall_denom == 0
+            && self.journal_denom == 0
+            && self.panics.is_empty()
+            && self.stalls.is_empty()
+            && self.journal.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::from_seed(7);
+        let b = FaultPlan::from_seed(7);
+        let c = FaultPlan::from_seed(8);
+        let decisions =
+            |p: &FaultPlan| (0..4000u64).map(|i| p.should_panic(0, i)).collect::<Vec<_>>();
+        assert_eq!(decisions(&a), decisions(&b), "same seed, same faults");
+        assert_ne!(decisions(&a), decisions(&c), "different seed, different faults");
+        let fired = decisions(&a).iter().filter(|f| **f).count();
+        assert!((10..=90).contains(&fired), "~1/96 rate over 4000 events, got {fired}");
+    }
+
+    #[test]
+    fn explicit_points_fire_exactly_where_placed() {
+        let plan =
+            FaultPlan::new().panic_on(2, 5).stall_on(1, 3, 10).flip_bit(4, 17).truncate(9, 6);
+        assert!(plan.should_panic(2, 5));
+        assert!(!plan.should_panic(2, 4) && !plan.should_panic(1, 5));
+        assert_eq!(plan.stall(1, 3), Some(Duration::from_millis(10)));
+        assert_eq!(plan.stall(1, 4), None);
+        assert_eq!(plan.journal_fault(4), Some(JournalFault::FlipBit { bit: 17 }));
+        assert_eq!(plan.journal_fault(9), Some(JournalFault::Truncate { keep: 6 }));
+        assert_eq!(plan.journal_fault(5), None);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! by the event protocol, each side scaled by its own thread count.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use hth_core::{SessionConfig, Severity};
@@ -44,8 +44,20 @@ pub type WarningKey = (Severity, String);
 pub struct FleetReport {
     /// Sessions run to completion (including ones that produced faults).
     pub sessions: usize,
+    /// Events submitted to the pool across all shards.
+    pub submitted: u64,
     /// Events analysed across all shards.
     pub events: u64,
+    /// Events evicted under [`crate::pool::Backpressure::DropOldest`].
+    pub dropped: u64,
+    /// Events quarantined after panicking an analyst.
+    pub quarantined: u64,
+    /// Events drained unanalysed by failed shards.
+    pub discarded: u64,
+    /// Fresh engines spawned after analyst panics.
+    pub respawns: u32,
+    /// One line per quarantined event (shard, event index, panic text).
+    pub quarantine_log: Vec<String>,
     /// Wall-clock duration of the whole run (sessions + analysis drain).
     pub elapsed: Duration,
     /// Aggregate warning multiset: (severity, rule) → count.
@@ -69,6 +81,12 @@ impl FleetReport {
         self.warning_counts.values().sum()
     }
 
+    /// Events that never reached an analysis (dropped + quarantined +
+    /// discarded). Zero on a healthy, lossless run.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.quarantined + self.discarded
+    }
+
     /// Renders the report as a human-readable block.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -85,12 +103,27 @@ impl FleetReport {
         for ((severity, rule), count) in self.warning_counts.iter().rev() {
             let _ = writeln!(out, "  {count:5}x [{severity}] {rule}");
         }
+        if self.lost() > 0 || self.respawns > 0 {
+            let _ = writeln!(
+                out,
+                "  losses: {} of {} submitted ({} dropped, {} quarantined, {} discarded), {} respawns",
+                self.lost(),
+                self.submitted,
+                self.dropped,
+                self.quarantined,
+                self.discarded,
+                self.respawns,
+            );
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "  shard {i}: {} events, {} warnings, queue high-water {}, dropped {}",
                 shard.events, shard.warnings, shard.high_water, shard.dropped,
             );
+        }
+        for line in &self.quarantine_log {
+            let _ = writeln!(out, "  quarantined: {line}");
         }
         for error in self.session_errors.iter().chain(&self.analyst_errors) {
             let _ = writeln!(out, "  error: {error}");
@@ -140,30 +173,44 @@ pub fn run_scenarios(
         session_config.analyze_inline = false;
         session_config.record_events = false;
         runners.push(std::thread::spawn(move || loop {
-            let job = jobs.lock().expect("job queue poisoned").pop_front();
+            let job = jobs.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
             let Some((sid, scenario)) = job else { return };
             if let Err(e) = run_one(sid, &scenario, session_config.clone(), &pool) {
-                errors.lock().expect("error sink poisoned").push(format!("{}: {e}", scenario.id));
+                errors
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(format!("{}: {e}", scenario.id));
             }
         }));
     }
-    for runner in runners {
-        runner.join().expect("session runner panicked");
+    let mut runner_errors = Vec::new();
+    for (i, runner) in runners.into_iter().enumerate() {
+        if runner.join().is_err() {
+            runner_errors.push(format!("session runner {i} panicked"));
+        }
     }
 
     let report = Arc::try_unwrap(pool)
         .unwrap_or_else(|_| unreachable!("all runners joined, pool has one owner"))
         .finish();
+    let mut session_errors = Arc::try_unwrap(session_errors)
+        .unwrap_or_default()
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    session_errors.extend(runner_errors);
     Ok(FleetReport {
         sessions,
+        submitted: report.submitted,
         events: report.events,
+        dropped: report.dropped,
+        quarantined: report.quarantined,
+        discarded: report.discarded,
+        respawns: report.respawns,
+        quarantine_log: report.quarantine_log,
         elapsed: started.elapsed(),
         warning_counts: warning_multiset(&report.warnings),
         shards: report.shards,
-        session_errors: Arc::try_unwrap(session_errors)
-            .expect("runners joined")
-            .into_inner()
-            .expect("error sink poisoned"),
+        session_errors,
         analyst_errors: report.errors,
     })
 }

@@ -8,23 +8,34 @@
 //!   [`harrier::SecpertEvent`] (varints, per-stream string interning,
 //!   magic + version header),
 //! * [`journal`] — append-only event journals over any `Write`/`Read`,
-//!   so a live session is recorded once and replayed through any policy
-//!   offline ([`journal::replay`]),
-//! * [`pool`] — a sharded analyst pool: worker threads with private
-//!   [`hth_core::Secpert`] engines, sessions hashed to shards, bounded
-//!   queues with explicit [`pool::Backpressure`],
+//!   with per-frame CRC32 (v2), segment rotation, and a recovery scan
+//!   that salvages every decodable frame from a corrupted file
+//!   ([`journal::replay`], [`journal::recover`]),
+//! * [`pool`] — a sharded, *supervised* analyst pool: worker threads
+//!   with private [`hth_core::Secpert`] engines, sessions hashed to
+//!   shards, bounded queues with explicit [`pool::Backpressure`], panics
+//!   quarantined and engines respawned under a retry budget,
 //! * [`fleet`] — an orchestrator running many workload sessions across
 //!   threads, fanning events into the pool and aggregating a
-//!   [`fleet::FleetReport`].
+//!   [`fleet::FleetReport`],
+//! * [`faults`] — deterministic seeded fault injection
+//!   ([`faults::FaultPlan`], `hth fleet --chaos-seed N`) so the whole
+//!   failure model above is reproducible and testable.
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fleet;
 pub mod journal;
 pub mod pool;
 pub mod wire;
 
+pub use faults::{FaultPlan, JournalFault};
 pub use fleet::{run_scenarios, warning_multiset, FleetConfig, FleetReport};
-pub use journal::{replay, JournalReader, JournalWriter, ReplayError};
+pub use journal::{
+    recover, recover_segments, replay, replay_repair, replay_segments, segment_paths,
+    JournalReader, JournalWriter, RecoveryOutcome, RecoveryReport, ReplayError,
+    SegmentedJournalWriter, JOURNAL_V1, JOURNAL_V2,
+};
 pub use pool::{AnalystPool, Backpressure, PoolConfig, PoolReport, SessionId, ShardStats};
-pub use wire::{EventDecoder, EventEncoder, WireError};
+pub use wire::{crc32, EventDecoder, EventEncoder, WireError, MAX_FRAME_LEN};

@@ -1,5 +1,7 @@
 //! The sharded analyst pool: N worker threads, each owning a private
-//! [`Secpert`] engine, fed through bounded per-shard queues.
+//! [`Secpert`] engine, fed through bounded per-shard queues — and
+//! supervised, because a production analyst must outlive a misbehaving
+//! event.
 //!
 //! Sessions are hashed to shards, so every event of one session is
 //! analysed by the same engine in submission order — the property the
@@ -13,14 +15,26 @@
 //! * [`Backpressure::DropOldest`] — the oldest queued event is evicted
 //!   and counted (lossy, bounded latency; drop counters surface in
 //!   [`ShardStats`]).
+//!
+//! Supervision: a panic inside the engine (or injected by a
+//! [`FaultPlan`]) is caught with `catch_unwind`, the offending event is
+//! *quarantined* (counted, described, optionally kept), and the shard
+//! respawns a fresh `Secpert` — up to [`PoolConfig::max_respawns`]
+//! times. Past the budget the shard degrades to drain-and-discard so
+//! blocked submitters can never deadlock on a dead analyst. Every loss
+//! path has a counter: `submitted == analysed + dropped + quarantined
+//! + discarded` holds for every shard, always.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use harrier::SecpertEvent;
 use hth_core::{PolicyConfig, Secpert, Warning};
 use secpert_engine::EngineError;
+
+use crate::faults::FaultPlan;
 
 /// Identifies one monitored session within a fleet (used only for shard
 /// routing and reporting; the kernel-level pid lives inside the event).
@@ -36,7 +50,7 @@ pub enum Backpressure {
     DropOldest,
 }
 
-/// Pool sizing and backpressure policy.
+/// Pool sizing, backpressure and supervision policy.
 #[derive(Clone, Debug)]
 pub struct PoolConfig {
     /// Number of analyst shards (worker threads / Secpert engines).
@@ -45,25 +59,60 @@ pub struct PoolConfig {
     pub queue_capacity: usize,
     /// Policy when a queue is full.
     pub backpressure: Backpressure,
+    /// How many times a shard may respawn a fresh engine after a panic
+    /// before degrading to drain-and-discard.
+    pub max_respawns: u32,
+    /// Deterministic fault injection (chaos testing); `None` in
+    /// production.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Keep every lost event (dropped, quarantined, discarded) in the
+    /// final report — exact loss accounting for tests; off by default
+    /// because it is unbounded memory under sustained loss.
+    pub keep_lost_events: bool,
 }
 
 impl Default for PoolConfig {
     fn default() -> PoolConfig {
-        PoolConfig { shards: 4, queue_capacity: 1024, backpressure: Backpressure::Block }
+        PoolConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
+            max_respawns: 3,
+            faults: None,
+            keep_lost_events: false,
+        }
     }
 }
 
-/// Per-shard counters, surfaced in the final report.
+/// Per-shard counters, surfaced in the final report. Invariant:
+/// `submitted == events + dropped + quarantined + discarded`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
+    /// Events routed to this shard.
+    pub submitted: u64,
     /// Events analysed by this shard.
     pub events: u64,
     /// Events evicted under [`Backpressure::DropOldest`].
     pub dropped: u64,
+    /// Events quarantined after panicking the engine.
+    pub quarantined: u64,
+    /// Events drained unanalysed after the shard failed (engine error,
+    /// respawn budget exhausted, or respawn failure).
+    pub discarded: u64,
+    /// Fresh engines spawned after panics.
+    pub respawns: u32,
     /// Queue-depth high-water mark.
     pub high_water: usize,
     /// Warnings this shard's engine issued.
     pub warnings: usize,
+}
+
+impl ShardStats {
+    /// Events that never reached an analysis: dropped + quarantined +
+    /// discarded.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.quarantined + self.discarded
+    }
 }
 
 /// Everything a drained pool knows.
@@ -72,20 +121,47 @@ pub struct PoolReport {
     /// All warnings, grouped by shard in shard order (within a shard:
     /// analysis order).
     pub warnings: Vec<Warning>,
+    /// Total events submitted across all shards.
+    pub submitted: u64,
     /// Total events analysed.
     pub events: u64,
+    /// Total events evicted under [`Backpressure::DropOldest`].
+    pub dropped: u64,
+    /// Total events quarantined after engine panics.
+    pub quarantined: u64,
+    /// Total events drained unanalysed by failed shards.
+    pub discarded: u64,
+    /// Fresh engines spawned after panics, across all shards.
+    pub respawns: u32,
     /// Per-shard counters.
     pub shards: Vec<ShardStats>,
-    /// Engine failures (rule bugs); events after a shard's first failure
-    /// are drained unanalysed.
+    /// Shard failures: engine errors, panic descriptions past the
+    /// respawn budget, respawn failures, worker-thread losses.
     pub errors: Vec<String>,
+    /// One line per quarantined event: which shard, which event, what
+    /// the panic said.
+    pub quarantine_log: Vec<String>,
+    /// The lost events themselves, when
+    /// [`PoolConfig::keep_lost_events`] was set (dropped + quarantined
+    /// + discarded, in no particular global order).
+    pub lost_events: Vec<SecpertEvent>,
+}
+
+impl PoolReport {
+    /// Total events that never reached an analysis.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.quarantined + self.discarded
+    }
 }
 
 struct QueueState {
     deque: VecDeque<SecpertEvent>,
     closed: bool,
+    submitted: u64,
     dropped: u64,
     high_water: usize,
+    /// Evicted events, kept only under `keep_lost_events`.
+    evicted: Vec<SecpertEvent>,
 }
 
 struct ShardQueue {
@@ -94,10 +170,24 @@ struct ShardQueue {
     not_full: Condvar,
 }
 
+/// Mutex poisoning cannot corrupt the queue invariants (no code path
+/// panics while holding the lock with the state half-updated), so a
+/// poisoned lock is recovered rather than propagated — the total error
+/// path the pool's report depends on.
+fn lock_state(queue: &ShardQueue) -> MutexGuard<'_, QueueState> {
+    queue.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Default)]
 struct ShardOutcome {
     warnings: Vec<Warning>,
     events: u64,
-    error: Option<String>,
+    quarantined: u64,
+    discarded: u64,
+    respawns: u32,
+    errors: Vec<String>,
+    quarantine_log: Vec<String>,
+    lost_events: Vec<SecpertEvent>,
 }
 
 /// The pool: construct, `submit` events, then `finish` to drain and
@@ -108,6 +198,7 @@ pub struct AnalystPool {
     workers: Vec<JoinHandle<ShardOutcome>>,
     capacity: usize,
     backpressure: Backpressure,
+    keep_lost_events: bool,
 }
 
 impl AnalystPool {
@@ -135,8 +226,10 @@ impl AnalystPool {
                     state: Mutex::new(QueueState {
                         deque: VecDeque::new(),
                         closed: false,
+                        submitted: 0,
                         dropped: 0,
                         high_water: 0,
+                        evicted: Vec::new(),
                     }),
                     not_empty: Condvar::new(),
                     not_full: Condvar::new(),
@@ -146,9 +239,17 @@ impl AnalystPool {
         let workers = engines
             .into_iter()
             .zip(&queues)
-            .map(|(engine, queue)| {
+            .enumerate()
+            .map(|(shard, (engine, queue))| {
                 let queue = Arc::clone(queue);
-                std::thread::spawn(move || analyst_loop(engine, &queue))
+                let supervisor = Supervisor {
+                    shard,
+                    policy: policy.clone(),
+                    faults: config.faults.clone(),
+                    max_respawns: config.max_respawns,
+                    keep_lost_events: config.keep_lost_events,
+                };
+                std::thread::spawn(move || analyst_loop(engine, &queue, supervisor))
             })
             .collect();
         Ok(AnalystPool {
@@ -156,6 +257,7 @@ impl AnalystPool {
             workers,
             capacity: config.queue_capacity,
             backpressure: config.backpressure,
+            keep_lost_events: config.keep_lost_events,
         })
     }
 
@@ -171,21 +273,28 @@ impl AnalystPool {
     }
 
     /// Enqueues one event for the session's shard, applying the
-    /// configured backpressure policy if that queue is full.
+    /// configured backpressure policy if that queue is full. Total: a
+    /// panicked or degraded analyst keeps draining its queue, so this
+    /// never deadlocks and never panics.
     pub fn submit(&self, session: SessionId, event: SecpertEvent) {
         let queue = &self.queues[self.shard_of(session)];
-        let mut state = queue.state.lock().expect("shard queue poisoned");
+        let mut state = lock_state(queue);
         debug_assert!(!state.closed, "submit after finish");
+        state.submitted += 1;
         if state.deque.len() >= self.capacity {
             match self.backpressure {
                 Backpressure::Block => {
                     while state.deque.len() >= self.capacity && !state.closed {
-                        state = queue.not_full.wait(state).expect("shard queue poisoned");
+                        state = queue.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
                     }
                 }
                 Backpressure::DropOldest => {
-                    state.deque.pop_front();
-                    state.dropped += 1;
+                    if let Some(evicted) = state.deque.pop_front() {
+                        state.dropped += 1;
+                        if self.keep_lost_events {
+                            state.evicted.push(evicted);
+                        }
+                    }
                 }
             }
         }
@@ -196,26 +305,53 @@ impl AnalystPool {
     }
 
     /// Closes every queue, waits for the analysts to drain them, and
-    /// aggregates the outcome.
+    /// aggregates the outcome. Total: worker panics (which `catch_unwind`
+    /// should make impossible) are reported as errors, not propagated.
     pub fn finish(self) -> PoolReport {
         for queue in &self.queues {
-            queue.state.lock().expect("shard queue poisoned").closed = true;
+            lock_state(queue).closed = true;
             queue.not_empty.notify_all();
             queue.not_full.notify_all();
         }
         let mut report = PoolReport::default();
-        for (queue, worker) in self.queues.iter().zip(self.workers) {
-            let outcome = worker.join().expect("analyst thread panicked");
-            let state = queue.state.lock().expect("shard queue poisoned");
-            report.events += outcome.events;
-            report.shards.push(ShardStats {
+        for (shard, (queue, worker)) in self.queues.iter().zip(self.workers).enumerate() {
+            let outcome = worker.join().unwrap_or_else(|panic| {
+                let mut outcome = ShardOutcome::default();
+                outcome
+                    .errors
+                    .push(format!("shard {shard}: worker lost ({})", describe_panic(&*panic)));
+                outcome
+            });
+            let mut state = lock_state(queue);
+            // A lost worker leaves its queue undrained; account the
+            // leftovers as discarded so the submit invariant holds.
+            let leftovers = state.deque.len() as u64;
+            let leftover_events: Vec<SecpertEvent> = state.deque.drain(..).collect();
+            let evicted = std::mem::take(&mut state.evicted);
+            let stats = ShardStats {
+                submitted: state.submitted,
                 events: outcome.events,
                 dropped: state.dropped,
+                quarantined: outcome.quarantined,
+                discarded: outcome.discarded + leftovers,
+                respawns: outcome.respawns,
                 high_water: state.high_water,
                 warnings: outcome.warnings.len(),
-            });
-            if let Some(error) = outcome.error {
-                report.errors.push(error);
+            };
+            drop(state);
+            report.submitted += stats.submitted;
+            report.events += stats.events;
+            report.dropped += stats.dropped;
+            report.quarantined += stats.quarantined;
+            report.discarded += stats.discarded;
+            report.respawns += stats.respawns;
+            report.shards.push(stats);
+            report.errors.extend(outcome.errors);
+            report.quarantine_log.extend(outcome.quarantine_log);
+            if self.keep_lost_events {
+                report.lost_events.extend(evicted);
+                report.lost_events.extend(outcome.lost_events);
+                report.lost_events.extend(leftover_events);
             }
             report.warnings.extend(outcome.warnings);
         }
@@ -223,14 +359,44 @@ impl AnalystPool {
     }
 }
 
-/// One analyst: pop events in order, feed the private engine. After the
-/// first engine error the shard keeps draining (so `Block` submitters
-/// never deadlock) but stops analysing.
-fn analyst_loop(mut engine: Secpert, queue: &ShardQueue) -> ShardOutcome {
-    let mut outcome = ShardOutcome { warnings: Vec::new(), events: 0, error: None };
+fn describe_panic(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct Supervisor {
+    shard: usize,
+    policy: PolicyConfig,
+    faults: Option<Arc<FaultPlan>>,
+    max_respawns: u32,
+    keep_lost_events: bool,
+}
+
+enum Analyst {
+    /// Healthy: events go through the engine.
+    Running(Box<Secpert>),
+    /// Degraded: events are drained and discarded (engine error, respawn
+    /// budget exhausted, or respawn failure) so submitters never block
+    /// on a dead shard.
+    Failed,
+}
+
+/// One analyst worker: pop events in order, feed the private engine
+/// under a panic supervisor. Runs until the queue is closed *and*
+/// empty — even a failed shard keeps draining, which is what makes
+/// `Backpressure::Block` deadlock-free.
+fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> ShardOutcome {
+    let mut outcome = ShardOutcome::default();
+    let mut analyst = Analyst::Running(Box::new(engine));
+    let mut nth = 0u64;
     loop {
         let event = {
-            let mut state = queue.state.lock().expect("shard queue poisoned");
+            let mut state = lock_state(queue);
             loop {
                 if let Some(event) = state.deque.pop_front() {
                     break event;
@@ -238,17 +404,82 @@ fn analyst_loop(mut engine: Secpert, queue: &ShardQueue) -> ShardOutcome {
                 if state.closed {
                     return outcome;
                 }
-                state = queue.not_empty.wait(state).expect("shard queue poisoned");
+                state = queue.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         };
         queue.not_full.notify_one();
-        if outcome.error.is_none() {
-            match engine.process_event(&event) {
-                Ok(warnings) => {
-                    outcome.events += 1;
-                    outcome.warnings.extend(warnings);
+        nth += 1;
+        if let Some(stall) = supervisor.faults.as_ref().and_then(|f| f.stall(supervisor.shard, nth))
+        {
+            std::thread::sleep(stall);
+        }
+        match &mut analyst {
+            Analyst::Failed => {
+                outcome.discarded += 1;
+                if supervisor.keep_lost_events {
+                    outcome.lost_events.push(event);
                 }
-                Err(e) => outcome.error = Some(e.to_string()),
+            }
+            Analyst::Running(engine) => {
+                let faults = supervisor.faults.as_ref();
+                let shard = supervisor.shard;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if faults.is_some_and(|f| f.should_panic(shard, nth)) {
+                        panic!("injected fault: shard {shard} event {nth}");
+                    }
+                    engine.process_event(&event)
+                }));
+                match result {
+                    Ok(Ok(warnings)) => {
+                        outcome.events += 1;
+                        outcome.warnings.extend(warnings);
+                    }
+                    Ok(Err(e)) => {
+                        // An engine *error* is a policy bug, not a bad
+                        // event: analysis results can no longer be
+                        // trusted, so the shard degrades. The event that
+                        // surfaced the bug is counted as discarded.
+                        outcome.errors.push(format!("shard {shard}: engine error: {e}"));
+                        outcome.discarded += 1;
+                        if supervisor.keep_lost_events {
+                            outcome.lost_events.push(event);
+                        }
+                        analyst = Analyst::Failed;
+                    }
+                    Err(panic) => {
+                        // A panic is blamed on the event: quarantine it,
+                        // then respawn a fresh engine if the budget
+                        // allows.
+                        let message = describe_panic(&*panic);
+                        outcome.quarantined += 1;
+                        outcome
+                            .quarantine_log
+                            .push(format!("shard {shard} event {nth}: {message}"));
+                        if supervisor.keep_lost_events {
+                            outcome.lost_events.push(event);
+                        }
+                        if outcome.respawns >= supervisor.max_respawns {
+                            outcome.errors.push(format!(
+                                "shard {shard}: respawn budget ({}) exhausted after: {message}",
+                                supervisor.max_respawns
+                            ));
+                            analyst = Analyst::Failed;
+                        } else {
+                            match Secpert::new(&supervisor.policy) {
+                                Ok(fresh) => {
+                                    outcome.respawns += 1;
+                                    analyst = Analyst::Running(Box::new(fresh));
+                                }
+                                Err(e) => {
+                                    outcome
+                                        .errors
+                                        .push(format!("shard {shard}: respawn failed: {e}"));
+                                    analyst = Analyst::Failed;
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -293,7 +524,9 @@ mod tests {
             }
         }
         let report = pool.finish();
+        assert_eq!(report.submitted, 24);
         assert_eq!(report.events, 24);
+        assert_eq!(report.lost(), 0);
         assert_eq!(report.warnings.len(), 24, "every hardcoded execve warns Low");
         assert!(report.errors.is_empty(), "{:?}", report.errors);
         assert_eq!(report.shards.len(), 4);
@@ -314,8 +547,12 @@ mod tests {
 
     #[test]
     fn drop_oldest_counts_evictions() {
-        let config =
-            PoolConfig { shards: 1, queue_capacity: 2, backpressure: Backpressure::DropOldest };
+        let config = PoolConfig {
+            shards: 1,
+            queue_capacity: 2,
+            backpressure: Backpressure::DropOldest,
+            ..PoolConfig::default()
+        };
         let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy");
         // Stall the analyst? No need: submit faster than one engine can
         // possibly drain by flooding in a tight loop; with capacity 2 at
@@ -325,7 +562,58 @@ mod tests {
         }
         let report = pool.finish();
         let stats = &report.shards[0];
+        assert_eq!(stats.submitted, 500);
         assert_eq!(stats.events + stats.dropped, 500, "analysed + dropped = submitted");
         assert!(stats.high_water <= 2, "bounded queue respected: {}", stats.high_water);
+    }
+
+    #[test]
+    fn panic_quarantines_the_event_and_respawns_the_analyst() {
+        let config = PoolConfig {
+            shards: 1,
+            faults: Some(Arc::new(FaultPlan::new().panic_on(0, 3))),
+            ..PoolConfig::default()
+        };
+        let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy");
+        for i in 0..10 {
+            pool.submit(0, dropper_event(i));
+        }
+        let report = pool.finish();
+        let stats = &report.shards[0];
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.quarantined, 1, "exactly the faulted event");
+        assert_eq!(stats.events, 9, "analysis resumes on a fresh engine");
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.discarded, 0);
+        assert_eq!(report.warnings.len(), 9);
+        assert_eq!(report.quarantine_log.len(), 1, "{:?}", report.quarantine_log);
+        assert!(report.quarantine_log[0].contains("injected fault"), "{:?}", report.quarantine_log);
+        assert!(report.errors.is_empty(), "a budgeted respawn is not an error");
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_degrades_to_discard() {
+        let plan = FaultPlan::new().panic_on(0, 1).panic_on(0, 2).panic_on(0, 3);
+        let config = PoolConfig {
+            shards: 1,
+            max_respawns: 1,
+            faults: Some(Arc::new(plan)),
+            keep_lost_events: true,
+            ..PoolConfig::default()
+        };
+        let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy");
+        for i in 0..10 {
+            pool.submit(0, dropper_event(i));
+        }
+        let report = pool.finish();
+        let stats = &report.shards[0];
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.quarantined, 2, "two panics hit a live engine");
+        assert_eq!(stats.respawns, 1, "budget of one respawn");
+        assert_eq!(stats.discarded, 8, "everything after the second panic is discarded");
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.submitted, stats.events + stats.lost());
+        assert_eq!(report.lost_events.len() as u64, report.lost());
+        assert!(report.errors.iter().any(|e| e.contains("respawn budget")), "{:?}", report.errors);
     }
 }

@@ -59,7 +59,23 @@ pub enum WireError {
     Truncated,
     /// A varint ran past 64 bits.
     VarintOverflow,
+    /// A journal frame failed its CRC32 check (bit rot / torn write).
+    Crc {
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum computed over the payload actually read.
+        computed: u32,
+    },
+    /// A frame length claims more than [`MAX_FRAME_LEN`] bytes — a real
+    /// event never gets close, so the length itself is corrupt. Decoders
+    /// must refuse *before* allocating the claimed size.
+    FrameTooLarge(u64),
 }
+
+/// Upper bound on a single journal frame's payload, in bytes. Real
+/// events encode to well under a kilobyte; anything past this is a
+/// corrupt length prefix, not a big event.
+pub const MAX_FRAME_LEN: u64 = 1 << 20;
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -73,6 +89,12 @@ impl fmt::Display for WireError {
             WireError::Utf8(e) => write!(f, "string is not UTF-8: {e}"),
             WireError::Truncated => f.write_str("input truncated mid-value"),
             WireError::VarintOverflow => f.write_str("varint longer than 64 bits"),
+            WireError::Crc { stored, computed } => {
+                write!(f, "frame CRC mismatch (stored {stored:#010x}, computed {computed:#010x})")
+            }
+            WireError::FrameTooLarge(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound")
+            }
         }
     }
 }
@@ -87,8 +109,58 @@ impl From<std::io::Error> for WireError {
 
 /// Writes the stream header (magic + version).
 pub fn write_header(out: &mut Vec<u8>) {
+    write_header_versioned(out, VERSION);
+}
+
+/// Writes a stream header with an explicit version byte (journal v2
+/// streams share the magic but carry their own framing version).
+pub fn write_header_versioned(out: &mut Vec<u8>, version: u8) {
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
+}
+
+/// Checks the magic and returns the stream's version byte, leaving the
+/// version policy to the caller (journals accept more versions than raw
+/// wire streams do).
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] on foreign streams, [`WireError::Truncated`]
+/// on short input.
+pub fn read_header_any(buf: &[u8]) -> Result<u8, WireError> {
+    let header = buf.get(..HEADER_LEN).ok_or(WireError::Truncated)?;
+    if header[..4] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1], header[2], header[3]]));
+    }
+    Ok(header[4])
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3 polynomial) of a byte slice — the per-frame
+/// checksum of journal v2.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
 }
 
 /// Size of the stream header in bytes.
@@ -468,6 +540,21 @@ mod tests {
             second.len(),
             first.len()
         );
+    }
+
+    #[test]
+    fn crc32_known_answers() {
+        // The IEEE 802.3 check value, plus the empty-input identity.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"), "single-bit change must move the checksum");
+    }
+
+    #[test]
+    fn header_any_returns_the_version() {
+        assert_eq!(read_header_any(b"HTHW\x02rest").unwrap(), 2);
+        assert!(matches!(read_header_any(b"NOPE\x01"), Err(WireError::BadMagic(_))));
+        assert!(matches!(read_header_any(b"HTH"), Err(WireError::Truncated)));
     }
 
     #[test]

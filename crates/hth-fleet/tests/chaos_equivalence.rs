@@ -1,0 +1,181 @@
+//! The chaos acceptance property: a fault-injected fleet loses *only*
+//! what its counters say it lost. For ten fixed seeds, the same
+//! recorded event streams go through a supervised pool under a
+//! [`FaultPlan`]; the survivor warning multiset must be a sub-multiset
+//! of the fault-free baseline, and the difference must be *exactly* the
+//! warnings of the events the counters report lost (quarantined by a
+//! panic, or discarded by a degraded shard). No silent loss, no
+//! invented warnings.
+//!
+//! This leans on a property the policy guarantees by construction: the
+//! Secpert is stateless per event (cleanup rules retract each event's
+//! facts), so a fresh engine replaying a lost event yields the same
+//! warnings the baseline produced for it.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use harrier::SecpertEvent;
+use hth_core::{PolicyConfig, Secpert, Session, SessionConfig, Warning};
+use hth_fleet::{warning_multiset, AnalystPool, FaultPlan, PoolConfig};
+use hth_workloads::Scenario;
+
+const SEEDS: [u64; 10] = [1, 2, 3, 5, 7, 11, 13, 42, 1009, 0xDEAD_BEEF];
+
+fn workload() -> Vec<Scenario> {
+    let mut scenarios = hth_workloads::exploits::scenarios();
+    scenarios.extend(
+        hth_workloads::macro_bench::scenarios()
+            .into_iter()
+            .filter(|s| s.id == "ttt" || s.id == "ttt_trojaned"),
+    );
+    scenarios
+}
+
+/// Runs one scenario inline (the fault-free sequential baseline),
+/// recording its event stream through the session tap.
+fn record(scenario: &Scenario) -> (Vec<Warning>, Vec<SecpertEvent>) {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let mut session = Session::new(SessionConfig::default()).expect("policy loads");
+    let start = (scenario.setup)(&mut session);
+    let sink = Arc::clone(&events);
+    session.set_event_tap(Box::new(move |event| {
+        sink.lock().expect("event sink").push(event.clone());
+    }));
+    let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+    let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(start.path, &argv, &env).expect("spawns");
+    session.run().expect("runs");
+    let warnings = session.warnings().to_vec();
+    drop(session);
+    let events = Arc::try_unwrap(events)
+        .unwrap_or_else(|_| unreachable!("tap dropped with the session"))
+        .into_inner()
+        .expect("event sink");
+    (warnings, events)
+}
+
+/// `a - b` over warning multisets; panics if `b ⊄ a`.
+fn multiset_sub(
+    a: &BTreeMap<(hth_core::Severity, String), usize>,
+    b: &BTreeMap<(hth_core::Severity, String), usize>,
+) -> BTreeMap<(hth_core::Severity, String), usize> {
+    let mut out = a.clone();
+    for (key, count) in b {
+        let have = out.get_mut(key).unwrap_or_else(|| {
+            panic!("survivors contain warnings the baseline never produced: {key:?}")
+        });
+        assert!(*have >= *count, "survivor count exceeds baseline for {key:?}");
+        *have -= count;
+        if *have == 0 {
+            out.remove(key);
+        }
+    }
+    out
+}
+
+#[test]
+fn chaos_fleet_loses_exactly_what_the_counters_say() {
+    let scenarios = workload();
+    let mut baseline_warnings = Vec::new();
+    let mut streams = Vec::new();
+    for scenario in &scenarios {
+        let (warnings, events) = record(scenario);
+        baseline_warnings.extend(warnings);
+        streams.push(events);
+    }
+    let baseline = warning_multiset(&baseline_warnings);
+    assert!(!baseline.is_empty(), "the corpus must warn");
+
+    for seed in SEEDS {
+        // Rate faults from the seed plus one guaranteed panic per shard,
+        // so every seed exercises the quarantine path deterministically.
+        let mut plan = FaultPlan::from_seed(seed);
+        for shard in 0..4 {
+            plan = plan.panic_on(shard, 2 + seed % 3);
+        }
+        let config = PoolConfig {
+            shards: 4,
+            max_respawns: (seed % 3) as u32, // 0..=2: some seeds degrade
+            faults: Some(Arc::new(plan)),
+            keep_lost_events: true,
+            ..PoolConfig::default()
+        };
+        let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy loads");
+        for (sid, stream) in streams.iter().enumerate() {
+            for event in stream {
+                pool.submit(sid as u64, event.clone());
+            }
+        }
+        let report = pool.finish();
+
+        // Counter totality: every submitted event is analysed or in
+        // exactly one loss bucket, per shard and in aggregate.
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(
+                shard.submitted,
+                shard.events + shard.lost(),
+                "seed {seed} shard {i}: submitted != analysed + lost"
+            );
+        }
+        assert_eq!(report.submitted, streams.iter().map(|s| s.len() as u64).sum::<u64>());
+        assert!(report.quarantined > 0, "seed {seed}: the guaranteed panics must fire");
+        assert_eq!(
+            report.lost_events.len() as u64,
+            report.lost(),
+            "seed {seed}: every lost event is captured"
+        );
+        assert_eq!(
+            report.quarantine_log.len() as u64,
+            report.quarantined,
+            "seed {seed}: every quarantine is logged"
+        );
+
+        // Survivors ⊆ baseline, and the missing part is exactly the
+        // warnings of the lost events.
+        let survivors = warning_multiset(&report.warnings);
+        let missing = multiset_sub(&baseline, &survivors);
+        let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+        let mut lost_warnings = Vec::new();
+        for event in &report.lost_events {
+            lost_warnings.extend(secpert.process_event(event).expect("stateless replay"));
+        }
+        assert_eq!(
+            warning_multiset(&lost_warnings),
+            missing,
+            "seed {seed}: loss must be exactly accounted (quarantined {} discarded {} dropped {})",
+            report.quarantined,
+            report.discarded,
+            report.dropped,
+        );
+    }
+}
+
+/// A fault-free pool over the same recorded streams reproduces the
+/// sequential baseline exactly — the zero-chaos control for the test
+/// above.
+#[test]
+fn fault_free_pool_matches_the_baseline_exactly() {
+    let scenarios = workload();
+    let mut baseline_warnings = Vec::new();
+    let mut streams = Vec::new();
+    for scenario in &scenarios {
+        let (warnings, events) = record(scenario);
+        baseline_warnings.extend(warnings);
+        streams.push(events);
+    }
+    let pool = AnalystPool::new(
+        &PoolConfig { shards: 4, ..PoolConfig::default() },
+        &PolicyConfig::default(),
+    )
+    .expect("policy loads");
+    for (sid, stream) in streams.iter().enumerate() {
+        for event in stream {
+            pool.submit(sid as u64, event.clone());
+        }
+    }
+    let report = pool.finish();
+    assert_eq!(report.lost(), 0);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(warning_multiset(&report.warnings), warning_multiset(&baseline_warnings));
+}

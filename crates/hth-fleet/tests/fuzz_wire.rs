@@ -1,0 +1,228 @@
+//! Decoder-totality fuzzing: mutate valid wire streams — bit flips,
+//! truncations, splices of two streams, byte stomps — and assert the
+//! decoder is *total*: every call returns `Ok` or a [`WireError`],
+//! never panics, never loops without consuming input, and never
+//! allocates anywhere near a corrupt length claim.
+//!
+//! Every test fn is named `fuzz_wire_*` so CI can run exactly this
+//! suite with `cargo test -p hth-fleet fuzz_wire` (bounded via the
+//! `PROPTEST_CASES` env var the proptest shim honours).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use harrier::{Origin, ResourceType, SecpertEvent, SourceInfo};
+use hth_fleet::{EventDecoder, EventEncoder};
+use proptest::prelude::*;
+
+const SYSCALLS: &[&str] = &["SYS_execve", "SYS_open", "SYS_write", "SYS_send"];
+
+fn source() -> impl Strategy<Value = SourceInfo> {
+    ((0usize..ResourceType::ALL.len()), "\\PC{0,24}")
+        .prop_map(|(i, name)| SourceInfo { kind: ResourceType::ALL[i], name })
+}
+
+fn event() -> impl Strategy<Value = SecpertEvent> {
+    (
+        any::<u32>(),
+        0usize..SYSCALLS.len(),
+        source(),
+        prop::collection::vec(source(), 0..4),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(pid, sc, resource, sources, time, frequency)| {
+            SecpertEvent::ResourceAccess {
+                pid,
+                syscall: SYSCALLS[sc],
+                resource,
+                origin: Origin { sources },
+                time,
+                frequency,
+                address: 0,
+                proc_count: None,
+                proc_rate: None,
+                mem_total: None,
+                server: None,
+            }
+        })
+}
+
+fn encode_stream(events: &[SecpertEvent]) -> Vec<u8> {
+    let mut encoder = EventEncoder::new();
+    let mut buf = Vec::new();
+    for event in events {
+        encoder.encode(event, &mut buf);
+    }
+    buf
+}
+
+/// Decodes as much of `buf` as possible, asserting totality invariants:
+/// no panic, every `Ok` consumes at least one byte, the loop always
+/// terminates. Returns how many events decoded before the first error.
+fn assert_total(buf: &[u8]) -> usize {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut decoder = EventDecoder::new();
+        let mut pos = 0;
+        let mut decoded = 0usize;
+        while pos < buf.len() {
+            match decoder.decode(&buf[pos..]) {
+                Ok((_, used)) => {
+                    assert!(used > 0, "decode must consume input");
+                    assert!(pos + used <= buf.len(), "decode must not overrun");
+                    pos += used;
+                    decoded += 1;
+                }
+                Err(_) => break, // a typed WireError is a valid outcome
+            }
+        }
+        decoded
+    }));
+    outcome.unwrap_or_else(|_| panic!("decoder panicked on {} bytes: {buf:02x?}", buf.len()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fuzz_wire_bit_flips_never_panic(
+        events in prop::collection::vec(event(), 1..8),
+        flips in prop::collection::vec((any::<u16>(), 0u8..8), 1..6),
+    ) {
+        let mut buf = encode_stream(&events);
+        for (pos, bit) in flips {
+            let idx = pos as usize % buf.len();
+            buf[idx] ^= 1 << bit;
+        }
+        assert_total(&buf);
+    }
+
+    #[test]
+    fn fuzz_wire_truncations_never_panic(
+        events in prop::collection::vec(event(), 1..8),
+        keep in any::<u16>(),
+    ) {
+        let buf = encode_stream(&events);
+        let keep = keep as usize % (buf.len() + 1);
+        assert_total(&buf[..keep]);
+    }
+
+    #[test]
+    fn fuzz_wire_splices_never_panic(
+        left in prop::collection::vec(event(), 1..6),
+        right in prop::collection::vec(event(), 1..6),
+        cut_l in any::<u16>(),
+        cut_r in any::<u16>(),
+    ) {
+        // Stitch the head of one stream onto the tail of another: the
+        // seam lands mid-frame and the interning tables disagree.
+        let a = encode_stream(&left);
+        let b = encode_stream(&right);
+        let cut_a = cut_l as usize % (a.len() + 1);
+        let cut_b = cut_r as usize % (b.len() + 1);
+        let mut spliced = a[..cut_a].to_vec();
+        spliced.extend_from_slice(&b[cut_b..]);
+        assert_total(&spliced);
+    }
+
+    #[test]
+    fn fuzz_wire_byte_stomps_never_panic(
+        events in prop::collection::vec(event(), 1..8),
+        stomps in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut buf = encode_stream(&events);
+        for (pos, value) in stomps {
+            let idx = pos as usize % buf.len();
+            buf[idx] = value;
+        }
+        assert_total(&buf);
+    }
+
+    #[test]
+    fn fuzz_wire_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        assert_total(&bytes);
+    }
+}
+
+/// Adversarial length claims must be rejected without a matching
+/// allocation: a stream whose varint claims a multi-gigabyte string or
+/// collection is only a handful of bytes long, so a total decoder
+/// errors out instead of reserving the claimed size.
+#[test]
+fn fuzz_wire_huge_length_claims_error_without_allocating() {
+    // Each probe: a valid one-event prefix, then a tag byte and a
+    // maximal varint where a length is expected.
+    let valid = encode_stream(&[SecpertEvent::ResourceAccess {
+        pid: 1,
+        syscall: "SYS_open",
+        resource: SourceInfo::new(ResourceType::File, "/etc/passwd"),
+        origin: Origin { sources: vec![] },
+        time: 1,
+        frequency: 1,
+        address: 0,
+        proc_count: None,
+        proc_rate: None,
+        mem_total: None,
+        server: None,
+    }]);
+    let huge_varint = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+    for tag in [0u8, 1u8] {
+        let mut probe = valid.clone();
+        probe.push(tag);
+        probe.extend_from_slice(&huge_varint);
+        // If the decoder allocated what the varint claims (~u64::MAX),
+        // this would abort the process, not return — so returning at
+        // all *is* the over-allocation assertion.
+        assert_total(&probe);
+    }
+}
+
+/// Extended soak: the same mutations at 50× the case count. Ignored by
+/// default; CI runs it with `--include-ignored` under a bounded
+/// `PROPTEST_CASES`.
+#[test]
+#[ignore = "extended soak; run explicitly or via --include-ignored"]
+fn fuzz_wire_extended_soak() {
+    // Drive the shim's RNG directly for a deterministic large sweep.
+    let events: Vec<SecpertEvent> = (0..16)
+        .map(|i| SecpertEvent::ResourceAccess {
+            pid: i,
+            syscall: SYSCALLS[i as usize % SYSCALLS.len()],
+            resource: SourceInfo::new(ResourceType::File, format!("/tmp/f{i}")),
+            origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/x")] },
+            time: u64::from(i),
+            frequency: u64::from(i) * 3,
+            address: 0,
+            proc_count: None,
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        })
+        .collect();
+    let clean = encode_stream(&events);
+    let cases: usize =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(5000);
+    let mut state = 0x5EED_F00D_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..cases {
+        let mut buf = clean.clone();
+        for _ in 0..(next() % 8 + 1) {
+            let r = next();
+            let idx = (r as usize >> 8) % buf.len();
+            match r % 3 {
+                0 => buf[idx] ^= 1 << (r >> 40 & 7),
+                1 => buf[idx] = (r >> 32) as u8,
+                _ => buf.truncate(idx),
+            }
+            if buf.is_empty() {
+                break;
+            }
+        }
+        assert_total(&buf);
+    }
+}
