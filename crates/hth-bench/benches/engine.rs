@@ -1,10 +1,20 @@
 //! Criterion benches for the secpert-engine substrate: fact assertion,
-//! match-and-fire throughput, and the policy's per-event latency.
+//! match-and-fire throughput, the policy's per-event latency — plus the
+//! working-memory scaling curve comparing the naive full-join matcher
+//! against the incremental Rete network (events × resident facts).
+//!
+//! Run with `cargo bench -p hth-bench --bench engine`; the scaling
+//! curve goes to `BENCH_engine.json` at the repo root. `--test` runs
+//! every benchmark body once plus a tiny scaling smoke (naive and Rete
+//! must agree exactly) and writes nothing.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BatchSize, Criterion};
 use harrier::{Origin, ResourceType, SecpertEvent, SourceInfo};
+use hth_bench::json::Json;
 use hth_core::{PolicyConfig, Secpert};
-use secpert_engine::{Engine, Value};
+use secpert_engine::{Engine, Matcher, Value};
 
 fn engine_with_rule() -> Engine {
     let mut engine = Engine::new();
@@ -117,7 +127,11 @@ criterion_group!(
     bench_policy_event,
     bench_rule_scaling
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    wm_scaling();
+}
 
 /// Incremental-matching ablation: per-event latency should be largely
 /// independent of the number of *unrelated* rules loaded, because
@@ -151,4 +165,120 @@ fn bench_rule_scaling(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// The workload for the naive-vs-Rete scaling curve: a variable join
+/// against a large resident template plus a `not` CE over the event
+/// template. The naive matcher recomputes both per event — O(resident
+/// facts) — while Rete probes the slot-value index and touches only the
+/// tokens the event intersects.
+const SCALING_RULES: &str = r#"
+    (deftemplate session (slot id) (slot state))
+    (deftemplate event (slot sid) (slot kind))
+    (defrule join-open
+      ?e <- (event (sid ?s) (kind open))
+      (session (id ?s) (state live))
+      =>
+      (retract ?e))
+    (defrule watch-zero
+      (session (id 0) (state live))
+      (not (event (sid 0) (kind close)))
+      =>
+      (printout t watched))
+"#;
+
+/// Builds an engine on `matcher` with `resident` live `session` facts.
+fn scaling_engine(matcher: Matcher, resident: usize) -> Engine {
+    let mut engine = Engine::with_matcher(matcher);
+    engine.load_str(SCALING_RULES).expect("scaling rules load");
+    for i in 0..resident {
+        let fact = engine
+            .fact("session")
+            .unwrap()
+            .slot("id", i as i64)
+            .slot("state", Value::sym("live"))
+            .build()
+            .unwrap();
+        engine.assert_fact(fact).unwrap();
+    }
+    engine.run(None).expect("initial activations drain");
+    engine
+}
+
+/// Pushes `events` open-events through the engine; each assert joins
+/// against the resident sessions, fires `join-open`, and is retracted
+/// by the RHS. Returns (elapsed, rules fired) for equivalence checks.
+fn scaling_run(engine: &mut Engine, events: usize, resident: usize) -> (Duration, usize) {
+    let before = engine.fired_total();
+    let start = Instant::now();
+    for i in 0..events {
+        let fact = engine
+            .fact("event")
+            .unwrap()
+            .slot("sid", (i % resident) as i64)
+            .slot("kind", Value::sym("open"))
+            .build()
+            .unwrap();
+        engine.assert_fact(fact).unwrap();
+        engine.run(None).unwrap();
+    }
+    (start.elapsed(), engine.fired_total() - before)
+}
+
+/// One point on the curve: both matchers over the same workload.
+fn scaling_point(resident: usize, events: usize) -> Json {
+    let mut naive = scaling_engine(Matcher::Naive, resident);
+    let mut rete = scaling_engine(Matcher::Rete, resident);
+    let (naive_time, naive_fired) = scaling_run(&mut naive, events, resident);
+    let (rete_time, rete_fired) = scaling_run(&mut rete, events, resident);
+    assert_eq!(naive_fired, rete_fired, "matchers diverged at {resident} resident facts");
+    assert_eq!(naive_fired, events, "every event should fire join-open once");
+    let naive_us = naive_time.as_secs_f64() * 1e6 / events as f64;
+    let rete_us = rete_time.as_secs_f64() * 1e6 / events as f64;
+    let speedup = naive_us / rete_us.max(1e-9);
+    println!(
+        "engine/wm-scaling: {resident:>6} resident facts, {events:>5} events: \
+         naive {naive_us:>9.2} us/event, rete {rete_us:>7.2} us/event, speedup {speedup:>7.1}x"
+    );
+    Json::Obj(vec![
+        ("resident_facts".into(), Json::Num(resident as f64)),
+        ("events".into(), Json::Num(events as f64)),
+        ("naive_us_per_event".into(), Json::Num(naive_us)),
+        ("rete_us_per_event".into(), Json::Num(rete_us)),
+        ("speedup".into(), Json::Num(speedup)),
+    ])
+}
+
+/// Working-memory scaling curve: per-event latency for the naive
+/// full-join matcher vs the incremental Rete network as resident facts
+/// grow. Writes `BENCH_engine.json` at the repo root (skipped under
+/// `--test`, which instead runs a tiny smoke configuration).
+fn wm_scaling() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    if test_mode {
+        // Smoke: the equivalence asserts inside scaling_point are the test.
+        scaling_point(50, 25);
+        println!("test engine_wm_scaling ... ok");
+        return;
+    }
+    let mut rows = Vec::new();
+    let mut speedup_at_10k = 0.0;
+    for (resident, events) in [(100usize, 4000usize), (1_000, 2000), (10_000, 400)] {
+        let row = scaling_point(resident, events);
+        if resident >= 10_000 {
+            if let Some(Json::Num(s)) = row.get("speedup") {
+                speedup_at_10k = *s;
+            }
+        }
+        rows.push(row);
+    }
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("engine_wm_scaling".into())),
+        ("workload".into(), Json::Str("join + not, event assert/fire/retract cycle".into())),
+        ("rows".into(), Json::Arr(rows)),
+        ("speedup_at_10k".into(), Json::Num(speedup_at_10k)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json.to_string_pretty() + "\n").expect("write BENCH_engine.json");
+    println!("engine/wm-scaling: wrote {path}");
 }

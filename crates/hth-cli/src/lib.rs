@@ -437,6 +437,19 @@ fn replay_journal(journal: &str, trust: Vec<String>, repair: bool) -> Result<Str
         }
     }
     let _ = writeln!(out, "replay: {} warnings", warnings.len());
+    let stats = secpert.match_stats();
+    if !stats.is_empty() {
+        let _ = writeln!(
+            out,
+            "match: {} activations, {} joins ({} matched), {} tokens created ({} live), index hit rate {:.0}%",
+            stats.activations,
+            stats.join_attempts,
+            stats.join_matches,
+            stats.tokens_created,
+            stats.tokens_live,
+            stats.index_hit_rate() * 100.0,
+        );
+    }
     Ok(out)
 }
 

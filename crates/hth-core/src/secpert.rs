@@ -5,15 +5,20 @@
 use std::sync::{Arc, Mutex};
 
 use harrier::{Origin, SecpertEvent, SourceInfo};
-use secpert_engine::{Engine, EngineError, Fact, FactBuilder, Value};
+use secpert_engine::{Engine, EngineError, Fact, FactBuilder, MatchStats, Value};
 
 use crate::policy::{PolicyConfig, POLICY_CLIPS};
 use crate::warning::{Severity, Warning};
 
 /// The security expert system: policy + engine + warning collection.
+///
+/// Warnings are stored behind `Arc` so readers can snapshot the sink
+/// under the lock with cheap pointer clones and deep-copy outside it —
+/// the `warn` native (called mid-inference) never contends with a
+/// reader doing per-warning string clones.
 pub struct Secpert {
     engine: Engine,
-    warnings: Arc<Mutex<Vec<Warning>>>,
+    warnings: Arc<Mutex<Vec<Arc<Warning>>>>,
     events_processed: u64,
 }
 
@@ -28,7 +33,7 @@ impl Secpert {
     /// custom policies loaded on top behave the same way.
     pub fn new(config: &PolicyConfig) -> Result<Secpert, EngineError> {
         let mut engine = Engine::new();
-        let warnings: Arc<Mutex<Vec<Warning>>> = Arc::new(Mutex::new(Vec::new()));
+        let warnings: Arc<Mutex<Vec<Arc<Warning>>>> = Arc::new(Mutex::new(Vec::new()));
 
         register_filters(&mut engine, config);
         register_warn(&mut engine, warnings.clone());
@@ -75,13 +80,26 @@ impl Secpert {
         let fact = self.event_to_fact(event)?;
         self.engine.assert_fact(fact)?;
         self.engine.run(None)?;
-        let sink = self.warnings.lock().expect("warning sink poisoned");
-        Ok(sink[before..].to_vec())
+        // Snapshot the tail under the lock (Arc bumps only); deep-clone
+        // the warnings after releasing it.
+        let tail: Vec<Arc<Warning>> = {
+            let sink = self.warnings.lock().expect("warning sink poisoned");
+            sink[before..].to_vec()
+        };
+        Ok(tail.iter().map(|w| (**w).clone()).collect())
     }
 
     /// All warnings issued so far.
     pub fn warnings(&self) -> Vec<Warning> {
-        self.warnings.lock().expect("warning sink poisoned").clone()
+        let snapshot: Vec<Arc<Warning>> =
+            self.warnings.lock().expect("warning sink poisoned").clone();
+        snapshot.iter().map(|w| (**w).clone()).collect()
+    }
+
+    /// Match-network counters for this expert's engine (all-zero when
+    /// the engine was built with the naive matcher).
+    pub fn match_stats(&self) -> MatchStats {
+        self.engine.match_stats()
     }
 
     /// Takes the engine's printout transcript (paper-style warning text).
@@ -244,7 +262,7 @@ fn register_filters(engine: &mut Engine, config: &PolicyConfig) {
 }
 
 /// Registers the `warn` native: `(warn level rule pid time message)`.
-fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Warning>>>) {
+fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Arc<Warning>>>>) {
     engine.register_fn("warn", move |args| {
         let [level, rule, pid, time, message] = args else {
             return Err(EngineError::Type {
@@ -261,7 +279,7 @@ fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Warning>>>) {
             time: time.as_int()? as u64,
             message: message.to_display_string(),
         };
-        sink.lock().expect("warning sink poisoned").push(warning);
+        sink.lock().expect("warning sink poisoned").push(Arc::new(warning));
         Ok(Value::truth())
     });
 }

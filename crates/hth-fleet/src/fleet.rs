@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use hth_core::{SessionConfig, Severity};
 use hth_workloads::Scenario;
-use secpert_engine::EngineError;
+use secpert_engine::{EngineError, MatchStats};
 
 use crate::pool::{AnalystPool, PoolConfig, SessionId, ShardStats};
 
@@ -68,6 +68,9 @@ pub struct FleetReport {
     pub session_errors: Vec<String>,
     /// Shard-level engine failures.
     pub analyst_errors: Vec<String>,
+    /// Match-network counters aggregated across every analyst engine
+    /// (all-zero when the engines use the naive matcher).
+    pub match_stats: MatchStats,
 }
 
 impl FleetReport {
@@ -120,6 +123,19 @@ impl FleetReport {
                 out,
                 "  shard {i}: {} events, {} warnings, queue high-water {}, dropped {}",
                 shard.events, shard.warnings, shard.high_water, shard.dropped,
+            );
+        }
+        if !self.match_stats.is_empty() {
+            let m = &self.match_stats;
+            let _ = writeln!(
+                out,
+                "  match: {} activations, {} joins ({} matched), {} tokens created ({} live), index hit rate {:.0}%",
+                m.activations,
+                m.join_attempts,
+                m.join_matches,
+                m.tokens_created,
+                m.tokens_live,
+                m.index_hit_rate() * 100.0,
             );
         }
         for line in &self.quarantine_log {
@@ -212,6 +228,7 @@ pub fn run_scenarios(
         shards: report.shards,
         session_errors,
         analyst_errors: report.errors,
+        match_stats: report.match_stats,
     })
 }
 

@@ -32,7 +32,7 @@ use std::thread::JoinHandle;
 
 use harrier::SecpertEvent;
 use hth_core::{PolicyConfig, Secpert, Warning};
-use secpert_engine::EngineError;
+use secpert_engine::{EngineError, MatchStats};
 
 use crate::faults::FaultPlan;
 
@@ -105,6 +105,10 @@ pub struct ShardStats {
     pub high_water: usize,
     /// Warnings this shard's engine issued.
     pub warnings: usize,
+    /// Match-network counters, merged across this shard's engines
+    /// (respawns replace the engine; each one's work is accumulated
+    /// before it is dropped).
+    pub match_stats: MatchStats,
 }
 
 impl ShardStats {
@@ -145,6 +149,8 @@ pub struct PoolReport {
     /// [`PoolConfig::keep_lost_events`] was set (dropped + quarantined
     /// + discarded, in no particular global order).
     pub lost_events: Vec<SecpertEvent>,
+    /// Match-network counters aggregated across all shards.
+    pub match_stats: MatchStats,
 }
 
 impl PoolReport {
@@ -188,6 +194,7 @@ struct ShardOutcome {
     errors: Vec<String>,
     quarantine_log: Vec<String>,
     lost_events: Vec<SecpertEvent>,
+    match_stats: MatchStats,
 }
 
 /// The pool: construct, `submit` events, then `finish` to drain and
@@ -337,6 +344,7 @@ impl AnalystPool {
                 respawns: outcome.respawns,
                 high_water: state.high_water,
                 warnings: outcome.warnings.len(),
+                match_stats: outcome.match_stats,
             };
             drop(state);
             report.submitted += stats.submitted;
@@ -345,6 +353,7 @@ impl AnalystPool {
             report.quarantined += stats.quarantined;
             report.discarded += stats.discarded;
             report.respawns += stats.respawns;
+            report.match_stats.merge(&stats.match_stats);
             report.shards.push(stats);
             report.errors.extend(outcome.errors);
             report.quarantine_log.extend(outcome.quarantine_log);
@@ -395,17 +404,25 @@ fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> 
     let mut analyst = Analyst::Running(Box::new(engine));
     let mut nth = 0u64;
     loop {
-        let event = {
+        let popped = {
             let mut state = lock_state(queue);
             loop {
                 if let Some(event) = state.deque.pop_front() {
-                    break event;
+                    break Some(event);
                 }
                 if state.closed {
-                    return outcome;
+                    break None;
                 }
                 state = queue.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
+        };
+        let Some(event) = popped else {
+            // Closed and drained: fold the live engine's match counters
+            // into the outcome before the engine is dropped.
+            if let Analyst::Running(engine) = &analyst {
+                outcome.match_stats.merge(&engine.match_stats());
+            }
+            return outcome;
         };
         queue.not_full.notify_one();
         nth += 1;
@@ -444,6 +461,7 @@ fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> 
                         if supervisor.keep_lost_events {
                             outcome.lost_events.push(event);
                         }
+                        outcome.match_stats.merge(&engine.match_stats());
                         analyst = Analyst::Failed;
                     }
                     Err(panic) => {
@@ -458,6 +476,9 @@ fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> 
                         if supervisor.keep_lost_events {
                             outcome.lost_events.push(event);
                         }
+                        // The engine is about to be replaced or dropped
+                        // either way; bank its match counters first.
+                        outcome.match_stats.merge(&engine.match_stats());
                         if outcome.respawns >= supervisor.max_respawns {
                             outcome.errors.push(format!(
                                 "shard {shard}: respawn budget ({}) exhausted after: {message}",

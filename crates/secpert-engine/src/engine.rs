@@ -1,17 +1,21 @@
 //! The inference engine: match–resolve–act over working memory.
 //!
-//! The engine keeps the agenda incrementally up to date: an `assert`
-//! seed-joins the new fact into every rule pattern of the same template;
-//! a `retract` removes the activations that used the fact. Rules with
-//! `not` condition elements touching a changed template are recomputed in
-//! full (correctness over cleverness — negation is re-evaluated from
-//! scratch rather than counted).
+//! Matching is delegated to one of two interchangeable matchers (see
+//! [`Matcher`]): the default incremental Rete-style network
+//! ([`crate::rete`]), which propagates working-memory deltas through
+//! per-rule token chains, or the original naive matcher — an `assert`
+//! seed-joins the new fact into every rule pattern of the same template,
+//! a `retract` removes the activations that used the fact, and rules
+//! with `not` condition elements touching a changed template are
+//! recomputed in full. The naive matcher is kept as a differential
+//! oracle (`--features naive-match` flips the default) and both produce
+//! byte-identical agenda order, transcripts and firing records.
 //!
 //! Conflict resolution follows CLIPS's depth strategy: highest salience
 //! first, most recent activation first among equals. Refraction prevents
 //! an activation (rule + fact tuple) from firing twice.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::builtins;
@@ -20,6 +24,7 @@ use crate::explain::FiringRecord;
 use crate::expr::{eval, Bindings, Host};
 use crate::fact::{Fact, FactBuilder, FactId, WorkingMemory};
 use crate::pattern::CondElem;
+use crate::rete::{MatchStats, ReteNetwork, UpdateOutcome};
 use crate::rule::Rule;
 use crate::template::Template;
 use crate::value::Value;
@@ -29,6 +34,10 @@ pub type NativeFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
 
 /// One rule match: the fact tuple plus the variable bindings it produced.
 type Match = (Vec<Option<FactId>>, Bindings);
+
+/// Identity of an activation: the rule index plus its fact tuple (`None`
+/// entries stand for `not`/`test` positions). Also the refraction key.
+pub(crate) type ActKey = (usize, Vec<Option<FactId>>);
 
 /// A user-defined function (`deffunction`): named parameters, an
 /// optional `$?rest` wildcard collecting extra arguments, and a body of
@@ -44,6 +53,31 @@ pub struct UserFn {
     pub wildcard: Option<Arc<str>>,
     /// Body expressions.
     pub body: Vec<crate::expr::Expr>,
+}
+
+/// Which match algorithm keeps the agenda up to date.
+///
+/// Both matchers produce byte-identical observable behavior (agenda
+/// order, firing records, transcripts); they differ only in cost. The
+/// default is [`Matcher::Rete`] unless the crate is built with the
+/// `naive-match` feature, which restores the original full-join matcher
+/// as the default (useful as a differential oracle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Matcher {
+    /// Per-assert seed joins and full recomputes; O(join) per change.
+    Naive,
+    /// Incremental match network; O(affected tokens) per change.
+    Rete,
+}
+
+impl Default for Matcher {
+    fn default() -> Matcher {
+        if cfg!(feature = "naive-match") {
+            Matcher::Naive
+        } else {
+            Matcher::Rete
+        }
+    }
 }
 
 /// Conflict-resolution strategy (CLIPS `set-strategy` subset).
@@ -143,14 +177,20 @@ pub struct Engine {
     watch: bool,
     trace: Vec<String>,
     deffacts: Vec<Fact>,
-    agenda: Vec<Activation>,
-    agenda_keys: HashSet<(usize, Vec<Option<FactId>>)>,
-    refraction: HashSet<(usize, Vec<Option<FactId>>)>,
+    /// Salience-bucketed, seq-ordered agenda: keys are `(salience, seq)`,
+    /// so the Depth pick is the last entry and the Breadth pick is the
+    /// first entry within the top salience — no linear scans.
+    agenda: BTreeMap<(i32, u64), Activation>,
+    /// Activation identity -> its agenda key, for O(1) targeted removal.
+    agenda_keys: HashMap<ActKey, (i32, u64)>,
+    refraction: HashSet<ActKey>,
     transcript: String,
     pending_output: String,
     firings: Vec<FiringRecord>,
     activation_seq: u64,
     fired_total: usize,
+    matcher: Matcher,
+    rete: ReteNetwork,
 }
 
 impl Default for Engine {
@@ -160,8 +200,15 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an empty engine with the implicit `initial-fact` template.
+    /// Creates an empty engine with the implicit `initial-fact` template,
+    /// using the default [`Matcher`].
     pub fn new() -> Engine {
+        Engine::with_matcher(Matcher::default())
+    }
+
+    /// Creates an empty engine using the given match algorithm. The
+    /// matcher is fixed for the engine's lifetime.
+    pub fn with_matcher(matcher: Matcher) -> Engine {
         let mut engine = Engine {
             templates: HashMap::new(),
             rules: Vec::new(),
@@ -174,19 +221,32 @@ impl Engine {
             watch: false,
             trace: Vec::new(),
             deffacts: Vec::new(),
-            agenda: Vec::new(),
-            agenda_keys: HashSet::new(),
+            agenda: BTreeMap::new(),
+            agenda_keys: HashMap::new(),
             refraction: HashSet::new(),
             transcript: String::new(),
             pending_output: String::new(),
             firings: Vec::new(),
             activation_seq: 0,
             fired_total: 0,
+            matcher,
+            rete: ReteNetwork::new(),
         };
         engine
             .add_template(Template::new("initial-fact", []))
             .expect("initial-fact is the first template");
         engine
+    }
+
+    /// The match algorithm this engine was constructed with.
+    pub fn matcher(&self) -> Matcher {
+        self.matcher
+    }
+
+    /// Counters describing the match network's work so far. All-zero
+    /// when the naive matcher is active.
+    pub fn match_stats(&self) -> MatchStats {
+        self.rete.stats
     }
 
     // ----- construct registration -------------------------------------
@@ -248,7 +308,27 @@ impl Engine {
         let idx = self.rules.len();
         self.rules.push(Arc::new(rule));
         self.rule_names.insert(name, idx);
-        self.recompute_rule(idx)?;
+        match self.matcher {
+            Matcher::Naive => self.recompute_rule(idx)?,
+            Matcher::Rete => {
+                let emissions = {
+                    let mut host = MatchHost {
+                        globals: &self.globals,
+                        natives: &self.natives,
+                        userfns: &self.userfns,
+                    };
+                    self.rete.add_production(
+                        self.rules[idx].clone(),
+                        &self.templates,
+                        &self.wm,
+                        &mut host,
+                    )?
+                };
+                for em in emissions {
+                    self.push_activation(em.rule, em.tuple, em.bindings);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -390,6 +470,14 @@ impl Engine {
         self.refraction.clear();
         self.transcript.clear();
         self.firings.clear();
+        if self.matcher == Matcher::Rete {
+            let mut host = MatchHost {
+                globals: &self.globals,
+                natives: &self.natives,
+                userfns: &self.userfns,
+            };
+            self.rete.reset(&self.wm, &mut host)?;
+        }
         self.assert_fact(Fact::with_defaults(self.templates["initial-fact"].clone()))?;
         for fact in self.deffacts.clone() {
             self.assert_fact(fact)?;
@@ -401,23 +489,37 @@ impl Engine {
 
     fn push_activation(&mut self, rule: usize, facts: Vec<Option<FactId>>, bindings: Bindings) {
         let key = (rule, facts.clone());
-        if self.refraction.contains(&key) || self.agenda_keys.contains(&key) {
+        if self.refraction.contains(&key) || self.agenda_keys.contains_key(&key) {
             return;
         }
         self.activation_seq += 1;
-        self.agenda_keys.insert(key);
-        self.agenda.push(Activation {
-            rule,
-            facts,
-            bindings,
-            salience: self.rules[rule].salience(),
-            seq: self.activation_seq,
-        });
+        let salience = self.rules[rule].salience();
+        let order = (salience, self.activation_seq);
+        self.agenda_keys.insert(key, order);
+        self.agenda.insert(
+            order,
+            Activation { rule, facts, bindings, salience, seq: self.activation_seq },
+        );
+    }
+
+    /// Removes one activation by identity. Returns false if it was not
+    /// on the agenda (already fired, or suppressed by refraction).
+    fn remove_activation(&mut self, key: &ActKey) -> bool {
+        match self.agenda_keys.remove(key) {
+            Some(order) => {
+                self.agenda.remove(&order);
+                true
+            }
+            None => false,
+        }
     }
 
     fn remove_rule_activations(&mut self, rule: usize) {
-        self.agenda.retain(|a| a.rule != rule);
-        self.agenda_keys.retain(|(r, _)| *r != rule);
+        let doomed: Vec<ActKey> =
+            self.agenda_keys.keys().filter(|(r, _)| *r == rule).cloned().collect();
+        for key in doomed {
+            self.remove_activation(&key);
+        }
     }
 
     /// Recomputes all activations of one rule from scratch.
@@ -437,7 +539,37 @@ impl Engine {
         Ok(())
     }
 
+    /// Applies a network update to the agenda: targeted removals first,
+    /// then new matches in the network's (naive-equivalent) order, then
+    /// full resequences of negated rules with fresh sequence numbers.
+    fn apply_outcome(&mut self, outcome: UpdateOutcome) {
+        for key in &outcome.removals {
+            self.remove_activation(key);
+        }
+        for em in outcome.pushes {
+            self.push_activation(em.rule, em.tuple, em.bindings);
+        }
+        for (rule, matches) in outcome.resequences {
+            self.remove_rule_activations(rule);
+            for em in matches {
+                self.push_activation(em.rule, em.tuple, em.bindings);
+            }
+        }
+    }
+
     fn on_assert(&mut self, id: FactId) -> Result<()> {
+        if self.matcher == Matcher::Rete {
+            let outcome = {
+                let mut host = MatchHost {
+                    globals: &self.globals,
+                    natives: &self.natives,
+                    userfns: &self.userfns,
+                };
+                self.rete.on_assert(id, &self.wm, &mut host)?
+            };
+            self.apply_outcome(outcome);
+            return Ok(());
+        }
         let fact = self.wm.get(id).expect("just asserted").clone();
         let template = fact.template().name().to_string();
         let mut seeded: Vec<(usize, Vec<Match>)> = Vec::new();
@@ -487,8 +619,27 @@ impl Engine {
     }
 
     fn on_retract(&mut self, id: FactId, template: &str) -> Result<()> {
-        self.agenda.retain(|a| !a.facts.contains(&Some(id)));
-        self.agenda_keys.retain(|(_, facts)| !facts.contains(&Some(id)));
+        if self.matcher == Matcher::Rete {
+            let outcome = {
+                let mut host = MatchHost {
+                    globals: &self.globals,
+                    natives: &self.natives,
+                    userfns: &self.userfns,
+                };
+                self.rete.on_retract(id, template, &self.wm, &mut host)?
+            };
+            self.apply_outcome(outcome);
+            return Ok(());
+        }
+        let doomed: Vec<ActKey> = self
+            .agenda_keys
+            .keys()
+            .filter(|(_, facts)| facts.contains(&Some(id)))
+            .cloned()
+            .collect();
+        for key in doomed {
+            self.remove_activation(&key);
+        }
         let recompute: Vec<usize> = self
             .rules
             .iter()
@@ -516,7 +667,7 @@ impl Engine {
     /// Snapshot of the agenda in firing order: `(rule name, fact ids)`
     /// pairs, the next activation to fire first (CLIPS `agenda`).
     pub fn agenda(&self) -> Vec<(String, Vec<FactId>)> {
-        let mut entries: Vec<&Activation> = self.agenda.iter().collect();
+        let mut entries: Vec<&Activation> = self.agenda.values().collect();
         match self.strategy {
             Strategy::Depth => {
                 entries.sort_by_key(|a| (std::cmp::Reverse(a.salience), std::cmp::Reverse(a.seq)));
@@ -552,21 +703,17 @@ impl Engine {
     }
 
     fn pick_activation(&mut self) -> Option<Activation> {
-        let best = match self.strategy {
-            Strategy::Depth => self
-                .agenda
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, a)| (a.salience, a.seq))
-                .map(|(i, _)| i)?,
-            Strategy::Breadth => self
-                .agenda
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, a)| (a.salience, std::cmp::Reverse(a.seq)))
-                .map(|(i, _)| i)?,
+        let order = match self.strategy {
+            // Highest salience, then highest seq: the greatest key.
+            Strategy::Depth => *self.agenda.last_key_value()?.0,
+            // Highest salience, then lowest seq: the first key within the
+            // top salience bucket.
+            Strategy::Breadth => {
+                let top_salience = self.agenda.last_key_value()?.0 .0;
+                *self.agenda.range((top_salience, 0)..).next()?.0
+            }
         };
-        let act = self.agenda.swap_remove(best);
+        let act = self.agenda.remove(&order).expect("picked key is on the agenda");
         self.agenda_keys.remove(&(act.rule, act.facts.clone()));
         Some(act)
     }

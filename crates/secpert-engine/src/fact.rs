@@ -1,7 +1,9 @@
 //! Facts and working memory.
 
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
@@ -151,11 +153,32 @@ impl FactBuilder {
     }
 }
 
+/// Per-template slot-value index: one `value -> ids` map per slot, in
+/// template declaration order. Iteration over a bucket is ascending by
+/// fact id (assertion order), matching `ids_of`.
+type SlotIndex = Vec<HashMap<Value, BTreeSet<FactId>>>;
+
+/// Hash of a fact's identity (template name + slot values), used to make
+/// duplicate suppression O(1) instead of a scan of the template extent.
+fn content_key(fact: &Fact) -> u64 {
+    let mut h = DefaultHasher::new();
+    fact.template().name().hash(&mut h);
+    fact.slots().hash(&mut h);
+    h.finish()
+}
+
 /// Working memory: the set of currently asserted facts.
+///
+/// Beyond the per-template extent, two hash indexes are maintained on
+/// every assert/retract: a content index for duplicate suppression and a
+/// per-slot value index (the alpha-network discrimination used by the
+/// Rete matcher's constant and join lookups).
 #[derive(Debug, Default)]
 pub struct WorkingMemory {
     facts: HashMap<FactId, Arc<Fact>>,
     by_template: HashMap<Arc<str>, Vec<FactId>>,
+    by_content: HashMap<u64, Vec<FactId>>,
+    by_slot_value: HashMap<Arc<str>, SlotIndex>,
     next_id: u64,
 }
 
@@ -168,14 +191,23 @@ impl WorkingMemory {
     /// Asserts `fact`, returning its new id, or `None` when an identical
     /// fact is already present (CLIPS duplicate suppression).
     pub fn assert(&mut self, fact: Fact) -> Option<FactId> {
-        let name: Arc<str> = Arc::from(fact.template().name());
-        if let Some(ids) = self.by_template.get(&name) {
+        let key = content_key(&fact);
+        if let Some(ids) = self.by_content.get(&key) {
             if ids.iter().any(|id| *self.facts[id] == fact) {
                 return None;
             }
         }
+        let name: Arc<str> = Arc::from(fact.template().name());
         self.next_id += 1;
         let id = FactId(self.next_id);
+        let index = self
+            .by_slot_value
+            .entry(name.clone())
+            .or_insert_with(|| vec![HashMap::new(); fact.template().slots().len()]);
+        for (i, value) in fact.slots().iter().enumerate() {
+            index[i].entry(value.clone()).or_default().insert(id);
+        }
+        self.by_content.entry(key).or_default().push(id);
         self.facts.insert(id, Arc::new(fact));
         self.by_template.entry(name).or_default().push(id);
         Some(id)
@@ -191,6 +223,23 @@ impl WorkingMemory {
         if let Some(ids) = self.by_template.get_mut(fact.template().name()) {
             ids.retain(|other| *other != id);
         }
+        let key = content_key(&fact);
+        if let Some(ids) = self.by_content.get_mut(&key) {
+            ids.retain(|other| *other != id);
+            if ids.is_empty() {
+                self.by_content.remove(&key);
+            }
+        }
+        if let Some(index) = self.by_slot_value.get_mut(fact.template().name()) {
+            for (i, value) in fact.slots().iter().enumerate() {
+                if let Some(bucket) = index[i].get_mut(value) {
+                    bucket.remove(&id);
+                    if bucket.is_empty() {
+                        index[i].remove(value);
+                    }
+                }
+            }
+        }
         Ok(fact)
     }
 
@@ -202,6 +251,18 @@ impl WorkingMemory {
     /// Ids of live facts of the given template, in assertion order.
     pub fn ids_of(&self, template: &str) -> &[FactId] {
         self.by_template.get(template).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ids of live facts of `template` whose slot at index `slot` equals
+    /// `value` exactly, ascending by id. Returns `None` when no fact
+    /// matches (including unknown templates).
+    pub fn ids_with(
+        &self,
+        template: &str,
+        slot: usize,
+        value: &Value,
+    ) -> Option<&BTreeSet<FactId>> {
+        self.by_slot_value.get(template)?.get(slot)?.get(value)
     }
 
     /// Iterates over all live facts in unspecified order.
@@ -223,6 +284,8 @@ impl WorkingMemory {
     pub fn clear(&mut self) {
         self.facts.clear();
         self.by_template.clear();
+        self.by_content.clear();
+        self.by_slot_value.clear();
     }
 }
 
@@ -266,6 +329,27 @@ mod tests {
         let c = wm.assert(FactBuilder::new(tmpl()).slot("a", 3).build().unwrap()).unwrap();
         assert!(b > a);
         assert!(c > b);
+    }
+
+    #[test]
+    fn slot_value_index_tracks_assert_and_retract() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.assert(FactBuilder::new(tmpl()).slot("a", 1).build().unwrap()).unwrap();
+        let b = wm.assert(FactBuilder::new(tmpl()).slot("a", 2).build().unwrap()).unwrap();
+        let c = wm.assert(
+            FactBuilder::new(tmpl()).slot("a", 1).slot("b", Value::multi([])).build().unwrap(),
+        );
+        assert!(c.is_none(), "content index still suppresses duplicates");
+        let ones: Vec<FactId> =
+            wm.ids_with("ev", 0, &Value::Int(1)).into_iter().flatten().copied().collect();
+        assert_eq!(ones, [a]);
+        wm.retract(a).unwrap();
+        assert!(wm.ids_with("ev", 0, &Value::Int(1)).is_none());
+        let twos: Vec<FactId> =
+            wm.ids_with("ev", 0, &Value::Int(2)).into_iter().flatten().copied().collect();
+        assert_eq!(twos, [b]);
+        assert!(wm.ids_with("ev", 9, &Value::Int(2)).is_none(), "out-of-range slot");
+        assert!(wm.ids_with("nope", 0, &Value::Int(2)).is_none(), "unknown template");
     }
 
     #[test]

@@ -58,16 +58,18 @@ mod expr;
 mod fact;
 pub mod parser;
 mod pattern;
+mod rete;
 mod rule;
 mod template;
 mod value;
 
-pub use engine::{Engine, NativeFn, Strategy, UserFn};
+pub use engine::{Engine, Matcher, NativeFn, Strategy, UserFn};
 pub use error::{EngineError, Result};
 pub use explain::FiringRecord;
 pub use expr::{eval, Bindings, Expr, Host};
 pub use fact::{Fact, FactBuilder, FactId, WorkingMemory};
 pub use pattern::{Atom, CondElem, FieldConstraint, PatternCE, SlotPattern, Term};
+pub use rete::MatchStats;
 pub use rule::{Rule, RuleBuilder};
 pub use template::{SlotDef, SlotKind, Template};
 pub use value::Value;

@@ -79,6 +79,32 @@ impl FieldConstraint {
         self.alts.iter().flatten().any(Atom::is_multi)
     }
 
+    /// When this constraint is exactly one alternative of one literal
+    /// atom, returns the literal. The Rete compile step uses this to
+    /// discriminate on constant slots through the working-memory index.
+    pub fn as_single_literal(&self) -> Option<&Value> {
+        match self.alts.as_slice() {
+            [alt] => match alt.as_slice() {
+                [Atom::Term(Term::Literal(v))] => Some(v),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// When this constraint is exactly one alternative of one `?x` var
+    /// atom, returns the variable name. The Rete compile step uses this
+    /// to key beta-join memories on shared-variable bindings.
+    pub fn as_single_var(&self) -> Option<&Arc<str>> {
+        match self.alts.as_slice() {
+            [alt] => match alt.as_slice() {
+                [Atom::Term(Term::Var(name))] => Some(name),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// Matches one field value, possibly extending `bindings`.
     ///
     /// Bindings made by a failing alternative are rolled back before the

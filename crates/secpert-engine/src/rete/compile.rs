@@ -1,0 +1,164 @@
+//! Rule compilation: from a rule's condition elements to discrimination
+//! metadata consumed by the match network.
+//!
+//! For each pattern (positive or negated) we extract, per slot:
+//!
+//! - **constant discriminators** — slots constrained to a single literal.
+//!   These gate facts cheaply before a full pattern verification and key
+//!   lookups into the working-memory slot-value index (alpha network).
+//! - **a join key** — the first slot constrained to exactly one `?var`
+//!   already bound by an earlier condition element. Beta memories are
+//!   indexed on that variable's value, so a new fact joins against only
+//!   the tokens sharing its value instead of the whole memory.
+//!
+//! Both extractions are restricted to single-valued slots: a multislot
+//! matched by a `Single` constraint binds the *item*, not the stored
+//! multifield, so index keys would not line up.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::pattern::{Atom, CondElem, PatternCE, SlotPattern, Term};
+use crate::rule::Rule;
+use crate::template::{SlotKind, Template};
+use crate::value::Value;
+
+/// Compiled discrimination metadata for one condition element.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Node {
+    /// `(slot index, literal)` pairs the fact must carry verbatim.
+    pub consts: Vec<(usize, Value)>,
+    /// `(slot index, variable)` shared-variable join key, when one exists.
+    pub join: Option<(usize, Arc<str>)>,
+}
+
+/// Variables guaranteed to be bound after a pattern CE matches: the fact
+/// address binding plus every top-level `?var`/`$?var` term inside a
+/// single-alternative constraint (a matched conjunction matches all of
+/// its atoms). Multi-alternative constraints are skipped — which branch
+/// matched is unknown statically.
+fn bound_by_pattern(p: &PatternCE, bound: &mut HashSet<Arc<str>>) {
+    if let Some(var) = &p.binding {
+        bound.insert(var.clone());
+    }
+    let mut collect = |alts: &Vec<Vec<Atom>>| {
+        if let [alt] = alts.as_slice() {
+            for atom in alt {
+                if let Atom::Term(Term::Var(v) | Term::MultiVar(v)) = atom {
+                    bound.insert(v.clone());
+                }
+            }
+        }
+    };
+    for (_, sp) in &p.slots {
+        match sp {
+            SlotPattern::Single(fc) => collect(&fc.alts),
+            SlotPattern::MultiSeq(fcs) => {
+                for fc in fcs {
+                    collect(&fc.alts);
+                }
+            }
+        }
+    }
+}
+
+fn compile_pattern(
+    p: &PatternCE,
+    bound: &HashSet<Arc<str>>,
+    templates: &HashMap<Arc<str>, Arc<Template>>,
+) -> Node {
+    let mut node = Node::default();
+    let Some(template) = templates.get(p.template.as_ref()) else {
+        return node;
+    };
+    for (slot, sp) in &p.slots {
+        let SlotPattern::Single(fc) = sp else { continue };
+        let Some(idx) = template.slot_index(slot) else { continue };
+        if template.slots()[idx].kind() != SlotKind::Single {
+            continue;
+        }
+        if let Some(v) = fc.as_single_literal() {
+            node.consts.push((idx, v.clone()));
+        } else if node.join.is_none() {
+            if let Some(var) = fc.as_single_var() {
+                if bound.contains(var) {
+                    node.join = Some((idx, var.clone()));
+                }
+            }
+        }
+    }
+    node
+}
+
+/// Compiles every condition element of `rule` into a [`Node`].
+pub(crate) fn compile(rule: &Rule, templates: &HashMap<Arc<str>, Arc<Template>>) -> Vec<Node> {
+    let mut bound: HashSet<Arc<str>> = HashSet::new();
+    let mut nodes = Vec::with_capacity(rule.lhs().len());
+    for ce in rule.lhs() {
+        match ce {
+            CondElem::Pattern(p) => {
+                nodes.push(compile_pattern(p, &bound, templates));
+                bound_by_pattern(p, &mut bound);
+            }
+            // Negated patterns can use joins/consts but bind nothing.
+            CondElem::Not(p) => nodes.push(compile_pattern(p, &bound, templates)),
+            CondElem::Test(_) => nodes.push(Node::default()),
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::FieldConstraint;
+    use crate::rule::RuleBuilder;
+    use crate::template::SlotDef;
+
+    fn templates() -> HashMap<Arc<str>, Arc<Template>> {
+        let mut m = HashMap::new();
+        for name in ["open", "write"] {
+            m.insert(
+                Arc::from(name),
+                Arc::new(Template::new(
+                    name,
+                    [SlotDef::single("path"), SlotDef::single("mode"), SlotDef::multi("tags")],
+                )),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn consts_and_join_extraction() {
+        let rule = RuleBuilder::new("r")
+            .pattern(
+                PatternCE::new("open")
+                    .slot("path", SlotPattern::Single(FieldConstraint::var("p")))
+                    .slot("mode", SlotPattern::Single(FieldConstraint::literal(Value::sym("rw")))),
+            )
+            .pattern(
+                PatternCE::new("write")
+                    .slot("path", SlotPattern::Single(FieldConstraint::var("p"))),
+            )
+            .build();
+        let nodes = compile(&rule, &templates());
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].consts, vec![(1, Value::sym("rw"))]);
+        assert!(nodes[0].join.is_none(), "?p is unbound at the first pattern");
+        assert_eq!(nodes[1].join, Some((0, Arc::from("p"))), "?p is bound by then");
+    }
+
+    #[test]
+    fn multislot_is_never_indexed() {
+        let rule = RuleBuilder::new("r")
+            .pattern(
+                PatternCE::new("open")
+                    .slot("tags", SlotPattern::Single(FieldConstraint::literal(Value::sym("x")))),
+            )
+            .build();
+        let nodes = compile(&rule, &templates());
+        assert!(nodes[0].consts.is_empty());
+        assert!(nodes[0].join.is_none());
+    }
+}

@@ -1,0 +1,721 @@
+//! The incremental match network: token tree, beta memories and the
+//! assert/retract propagation that keeps rule activations up to date.
+//!
+//! # Topology
+//!
+//! Each rule compiles to a linear chain of nodes, one per condition
+//! element. Level `0` holds the rule's root token (empty tuple, empty
+//! bindings); level `i + 1` holds the tokens that have consumed
+//! condition elements `0..=i`. A token at the last level is a *complete
+//! match* and corresponds to one (potential) agenda activation.
+//!
+//! Facts arriving at a pattern node join against the tokens of the
+//! parent memory — narrowed by the shared-variable beta index and the
+//! constant-slot alpha index when the compile step found one — and
+//! spawn child tokens that cascade down the chain. Retraction deletes
+//! the token subtrees hanging off the retracted fact: O(tokens touched).
+//!
+//! # Negation
+//!
+//! A token whose next node is a `not` CE carries a *blocker set*: the
+//! facts currently matching the negated pattern under the token's
+//! bindings. The negated branch of the chain exists exactly while the
+//! set is empty; asserts and retracts adjust the set (support counting)
+//! instead of recomputing the rule.
+//!
+//! # Agenda-order emulation
+//!
+//! The network reproduces the naive matcher's activation sequencing
+//! byte-for-byte (see `tests/match_diff.rs`):
+//!
+//! - new matches from an assert are emitted seed-position-major, then
+//!   in ascending fact-tuple order — the naive seed-join's DFS order;
+//! - rules with a `not` CE on the changed template are *resequenced*:
+//!   every surviving complete match is re-pushed with a fresh sequence
+//!   number in full-tuple order, mirroring the naive full recompute
+//!   (O(complete tokens), not O(full join)).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::engine::ActKey;
+use crate::error::Result;
+use crate::expr::{eval, Bindings, Host};
+use crate::fact::{Fact, FactId, WorkingMemory};
+use crate::pattern::{CondElem, PatternCE};
+use crate::rule::Rule;
+use crate::template::Template;
+use crate::value::Value;
+
+use super::compile::{compile, Node};
+use super::stats::MatchStats;
+
+/// A fact tuple: one entry per condition element consumed so far
+/// (`None` for `not`/`test` positions). Doubles as the activation key.
+type Tuple = Vec<Option<FactId>>;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct TokenId(u64);
+
+#[derive(Debug)]
+struct Token {
+    prod: usize,
+    /// Memory level the token occupies: 0 is the root, `i + 1` means
+    /// condition elements `0..=i` are consumed.
+    level: usize,
+    parent: Option<TokenId>,
+    children: Vec<TokenId>,
+    /// Fact consumed at this level (`None` for root/`not`/`test` levels).
+    fact: Option<FactId>,
+    tuple: Tuple,
+    bindings: Bindings,
+    /// Facts currently matching the `not` CE that follows this level
+    /// (empty unless the next node is a negation).
+    blockers: BTreeSet<FactId>,
+}
+
+/// One beta memory: the tokens at one level of one production.
+#[derive(Debug, Default)]
+struct Memory {
+    /// Token identity by tuple; also the duplicate-path guard (a fact
+    /// reaching the same tuple via two seed positions lands once).
+    by_tuple: HashMap<Tuple, TokenId>,
+    /// Tokens keyed by the consuming node's join-variable value.
+    index: HashMap<Value, HashSet<TokenId>>,
+    /// Tokens whose join variable was unexpectedly unbound; always
+    /// consulted so a conservative compile can never lose matches.
+    unindexed: HashSet<TokenId>,
+}
+
+struct Production {
+    rule: Arc<Rule>,
+    nodes: Vec<Node>,
+    root: TokenId,
+    /// `lhs.len() + 1` memories; the last holds complete matches.
+    memories: Vec<Memory>,
+}
+
+/// A complete match handed to the agenda.
+pub(crate) struct Emission {
+    /// Rule index.
+    pub rule: usize,
+    /// Fact tuple (the activation/refraction key body).
+    pub tuple: Tuple,
+    /// Variable bindings for RHS evaluation.
+    pub bindings: Bindings,
+}
+
+/// Agenda edits produced by one assert or retract, in application order:
+/// removals, then ordered pushes, then negated-rule resequences.
+#[derive(Default)]
+pub(crate) struct UpdateOutcome {
+    /// Activations whose tokens were deleted.
+    pub removals: Vec<ActKey>,
+    /// New matches in exact naive-equivalent push order.
+    pub pushes: Vec<Emission>,
+    /// Rules to resequence: remove all their activations, then push the
+    /// given matches (already in full-tuple order) with fresh seqs.
+    pub resequences: Vec<(usize, Vec<Emission>)>,
+}
+
+/// The incremental Rete-style match network.
+#[derive(Default)]
+pub(crate) struct ReteNetwork {
+    prods: Vec<Production>,
+    tokens: HashMap<TokenId, Token>,
+    /// Fact -> tokens that consumed it at a positive position.
+    fact_tokens: HashMap<FactId, Vec<TokenId>>,
+    /// Fact -> tokens whose blocker set contains it.
+    fact_blocks: HashMap<FactId, HashSet<TokenId>>,
+    next_token: u64,
+    pub(crate) stats: MatchStats,
+}
+
+impl ReteNetwork {
+    pub(crate) fn new() -> ReteNetwork {
+        ReteNetwork::default()
+    }
+
+    fn new_token_id(&mut self) -> TokenId {
+        self.next_token += 1;
+        TokenId(self.next_token)
+    }
+
+    fn make_root(&mut self, prod: usize) -> TokenId {
+        let id = self.new_token_id();
+        self.tokens.insert(
+            id,
+            Token {
+                prod,
+                level: 0,
+                parent: None,
+                children: Vec::new(),
+                fact: None,
+                tuple: Vec::new(),
+                bindings: Bindings::new(),
+                blockers: BTreeSet::new(),
+            },
+        );
+        self.prods[prod].memories[0].by_tuple.insert(Vec::new(), id);
+        id
+    }
+
+    /// Compiles `rule` into the network and joins it against the current
+    /// working memory. Returns the rule's complete matches in full-tuple
+    /// order, ready to push (the naive `recompute_rule` order).
+    pub(crate) fn add_production(
+        &mut self,
+        rule: Arc<Rule>,
+        templates: &HashMap<Arc<str>, Arc<Template>>,
+        wm: &WorkingMemory,
+        host: &mut dyn Host,
+    ) -> Result<Vec<Emission>> {
+        let prod = self.prods.len();
+        let nodes = compile(&rule, templates);
+        let levels = rule.lhs().len() + 1;
+        self.prods.push(Production {
+            rule,
+            nodes,
+            root: TokenId(0),
+            memories: (0..levels).map(|_| Memory::default()).collect(),
+        });
+        let root = self.make_root(prod);
+        self.prods[prod].root = root;
+        let mut complete = Vec::new();
+        self.extend_token(prod, root, wm, host, &mut complete)?;
+        Ok(self.emissions_sorted(prod, complete))
+    }
+
+    /// Drops every token (working memory was cleared) and re-roots each
+    /// production, re-evaluating `not`/`test` prefixes against the now
+    /// empty memory.
+    pub(crate) fn reset(&mut self, wm: &WorkingMemory, host: &mut dyn Host) -> Result<()> {
+        self.stats.tokens_removed += self.stats.tokens_live;
+        self.stats.tokens_live = 0;
+        self.tokens.clear();
+        self.fact_tokens.clear();
+        self.fact_blocks.clear();
+        for prod in &mut self.prods {
+            for memory in &mut prod.memories {
+                *memory = Memory::default();
+            }
+        }
+        for prod in 0..self.prods.len() {
+            let root = self.make_root(prod);
+            self.prods[prod].root = root;
+            let mut scratch = Vec::new();
+            self.extend_token(prod, root, wm, host, &mut scratch)?;
+            // Every rule has at least one positive pattern (the engine
+            // injects `initial-fact` otherwise), so nothing completes
+            // against an empty working memory.
+            debug_assert!(scratch.is_empty());
+        }
+        Ok(())
+    }
+
+    // ----- assert propagation -------------------------------------------
+
+    pub(crate) fn on_assert(
+        &mut self,
+        id: FactId,
+        wm: &WorkingMemory,
+        host: &mut dyn Host,
+    ) -> Result<UpdateOutcome> {
+        let fact = wm.get(id).expect("asserted fact is live").clone();
+        let template = fact.template().name().to_string();
+        let mut outcome = UpdateOutcome::default();
+        let mut resequence: Vec<usize> = Vec::new();
+        for pi in 0..self.prods.len() {
+            let rule = self.prods[pi].rule.clone();
+            let negated = rule.has_not_on(&template);
+            if negated {
+                // Update blocker sets of existing tokens *before* any
+                // positive propagation: tokens created below compute
+                // their blockers from a working memory that already
+                // contains the fact, so doing supports first counts the
+                // fact exactly once either way.
+                self.update_supports_on_assert(
+                    pi,
+                    &rule,
+                    id,
+                    &fact,
+                    &template,
+                    host,
+                    &mut outcome.removals,
+                )?;
+            }
+            let positions: Vec<usize> = rule
+                .positive_positions()
+                .filter(|(_, p)| p.template.as_ref() == template)
+                .map(|(pos, _)| pos)
+                .collect();
+            let mut emitted: Vec<(usize, TokenId)> = Vec::new();
+            for pos in positions {
+                if !self.const_check(pi, pos, &fact) {
+                    continue;
+                }
+                let parents = self.right_parents(pi, pos, &fact);
+                let mut complete = Vec::new();
+                for parent in parents {
+                    if !self.tokens.contains_key(&parent) {
+                        continue;
+                    }
+                    self.try_extend(pi, pos, parent, id, &fact, wm, host, &mut complete)?;
+                }
+                emitted.extend(complete.into_iter().map(|t| (pos, t)));
+            }
+            if negated {
+                // New matches surface through the resequence below, as
+                // the naive full recompute would.
+                resequence.push(pi);
+            } else if !emitted.is_empty() {
+                // Seed-position-major, then ascending fact tuple: the
+                // naive seed-join DFS emission order.
+                emitted.sort_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| self.tokens[&a.1].tuple.cmp(&self.tokens[&b.1].tuple))
+                });
+                for (_, t) in emitted {
+                    outcome.pushes.push(self.emission(pi, t));
+                }
+            }
+        }
+        for pi in resequence {
+            self.stats.resequences += 1;
+            let matches = self.complete_matches(pi);
+            outcome.resequences.push((pi, matches));
+        }
+        self.count_activations(&outcome);
+        Ok(outcome)
+    }
+
+    /// Scans existing tokens sitting in front of `not` nodes over the
+    /// asserted fact's template and grows their blocker sets; a set
+    /// going empty-to-blocked deletes the negated branch.
+    #[allow(clippy::too_many_arguments)]
+    fn update_supports_on_assert(
+        &mut self,
+        pi: usize,
+        rule: &Rule,
+        id: FactId,
+        fact: &Fact,
+        template: &str,
+        host: &mut dyn Host,
+        removals: &mut Vec<ActKey>,
+    ) -> Result<()> {
+        let positions: Vec<usize> = rule
+            .negative_positions()
+            .filter(|(_, p)| p.template.as_ref() == template)
+            .map(|(pos, _)| pos)
+            .collect();
+        for pos in positions {
+            if !self.const_check(pi, pos, fact) {
+                continue;
+            }
+            let CondElem::Not(pattern) = &rule.lhs()[pos] else { unreachable!() };
+            let parents: Vec<TokenId> =
+                self.prods[pi].memories[pos].by_tuple.values().copied().collect();
+            for t in parents {
+                let Some(token) = self.tokens.get(&t) else { continue };
+                let mut scratch = token.bindings.clone();
+                self.stats.neg_checks += 1;
+                if !pattern.matches(fact, &mut scratch, host)? {
+                    continue;
+                }
+                let token = self.tokens.get_mut(&t).expect("checked above");
+                let newly_blocked = token.blockers.is_empty();
+                token.blockers.insert(id);
+                let child_tuple = if newly_blocked {
+                    let mut tuple = token.tuple.clone();
+                    tuple.push(None);
+                    Some(tuple)
+                } else {
+                    None
+                };
+                self.fact_blocks.entry(id).or_default().insert(t);
+                if let Some(tuple) = child_tuple {
+                    if let Some(child) =
+                        self.prods[pi].memories[pos + 1].by_tuple.get(&tuple).copied()
+                    {
+                        self.delete_subtree(child, removals);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- retract propagation ------------------------------------------
+
+    /// `wm` no longer contains `id` when this runs (the engine retracts
+    /// from working memory first), so freshly unblocked negations are
+    /// evaluated against the post-retract fact population.
+    pub(crate) fn on_retract(
+        &mut self,
+        id: FactId,
+        template: &str,
+        wm: &WorkingMemory,
+        host: &mut dyn Host,
+    ) -> Result<UpdateOutcome> {
+        let mut outcome = UpdateOutcome::default();
+        // 1. Delete the token subtrees that consumed the fact; their
+        //    agenda activations come back as targeted removals.
+        if let Some(tokens) = self.fact_tokens.remove(&id) {
+            for t in tokens {
+                if self.tokens.contains_key(&t) {
+                    self.delete_subtree(t, &mut outcome.removals);
+                }
+            }
+        }
+        // 2. Shrink blocker sets; a set going empty revives the negated
+        //    branch, whose new matches surface via the resequence below.
+        if let Some(blocked) = self.fact_blocks.remove(&id) {
+            for t in blocked {
+                let Some(token) = self.tokens.get_mut(&t) else { continue };
+                token.blockers.remove(&id);
+                if !token.blockers.is_empty() {
+                    continue;
+                }
+                let (pi, level, bindings) = (token.prod, token.level, token.bindings.clone());
+                let mut scratch = Vec::new();
+                if let Some(child) = self.create_child(pi, t, level, None, bindings) {
+                    self.extend_token(pi, child, wm, host, &mut scratch)?;
+                }
+            }
+        }
+        // 3. Resequence rules negating on this template (naive parity:
+        //    their full recompute refreshes every surviving seq).
+        for pi in 0..self.prods.len() {
+            if self.prods[pi].rule.has_not_on(template) {
+                self.stats.resequences += 1;
+                let matches = self.complete_matches(pi);
+                outcome.resequences.push((pi, matches));
+            }
+        }
+        self.count_activations(&outcome);
+        Ok(outcome)
+    }
+
+    // ----- token machinery ----------------------------------------------
+
+    /// Extends `token` through its next node against current working
+    /// memory, cascading to completion. Newly completed tokens are
+    /// appended to `out`.
+    fn extend_token(
+        &mut self,
+        pi: usize,
+        token_id: TokenId,
+        wm: &WorkingMemory,
+        host: &mut dyn Host,
+        out: &mut Vec<TokenId>,
+    ) -> Result<()> {
+        let rule = self.prods[pi].rule.clone();
+        let level = self.tokens[&token_id].level;
+        if level == rule.lhs().len() {
+            out.push(token_id);
+            return Ok(());
+        }
+        match &rule.lhs()[level] {
+            CondElem::Pattern(p) => {
+                let candidates = self.candidates(pi, level, p, &token_id, wm);
+                for cid in candidates {
+                    let Some(fact) = wm.get(cid).cloned() else { continue };
+                    if !self.const_check(pi, level, &fact) {
+                        continue;
+                    }
+                    if !self.tokens.contains_key(&token_id) {
+                        break;
+                    }
+                    self.try_extend(pi, level, token_id, cid, &fact, wm, host, out)?;
+                }
+            }
+            CondElem::Not(pattern) => {
+                let candidates = self.candidates(pi, level, pattern, &token_id, wm);
+                let bindings = self.tokens[&token_id].bindings.clone();
+                let mut blockers = BTreeSet::new();
+                for cid in candidates {
+                    let Some(fact) = wm.get(cid).cloned() else { continue };
+                    if !self.const_check(pi, level, &fact) {
+                        continue;
+                    }
+                    self.stats.neg_checks += 1;
+                    let mut scratch = bindings.clone();
+                    if pattern.matches(&fact, &mut scratch, host)? {
+                        blockers.insert(cid);
+                    }
+                }
+                for cid in &blockers {
+                    self.fact_blocks.entry(*cid).or_default().insert(token_id);
+                }
+                let empty = blockers.is_empty();
+                self.tokens.get_mut(&token_id).expect("live token").blockers = blockers;
+                if empty {
+                    if let Some(child) = self.create_child(pi, token_id, level, None, bindings) {
+                        self.extend_token(pi, child, wm, host, out)?;
+                    }
+                }
+            }
+            CondElem::Test(expr) => {
+                let mut scratch = self.tokens[&token_id].bindings.clone();
+                if eval(expr, &mut scratch, host)?.is_truthy() {
+                    // `bind` side effects inside the test persist
+                    // downstream, as in the naive DFS.
+                    if let Some(child) = self.create_child(pi, token_id, level, None, scratch) {
+                        self.extend_token(pi, child, wm, host, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One join step: verifies `fact` against the pattern at `level`
+    /// under `parent`'s bindings and, on success, spawns the child token
+    /// and cascades it.
+    #[allow(clippy::too_many_arguments)]
+    fn try_extend(
+        &mut self,
+        pi: usize,
+        level: usize,
+        parent: TokenId,
+        cid: FactId,
+        fact: &Fact,
+        wm: &WorkingMemory,
+        host: &mut dyn Host,
+        out: &mut Vec<TokenId>,
+    ) -> Result<()> {
+        let rule = self.prods[pi].rule.clone();
+        let CondElem::Pattern(p) = &rule.lhs()[level] else { unreachable!() };
+        self.stats.join_attempts += 1;
+        let mut extended = self.tokens[&parent].bindings.clone();
+        if !p.matches(fact, &mut extended, host)? {
+            return Ok(());
+        }
+        if let Some(var) = &p.binding {
+            // `?f <-` rebinding to a different fact must fail.
+            match extended.get(var.as_ref()) {
+                Some(existing) if existing != &Value::Fact(cid) => return Ok(()),
+                _ => {
+                    extended.insert(var.clone(), Value::Fact(cid));
+                }
+            }
+        }
+        self.stats.join_matches += 1;
+        if let Some(child) = self.create_child(pi, parent, level, Some(cid), extended) {
+            self.extend_token(pi, child, wm, host, out)?;
+        }
+        Ok(())
+    }
+
+    /// Creates the child token of `parent` through the node at `level`.
+    /// Returns `None` when a token with the same tuple already exists
+    /// (the fact reached this path through an earlier seed position).
+    fn create_child(
+        &mut self,
+        pi: usize,
+        parent: TokenId,
+        level: usize,
+        fact: Option<FactId>,
+        bindings: Bindings,
+    ) -> Option<TokenId> {
+        let mut tuple = self.tokens[&parent].tuple.clone();
+        tuple.push(fact);
+        if self.prods[pi].memories[level + 1].by_tuple.contains_key(&tuple) {
+            return None;
+        }
+        let id = self.new_token_id();
+        let token = Token {
+            prod: pi,
+            level: level + 1,
+            parent: Some(parent),
+            children: Vec::new(),
+            fact,
+            tuple: tuple.clone(),
+            bindings,
+            blockers: BTreeSet::new(),
+        };
+        // Index the token in its memory under the consuming node's join
+        // variable, when that node has one.
+        let join_key = self.prods[pi]
+            .nodes
+            .get(level + 1)
+            .and_then(|n| n.join.as_ref())
+            .map(|(_, var)| token.bindings.get(var.as_ref()).cloned());
+        let memory = &mut self.prods[pi].memories[level + 1];
+        match join_key {
+            Some(Some(value)) => {
+                memory.index.entry(value).or_default().insert(id);
+            }
+            Some(None) => {
+                // Conservative escape hatch: the compile step believed
+                // the variable bound; never lose the token regardless.
+                memory.unindexed.insert(id);
+            }
+            None => {}
+        }
+        memory.by_tuple.insert(tuple, id);
+        if let Some(f) = fact {
+            self.fact_tokens.entry(f).or_default().push(id);
+        }
+        self.tokens.get_mut(&parent).expect("live parent").children.push(id);
+        self.tokens.insert(id, token);
+        self.stats.tokens_created += 1;
+        self.stats.tokens_live += 1;
+        Some(id)
+    }
+
+    /// Deletes `token` and every descendant, unhooking memories, fact
+    /// back-references and blocker back-references, and recording the
+    /// agenda keys of deleted complete matches.
+    fn delete_subtree(&mut self, token: TokenId, removals: &mut Vec<ActKey>) {
+        // Detach the subtree root from its parent; descendants' parents
+        // die with the subtree.
+        if let Some(parent) = self.tokens[&token].parent {
+            if let Some(p) = self.tokens.get_mut(&parent) {
+                p.children.retain(|c| *c != token);
+            }
+        }
+        let mut stack = vec![token];
+        while let Some(t) = stack.pop() {
+            let Some(tok) = self.tokens.remove(&t) else { continue };
+            stack.extend(tok.children.iter().copied());
+            let last_level = tok.level == self.prods[tok.prod].nodes.len();
+            let join_key = self.prods[tok.prod]
+                .nodes
+                .get(tok.level)
+                .and_then(|n| n.join.as_ref())
+                .and_then(|(_, var)| tok.bindings.get(var.as_ref()).cloned());
+            let memory = &mut self.prods[tok.prod].memories[tok.level];
+            memory.by_tuple.remove(&tok.tuple);
+            memory.unindexed.remove(&t);
+            if let Some(value) = join_key {
+                if let Some(bucket) = memory.index.get_mut(&value) {
+                    bucket.remove(&t);
+                    if bucket.is_empty() {
+                        memory.index.remove(&value);
+                    }
+                }
+            }
+            if let Some(f) = tok.fact {
+                if let Some(list) = self.fact_tokens.get_mut(&f) {
+                    list.retain(|x| *x != t);
+                }
+            }
+            for blocker in &tok.blockers {
+                if let Some(set) = self.fact_blocks.get_mut(blocker) {
+                    set.remove(&t);
+                }
+            }
+            if last_level {
+                removals.push((tok.prod, tok.tuple));
+            }
+            self.stats.tokens_removed += 1;
+            self.stats.tokens_live -= 1;
+        }
+    }
+
+    // ----- candidate enumeration ----------------------------------------
+
+    /// Facts worth joining against `token` at the pattern of `level`:
+    /// the beta-join bucket when the node has a join variable, else the
+    /// constant-slot bucket, else the whole template extent.
+    fn candidates(
+        &mut self,
+        pi: usize,
+        level: usize,
+        pattern: &PatternCE,
+        token: &TokenId,
+        wm: &WorkingMemory,
+    ) -> Vec<FactId> {
+        let node = &self.prods[pi].nodes[level];
+        if let Some((slot, var)) = &node.join {
+            if let Some(value) = self.tokens[token].bindings.get(var.as_ref()) {
+                let (slot, value) = (*slot, value.clone());
+                self.stats.index_lookups += 1;
+                return match wm.ids_with(&pattern.template, slot, &value) {
+                    Some(ids) => {
+                        self.stats.index_hits += 1;
+                        ids.iter().copied().collect()
+                    }
+                    None => Vec::new(),
+                };
+            }
+        }
+        if let Some((slot, value)) = node.consts.first() {
+            let (slot, value) = (*slot, value.clone());
+            self.stats.index_lookups += 1;
+            return match wm.ids_with(&pattern.template, slot, &value) {
+                Some(ids) => {
+                    self.stats.index_hits += 1;
+                    ids.iter().copied().collect()
+                }
+                None => Vec::new(),
+            };
+        }
+        wm.ids_of(&pattern.template).to_vec()
+    }
+
+    /// Parent tokens worth joining a new fact against at `level`: the
+    /// beta-index bucket for the fact's join-slot value (plus the
+    /// conservative unindexed set), or the whole memory.
+    fn right_parents(&mut self, pi: usize, level: usize, fact: &Fact) -> Vec<TokenId> {
+        let memory = &self.prods[pi].memories[level];
+        if let Some((slot, _)) = &self.prods[pi].nodes[level].join {
+            let value = &fact.slots()[*slot];
+            self.stats.index_lookups += 1;
+            let mut parents: Vec<TokenId> = match memory.index.get(value) {
+                Some(bucket) => {
+                    self.stats.index_hits += 1;
+                    bucket.iter().copied().collect()
+                }
+                None => Vec::new(),
+            };
+            parents.extend(memory.unindexed.iter().copied());
+            parents
+        } else {
+            memory.by_tuple.values().copied().collect()
+        }
+    }
+
+    /// Cheap constant-slot gate before a full pattern verification.
+    fn const_check(&mut self, pi: usize, level: usize, fact: &Fact) -> bool {
+        let node = &self.prods[pi].nodes[level];
+        if node.consts.is_empty() {
+            return true;
+        }
+        self.stats.alpha_tests += 1;
+        let pass = node.consts.iter().all(|(slot, value)| &fact.slots()[*slot] == value);
+        if pass {
+            self.stats.alpha_hits += 1;
+        }
+        pass
+    }
+
+    // ----- emission helpers ---------------------------------------------
+
+    fn emission(&self, pi: usize, token: TokenId) -> Emission {
+        let tok = &self.tokens[&token];
+        Emission { rule: pi, tuple: tok.tuple.clone(), bindings: tok.bindings.clone() }
+    }
+
+    fn emissions_sorted(&self, pi: usize, tokens: Vec<TokenId>) -> Vec<Emission> {
+        let mut out: Vec<Emission> = tokens.into_iter().map(|t| self.emission(pi, t)).collect();
+        out.sort_by(|a, b| a.tuple.cmp(&b.tuple));
+        out
+    }
+
+    /// All complete matches of one rule in full-tuple order (the naive
+    /// full-recompute DFS emission order).
+    fn complete_matches(&self, pi: usize) -> Vec<Emission> {
+        let last = self.prods[pi].nodes.len();
+        let tokens: Vec<TokenId> =
+            self.prods[pi].memories[last].by_tuple.values().copied().collect();
+        self.emissions_sorted(pi, tokens)
+    }
+
+    fn count_activations(&mut self, outcome: &UpdateOutcome) {
+        self.stats.activations += outcome.pushes.len() as u64;
+        self.stats.activations +=
+            outcome.resequences.iter().map(|(_, m)| m.len() as u64).sum::<u64>();
+    }
+}

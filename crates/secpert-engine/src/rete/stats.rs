@@ -1,0 +1,84 @@
+//! Match-network instrumentation counters.
+
+/// Counters describing the work the incremental match network performed.
+///
+/// All counters are cumulative over the engine's lifetime (they survive
+/// [`crate::Engine::reset`]); `tokens_live` is the current population.
+/// The naive matcher reports all-zero stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Constant-slot discrimination checks performed (alpha network).
+    pub alpha_tests: u64,
+    /// Constant-slot checks that passed.
+    pub alpha_hits: u64,
+    /// Full pattern verifications attempted while joining (beta network).
+    pub join_attempts: u64,
+    /// Join verifications that matched and produced/extended a token.
+    pub join_matches: u64,
+    /// `not` support evaluations (fact vs negated pattern).
+    pub neg_checks: u64,
+    /// Tokens created since engine construction.
+    pub tokens_created: u64,
+    /// Tokens removed since engine construction.
+    pub tokens_removed: u64,
+    /// Tokens currently alive in the network.
+    pub tokens_live: u64,
+    /// Probes of the slot-value / beta-memory hash indexes.
+    pub index_lookups: u64,
+    /// Probes that found a non-empty bucket.
+    pub index_hits: u64,
+    /// Activations handed to the agenda by the network.
+    pub activations: u64,
+    /// Negated-rule resequencing passes (agenda-order emulation).
+    pub resequences: u64,
+}
+
+impl MatchStats {
+    /// Adds `other`'s counters into `self` (fleet-level aggregation).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.alpha_tests += other.alpha_tests;
+        self.alpha_hits += other.alpha_hits;
+        self.join_attempts += other.join_attempts;
+        self.join_matches += other.join_matches;
+        self.neg_checks += other.neg_checks;
+        self.tokens_created += other.tokens_created;
+        self.tokens_removed += other.tokens_removed;
+        self.tokens_live += other.tokens_live;
+        self.index_lookups += other.index_lookups;
+        self.index_hits += other.index_hits;
+        self.activations += other.activations;
+        self.resequences += other.resequences;
+    }
+
+    /// Fraction of index probes that found a bucket, in `[0, 1]`.
+    pub fn index_hit_rate(&self) -> f64 {
+        if self.index_lookups == 0 {
+            0.0
+        } else {
+            self.index_hits as f64 / self.index_lookups as f64
+        }
+    }
+
+    /// True when no counter has moved (e.g. the naive matcher is active).
+    pub fn is_empty(&self) -> bool {
+        *self == MatchStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a =
+            MatchStats { join_attempts: 2, index_lookups: 4, index_hits: 1, ..Default::default() };
+        let b =
+            MatchStats { join_attempts: 3, index_lookups: 4, index_hits: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.join_attempts, 5);
+        assert_eq!(a.index_hit_rate(), 0.5);
+        assert!(!a.is_empty());
+        assert!(MatchStats::default().is_empty());
+    }
+}

@@ -67,6 +67,20 @@ impl Rule {
     pub fn needs_initial_fact(&self) -> bool {
         self.positive_positions().next().is_none()
     }
+
+    /// Indexes (into `lhs`) of the `not` CEs.
+    pub fn negative_positions(&self) -> impl Iterator<Item = (usize, &PatternCE)> {
+        self.lhs.iter().enumerate().filter_map(|(i, ce)| match ce {
+            CondElem::Not(p) => Some((i, p)),
+            _ => None,
+        })
+    }
+
+    /// True when the LHS has a `not` CE over `template`; changes to that
+    /// template's facts then require re-evaluating the rule's negation.
+    pub fn has_not_on(&self, template: &str) -> bool {
+        self.negative_positions().any(|(_, p)| p.template.as_ref() == template)
+    }
 }
 
 /// Fluent builder for rules constructed from Rust (rather than parsed).

@@ -1,0 +1,241 @@
+//! Differential oracle: the incremental Rete network and the naive
+//! full-join matcher must be observationally identical — same agenda
+//! snapshots, same firing sequences, same transcripts, same final
+//! working memory — across random interleavings of asserts, retracts,
+//! bounded runs, resets and mid-stream rule additions.
+//!
+//! Rules are generated with the shapes that stress the network: shared
+//! variables across patterns (beta joins), constant slots (alpha
+//! discrimination), `not` CEs (support counting + resequencing), `test`
+//! CEs, fact-address bindings with RHS retracts (mid-run agenda edits)
+//! and RHS asserts (cascading activation).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use secpert_engine::{
+    Engine, Expr, FieldConstraint, Matcher, PatternCE, Rule, RuleBuilder, SlotDef, SlotPattern,
+    Strategy, Template, Value,
+};
+
+/// Deterministic local RNG (same construction as the proptest shim).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const TEMPLATES: usize = 3;
+
+fn template_name(i: u64) -> String {
+    format!("t{i}")
+}
+
+/// One random condition element; returns the pattern plus which of the
+/// shared variables (`x` on slot `a`, `y` on slot `b`) it mentions.
+fn gen_pattern(rng: &mut Rng) -> (PatternCE, bool, bool) {
+    let mut p = PatternCE::new(template_name(rng.below(TEMPLATES as u64)));
+    let mut uses_x = false;
+    let mut uses_y = false;
+    match rng.below(3) {
+        0 => {}
+        1 => {
+            p = p.slot(
+                "a",
+                SlotPattern::Single(FieldConstraint::literal(Value::Int(rng.below(3) as i64))),
+            );
+        }
+        _ => {
+            p = p.slot("a", SlotPattern::Single(FieldConstraint::var("x")));
+            uses_x = true;
+        }
+    }
+    match rng.below(3) {
+        0 => {}
+        1 => {
+            p = p.slot(
+                "b",
+                SlotPattern::Single(FieldConstraint::literal(Value::Int(rng.below(3) as i64))),
+            );
+        }
+        _ => {
+            p = p.slot("b", SlotPattern::Single(FieldConstraint::var("y")));
+            uses_y = true;
+        }
+    }
+    (p, uses_x, uses_y)
+}
+
+fn gen_rule(rng: &mut Rng, index: usize) -> Rule {
+    let mut b = RuleBuilder::new(format!("r{index}")).salience([-1, 0, 1][rng.below(3) as usize]);
+    let mut x_bound = false;
+    let mut bound_fact: Option<String> = None;
+    let n_ce = 1 + rng.below(3);
+    for ce in 0..n_ce {
+        let kind = if ce == 0 { 0 } else { rng.below(10) };
+        match kind {
+            0..=4 => {
+                let (mut p, uses_x, _) = gen_pattern(rng);
+                if rng.below(4) == 0 {
+                    let name = format!("f{ce}");
+                    p = p.bind(name.clone());
+                    bound_fact = Some(name);
+                }
+                x_bound |= uses_x;
+                b = b.pattern(p);
+            }
+            5..=7 => {
+                let (p, _, _) = gen_pattern(rng);
+                b = b.not(p);
+            }
+            _ => {
+                if x_bound {
+                    b = b.test(Expr::call(">", [Expr::var("x"), Expr::lit(rng.below(3) as i64)]));
+                }
+            }
+        }
+    }
+    b = b.action(Expr::Printout(vec![Expr::lit(format!("r{index};"))]));
+    if rng.below(10) < 3 {
+        let (a, v) = (rng.below(3) as i64, rng.below(3) as i64);
+        b = b.action(Expr::Assert {
+            template: Arc::from(template_name(rng.below(TEMPLATES as u64)).as_str()),
+            slots: vec![(Arc::from("a"), vec![Expr::lit(a)]), (Arc::from("b"), vec![Expr::lit(v)])],
+        });
+    }
+    if let Some(f) = bound_fact {
+        if rng.below(10) < 4 {
+            b = b.action(Expr::Retract(vec![Expr::var(f)]));
+        }
+    }
+    b.build()
+}
+
+fn fresh_engine(matcher: Matcher, strategy: Strategy) -> Engine {
+    let mut e = Engine::with_matcher(matcher);
+    for t in 0..TEMPLATES as u64 {
+        e.add_template(Template::new(
+            template_name(t),
+            [SlotDef::single("a"), SlotDef::single("b")],
+        ))
+        .unwrap();
+    }
+    e.set_strategy(strategy);
+    e
+}
+
+/// Asserts every observable surface of the two engines agrees.
+fn check_equivalent(naive: &Engine, rete: &Engine) {
+    assert_eq!(naive.fact_count(), rete.fact_count());
+    assert_eq!(naive.agenda_len(), rete.agenda_len());
+    assert_eq!(naive.agenda(), rete.agenda());
+    assert_eq!(naive.fired_total(), rete.fired_total());
+    for t in 0..TEMPLATES as u64 {
+        let name = template_name(t);
+        let dump = |e: &Engine| -> Vec<(u64, String)> {
+            e.facts_of(&name).iter().map(|(id, f)| (id.raw(), f.to_string())).collect()
+        };
+        assert_eq!(dump(naive), dump(rete), "template {name} extents differ");
+    }
+    let naive_firings: Vec<_> = naive
+        .firings()
+        .iter()
+        .map(|f| (f.seq, f.rule.clone(), f.fact_ids.clone(), f.facts.clone(), f.output.clone()))
+        .collect();
+    let rete_firings: Vec<_> = rete
+        .firings()
+        .iter()
+        .map(|f| (f.seq, f.rule.clone(), f.fact_ids.clone(), f.facts.clone(), f.output.clone()))
+        .collect();
+    assert_eq!(naive_firings, rete_firings);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random assert/retract/run/reset/add-rule interleavings drive both
+    /// matchers identically.
+    #[test]
+    fn rete_matches_naive_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let strategy = if rng.below(2) == 0 { Strategy::Depth } else { Strategy::Breadth };
+        let mut naive = fresh_engine(Matcher::Naive, strategy);
+        let mut rete = fresh_engine(Matcher::Rete, strategy);
+        prop_assert_eq!(naive.matcher(), Matcher::Naive);
+        prop_assert_eq!(rete.matcher(), Matcher::Rete);
+
+        let mut n_rules = 0;
+        for _ in 0..1 + rng.below(4) {
+            let rule = gen_rule(&mut rng, n_rules);
+            naive.add_rule(rule.clone()).unwrap();
+            rete.add_rule(rule).unwrap();
+            n_rules += 1;
+            check_equivalent(&naive, &rete);
+        }
+
+        let n_ops = 10 + rng.below(25);
+        for _ in 0..n_ops {
+            match rng.below(10) {
+                0..=4 => {
+                    let t = template_name(rng.below(TEMPLATES as u64));
+                    let (a, v) = (rng.below(3) as i64, rng.below(3) as i64);
+                    let build = |e: &Engine| {
+                        e.fact(&t).unwrap().slot("a", a).slot("b", v).build().unwrap()
+                    };
+                    let id_n = naive.assert_fact(build(&naive)).unwrap();
+                    let id_r = rete.assert_fact(build(&rete)).unwrap();
+                    prop_assert_eq!(id_n, id_r, "assert ids diverge");
+                }
+                5 | 6 => {
+                    // Retract a random live fact (same one in both).
+                    let mut live = Vec::new();
+                    for t in 0..TEMPLATES as u64 {
+                        live.extend(
+                            naive.facts_of(&template_name(t)).iter().map(|(id, _)| *id),
+                        );
+                    }
+                    if let Some(&id) = live.get(rng.below(live.len().max(1) as u64) as usize) {
+                        naive.retract_fact(id).unwrap();
+                        rete.retract_fact(id).unwrap();
+                    }
+                }
+                7 => {
+                    let limit = 1 + rng.below(5) as usize;
+                    let fired_n = naive.run(Some(limit)).unwrap();
+                    let fired_r = rete.run(Some(limit)).unwrap();
+                    prop_assert_eq!(fired_n, fired_r, "run() fired counts diverge");
+                }
+                8 => {
+                    if n_rules < 8 {
+                        let rule = gen_rule(&mut rng, n_rules);
+                        naive.add_rule(rule.clone()).unwrap();
+                        rete.add_rule(rule).unwrap();
+                        n_rules += 1;
+                    }
+                }
+                _ => {
+                    naive.reset().unwrap();
+                    rete.reset().unwrap();
+                }
+            }
+            check_equivalent(&naive, &rete);
+        }
+
+        // Drain to quiescence and compare the full transcripts.
+        let fired_n = naive.run(Some(500)).unwrap();
+        let fired_r = rete.run(Some(500)).unwrap();
+        prop_assert_eq!(fired_n, fired_r);
+        check_equivalent(&naive, &rete);
+        prop_assert_eq!(naive.take_output(), rete.take_output(), "transcripts diverge");
+    }
+}

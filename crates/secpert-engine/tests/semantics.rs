@@ -1,0 +1,226 @@
+//! Pin-down tests for the match semantics a Rete port most easily breaks:
+//! retract re-enabling `not` mid-run, `?f <-` rebinding rejection,
+//! refraction across `reset()`, and Depth-vs-Breadth tie-breaking.
+//!
+//! These tests were written against the naive matcher before the Rete
+//! network landed; both matchers must keep them green.
+
+use secpert_engine::{
+    Engine, Expr, Fact, FieldConstraint, PatternCE, RuleBuilder, SlotDef, SlotPattern, Strategy,
+    Template, Value,
+};
+
+fn engine_with_event() -> Engine {
+    let mut e = Engine::new();
+    e.add_template(Template::new("event", [SlotDef::single("kind"), SlotDef::single("n")]))
+        .unwrap();
+    e
+}
+
+fn event(e: &Engine, kind: &str, n: i64) -> Fact {
+    e.fact("event").unwrap().slot("kind", Value::sym(kind)).slot("n", n).build().unwrap()
+}
+
+/// A rule firing mid-run can retract the fact that blocks another rule's
+/// `not` element; the blocked rule must activate and fire in the same run.
+#[test]
+fn rhs_retract_reenables_not_mid_run() {
+    let mut e = engine_with_event();
+    e.add_template(Template::new("mute", [])).unwrap();
+    e.add_rule(
+        RuleBuilder::new("unmute")
+            .salience(10)
+            .pattern(PatternCE::new("mute").bind("m"))
+            .action(Expr::Retract(vec![Expr::var("m")]))
+            .build(),
+    )
+    .unwrap();
+    e.add_rule(
+        RuleBuilder::new("warn")
+            .pattern(PatternCE::new("event"))
+            .not(PatternCE::new("mute"))
+            .action(Expr::Printout(vec![Expr::lit("W")]))
+            .build(),
+    )
+    .unwrap();
+    e.assert_fact(Fact::with_defaults(e.template("mute").unwrap().clone())).unwrap();
+    e.assert_fact(event(&e, "open", 1)).unwrap();
+    assert_eq!(e.agenda_len(), 1, "warn is blocked while mute is live");
+    assert_eq!(e.run(None).unwrap(), 2, "unmute fires, then warn is re-enabled");
+    assert_eq!(e.take_output(), "W");
+}
+
+/// The reverse direction: an RHS assert of a negated-template fact must
+/// deactivate a pending `not` rule before it gets a chance to fire.
+#[test]
+fn rhs_assert_disables_pending_not_activation() {
+    let mut e = engine_with_event();
+    e.add_template(Template::new("mute", [])).unwrap();
+    e.add_rule(
+        RuleBuilder::new("silence")
+            .salience(10)
+            .pattern(PatternCE::new("event"))
+            .action(Expr::Assert { template: "mute".into(), slots: vec![] })
+            .build(),
+    )
+    .unwrap();
+    e.add_rule(
+        RuleBuilder::new("warn")
+            .pattern(PatternCE::new("event"))
+            .not(PatternCE::new("mute"))
+            .action(Expr::Printout(vec![Expr::lit("W")]))
+            .build(),
+    )
+    .unwrap();
+    e.assert_fact(event(&e, "open", 1)).unwrap();
+    assert_eq!(e.agenda_len(), 2, "both rules activate before the run");
+    assert_eq!(e.run(None).unwrap(), 1, "silence fires first and kills warn");
+    assert_eq!(e.take_output(), "");
+}
+
+/// `?f <-` bound at one position must reject any *different* fact at a
+/// later position using the same binding, while accepting the same fact.
+#[test]
+fn fact_binding_rejects_rebinding_to_different_fact() {
+    let mut e = engine_with_event();
+    e.add_rule(
+        RuleBuilder::new("same-fact-twice")
+            .pattern(PatternCE::new("event").bind("f"))
+            .pattern(PatternCE::new("event").bind("f"))
+            .action(Expr::Printout(vec![Expr::lit("x")]))
+            .build(),
+    )
+    .unwrap();
+    e.assert_fact(event(&e, "a", 1)).unwrap();
+    e.assert_fact(event(&e, "b", 2)).unwrap();
+    // Two facts, two positions: without the rebinding check this would be
+    // 4 activations; with it only the diagonal (f1,f1), (f2,f2) survives.
+    assert_eq!(e.agenda_len(), 2);
+    assert_eq!(e.run(None).unwrap(), 2);
+    assert_eq!(e.take_output(), "xx");
+}
+
+/// `?f <-` across two different templates can never unify and must
+/// produce no activations at all.
+#[test]
+fn fact_binding_across_templates_never_unifies() {
+    let mut e = engine_with_event();
+    e.add_template(Template::new("alarm", [])).unwrap();
+    e.add_rule(
+        RuleBuilder::new("impossible")
+            .pattern(PatternCE::new("event").bind("f"))
+            .pattern(PatternCE::new("alarm").bind("f"))
+            .action(Expr::Printout(vec![Expr::lit("x")]))
+            .build(),
+    )
+    .unwrap();
+    e.assert_fact(event(&e, "a", 1)).unwrap();
+    e.assert_fact(Fact::with_defaults(e.template("alarm").unwrap().clone())).unwrap();
+    assert_eq!(e.agenda_len(), 0);
+    assert_eq!(e.run(None).unwrap(), 0);
+}
+
+/// Refraction is keyed on (rule, fact-id tuple): the same ids never fire
+/// twice within a run epoch, but `reset()` clears refraction so the same
+/// deffacts fire again, and a retract + re-assert of identical content
+/// (fresh id) also fires again.
+#[test]
+fn refraction_is_per_fact_tuple_and_cleared_by_reset() {
+    let mut e = engine_with_event();
+    e.add_rule(
+        RuleBuilder::new("r")
+            .pattern(PatternCE::new("event"))
+            .action(Expr::Printout(vec![Expr::lit("x")]))
+            .build(),
+    )
+    .unwrap();
+    let id = e.assert_fact(event(&e, "open", 1)).unwrap().unwrap();
+    assert_eq!(e.run(None).unwrap(), 1);
+    assert_eq!(e.run(None).unwrap(), 0, "refraction holds within the epoch");
+    // Same content, fresh id: a different activation key, so it fires.
+    e.retract_fact(id).unwrap();
+    e.assert_fact(event(&e, "open", 1)).unwrap().unwrap();
+    assert_eq!(e.run(None).unwrap(), 1, "fresh id escapes refraction");
+    // Across reset the deffact gets a fresh id and refraction is cleared.
+    e.add_deffact(event(&e, "open", 1));
+    e.reset().unwrap();
+    assert_eq!(e.run(None).unwrap(), 1);
+    e.reset().unwrap();
+    assert_eq!(e.run(None).unwrap(), 1, "reset clears refraction");
+}
+
+/// Depth fires the newest activation first among equal saliences; Breadth
+/// fires the oldest first. Same rule, three facts asserted in order.
+#[test]
+fn depth_vs_breadth_tie_breaking_across_facts() {
+    for (strategy, expect) in [(Strategy::Depth, "cba"), (Strategy::Breadth, "abc")] {
+        let mut e = engine_with_event();
+        e.set_strategy(strategy);
+        e.add_rule(
+            RuleBuilder::new("echo")
+                .pattern(
+                    PatternCE::new("event")
+                        .slot("kind", SlotPattern::Single(FieldConstraint::var("k"))),
+                )
+                .action(Expr::Printout(vec![Expr::var("k")]))
+                .build(),
+        )
+        .unwrap();
+        for kind in ["a", "b", "c"] {
+            e.assert_fact(event(&e, kind, 0)).unwrap();
+        }
+        assert_eq!(e.run(None).unwrap(), 3);
+        assert_eq!(e.take_output(), expect, "strategy {strategy:?}");
+    }
+}
+
+/// Two equal-salience rules activated by one assert: activations are
+/// created in rule-definition order, so Depth fires the later-defined
+/// rule first (its activation is newer) and Breadth the earlier one.
+#[test]
+fn depth_vs_breadth_tie_breaking_across_rules() {
+    for (strategy, expect) in [(Strategy::Depth, "21"), (Strategy::Breadth, "12")] {
+        let mut e = engine_with_event();
+        e.set_strategy(strategy);
+        for tag in ["1", "2"] {
+            e.add_rule(
+                RuleBuilder::new(format!("r{tag}").as_str())
+                    .pattern(PatternCE::new("event"))
+                    .action(Expr::Printout(vec![Expr::lit(tag)]))
+                    .build(),
+            )
+            .unwrap();
+        }
+        e.assert_fact(event(&e, "open", 1)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 2);
+        assert_eq!(e.take_output(), expect, "strategy {strategy:?}");
+    }
+}
+
+/// Salience dominates recency under both strategies.
+#[test]
+fn salience_dominates_recency_under_both_strategies() {
+    for strategy in [Strategy::Depth, Strategy::Breadth] {
+        let mut e = engine_with_event();
+        e.set_strategy(strategy);
+        e.add_rule(
+            RuleBuilder::new("low")
+                .salience(-5)
+                .pattern(PatternCE::new("event"))
+                .action(Expr::Printout(vec![Expr::lit("L")]))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            RuleBuilder::new("high")
+                .salience(5)
+                .pattern(PatternCE::new("event"))
+                .action(Expr::Printout(vec![Expr::lit("H")]))
+                .build(),
+        )
+        .unwrap();
+        e.assert_fact(event(&e, "open", 1)).unwrap();
+        assert_eq!(e.run(None).unwrap(), 2);
+        assert_eq!(e.take_output(), "HL", "strategy {strategy:?}");
+    }
+}
