@@ -128,6 +128,7 @@ impl Harrier {
     /// Starts monitoring a freshly spawned process: shadows its images'
     /// data sections as `BINARY` and its initial stack as `USER_INPUT`.
     pub fn attach(&mut self, proc: &Process) {
+        let _span = hth_trace::span("harrier.attach");
         let mut mon = ProcMon {
             shadow: Shadow::new(),
             freq: BbFreq::new(ImageId(0)),
@@ -296,6 +297,7 @@ impl Harrier {
         record: &SyscallRecord,
         kernel: &Kernel,
     ) -> Vec<SecpertEvent> {
+        let _span = hth_trace::span("harrier.on_syscall");
         if !self.procs.contains_key(&proc.pid) {
             self.attach(proc);
         }
@@ -583,6 +585,9 @@ impl Harrier {
             }
         }
         self.events_emitted += events.len() as u64;
+        for _ in &events {
+            hth_trace::instant("harrier.event");
+        }
         events
     }
 

@@ -274,6 +274,25 @@ pub struct TaintStats {
     pub memo_misses: u64,
 }
 
+impl TaintStats {
+    /// Folds another store's counters in (fleet-wide totals). Hit/miss
+    /// counts add; `interned_sets` keeps the maximum — the stores are
+    /// independent, so a sum would count nothing meaningful, while the
+    /// max is the largest working set any one session built.
+    pub fn merge(&mut self, other: &TaintStats) {
+        self.interned_sets = self.interned_sets.max(other.interned_sets);
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    /// Folds the counters into `metrics` under `hth_taint_*` names.
+    pub fn record_metrics(&self, metrics: &mut hth_trace::MetricsSnapshot) {
+        metrics.max_gauge("hth_taint_interned_sets", self.interned_sets as i64);
+        metrics.add_counter("hth_taint_memo_hits", self.memo_hits);
+        metrics.add_counter("hth_taint_memo_misses", self.memo_misses);
+    }
+}
+
 /// Hash-consing store for tag sets.
 ///
 /// Every distinct set of [`SourceId`]s is interned exactly once as a

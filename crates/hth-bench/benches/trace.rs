@@ -1,0 +1,157 @@
+//! Tracing overhead bench: what the `hth-trace` instrumentation costs
+//! when it is off (the common case — one relaxed atomic load per site)
+//! and when it is on.
+//!
+//! The Table 8 exploit corpus is captured once and replayed through a
+//! fresh Secpert with tracing disabled and enabled, measuring analysed
+//! events per second in each mode. The disabled-path overhead is then
+//! derived from first principles: (per-call cost of a disabled site) ×
+//! (instrumented sites hit per event) ÷ (time per event), and the run
+//! asserts it stays under the 2% budget. Results go to
+//! `BENCH_trace.json` at the repo root.
+//!
+//! Run with `cargo bench -p hth-bench --bench trace`; `--test` runs a
+//! tiny configuration as a smoke check and writes nothing.
+
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use harrier::SecpertEvent;
+use hth_bench::json::Json;
+use hth_core::{PolicyConfig, Secpert, Session, SessionConfig};
+
+/// Hard ceiling on the derived disabled-path overhead.
+const DISABLED_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
+/// Runs the exploit corpus once, inline analysis off, collecting every
+/// event the sessions emit.
+fn capture_corpus(scenario_cap: usize) -> Vec<SecpertEvent> {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    for scenario in hth_workloads::exploits::scenarios().into_iter().take(scenario_cap) {
+        let config =
+            SessionConfig { analyze_inline: false, record_events: false, ..Default::default() };
+        let mut session = Session::new(config).expect("policy loads");
+        let start = (scenario.setup)(&mut session);
+        let sink = Arc::clone(&events);
+        session.set_event_tap(Box::new(move |event| {
+            sink.lock().expect("corpus sink").push(event.clone());
+        }));
+        let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+        let env: Vec<(&str, &str)> =
+            start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        session.start(start.path, &argv, &env).expect("spawns");
+        session.run().expect("runs");
+    }
+    Arc::try_unwrap(events)
+        .unwrap_or_else(|_| unreachable!("sessions dropped"))
+        .into_inner()
+        .expect("corpus sink")
+}
+
+/// Replays `replicate` copies of the corpus through one fresh Secpert;
+/// returns the analysis wall time.
+fn analyze(corpus: &[SecpertEvent], replicate: usize) -> Duration {
+    let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let start = Instant::now();
+    for _ in 0..replicate {
+        for event in corpus {
+            black_box(secpert.process_event(event).expect("analyzes"));
+        }
+    }
+    start.elapsed()
+}
+
+/// Best of three runs — the fastest is the least-perturbed one.
+fn best_of(corpus: &[SecpertEvent], replicate: usize) -> Duration {
+    (0..3).map(|_| analyze(corpus, replicate)).min().expect("three runs")
+}
+
+/// Nanoseconds per call of a disabled trace site (the relaxed-load
+/// early-out everything in the hot path pays when tracing is off).
+fn disabled_call_cost_ns(iters: u64) -> f64 {
+    hth_trace::set_enabled(false);
+    let start = Instant::now();
+    for _ in 0..iters {
+        hth_trace::instant(black_box("trace_bench.noop"));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    if test_mode {
+        let corpus = capture_corpus(2);
+        hth_trace::set_enabled(false);
+        analyze(&corpus, 1);
+        hth_trace::set_enabled(true);
+        analyze(&corpus, 1);
+        hth_trace::set_enabled(false);
+        let log = hth_trace::drain();
+        assert!(!log.events.is_empty(), "enabled replay must record trace events");
+        let per_call = disabled_call_cost_ns(100_000);
+        assert!(per_call < 1_000.0, "disabled site costs {per_call:.0}ns — the gate is broken");
+        println!("test trace_overhead ... ok");
+        return;
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let corpus = capture_corpus(usize::MAX);
+    let replicate = 50;
+    println!(
+        "trace_overhead: corpus {} events x {} replays, {} cpus",
+        corpus.len(),
+        replicate,
+        cpus
+    );
+
+    hth_trace::set_enabled(false);
+    hth_trace::drain(); // discard anything earlier instrumentation recorded
+    let disabled = best_of(&corpus, replicate);
+    hth_trace::set_enabled(true);
+    let enabled = best_of(&corpus, replicate);
+    hth_trace::set_enabled(false);
+    let log = hth_trace::drain();
+
+    let total_events = (corpus.len() * replicate) as f64;
+    let disabled_eps = total_events / disabled.as_secs_f64().max(1e-9);
+    let enabled_eps = total_events / enabled.as_secs_f64().max(1e-9);
+    // One span = two records, so records per event ≈ enabled checks per
+    // event; count ring overwrites too or a full ring undercounts, and
+    // divide by all three enabled best-of runs that fed the ring.
+    let sites_per_event = (log.events.len() as u64 + log.dropped) as f64 / (3.0 * total_events);
+    let per_call_ns = disabled_call_cost_ns(10_000_000);
+    let event_ns = disabled.as_nanos() as f64 / total_events;
+    let disabled_overhead_pct = per_call_ns * sites_per_event / event_ns * 100.0;
+    let enabled_overhead_pct = (disabled_eps / enabled_eps - 1.0) * 100.0;
+
+    println!("trace_overhead/disabled {disabled_eps:>12.0} events/sec");
+    println!("trace_overhead/enabled  {enabled_eps:>12.0} events/sec  (+{enabled_overhead_pct:.1}% cost)");
+    println!(
+        "trace_overhead: {sites_per_event:.1} sites/event x {per_call_ns:.2}ns = \
+         {disabled_overhead_pct:.3}% of a {event_ns:.0}ns event (budget {DISABLED_OVERHEAD_BUDGET_PCT}%)"
+    );
+    assert!(
+        disabled_overhead_pct <= DISABLED_OVERHEAD_BUDGET_PCT,
+        "disabled tracing costs {disabled_overhead_pct:.2}% — over the \
+         {DISABLED_OVERHEAD_BUDGET_PCT}% budget"
+    );
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("trace_overhead".into())),
+        ("cpus".into(), Json::Num(cpus as f64)),
+        ("corpus_events".into(), Json::Num(corpus.len() as f64)),
+        ("replays".into(), Json::Num(replicate as f64)),
+        ("disabled_events_per_sec".into(), Json::Num(disabled_eps)),
+        ("enabled_events_per_sec".into(), Json::Num(enabled_eps)),
+        ("trace_records".into(), Json::Num(log.events.len() as f64)),
+        ("sites_per_event".into(), Json::Num(sites_per_event)),
+        ("disabled_ns_per_site".into(), Json::Num(per_call_ns)),
+        ("disabled_overhead_pct".into(), Json::Num(disabled_overhead_pct)),
+        ("enabled_overhead_pct".into(), Json::Num(enabled_overhead_pct)),
+        ("budget_pct".into(), Json::Num(DISABLED_OVERHEAD_BUDGET_PCT)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, json.to_string_pretty() + "\n").expect("write BENCH_trace.json");
+    println!("wrote {path}");
+}

@@ -10,7 +10,9 @@
 //! hth listing <prog.s>    # assemble and print the listing
 //! hth fleet [--sessions N] [--shards N] [--workers N] [--queue N]
 //!           [--drop-oldest] [--chaos-seed N] [--trust NAME]…
+//!           [--trace OUT.json] [--metrics]
 //! hth replay <events.hthj> [--repair] [--trust NAME]…
+//! hth explain <events.hthj> <warning-idx> [--trust NAME]…
 //! ```
 //!
 //! The argument parser and command execution live here so they are unit
@@ -53,6 +55,17 @@ pub enum Command {
         /// of failing on the first corrupt byte.
         repair: bool,
     },
+    /// Explain one warning from a journal replay: print its causal
+    /// tree (triggering event, rule chain, supporting facts, taint
+    /// sources).
+    Explain {
+        /// Path to the journal recorded with `hth run --journal`.
+        journal: String,
+        /// 0-based index of the warning in replay order.
+        index: usize,
+        /// Extra trusted binaries for the replay policy.
+        trust: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -75,6 +88,10 @@ pub struct FleetOptions {
     pub chaos_seed: Option<u64>,
     /// Extra trusted binaries.
     pub trust: Vec<String>,
+    /// Write a Chrome `trace_event` JSON timeline of the run here.
+    pub trace: Option<String>,
+    /// Print the unified Prometheus-style metrics snapshot.
+    pub metrics: bool,
 }
 
 impl Default for FleetOptions {
@@ -87,6 +104,8 @@ impl Default for FleetOptions {
             drop_oldest: false,
             chaos_seed: None,
             trust: Vec::new(),
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -126,6 +145,10 @@ pub struct RunOptions {
     pub show_summary: bool,
     /// Record the event stream to a journal file.
     pub journal: Option<String>,
+    /// Write a Chrome `trace_event` JSON timeline of the run here.
+    pub trace: Option<String>,
+    /// Print the unified Prometheus-style metrics snapshot.
+    pub metrics: bool,
 }
 
 /// Usage text.
@@ -141,6 +164,11 @@ USAGE:
                                replay a recorded journal offline; --repair
                                salvages every decodable frame from a
                                damaged journal and reports what was lost
+  hth explain <events.hthj> <warning-idx>
+                               replay a journal and print the causal tree
+                               behind one warning (0-based replay order):
+                               triggering event, rule-firing chain,
+                               supporting facts, taint sources
   hth help                     this text
 
 RUN OPTIONS:
@@ -159,6 +187,11 @@ RUN OPTIONS:
   --events           print every Harrier event
   --summary          print the session summary
   --journal PATH     record the event stream to a journal file
+  --trace OUT.json   write a Chrome trace_event timeline of the run
+                     (load it in chrome://tracing or Perfetto)
+  --metrics          print the unified metrics snapshot (taint store,
+                     match network, expert, pipeline) in Prometheus
+                     text format
 
 FLEET OPTIONS:
   --sessions N       workload sessions to run (default 8)
@@ -170,6 +203,10 @@ FLEET OPTIONS:
                      stalls) derived from seed N; losses are counted,
                      never silent
   --trust NAME       add a trusted binary (substring match)
+  --trace OUT.json   write a Chrome trace_event timeline of the fleet
+                     run (all worker and analyst threads)
+  --metrics          print the unified metrics snapshot covering the
+                     whole fleet in Prometheus text format
 ";
 
 fn parse_ip(text: &str) -> Result<u32, String> {
@@ -215,7 +252,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     if command == "fleet" {
         return parse_fleet(it);
     }
-    let operand = if command == "replay" { "journal file" } else { "source file" };
+    let operand =
+        if matches!(command, "replay" | "explain") { "journal file" } else { "source file" };
     let source = it.next().ok_or_else(|| format!("`{command}` needs a {operand}"))?.clone();
     match command {
         "audit" => return Ok(Command::Audit { source }),
@@ -233,6 +271,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
             }
             return Ok(Command::Replay { journal: source, trust, repair });
+        }
+        "explain" => {
+            let text = it.next().ok_or_else(|| "`explain` needs a warning index".to_string())?;
+            let index = text
+                .parse::<usize>()
+                .map_err(|_| format!("bad warning index `{text}` (want a 0-based count)"))?;
+            let mut trust = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--trust" => trust.push(
+                        it.next().cloned().ok_or_else(|| "--trust needs a value".to_string())?,
+                    ),
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            return Ok(Command::Explain { journal: source, index, trust });
         }
         "run" => {}
         other => return Err(format!("unknown command `{other}` (try `hth help`)")),
@@ -275,6 +329,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--events" => opts.show_events = true,
             "--summary" => opts.show_summary = true,
             "--journal" => opts.journal = Some(value("--journal")?),
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--metrics" => opts.metrics = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -308,6 +364,8 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
                 );
             }
             "--trust" => opts.trust.push(value("--trust")?),
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--metrics" => opts.metrics = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -354,7 +412,37 @@ pub fn execute(command: Command) -> Result<String, String> {
         Command::Run(opts) => run(*opts),
         Command::Fleet(opts) => fleet(opts),
         Command::Replay { journal, trust, repair } => replay_journal(&journal, trust, repair),
+        Command::Explain { journal, index, trust } => explain(&journal, index, trust),
     }
+}
+
+/// Renders the match-network counter line. Both `hth replay` and
+/// `hth fleet` print this — one formatter so the two outputs never
+/// drift apart again.
+fn render_match_stats(stats: &hth_core::secpert_engine::MatchStats, indent: &str) -> String {
+    format!(
+        "{indent}match: {} activations, {} joins ({} matched), {} tokens created ({} live), index hit rate {:.0}%",
+        stats.activations,
+        stats.join_attempts,
+        stats.join_matches,
+        stats.tokens_created,
+        stats.tokens_live,
+        stats.index_hit_rate() * 100.0,
+    )
+}
+
+/// Stops tracing, drains every thread's ring buffer and writes the
+/// Chrome `trace_event` JSON to `path`. Returns a one-line summary.
+fn write_trace(path: &str) -> Result<String, String> {
+    hth_trace::set_enabled(false);
+    let log = hth_trace::drain();
+    std::fs::write(path, log.to_chrome_json())
+        .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    let mut line = format!("trace: {} events written to {path}", log.events.len());
+    if log.dropped > 0 {
+        let _ = write!(line, " ({} lost to ring overwrites)", log.dropped);
+    }
+    Ok(line)
 }
 
 /// Runs `opts.sessions` workload sessions (the Table 8 exploit catalog,
@@ -379,8 +467,14 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
         config.pool.faults = Some(Arc::new(FaultPlan::from_seed(seed)));
     }
     config.session.policy.trusted_binaries.extend(opts.trust.iter().cloned());
+    if opts.trace.is_some() {
+        hth_trace::set_enabled(true);
+    }
     let report = hth_fleet::run_scenarios(scenarios, &config).map_err(|e| e.to_string())?;
     let mut out = report.render();
+    if !report.match_stats.is_empty() {
+        let _ = writeln!(out, "{}", render_match_stats(&report.match_stats, "  "));
+    }
     if let Some(seed) = opts.chaos_seed {
         let _ = writeln!(
             out,
@@ -390,7 +484,38 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
             report.respawns,
         );
     }
+    if opts.metrics {
+        let _ = writeln!(out, "--- metrics ---");
+        let _ = write!(out, "{}", report.metrics().render_prometheus());
+    }
+    if let Some(path) = &opts.trace {
+        let _ = writeln!(out, "{}", write_trace(path)?);
+    }
     Ok(out)
+}
+
+/// Replays a journal through a fresh Secpert and prints the causal
+/// tree behind warning number `index` (0-based, replay order).
+fn explain(journal: &str, index: usize, trust: Vec<String>) -> Result<String, String> {
+    let mut policy = PolicyConfig::default();
+    policy.trusted_binaries.extend(trust);
+    let mut secpert = Secpert::new(&policy).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(journal)
+        .map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
+    let reader = JournalReader::new(std::io::BufReader::new(file))
+        .map_err(|e| format!("`{journal}`: {e}"))?;
+    let warnings =
+        hth_fleet::replay(reader, &mut secpert).map_err(|e| format!("`{journal}`: {e}"))?;
+    let warning = warnings.get(index).ok_or_else(|| {
+        format!(
+            "`{journal}` replay produced {} warnings; index {index} is out of range (0-based)",
+            warnings.len()
+        )
+    })?;
+    match &warning.provenance {
+        Some(provenance) => Ok(provenance.render_tree(warning)),
+        None => Err(format!("warning {index} has no recorded provenance")),
+    }
 }
 
 /// Replays a recorded journal through a fresh Secpert, printing every
@@ -439,16 +564,7 @@ fn replay_journal(journal: &str, trust: Vec<String>, repair: bool) -> Result<Str
     let _ = writeln!(out, "replay: {} warnings", warnings.len());
     let stats = secpert.match_stats();
     if !stats.is_empty() {
-        let _ = writeln!(
-            out,
-            "match: {} activations, {} joins ({} matched), {} tokens created ({} live), index hit rate {:.0}%",
-            stats.activations,
-            stats.join_attempts,
-            stats.join_matches,
-            stats.tokens_created,
-            stats.tokens_live,
-            stats.index_hit_rate() * 100.0,
-        );
+        let _ = writeln!(out, "{}", render_match_stats(&stats, ""));
     }
     Ok(out)
 }
@@ -530,6 +646,9 @@ fn run(opts: RunOptions) -> Result<String, String> {
     argv.extend(opts.args.iter().map(String::as_str));
     let env: Vec<(&str, &str)> = opts.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
     session.start(&opts.source, &argv, &env).map_err(|e| e.to_string())?;
+    if opts.trace.is_some() {
+        hth_trace::set_enabled(true);
+    }
     let report = session.run().map_err(|e| e.to_string())?;
 
     let mut out = String::new();
@@ -548,6 +667,10 @@ fn run(opts: RunOptions) -> Result<String, String> {
     if opts.show_summary {
         let _ = writeln!(out, "--- summary ---");
         let _ = write!(out, "{}", session.summary());
+    }
+    if opts.metrics {
+        let _ = writeln!(out, "--- metrics ---");
+        let _ = write!(out, "{}", session.metrics().render_prometheus());
     }
     if report.truncated {
         let _ = writeln!(out, "(run truncated at the instruction budget)");
@@ -568,6 +691,9 @@ fn run(opts: RunOptions) -> Result<String, String> {
         let events = writer.events();
         writer.finish().map_err(|e| format!("journal `{path}` flush failed: {e}"))?;
         let _ = writeln!(out, "journal: {events} events recorded to {path}");
+    }
+    if let Some(path) = &opts.trace {
+        let _ = writeln!(out, "{}", write_trace(path)?);
     }
     Ok(out)
 }
@@ -673,6 +799,36 @@ mod tests {
         );
         assert!(parse(&strs(&["replay"])).is_err());
         assert!(parse(&strs(&["replay", "events.hthj", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_explain_options() {
+        assert_eq!(
+            parse(&strs(&["explain", "events.hthj", "2", "--trust", "make"])).unwrap(),
+            Command::Explain {
+                journal: "events.hthj".to_string(),
+                index: 2,
+                trust: vec!["make".to_string()],
+            }
+        );
+        assert!(parse(&strs(&["explain"])).is_err());
+        assert!(parse(&strs(&["explain", "events.hthj"])).is_err());
+        assert!(parse(&strs(&["explain", "events.hthj", "x"])).is_err());
+        assert!(parse(&strs(&["explain", "events.hthj", "0", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_trace_and_metrics_flags() {
+        let cmd = parse(&strs(&["fleet", "--trace", "t.json", "--metrics"])).unwrap();
+        let Command::Fleet(opts) = cmd else { panic!() };
+        assert_eq!(opts.trace.as_deref(), Some("t.json"));
+        assert!(opts.metrics);
+        let cmd = parse(&strs(&["run", "x.s", "--trace", "t.json", "--metrics"])).unwrap();
+        let Command::Run(opts) = cmd else { panic!() };
+        assert_eq!(opts.trace.as_deref(), Some("t.json"));
+        assert!(opts.metrics);
+        assert!(parse(&strs(&["fleet", "--trace"])).is_err());
+        assert!(parse(&strs(&["run", "x.s", "--trace"])).is_err());
     }
 
     #[test]
@@ -809,6 +965,59 @@ mod tests {
         .unwrap();
         assert!(out.contains("fleet: 4 sessions"), "{out}");
         assert!(out.contains("[HIGH]"), "{out}");
+        assert!(out.contains("  match: "), "{out}");
+    }
+
+    #[test]
+    fn journal_then_explain_end_to_end() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("explained.s");
+        std::fs::write(
+            &src,
+            "_start:\n mov eax, 11\n mov ebx, prog\n int 0x80\n hlt\n.data\nprog: .asciz \"/bin/ls\"\n",
+        )
+        .unwrap();
+        let journal = dir.join("explained.hthj");
+        execute(Command::Run(Box::new(RunOptions {
+            source: src.to_string_lossy().into_owned(),
+            journal: Some(journal.to_string_lossy().into_owned()),
+            ..RunOptions::default()
+        })))
+        .unwrap();
+
+        let path = journal.to_string_lossy().into_owned();
+        let tree =
+            execute(Command::Explain { journal: path.clone(), index: 0, trust: vec![] }).unwrap();
+        assert!(tree.contains("└─ firing #"), "{tree}");
+        assert!(tree.contains("rule chain:"), "{tree}");
+        assert!(tree.contains("/bin/ls"), "{tree}");
+        let err = execute(Command::Explain { journal: path, index: 99, trust: vec![] });
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn fleet_trace_and_metrics_end_to_end() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("fleet-trace.json");
+        let out = execute(Command::Fleet(FleetOptions {
+            sessions: 2,
+            shards: 2,
+            workers: 2,
+            trace: Some(trace.to_string_lossy().into_owned()),
+            metrics: true,
+            ..FleetOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("--- metrics ---"), "{out}");
+        assert!(out.contains("hth_pool_events"), "{out}");
+        assert!(out.contains("hth_taint_interned_sets"), "{out}");
+        assert!(out.contains("trace: "), "{out}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\""), "{json}");
+        assert!(json.contains("\"name\":\"pool.analyst\""), "{}", &json[..200.min(json.len())]);
     }
 
     #[test]

@@ -36,12 +36,14 @@
 
 mod cross_session;
 mod policy;
+mod provenance;
 mod secpert;
 mod session;
 mod warning;
 
 pub use cross_session::{BotnetReport, DropRecord, SessionHistory};
 pub use policy::{PolicyConfig, POLICY_CLIPS};
+pub use provenance::{FactSupport, Provenance};
 pub use secpert::Secpert;
 pub use session::{EventTap, RunReport, Session, SessionConfig, SessionError, SessionSummary};
 pub use warning::{Severity, Warning};

@@ -36,6 +36,11 @@ pub struct PolicyConfig {
     pub trusted_binaries: Vec<String>,
     /// Socket names that are trusted (substring match).
     pub trusted_sockets: Vec<String>,
+    /// Additional CLIPS policy text loaded on top of the standard
+    /// policy, in order. This travels with the config, so analyst-pool
+    /// engines (including respawns after a quarantine) get the same
+    /// custom rules as a directly constructed Secpert.
+    pub extra_rules: Vec<String>,
 }
 
 impl Default for PolicyConfig {
@@ -49,6 +54,7 @@ impl Default for PolicyConfig {
             mem_very_high: 16 << 20,
             trusted_binaries: vec!["libc.so".into(), "ld-linux.so".into()],
             trusted_sockets: Vec::new(),
+            extra_rules: Vec::new(),
         }
     }
 }

@@ -8,6 +8,7 @@ use harrier::{Origin, SecpertEvent, SourceInfo};
 use secpert_engine::{Engine, EngineError, Fact, FactBuilder, MatchStats, Value};
 
 use crate::policy::{PolicyConfig, POLICY_CLIPS};
+use crate::provenance::{FactSupport, Provenance};
 use crate::warning::{Severity, Warning};
 
 /// The security expert system: policy + engine + warning collection.
@@ -37,7 +38,13 @@ impl Secpert {
 
         register_filters(&mut engine, config);
         register_warn(&mut engine, warnings.clone());
+        // Provenance: every firing snapshots which other rules' live
+        // matches shared its supporting facts (see attach_provenance).
+        engine.set_support_capture(true);
         engine.load_str(POLICY_CLIPS)?;
+        for rules in &config.extra_rules {
+            engine.load_str(rules)?;
+        }
         engine.set_global("RARE_FREQUENCY", config.rare_frequency);
         engine.set_global("LONG_TIME", config.long_time);
         engine.set_global("PROC_COUNT_HIGH", config.proc_count_high);
@@ -75,11 +82,14 @@ impl Secpert {
     ///
     /// Propagates engine evaluation errors (policy bugs).
     pub fn process_event(&mut self, event: &SecpertEvent) -> Result<Vec<Warning>, EngineError> {
+        let _span = hth_trace::span("secpert.process_event");
         self.events_processed += 1;
         let before = self.warnings.lock().expect("warning sink poisoned").len();
+        let firings_before = self.engine.firings().len();
         let fact = self.event_to_fact(event)?;
         self.engine.assert_fact(fact)?;
         self.engine.run(None)?;
+        self.attach_provenance(event, before, firings_before);
         // Snapshot the tail under the lock (Arc bumps only); deep-clone
         // the warnings after releasing it.
         let tail: Vec<Arc<Warning>> = {
@@ -87,6 +97,68 @@ impl Secpert {
             sink[before..].to_vec()
         };
         Ok(tail.iter().map(|w| (**w).clone()).collect())
+    }
+
+    /// Pairs each warning the current event produced with the firing
+    /// that issued it and swaps a provenance-enriched copy into the
+    /// sink. Matching is by rule name over the event's firing tail, in
+    /// order — policy rules call `warn` exactly once per firing.
+    fn attach_provenance(
+        &self,
+        event: &SecpertEvent,
+        warnings_before: usize,
+        firings_before: usize,
+    ) {
+        let firings = &self.engine.firings()[firings_before..];
+        if firings.is_empty() {
+            return;
+        }
+        let taint_sources = taint_sources_of(event);
+        let mut sink = self.warnings.lock().expect("warning sink poisoned");
+        let mut cursor = 0usize;
+        for slot in sink[warnings_before..].iter_mut() {
+            let Some(offset) = firings[cursor..].iter().position(|f| f.rule == slot.rule) else {
+                continue;
+            };
+            let at = cursor + offset;
+            cursor = at + 1;
+            let firing = &firings[at];
+            // Fire-time support from the match network when available
+            // (Rete matcher); otherwise just the matched-fact snapshots.
+            let support: Vec<FactSupport> = match self.engine.support_for(firing.seq) {
+                Some(records) => records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| FactSupport {
+                        id: r.fact,
+                        fact: firing.facts.get(i).cloned().unwrap_or_default(),
+                        co_rules: r.co_rules.clone(),
+                    })
+                    .collect(),
+                None => firing
+                    .fact_ids
+                    .iter()
+                    .flatten()
+                    .enumerate()
+                    .map(|(i, id)| FactSupport {
+                        id: id.raw(),
+                        fact: firing.facts.get(i).cloned().unwrap_or_default(),
+                        co_rules: Vec::new(),
+                    })
+                    .collect(),
+            };
+            let provenance = Provenance {
+                event_index: self.events_processed,
+                syscall: event.syscall().to_string(),
+                firing_seq: firing.seq as u64,
+                rule_chain: firings[..=at].iter().map(|f| f.rule.clone()).collect(),
+                support,
+                taint_sources: taint_sources.clone(),
+            };
+            let mut enriched = (**slot).clone();
+            enriched.provenance = Some(Box::new(provenance));
+            *slot = Arc::new(enriched);
+        }
     }
 
     /// All warnings issued so far.
@@ -100,6 +172,15 @@ impl Secpert {
     /// the engine was built with the naive matcher).
     pub fn match_stats(&self) -> MatchStats {
         self.engine.match_stats()
+    }
+
+    /// Folds this expert's counters into `metrics`: the match-network
+    /// stats plus `hth_secpert_events` / `hth_secpert_warnings`.
+    pub fn record_metrics(&self, metrics: &mut hth_trace::MetricsSnapshot) {
+        self.engine.match_stats().record_metrics(metrics);
+        metrics.add_counter("hth_secpert_events", self.events_processed);
+        let warnings = self.warnings.lock().expect("warning sink poisoned").len();
+        metrics.add_counter("hth_secpert_warnings", warnings as u64);
     }
 
     /// Takes the engine's printout transcript (paper-style warning text).
@@ -200,6 +281,28 @@ impl Secpert {
     }
 }
 
+/// The event's taint-source set, rendered `KIND(name)`: the resource
+/// origin for accesses; the data origin plus the target origin
+/// (deduplicated, in that order) for transfers.
+fn taint_sources_of(event: &SecpertEvent) -> Vec<String> {
+    fn render(source: &SourceInfo) -> String {
+        format!("{}({})", source.kind.symbol(), source.name)
+    }
+    match event {
+        SecpertEvent::ResourceAccess { origin, .. } => origin.sources.iter().map(render).collect(),
+        SecpertEvent::DataTransfer { data_origin, target_origin, .. } => {
+            let mut out: Vec<String> = data_origin.sources.iter().map(render).collect();
+            for source in &target_origin.sources {
+                let rendered = render(source);
+                if !out.contains(&rendered) {
+                    out.push(rendered);
+                }
+            }
+            out
+        }
+    }
+}
+
 /// Registers the `filter_*` natives used by the policy: each takes two
 /// parallel multifields (types, names) and returns the names of the
 /// entries with the wanted type, minus trusted ones.
@@ -278,8 +381,10 @@ fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Arc<Warning>>>>) {
             pid: pid.as_int()? as u32,
             time: time.as_int()? as u64,
             message: message.to_display_string(),
+            provenance: None,
         };
         sink.lock().expect("warning sink poisoned").push(Arc::new(warning));
+        hth_trace::instant("secpert.warning");
         Ok(Value::truth())
     });
 }

@@ -216,6 +216,7 @@ impl Session {
     /// Propagates policy evaluation errors (rule bugs), never workload
     /// faults — those are recorded in the report.
     pub fn run(&mut self) -> Result<RunReport, SessionError> {
+        let _span = hth_trace::span("session.run");
         let mut report = RunReport::default();
         loop {
             if self.instructions >= self.config.max_instructions {
@@ -378,6 +379,19 @@ impl Session {
     /// Instructions retired so far.
     pub fn instructions(&self) -> u64 {
         self.instructions
+    }
+
+    /// One unified metrics snapshot for this session: taint-store
+    /// (`hth_taint_*`), match-network (`hth_match_*`), expert
+    /// (`hth_secpert_*`) and pipeline (`hth_session_*`) counters.
+    pub fn metrics(&self) -> hth_trace::MetricsSnapshot {
+        let mut metrics = hth_trace::MetricsSnapshot::default();
+        self.taint_stats().record_metrics(&mut metrics);
+        self.secpert.record_metrics(&mut metrics);
+        metrics.add_counter("hth_session_events", self.harrier.events_emitted());
+        metrics.add_counter("hth_session_instructions", self.instructions);
+        metrics.add_counter("hth_session_warnings", self.warnings.len() as u64);
+        metrics
     }
 
     /// Aggregates warnings, rules and counters into a printable summary.

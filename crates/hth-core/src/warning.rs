@@ -54,6 +54,11 @@ pub struct Warning {
     pub time: u64,
     /// Human-readable message (paper-style).
     pub message: String,
+    /// The causal story behind the warning (see
+    /// [`Provenance`](crate::Provenance)); attached by Secpert right
+    /// after the triggering event finishes, `None` for hand-built
+    /// warnings. Boxed to keep the common path small.
+    pub provenance: Option<Box<crate::provenance::Provenance>>,
 }
 
 impl fmt::Display for Warning {
@@ -82,6 +87,7 @@ mod tests {
             pid: 1,
             time: 7,
             message: "Found Write call to .exrc%".into(),
+            provenance: None,
         };
         assert_eq!(w.to_string(), "Warning [HIGH] Found Write call to .exrc%");
     }

@@ -10,7 +10,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use harrier::TaintStats;
 use hth_core::{SessionConfig, Severity};
+use hth_trace::MetricsSnapshot;
 use hth_workloads::Scenario;
 use secpert_engine::{EngineError, MatchStats};
 
@@ -71,6 +73,8 @@ pub struct FleetReport {
     /// Match-network counters aggregated across every analyst engine
     /// (all-zero when the engines use the naive matcher).
     pub match_stats: MatchStats,
+    /// Taint-store counters folded across every session's monitor.
+    pub taint_stats: TaintStats,
 }
 
 impl FleetReport {
@@ -125,19 +129,6 @@ impl FleetReport {
                 shard.events, shard.warnings, shard.high_water, shard.dropped,
             );
         }
-        if !self.match_stats.is_empty() {
-            let m = &self.match_stats;
-            let _ = writeln!(
-                out,
-                "  match: {} activations, {} joins ({} matched), {} tokens created ({} live), index hit rate {:.0}%",
-                m.activations,
-                m.join_attempts,
-                m.join_matches,
-                m.tokens_created,
-                m.tokens_live,
-                m.index_hit_rate() * 100.0,
-            );
-        }
         for line in &self.quarantine_log {
             let _ = writeln!(out, "  quarantined: {line}");
         }
@@ -145,6 +136,31 @@ impl FleetReport {
             let _ = writeln!(out, "  error: {error}");
         }
         out
+    }
+
+    /// One unified metrics snapshot for the whole run: taint-store
+    /// counters from every session's monitor (`hth_taint_*`),
+    /// match-network counters from every analyst engine
+    /// (`hth_match_*`), and pool/fleet pipeline counters
+    /// (`hth_pool_*`, `hth_fleet_*`) — including a histogram of
+    /// per-shard event volume.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut metrics = MetricsSnapshot::default();
+        self.taint_stats.record_metrics(&mut metrics);
+        self.match_stats.record_metrics(&mut metrics);
+        metrics.add_counter("hth_fleet_sessions", self.sessions as u64);
+        metrics.add_counter("hth_fleet_warnings", self.warnings() as u64);
+        metrics.add_counter("hth_pool_submitted", self.submitted);
+        metrics.add_counter("hth_pool_events", self.events);
+        metrics.add_counter("hth_pool_dropped", self.dropped);
+        metrics.add_counter("hth_pool_quarantined", self.quarantined);
+        metrics.add_counter("hth_pool_discarded", self.discarded);
+        metrics.add_counter("hth_pool_respawns", u64::from(self.respawns));
+        for shard in &self.shards {
+            metrics.observe("hth_pool_shard_events", shard.events);
+            metrics.max_gauge("hth_pool_queue_high_water", shard.high_water as i64);
+        }
+        metrics
     }
 }
 
@@ -178,6 +194,7 @@ pub fn run_scenarios(
         scenarios.into_iter().enumerate().map(|(i, s)| (i as SessionId, s)).collect(),
     ));
     let session_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let taint_totals: Arc<Mutex<TaintStats>> = Arc::new(Mutex::new(TaintStats::default()));
 
     let workers = config.workers.clamp(1, sessions.max(1));
     let mut runners = Vec::with_capacity(workers);
@@ -185,17 +202,19 @@ pub fn run_scenarios(
         let jobs = Arc::clone(&jobs);
         let pool = Arc::clone(&pool);
         let errors = Arc::clone(&session_errors);
+        let taint = Arc::clone(&taint_totals);
         let mut session_config = config.session.clone();
         session_config.analyze_inline = false;
         session_config.record_events = false;
         runners.push(std::thread::spawn(move || loop {
             let job = jobs.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
             let Some((sid, scenario)) = job else { return };
-            if let Err(e) = run_one(sid, &scenario, session_config.clone(), &pool) {
-                errors
+            match run_one(sid, &scenario, session_config.clone(), &pool) {
+                Ok(stats) => taint.lock().unwrap_or_else(PoisonError::into_inner).merge(&stats),
+                Err(e) => errors
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
-                    .push(format!("{}: {e}", scenario.id));
+                    .push(format!("{}: {e}", scenario.id)),
             }
         }));
     }
@@ -229,16 +248,22 @@ pub fn run_scenarios(
         session_errors,
         analyst_errors: report.errors,
         match_stats: report.match_stats,
+        taint_stats: Arc::try_unwrap(taint_totals)
+            .unwrap_or_default()
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
     })
 }
 
-/// Runs one scenario session with its event stream tapped into the pool.
+/// Runs one scenario session with its event stream tapped into the
+/// pool; hands back the monitor's taint-store counters (the session is
+/// dropped here, so this is their last chance to reach the report).
 fn run_one(
     sid: SessionId,
     scenario: &Scenario,
     config: SessionConfig,
     pool: &Arc<AnalystPool>,
-) -> Result<(), hth_core::SessionError> {
+) -> Result<TaintStats, hth_core::SessionError> {
     let mut session = hth_core::Session::new(config)?;
     let start = (scenario.setup)(&mut session);
     let tap_pool = Arc::clone(pool);
@@ -247,7 +272,7 @@ fn run_one(
     let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
     session.start(start.path, &argv, &env)?;
     session.run()?;
-    Ok(())
+    Ok(session.taint_stats())
 }
 
 #[cfg(test)]
@@ -284,6 +309,10 @@ mod tests {
         let report = run_scenarios(scenarios, &config).expect("policy loads");
         assert_eq!(report.sessions, 2);
         assert!(report.session_errors.is_empty(), "{:?}", report.session_errors);
+        assert!(report.taint_stats.interned_sets >= 1, "sessions' taint stats reach the report");
+        let metrics = report.metrics();
+        assert_eq!(metrics.counter("hth_fleet_sessions"), 2);
+        assert_eq!(metrics.counter("hth_pool_events"), report.events);
         assert!(report.analyst_errors.is_empty(), "{:?}", report.analyst_errors);
         // Both exploits produce exactly one High warning each.
         let highs: usize = report

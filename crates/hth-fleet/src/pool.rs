@@ -400,6 +400,7 @@ enum Analyst {
 /// empty — even a failed shard keeps draining, which is what makes
 /// `Backpressure::Block` deadlock-free.
 fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> ShardOutcome {
+    let _span = hth_trace::span("pool.analyst");
     let mut outcome = ShardOutcome::default();
     let mut analyst = Analyst::Running(Box::new(engine));
     let mut nth = 0u64;
@@ -461,7 +462,10 @@ fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> 
                         if supervisor.keep_lost_events {
                             outcome.lost_events.push(event);
                         }
-                        outcome.match_stats.merge(&engine.match_stats());
+                        // Retired merge: this engine never runs again, so
+                        // its live tokens are folded into `tokens_removed`
+                        // rather than inflating the pool-wide live gauge.
+                        outcome.match_stats.merge_retired(&engine.match_stats());
                         analyst = Analyst::Failed;
                     }
                     Err(panic) => {
@@ -477,8 +481,12 @@ fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> 
                             outcome.lost_events.push(event);
                         }
                         // The engine is about to be replaced or dropped
-                        // either way; bank its match counters first.
-                        outcome.match_stats.merge(&engine.match_stats());
+                        // either way; bank its match counters first. A
+                        // retired merge: the replacement starts with its
+                        // own token population, so counting the dead
+                        // engine's tokens as live would double the gauge
+                        // on every respawn.
+                        outcome.match_stats.merge_retired(&engine.match_stats());
                         if outcome.respawns >= supervisor.max_respawns {
                             outcome.errors.push(format!(
                                 "shard {shard}: respawn budget ({}) exhausted after: {message}",
@@ -610,6 +618,102 @@ mod tests {
         assert_eq!(report.quarantine_log.len(), 1, "{:?}", report.quarantine_log);
         assert!(report.quarantine_log[0].contains("injected fault"), "{:?}", report.quarantine_log);
         assert!(report.errors.is_empty(), "a budgeted respawn is not an error");
+    }
+
+    /// A policy extension whose derived facts survive the standard
+    /// cleanup rules, so an engine that has analysed events holds live
+    /// tokens while quiescent — the state a quarantine kills.
+    fn sticky_policy() -> PolicyConfig {
+        PolicyConfig {
+            extra_rules: vec![r#"
+                (deftemplate execve_seen (slot time))
+                (defrule remember_execve
+                  (system_call_access (system_call_name SYS_execve) (time ?t))
+                  =>
+                  (assert (execve_seen (time ?t))))
+                (defrule count_execves
+                  (execve_seen (time ?t))
+                  =>)
+            "#
+            .to_string()],
+            ..PolicyConfig::default()
+        }
+    }
+
+    /// Regression: merging a quarantined shard's match counters used to
+    /// count the dead engine's live tokens as still live, so every
+    /// respawn inflated the pool-wide `tokens_live` gauge. The merged
+    /// gauge must equal the population of the engines that are actually
+    /// alive at drain end — here, exactly one fresh engine that analysed
+    /// the post-respawn suffix of the stream.
+    #[test]
+    fn respawn_does_not_double_count_live_tokens() {
+        let policy = sticky_policy();
+        let config = PoolConfig {
+            shards: 1,
+            faults: Some(Arc::new(FaultPlan::new().panic_on(0, 3))),
+            ..PoolConfig::default()
+        };
+        let pool = AnalystPool::new(&config, &policy).expect("policy");
+        for i in 0..10 {
+            pool.submit(0, dropper_event(i));
+        }
+        let report = pool.finish();
+        assert_eq!(report.respawns, 1);
+        // Reference: a fresh engine fed the same events the respawned
+        // analyst saw (nth 4..=10, i.e. times 3..10 — time 2 was
+        // quarantined). Event processing is deterministic, so its live
+        // population is exactly what the merged gauge must show.
+        let mut reference = Secpert::new(&policy).expect("policy");
+        for i in 3..10 {
+            reference.process_event(&dropper_event(i)).expect("clean event");
+        }
+        assert!(
+            reference.match_stats().tokens_live > 0,
+            "the sticky policy must leave live tokens, or this test checks nothing"
+        );
+        assert_eq!(
+            report.match_stats.tokens_live,
+            reference.match_stats().tokens_live,
+            "dead engine's tokens leaked into the live gauge"
+        );
+        assert_eq!(
+            report.match_stats.tokens_created,
+            report.match_stats.tokens_removed + report.match_stats.tokens_live,
+            "created = removed + live must survive aggregation"
+        );
+    }
+
+    /// Chaos-seeded variant of the same invariant: whatever a seeded
+    /// fault plan does to the pool, the merged token accounting must
+    /// stay closed (created = removed + live) and the loss ledger exact.
+    #[test]
+    fn seeded_chaos_keeps_token_accounting_closed() {
+        for seed in [3u64, 17, 40104] {
+            let config = PoolConfig {
+                shards: 2,
+                faults: Some(Arc::new(FaultPlan::from_seed(seed))),
+                keep_lost_events: true,
+                ..PoolConfig::default()
+            };
+            let pool = AnalystPool::new(&config, &sticky_policy()).expect("policy");
+            for session in 0..4u64 {
+                for i in 0..8 {
+                    pool.submit(session, dropper_event(i));
+                }
+            }
+            let report = pool.finish();
+            assert_eq!(
+                report.submitted,
+                report.events + report.dropped + report.quarantined + report.discarded,
+                "seed {seed}: loss ledger must balance"
+            );
+            assert_eq!(
+                report.match_stats.tokens_created,
+                report.match_stats.tokens_removed + report.match_stats.tokens_live,
+                "seed {seed}: created = removed + live must survive chaos"
+            );
+        }
     }
 
     #[test]

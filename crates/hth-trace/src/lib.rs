@@ -1,0 +1,28 @@
+//! # hth-trace — observability plumbing for the HTH pipeline
+//!
+//! Three small, dependency-free pillars shared by every other crate:
+//!
+//! * **Tracing** ([`trace`]): span/instant events pushed into per-thread
+//!   fixed-capacity ring buffers behind a single atomic enabled flag.
+//!   The disabled path is one relaxed load; a collector drains every
+//!   thread's buffer and exports Chrome `trace_event` JSON that loads in
+//!   `chrome://tracing` and Perfetto.
+//! * **Metrics** ([`metrics`]): named counters, gauges and log-bucketed
+//!   histograms with point-in-time snapshots, snapshot deltas, and a
+//!   Prometheus-style text exposition. The per-subsystem stat structs
+//!   (`TaintStats`, `MatchStats`, shard/pool/fleet counters) all fold
+//!   into one [`MetricsSnapshot`] describing a whole run.
+//!
+//! The third pillar — warning provenance — lives in `hth-core`, where
+//! the `Warning` type is defined; this crate stays at the bottom of the
+//! dependency DAG so every layer can emit spans and metrics.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsSnapshot, Registry};
+pub use trace::{
+    drain, enabled, instant, set_enabled, span, Phase, RingBuffer, Span, TraceEvent, TraceLog,
+};

@@ -1,0 +1,329 @@
+//! Named counters, gauges and log-bucketed histograms.
+//!
+//! The pipeline's subsystems each keep cheap local counters
+//! (`TaintStats`, `MatchStats`, shard counters); this module gives them
+//! one vocabulary to fold into. A [`MetricsSnapshot`] is a plain value:
+//! mergeable across shards, subtractable for deltas, and printable in
+//! the Prometheus text exposition format. A [`Registry`] wraps a
+//! snapshot behind a lock for live accumulation with point-in-time
+//! [`Registry::snapshot`]s.
+//!
+//! Naming scheme (see DESIGN.md §8): `hth_<subsystem>_<quantity>`, e.g.
+//! `hth_taint_memo_hits`, `hth_match_tokens_live`, `hth_pool_dropped`.
+//! Monotonic totals are counters; point-in-time levels (live tokens,
+//! queue high-water) are gauges; per-item size/latency distributions
+//! are histograms.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+/// Number of log2 buckets: bucket `k` holds values `v` with
+/// `bit_length(v) == k`, i.e. `2^(k-1) <= v < 2^k` (bucket 0 holds 0).
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` observations with power-of-two buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Observations recorded since `earlier` (saturating per bucket, so
+    /// a reset between snapshots degrades to the later value instead of
+    /// underflowing).
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        for (i, (now, was)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            out.buckets[i] = now.saturating_sub(*was);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// Renders the Prometheus histogram series for `name` into `out`.
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let top = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (k, count) in self.buckets.iter().take(top + 1).enumerate() {
+            cumulative += count;
+            // Bucket k's inclusive upper bound: 2^k - 1 (bucket 0 is 0).
+            let le = if k == 0 { 0 } else { (1u128 << k) - 1 };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+/// A point-in-time bundle of named metrics. Plain data: build it from
+/// subsystem stats, [`MetricsSnapshot::merge`] across shards, diff two
+/// snapshots with [`MetricsSnapshot::delta`], print it with
+/// [`MetricsSnapshot::render_prometheus`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Adds `value` to the named counter (created at zero).
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_default() += value;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises the named gauge to `value` if it is higher (high-water
+    /// aggregation).
+    pub fn max_gauge(&mut self, name: &str, value: i64) {
+        let entry = self.gauges.entry(name.to_string()).or_insert(value);
+        *entry = (*entry).max(value);
+    }
+
+    /// Records one observation in the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Reads a counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another snapshot in: counters and histograms add, gauges
+    /// add too (cross-shard gauges like `tokens_live` are population
+    /// sums; use [`MetricsSnapshot::max_gauge`] at record time for
+    /// high-water semantics).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_default() += value;
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(histogram);
+        }
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms subtract (saturating), gauges keep their current
+    /// value (a gauge *is* its point-in-time reading).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (name, now) in &self.counters {
+            out.counters.insert(name.clone(), now.saturating_sub(earlier.counter(name)));
+        }
+        for (name, now) in &self.gauges {
+            out.gauges.insert(name.clone(), *now);
+        }
+        for (name, now) in &self.histograms {
+            let diff = match earlier.histograms.get(name) {
+                Some(was) => now.delta(was),
+                None => now.clone(),
+            };
+            out.histograms.insert(name.clone(), diff);
+        }
+        out
+    }
+
+    /// Prometheus text exposition: `# TYPE` headers, one sample per
+    /// line, names in sorted order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, histogram) in &self.histograms {
+            histogram.render(name, &mut out);
+        }
+        out
+    }
+}
+
+/// A thread-safe live accumulator over a [`MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds to a counter.
+    pub fn add_counter(&self, name: &str, value: u64) {
+        self.lock().add_counter(name, value);
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.lock().set_gauge(name, value);
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.lock().observe(name, value);
+    }
+
+    /// Folds a prepared snapshot in (e.g. one shard's contribution).
+    pub fn merge(&self, snapshot: &MetricsSnapshot) {
+        self.lock().merge(snapshot);
+    }
+
+    /// Point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsSnapshot> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+        assert_eq!(h.buckets[0], 1, "only zero");
+        assert_eq!(h.buckets[1], 1, "only one");
+        assert_eq!(h.buckets[2], 2, "2 and 3");
+        assert_eq!(h.buckets[3], 2, "4 and 7");
+        assert_eq!(h.buckets[4], 1, "8");
+        assert_eq!(h.buckets[11], 1, "1024");
+    }
+
+    #[test]
+    fn snapshot_merge_and_delta() {
+        let mut a = MetricsSnapshot::new();
+        a.add_counter("hth_x_total", 5);
+        a.set_gauge("hth_x_live", 3);
+        a.observe("hth_x_size", 9);
+
+        let mut b = a.clone();
+        b.add_counter("hth_x_total", 2);
+        b.set_gauge("hth_x_live", 1);
+        b.observe("hth_x_size", 100);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter("hth_x_total"), 12);
+        assert_eq!(merged.gauge("hth_x_live"), Some(4));
+        assert_eq!(merged.histogram("hth_x_size").unwrap().count(), 3);
+
+        let diff = b.delta(&a);
+        assert_eq!(diff.counter("hth_x_total"), 2);
+        assert_eq!(diff.gauge("hth_x_live"), Some(1), "gauges report current level");
+        assert_eq!(diff.histogram("hth_x_size").unwrap().count(), 1);
+        assert_eq!(diff.histogram("hth_x_size").unwrap().sum(), 100);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = MetricsSnapshot::new();
+        m.add_counter("hth_events_total", 7);
+        m.set_gauge("hth_tokens_live", 2);
+        m.observe("hth_latency_micros", 5);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE hth_events_total counter\nhth_events_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE hth_tokens_live gauge\nhth_tokens_live 2\n"), "{text}");
+        assert!(text.contains("# TYPE hth_latency_micros histogram"), "{text}");
+        assert!(text.contains("hth_latency_micros_bucket{le=\"7\"} 1"), "{text}");
+        assert!(text.contains("hth_latency_micros_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("hth_latency_micros_sum 5"), "{text}");
+        assert!(text.contains("hth_latency_micros_count 1"), "{text}");
+    }
+
+    #[test]
+    fn registry_accumulates_live() {
+        let registry = Registry::new();
+        registry.add_counter("hth_n", 1);
+        let before = registry.snapshot();
+        registry.add_counter("hth_n", 4);
+        registry.observe("hth_h", 3);
+        let after = registry.snapshot();
+        assert_eq!(after.delta(&before).counter("hth_n"), 4);
+        assert_eq!(after.histogram("hth_h").unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Ring-buffer properties: a drain yields exactly the *last*
+//! `min(pushes, capacity)` events, in push order, with an exact
+//! overwrite count — across arbitrary interleavings of pushes and
+//! drains.
+
+use proptest::prelude::*;
+
+use hth_trace::{Phase, RingBuffer, TraceEvent};
+
+fn ev(seq: u64) -> TraceEvent {
+    TraceEvent { name: "p", phase: Phase::Instant, ts: seq, tid: 0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// At capacity the buffer never loses the tail: after N pushes a
+    /// drain returns the last `min(N, capacity)` events in order, and
+    /// `drained + dropped == pushed`.
+    #[test]
+    fn drain_keeps_the_newest_window(
+        capacity in 1usize..32,
+        pushes in 0usize..200,
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        for seq in 0..pushes as u64 {
+            ring.push(ev(seq));
+        }
+        let (events, dropped) = ring.drain();
+        let expect = pushes.min(capacity);
+        prop_assert_eq!(events.len(), expect);
+        prop_assert_eq!(dropped as usize + events.len(), pushes);
+        let first = pushes - expect;
+        for (i, event) in events.iter().enumerate() {
+            prop_assert_eq!(event.ts, (first + i) as u64, "tail window, in push order");
+        }
+    }
+
+    /// Interleaved pushes and drains: every event is either drained
+    /// exactly once (in global push order) or counted as dropped.
+    #[test]
+    fn interleaved_drains_account_for_every_push(
+        capacity in 1usize..16,
+        bursts in prop::collection::vec(0usize..40, 1..8),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut next = 0u64;
+        let mut seen: Vec<u64> = Vec::new();
+        let mut dropped_total = 0u64;
+        for burst in bursts {
+            for _ in 0..burst {
+                ring.push(ev(next));
+                next += 1;
+            }
+            let (events, dropped) = ring.drain();
+            dropped_total += dropped;
+            seen.extend(events.iter().map(|e| e.ts));
+        }
+        prop_assert_eq!(seen.len() as u64 + dropped_total, next);
+        prop_assert!(seen.windows(2).all(|w| w[0] < w[1]), "drained in push order: {:?}", seen);
+    }
+}

@@ -195,6 +195,7 @@ mod tests {
                 pid: 1,
                 time: 0,
                 message: String::new(),
+                provenance: None,
             }],
             report: RunReport::default(),
             transcript: String::new(),

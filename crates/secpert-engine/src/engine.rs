@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use crate::builtins;
 use crate::error::{EngineError, Result};
-use crate::explain::FiringRecord;
+use crate::explain::{FactSupportRecord, FiringRecord};
 use crate::expr::{eval, Bindings, Host};
 use crate::fact::{Fact, FactBuilder, FactId, WorkingMemory};
 use crate::pattern::CondElem;
@@ -191,6 +191,14 @@ pub struct Engine {
     fired_total: usize,
     matcher: Matcher,
     rete: ReteNetwork,
+    /// When set, [`Engine::fire`] snapshots per-fact co-rule support
+    /// from the match network before the RHS runs (see
+    /// [`Engine::support_for`]). Off by default.
+    capture_support: bool,
+    /// Firing seq -> support captured at fire time. Lives and dies with
+    /// the firing records; kept out of [`FiringRecord`] so the naive
+    /// and Rete matchers stay byte-comparable.
+    support_log: HashMap<usize, Vec<FactSupportRecord>>,
 }
 
 impl Default for Engine {
@@ -231,6 +239,8 @@ impl Engine {
             fired_total: 0,
             matcher,
             rete: ReteNetwork::new(),
+            capture_support: false,
+            support_log: HashMap::new(),
         };
         engine
             .add_template(Template::new("initial-fact", []))
@@ -470,6 +480,7 @@ impl Engine {
         self.refraction.clear();
         self.transcript.clear();
         self.firings.clear();
+        self.support_log.clear();
         if self.matcher == Matcher::Rete {
             let mut host = MatchHost {
                 globals: &self.globals,
@@ -691,6 +702,7 @@ impl Engine {
     ///
     /// Propagates evaluation errors from rule right-hand sides.
     pub fn run(&mut self, limit: Option<usize>) -> Result<usize> {
+        let _span = hth_trace::span("engine.run");
         let mut fired = 0;
         while limit.is_none_or(|l| fired < l) {
             let Some(best) = self.pick_activation() else {
@@ -736,6 +748,26 @@ impl Engine {
             .flatten()
             .filter_map(|id| self.wm.get(*id).map(|f| f.to_string()))
             .collect();
+        // Support is a picture of the match network *at fire time*: the
+        // RHS below may retract these very facts, so snapshot first.
+        if self.capture_support && self.matcher == Matcher::Rete {
+            let support: Vec<FactSupportRecord> = act
+                .facts
+                .iter()
+                .flatten()
+                .map(|id| FactSupportRecord {
+                    fact: id.raw(),
+                    co_rules: self
+                        .rete
+                        .rules_using(*id)
+                        .into_iter()
+                        .map(|prod| self.rules[prod].name().to_string())
+                        .filter(|name| name.as_str() != rule.name())
+                        .collect(),
+                })
+                .collect();
+            self.support_log.insert(self.fired_total + 1, support);
+        }
         self.pending_output.clear();
         let mut bindings = act.bindings.clone();
         for action in rule.rhs() {
@@ -765,6 +797,29 @@ impl Engine {
     /// Drops accumulated firing records (the transcript is kept).
     pub fn clear_firings(&mut self) {
         self.firings.clear();
+        self.support_log.clear();
+    }
+
+    /// Enables or disables per-firing support capture. While on, every
+    /// firing records which *other* rules' live matches were consuming
+    /// its supporting facts (see [`Engine::support_for`]). Off by
+    /// default; only the Rete matcher has the match memory to answer.
+    pub fn set_support_capture(&mut self, on: bool) {
+        self.capture_support = on;
+    }
+
+    /// Match-network support captured for firing `seq` (the value in
+    /// [`FiringRecord::seq`]). `None` when capture was off, the seq is
+    /// unknown, or the naive matcher is active.
+    pub fn support_for(&self, seq: usize) -> Option<&[FactSupportRecord]> {
+        self.support_log.get(&seq).map(Vec::as_slice)
+    }
+
+    /// Names of rules whose live (partial or complete) matches currently
+    /// consume fact `id`, straight from the match network's fact -> token
+    /// back-references. Empty under the naive matcher.
+    pub fn rules_using_fact(&self, id: FactId) -> Vec<&str> {
+        self.rete.rules_using(id).into_iter().map(|prod| self.rules[prod].name()).collect()
     }
 
     /// Total rules fired over the engine's lifetime.

@@ -26,6 +26,19 @@ pub struct FiringRecord {
     pub output: String,
 }
 
+/// Match-network context for one fact supporting a firing, captured at
+/// fire time (before the RHS ran): which *other* rules' live partial
+/// matches were also consuming the fact. Kept beside, not inside,
+/// [`FiringRecord`] — the naive matcher has no match memory, and firing
+/// records must compare equal across matchers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FactSupportRecord {
+    /// Raw working-memory id of the supporting fact.
+    pub fact: u64,
+    /// Other rules with a live token on this fact, in production order.
+    pub co_rules: Vec<String>,
+}
+
 impl fmt::Display for FiringRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "FIRE {:5} {}:", self.seq, self.rule)?;

@@ -65,7 +65,7 @@ mod value;
 
 pub use engine::{Engine, Matcher, NativeFn, Strategy, UserFn};
 pub use error::{EngineError, Result};
-pub use explain::FiringRecord;
+pub use explain::{FactSupportRecord, FiringRecord};
 pub use expr::{eval, Bindings, Expr, Host};
 pub use fact::{Fact, FactBuilder, FactId, WorkingMemory};
 pub use pattern::{Atom, CondElem, FieldConstraint, PatternCE, SlotPattern, Term};

@@ -213,6 +213,22 @@ impl ReteNetwork {
         Ok(())
     }
 
+    /// Productions whose live tokens (partial or complete matches)
+    /// currently consume fact `id`, via the `fact_tokens`
+    /// back-references. Deduplicated, in ascending production order.
+    pub(crate) fn rules_using(&self, id: FactId) -> Vec<usize> {
+        let mut prods: Vec<usize> = self
+            .fact_tokens
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(|token| self.tokens.get(token).map(|t| t.prod))
+            .collect();
+        prods.sort_unstable();
+        prods.dedup();
+        prods
+    }
+
     // ----- assert propagation -------------------------------------------
 
     pub(crate) fn on_assert(

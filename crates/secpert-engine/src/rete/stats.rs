@@ -50,6 +50,35 @@ impl MatchStats {
         self.resequences += other.resequences;
     }
 
+    /// Adds the counters of a *retired* engine (quarantined, crashed, or
+    /// otherwise never running again). Like [`MatchStats::merge`], except
+    /// the dead engine's live-token population is folded into
+    /// `tokens_removed` instead of `tokens_live` — its tokens died with
+    /// it, and summing them as live would inflate the fleet-wide gauge
+    /// on every respawn.
+    pub fn merge_retired(&mut self, other: &MatchStats) {
+        self.merge(other);
+        self.tokens_live -= other.tokens_live;
+        self.tokens_removed += other.tokens_live;
+    }
+
+    /// Folds the counters into `metrics` under `hth_match_*` names.
+    /// Counters add; the live-token population is a gauge.
+    pub fn record_metrics(&self, metrics: &mut hth_trace::MetricsSnapshot) {
+        metrics.add_counter("hth_match_alpha_tests", self.alpha_tests);
+        metrics.add_counter("hth_match_alpha_hits", self.alpha_hits);
+        metrics.add_counter("hth_match_join_attempts", self.join_attempts);
+        metrics.add_counter("hth_match_join_matches", self.join_matches);
+        metrics.add_counter("hth_match_neg_checks", self.neg_checks);
+        metrics.add_counter("hth_match_tokens_created", self.tokens_created);
+        metrics.add_counter("hth_match_tokens_removed", self.tokens_removed);
+        metrics.set_gauge("hth_match_tokens_live", self.tokens_live as i64);
+        metrics.add_counter("hth_match_index_lookups", self.index_lookups);
+        metrics.add_counter("hth_match_index_hits", self.index_hits);
+        metrics.add_counter("hth_match_activations", self.activations);
+        metrics.add_counter("hth_match_resequences", self.resequences);
+    }
+
     /// Fraction of index probes that found a bucket, in `[0, 1]`.
     pub fn index_hit_rate(&self) -> f64 {
         if self.index_lookups == 0 {
@@ -80,5 +109,37 @@ mod tests {
         assert_eq!(a.index_hit_rate(), 0.5);
         assert!(!a.is_empty());
         assert!(MatchStats::default().is_empty());
+    }
+
+    #[test]
+    fn merge_retired_folds_live_tokens_into_removed() {
+        let mut fleet = MatchStats {
+            tokens_created: 10,
+            tokens_removed: 4,
+            tokens_live: 6,
+            ..Default::default()
+        };
+        let dead = MatchStats {
+            tokens_created: 5,
+            tokens_removed: 2,
+            tokens_live: 3,
+            ..Default::default()
+        };
+        fleet.merge_retired(&dead);
+        assert_eq!(fleet.tokens_created, 15);
+        assert_eq!(fleet.tokens_live, 6, "dead engine's tokens are not alive anywhere");
+        assert_eq!(fleet.tokens_removed, 9);
+        assert_eq!(fleet.tokens_created, fleet.tokens_removed + fleet.tokens_live);
+    }
+
+    #[test]
+    fn record_metrics_names_every_counter() {
+        let stats =
+            MatchStats { activations: 7, tokens_live: 2, index_lookups: 3, ..Default::default() };
+        let mut metrics = hth_trace::MetricsSnapshot::default();
+        stats.record_metrics(&mut metrics);
+        assert_eq!(metrics.counter("hth_match_activations"), 7);
+        assert_eq!(metrics.gauge("hth_match_tokens_live"), Some(2));
+        assert_eq!(metrics.counter("hth_match_index_lookups"), 3);
     }
 }

@@ -1,0 +1,145 @@
+//! Provenance correctness across the §8 corpus: every golden warning
+//! (the exploit and macro workloads pinned in `tests/golden/warnings.txt`)
+//! must carry a non-empty causal tree, the tree's leaf event must exist
+//! in the recorded event stream, and the rendered `hth explain` trees
+//! are themselves pinned as a golden snapshot.
+
+use std::io::Cursor;
+use std::sync::{Arc, Mutex};
+
+use hth::hth_fleet::{JournalReader, JournalWriter};
+use hth::hth_workloads::{all_scenarios, Group};
+use hth::{PolicyConfig, Secpert, Session, SessionConfig};
+
+/// Every warning of every golden workload explains itself: provenance
+/// is present, the rule chain ends in the warning's own rule, and the
+/// triggering event index points inside the session's event stream.
+#[test]
+fn every_golden_warning_has_a_causal_tree() {
+    for scenario in all_scenarios() {
+        if scenario.group != Group::Exploit && scenario.group != Group::Macro {
+            continue;
+        }
+        let result = scenario.run().expect("scenario runs");
+        for warning in &result.warnings {
+            let prov = warning.provenance.as_deref().unwrap_or_else(|| {
+                panic!("{}: warning `{}` has no provenance", scenario.id, warning.rule)
+            });
+            assert!(
+                !prov.rule_chain.is_empty(),
+                "{}: `{}` has an empty rule chain",
+                scenario.id,
+                warning.rule
+            );
+            assert_eq!(
+                prov.rule_chain.last().unwrap(),
+                &warning.rule,
+                "{}: chain must end in the warning's own rule",
+                scenario.id
+            );
+            assert!(prov.firing_seq >= 1, "{}: firing seq is 1-based", scenario.id);
+            assert!(
+                prov.event_index >= 1 && prov.event_index <= result.events as u64,
+                "{}: event #{} outside the {}-event stream",
+                scenario.id,
+                prov.event_index,
+                result.events
+            );
+            let tree = prov.render_tree(warning);
+            assert!(tree.lines().count() >= 2, "{}: degenerate tree:\n{tree}", scenario.id);
+            assert!(tree.contains(&warning.rule), "{}: tree must name the rule", scenario.id);
+        }
+    }
+}
+
+/// Journal round trip: record a dropper session, replay it offline, and
+/// check each warning's leaf event really is the journal frame the
+/// provenance claims (same index, same syscall) — what `hth explain`
+/// shows is anchored in the journal, not reconstructed.
+#[test]
+fn explain_leaf_events_exist_in_the_journal() {
+    let journal = Arc::new(Mutex::new(JournalWriter::new(Vec::new()).expect("in-memory journal")));
+    let mut session = Session::new(SessionConfig::default()).expect("policy loads");
+    let tap = Arc::clone(&journal);
+    session.set_event_tap(Box::new(move |event| {
+        tap.lock().expect("journal tap").append(event).expect("in-memory append");
+    }));
+    session.kernel.register_binary(
+        "/bin/dropper",
+        r#"
+        _start:
+            mov eax, 11
+            mov ebx, prog
+            int 0x80
+            hlt
+        .data
+        prog: .asciz "/bin/ls"
+        "#,
+        &[],
+    );
+    session.start("/bin/dropper", &["/bin/dropper"], &[]).expect("spawns");
+    session.run().expect("runs");
+    drop(session); // releases the tap's Arc
+    let bytes = Arc::try_unwrap(journal)
+        .unwrap_or_else(|_| unreachable!("tap dropped with the session"))
+        .into_inner()
+        .expect("journal tap")
+        .finish()
+        .expect("flushes");
+
+    let frames: Vec<_> = JournalReader::new(Cursor::new(&bytes))
+        .expect("journal header")
+        .collect::<Result<_, _>>()
+        .expect("journal decodes");
+    assert!(!frames.is_empty());
+
+    let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let reader = JournalReader::new(Cursor::new(&bytes)).expect("journal header");
+    let warnings = hth::hth_fleet::replay(reader, &mut secpert).expect("replays");
+    assert!(!warnings.is_empty(), "the dropper must warn");
+    for warning in &warnings {
+        let prov = warning.provenance.as_deref().expect("replayed warning has provenance");
+        let frame = frames
+            .get(prov.event_index as usize - 1)
+            .unwrap_or_else(|| panic!("event #{} not in the journal", prov.event_index));
+        assert_eq!(frame.syscall(), prov.syscall, "leaf event syscall must match the frame");
+    }
+}
+
+/// Causal trees for the §8 golden workloads, pinned byte-for-byte —
+/// exactly what `hth explain` prints for each warning. Any change to
+/// provenance capture (support facts, rule chains, taint rendering)
+/// shows up here as a readable diff. Regenerate intentionally with
+/// `UPDATE_GOLDEN=1 cargo test golden`.
+#[test]
+fn explain_trees_match_golden_snapshot() {
+    let mut rendered = String::new();
+    for scenario in all_scenarios() {
+        if scenario.group != Group::Exploit && scenario.group != Group::Macro {
+            continue;
+        }
+        let result = scenario.run().expect("scenario runs");
+        rendered.push_str(&format!("== {} ({})\n", scenario.id, scenario.group.table()));
+        if result.warnings.is_empty() {
+            rendered.push_str("(silent)\n");
+        }
+        for warning in &result.warnings {
+            match warning.provenance.as_deref() {
+                Some(prov) => rendered.push_str(&prov.render_tree(warning)),
+                None => rendered.push_str("(no provenance)\n"),
+            }
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/explain.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("golden path writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        golden, rendered,
+        "explain trees diverged from tests/golden/explain.txt; \
+         if the change is intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
