@@ -9,9 +9,9 @@
 //! hth audit <prog.s>      # Appendix B Secure Binary audit
 //! hth listing <prog.s>    # assemble and print the listing
 //! hth fleet [--sessions N] [--shards N] [--workers N] [--queue N]
-//!           [--drop-oldest] [--chaos-seed N] [--trust NAME]…
-//!           [--trace OUT.json] [--metrics]
-//! hth replay <events.hthj> [--repair] [--trust NAME]…
+//!           [--batch-size N] [--drop-oldest] [--chaos-seed N]
+//!           [--trust NAME]… [--trace OUT.json] [--metrics]
+//! hth replay <events.hthj> [--repair] [--batch-size N] [--trust NAME]…
 //! hth explain <events.hthj> <warning-idx> [--trust NAME]…
 //! ```
 //!
@@ -54,6 +54,9 @@ pub enum Command {
         /// Salvage every decodable frame from a damaged journal instead
         /// of failing on the first corrupt byte.
         repair: bool,
+        /// Events fed to the engine per batch; 1 replays strictly
+        /// event-at-a-time (identical results either way).
+        batch_size: usize,
     },
     /// Explain one warning from a journal replay: print its causal
     /// tree (triggering event, rule chain, supporting facts, taint
@@ -81,6 +84,9 @@ pub struct FleetOptions {
     pub workers: usize,
     /// Per-shard queue capacity.
     pub queue: usize,
+    /// Events an analyst drains from its queue per lock crossing; 1
+    /// disables batching (identical results either way).
+    pub batch_size: usize,
     /// Shed load (`DropOldest`) instead of blocking producers.
     pub drop_oldest: bool,
     /// Seed for deterministic fault injection (chaos testing); `None`
@@ -101,6 +107,7 @@ impl Default for FleetOptions {
             shards: 4,
             workers: 4,
             queue: 1024,
+            batch_size: hth_fleet::PoolConfig::default().batch_size,
             drop_oldest: false,
             chaos_seed: None,
             trust: Vec::new(),
@@ -160,10 +167,12 @@ USAGE:
   hth audit <prog.s>           Secure Binary audit (Appendix B)
   hth listing <prog.s>         assemble and print the listing
   hth fleet [options]          run a workload fleet through the analyst pool
-  hth replay <events.hthj> [--repair] [--trust NAME]…
+  hth replay <events.hthj> [--repair] [--batch-size N] [--trust NAME]…
                                replay a recorded journal offline; --repair
                                salvages every decodable frame from a
-                               damaged journal and reports what was lost
+                               damaged journal and reports what was lost;
+                               --batch-size N feeds the engine N events
+                               per batch (same warnings at any size)
   hth explain <events.hthj> <warning-idx>
                                replay a journal and print the causal tree
                                behind one warning (0-based replay order):
@@ -198,6 +207,9 @@ FLEET OPTIONS:
   --shards N         analyst pool shards (default 4)
   --workers N        session-runner threads (default 4)
   --queue N          per-shard queue capacity (default 1024)
+  --batch-size N     events an analyst drains per queue lock crossing
+                     (default 64); 1 disables batching — warnings and
+                     stats are identical at every size
   --drop-oldest      shed load instead of blocking when a queue fills
   --chaos-seed N     inject deterministic faults (shard panics, queue
                      stalls) derived from seed N; losses are counted,
@@ -261,16 +273,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "replay" => {
             let mut trust = Vec::new();
             let mut repair = false;
+            let mut batch_size = hth_fleet::PoolConfig::default().batch_size;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--trust" => trust.push(
                         it.next().cloned().ok_or_else(|| "--trust needs a value".to_string())?,
                     ),
                     "--repair" => repair = true,
+                    "--batch-size" => {
+                        let text = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "--batch-size needs a value".to_string())?;
+                        batch_size = parse_count(&text, "--batch-size")?;
+                    }
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
-            return Ok(Command::Replay { journal: source, trust, repair });
+            return Ok(Command::Replay { journal: source, trust, repair, batch_size });
         }
         "explain" => {
             let text = it.next().ok_or_else(|| "`explain` needs a warning index".to_string())?;
@@ -355,6 +375,9 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
             "--shards" => opts.shards = parse_count(&value("--shards")?, "--shards")?,
             "--workers" => opts.workers = parse_count(&value("--workers")?, "--workers")?,
             "--queue" => opts.queue = parse_count(&value("--queue")?, "--queue")?,
+            "--batch-size" => {
+                opts.batch_size = parse_count(&value("--batch-size")?, "--batch-size")?;
+            }
             "--drop-oldest" => opts.drop_oldest = true,
             "--chaos-seed" => {
                 let text = value("--chaos-seed")?;
@@ -411,7 +434,9 @@ pub fn execute(command: Command) -> Result<String, String> {
         }
         Command::Run(opts) => run(*opts),
         Command::Fleet(opts) => fleet(opts),
-        Command::Replay { journal, trust, repair } => replay_journal(&journal, trust, repair),
+        Command::Replay { journal, trust, repair, batch_size } => {
+            replay_journal(&journal, trust, repair, batch_size)
+        }
         Command::Explain { journal, index, trust } => explain(&journal, index, trust),
     }
 }
@@ -460,6 +485,7 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
     let mut config = FleetConfig::default();
     config.pool.shards = opts.shards;
     config.pool.queue_capacity = opts.queue;
+    config.pool.batch_size = opts.batch_size;
     config.pool.backpressure =
         if opts.drop_oldest { Backpressure::DropOldest } else { Backpressure::Block };
     config.workers = opts.workers;
@@ -523,14 +549,19 @@ fn explain(journal: &str, index: usize, trust: Vec<String>) -> Result<String, St
 /// journal is salvaged frame by frame instead of aborting: every
 /// decodable prefix is replayed and the recovery report says exactly
 /// what was dropped.
-fn replay_journal(journal: &str, trust: Vec<String>, repair: bool) -> Result<String, String> {
+fn replay_journal(
+    journal: &str,
+    trust: Vec<String>,
+    repair: bool,
+    batch_size: usize,
+) -> Result<String, String> {
     let mut policy = PolicyConfig::default();
     policy.trusted_binaries.extend(trust);
     let mut secpert = Secpert::new(&policy).map_err(|e| e.to_string())?;
     let (warnings, recovery) = if repair {
         let bytes =
             std::fs::read(journal).map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
-        let (warnings, report) = hth_fleet::replay_repair(&bytes, &mut secpert)
+        let (warnings, report) = hth_fleet::replay_repair_batched(&bytes, &mut secpert, batch_size)
             .map_err(|e| format!("`{journal}`: {e}"))?;
         (warnings, Some(report))
     } else {
@@ -538,8 +569,8 @@ fn replay_journal(journal: &str, trust: Vec<String>, repair: bool) -> Result<Str
             .map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
         let reader = JournalReader::new(std::io::BufReader::new(file))
             .map_err(|e| format!("`{journal}`: {e}"))?;
-        let warnings =
-            hth_fleet::replay(reader, &mut secpert).map_err(|e| format!("`{journal}`: {e}"))?;
+        let warnings = hth_fleet::replay_batched(reader, &mut secpert, batch_size)
+            .map_err(|e| format!("`{journal}`: {e}"))?;
         (warnings, None)
     };
     let mut out = String::new();
@@ -766,6 +797,8 @@ mod tests {
             "3",
             "--queue",
             "64",
+            "--batch-size",
+            "16",
             "--drop-oldest",
             "--trust",
             "libfoo.so",
@@ -776,10 +809,14 @@ mod tests {
         assert_eq!(opts.shards, 2);
         assert_eq!(opts.workers, 3);
         assert_eq!(opts.queue, 64);
+        assert_eq!(opts.batch_size, 16);
         assert!(opts.drop_oldest);
         assert_eq!(opts.trust, vec!["libfoo.so"]);
+        assert_eq!(FleetOptions::default().batch_size, 64);
         assert!(parse(&strs(&["fleet", "--shards", "0"])).is_err());
         assert!(parse(&strs(&["fleet", "--sessions"])).is_err());
+        assert!(parse(&strs(&["fleet", "--batch-size", "0"])).is_err());
+        assert!(parse(&strs(&["fleet", "--batch-size"])).is_err());
         assert!(parse(&strs(&["fleet", "--nope"])).is_err());
     }
 
@@ -791,13 +828,21 @@ mod tests {
                 journal: "events.hthj".to_string(),
                 trust: vec!["make".to_string()],
                 repair: false,
+                batch_size: 64,
             }
         );
         assert_eq!(
-            parse(&strs(&["replay", "events.hthj", "--repair"])).unwrap(),
-            Command::Replay { journal: "events.hthj".to_string(), trust: vec![], repair: true }
+            parse(&strs(&["replay", "events.hthj", "--repair", "--batch-size", "7"])).unwrap(),
+            Command::Replay {
+                journal: "events.hthj".to_string(),
+                trust: vec![],
+                repair: true,
+                batch_size: 7,
+            }
         );
         assert!(parse(&strs(&["replay"])).is_err());
+        assert!(parse(&strs(&["replay", "events.hthj", "--batch-size", "0"])).is_err());
+        assert!(parse(&strs(&["replay", "events.hthj", "--batch-size"])).is_err());
         assert!(parse(&strs(&["replay", "events.hthj", "--nope"])).is_err());
     }
 
@@ -906,6 +951,7 @@ mod tests {
             journal: journal.to_string_lossy().into_owned(),
             trust: Vec::new(),
             repair: false,
+            batch_size: 64,
         })
         .unwrap();
         assert!(replay_out.contains("[LOW]"), "{replay_out}");
@@ -917,6 +963,7 @@ mod tests {
             journal: journal.to_string_lossy().into_owned(),
             trust: Vec::new(),
             repair: true,
+            batch_size: 1,
         })
         .unwrap();
         assert!(repair_out.contains("replay: 1 warnings"), "{repair_out}");
@@ -945,11 +992,16 @@ mod tests {
         std::fs::write(&journal, &bytes[..bytes.len() - 3]).unwrap();
 
         let path = journal.to_string_lossy().into_owned();
-        let strict =
-            execute(Command::Replay { journal: path.clone(), trust: vec![], repair: false });
+        let strict = execute(Command::Replay {
+            journal: path.clone(),
+            trust: vec![],
+            repair: false,
+            batch_size: 64,
+        });
         assert!(strict.is_err(), "strict replay must fail on a torn journal");
         let repaired =
-            execute(Command::Replay { journal: path, trust: vec![], repair: true }).unwrap();
+            execute(Command::Replay { journal: path, trust: vec![], repair: true, batch_size: 64 })
+                .unwrap();
         assert!(repaired.contains("torn tail"), "{repaired}");
         assert!(repaired.contains("replay:"), "{repaired}");
     }
@@ -966,6 +1018,32 @@ mod tests {
         assert!(out.contains("fleet: 4 sessions"), "{out}");
         assert!(out.contains("[HIGH]"), "{out}");
         assert!(out.contains("  match: "), "{out}");
+    }
+
+    /// Batched and per-event analyst loops must report the same fleet:
+    /// same rendered warning lines (the report sorts them), same
+    /// per-severity counts.
+    #[test]
+    fn fleet_batch_sizes_agree_end_to_end() {
+        let run = |batch_size: usize| {
+            execute(Command::Fleet(FleetOptions {
+                sessions: 4,
+                shards: 2,
+                workers: 2,
+                batch_size,
+                ..FleetOptions::default()
+            }))
+            .unwrap()
+        };
+        let batched = run(64);
+        let serial = run(1);
+        let warning_lines = |out: &str| {
+            out.lines()
+                .filter(|l| l.contains("[HIGH]") || l.contains("[MEDIUM]") || l.contains("[LOW]"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(warning_lines(&batched), warning_lines(&serial), "{batched}\n---\n{serial}");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   with per-frame CRC32 (v2), segment rotation, and a recovery scan
 //!   that salvages every decodable frame from a corrupted file
 //!   ([`journal::replay`], [`journal::recover`]),
+//! * [`batch`] — the reusable [`EventBatch`] buffer both the analyst
+//!   pool and the replay path move events in, so queue, span and sink
+//!   crossings are paid per batch instead of per event,
 //! * [`pool`] — a sharded, *supervised* analyst pool: worker threads
 //!   with private [`hth_core::Secpert`] engines, sessions hashed to
 //!   shards, bounded queues with explicit [`pool::Backpressure`], panics
@@ -24,18 +27,21 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod faults;
 pub mod fleet;
 pub mod journal;
 pub mod pool;
 pub mod wire;
 
+pub use batch::EventBatch;
 pub use faults::{FaultPlan, JournalFault};
 pub use fleet::{run_scenarios, warning_multiset, FleetConfig, FleetReport};
 pub use journal::{
-    recover, recover_segments, replay, replay_repair, replay_segments, segment_paths,
-    JournalReader, JournalWriter, RecoveryOutcome, RecoveryReport, ReplayError,
-    SegmentedJournalWriter, JOURNAL_V1, JOURNAL_V2,
+    recover, recover_segments, replay, replay_batched, replay_repair, replay_repair_batched,
+    replay_segments, replay_segments_batched, segment_path, segment_paths, JournalReader,
+    JournalWriter, RecoveryOutcome, RecoveryReport, ReplayError, SegmentedJournalWriter,
+    JOURNAL_V1, JOURNAL_V2,
 };
 pub use pool::{AnalystPool, Backpressure, PoolConfig, PoolReport, SessionId, ShardStats};
 pub use wire::{crc32, EventDecoder, EventEncoder, WireError, MAX_FRAME_LEN};

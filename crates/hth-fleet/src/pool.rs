@@ -59,6 +59,12 @@ pub struct PoolConfig {
     pub queue_capacity: usize,
     /// Policy when a queue is full.
     pub backpressure: Backpressure,
+    /// Events an analyst drains per queue-lock crossing and feeds the
+    /// engine per batch. `1` reproduces the per-event pipeline exactly;
+    /// larger batches amortize the queue, span and warning-sink
+    /// crossings without changing observable results (pinned by
+    /// `tests/batch_equivalence.rs`).
+    pub batch_size: usize,
     /// How many times a shard may respawn a fresh engine after a panic
     /// before degrading to drain-and-discard.
     pub max_respawns: u32,
@@ -77,6 +83,7 @@ impl Default for PoolConfig {
             shards: 4,
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
+            batch_size: 64,
             max_respawns: 3,
             faults: None,
             keep_lost_events: false,
@@ -223,6 +230,7 @@ impl AnalystPool {
     pub fn new(config: &PoolConfig, policy: &PolicyConfig) -> Result<AnalystPool, EngineError> {
         assert!(config.shards > 0, "a pool needs at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
+        assert!(config.batch_size > 0, "batch size must be non-zero");
         let mut engines = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
             engines.push(Secpert::new(policy)?);
@@ -249,6 +257,7 @@ impl AnalystPool {
             .enumerate()
             .map(|(shard, (engine, queue))| {
                 let queue = Arc::clone(queue);
+                let batch_size = config.batch_size;
                 let supervisor = Supervisor {
                     shard,
                     policy: policy.clone(),
@@ -256,7 +265,7 @@ impl AnalystPool {
                     max_respawns: config.max_respawns,
                     keep_lost_events: config.keep_lost_events,
                 };
-                std::thread::spawn(move || analyst_loop(engine, &queue, supervisor))
+                std::thread::spawn(move || analyst_loop(engine, &queue, supervisor, batch_size))
             })
             .collect();
         Ok(AnalystPool {
@@ -307,6 +316,50 @@ impl AnalystPool {
         }
         state.deque.push_back(event);
         state.high_water = state.high_water.max(state.deque.len());
+        drop(state);
+        queue.not_empty.notify_one();
+    }
+
+    /// Enqueues a buffer of events for the session's shard under a
+    /// single lock crossing, preserving submission order and applying
+    /// the backpressure policy per event — byte-identical outcomes to
+    /// the same events submitted one [`AnalystPool::submit`] at a time.
+    /// Drains `events`, leaving the buffer empty (capacity retained)
+    /// for reuse.
+    pub fn submit_batch(&self, session: SessionId, events: &mut Vec<SecpertEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let queue = &self.queues[self.shard_of(session)];
+        let mut state = lock_state(queue);
+        debug_assert!(!state.closed, "submit after finish");
+        for event in events.drain(..) {
+            state.submitted += 1;
+            if state.deque.len() >= self.capacity {
+                match self.backpressure {
+                    Backpressure::Block => {
+                        while state.deque.len() >= self.capacity && !state.closed {
+                            // The analyst may have gone to sleep before
+                            // this batch arrived; wake it before parking,
+                            // or both sides wait forever.
+                            queue.not_empty.notify_one();
+                            state =
+                                queue.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    Backpressure::DropOldest => {
+                        if let Some(evicted) = state.deque.pop_front() {
+                            state.dropped += 1;
+                            if self.keep_lost_events {
+                                state.evicted.push(evicted);
+                            }
+                        }
+                    }
+                }
+            }
+            state.deque.push_back(event);
+            state.high_water = state.high_water.max(state.deque.len());
+        }
         drop(state);
         queue.not_empty.notify_one();
     }
@@ -395,120 +448,264 @@ enum Analyst {
     Failed,
 }
 
-/// One analyst worker: pop events in order, feed the private engine
-/// under a panic supervisor. Runs until the queue is closed *and*
-/// empty — even a failed shard keeps draining, which is what makes
-/// `Backpressure::Block` deadlock-free.
-fn analyst_loop(engine: Secpert, queue: &ShardQueue, supervisor: Supervisor) -> ShardOutcome {
+/// One analyst worker: drain up to `batch_size` events per queue-lock
+/// crossing, feed the private engine in runs under a panic supervisor.
+/// Runs until the queue is closed *and* empty — even a failed shard
+/// keeps draining, which is what makes `Backpressure::Block`
+/// deadlock-free.
+fn analyst_loop(
+    engine: Secpert,
+    queue: &ShardQueue,
+    supervisor: Supervisor,
+    batch_size: usize,
+) -> ShardOutcome {
     let _span = hth_trace::span("pool.analyst");
     let mut outcome = ShardOutcome::default();
     let mut analyst = Analyst::Running(Box::new(engine));
     let mut nth = 0u64;
+    let batch_size = batch_size.max(1);
+    // The reusable drain buffer: one allocation for the life of the
+    // shard, refilled on every queue crossing.
+    let mut batch: Vec<SecpertEvent> = Vec::with_capacity(batch_size);
     loop {
-        let popped = {
+        batch.clear();
+        {
             let mut state = lock_state(queue);
             loop {
-                if let Some(event) = state.deque.pop_front() {
-                    break Some(event);
+                if !state.deque.is_empty() {
+                    let n = batch_size.min(state.deque.len());
+                    batch.extend(state.deque.drain(..n));
+                    break;
                 }
                 if state.closed {
-                    break None;
+                    break;
                 }
                 state = queue.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
-        };
-        let Some(event) = popped else {
+        }
+        if batch.is_empty() {
             // Closed and drained: fold the live engine's match counters
             // into the outcome before the engine is dropped.
             if let Analyst::Running(engine) = &analyst {
                 outcome.match_stats.merge(&engine.match_stats());
             }
             return outcome;
-        };
-        queue.not_full.notify_one();
-        nth += 1;
-        if let Some(stall) = supervisor.faults.as_ref().and_then(|f| f.stall(supervisor.shard, nth))
-        {
-            std::thread::sleep(stall);
         }
-        match &mut analyst {
-            Analyst::Failed => {
+        match batch.len() {
+            1 => queue.not_full.notify_one(),
+            _ => queue.not_full.notify_all(),
+        }
+        process_drained(&mut analyst, &mut outcome, &supervisor, &batch, &mut nth);
+    }
+}
+
+/// Feeds one drained batch through the analyst, preserving the
+/// per-event semantics of the original one-pop-per-lock loop: fault
+/// injection points keep their per-event indices, every event lands in
+/// exactly one of analysed / quarantined / discarded, and a mid-batch
+/// panic loses only the panicking event — the completed prefix keeps
+/// its warnings (recovered from the engine's sink) and the suffix is
+/// re-fed to the respawned engine.
+fn process_drained(
+    analyst: &mut Analyst,
+    outcome: &mut ShardOutcome,
+    supervisor: &Supervisor,
+    batch: &[SecpertEvent],
+    nth: &mut u64,
+) {
+    let shard = supervisor.shard;
+    let faults = supervisor.faults.as_deref();
+    let nth0 = *nth;
+    *nth += batch.len() as u64;
+    let nth_of = |k: usize| nth0 + 1 + k as u64;
+    // Events a fault plan touches are handled one at a time, exactly
+    // like the per-event loop; only fault-free runs are batched.
+    let faulted = |k: usize| {
+        faults.is_some_and(|f| {
+            f.stall(shard, nth_of(k)).is_some() || f.should_panic(shard, nth_of(k))
+        })
+    };
+    let mut i = 0;
+    while i < batch.len() {
+        let Analyst::Running(engine) = &mut *analyst else {
+            for event in &batch[i..] {
+                if let Some(stall) = faults.and_then(|f| f.stall(shard, nth_of(i))) {
+                    std::thread::sleep(stall);
+                }
                 outcome.discarded += 1;
                 if supervisor.keep_lost_events {
-                    outcome.lost_events.push(event);
+                    outcome.lost_events.push(event.clone());
+                }
+                i += 1;
+            }
+            return;
+        };
+        let mut j = i;
+        while j < batch.len() && !faulted(j) {
+            j += 1;
+        }
+        if j > i {
+            // Fault-free run: one engine call for the whole slice.
+            let run = &batch[i..j];
+            let events_before = engine.events_processed();
+            let sink_before = engine.warnings_count();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if run.len() == 1 {
+                    engine.process_event(&run[0])
+                } else {
+                    engine.process_batch(run)
+                }
+            }));
+            match result {
+                Ok(Ok(warnings)) => {
+                    outcome.events += run.len() as u64;
+                    outcome.warnings.extend(warnings);
+                    i = j;
+                }
+                Ok(Err(e)) => {
+                    // An engine *error* is a policy bug, not a bad
+                    // event: analysis results can no longer be trusted,
+                    // so the shard degrades. The event that surfaced the
+                    // bug is discarded; the completed prefix keeps its
+                    // results.
+                    let ok = completed_before_failure(engine, events_before);
+                    outcome.events += ok as u64;
+                    outcome.warnings.extend(completed_warnings(
+                        engine,
+                        sink_before,
+                        events_before + ok as u64,
+                    ));
+                    outcome.errors.push(format!("shard {shard}: engine error: {e}"));
+                    outcome.discarded += 1;
+                    if supervisor.keep_lost_events {
+                        outcome.lost_events.push(batch[i + ok].clone());
+                    }
+                    // Retired merge: this engine never runs again, so
+                    // its live tokens are folded into `tokens_removed`
+                    // rather than inflating the pool-wide live gauge.
+                    outcome.match_stats.merge_retired(&engine.match_stats());
+                    *analyst = Analyst::Failed;
+                    i += ok + 1;
+                }
+                Err(panic) => {
+                    // A panic is blamed on the event the engine was on:
+                    // quarantine it, keep the completed prefix, then
+                    // respawn and continue with the suffix.
+                    let ok = completed_before_failure(engine, events_before);
+                    let culprit = i + ok;
+                    outcome.events += ok as u64;
+                    outcome.warnings.extend(completed_warnings(
+                        engine,
+                        sink_before,
+                        events_before + ok as u64,
+                    ));
+                    quarantine(
+                        analyst,
+                        outcome,
+                        supervisor,
+                        &batch[culprit],
+                        nth_of(culprit),
+                        panic,
+                    );
+                    i = culprit + 1;
                 }
             }
-            Analyst::Running(engine) => {
-                let faults = supervisor.faults.as_ref();
-                let shard = supervisor.shard;
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    if faults.is_some_and(|f| f.should_panic(shard, nth)) {
-                        panic!("injected fault: shard {shard} event {nth}");
-                    }
-                    engine.process_event(&event)
-                }));
-                match result {
-                    Ok(Ok(warnings)) => {
-                        outcome.events += 1;
-                        outcome.warnings.extend(warnings);
-                    }
-                    Ok(Err(e)) => {
-                        // An engine *error* is a policy bug, not a bad
-                        // event: analysis results can no longer be
-                        // trusted, so the shard degrades. The event that
-                        // surfaced the bug is counted as discarded.
-                        outcome.errors.push(format!("shard {shard}: engine error: {e}"));
-                        outcome.discarded += 1;
-                        if supervisor.keep_lost_events {
-                            outcome.lost_events.push(event);
-                        }
-                        // Retired merge: this engine never runs again, so
-                        // its live tokens are folded into `tokens_removed`
-                        // rather than inflating the pool-wide live gauge.
-                        outcome.match_stats.merge_retired(&engine.match_stats());
-                        analyst = Analyst::Failed;
-                    }
-                    Err(panic) => {
-                        // A panic is blamed on the event: quarantine it,
-                        // then respawn a fresh engine if the budget
-                        // allows.
-                        let message = describe_panic(&*panic);
-                        outcome.quarantined += 1;
-                        outcome
-                            .quarantine_log
-                            .push(format!("shard {shard} event {nth}: {message}"));
-                        if supervisor.keep_lost_events {
-                            outcome.lost_events.push(event);
-                        }
-                        // The engine is about to be replaced or dropped
-                        // either way; bank its match counters first. A
-                        // retired merge: the replacement starts with its
-                        // own token population, so counting the dead
-                        // engine's tokens as live would double the gauge
-                        // on every respawn.
-                        outcome.match_stats.merge_retired(&engine.match_stats());
-                        if outcome.respawns >= supervisor.max_respawns {
-                            outcome.errors.push(format!(
-                                "shard {shard}: respawn budget ({}) exhausted after: {message}",
-                                supervisor.max_respawns
-                            ));
-                            analyst = Analyst::Failed;
-                        } else {
-                            match Secpert::new(&supervisor.policy) {
-                                Ok(fresh) => {
-                                    outcome.respawns += 1;
-                                    analyst = Analyst::Running(Box::new(fresh));
-                                }
-                                Err(e) => {
-                                    outcome
-                                        .errors
-                                        .push(format!("shard {shard}: respawn failed: {e}"));
-                                    analyst = Analyst::Failed;
-                                }
-                            }
-                        }
-                    }
+            continue;
+        }
+        // batch[i] carries an injected fault: per-event path, exactly
+        // as the original loop ran it.
+        if let Some(stall) = faults.and_then(|f| f.stall(shard, nth_of(i))) {
+            std::thread::sleep(stall);
+        }
+        let event_nth = nth_of(i);
+        let event = &batch[i];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if faults.is_some_and(|f| f.should_panic(shard, event_nth)) {
+                panic!("injected fault: shard {shard} event {event_nth}");
+            }
+            engine.process_event(event)
+        }));
+        match result {
+            Ok(Ok(warnings)) => {
+                outcome.events += 1;
+                outcome.warnings.extend(warnings);
+            }
+            Ok(Err(e)) => {
+                outcome.errors.push(format!("shard {shard}: engine error: {e}"));
+                outcome.discarded += 1;
+                if supervisor.keep_lost_events {
+                    outcome.lost_events.push(event.clone());
                 }
+                outcome.match_stats.merge_retired(&engine.match_stats());
+                *analyst = Analyst::Failed;
+            }
+            Err(panic) => {
+                quarantine(analyst, outcome, supervisor, event, event_nth, panic);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// How many events of a partially-failed engine call completed cleanly.
+/// `Secpert` counts an event as soon as it starts, so the in-flight
+/// event is included in the delta and subtracted back out.
+fn completed_before_failure(engine: &Secpert, events_before: u64) -> usize {
+    ((engine.events_processed() - events_before) as usize).saturating_sub(1)
+}
+
+/// Warnings the engine's sink gained for the *completed* events of a
+/// partially-failed batch. The failing event's partial warnings stay
+/// unreported — matching the per-event path, where a failed
+/// `process_event` returns nothing — which is why the filter keys on
+/// each warning's provenance event index.
+fn completed_warnings(engine: &Secpert, sink_before: usize, last_ok_index: u64) -> Vec<Warning> {
+    engine
+        .warnings_since(sink_before)
+        .into_iter()
+        .filter(|w| w.provenance.as_ref().is_some_and(|p| p.event_index <= last_ok_index))
+        .collect()
+}
+
+/// Quarantines one event after a panic and respawns a fresh engine if
+/// the budget allows; otherwise the shard degrades to drain-and-discard.
+fn quarantine(
+    analyst: &mut Analyst,
+    outcome: &mut ShardOutcome,
+    supervisor: &Supervisor,
+    event: &SecpertEvent,
+    event_nth: u64,
+    panic: Box<dyn std::any::Any + Send>,
+) {
+    let shard = supervisor.shard;
+    let message = describe_panic(&*panic);
+    outcome.quarantined += 1;
+    outcome.quarantine_log.push(format!("shard {shard} event {event_nth}: {message}"));
+    if supervisor.keep_lost_events {
+        outcome.lost_events.push(event.clone());
+    }
+    // The engine is about to be replaced or dropped either way; bank
+    // its match counters first. A retired merge: the replacement starts
+    // with its own token population, so counting the dead engine's
+    // tokens as live would double the gauge on every respawn.
+    if let Analyst::Running(engine) = &*analyst {
+        outcome.match_stats.merge_retired(&engine.match_stats());
+    }
+    if outcome.respawns >= supervisor.max_respawns {
+        outcome.errors.push(format!(
+            "shard {shard}: respawn budget ({}) exhausted after: {message}",
+            supervisor.max_respawns
+        ));
+        *analyst = Analyst::Failed;
+    } else {
+        match Secpert::new(&supervisor.policy) {
+            Ok(fresh) => {
+                outcome.respawns += 1;
+                *analyst = Analyst::Running(Box::new(fresh));
+            }
+            Err(e) => {
+                outcome.errors.push(format!("shard {shard}: respawn failed: {e}"));
+                *analyst = Analyst::Failed;
             }
         }
     }

@@ -179,3 +179,146 @@ fn fault_free_pool_matches_the_baseline_exactly() {
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     assert_eq!(warning_multiset(&report.warnings), warning_multiset(&baseline_warnings));
 }
+
+/// A fault *inside* a batch changes nothing the counters can see: for
+/// the same ten seeds, a `batch_size=64` pool (with the first event of
+/// every shard stalled so the queue fills and later drains are real
+/// multi-event batches — the guaranteed panic then fires mid-batch)
+/// and a `batch_size=1` pool produce identical counters, identical
+/// survivor warning multisets, and identical lost-event multisets,
+/// and both satisfy `submitted == analysed + dropped + quarantined +
+/// discarded` on every shard.
+#[test]
+fn chaos_inside_a_batch_is_counted_exactly_like_per_event() {
+    let scenarios = workload();
+    let streams: Vec<Vec<SecpertEvent>> = scenarios.iter().map(|s| record(s).1).collect();
+
+    let run = |seed: u64, batch_size: usize| {
+        let mut plan = FaultPlan::from_seed(seed);
+        for shard in 0..4 {
+            // The stall parks each shard on its first event while the
+            // producers fill its queue; the panic two-to-four events
+            // later then lands inside a drained multi-event batch.
+            plan = plan.stall_on(shard, 1, 20).panic_on(shard, 2 + seed % 3);
+        }
+        let config = PoolConfig {
+            shards: 4,
+            batch_size,
+            max_respawns: (seed % 3) as u32,
+            faults: Some(Arc::new(plan)),
+            keep_lost_events: true,
+            ..PoolConfig::default()
+        };
+        let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy loads");
+        for (sid, stream) in streams.iter().enumerate() {
+            for event in stream {
+                pool.submit(sid as u64, event.clone());
+            }
+        }
+        pool.finish()
+    };
+
+    for seed in SEEDS {
+        let batched = run(seed, 64);
+        let serial = run(seed, 1);
+        for report in [&batched, &serial] {
+            for (i, shard) in report.shards.iter().enumerate() {
+                assert_eq!(
+                    shard.submitted,
+                    shard.events + shard.dropped + shard.quarantined + shard.discarded,
+                    "seed {seed} shard {i}: conservation violated"
+                );
+            }
+            assert!(report.quarantined > 0, "seed {seed}: the guaranteed panics must fire");
+        }
+        assert_eq!(batched.submitted, serial.submitted, "seed {seed}");
+        assert_eq!(batched.events, serial.events, "seed {seed}: analysed diverged");
+        assert_eq!(batched.dropped, serial.dropped, "seed {seed}: dropped diverged");
+        assert_eq!(batched.quarantined, serial.quarantined, "seed {seed}: quarantined diverged");
+        assert_eq!(batched.discarded, serial.discarded, "seed {seed}: discarded diverged");
+        assert_eq!(
+            warning_multiset(&batched.warnings),
+            warning_multiset(&serial.warnings),
+            "seed {seed}: survivor warnings diverged"
+        );
+        let multiset = |events: &[SecpertEvent]| {
+            let mut rendered: Vec<String> = events.iter().map(|e| format!("{e:?}")).collect();
+            rendered.sort();
+            rendered
+        };
+        assert_eq!(
+            multiset(&batched.lost_events),
+            multiset(&serial.lost_events),
+            "seed {seed}: lost events diverged"
+        );
+    }
+}
+
+/// A torn tail on the *first* segment of a rotated journal cuts a
+/// would-be batch at the segment boundary: recovery salvages exactly
+/// the frames before the tear plus every later segment, and batched
+/// replay of the salvage is byte-identical to per-event replay.
+#[test]
+fn recover_torn_tail_splits_a_batch_at_a_segment_boundary() {
+    use hth_fleet::{
+        recover_segments, segment_path, segment_paths, RecoveryReport, SegmentedJournalWriter,
+    };
+
+    let stream = workload()
+        .iter()
+        .map(|s| record(s).1)
+        .max_by_key(Vec::len)
+        .expect("the workload is non-empty");
+    assert!(stream.len() > 8, "the longest stream must span several frames");
+
+    let dir = std::env::temp_dir().join("hth-chaos-torn-segment");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let base = dir.join("torn.hthj");
+    for path in segment_paths(&base) {
+        std::fs::remove_file(path).expect("stale segment");
+    }
+    // Small segments force rotation mid-stream, so a 64-event batch
+    // would span segment boundaries if batches were not cut per segment.
+    let mut writer = SegmentedJournalWriter::create(&base, 256).expect("create");
+    for event in &stream {
+        writer.append(event).expect("append");
+    }
+    assert!(writer.segments() > 1, "the stream must rotate");
+    writer.finish().expect("finish");
+
+    // Tear the first segment mid-frame: its last event becomes a torn
+    // tail, right where the batched replay crosses into segment 1.
+    let first = segment_path(&base, 0);
+    let bytes = std::fs::read(&first).expect("segment 0");
+    std::fs::write(&first, &bytes[..bytes.len() - 3]).expect("torn write");
+
+    let (salvaged, reports) = recover_segments(&base).expect("recover");
+    assert_eq!(reports[0].frames_dropped, 1, "the torn frame is the only loss");
+    assert!(reports[1..].iter().all(RecoveryReport::is_clean), "later segments are untouched");
+    assert_eq!(
+        salvaged.len() as u64 + 1,
+        stream.len() as u64,
+        "salvage must lose exactly the torn frame"
+    );
+
+    // The salvage equals the stream minus the torn frame; batched and
+    // per-event replay of it agree warning-for-warning.
+    let torn_index = reports[0].frames_ok as usize;
+    let mut expected = stream.clone();
+    expected.remove(torn_index);
+    assert_eq!(salvaged, expected, "salvage is the stream minus the torn frame");
+
+    let mut per_event = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let mut want = Vec::new();
+    for event in &salvaged {
+        want.extend(per_event.process_event(event).expect("replay"));
+    }
+    let mut batched = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let mut got = Vec::new();
+    for run in salvaged.chunks(64) {
+        got.extend(batched.process_batch(run).expect("replay"));
+    }
+    assert_eq!(warning_multiset(&got), warning_multiset(&want));
+    assert_eq!(got.len(), want.len());
+    assert_eq!(per_event.match_stats(), batched.match_stats());
+}

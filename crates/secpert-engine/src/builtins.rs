@@ -148,7 +148,7 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value> {
         "str-cat" | "sym-cat" => {
             let mut s = String::new();
             for v in args {
-                s.push_str(&v.to_display_string());
+                v.push_display(&mut s);
             }
             Ok(if name == "str-cat" { Value::str(s) } else { Value::sym(s) })
         }

@@ -15,7 +15,7 @@
 //! first, most recent activation first among equals. Refraction prevents
 //! an activation (rule + fact tuple) from firing twice.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::builtins;
@@ -23,7 +23,9 @@ use crate::error::{EngineError, Result};
 use crate::explain::{FactSupportRecord, FiringRecord};
 use crate::expr::{eval, Bindings, Host};
 use crate::fact::{Fact, FactBuilder, FactId, WorkingMemory};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::pattern::CondElem;
+use crate::prefilter::AlphaPrefilter;
 use crate::rete::{MatchStats, ReteNetwork, UpdateOutcome};
 use crate::rule::Rule;
 use crate::template::Template;
@@ -103,9 +105,9 @@ struct Activation {
 /// Read-only evaluation host used while matching patterns. Mutating
 /// actions are rejected: patterns must be pure.
 struct MatchHost<'a> {
-    globals: &'a HashMap<Arc<str>, Value>,
-    natives: &'a HashMap<Arc<str>, NativeFn>,
-    userfns: &'a HashMap<Arc<str>, Arc<UserFn>>,
+    globals: &'a FxHashMap<Arc<str>, Value>,
+    natives: &'a FxHashMap<Arc<str>, NativeFn>,
+    userfns: &'a FxHashMap<Arc<str>, Arc<UserFn>>,
 }
 
 impl Host for MatchHost<'_> {
@@ -166,13 +168,13 @@ impl Host for MatchHost<'_> {
 /// # }
 /// ```
 pub struct Engine {
-    templates: HashMap<Arc<str>, Arc<Template>>,
+    templates: FxHashMap<Arc<str>, Arc<Template>>,
     rules: Vec<Arc<Rule>>,
-    rule_names: HashMap<Arc<str>, usize>,
+    rule_names: FxHashMap<Arc<str>, usize>,
     wm: WorkingMemory,
-    globals: HashMap<Arc<str>, Value>,
-    natives: HashMap<Arc<str>, NativeFn>,
-    userfns: HashMap<Arc<str>, Arc<UserFn>>,
+    globals: FxHashMap<Arc<str>, Value>,
+    natives: FxHashMap<Arc<str>, NativeFn>,
+    userfns: FxHashMap<Arc<str>, Arc<UserFn>>,
     strategy: Strategy,
     watch: bool,
     trace: Vec<String>,
@@ -182,8 +184,8 @@ pub struct Engine {
     /// first entry within the top salience — no linear scans.
     agenda: BTreeMap<(i32, u64), Activation>,
     /// Activation identity -> its agenda key, for O(1) targeted removal.
-    agenda_keys: HashMap<ActKey, (i32, u64)>,
-    refraction: HashSet<ActKey>,
+    agenda_keys: FxHashMap<ActKey, (i32, u64)>,
+    refraction: FxHashSet<ActKey>,
     transcript: String,
     pending_output: String,
     firings: Vec<FiringRecord>,
@@ -198,7 +200,10 @@ pub struct Engine {
     /// Firing seq -> support captured at fire time. Lives and dies with
     /// the firing records; kept out of [`FiringRecord`] so the naive
     /// and Rete matchers stay byte-comparable.
-    support_log: HashMap<usize, Vec<FactSupportRecord>>,
+    support_log: FxHashMap<usize, Vec<FactSupportRecord>>,
+    /// Bumped on every successful [`Engine::add_rule`], so callers
+    /// caching an [`AlphaPrefilter`] snapshot know when to rebuild.
+    rules_revision: u64,
 }
 
 impl Default for Engine {
@@ -218,20 +223,20 @@ impl Engine {
     /// matcher is fixed for the engine's lifetime.
     pub fn with_matcher(matcher: Matcher) -> Engine {
         let mut engine = Engine {
-            templates: HashMap::new(),
+            templates: FxHashMap::default(),
             rules: Vec::new(),
-            rule_names: HashMap::new(),
+            rule_names: FxHashMap::default(),
             wm: WorkingMemory::new(),
-            globals: HashMap::new(),
-            natives: HashMap::new(),
-            userfns: HashMap::new(),
+            globals: FxHashMap::default(),
+            natives: FxHashMap::default(),
+            userfns: FxHashMap::default(),
             strategy: Strategy::Depth,
             watch: false,
             trace: Vec::new(),
             deffacts: Vec::new(),
             agenda: BTreeMap::new(),
-            agenda_keys: HashMap::new(),
-            refraction: HashSet::new(),
+            agenda_keys: FxHashMap::default(),
+            refraction: FxHashSet::default(),
             transcript: String::new(),
             pending_output: String::new(),
             firings: Vec::new(),
@@ -240,8 +245,14 @@ impl Engine {
             matcher,
             rete: ReteNetwork::new(),
             capture_support: false,
-            support_log: HashMap::new(),
+            support_log: FxHashMap::default(),
+            rules_revision: 0,
         };
+        // The engine's match paths only ever probe the slot-value index
+        // on slots named by compiled rule nodes (registered per rule in
+        // `add_rule`); restricting the index to those slots keeps
+        // assert/retract from maintaining buckets nothing reads.
+        engine.wm.restrict_index();
         engine
             .add_template(Template::new("initial-fact", []))
             .expect("initial-fact is the first template");
@@ -257,6 +268,19 @@ impl Engine {
     /// when the naive matcher is active.
     pub fn match_stats(&self) -> MatchStats {
         self.rete.stats
+    }
+
+    /// Monotonic counter bumped on every rule addition. Callers caching
+    /// an [`AlphaPrefilter`] compare revisions to know when to rebuild.
+    pub fn rules_revision(&self) -> u64 {
+        self.rules_revision
+    }
+
+    /// Builds an [`AlphaPrefilter`] snapshot of the current rule base's
+    /// constant discriminators (see that type for the soundness
+    /// contract). Stale once [`Engine::rules_revision`] moves.
+    pub fn alpha_prefilter(&self) -> AlphaPrefilter {
+        AlphaPrefilter::build(&self.rules, &self.templates)
     }
 
     // ----- construct registration -------------------------------------
@@ -318,6 +342,22 @@ impl Engine {
         let idx = self.rules.len();
         self.rules.push(Arc::new(rule));
         self.rule_names.insert(name, idx);
+        self.rules_revision += 1;
+        // Register the slots this rule's compiled nodes will probe on the
+        // working-memory index: the beta join key and the first constant
+        // of each condition element (the two lookups `candidates` makes).
+        {
+            let nodes = crate::rete::compile::compile(&self.rules[idx], &self.templates);
+            for (ce, node) in self.rules[idx].lhs().iter().zip(&nodes) {
+                let (CondElem::Pattern(p) | CondElem::Not(p)) = ce else { continue };
+                if let Some((slot, _)) = &node.join {
+                    self.wm.index_slot(&p.template, *slot);
+                }
+                if let Some((slot, _)) = node.consts.first() {
+                    self.wm.index_slot(&p.template, *slot);
+                }
+            }
+        }
         match self.matcher {
             Matcher::Naive => self.recompute_rule(idx)?,
             Matcher::Rete => {
@@ -705,7 +745,8 @@ impl Engine {
         let _span = hth_trace::span("engine.run");
         let mut fired = 0;
         while limit.is_none_or(|l| fired < l) {
-            let Some(best) = self.pick_activation() else {
+            let best = self.pick_activation();
+            let Some(best) = best else {
                 break;
             };
             self.fire(best)?;
@@ -742,12 +783,8 @@ impl Engine {
                 ids.join(",")
             ));
         }
-        let fact_snapshots: Vec<String> = act
-            .facts
-            .iter()
-            .flatten()
-            .filter_map(|id| self.wm.get(*id).map(|f| f.to_string()))
-            .collect();
+        let fact_snapshots: Vec<Arc<Fact>> =
+            act.facts.iter().flatten().filter_map(|id| self.wm.get(*id).cloned()).collect();
         // Support is a picture of the match network *at fire time*: the
         // RHS below may retract these very facts, so snapshot first.
         if self.capture_support && self.matcher == Matcher::Rete {
@@ -761,8 +798,8 @@ impl Engine {
                         .rete
                         .rules_using(*id)
                         .into_iter()
-                        .map(|prod| self.rules[prod].name().to_string())
-                        .filter(|name| name.as_str() != rule.name())
+                        .map(|prod| self.rules[prod].name_arc().clone())
+                        .filter(|name| name.as_ref() != rule.name())
                         .collect(),
                 })
                 .collect();
@@ -778,7 +815,7 @@ impl Engine {
         self.transcript.push_str(&output);
         self.firings.push(FiringRecord {
             seq: self.fired_total,
-            rule: rule.name().to_string(),
+            rule: rule.name_arc().clone(),
             fact_ids: act.facts,
             facts: fact_snapshots,
             output,
@@ -1251,9 +1288,9 @@ mod tests {
         e.assert_fact(event(&e, "open", 7)).unwrap();
         e.run(None).unwrap();
         let rec = &e.firings()[0];
-        assert_eq!(rec.rule, "r");
+        assert_eq!(rec.rule.as_ref(), "r");
         assert_eq!(rec.output, "saw it");
-        assert!(rec.facts[0].contains("(kind open)"));
+        assert!(rec.facts[0].to_string().contains("(kind open)"));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! is recorded here with the matched facts and the output it produced.
 
 use std::fmt;
+use std::sync::Arc;
 
-use crate::fact::FactId;
+use crate::fact::{Fact, FactId};
 
 /// One rule firing: which rule, on which facts, with what output.
 #[derive(Clone, Debug, PartialEq)]
@@ -15,13 +16,15 @@ pub struct FiringRecord {
     /// Sequence number of the firing within the current run (1-based).
     pub seq: usize,
     /// Name of the rule that fired.
-    pub rule: String,
+    pub rule: Arc<str>,
     /// Ids of the facts matched by the positive patterns, in LHS order.
     /// `None` marks non-pattern CEs (`not`, `test`).
     pub fact_ids: Vec<Option<FactId>>,
-    /// Rendered snapshots of the matched facts (taken before the RHS ran,
-    /// since the RHS may retract them).
-    pub facts: Vec<String>,
+    /// Snapshots of the matched facts (taken before the RHS ran, since
+    /// the RHS may retract them). Working-memory facts are immutable —
+    /// `modify` is retract-plus-assert — so holding the `Arc` *is* the
+    /// snapshot; render with `to_string` when text is needed.
+    pub facts: Vec<Arc<Fact>>,
     /// Text the rule printed while firing.
     pub output: String,
 }
@@ -36,7 +39,7 @@ pub struct FactSupportRecord {
     /// Raw working-memory id of the supporting fact.
     pub fact: u64,
     /// Other rules with a live token on this fact, in production order.
-    pub co_rules: Vec<String>,
+    pub co_rules: Vec<Arc<str>>,
 }
 
 impl fmt::Display for FiringRecord {
@@ -65,11 +68,15 @@ mod tests {
 
     #[test]
     fn display_matches_clips_trace_shape() {
+        use crate::fact::FactBuilder;
+        use crate::template::Template;
+        let t = Arc::new(Template::new("t", []));
+        let fact = || Arc::new(FactBuilder::new(t.clone()).build().unwrap());
         let rec = FiringRecord {
             seq: 1,
             rule: "check_execve".into(),
             fact_ids: vec![Some(fake(43)), Some(fake(42)), None],
-            facts: vec!["(a)".into(), "(b)".into()],
+            facts: vec![fact(), fact()],
             output: "Warning [LOW]\n".into(),
         };
         let s = rec.to_string();

@@ -6,7 +6,6 @@
 //! `printout`, `bind`) are rejected by the read-only host used during
 //! pattern matching.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
@@ -14,7 +13,53 @@ use crate::fact::FactId;
 use crate::value::Value;
 
 /// Variable bindings accumulated by pattern matching and `bind`.
-pub type Bindings = HashMap<Arc<str>, Value>;
+///
+/// A small ordered map over a `Vec`: a rule binds a dozen-odd variables
+/// at most, where a linear scan out-runs a hash map on lookup and —
+/// decisive for the match hot path, which snapshots bindings at every
+/// backtracking point — on `clone`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bindings(Vec<(Arc<str>, Value)>);
+
+impl Bindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Bindings {
+        Bindings(Vec::new())
+    }
+
+    /// Looks up the value bound to `name`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k.as_ref() == name).map(|(_, v)| v)
+    }
+
+    /// Removes every binding, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn insert(&mut self, name: Arc<str>, value: Value) {
+        match self.0.iter_mut().find(|(k, _)| **k == *name) {
+            Some((_, v)) => *v = value,
+            None => self.0.push((name, value)),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in binding order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Value)> {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+}
 
 /// An evaluable expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -193,7 +238,12 @@ pub fn eval(expr: &Expr, bindings: &mut Bindings, host: &mut dyn Host) -> Result
                     }
                 }
                 let v = eval(part, bindings, host)?;
-                host.print(&v.to_display_string())?;
+                match &v {
+                    // Strings and symbols print as-is; skip the
+                    // intermediate rendering allocation.
+                    Value::Str(s) | Value::Sym(s) => host.print(s)?,
+                    other => host.print(&other.to_display_string())?,
+                }
             }
             Ok(Value::truth())
         }
@@ -261,17 +311,30 @@ fn eval_call(
             Ok(last)
         }
         _ => {
-            let mut values = Vec::with_capacity(args.len());
-            for arg in args {
-                values.push(eval(arg, bindings, host)?);
+            // Almost every builtin takes at most four arguments;
+            // evaluate them into a stack buffer so the hot path never
+            // touches the allocator.
+            if args.len() <= 4 {
+                let mut buf: [Value; 4] = std::array::from_fn(|_| Value::falsity());
+                for (slot, arg) in buf.iter_mut().zip(args) {
+                    *slot = eval(arg, bindings, host)?;
+                }
+                host.call(name, &buf[..args.len()])
+            } else {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(eval(arg, bindings, host)?);
+                }
+                host.call(name, &values)
             }
-            host.call(name, &values)
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::builtins;
 

@@ -1,12 +1,12 @@
 //! Facts and working memory.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::template::Template;
 use crate::value::Value;
 
@@ -156,12 +156,12 @@ impl FactBuilder {
 /// Per-template slot-value index: one `value -> ids` map per slot, in
 /// template declaration order. Iteration over a bucket is ascending by
 /// fact id (assertion order), matching `ids_of`.
-type SlotIndex = Vec<HashMap<Value, BTreeSet<FactId>>>;
+type SlotIndex = Vec<FxHashMap<Value, BTreeSet<FactId>>>;
 
 /// Hash of a fact's identity (template name + slot values), used to make
 /// duplicate suppression O(1) instead of a scan of the template extent.
 fn content_key(fact: &Fact) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FxHasher::default();
     fact.template().name().hash(&mut h);
     fact.slots().hash(&mut h);
     h.finish()
@@ -175,10 +175,18 @@ fn content_key(fact: &Fact) -> u64 {
 /// Rete matcher's constant and join lookups).
 #[derive(Debug, Default)]
 pub struct WorkingMemory {
-    facts: HashMap<FactId, Arc<Fact>>,
-    by_template: HashMap<Arc<str>, Vec<FactId>>,
-    by_content: HashMap<u64, Vec<FactId>>,
-    by_slot_value: HashMap<Arc<str>, SlotIndex>,
+    facts: FxHashMap<FactId, Arc<Fact>>,
+    by_template: FxHashMap<Arc<str>, Vec<FactId>>,
+    by_content: FxHashMap<u64, Vec<FactId>>,
+    by_slot_value: FxHashMap<Arc<str>, SlotIndex>,
+    /// Content key of every live fact, so retract reuses the hash the
+    /// assert computed instead of re-hashing the whole fact.
+    content_keys: FxHashMap<FactId, u64>,
+    /// `None` indexes every slot (standalone use); `Some(plan)` indexes
+    /// only the registered `(template, slot)` pairs — the engine
+    /// registers exactly the slots its compiled rule nodes probe, so
+    /// assert/retract skip maintaining buckets nothing ever reads.
+    index_plan: Option<HashMap<Arc<str>, Vec<usize>>>,
     next_id: u64,
 }
 
@@ -186,6 +194,44 @@ impl WorkingMemory {
     /// Creates an empty working memory.
     pub fn new() -> WorkingMemory {
         WorkingMemory::default()
+    }
+
+    /// Switches the slot-value index from index-everything to an explicit
+    /// registry: from now on only slots registered via
+    /// [`WorkingMemory::index_slot`] are maintained, and [`WorkingMemory::ids_with`]
+    /// answers only for those. Existing buckets are dropped.
+    pub fn restrict_index(&mut self) {
+        if self.index_plan.is_none() {
+            self.index_plan = Some(HashMap::new());
+            self.by_slot_value.clear();
+        }
+    }
+
+    /// Registers `(template, slot)` for indexing under a restricted plan
+    /// and backfills the bucket from live facts. A no-op when the plan
+    /// is index-everything or the pair is already registered.
+    pub fn index_slot(&mut self, template: &str, slot: usize) {
+        let Some(plan) = &mut self.index_plan else { return };
+        match plan.get_mut(template) {
+            Some(slots) if slots.contains(&slot) => return,
+            Some(slots) => slots.push(slot),
+            None => {
+                plan.insert(Arc::from(template), vec![slot]);
+            }
+        }
+        // Backfill from the current extent so late rule additions see
+        // facts asserted before them.
+        let ids = self.by_template.get(template).cloned().unwrap_or_default();
+        for id in ids {
+            let fact = self.facts[&id].clone();
+            let index = self
+                .by_slot_value
+                .entry(Arc::from(template))
+                .or_insert_with(|| vec![FxHashMap::default(); fact.template().slots().len()]);
+            if let Some(value) = fact.slots().get(slot) {
+                index[slot].entry(value.clone()).or_default().insert(id);
+            }
+        }
     }
 
     /// Asserts `fact`, returning its new id, or `None` when an identical
@@ -197,17 +243,33 @@ impl WorkingMemory {
                 return None;
             }
         }
-        let name: Arc<str> = Arc::from(fact.template().name());
+        let name: Arc<str> = fact.template().name_arc().clone();
         self.next_id += 1;
         let id = FactId(self.next_id);
-        let index = self
-            .by_slot_value
-            .entry(name.clone())
-            .or_insert_with(|| vec![HashMap::new(); fact.template().slots().len()]);
-        for (i, value) in fact.slots().iter().enumerate() {
-            index[i].entry(value.clone()).or_default().insert(id);
+        match self.index_plan.as_ref().and_then(|plan| plan.get(&name)) {
+            Some(slots) => {
+                let planned: Vec<usize> = slots.clone();
+                let index = self
+                    .by_slot_value
+                    .entry(name.clone())
+                    .or_insert_with(|| vec![FxHashMap::default(); fact.template().slots().len()]);
+                for i in planned {
+                    index[i].entry(fact.slots()[i].clone()).or_default().insert(id);
+                }
+            }
+            None if self.index_plan.is_some() => {} // restricted, template unregistered
+            None => {
+                let index = self
+                    .by_slot_value
+                    .entry(name.clone())
+                    .or_insert_with(|| vec![FxHashMap::default(); fact.template().slots().len()]);
+                for (i, value) in fact.slots().iter().enumerate() {
+                    index[i].entry(value.clone()).or_default().insert(id);
+                }
+            }
         }
         self.by_content.entry(key).or_default().push(id);
+        self.content_keys.insert(id, key);
         self.facts.insert(id, Arc::new(fact));
         self.by_template.entry(name).or_default().push(id);
         Some(id)
@@ -223,7 +285,7 @@ impl WorkingMemory {
         if let Some(ids) = self.by_template.get_mut(fact.template().name()) {
             ids.retain(|other| *other != id);
         }
-        let key = content_key(&fact);
+        let key = self.content_keys.remove(&id).unwrap_or_else(|| content_key(&fact));
         if let Some(ids) = self.by_content.get_mut(&key) {
             ids.retain(|other| *other != id);
             if ids.is_empty() {
@@ -231,11 +293,24 @@ impl WorkingMemory {
             }
         }
         if let Some(index) = self.by_slot_value.get_mut(fact.template().name()) {
-            for (i, value) in fact.slots().iter().enumerate() {
+            let mut unindex = |i: usize, value: &Value| {
                 if let Some(bucket) = index[i].get_mut(value) {
                     bucket.remove(&id);
                     if bucket.is_empty() {
                         index[i].remove(value);
+                    }
+                }
+            };
+            match self.index_plan.as_ref().and_then(|plan| plan.get(fact.template().name())) {
+                Some(slots) => {
+                    for &i in slots {
+                        unindex(i, &fact.slots()[i]);
+                    }
+                }
+                None if self.index_plan.is_some() => {}
+                None => {
+                    for (i, value) in fact.slots().iter().enumerate() {
+                        unindex(i, value);
                     }
                 }
             }
@@ -255,7 +330,9 @@ impl WorkingMemory {
 
     /// Ids of live facts of `template` whose slot at index `slot` equals
     /// `value` exactly, ascending by id. Returns `None` when no fact
-    /// matches (including unknown templates).
+    /// matches (including unknown templates). Under a restricted plan
+    /// ([`WorkingMemory::restrict_index`]) only registered slots are
+    /// queryable; unregistered ones answer `None` regardless of facts.
     pub fn ids_with(
         &self,
         template: &str,
@@ -286,6 +363,7 @@ impl WorkingMemory {
         self.by_template.clear();
         self.by_content.clear();
         self.by_slot_value.clear();
+        self.content_keys.clear();
     }
 }
 

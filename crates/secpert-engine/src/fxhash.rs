@@ -1,0 +1,109 @@
+//! A minimal Fx-style hasher for the engine's internal maps.
+//!
+//! The match network and working memory hash small fixed keys (fact ids,
+//! token ids, short tuples) millions of times per second; SipHash's
+//! DoS resistance buys nothing there because every key is
+//! engine-generated, never attacker-chosen. This is the well-known
+//! multiply-rotate-xor mix used by rustc ("FxHash"), reimplemented here
+//! because the container is offline and the dependency would be heavier
+//! than the fifteen lines it replaces.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc FxHash multiplier (a 64-bit golden-ratio-derived odd
+/// constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate-xor streaming hasher; not DoS-resistant by design.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_le_bytes(bytes[..8].try_into().expect("8-byte chunk")));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            self.add(u64::from_le_bytes(tail) ^ bytes.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_and_is_deterministic() {
+        let hash_one = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash_one(42), hash_one(42));
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            seen.insert(hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on small sequential keys");
+    }
+
+    #[test]
+    fn byte_stream_tail_lengths_differ() {
+        let hash_bytes = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefg"));
+    }
+}

@@ -56,8 +56,10 @@ mod error;
 mod explain;
 mod expr;
 mod fact;
+pub mod fxhash;
 pub mod parser;
 mod pattern;
+mod prefilter;
 mod rete;
 mod rule;
 mod template;
@@ -69,6 +71,7 @@ pub use explain::{FactSupportRecord, FiringRecord};
 pub use expr::{eval, Bindings, Expr, Host};
 pub use fact::{Fact, FactBuilder, FactId, WorkingMemory};
 pub use pattern::{Atom, CondElem, FieldConstraint, PatternCE, SlotPattern, Term};
+pub use prefilter::AlphaPrefilter;
 pub use rete::MatchStats;
 pub use rule::{Rule, RuleBuilder};
 pub use template::{SlotDef, SlotKind, Template};

@@ -108,15 +108,19 @@ impl FieldConstraint {
     /// Matches one field value, possibly extending `bindings`.
     ///
     /// Bindings made by a failing alternative are rolled back before the
-    /// next alternative is tried.
+    /// next alternative is tried. The overall-failure state is
+    /// unspecified (callers snapshot), so a sole/last alternative skips
+    /// the snapshot entirely — the hot path (one alternative, which is
+    /// almost every policy constraint) never clones the bindings.
     fn match_single(
         &self,
         value: &Value,
         bindings: &mut Bindings,
         host: &mut dyn Host,
     ) -> Result<bool> {
-        for alt in &self.alts {
-            let snapshot = bindings.clone();
+        let mut alts = self.alts.iter().peekable();
+        while let Some(alt) = alts.next() {
+            let snapshot = if alts.peek().is_some() { Some(bindings.clone()) } else { None };
             let mut ok = true;
             for atom in alt {
                 if !match_atom(atom, value, bindings, host)? {
@@ -127,7 +131,9 @@ impl FieldConstraint {
             if ok {
                 return Ok(true);
             }
-            *bindings = snapshot;
+            if let Some(snapshot) = snapshot {
+                *bindings = snapshot;
+            }
         }
         Ok(false)
     }
@@ -234,26 +240,66 @@ impl PatternCE {
         }
         for (slot, pattern) in &self.slots {
             let value = fact.get(slot)?;
-            let ok = match pattern {
-                SlotPattern::Single(constraint) => match value {
-                    // A multifield value in a "single" pattern position can
-                    // only come from a multislot constrained with a single
-                    // constraint; match it against the whole sequence.
-                    Value::Multi(items) => {
-                        match_sequence(std::slice::from_ref(constraint), items, bindings, host)?
-                    }
-                    v => constraint.match_single(v, bindings, host)?,
-                },
-                SlotPattern::MultiSeq(constraints) => {
-                    let items = value.as_multi()?;
-                    match_sequence(constraints, items, bindings, host)?
-                }
-            };
-            if !ok {
+            if !match_slot_value(pattern, value, bindings, host)? {
                 return Ok(false);
             }
         }
         Ok(true)
+    }
+}
+
+/// Matches pre-resolved slot constraints (`compile::Node::residual`)
+/// against `fact`. The caller has already dispatched on the template and
+/// verified the constant slots, so this is [`PatternCE::matches`] minus
+/// the template check, the slot-name lookups and the constant re-checks.
+pub(crate) fn match_resolved_slots(
+    residual: &[(usize, SlotPattern)],
+    fact: &Fact,
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<bool> {
+    for (idx, pattern) in residual {
+        if !match_slot_value(pattern, &fact.slots()[*idx], bindings, host)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Matches one slot's pattern against its value.
+fn match_slot_value(
+    pattern: &SlotPattern,
+    value: &Value,
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<bool> {
+    match pattern {
+        SlotPattern::Single(constraint) => match value {
+            // A multifield value in a "single" pattern position can
+            // only come from a multislot constrained with a single
+            // constraint; match it against the whole sequence.
+            Value::Multi(items) if constraint.is_multi() => {
+                // The constraint consumes the whole slot, so the
+                // slot's own `Arc`-backed value is the sequence —
+                // no rebuild.
+                match_multi_with_seq(constraint, value, items, bindings, host)
+            }
+            Value::Multi(items) => {
+                match_sequence(std::slice::from_ref(constraint), items, bindings, host)
+            }
+            v => constraint.match_single(v, bindings, host),
+        },
+        SlotPattern::MultiSeq(constraints) => {
+            let items = value.as_multi()?;
+            match constraints.as_slice() {
+                // Sole trailing multifield constraint (`($?x)`, the
+                // common policy shape): reuse the slot value.
+                [single] if single.is_multi() => {
+                    match_multi_with_seq(single, value, items, bindings, host)
+                }
+                _ => match_sequence(constraints, items, bindings, host),
+            }
+        }
     }
 }
 
@@ -268,6 +314,12 @@ fn match_sequence(
         return Ok(items.is_empty());
     };
     if first.is_multi() {
+        // A trailing multifield constraint (`... $?x)` — the common
+        // shape) can only succeed by consuming everything left, so skip
+        // the backtracking walk entirely.
+        if rest.is_empty() {
+            return match_multi_constraint(first, items, bindings, host);
+        }
         // Try consuming 0..=items.len() fields, longest-first to mirror
         // CLIPS's preference is unspecified; shortest-first is fine and
         // deterministic.
@@ -285,13 +337,10 @@ fn match_sequence(
         let Some((head, tail)) = items.split_first() else {
             return Ok(false);
         };
-        let snapshot = bindings.clone();
-        if first.match_single(head, bindings, host)? && match_sequence(rest, tail, bindings, host)?
-        {
-            return Ok(true);
-        }
-        *bindings = snapshot;
-        Ok(false)
+        // No snapshot: every retry point (alternative loops, the
+        // multifield take loop above) restores from its own snapshot,
+        // and outright failure leaves bindings unspecified by contract.
+        Ok(first.match_single(head, bindings, host)? && match_sequence(rest, tail, bindings, host)?)
     }
 }
 
@@ -304,13 +353,27 @@ fn match_multi_constraint(
     host: &mut dyn Host,
 ) -> Result<bool> {
     let seq = Value::multi(consumed.iter().cloned());
-    for alt in &constraint.alts {
-        let snapshot = bindings.clone();
+    match_multi_with_seq(constraint, &seq, consumed, bindings, host)
+}
+
+/// [`match_multi_constraint`] body with the consumed sub-slice already
+/// packaged as a multifield `seq` — callers that consume a whole slot
+/// pass the slot's own value and skip the rebuild.
+fn match_multi_with_seq(
+    constraint: &FieldConstraint,
+    seq: &Value,
+    consumed: &[Value],
+    bindings: &mut Bindings,
+    host: &mut dyn Host,
+) -> Result<bool> {
+    let mut alts = constraint.alts.iter().peekable();
+    while let Some(alt) = alts.next() {
+        let snapshot = if alts.peek().is_some() { Some(bindings.clone()) } else { None };
         let mut ok = true;
         for atom in alt {
             let matched = match atom {
                 Atom::Term(Term::MultiVar(name)) => match bindings.get(name.as_ref()) {
-                    Some(bound) => bound == &seq,
+                    Some(bound) => bound == seq,
                     None => {
                         bindings.insert(name.clone(), seq.clone());
                         true
@@ -318,7 +381,7 @@ fn match_multi_constraint(
                 },
                 Atom::Term(Term::MultiWildcard) => true,
                 Atom::Pred(expr) => eval(expr, bindings, host)?.is_truthy(),
-                Atom::EqExpr(expr) => eval(expr, bindings, host)? == seq,
+                Atom::EqExpr(expr) => &eval(expr, bindings, host)? == seq,
                 // Single-field atoms inside a multifield constraint require
                 // exactly one consumed value.
                 other => consumed.len() == 1 && match_atom(other, &consumed[0], bindings, host)?,
@@ -331,7 +394,9 @@ fn match_multi_constraint(
         if ok {
             return Ok(true);
         }
-        *bindings = snapshot;
+        if let Some(snapshot) = snapshot {
+            *bindings = snapshot;
+        }
     }
     Ok(false)
 }

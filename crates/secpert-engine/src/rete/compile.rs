@@ -15,9 +15,10 @@
 //! matched by a `Single` constraint binds the *item*, not the stored
 //! multifield, so index keys would not line up.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use crate::fxhash::FxHashMap;
 use crate::pattern::{Atom, CondElem, PatternCE, SlotPattern, Term};
 use crate::rule::Rule;
 use crate::template::{SlotKind, Template};
@@ -30,6 +31,13 @@ pub(crate) struct Node {
     pub consts: Vec<(usize, Value)>,
     /// `(slot index, variable)` shared-variable join key, when one exists.
     pub join: Option<(usize, Arc<str>)>,
+    /// The pattern's slot constraints that the constant gate does not
+    /// already cover, with slot names resolved to indices — what a
+    /// match attempt still has to verify after `consts` passed. `None`
+    /// when a slot or the template could not be resolved at compile
+    /// time; callers then fall back to [`PatternCE::matches`], which
+    /// reports the error the residual walk would have hidden.
+    pub residual: Option<Vec<(usize, SlotPattern)>>,
 }
 
 /// Variables guaranteed to be bound after a pattern CE matches: the fact
@@ -65,33 +73,45 @@ fn bound_by_pattern(p: &PatternCE, bound: &mut HashSet<Arc<str>>) {
 fn compile_pattern(
     p: &PatternCE,
     bound: &HashSet<Arc<str>>,
-    templates: &HashMap<Arc<str>, Arc<Template>>,
+    templates: &FxHashMap<Arc<str>, Arc<Template>>,
 ) -> Node {
     let mut node = Node::default();
     let Some(template) = templates.get(p.template.as_ref()) else {
         return node;
     };
+    let mut residual = Vec::new();
+    let mut resolvable = true;
     for (slot, sp) in &p.slots {
-        let SlotPattern::Single(fc) = sp else { continue };
-        let Some(idx) = template.slot_index(slot) else { continue };
-        if template.slots()[idx].kind() != SlotKind::Single {
+        let Some(idx) = template.slot_index(slot) else {
+            resolvable = false;
             continue;
-        }
-        if let Some(v) = fc.as_single_literal() {
-            node.consts.push((idx, v.clone()));
-        } else if node.join.is_none() {
-            if let Some(var) = fc.as_single_var() {
-                if bound.contains(var) {
-                    node.join = Some((idx, var.clone()));
+        };
+        let single_slot = template.slots()[idx].kind() == SlotKind::Single;
+        if let SlotPattern::Single(fc) = sp {
+            if single_slot {
+                if let Some(v) = fc.as_single_literal() {
+                    node.consts.push((idx, v.clone()));
+                    // A literal equality the constant gate has already
+                    // verified; nothing left to check, nothing bound.
+                    continue;
+                }
+                if node.join.is_none() {
+                    if let Some(var) = fc.as_single_var() {
+                        if bound.contains(var) {
+                            node.join = Some((idx, var.clone()));
+                        }
+                    }
                 }
             }
         }
+        residual.push((idx, sp.clone()));
     }
+    node.residual = resolvable.then_some(residual);
     node
 }
 
 /// Compiles every condition element of `rule` into a [`Node`].
-pub(crate) fn compile(rule: &Rule, templates: &HashMap<Arc<str>, Arc<Template>>) -> Vec<Node> {
+pub(crate) fn compile(rule: &Rule, templates: &FxHashMap<Arc<str>, Arc<Template>>) -> Vec<Node> {
     let mut bound: HashSet<Arc<str>> = HashSet::new();
     let mut nodes = Vec::with_capacity(rule.lhs().len());
     for ce in rule.lhs() {
@@ -115,8 +135,8 @@ mod tests {
     use crate::rule::RuleBuilder;
     use crate::template::SlotDef;
 
-    fn templates() -> HashMap<Arc<str>, Arc<Template>> {
-        let mut m = HashMap::new();
+    fn templates() -> FxHashMap<Arc<str>, Arc<Template>> {
+        let mut m = FxHashMap::default();
         for name in ["open", "write"] {
             m.insert(
                 Arc::from(name),

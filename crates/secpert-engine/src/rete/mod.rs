@@ -14,8 +14,8 @@
 //! The old matcher stays available behind the `naive-match` feature as a
 //! differential oracle (`tests/match_diff.rs`).
 
-mod compile;
-mod network;
+pub(crate) mod compile;
+pub mod network;
 mod stats;
 
 pub(crate) use network::{ReteNetwork, UpdateOutcome};

@@ -35,14 +35,15 @@
 //!   number in full-tuple order, mirroring the naive full recompute
 //!   (O(complete tokens), not O(full join)).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use crate::engine::ActKey;
 use crate::error::Result;
 use crate::expr::{eval, Bindings, Host};
 use crate::fact::{Fact, FactId, WorkingMemory};
-use crate::pattern::{CondElem, PatternCE};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::pattern::{match_resolved_slots, CondElem, PatternCE};
 use crate::rule::Rule;
 use crate::template::Template;
 use crate::value::Value;
@@ -79,12 +80,12 @@ struct Token {
 struct Memory {
     /// Token identity by tuple; also the duplicate-path guard (a fact
     /// reaching the same tuple via two seed positions lands once).
-    by_tuple: HashMap<Tuple, TokenId>,
+    by_tuple: FxHashMap<Tuple, TokenId>,
     /// Tokens keyed by the consuming node's join-variable value.
-    index: HashMap<Value, HashSet<TokenId>>,
+    index: FxHashMap<Value, FxHashSet<TokenId>>,
     /// Tokens whose join variable was unexpectedly unbound; always
     /// consulted so a conservative compile can never lose matches.
-    unindexed: HashSet<TokenId>,
+    unindexed: FxHashSet<TokenId>,
 }
 
 struct Production {
@@ -93,6 +94,25 @@ struct Production {
     root: TokenId,
     /// `lhs.len() + 1` memories; the last holds complete matches.
     memories: Vec<Memory>,
+    /// Single positive pattern at position 0 followed only by `test`
+    /// CEs: matches of such a rule touch exactly one fact, so the
+    /// network skips the token tree entirely (see [`FastEntry`]).
+    fast: bool,
+}
+
+/// Fast-path match record: one production's live (partial or complete)
+/// match on one fact. Replaces the token chain for `fast` productions —
+/// a single-pattern rule's whole match state is the fact id plus how far
+/// down the test suffix it got.
+#[derive(Clone, Copy, Debug)]
+struct FastEntry {
+    prod: usize,
+    /// Tokens the chain would have held (1 for the pattern + 1 per
+    /// passed test), kept so [`MatchStats`] token counters stay
+    /// byte-identical with the token path.
+    virtual_tokens: u64,
+    /// Whether the whole test suffix passed (an agenda activation).
+    complete: bool,
 }
 
 /// A complete match handed to the agenda.
@@ -122,11 +142,27 @@ pub(crate) struct UpdateOutcome {
 #[derive(Default)]
 pub(crate) struct ReteNetwork {
     prods: Vec<Production>,
-    tokens: HashMap<TokenId, Token>,
+    tokens: FxHashMap<TokenId, Token>,
     /// Fact -> tokens that consumed it at a positive position.
-    fact_tokens: HashMap<FactId, Vec<TokenId>>,
+    fact_tokens: FxHashMap<FactId, Vec<TokenId>>,
+    /// Fact -> fast-path matches (one per `fast` production whose
+    /// pattern matched the fact).
+    fact_fast: FxHashMap<FactId, Vec<FastEntry>>,
+    /// Reusable bindings buffer for fast-path match attempts; most
+    /// attempts fail, so the allocation survives across them.
+    fast_scratch: Bindings,
+    /// Reusable site buffers for `on_assert` (the per-event clones of
+    /// the dispatch-table entries).
+    scratch_pos: Vec<(usize, usize)>,
+    scratch_neg: Vec<usize>,
     /// Fact -> tokens whose blocker set contains it.
-    fact_blocks: HashMap<FactId, HashSet<TokenId>>,
+    fact_blocks: FxHashMap<FactId, FxHashSet<TokenId>>,
+    /// Template -> positive pattern sites `(prod, pos)`, ascending, so
+    /// an assert dispatches straight to the productions that can care
+    /// instead of scanning every rule's left-hand side.
+    pos_sites: HashMap<Arc<str>, Vec<(usize, usize)>>,
+    /// Template -> productions with a `not` CE on it, ascending.
+    neg_sites: HashMap<Arc<str>, Vec<usize>>,
     next_token: u64,
     pub(crate) stats: MatchStats,
 }
@@ -166,24 +202,149 @@ impl ReteNetwork {
     pub(crate) fn add_production(
         &mut self,
         rule: Arc<Rule>,
-        templates: &HashMap<Arc<str>, Arc<Template>>,
+        templates: &FxHashMap<Arc<str>, Arc<Template>>,
         wm: &WorkingMemory,
         host: &mut dyn Host,
     ) -> Result<Vec<Emission>> {
         let prod = self.prods.len();
         let nodes = compile(&rule, templates);
+        for (pos, p) in rule.positive_positions() {
+            self.pos_sites.entry(p.template.clone()).or_default().push((prod, pos));
+        }
+        for (_, p) in rule.negative_positions() {
+            let sites = self.neg_sites.entry(p.template.clone()).or_default();
+            if sites.last() != Some(&prod) {
+                sites.push(prod);
+            }
+        }
         let levels = rule.lhs().len() + 1;
+        let fast = matches!(rule.lhs().first(), Some(CondElem::Pattern(_)))
+            && rule.lhs()[1..].iter().all(|ce| matches!(ce, CondElem::Test(_)));
         self.prods.push(Production {
             rule,
             nodes,
             root: TokenId(0),
             memories: (0..levels).map(|_| Memory::default()).collect(),
+            fast,
         });
+        if fast {
+            return self.fast_join_wm(prod, wm, host);
+        }
         let root = self.make_root(prod);
         self.prods[prod].root = root;
         let mut complete = Vec::new();
         self.extend_token(prod, root, wm, host, &mut complete)?;
         Ok(self.emissions_sorted(prod, complete))
+    }
+
+    /// Joins a freshly added fast-path production against the current
+    /// working memory: the level-0 leg of `extend_token` without the
+    /// token tree. Candidate narrowing and stats mirror `candidates`.
+    fn fast_join_wm(
+        &mut self,
+        pi: usize,
+        wm: &WorkingMemory,
+        host: &mut dyn Host,
+    ) -> Result<Vec<Emission>> {
+        let rule = self.prods[pi].rule.clone();
+        let CondElem::Pattern(p) = &rule.lhs()[0] else { unreachable!("fast production") };
+        let ids: Vec<FactId> = if let Some((slot, value)) = self.prods[pi].nodes[0].consts.first() {
+            let (slot, value) = (*slot, value.clone());
+            self.stats.index_lookups += 1;
+            match wm.ids_with(&p.template, slot, &value) {
+                Some(ids) => {
+                    self.stats.index_hits += 1;
+                    ids.iter().copied().collect()
+                }
+                None => Vec::new(),
+            }
+        } else {
+            wm.ids_of(&p.template).to_vec()
+        };
+        let mut complete = Vec::new();
+        for cid in ids {
+            let Some(fact) = wm.get(cid).cloned() else { continue };
+            if !self.const_check(pi, 0, &fact) {
+                continue;
+            }
+            if let Some(emission) = self.fast_match(pi, cid, &fact, host)? {
+                complete.push(emission);
+            }
+        }
+        complete.sort_by(|a, b| a.tuple.cmp(&b.tuple));
+        Ok(complete)
+    }
+
+    /// One fast-path match attempt: pattern, fact binding, then the test
+    /// suffix, all against fresh bindings (the root token's). Registers
+    /// the partial/complete match in `fact_fast` and returns the agenda
+    /// emission when every test passed. Stats counters move exactly as
+    /// the token path would have moved them.
+    fn fast_match(
+        &mut self,
+        pi: usize,
+        id: FactId,
+        fact: &Fact,
+        host: &mut dyn Host,
+    ) -> Result<Option<Emission>> {
+        let rule = self.prods[pi].rule.clone();
+        let CondElem::Pattern(p) = &rule.lhs()[0] else { unreachable!("fast production") };
+        self.stats.join_attempts += 1;
+        let mut bindings = std::mem::take(&mut self.fast_scratch);
+        bindings.clear();
+        // The dispatch tables guarantee the template matches and
+        // `const_check` has verified the constant slots; the residual
+        // walk covers the rest (unless compilation could not resolve
+        // the slots — then the full matcher reports the error).
+        let matched = match &self.prods[pi].nodes[0].residual {
+            Some(residual) => match_resolved_slots(residual, fact, &mut bindings, host)?,
+            None => p.matches(fact, &mut bindings, host)?,
+        };
+        if !matched {
+            self.fast_scratch = bindings;
+            return Ok(None);
+        }
+        if let Some(var) = &p.binding {
+            // `?f <-` rebinding to a different fact must fail.
+            match bindings.get(var.as_ref()) {
+                Some(existing) if *existing != Value::Fact(id) => {
+                    self.fast_scratch = bindings;
+                    return Ok(None);
+                }
+                _ => {
+                    bindings.insert(var.clone(), Value::Fact(id));
+                }
+            }
+        }
+        self.stats.join_matches += 1;
+        let mut virtual_tokens = 1u64;
+        let mut complete = true;
+        for ce in &rule.lhs()[1..] {
+            let CondElem::Test(expr) = ce else { unreachable!("fast production") };
+            // `bind` side effects inside a test persist downstream,
+            // exactly as in the token chain.
+            if eval(expr, &mut bindings, host)?.is_truthy() {
+                virtual_tokens += 1;
+            } else {
+                complete = false;
+                break;
+            }
+        }
+        self.stats.tokens_created += virtual_tokens;
+        self.stats.tokens_live += virtual_tokens;
+        self.fact_fast.entry(id).or_default().push(FastEntry {
+            prod: pi,
+            virtual_tokens,
+            complete,
+        });
+        if !complete {
+            self.fast_scratch = bindings;
+            return Ok(None);
+        }
+        let mut tuple = Vec::with_capacity(rule.lhs().len());
+        tuple.push(Some(id));
+        tuple.resize(rule.lhs().len(), None);
+        Ok(Some(Emission { rule: pi, tuple, bindings }))
     }
 
     /// Drops every token (working memory was cleared) and re-roots each
@@ -194,6 +355,7 @@ impl ReteNetwork {
         self.stats.tokens_live = 0;
         self.tokens.clear();
         self.fact_tokens.clear();
+        self.fact_fast.clear();
         self.fact_blocks.clear();
         for prod in &mut self.prods {
             for memory in &mut prod.memories {
@@ -201,6 +363,11 @@ impl ReteNetwork {
             }
         }
         for prod in 0..self.prods.len() {
+            if self.prods[prod].fast {
+                // Fast productions keep no root token; an empty working
+                // memory means they simply have no matches to rebuild.
+                continue;
+            }
             let root = self.make_root(prod);
             self.prods[prod].root = root;
             let mut scratch = Vec::new();
@@ -224,6 +391,7 @@ impl ReteNetwork {
             .flatten()
             .filter_map(|token| self.tokens.get(token).map(|t| t.prod))
             .collect();
+        prods.extend(self.fact_fast.get(&id).into_iter().flatten().map(|entry| entry.prod));
         prods.sort_unstable();
         prods.dedup();
         prods
@@ -238,35 +406,70 @@ impl ReteNetwork {
         host: &mut dyn Host,
     ) -> Result<UpdateOutcome> {
         let fact = wm.get(id).expect("asserted fact is live").clone();
-        let template = fact.template().name().to_string();
+        let template = fact.template().name();
         let mut outcome = UpdateOutcome::default();
         let mut resequence: Vec<usize> = Vec::new();
-        for pi in 0..self.prods.len() {
-            let rule = self.prods[pi].rule.clone();
-            let negated = rule.has_not_on(&template);
+        // Only productions with a pattern site on this template can
+        // react; walk the two (ascending) site lists merged so the
+        // per-production work happens in production order, exactly as
+        // the old scan over every rule did.
+        let mut pos_buf = std::mem::take(&mut self.scratch_pos);
+        let mut neg_buf = std::mem::take(&mut self.scratch_neg);
+        pos_buf.clear();
+        neg_buf.clear();
+        pos_buf.extend_from_slice(self.pos_sites.get(template).map_or(&[][..], Vec::as_slice));
+        neg_buf.extend_from_slice(self.neg_sites.get(template).map_or(&[][..], Vec::as_slice));
+        let mut pos_sites = pos_buf.as_slice();
+        let mut neg_prods = neg_buf.as_slice();
+        while !pos_sites.is_empty() || !neg_prods.is_empty() {
+            let pi = match (pos_sites.first(), neg_prods.first()) {
+                (Some((p, _)), Some(n)) => (*p).min(*n),
+                (Some((p, _)), None) => *p,
+                (None, Some(n)) => *n,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let negated = neg_prods.first() == Some(&pi);
             if negated {
+                neg_prods = &neg_prods[1..];
                 // Update blocker sets of existing tokens *before* any
                 // positive propagation: tokens created below compute
                 // their blockers from a working memory that already
                 // contains the fact, so doing supports first counts the
                 // fact exactly once either way.
+                let rule = self.prods[pi].rule.clone();
                 self.update_supports_on_assert(
                     pi,
                     &rule,
                     id,
                     &fact,
-                    &template,
+                    template,
                     host,
                     &mut outcome.removals,
                 )?;
             }
-            let positions: Vec<usize> = rule
-                .positive_positions()
-                .filter(|(_, p)| p.template.as_ref() == template)
-                .map(|(pos, _)| pos)
-                .collect();
             let mut emitted: Vec<(usize, TokenId)> = Vec::new();
-            for pos in positions {
+            if self.prods[pi].fast {
+                // Single positive pattern at position 0: one site, one
+                // possible emission, no token tree to grow.
+                while let Some((p, _)) = pos_sites.first().copied() {
+                    if p != pi {
+                        break;
+                    }
+                    pos_sites = &pos_sites[1..];
+                    if !self.const_check(pi, 0, &fact) {
+                        continue;
+                    }
+                    if let Some(emission) = self.fast_match(pi, id, &fact, host)? {
+                        outcome.pushes.push(emission);
+                    }
+                }
+                continue;
+            }
+            while let Some((p, pos)) = pos_sites.first().copied() {
+                if p != pi {
+                    break;
+                }
+                pos_sites = &pos_sites[1..];
                 if !self.const_check(pi, pos, &fact) {
                     continue;
                 }
@@ -296,6 +499,8 @@ impl ReteNetwork {
                 }
             }
         }
+        self.scratch_pos = pos_buf;
+        self.scratch_neg = neg_buf;
         for pi in resequence {
             self.stats.resequences += 1;
             let matches = self.complete_matches(pi);
@@ -374,6 +579,21 @@ impl ReteNetwork {
         host: &mut dyn Host,
     ) -> Result<UpdateOutcome> {
         let mut outcome = UpdateOutcome::default();
+        // 0. Drop the fast-path matches on the fact; complete ones come
+        //    back as targeted agenda removals.
+        if let Some(entries) = self.fact_fast.remove(&id) {
+            for entry in entries {
+                self.stats.tokens_removed += entry.virtual_tokens;
+                self.stats.tokens_live -= entry.virtual_tokens;
+                if entry.complete {
+                    let len = self.prods[entry.prod].rule.lhs().len();
+                    let mut tuple = Vec::with_capacity(len);
+                    tuple.push(Some(id));
+                    tuple.resize(len, None);
+                    outcome.removals.push((entry.prod, tuple));
+                }
+            }
+        }
         // 1. Delete the token subtrees that consumed the fact; their
         //    agenda activations come back as targeted removals.
         if let Some(tokens) = self.fact_tokens.remove(&id) {
@@ -401,12 +621,10 @@ impl ReteNetwork {
         }
         // 3. Resequence rules negating on this template (naive parity:
         //    their full recompute refreshes every surviving seq).
-        for pi in 0..self.prods.len() {
-            if self.prods[pi].rule.has_not_on(template) {
-                self.stats.resequences += 1;
-                let matches = self.complete_matches(pi);
-                outcome.resequences.push((pi, matches));
-            }
+        for pi in self.neg_sites.get(template).cloned().unwrap_or_default() {
+            self.stats.resequences += 1;
+            let matches = self.complete_matches(pi);
+            outcome.resequences.push((pi, matches));
         }
         self.count_activations(&outcome);
         Ok(outcome)

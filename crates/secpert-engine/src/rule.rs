@@ -29,6 +29,12 @@ impl Rule {
         self
     }
 
+    /// Rule name as the shared `Arc<str>` (for records that outlive the
+    /// engine borrow).
+    pub(crate) fn name_arc(&self) -> &Arc<str> {
+        &self.name
+    }
+
     /// Rule name.
     pub fn name(&self) -> &str {
         &self.name

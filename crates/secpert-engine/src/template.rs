@@ -1,10 +1,10 @@
 //! Fact templates (`deftemplate`): named, typed slot layouts.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
+use crate::fxhash::FxHashMap;
 use crate::value::Value;
 
 /// Whether a slot holds exactly one value or a sequence.
@@ -83,7 +83,7 @@ pub struct Template {
     name: Arc<str>,
     doc: Option<String>,
     slots: Vec<SlotDef>,
-    index: HashMap<Arc<str>, usize>,
+    index: FxHashMap<Arc<str>, usize>,
 }
 
 impl Template {
@@ -95,12 +95,18 @@ impl Template {
     /// program structure, so this is a programming error, not input error.
     pub fn new(name: impl AsRef<str>, slots: impl IntoIterator<Item = SlotDef>) -> Template {
         let slots: Vec<SlotDef> = slots.into_iter().collect();
-        let mut index = HashMap::with_capacity(slots.len());
+        let mut index = FxHashMap::with_capacity_and_hasher(slots.len(), Default::default());
         for (i, slot) in slots.iter().enumerate() {
             let previous = index.insert(slot.name.clone(), i);
             assert!(previous.is_none(), "duplicate slot `{}` in template", slot.name());
         }
         Template { name: Arc::from(name.as_ref()), doc: None, slots, index }
+    }
+
+    /// Template name as the shared `Arc<str>`, for callers keying maps
+    /// by name without re-allocating it.
+    pub(crate) fn name_arc(&self) -> &Arc<str> {
+        &self.name
     }
 
     /// Attaches a documentation comment (the CLIPS doc-string).

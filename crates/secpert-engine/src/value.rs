@@ -39,14 +39,18 @@ pub enum Value {
 }
 
 impl Value {
-    /// The canonical boolean-true symbol.
+    /// The canonical boolean-true symbol. The backing `Arc` is cached —
+    /// boolean results are minted constantly in rule evaluation and must
+    /// not hit the allocator each time.
     pub fn truth() -> Value {
-        Value::sym("TRUE")
+        static TRUE_SYM: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+        Value::Sym(TRUE_SYM.get_or_init(|| Arc::from("TRUE")).clone())
     }
 
-    /// The canonical boolean-false symbol.
+    /// The canonical boolean-false symbol (cached like [`Value::truth`]).
     pub fn falsity() -> Value {
-        Value::sym("FALSE")
+        static FALSE_SYM: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+        Value::Sym(FALSE_SYM.get_or_init(|| Arc::from("FALSE")).clone())
     }
 
     /// Builds a symbol value.
@@ -64,9 +68,12 @@ impl Value {
         Value::Multi(items.into_iter().collect::<Vec<_>>().into())
     }
 
-    /// Builds an empty multifield.
+    /// Builds an empty multifield. The backing `Arc` is cached — every
+    /// unset multislot defaults to this, so fact construction would
+    /// otherwise allocate one per slot.
     pub fn empty_multi() -> Value {
-        Value::Multi(Arc::from(Vec::new()))
+        static EMPTY: std::sync::OnceLock<Arc<[Value]>> = std::sync::OnceLock::new();
+        Value::Multi(EMPTY.get_or_init(|| Arc::from(Vec::new())).clone())
     }
 
     /// Converts a Rust bool into the CLIPS `TRUE`/`FALSE` symbols.
@@ -157,12 +164,29 @@ impl Value {
     /// Rendering used by `printout`: strings lose their quotes, everything
     /// else renders as in facts.
     pub fn to_display_string(&self) -> String {
+        let mut out = String::new();
+        self.push_display(&mut out);
+        out
+    }
+
+    /// Appends the `printout` rendering of the value to `out`, sparing
+    /// the intermediate string per fragment (`str-cat` and `printout`
+    /// run on every warning).
+    pub fn push_display(&self, out: &mut String) {
+        use fmt::Write;
         match self {
-            Value::Str(s) => s.to_string(),
+            Value::Sym(s) | Value::Str(s) => out.push_str(s),
             Value::Multi(items) => {
-                items.iter().map(Value::to_display_string).collect::<Vec<_>>().join(" ")
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    item.push_display(out);
+                }
             }
-            other => other.to_string(),
+            other => {
+                let _ = write!(out, "{other}");
+            }
         }
     }
 

@@ -168,5 +168,5 @@ fn agenda_snapshot_orders_like_firing() {
     // Firing consumes in the same order the snapshot promised.
     let first_rule = agenda[0].0.clone();
     engine.run(Some(1)).unwrap();
-    assert_eq!(engine.firings()[0].rule, first_rule);
+    assert_eq!(engine.firings()[0].rule.as_ref(), first_rule);
 }

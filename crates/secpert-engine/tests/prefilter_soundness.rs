@@ -1,0 +1,236 @@
+//! Alpha pre-filter soundness against the naive-match oracle: anything
+//! [`AlphaPrefilter`] calls skippable must be *observationally inert* —
+//! asserting it through the unfiltered path produces zero activations
+//! under both matchers, and an event stream with the skipped facts
+//! removed fires exactly the same rules with exactly the same output.
+//!
+//! This is the property the batched pipeline leans on when it drops
+//! events before fact construction (`Secpert::process_batch`): the gate
+//! may only ever skip work, never change results.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use secpert_engine::{
+    Engine, Expr, Fact, FieldConstraint, Matcher, PatternCE, Rule, RuleBuilder, SlotDef,
+    SlotPattern, Template, Value,
+};
+
+/// Deterministic local RNG (same construction as the proptest shim).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const TEMPLATES: usize = 2;
+/// Fact slot values range over 0..FACT_VALUES while rule constants only
+/// range over 0..CONST_VALUES, so constant rejects actually happen.
+const FACT_VALUES: u64 = 4;
+const CONST_VALUES: u64 = 3;
+
+fn template_name(i: u64) -> String {
+    format!("t{i}")
+}
+
+/// A random pattern: each slot is unconstrained, a constant, or a
+/// shared variable. Returns the pattern and whether `?x` was bound.
+fn gen_pattern(rng: &mut Rng) -> (PatternCE, bool) {
+    let mut p = PatternCE::new(template_name(rng.below(TEMPLATES as u64)));
+    let mut uses_x = false;
+    for slot in ["a", "b"] {
+        match rng.below(3) {
+            0 => {}
+            1 => {
+                p = p.slot(
+                    slot,
+                    SlotPattern::Single(FieldConstraint::literal(Value::Int(
+                        rng.below(CONST_VALUES) as i64,
+                    ))),
+                );
+            }
+            _ => {
+                if slot == "a" {
+                    p = p.slot(slot, SlotPattern::Single(FieldConstraint::var("x")));
+                    uses_x = true;
+                }
+            }
+        }
+    }
+    (p, uses_x)
+}
+
+/// A random rule: 1-3 CEs (patterns, `not`s, tests over `?x`), printout
+/// RHS, occasionally a cascading RHS assert. No rule ever prints a fact
+/// address — skipped facts shift the fact-id counter, which is the one
+/// surface the filter is documented not to preserve.
+fn gen_rule(rng: &mut Rng, index: usize) -> Rule {
+    let mut b = RuleBuilder::new(format!("r{index}")).salience([-1, 0, 1][rng.below(3) as usize]);
+    let mut x_bound = false;
+    for ce in 0..1 + rng.below(3) {
+        let kind = if ce == 0 { 0 } else { rng.below(10) };
+        match kind {
+            0..=5 => {
+                let (p, uses_x) = gen_pattern(rng);
+                x_bound |= uses_x;
+                b = b.pattern(p);
+            }
+            6..=7 => {
+                let (p, _) = gen_pattern(rng);
+                b = b.not(p);
+            }
+            _ if x_bound => {
+                b = b.test(Expr::call(
+                    ">",
+                    [Expr::var("x"), Expr::lit(rng.below(CONST_VALUES) as i64)],
+                ));
+            }
+            _ => {}
+        }
+    }
+    b = b.action(Expr::Printout(vec![Expr::lit(format!("r{index};"))]));
+    if rng.below(10) < 2 {
+        let (a, v) = (rng.below(CONST_VALUES) as i64, rng.below(CONST_VALUES) as i64);
+        b = b.action(Expr::Assert {
+            template: Arc::from(template_name(rng.below(TEMPLATES as u64)).as_str()),
+            slots: vec![(Arc::from("a"), vec![Expr::lit(a)]), (Arc::from("b"), vec![Expr::lit(v)])],
+        });
+    }
+    b.build()
+}
+
+fn fresh_engine(matcher: Matcher, rules: &[Rule]) -> Engine {
+    let mut e = Engine::with_matcher(matcher);
+    for t in 0..TEMPLATES as u64 {
+        e.add_template(Template::new(
+            template_name(t),
+            [SlotDef::single("a"), SlotDef::single("b")],
+        ))
+        .unwrap();
+    }
+    for rule in rules {
+        e.add_rule(rule.clone()).unwrap();
+    }
+    e
+}
+
+fn gen_fact(rng: &mut Rng, e: &Engine) -> Fact {
+    let t = template_name(rng.below(TEMPLATES as u64));
+    e.fact(&t)
+        .unwrap()
+        .slot("a", rng.below(FACT_VALUES) as i64)
+        .slot("b", rng.below(FACT_VALUES) as i64)
+        .build()
+        .unwrap()
+}
+
+/// The firing sequence with fact ids erased — rule names and printed
+/// output, the surface skipped facts must not change.
+fn firing_trace(e: &Engine) -> Vec<(usize, Arc<str>, String)> {
+    e.firings().iter().map(|f| (f.seq, f.rule.clone(), f.output.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every fact the filter rejects is provably dead against the
+    /// naive-match oracle: asserted alone into a fresh unfiltered
+    /// engine, it joins nothing, blocks nothing, and fires nothing —
+    /// under both matchers.
+    #[test]
+    fn rejected_facts_are_inert_under_the_naive_oracle(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let rules: Vec<Rule> = (0..1 + rng.below(4)).map(|i| gen_rule(&mut rng, i as usize)).collect();
+        let probe = fresh_engine(Matcher::Naive, &rules);
+        let filter = probe.alpha_prefilter();
+        for _ in 0..20 {
+            let fact = gen_fact(&mut rng, &probe);
+            if filter.passes_fact(&fact) {
+                continue;
+            }
+            for matcher in [Matcher::Naive, Matcher::Rete] {
+                let mut e = fresh_engine(matcher, &rules);
+                // Negations make rules fire on an *empty* working
+                // memory; what must stay invariant is the delta from
+                // asserting the rejected fact.
+                e.run(None).unwrap();
+                let before_fired = e.fired_total();
+                let before_trace = firing_trace(&e);
+                e.assert_fact(fact.clone()).unwrap();
+                prop_assert_eq!(
+                    e.agenda_len(), 0,
+                    "{:?}: rejected fact {} scheduled an activation", matcher, fact
+                );
+                e.run(None).unwrap();
+                prop_assert_eq!(
+                    e.fired_total(), before_fired,
+                    "{:?}: rejected fact {} caused a firing", matcher, fact
+                );
+                prop_assert_eq!(firing_trace(&e), before_trace);
+            }
+        }
+    }
+
+    /// Stream-level soundness, exactly the shape the batched pipeline
+    /// uses the filter in: dropping every rejected fact from a random
+    /// stream leaves the firing sequence and transcript byte-identical
+    /// to the unfiltered run, under both matchers.
+    #[test]
+    fn filtered_streams_fire_identically(seed in 0u64..u64::MAX) {
+        let mut rng = Rng(seed);
+        let rules: Vec<Rule> = (0..1 + rng.below(4)).map(|i| gen_rule(&mut rng, i as usize)).collect();
+        for matcher in [Matcher::Naive, Matcher::Rete] {
+            let mut unfiltered = fresh_engine(matcher, &rules);
+            let mut filtered = fresh_engine(matcher, &rules);
+            let filter = unfiltered.alpha_prefilter();
+            let mut stream_rng = Rng(seed ^ 0xF11E);
+            let mut skipped = 0;
+            for _ in 0..15 {
+                let fact = gen_fact(&mut stream_rng, &unfiltered);
+                unfiltered.assert_fact(fact.clone()).unwrap();
+                unfiltered.run(None).unwrap();
+                if filter.passes_fact(&fact) {
+                    filtered.assert_fact(fact).unwrap();
+                    filtered.run(None).unwrap();
+                } else {
+                    skipped += 1;
+                }
+                prop_assert_eq!(
+                    firing_trace(&unfiltered),
+                    firing_trace(&filtered),
+                    "{:?}: firing sequences diverged after {} skips", matcher, skipped
+                );
+            }
+            prop_assert_eq!(unfiltered.fired_total(), filtered.fired_total());
+            // Rejected facts linger in the unfiltered working memory
+            // (nothing can match them, so nothing retracts them) and
+            // duplicates dedup, so raw fact counts differ; what must
+            // agree is the *admitted* extent of every template.
+            for t in 0..TEMPLATES as u64 {
+                let name = template_name(t);
+                let admitted = |e: &Engine| -> Vec<String> {
+                    e.facts_of(&name)
+                        .iter()
+                        .filter(|(_, f)| filter.passes_fact(f))
+                        .map(|(_, f)| f.to_string())
+                        .collect()
+                };
+                prop_assert_eq!(
+                    admitted(&unfiltered),
+                    admitted(&filtered),
+                    "{:?}: admitted {} extents diverged after {} skips", matcher, name, skipped
+                );
+            }
+        }
+    }
+}
