@@ -440,6 +440,16 @@ impl TagStore {
             memo_misses: self.memo_misses,
         }
     }
+
+    /// Approximate resident bytes: interned id sets (each held by the
+    /// set table and its reverse-lookup index) plus the union memo. The
+    /// store is append-only — this is one of the two per-session growth
+    /// surfaces the fleet memory budget tracks.
+    pub fn approx_bytes(&self) -> usize {
+        let ids: usize = self.sets.iter().map(|s| s.len() * std::mem::size_of::<SourceId>()).sum();
+        // Each set: one Arc in `sets`, one Arc + u32 entry in `index`.
+        self.sets.len() * (16 + 32) + ids * 2 + self.unions.len() * 24
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,9 @@
 //!           [--trust NAME]… [--trace OUT.json] [--metrics]
 //! hth replay <events.hthj> [--repair] [--batch-size N] [--trust NAME]…
 //! hth explain <events.hthj> <warning-idx> [--trust NAME]…
+//! hth serve [--addr H:P] [--workers N] [--budget-mb N] [--idle-ms N]
+//!           [--trust NAME]… [--metrics]
+//! hth load [--addr H:P] [--sessions N] [--events N] [--shutdown]
 //! ```
 //!
 //! The argument parser and command execution live here so they are unit
@@ -58,6 +61,13 @@ pub enum Command {
         /// event-at-a-time (identical results either way).
         batch_size: usize,
     },
+    /// Run the long-lived fleet daemon: sessions over TCP, LRU + idle
+    /// eviction under a memory budget, snapshot/restore, live
+    /// `/metrics`.
+    Serve(ServeOptions),
+    /// Drive synthetic sessions against a running daemon and report
+    /// throughput and ack latency.
+    Load(LoadOptions),
     /// Explain one warning from a journal replay: print its causal
     /// tree (triggering event, rule chain, supporting facts, taint
     /// sources).
@@ -113,6 +123,60 @@ impl Default for FleetOptions {
             trust: Vec::new(),
             trace: None,
             metrics: false,
+        }
+    }
+}
+
+/// Options for `hth serve`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address (`HOST:PORT`; port 0 picks a free one).
+    pub addr: String,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Resident engine memory budget, in MiB.
+    pub budget_mb: usize,
+    /// Evict sessions idle for this many milliseconds (`None` = never).
+    pub idle_ms: Option<u64>,
+    /// Extra trusted binaries.
+    pub trust: Vec<String>,
+    /// Print the final metrics snapshot on drain.
+    pub metrics: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7177".to_string(),
+            workers: 4,
+            budget_mb: 64,
+            idle_ms: None,
+            trust: Vec::new(),
+            metrics: false,
+        }
+    }
+}
+
+/// Options for `hth load`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Synthetic sessions to drive.
+    pub sessions: u64,
+    /// Events per session.
+    pub events: u64,
+    /// Ask the daemon to drain and stop after the run.
+    pub shutdown: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            addr: "127.0.0.1:7177".to_string(),
+            sessions: 8,
+            events: 100,
+            shutdown: false,
         }
     }
 }
@@ -178,6 +242,13 @@ USAGE:
                                behind one warning (0-based replay order):
                                triggering event, rule-firing chain,
                                supporting facts, taint sources
+  hth serve [options]          run the fleet daemon: sessions over TCP,
+                               LRU + idle eviction under a memory
+                               budget, snapshot/restore on eviction,
+                               live Prometheus /metrics on the same port
+  hth load [options]           drive synthetic sessions against a
+                               running daemon; report events/sec and
+                               ack latency
   hth help                     this text
 
 RUN OPTIONS:
@@ -219,6 +290,25 @@ FLEET OPTIONS:
                      run (all worker and analyst threads)
   --metrics          print the unified metrics snapshot covering the
                      whole fleet in Prometheus text format
+
+SERVE OPTIONS:
+  --addr HOST:PORT   listen address (default 127.0.0.1:7177; port 0
+                     picks a free port, printed on stderr)
+  --workers N        connection worker threads (default 4)
+  --budget-mb N      resident engine memory budget in MiB (default 64);
+                     least-recently-used sessions are snapshotted and
+                     evicted to stay under it, and revived from the
+                     snapshot on their next event — warnings are
+                     byte-identical either way
+  --idle-ms N        evict sessions idle for N milliseconds
+  --trust NAME       add a trusted binary (substring match)
+  --metrics          print the final metrics snapshot on drain
+
+LOAD OPTIONS:
+  --addr HOST:PORT   daemon address (default 127.0.0.1:7177)
+  --sessions N       synthetic sessions to drive (default 8)
+  --events N         events per session (default 100)
+  --shutdown         ask the daemon to drain and stop after the run
 ";
 
 fn parse_ip(text: &str) -> Result<u32, String> {
@@ -263,6 +353,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     };
     if command == "fleet" {
         return parse_fleet(it);
+    }
+    if command == "serve" {
+        return parse_serve(it);
+    }
+    if command == "load" {
+        return parse_load(it);
     }
     let operand =
         if matches!(command, "replay" | "explain") { "journal file" } else { "source file" };
@@ -395,6 +491,55 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
     Ok(Command::Fleet(opts))
 }
 
+fn parse_serve(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let mut opts = ServeOptions::default();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--workers" => opts.workers = parse_count(&value("--workers")?, "--workers")?,
+            "--budget-mb" => {
+                let text = value("--budget-mb")?;
+                opts.budget_mb = text
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --budget-mb `{text}` (want MiB)"))?;
+            }
+            "--idle-ms" => {
+                let text = value("--idle-ms")?;
+                opts.idle_ms = Some(
+                    text.parse::<u64>()
+                        .map_err(|_| format!("bad --idle-ms `{text}` (want milliseconds)"))?,
+                );
+            }
+            "--trust" => opts.trust.push(value("--trust")?),
+            "--metrics" => opts.metrics = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Command::Serve(opts))
+}
+
+fn parse_load(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let mut opts = LoadOptions::default();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--sessions" => {
+                opts.sessions = parse_count(&value("--sessions")?, "--sessions")? as u64;
+            }
+            "--events" => opts.events = parse_count(&value("--events")?, "--events")? as u64,
+            "--shutdown" => opts.shutdown = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Command::Load(opts))
+}
+
 /// Executes a parsed command; returns the text to print.
 ///
 /// # Errors
@@ -434,6 +579,8 @@ pub fn execute(command: Command) -> Result<String, String> {
         }
         Command::Run(opts) => run(*opts),
         Command::Fleet(opts) => fleet(opts),
+        Command::Serve(opts) => serve(opts),
+        Command::Load(opts) => load(opts),
         Command::Replay { journal, trust, repair, batch_size } => {
             replay_journal(&journal, trust, repair, batch_size)
         }
@@ -468,6 +615,105 @@ fn write_trace(path: &str) -> Result<String, String> {
         let _ = write!(line, " ({} lost to ring overwrites)", log.dropped);
     }
     Ok(line)
+}
+
+/// Publishes a snapshot as *the* process-wide metrics state and renders
+/// it from there. Every reader — `--metrics` on any command, the serve
+/// daemon's `/metrics` endpoint, the drain summary — goes through the
+/// same [`hth_trace::global_metrics`] registry, so a scrape taken
+/// mid-run and a flag printed at exit can never disagree about what the
+/// process measured. Snapshots are re-derived totals, so they replace
+/// (never merge into) the registry.
+fn publish_metrics(snapshot: hth_trace::MetricsSnapshot) -> String {
+    let registry = hth_trace::global_metrics();
+    registry.replace(snapshot);
+    registry.snapshot().render_prometheus()
+}
+
+/// Runs the fleet daemon until a client asks it to drain, then renders
+/// the summary: final counters, the aggregate warning multiset (the
+/// same shape batch-mode `hth fleet` prints), and optionally the final
+/// metrics snapshot.
+fn serve(opts: ServeOptions) -> Result<String, String> {
+    let mut table = hth_serve::TableConfig {
+        budget_bytes: opts.budget_mb.saturating_mul(1 << 20),
+        idle_timeout: opts.idle_ms.map(std::time::Duration::from_millis),
+        ..hth_serve::TableConfig::default()
+    };
+    table.policy.trusted_binaries.extend(opts.trust.iter().cloned());
+    let config = hth_serve::ServeConfig { addr: opts.addr, workers: opts.workers, table };
+    let server = hth_serve::Server::bind(config).map_err(|e| e.to_string())?;
+    // Announce readiness on stderr immediately; stdout carries the
+    // drain summary once the daemon stops.
+    eprintln!("hth serve: listening on {}", server.local_addr());
+    let handle = server.table();
+    let summary = server.run().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let s = &summary.stats;
+    let _ = writeln!(
+        out,
+        "serve: {} events over {} sessions ({} still open), {} warnings",
+        s.events_total,
+        s.sessions_open.max(summary.resident_high_water),
+        s.sessions_open,
+        s.warnings_total,
+    );
+    let _ = writeln!(
+        out,
+        "  lifecycle: {} evictions, {} snapshot restores, {} fallback replays, high water {} resident",
+        s.evictions, s.restores, s.fallback_replays, summary.resident_high_water,
+    );
+    let _ = writeln!(
+        out,
+        "  served: {} connections, {} metric scrapes",
+        summary.connections, summary.http_requests
+    );
+    for ((severity, rule), count) in summary.warning_counts.iter().rev() {
+        let _ = writeln!(out, "  {count}x [{}] {rule}", severity.label());
+    }
+    if opts.metrics {
+        let mut snapshot = hth_trace::MetricsSnapshot::default();
+        handle.record_metrics(&mut snapshot);
+        let _ = writeln!(out, "--- metrics ---");
+        let _ = write!(out, "{}", publish_metrics(snapshot));
+    }
+    Ok(out)
+}
+
+/// Drives synthetic sessions against a running daemon over loopback and
+/// reports throughput and ack latency.
+fn load(opts: LoadOptions) -> Result<String, String> {
+    let report = hth_serve::run_load(opts.addr.as_str(), opts.sessions, opts.events)
+        .map_err(|e| format!("load against `{}` failed: {e}", opts.addr))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "load: {} events over {} sessions in {:.2?} ({:.0} events/sec)",
+        report.events,
+        report.sessions,
+        report.elapsed,
+        report.events_per_sec(),
+    );
+    let _ = writeln!(
+        out,
+        "  ack latency: p50 <= {}us, p99 <= {}us over {} acks",
+        report.ack_latency_us.quantile(0.5),
+        report.ack_latency_us.quantile(0.99),
+        report.ack_latency_us.count(),
+    );
+    let s = &report.server;
+    let _ = writeln!(
+        out,
+        "  server: {} events total, {} resident of {} open, {} evictions, {} restores",
+        s.events_total, s.sessions_resident, s.sessions_open, s.evictions, s.restores,
+    );
+    if opts.shutdown {
+        let mut client =
+            hth_serve::Client::connect(opts.addr.as_str()).map_err(|e| e.to_string())?;
+        client.shutdown().map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "  daemon drained");
+    }
+    Ok(out)
 }
 
 /// Runs `opts.sessions` workload sessions (the Table 8 exploit catalog,
@@ -512,7 +758,7 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
     }
     if opts.metrics {
         let _ = writeln!(out, "--- metrics ---");
-        let _ = write!(out, "{}", report.metrics().render_prometheus());
+        let _ = write!(out, "{}", publish_metrics(report.metrics()));
     }
     if let Some(path) = &opts.trace {
         let _ = writeln!(out, "{}", write_trace(path)?);
@@ -701,7 +947,7 @@ fn run(opts: RunOptions) -> Result<String, String> {
     }
     if opts.metrics {
         let _ = writeln!(out, "--- metrics ---");
-        let _ = write!(out, "{}", session.metrics().render_prometheus());
+        let _ = write!(out, "{}", publish_metrics(session.metrics()));
     }
     if report.truncated {
         let _ = writeln!(out, "(run truncated at the instruction budget)");
@@ -874,6 +1120,81 @@ mod tests {
         assert!(opts.metrics);
         assert!(parse(&strs(&["fleet", "--trace"])).is_err());
         assert!(parse(&strs(&["run", "x.s", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_and_load_options() {
+        assert_eq!(parse(&strs(&["serve"])).unwrap(), Command::Serve(ServeOptions::default()));
+        let cmd = parse(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--budget-mb",
+            "8",
+            "--idle-ms",
+            "500",
+            "--trust",
+            "libfoo.so",
+            "--metrics",
+        ]))
+        .unwrap();
+        let Command::Serve(opts) = cmd else { panic!() };
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.budget_mb, 8);
+        assert_eq!(opts.idle_ms, Some(500));
+        assert_eq!(opts.trust, vec!["libfoo.so"]);
+        assert!(opts.metrics);
+        assert!(parse(&strs(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&strs(&["serve", "--budget-mb"])).is_err());
+        assert!(parse(&strs(&["serve", "--nope"])).is_err());
+
+        assert_eq!(parse(&strs(&["load"])).unwrap(), Command::Load(LoadOptions::default()));
+        let cmd = parse(&strs(&[
+            "load",
+            "--addr",
+            "127.0.0.1:9",
+            "--sessions",
+            "3",
+            "--events",
+            "7",
+            "--shutdown",
+        ]))
+        .unwrap();
+        let Command::Load(opts) = cmd else { panic!() };
+        assert_eq!(opts.addr, "127.0.0.1:9");
+        assert_eq!(opts.sessions, 3);
+        assert_eq!(opts.events, 7);
+        assert!(opts.shutdown);
+        assert!(parse(&strs(&["load", "--sessions", "0"])).is_err());
+        assert!(parse(&strs(&["load", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn serve_and_load_end_to_end() {
+        // Bind the daemon on a free port directly (the CLI path would
+        // hide the chosen port inside the blocking execute call), then
+        // drive it with the real `hth load` executor.
+        let server = hth_serve::Server::bind(hth_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..hth_serve::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        let out =
+            execute(Command::Load(LoadOptions { addr, sessions: 3, events: 10, shutdown: true }))
+                .unwrap();
+        assert!(out.contains("load: 30 events over 3 sessions"), "{out}");
+        assert!(out.contains("ack latency: p50 <= "), "{out}");
+        assert!(out.contains("server: 30 events total"), "{out}");
+        assert!(out.contains("daemon drained"), "{out}");
+
+        let summary = join.join().unwrap();
+        assert_eq!(summary.stats.events_total, 30);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub use cross_session::{BotnetReport, DropRecord, SessionHistory};
 pub use policy::{PolicyConfig, POLICY_CLIPS};
 pub use provenance::{FactSupport, Provenance};
 pub use secpert::Secpert;
+pub use secpert_engine::SnapshotError;
 pub use session::{EventTap, RunReport, Session, SessionConfig, SessionError, SessionSummary};
 pub use warning::{Severity, Warning};
 

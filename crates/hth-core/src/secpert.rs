@@ -6,11 +6,18 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use harrier::{Origin, SecpertEvent, SourceInfo};
+use secpert_engine::snapshot::{self, ByteReader, EngineSnapshot, SnapshotError};
 use secpert_engine::{AlphaPrefilter, Engine, EngineError, Fact, FactBuilder, MatchStats, Value};
 
 use crate::policy::{PolicyConfig, POLICY_CLIPS};
 use crate::provenance::{FactSupport, Provenance};
 use crate::warning::{Severity, Warning};
+
+/// Leading magic of a serialized [`Secpert::snapshot`].
+const SNAPSHOT_MAGIC: &[u8; 4] = b"HTHS";
+/// Snapshot format version; bumped on any layout change so an old
+/// server never misreads a new snapshot (and vice versa).
+const SNAPSHOT_VERSION: u8 = 1;
 
 /// The security expert system: policy + engine + warning collection.
 ///
@@ -533,6 +540,101 @@ impl Secpert {
     /// Takes the engine's printout transcript (paper-style warning text).
     pub fn take_transcript(&mut self) -> String {
         self.engine.take_output()
+    }
+
+    // ----- snapshot / restore -------------------------------------------
+
+    /// Serializes this expert's resumable state: the event cursor plus
+    /// the engine's facts, refraction set, and counters (see
+    /// [`EngineSnapshot`]). The layout is `"HTHS"` + a version byte +
+    /// one journal-style CRC frame (`varint length`, little-endian
+    /// CRC32, payload), so torn writes are detected on load exactly like
+    /// a torn journal tail. Warnings are *not* carried — they live in
+    /// the host's sink, and a resumed expert starts with an empty one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Engine`] when the engine is not
+    /// quiescent (mid-event; only snapshot between events).
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let engine_snap = self.engine.snapshot()?;
+        let mut payload = Vec::new();
+        snapshot::put_varint(&mut payload, self.events_processed);
+        payload.extend_from_slice(&engine_snap.encode());
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        snapshot::put_varint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&snapshot::crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    /// Rebuilds an expert from [`Secpert::snapshot`] bytes, against the
+    /// same policy configuration the snapshot was taken under. Events
+    /// processed after this pick up exactly where the snapshotted expert
+    /// left off (fact ids, firing seqs, provenance event indices).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] for torn or corrupt bytes (callers
+    /// fall back to a full journal replay); [`SnapshotError::Engine`]
+    /// when the snapshot disagrees with the policy.
+    pub fn restore(config: &PolicyConfig, bytes: &[u8]) -> Result<Secpert, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 1 || &bytes[..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Corrupt("not a Secpert snapshot (bad magic)".into()));
+        }
+        if bytes[4] != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot version {} (this build reads {SNAPSHOT_VERSION})",
+                bytes[4]
+            )));
+        }
+        let mut r = ByteReader::new(&bytes[5..]);
+        let len = r.varint()? as usize;
+        let crc_stored =
+            u32::from_le_bytes(r.take(4)?.try_into().expect("take(4) yields exactly four bytes"));
+        let payload = r.take(len)?;
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after snapshot frame",
+                r.remaining()
+            )));
+        }
+        if snapshot::crc32(payload) != crc_stored {
+            return Err(SnapshotError::Corrupt("frame checksum mismatch".into()));
+        }
+        let mut pr = ByteReader::new(payload);
+        let events_processed = pr.varint()?;
+        let engine_snap = EngineSnapshot::decode(pr.take(pr.remaining())?)?;
+        let mut expert = Secpert::new(config)?;
+        expert.engine.restore(&engine_snap)?;
+        expert.events_processed = events_processed;
+        Ok(expert)
+    }
+
+    /// Approximate resident bytes attributable to this expert's event
+    /// history: engine state (working memory, match network, firing
+    /// records) plus the warning sink and interning caches. The input to
+    /// fleet memory budgeting; an estimate, not an allocator census.
+    pub fn approx_bytes(&self) -> usize {
+        let warnings: usize = {
+            let sink = self.warnings.lock().expect("warning sink poisoned");
+            sink.iter()
+                .map(|w| {
+                    96 + w.rule.len()
+                        + w.message.len()
+                        + w.provenance.as_ref().map_or(0, |p| {
+                            128 + p.rule_chain.iter().map(String::len).sum::<usize>()
+                                + p.taint_sources.iter().map(String::len).sum::<usize>()
+                                + p.support.iter().map(|s| 48 + s.fact.len()).sum::<usize>()
+                        })
+                })
+                .sum()
+        };
+        let cache =
+            (self.values.strs.len() + self.values.syms.len()) * 64 + self.values.addrs.len() * 32;
+        self.engine.approx_bytes() + warnings + cache
     }
 
     fn event_to_fact(&mut self, event: &SecpertEvent) -> Result<Fact, EngineError> {

@@ -40,6 +40,25 @@ pub enum JournalFault {
     },
 }
 
+/// A fault applied to one serve-protocol connection, selected by
+/// session id and request ordinal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnectionFault {
+    /// Close the socket after writing only `keep` bytes of the request
+    /// frame — a mid-frame disconnect. The server must drop the torn
+    /// frame; the client loses at most its unacked requests.
+    Disconnect {
+        /// Bytes of the frame to send before closing (clamped).
+        keep: usize,
+    },
+    /// Pause for `millis` between the frame header and its payload — a
+    /// stalled client exercising the server's read path mid-frame.
+    Stall {
+        /// How long to hold the partial frame.
+        millis: u64,
+    },
+}
+
 /// A seeded, deterministic plan of where the pipeline misbehaves.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -54,6 +73,8 @@ pub struct FaultPlan {
     panics: Vec<(usize, u64)>,
     stalls: BTreeMap<(usize, u64), Duration>,
     journal: BTreeMap<u64, JournalFault>,
+    connection: BTreeMap<(u64, u64), ConnectionFault>,
+    torn_snapshots: BTreeMap<u64, usize>,
 }
 
 /// SplitMix64 finalizer over a combined coordinate, the deterministic
@@ -128,6 +149,36 @@ impl FaultPlan {
         self
     }
 
+    /// Adds an explicit connection-level fault: session `session`'s
+    /// `nth` request frame (1-based) is disconnected mid-frame or
+    /// stalled, per `fault`.
+    #[must_use]
+    pub fn connection_on(mut self, session: u64, nth: u64, fault: ConnectionFault) -> FaultPlan {
+        self.connection.insert((session, nth), fault);
+        self
+    }
+
+    /// Tears the server's `nth` snapshot write (1-based eviction order)
+    /// after `keep` bytes — the restore path must reject the torn bytes
+    /// and fall back to a full journal replay.
+    #[must_use]
+    pub fn torn_snapshot(mut self, nth_eviction: u64, keep: usize) -> FaultPlan {
+        self.torn_snapshots.insert(nth_eviction, keep);
+        self
+    }
+
+    /// The connection fault, if any, for session `session`'s `nth`
+    /// request frame (1-based).
+    pub fn connection_fault(&self, session: u64, nth: u64) -> Option<ConnectionFault> {
+        self.connection.get(&(session, nth)).copied()
+    }
+
+    /// How many bytes of the `nth` snapshot write (1-based) survive, or
+    /// `None` when the write is intact.
+    pub fn snapshot_tear(&self, nth_eviction: u64) -> Option<usize> {
+        self.torn_snapshots.get(&nth_eviction).copied()
+    }
+
     /// Should the analyst panic on `shard`'s `nth` event? (1-based.)
     pub fn should_panic(&self, shard: usize, nth: u64) -> bool {
         if self.panics.contains(&(shard, nth)) {
@@ -179,6 +230,8 @@ impl FaultPlan {
             && self.panics.is_empty()
             && self.stalls.is_empty()
             && self.journal.is_empty()
+            && self.connection.is_empty()
+            && self.torn_snapshots.is_empty()
     }
 }
 
@@ -197,6 +250,20 @@ mod tests {
         assert_ne!(decisions(&a), decisions(&c), "different seed, different faults");
         let fired = decisions(&a).iter().filter(|f| **f).count();
         assert!((10..=90).contains(&fired), "~1/96 rate over 4000 events, got {fired}");
+    }
+
+    #[test]
+    fn connection_and_snapshot_faults_fire_where_placed() {
+        let plan = FaultPlan::new()
+            .connection_on(3, 2, ConnectionFault::Disconnect { keep: 5 })
+            .connection_on(1, 4, ConnectionFault::Stall { millis: 20 })
+            .torn_snapshot(2, 9);
+        assert_eq!(plan.connection_fault(3, 2), Some(ConnectionFault::Disconnect { keep: 5 }));
+        assert_eq!(plan.connection_fault(1, 4), Some(ConnectionFault::Stall { millis: 20 }));
+        assert_eq!(plan.connection_fault(3, 1), None);
+        assert_eq!(plan.snapshot_tear(2), Some(9));
+        assert_eq!(plan.snapshot_tear(1), None);
+        assert!(!plan.is_empty());
     }
 
     #[test]

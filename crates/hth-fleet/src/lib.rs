@@ -35,8 +35,8 @@ pub mod pool;
 pub mod wire;
 
 pub use batch::EventBatch;
-pub use faults::{FaultPlan, JournalFault};
-pub use fleet::{run_scenarios, warning_multiset, FleetConfig, FleetReport};
+pub use faults::{ConnectionFault, FaultPlan, JournalFault};
+pub use fleet::{run_scenarios, warning_multiset, FleetConfig, FleetReport, WarningKey};
 pub use journal::{
     recover, recover_segments, replay, replay_batched, replay_repair, replay_repair_batched,
     replay_segments, replay_segments_batched, segment_path, segment_paths, JournalReader,

@@ -183,7 +183,10 @@ pub fn read_header(buf: &[u8]) -> Result<usize, WireError> {
     Ok(HEADER_LEN)
 }
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as an LEB128 varint — the codec's integer shape, exposed
+/// for framing layers (the journal and the serve protocol) that wrap
+/// event payloads in varint-length frames.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -193,6 +196,19 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
         }
         out.push(byte | 0x80);
     }
+}
+
+/// Decodes one LEB128 varint from the front of `buf`; returns the value
+/// and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on short input, [`WireError::VarintOverflow`]
+/// past 64 bits.
+pub fn read_varint(buf: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut cur = Cursor { buf, pos: 0 };
+    let value = cur.varint()?;
+    Ok((value, cur.pos))
 }
 
 /// Encodes [`SecpertEvent`]s into a stream, growing the string table as

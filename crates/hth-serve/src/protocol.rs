@@ -1,0 +1,442 @@
+//! The serve wire protocol: CRC-framed requests and acks over TCP.
+//!
+//! A connection opens with the fleet wire header (`HTHW` + version, the
+//! same preamble a journal or recorded event stream starts with), which
+//! is also how the server tells a protocol client from an HTTP scrape:
+//! the first bytes are either [`hth_fleet::wire::MAGIC`] or `GET `.
+//!
+//! After the preamble, both directions speak length-prefixed frames with
+//! the journal's integrity envelope:
+//!
+//! ```text
+//! [varint payload_len] [crc32(payload) LE u32] [payload]
+//! ```
+//!
+//! The first payload byte is a tag. Requests:
+//!
+//! | tag | request  | payload after the tag                       |
+//! |-----|----------|---------------------------------------------|
+//! | 1   | Open     | varint session id                           |
+//! | 2   | Submit   | varint session id, encoded [`SecpertEvent`]  |
+//! | 3   | Flush    | —                                           |
+//! | 4   | Close    | varint session id                           |
+//! | 5   | Stats    | —                                           |
+//! | 6   | Shutdown | —                                           |
+//!
+//! Acks:
+//!
+//! | tag  | ack   | payload after the tag                          |
+//! |------|-------|------------------------------------------------|
+//! | 0x80 | Ok    | varint value (warnings raised, for Submit)     |
+//! | 0x81 | Err   | varint length, UTF-8 message                   |
+//! | 0x82 | Stats | the [`ServeStats`] counters as varints         |
+//!
+//! Events inside Submit frames use the versioned fleet event codec with
+//! *per-connection* interning state ([`EventEncoder`]/[`EventDecoder`]),
+//! so a long-lived connection amortises string costs exactly like a
+//! journal does. Frames are hard-capped at [`MAX_FRAME_LEN`]; a frame
+//! that fails its CRC or arrives truncated poisons only the connection
+//! that sent it, never the sessions it was feeding.
+
+use std::io::{Read, Write};
+
+use harrier::SecpertEvent;
+use hth_fleet::wire::{self, EventDecoder, EventEncoder, WireError, MAX_FRAME_LEN};
+
+use crate::ServeError;
+
+/// A request frame, decoded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Create (or touch) a session.
+    Open {
+        /// Session id.
+        session: u64,
+    },
+    /// Feed one event to a session.
+    Submit {
+        /// Session id.
+        session: u64,
+        /// The event.
+        event: SecpertEvent,
+    },
+    /// Barrier: ack only once everything before it is applied.
+    Flush,
+    /// Retire a session, folding its warnings into the retired set.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// Ask for the server's counters.
+    Stats,
+    /// Begin a graceful drain: stop accepting, finish queued work.
+    Shutdown,
+}
+
+/// An ack frame, decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ack {
+    /// Success; `value` is request-specific (warnings raised for Submit,
+    /// total session warnings for Close, zero otherwise).
+    Ok {
+        /// Request-specific payload.
+        value: u64,
+    },
+    /// The request failed; the session table is unchanged.
+    Err {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Counters in response to [`Request::Stats`].
+    Stats(ServeStats),
+}
+
+/// Point-in-time server counters, small enough to travel in one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions currently resident (engine in memory).
+    pub sessions_resident: u64,
+    /// Sessions known (resident + evicted-but-open).
+    pub sessions_open: u64,
+    /// Events accepted over all sessions.
+    pub events_total: u64,
+    /// Warnings raised over all sessions.
+    pub warnings_total: u64,
+    /// Evictions performed (snapshot written, engine dropped).
+    pub evictions: u64,
+    /// Resumes served from a snapshot + journal tail.
+    pub restores: u64,
+    /// Resumes that fell back to a full journal replay (torn or
+    /// unreadable snapshot).
+    pub fallback_replays: u64,
+    /// Bytes of resident engine state, as accounted.
+    pub resident_bytes: u64,
+}
+
+const TAG_OPEN: u8 = 1;
+const TAG_SUBMIT: u8 = 2;
+const TAG_FLUSH: u8 = 3;
+const TAG_CLOSE: u8 = 4;
+const TAG_STATS: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+const TAG_OK: u8 = 0x80;
+const TAG_ERR: u8 = 0x81;
+const TAG_STATS_ACK: u8 = 0x82;
+
+/// Wraps `payload` in the journal frame envelope.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    wire::put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&wire::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Reads one frame payload from `stream`. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary; mid-frame EOF, an oversized length or a CRC
+/// mismatch are errors (the caller drops the connection, losing only
+/// whatever was unacked on it).
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>, ServeError> {
+    // Varint length, byte at a time (we cannot over-read a stream).
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) if first => return Ok(None),
+            Ok(0) => return Err(ServeError::Wire(WireError::Truncated)),
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof && first => return Ok(None),
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+        first = false;
+        if shift >= 64 {
+            return Err(ServeError::Wire(WireError::VarintOverflow));
+        }
+        len |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut crc = [0u8; 4];
+    stream.read_exact(&mut crc).map_err(eof_as_truncated)?;
+    let stored = u32::from_le_bytes(crc);
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload).map_err(eof_as_truncated)?;
+    let computed = wire::crc32(&payload);
+    if stored != computed {
+        return Err(ServeError::Wire(WireError::Crc { stored, computed }));
+    }
+    Ok(Some(payload))
+}
+
+fn eof_as_truncated(e: std::io::Error) -> ServeError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        ServeError::Wire(WireError::Truncated)
+    } else {
+        ServeError::Io(e)
+    }
+}
+
+/// Encodes a request into a framed byte vector, ready to write.
+pub fn encode_request(req: &Request, encoder: &mut EventEncoder) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match req {
+        Request::Open { session } => {
+            payload.push(TAG_OPEN);
+            wire::put_varint(&mut payload, *session);
+        }
+        Request::Submit { session, event } => {
+            payload.push(TAG_SUBMIT);
+            wire::put_varint(&mut payload, *session);
+            encoder.encode(event, &mut payload);
+        }
+        Request::Flush => payload.push(TAG_FLUSH),
+        Request::Close { session } => {
+            payload.push(TAG_CLOSE);
+            wire::put_varint(&mut payload, *session);
+        }
+        Request::Stats => payload.push(TAG_STATS),
+        Request::Shutdown => payload.push(TAG_SHUTDOWN),
+    }
+    frame(&payload)
+}
+
+/// Decodes a request payload (the bytes inside the frame).
+pub fn decode_request(payload: &[u8], decoder: &mut EventDecoder) -> Result<Request, ServeError> {
+    let (&tag, rest) =
+        payload.split_first().ok_or_else(|| ServeError::Protocol("empty frame".into()))?;
+    let req = match tag {
+        TAG_OPEN => {
+            let (session, n) = wire::read_varint(rest)?;
+            expect_consumed(rest, n)?;
+            Request::Open { session }
+        }
+        TAG_SUBMIT => {
+            let (session, n) = wire::read_varint(rest)?;
+            let (event, used) = decoder.decode(&rest[n..])?;
+            expect_consumed(rest, n + used)?;
+            Request::Submit { session, event }
+        }
+        TAG_FLUSH => Request::Flush,
+        TAG_CLOSE => {
+            let (session, n) = wire::read_varint(rest)?;
+            expect_consumed(rest, n)?;
+            Request::Close { session }
+        }
+        TAG_STATS => Request::Stats,
+        TAG_SHUTDOWN => Request::Shutdown,
+        other => return Err(ServeError::Protocol(format!("unknown request tag {other:#x}"))),
+    };
+    if matches!(req, Request::Flush | Request::Stats | Request::Shutdown) && !rest.is_empty() {
+        return Err(ServeError::Protocol("trailing bytes in request".into()));
+    }
+    Ok(req)
+}
+
+fn expect_consumed(rest: &[u8], used: usize) -> Result<(), ServeError> {
+    if used == rest.len() {
+        Ok(())
+    } else {
+        Err(ServeError::Protocol("trailing bytes in request".into()))
+    }
+}
+
+/// Encodes an ack into a framed byte vector.
+pub fn encode_ack(ack: &Ack) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match ack {
+        Ack::Ok { value } => {
+            payload.push(TAG_OK);
+            wire::put_varint(&mut payload, *value);
+        }
+        Ack::Err { message } => {
+            payload.push(TAG_ERR);
+            wire::put_varint(&mut payload, message.len() as u64);
+            payload.extend_from_slice(message.as_bytes());
+        }
+        Ack::Stats(stats) => {
+            payload.push(TAG_STATS_ACK);
+            for v in stats.as_fields() {
+                wire::put_varint(&mut payload, v);
+            }
+        }
+    }
+    frame(&payload)
+}
+
+/// Decodes an ack payload (the bytes inside the frame).
+pub fn decode_ack(payload: &[u8]) -> Result<Ack, ServeError> {
+    let (&tag, rest) =
+        payload.split_first().ok_or_else(|| ServeError::Protocol("empty ack".into()))?;
+    match tag {
+        TAG_OK => {
+            let (value, n) = wire::read_varint(rest)?;
+            expect_consumed(rest, n)?;
+            Ok(Ack::Ok { value })
+        }
+        TAG_ERR => {
+            let (len, n) = wire::read_varint(rest)?;
+            let bytes =
+                rest.get(n..n + len as usize).ok_or(ServeError::Wire(WireError::Truncated))?;
+            expect_consumed(rest, n + len as usize)?;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| ServeError::Protocol("ack message not UTF-8".into()))?
+                .to_string();
+            Ok(Ack::Err { message })
+        }
+        TAG_STATS_ACK => {
+            let mut fields = [0u64; ServeStats::FIELDS];
+            let mut off = 0;
+            for f in fields.iter_mut() {
+                let (v, n) = wire::read_varint(&rest[off..])?;
+                *f = v;
+                off += n;
+            }
+            expect_consumed(rest, off)?;
+            Ok(Ack::Stats(ServeStats::from_fields(fields)))
+        }
+        other => Err(ServeError::Protocol(format!("unknown ack tag {other:#x}"))),
+    }
+}
+
+/// Writes `bytes` fully to the stream (a thin helper so call sites stay
+/// symmetrical with [`read_frame`]).
+pub fn write_all(stream: &mut impl Write, bytes: &[u8]) -> Result<(), ServeError> {
+    stream.write_all(bytes).map_err(ServeError::Io)
+}
+
+impl ServeStats {
+    /// Number of counters carried in a Stats ack.
+    pub const FIELDS: usize = 8;
+
+    fn as_fields(&self) -> [u64; ServeStats::FIELDS] {
+        [
+            self.sessions_resident,
+            self.sessions_open,
+            self.events_total,
+            self.warnings_total,
+            self.evictions,
+            self.restores,
+            self.fallback_replays,
+            self.resident_bytes,
+        ]
+    }
+
+    fn from_fields(f: [u64; ServeStats::FIELDS]) -> ServeStats {
+        ServeStats {
+            sessions_resident: f[0],
+            sessions_open: f[1],
+            events_total: f[2],
+            warnings_total: f[3],
+            evictions: f[4],
+            restores: f[5],
+            fallback_replays: f[6],
+            resident_bytes: f[7],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harrier::{Origin, ResourceType, SourceInfo};
+
+    fn sample_event(i: u64) -> SecpertEvent {
+        SecpertEvent::ResourceAccess {
+            pid: 7,
+            syscall: "SYS_open",
+            resource: SourceInfo::new(ResourceType::File, format!("/tmp/f{i}")),
+            origin: Origin::unknown(),
+            time: i,
+            frequency: 1,
+            address: 0x1000 + i as u32,
+            proc_count: None,
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_a_stream() {
+        let mut enc = EventEncoder::new();
+        let requests = vec![
+            Request::Open { session: 3 },
+            Request::Submit { session: 3, event: sample_event(0) },
+            Request::Submit { session: 3, event: sample_event(1) },
+            Request::Flush,
+            Request::Close { session: 3 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        let mut stream = Vec::new();
+        for req in &requests {
+            stream.extend_from_slice(&encode_request(req, &mut enc));
+        }
+        let mut dec = EventDecoder::new();
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut decoded = Vec::new();
+        while let Some(payload) = read_frame(&mut cursor).expect("frame") {
+            decoded.push(decode_request(&payload, &mut dec).expect("request"));
+        }
+        assert_eq!(decoded, requests);
+    }
+
+    #[test]
+    fn acks_round_trip() {
+        let stats = ServeStats {
+            sessions_resident: 2,
+            sessions_open: 5,
+            events_total: 100,
+            warnings_total: 3,
+            evictions: 4,
+            restores: 2,
+            fallback_replays: 1,
+            resident_bytes: 1 << 20,
+        };
+        for ack in [
+            Ack::Ok { value: 0 },
+            Ack::Ok { value: 42 },
+            Ack::Err { message: "session table is draining".into() },
+            Ack::Stats(stats),
+        ] {
+            let framed = encode_ack(&ack);
+            let mut cursor = std::io::Cursor::new(framed);
+            let payload = read_frame(&mut cursor).expect("frame").expect("payload");
+            assert_eq!(decode_ack(&payload).expect("ack"), ack);
+        }
+    }
+
+    #[test]
+    fn corrupt_and_truncated_frames_are_rejected() {
+        let mut enc = EventEncoder::new();
+        let good = encode_request(&Request::Open { session: 1 }, &mut enc);
+        // Flip a payload bit: CRC mismatch.
+        let mut torn = good.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 1;
+        let err = read_frame(&mut std::io::Cursor::new(torn)).unwrap_err();
+        assert!(matches!(err, ServeError::Wire(WireError::Crc { .. })), "{err:?}");
+        // Cut the frame mid-payload: truncated, not clean EOF.
+        let cut = &good[..good.len() - 1];
+        let err = read_frame(&mut std::io::Cursor::new(cut.to_vec())).unwrap_err();
+        assert!(matches!(err, ServeError::Wire(WireError::Truncated)), "{err:?}");
+        // Empty stream: clean EOF.
+        assert!(read_frame(&mut std::io::Cursor::new(Vec::new())).expect("eof").is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_capped() {
+        let mut framed = Vec::new();
+        wire::put_varint(&mut framed, MAX_FRAME_LEN + 1);
+        framed.extend_from_slice(&[0u8; 4]);
+        let err = read_frame(&mut std::io::Cursor::new(framed)).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Snapshot/restore determinism: evicting a session at any point and
+//! resuming it must be *invisible* — warnings (with their provenance
+//! trees), match statistics, and the final engine state must be
+//! byte-identical to an uninterrupted run. The property suite cuts real
+//! exploit streams and synthetic mixes at random points; the soak test
+//! churns a small budget and checks the accounting invariant plus that
+//! every eviction leaves a loadable snapshot behind.
+
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use harrier::SecpertEvent;
+use hth_core::{PolicyConfig, Secpert, Session, SessionConfig, Warning};
+use hth_fleet::FaultPlan;
+use hth_serve::{synthetic_events, SessionTable, TableConfig};
+use proptest::prelude::*;
+
+/// Runs one workload scenario under the monitor with an event tap and
+/// returns exactly the event stream Harrier emitted, cached per id (the
+/// capture spins up a whole VM session, the replays don't need to).
+fn exploit_stream(id: &str) -> Vec<SecpertEvent> {
+    static CACHE: OnceLock<Mutex<std::collections::BTreeMap<String, Vec<SecpertEvent>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(std::collections::BTreeMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(events) = cache.get(id) {
+        return events.clone();
+    }
+    let scenario = hth_workloads::exploits::scenarios()
+        .into_iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("scenario {id} exists"));
+    let mut session = Session::new(SessionConfig::default()).expect("session");
+    let start = (scenario.setup)(&mut session);
+    let events: Arc<Mutex<Vec<SecpertEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&events);
+    session.set_event_tap(Box::new(move |event| {
+        tap.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }));
+    let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+    let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(start.path, &argv, &env).expect("start");
+    session.run().expect("run");
+    drop(session);
+    let captured = events.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    assert!(!captured.is_empty(), "scenario {id} emits events");
+    cache.insert(id.to_string(), captured.clone());
+    captured
+}
+
+/// The scenario mixes the property suite cuts: two real exploits, a
+/// synthetic benign stream, and concatenations that cross a workload
+/// boundary mid-session.
+fn stream_for_mix(mix: usize) -> Vec<SecpertEvent> {
+    match mix {
+        0 => exploit_stream("ElmExploit"),
+        1 => exploit_stream("grabem"),
+        2 => synthetic_events(5, 60),
+        3 => {
+            let mut s = exploit_stream("ElmExploit");
+            s.extend(synthetic_events(7, 25));
+            s
+        }
+        _ => {
+            let mut s = synthetic_events(9, 25);
+            s.extend(exploit_stream("grabem"));
+            s
+        }
+    }
+}
+
+fn feed(expert: &mut Secpert, events: &[SecpertEvent]) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    for event in events {
+        warnings.extend(expert.process_event(event).expect("process"));
+    }
+    warnings
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Evict-at-k + resume is byte-identical to an uninterrupted run:
+    /// same warnings (provenance trees included), same match counters,
+    /// same event cursor, and byte-equal final snapshots.
+    #[test]
+    fn evict_at_k_plus_resume_is_byte_identical(mix in 0usize..5, cut_permille in 0u64..=1000) {
+        let events = stream_for_mix(mix);
+        let k = (cut_permille as usize * events.len()) / 1000;
+        let config = PolicyConfig::default();
+
+        let mut reference = Secpert::new(&config).expect("policy");
+        let expected = feed(&mut reference, &events);
+
+        let mut first = Secpert::new(&config).expect("policy");
+        let mut warnings = feed(&mut first, &events[..k]);
+        let snapshot = first.snapshot().expect("quiescent snapshot");
+        drop(first);
+        let mut resumed = Secpert::restore(&config, &snapshot).expect("restore");
+        prop_assert_eq!(resumed.events_processed(), k as u64);
+        warnings.append(&mut feed(&mut resumed, &events[k..]));
+
+        prop_assert_eq!(&warnings, &expected);
+        prop_assert_eq!(resumed.events_processed(), reference.events_processed());
+        prop_assert_eq!(resumed.match_stats(), reference.match_stats());
+        prop_assert_eq!(
+            resumed.snapshot().expect("resumed snapshot"),
+            reference.snapshot().expect("reference snapshot")
+        );
+    }
+}
+
+/// A torn eviction snapshot must be rejected on revive and replaced by
+/// a full journal replay that reconstructs the *same* analysis — the
+/// warning stream of a faulted table equals the unfaulted one, byte for
+/// byte, provenance included.
+#[test]
+fn torn_snapshot_fallback_reproduces_identical_warnings() {
+    let events = stream_for_mix(3);
+    // Budget zero evicts after every request; tear snapshots 1..=4 at
+    // assorted prefixes (0 bytes kills even the magic).
+    let faults = Arc::new(
+        FaultPlan::new()
+            .torn_snapshot(1, 0)
+            .torn_snapshot(2, 3)
+            .torn_snapshot(3, 10)
+            .torn_snapshot(4, 40),
+    );
+    let faulted =
+        SessionTable::new(TableConfig { budget_bytes: 0, faults, ..TableConfig::default() });
+    let clean = SessionTable::new(TableConfig::default());
+    for event in &events {
+        let a = faulted.submit(11, event).expect("faulted submit");
+        let b = clean.submit(11, event).expect("clean submit");
+        assert_eq!(a, b, "per-event warning counts diverge");
+    }
+    assert_eq!(faulted.warning_counts(), clean.warning_counts());
+    let stats = faulted.stats();
+    assert!(stats.fallback_replays >= 4, "each torn snapshot forces a replay: {stats:?}");
+    assert!(stats.restores >= 1, "later intact snapshots restore normally: {stats:?}");
+}
+
+/// Budget-churn soak: resident accounted bytes never exceed the budget
+/// after any request, every evicted session holds a loadable snapshot,
+/// and the multiset of warnings matches an unbudgeted table.
+#[test]
+fn budget_churn_soak_holds_the_accounting_invariant() {
+    // Size the budget from a *grown* engine: working-memory and token
+    // bytes dominate a fresh engine's footprint once events flow.
+    let policy = PolicyConfig::default();
+    let mut probe = Secpert::new(&policy).expect("policy");
+    feed(&mut probe, &synthetic_events(0, 30));
+    let budget = probe.approx_bytes() * 3; // room for ~3 grown engines
+    drop(probe);
+    let table = SessionTable::new(TableConfig { budget_bytes: budget, ..TableConfig::default() });
+    let reference = SessionTable::new(TableConfig::default());
+
+    const SESSIONS: u64 = 12;
+    const EVENTS: usize = 30;
+    let streams: Vec<Vec<SecpertEvent>> =
+        (0..SESSIONS).map(|s| synthetic_events(s, EVENTS)).collect();
+    for i in 0..EVENTS {
+        for (sid, stream) in streams.iter().enumerate() {
+            let sid = sid as u64;
+            table.submit(sid, &stream[i]).expect("budgeted submit");
+            reference.submit(sid, &stream[i]).expect("reference submit");
+            let stats = table.stats();
+            assert!(
+                stats.resident_bytes <= budget as u64,
+                "resident {} exceeds budget {budget} after session {sid} event {i}",
+                stats.resident_bytes,
+            );
+            for other in 0..SESSIONS {
+                if table.is_resident(other) == Some(false) {
+                    let snap =
+                        table.evicted_snapshot(other).expect("every eviction stores a snapshot");
+                    Secpert::restore(&table.config().policy, &snap)
+                        .expect("every stored snapshot is loadable");
+                }
+            }
+        }
+    }
+    let stats = table.stats();
+    assert!(stats.evictions > 0, "the budget must actually force evictions");
+    assert!(stats.restores > 0, "sessions revive from snapshots, not replays: {stats:?}");
+    assert_eq!(stats.fallback_replays, 0, "no snapshot may be unreadable without faults");
+    assert_eq!(stats.events_total, SESSIONS * EVENTS as u64);
+    assert_eq!(table.warning_counts(), reference.warning_counts());
+    assert!(table.resident_high_water() >= 2, "several sessions fit the budget at once");
+}

@@ -1,0 +1,89 @@
+//! The daemon's reason to exist: long-running, memory-bounded serving
+//! must not change a single analysis result. A 64-session run under an
+//! eviction-forcing budget must produce exactly the warning multiset
+//! that batch-mode `hth fleet` reports on the same corpus.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use harrier::SecpertEvent;
+use hth_core::{Secpert, Session, SessionConfig};
+use hth_fleet::pool::PoolConfig;
+use hth_fleet::{run_scenarios, FleetConfig};
+use hth_serve::{SessionTable, TableConfig};
+use hth_workloads::scenario::Scenario;
+
+fn capture(scenario: &Scenario) -> Vec<SecpertEvent> {
+    let mut session = Session::new(SessionConfig::default()).expect("session");
+    let start = (scenario.setup)(&mut session);
+    let events: Arc<Mutex<Vec<SecpertEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let tap = Arc::clone(&events);
+    session.set_event_tap(Box::new(move |event| {
+        tap.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }));
+    let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+    let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(start.path, &argv, &env).expect("start");
+    session.run().expect("run");
+    drop(session);
+    let captured = events.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    assert!(!captured.is_empty());
+    captured
+}
+
+fn two_exploits() -> Vec<Scenario> {
+    hth_workloads::exploits::scenarios()
+        .into_iter()
+        .filter(|s| s.id == "ElmExploit" || s.id == "grabem")
+        .collect()
+}
+
+#[test]
+fn sixty_four_evicting_sessions_match_batch_fleet() {
+    const SESSIONS: usize = 64;
+
+    // Batch side: the same corpus as 64 fleet sessions (32 of each
+    // exploit), analysed by the sharded pool.
+    let mut corpus = Vec::with_capacity(SESSIONS);
+    while corpus.len() < SESSIONS {
+        corpus.extend(two_exploits());
+    }
+    let fleet_config = FleetConfig {
+        pool: PoolConfig { shards: 4, ..PoolConfig::default() },
+        workers: 4,
+        ..FleetConfig::default()
+    };
+    let report = run_scenarios(corpus, &fleet_config).expect("fleet run");
+    assert_eq!(report.sessions, SESSIONS);
+    assert!(report.session_errors.is_empty(), "{:?}", report.session_errors);
+    assert!(report.analyst_errors.is_empty(), "{:?}", report.analyst_errors);
+    assert!(!report.warning_counts.is_empty(), "exploits must warn");
+
+    // Serve side: the identical event streams through the daemon's
+    // session table, under a budget small enough that the 64 sessions
+    // constantly evict each other.
+    let captured: Vec<Vec<SecpertEvent>> = two_exploits().iter().map(capture).collect();
+    let base = Secpert::new(&TableConfig::default().policy).expect("policy").approx_bytes();
+    let table = SessionTable::new(TableConfig { budget_bytes: base * 4, ..TableConfig::default() });
+    let streams: Vec<&[SecpertEvent]> =
+        (0..SESSIONS).map(|sid| captured[sid % captured.len()].as_slice()).collect();
+    let longest = streams.iter().map(|s| s.len()).max().unwrap();
+    // Round-robin interleave so every session is evicted (and revived
+    // from its snapshot) many times mid-stream.
+    for i in 0..longest {
+        for (sid, stream) in streams.iter().enumerate() {
+            if let Some(event) = stream.get(i) {
+                table.submit(sid as u64, event).expect("submit");
+            }
+        }
+    }
+
+    let stats = table.stats();
+    assert!(stats.evictions as usize > SESSIONS, "the budget must force heavy churn: {stats:?}");
+    assert!(stats.restores > 0, "{stats:?}");
+    assert_eq!(stats.fallback_replays, 0, "no faults, no replays: {stats:?}");
+    assert_eq!(
+        table.warning_counts(),
+        report.warning_counts,
+        "daemon-under-eviction and batch fleet must agree on every warning"
+    );
+}

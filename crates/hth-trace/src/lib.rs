@@ -22,7 +22,7 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Histogram, MetricsSnapshot, Registry};
+pub use metrics::{global as global_metrics, Histogram, MetricsSnapshot, Registry};
 pub use trace::{
     drain, enabled, instant, set_enabled, span, Phase, RingBuffer, Span, TraceEvent, TraceLog,
 };

@@ -67,6 +67,25 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// An upper bound on the `q`-quantile observation (`0.0..=1.0`):
+    /// the inclusive top of the power-of-two bucket the quantile lands
+    /// in. Coarse (a factor of two) but monotone and allocation-free —
+    /// what latency reports (`p50`, `p99`) want from a log histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (k, count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return if k == 0 { 0 } else { ((1u128 << k) - 1).min(u64::MAX as u128) as u64 };
+            }
+        }
+        u64::MAX
+    }
+
     /// Observations recorded since `earlier` (saturating per bucket, so
     /// a reset between snapshots degrades to the later value instead of
     /// underflowing).
@@ -234,6 +253,11 @@ impl Registry {
         self.lock().set_gauge(name, value);
     }
 
+    /// Raises a gauge to `value` if higher (high-water aggregation).
+    pub fn max_gauge(&self, name: &str, value: i64) {
+        self.lock().max_gauge(name, value);
+    }
+
     /// Records a histogram observation.
     pub fn observe(&self, name: &str, value: u64) {
         self.lock().observe(name, value);
@@ -249,9 +273,27 @@ impl Registry {
         self.lock().clone()
     }
 
+    /// Replaces the accumulated contents wholesale. For periodically
+    /// re-derived snapshots (a server recomputing session metrics each
+    /// scrape): merging such a snapshot would double-count its counters,
+    /// so the producer swaps the whole reading in instead.
+    pub fn replace(&self, snapshot: MetricsSnapshot) {
+        *self.lock() = snapshot;
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, MetricsSnapshot> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// The process-wide metrics registry: the single source both exit-time
+/// reporting (`--metrics`) and live exposition (`hth serve`'s
+/// `/metrics` endpoint) read, so batch mode and serve mode cannot
+/// drift. Subsystems fold their local stats in; readers render a
+/// [`Registry::snapshot`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use crate::pattern::CondElem;
 use crate::prefilter::AlphaPrefilter;
 use crate::rete::{MatchStats, ReteNetwork, UpdateOutcome};
 use crate::rule::Rule;
+use crate::snapshot::{EngineSnapshot, FactRecord};
 use crate::template::Template;
 use crate::value::Value;
 
@@ -864,6 +865,179 @@ impl Engine {
         self.fired_total
     }
 
+    // ----- snapshot / restore ---------------------------------------------
+
+    /// Captures the engine's mutable state as an [`EngineSnapshot`].
+    ///
+    /// Snapshots are only taken at quiescence (empty agenda), which
+    /// [`Engine::run`] always drains to: at that point every complete,
+    /// unblocked match has fired and sits in the refraction set, so the
+    /// agenda itself need not be carried — restoring the facts re-derives
+    /// it (empty). Refraction keys naming retracted facts are pruned: ids
+    /// are never reused, so those matches can never recur. Firing records
+    /// and the transcript are diagnostics of the *past*, not inputs to
+    /// future matching, and are not carried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Type`] when the agenda is non-empty.
+    pub fn snapshot(&self) -> Result<EngineSnapshot> {
+        if !self.agenda.is_empty() {
+            return Err(EngineError::Type {
+                expected: "quiescent engine (empty agenda)",
+                found: format!("{} pending activations", self.agenda.len()),
+            });
+        }
+        let mut facts: Vec<FactRecord> = self
+            .wm
+            .iter()
+            .map(|(id, fact)| FactRecord {
+                id: id.raw(),
+                template: fact.template().name_arc().clone(),
+                slots: fact.slots().to_vec(),
+            })
+            .collect();
+        facts.sort_by_key(|rec| rec.id);
+        let mut refraction: Vec<(Arc<str>, Vec<Option<u64>>)> = self
+            .refraction
+            .iter()
+            .filter(|(_, tuple)| tuple.iter().flatten().all(|id| self.wm.get(*id).is_some()))
+            .map(|(rule, tuple)| {
+                (
+                    self.rules[*rule].name_arc().clone(),
+                    tuple.iter().map(|slot| slot.map(FactId::raw)).collect(),
+                )
+            })
+            .collect();
+        refraction.sort();
+        Ok(EngineSnapshot {
+            facts,
+            next_fact_id: self.wm.next_id(),
+            refraction,
+            activation_seq: self.activation_seq,
+            fired_total: self.fired_total as u64,
+            match_stats: self.rete.stats,
+        })
+    }
+
+    /// Rebuilds the engine's mutable state from a snapshot taken against
+    /// the *same policy* (templates and rules must already be loaded).
+    ///
+    /// The refraction set is installed first, then every fact is
+    /// re-asserted in ascending id order with its original id through the
+    /// normal assert path — the match network re-derives all matches, and
+    /// refraction suppresses exactly the ones that had already fired,
+    /// leaving the agenda empty. The match counters are then restored
+    /// wholesale, since the rebuild perturbs them relative to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the snapshot names templates or rules this
+    /// policy lacks, a fact fails to re-assert with its recorded id, or
+    /// the agenda is unexpectedly non-empty afterwards. Validation
+    /// failures are detected before any state is touched; later failures
+    /// leave the engine in need of another restore (or [`Engine::reset`]).
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<()> {
+        for (rule, _) in &snap.refraction {
+            if !self.rule_names.contains_key(rule) {
+                return Err(EngineError::Type {
+                    expected: "rule known to this policy",
+                    found: rule.to_string(),
+                });
+            }
+        }
+        let mut prev_id = 0u64;
+        for rec in &snap.facts {
+            if !self.templates.contains_key(&rec.template) {
+                return Err(EngineError::UnknownTemplate(rec.template.to_string()));
+            }
+            if rec.id <= prev_id {
+                return Err(EngineError::Type {
+                    expected: "ascending positive fact ids",
+                    found: format!("f-{} after f-{prev_id}", rec.id),
+                });
+            }
+            prev_id = rec.id;
+        }
+        self.wm.clear();
+        self.agenda.clear();
+        self.agenda_keys.clear();
+        self.refraction.clear();
+        self.transcript.clear();
+        self.pending_output.clear();
+        self.firings.clear();
+        self.support_log.clear();
+        self.trace.clear();
+        if self.matcher == Matcher::Rete {
+            let mut host = MatchHost {
+                globals: &self.globals,
+                natives: &self.natives,
+                userfns: &self.userfns,
+            };
+            self.rete.reset(&self.wm, &mut host)?;
+        }
+        // Refraction before facts: each re-assert below re-derives the
+        // matches the fact completes, and the already-fired ones must be
+        // suppressed as they land.
+        for (rule, tuple) in &snap.refraction {
+            let idx = self.rule_names[rule];
+            self.refraction.insert((idx, tuple.iter().map(|s| s.map(FactId::from_raw)).collect()));
+        }
+        // Watch tracing off for the replay: these asserts are
+        // reconstruction, not new activity.
+        let watch = std::mem::replace(&mut self.watch, false);
+        let replayed = self.restore_facts(snap);
+        self.watch = watch;
+        replayed?;
+        if !self.agenda.is_empty() {
+            return Err(EngineError::Type {
+                expected: "empty agenda after restore",
+                found: format!("{} activations", self.agenda.len()),
+            });
+        }
+        self.activation_seq = snap.activation_seq;
+        self.fired_total = snap.fired_total as usize;
+        self.rete.stats = snap.match_stats;
+        Ok(())
+    }
+
+    fn restore_facts(&mut self, snap: &EngineSnapshot) -> Result<()> {
+        for rec in &snap.facts {
+            let template = self.templates[&rec.template].clone();
+            let fact = Fact::from_parts(template, rec.slots.clone())?;
+            self.wm.set_next_id(rec.id - 1);
+            if self.assert_fact(fact)? != Some(FactId::from_raw(rec.id)) {
+                return Err(EngineError::Type {
+                    expected: "snapshot fact to re-assert under its recorded id",
+                    found: format!("f-{} collapsed as a duplicate", rec.id),
+                });
+            }
+        }
+        self.wm.set_next_id(snap.next_fact_id);
+        Ok(())
+    }
+
+    /// Approximate resident bytes attributable to this engine's event
+    /// stream: working memory, match-network tokens and memories,
+    /// refraction keys, transcript, trace, and firing records. The rule
+    /// base and templates are excluded — they are fixed per policy and
+    /// shared across sessions, not a per-session growth surface.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = self.wm.approx_bytes() + self.rete.approx_bytes();
+        bytes += self.refraction.iter().map(|(_, tuple)| 32 + tuple.len() * 16).sum::<usize>();
+        bytes += self.agenda_keys.len() * 64;
+        bytes += self.transcript.len() + self.pending_output.len();
+        bytes += self.trace.iter().map(|line| line.len() + 24).sum::<usize>();
+        for firing in &self.firings {
+            bytes += std::mem::size_of::<FiringRecord>()
+                + firing.output.len()
+                + firing.fact_ids.len() * 16
+                + firing.facts.len() * 8;
+        }
+        bytes
+    }
+
     /// Takes and clears the printout transcript.
     pub fn take_output(&mut self) -> String {
         std::mem::take(&mut self.transcript)
@@ -1325,5 +1499,114 @@ mod tests {
         }
         assert_eq!(e.run(Some(2)).unwrap(), 2);
         assert_eq!(e.agenda_len(), 3);
+    }
+
+    /// A policy with a plain rule, a negated rule (exercising the
+    /// transient-activation path during restore), and a consuming rule
+    /// (so refraction keys over retracted facts get pruned).
+    fn snapshot_policy() -> Engine {
+        let mut e = engine_with_event();
+        e.add_template(Template::new("alarm", [SlotDef::single("level")])).unwrap();
+        e.add_rule(
+            RuleBuilder::new("on-bad")
+                .pattern(
+                    PatternCE::new("event").slot(
+                        "kind",
+                        SlotPattern::Single(FieldConstraint::literal(Value::sym("bad"))),
+                    ),
+                )
+                .action(Expr::Assert {
+                    template: Arc::from("alarm"),
+                    slots: vec![(Arc::from("level"), vec![Expr::lit(Value::sym("HIGH"))])],
+                })
+                .action(Expr::Printout(vec![Expr::lit("bad!")]))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            RuleBuilder::new("quiet")
+                .pattern(PatternCE::new("event").slot(
+                    "kind",
+                    SlotPattern::Single(FieldConstraint::literal(Value::sym("open"))),
+                ))
+                .not(PatternCE::new("alarm"))
+                .action(Expr::Printout(vec![Expr::lit("calm")]))
+                .build(),
+        )
+        .unwrap();
+        e.add_rule(
+            RuleBuilder::new("consume-close")
+                .pattern(PatternCE::new("event").bind("f").slot(
+                    "kind",
+                    SlotPattern::Single(FieldConstraint::literal(Value::sym("close"))),
+                ))
+                .action(Expr::Retract(vec![Expr::var("f")]))
+                .build(),
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn snapshot_restore_is_indistinguishable_from_uninterrupted_run() {
+        let stream =
+            [("open", 1), ("close", 2), ("bad", 3), ("open", 4), ("close", 5), ("open", 6)];
+        for cut in 0..=stream.len() {
+            let mut uncut = snapshot_policy();
+            let mut first = snapshot_policy();
+            for (kind, n) in &stream[..cut] {
+                first.assert_fact(event(&first, kind, *n)).unwrap();
+                first.run(None).unwrap();
+            }
+            let snap = first.snapshot().unwrap();
+            let decoded = EngineSnapshot::decode(&snap.encode()).unwrap();
+            assert_eq!(decoded, snap, "codec round-trip at cut {cut}");
+            let mut resumed = snapshot_policy();
+            resumed.restore(&decoded).unwrap();
+            for (kind, n) in &stream {
+                uncut.assert_fact(event(&uncut, kind, *n)).unwrap();
+                uncut.run(None).unwrap();
+            }
+            first.take_output();
+            for (kind, n) in &stream[cut..] {
+                for e in [&mut first, &mut resumed] {
+                    e.assert_fact(event(e, kind, *n)).unwrap();
+                    e.run(None).unwrap();
+                }
+            }
+            assert_eq!(resumed.take_output(), first.take_output(), "tail output at cut {cut}");
+            for e in [&first, &resumed] {
+                assert_eq!(e.fired_total(), uncut.fired_total(), "firing count at cut {cut}");
+                assert_eq!(e.match_stats(), uncut.match_stats(), "match stats at cut {cut}");
+                assert_eq!(e.fact_count(), uncut.fact_count(), "fact count at cut {cut}");
+                assert_eq!(
+                    e.snapshot().unwrap(),
+                    uncut.snapshot().unwrap(),
+                    "final snapshot at cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_requires_quiescence() {
+        let mut e = snapshot_policy();
+        e.assert_fact(event(&e, "bad", 1)).unwrap();
+        assert!(e.snapshot().is_err(), "pending activation must block snapshot");
+        e.run(None).unwrap();
+        assert!(e.snapshot().is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_policy_without_touching_state() {
+        let mut donor = snapshot_policy();
+        donor.assert_fact(event(&donor, "bad", 1)).unwrap();
+        donor.run(None).unwrap();
+        let snap = donor.snapshot().unwrap();
+        let mut other = engine_with_event(); // no alarm template, no rules
+        other.assert_fact(event(&other, "open", 9)).unwrap();
+        let before = other.fact_count();
+        assert!(other.restore(&snap).is_err());
+        assert_eq!(other.fact_count(), before, "failed validation must not wipe");
     }
 }

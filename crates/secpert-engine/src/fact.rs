@@ -20,6 +20,12 @@ impl FactId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw number (snapshot restore only —
+    /// fabricating ids for a live working memory violates monotonicity).
+    pub(crate) fn from_raw(raw: u64) -> FactId {
+        FactId(raw)
+    }
 }
 
 impl fmt::Display for FactId {
@@ -44,6 +50,25 @@ impl Fact {
             .map(|s| s.default().cloned().unwrap_or_else(|| s.implicit_default()))
             .collect();
         Fact { template, slots }
+    }
+
+    /// Rebuilds a fact from already-coerced slot values (snapshot
+    /// restore). The values are trusted to have passed coercion when the
+    /// fact was first built; only the arity is re-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SlotArity`] when the slot count does not
+    /// match the template.
+    pub(crate) fn from_parts(template: Arc<Template>, slots: Vec<Value>) -> Result<Fact> {
+        if slots.len() != template.slots().len() {
+            return Err(EngineError::SlotArity {
+                template: template.name().to_string(),
+                slot: "*".to_string(),
+                message: format!("{} values for {} slots", slots.len(), template.slots().len()),
+            });
+        }
+        Ok(Fact { template, slots })
     }
 
     /// The fact's template.
@@ -357,6 +382,45 @@ impl WorkingMemory {
         self.facts.is_empty()
     }
 
+    /// The id counter's current position (the last id handed out).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Forces the id counter so the next assert hands out `next + 1`.
+    /// Snapshot restore only: replaying facts with their original ids
+    /// requires positioning the counter just below each recorded id.
+    pub(crate) fn set_next_id(&mut self, next: u64) {
+        self.next_id = next;
+    }
+
+    /// Approximate resident bytes: facts (template refs share their
+    /// `Arc<Template>`, so only slot payloads count per fact) plus the
+    /// per-template, content, and slot-value indexes. An estimate for
+    /// memory budgeting, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for fact in self.facts.values() {
+            bytes += std::mem::size_of::<Fact>() + 48; // Arc + map slot overhead
+            for value in fact.slots() {
+                bytes += value_approx_bytes(value);
+            }
+        }
+        // Index entries: id lists in by_template/by_content, and one
+        // (Value, BTreeSet node) pair per indexed slot occurrence.
+        bytes += self.by_template.values().map(|ids| 32 + ids.len() * 8).sum::<usize>();
+        bytes += self.by_content.len() * 32;
+        bytes += self.content_keys.len() * 16;
+        for index in self.by_slot_value.values() {
+            for buckets in index {
+                for (value, ids) in buckets {
+                    bytes += value_approx_bytes(value) + 32 + ids.len() * 24;
+                }
+            }
+        }
+        bytes
+    }
+
     /// Removes every fact but keeps the id counter monotonic.
     pub fn clear(&mut self) {
         self.facts.clear();
@@ -365,6 +429,18 @@ impl WorkingMemory {
         self.by_slot_value.clear();
         self.content_keys.clear();
     }
+}
+
+/// Approximate heap bytes held by one value (shared `Arc` payloads are
+/// charged to every holder — deliberate, since budget accounting wants
+/// an upper bound, not a deduplicated census).
+pub(crate) fn value_approx_bytes(value: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match value {
+            Value::Sym(s) | Value::Str(s) => s.len(),
+            Value::Multi(items) => items.iter().map(value_approx_bytes).sum(),
+            Value::Int(_) | Value::Float(_) | Value::Fact(_) => 0,
+        }
 }
 
 #[cfg(test)]
@@ -438,6 +514,31 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(f.to_string(), "(ev (a SYS_execve) (b \"/bin/ls\" FILE))");
+    }
+
+    #[test]
+    fn from_parts_checks_arity_only() {
+        let f = Fact::from_parts(tmpl(), vec![Value::Int(1), Value::empty_multi()]).unwrap();
+        assert_eq!(f.get("a").unwrap(), &Value::Int(1));
+        assert!(Fact::from_parts(tmpl(), vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn set_next_id_positions_the_counter() {
+        let mut wm = WorkingMemory::new();
+        wm.set_next_id(6);
+        let id = wm.assert(FactBuilder::new(tmpl()).slot("a", 1).build().unwrap()).unwrap();
+        assert_eq!(id.raw(), 7);
+        assert_eq!(FactId::from_raw(7), id);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_population() {
+        let mut wm = WorkingMemory::new();
+        let empty = wm.approx_bytes();
+        wm.assert(FactBuilder::new(tmpl()).slot("a", Value::str("/bin/ls")).build().unwrap())
+            .unwrap();
+        assert!(wm.approx_bytes() > empty);
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod pattern;
 mod prefilter;
 mod rete;
 mod rule;
+pub mod snapshot;
 mod template;
 mod value;
 
@@ -74,5 +75,6 @@ pub use pattern::{Atom, CondElem, FieldConstraint, PatternCE, SlotPattern, Term}
 pub use prefilter::AlphaPrefilter;
 pub use rete::MatchStats;
 pub use rule::{Rule, RuleBuilder};
+pub use snapshot::{EngineSnapshot, FactRecord, SnapshotError};
 pub use template::{SlotDef, SlotKind, Template};
 pub use value::Value;

@@ -172,6 +172,39 @@ impl ReteNetwork {
         ReteNetwork::default()
     }
 
+    /// Approximate resident bytes of the token tree, beta memories, and
+    /// per-fact dispatch maps — the match network's growth surface for
+    /// session memory budgeting. Compiled productions are excluded: their
+    /// size is a function of the (shared, fixed) rule base, not of the
+    /// event stream.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for token in self.tokens.values() {
+            bytes += std::mem::size_of::<Token>()
+                + token.children.len() * std::mem::size_of::<TokenId>()
+                + token.tuple.len() * std::mem::size_of::<Option<FactId>>()
+                + token.blockers.len() * 24
+                + token
+                    .bindings
+                    .iter()
+                    .map(|(name, value)| name.len() + crate::fact::value_approx_bytes(value))
+                    .sum::<usize>();
+        }
+        for prod in &self.prods {
+            for memory in &prod.memories {
+                bytes += memory.by_tuple.len() * 48;
+                for (value, ids) in &memory.index {
+                    bytes += crate::fact::value_approx_bytes(value) + 32 + ids.len() * 8;
+                }
+                bytes += memory.unindexed.len() * 8;
+            }
+        }
+        bytes += self.fact_tokens.values().map(|v| 32 + v.len() * 8).sum::<usize>();
+        bytes += self.fact_fast.values().map(|v| 32 + v.len() * 24).sum::<usize>();
+        bytes += self.fact_blocks.values().map(|s| 32 + s.len() * 8).sum::<usize>();
+        bytes
+    }
+
     fn new_token_id(&mut self) -> TokenId {
         self.next_token += 1;
         TokenId(self.next_token)
