@@ -186,6 +186,11 @@ pub enum SecpertEvent {
         executable_content: bool,
         /// Listening-socket context for accepted connections.
         server: Option<ServerInfo>,
+        /// Number of bytes the write carried. Fleet-level correlation
+        /// sums these per session and per target (the "low-and-slow
+        /// exfiltration" digest counters); wire format v1 predates the
+        /// field and decodes it as 0.
+        bytes: u64,
     },
 }
 

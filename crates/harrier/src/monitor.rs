@@ -434,6 +434,7 @@ impl Harrier {
                     address,
                     executable_content,
                     server,
+                    bytes: u64::from(*len),
                 });
             }
             SyscallEffect::ExecRequested { path, path_addr, .. } => {

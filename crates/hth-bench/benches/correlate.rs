@@ -1,0 +1,184 @@
+//! Correlator cost model: what cross-session correlation adds on top of
+//! per-session analysis.
+//!
+//! Two questions, two measurements:
+//!
+//! * **Digest build** — the per-event overhead every shard pays to keep
+//!   a [`DigestBuilder`] current ([`DigestBuilder::observe`] over the
+//!   coordinated campaign's recorded streams, replicated), in events
+//!   per second. This is the tax on the hot path.
+//! * **Correlation pass** — [`Correlator::correlate`] latency as the
+//!   fleet grows (campaign digests replicated to 12, 120 and 1200
+//!   sessions with distinct ids and labels), in µs per digest. This is
+//!   the cost of one `stats()` / drain / `--correlate` pass, off the
+//!   hot path.
+//!
+//! Results go to `BENCH_correlate.json` at the repo root. Run with
+//! `cargo bench -p hth-bench --bench correlate`; `--test` runs a tiny
+//! configuration as a smoke check and writes nothing.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use harrier::SecpertEvent;
+use hth_bench::json::Json;
+use hth_core::{
+    digest_session, CorrelateConfig, Correlator, DigestBuilder, Session, SessionConfig,
+    SessionDigest,
+};
+
+/// Runs the coordinated campaign once, collecting each session's raw
+/// event stream and its finished digest.
+fn capture_campaign() -> (Vec<Vec<SecpertEvent>>, Vec<SessionDigest>) {
+    let mut streams = Vec::new();
+    let mut digests = Vec::new();
+    for (sid, scenario) in hth_workloads::coordinated::scenarios().iter().enumerate() {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut session = Session::new(SessionConfig::default()).expect("policy loads");
+        let start = (scenario.setup)(&mut session);
+        let sink = Arc::clone(&events);
+        session.set_event_tap(Box::new(move |event| {
+            sink.lock().expect("event sink").push(event.clone());
+        }));
+        let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+        let env: Vec<(&str, &str)> =
+            start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        session.start(start.path, &argv, &env).expect("spawns");
+        session.run().expect("runs");
+        digests.push(digest_session(sid as u64, scenario.id, session.events(), session.warnings()));
+        drop(session);
+        streams.push(
+            Arc::try_unwrap(events)
+                .unwrap_or_else(|_| unreachable!("tap dropped with the session"))
+                .into_inner()
+                .expect("event sink"),
+        );
+    }
+    (streams, digests)
+}
+
+/// `replicas` copies of the campaign with distinct session ids and
+/// labels — a fleet of `12 * replicas` sessions that still coordinates.
+fn fleet_of(base: &[SessionDigest], replicas: usize) -> Vec<SessionDigest> {
+    let mut fleet = Vec::with_capacity(base.len() * replicas);
+    for r in 0..replicas {
+        for d in base {
+            let mut copy = d.clone();
+            copy.session = (r * base.len()) as u64 + d.session;
+            copy.label = format!("{}#{r}", d.label);
+            fleet.push(copy);
+        }
+    }
+    fleet
+}
+
+/// Measures `DigestBuilder::observe` over every campaign stream,
+/// `replicate` times.
+fn measure_digest_build(streams: &[Vec<SecpertEvent>], replicate: usize) -> (u64, Duration) {
+    let start = Instant::now();
+    let mut observed = 0u64;
+    for r in 0..replicate {
+        for (sid, stream) in streams.iter().enumerate() {
+            let mut builder = DigestBuilder::new((r * streams.len() + sid) as u64, "bench");
+            for event in stream {
+                builder.observe(event);
+                observed += 1;
+            }
+            assert!(!builder.finish().is_quiet(), "campaign sessions are never quiet");
+        }
+    }
+    (observed, start.elapsed())
+}
+
+struct Pass {
+    sessions: usize,
+    warnings: usize,
+    elapsed: Duration,
+}
+
+/// Measures one full correlation pass over a fleet (best of three).
+fn measure_correlate(fleet: &[SessionDigest]) -> Pass {
+    let mut correlator = Correlator::new(CorrelateConfig::default());
+    for d in fleet {
+        correlator.ingest(d.clone());
+    }
+    let mut best: Option<Pass> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = correlator.correlate().expect("correlate");
+        let pass = Pass {
+            sessions: fleet.len(),
+            warnings: report.warnings.len(),
+            elapsed: start.elapsed(),
+        };
+        assert!(pass.warnings >= 3, "a coordinated fleet must warn");
+        if best.as_ref().is_none_or(|b| pass.elapsed < b.elapsed) {
+            best = Some(pass);
+        }
+    }
+    best.expect("three runs")
+}
+
+fn main() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    let (streams, digests) = capture_campaign();
+
+    if test_mode {
+        let (observed, _) = measure_digest_build(&streams, 1);
+        assert_eq!(observed, streams.iter().map(Vec::len).sum::<usize>() as u64);
+        let pass = measure_correlate(&digests);
+        assert_eq!(pass.sessions, 12);
+        println!("test correlate ... ok");
+        return;
+    }
+
+    let replicate = 2000;
+    let (observed, build_elapsed) = measure_digest_build(&streams, replicate);
+    let events_per_sec = observed as f64 / build_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "digest_build: {observed} events observed in {build_elapsed:.2?} ({events_per_sec:.0} events/sec, {:.0} ns/event)",
+        build_elapsed.as_secs_f64() * 1e9 / observed as f64
+    );
+
+    let mut rows = Vec::new();
+    for replicas in [1usize, 10, 100] {
+        let fleet = fleet_of(&digests, replicas);
+        let pass = measure_correlate(&fleet);
+        let us_per_digest = pass.elapsed.as_secs_f64() * 1e6 / pass.sessions as f64;
+        println!(
+            "correlate/sessions={:<5} {:>2} warnings in {:>8.2?}  ({:>7.1} us/digest)",
+            pass.sessions, pass.warnings, pass.elapsed, us_per_digest
+        );
+        rows.push((pass, us_per_digest));
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("correlate".into())),
+        (
+            "digest_build".into(),
+            Json::Obj(vec![
+                ("events".into(), Json::Num(observed as f64)),
+                ("elapsed_ms".into(), Json::Num(build_elapsed.as_secs_f64() * 1e3)),
+                ("events_per_sec".into(), Json::Num(events_per_sec)),
+            ]),
+        ),
+        (
+            "correlate".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|(pass, us_per_digest)| {
+                        Json::Obj(vec![
+                            ("sessions".into(), Json::Num(pass.sessions as f64)),
+                            ("warnings".into(), Json::Num(pass.warnings as f64)),
+                            ("elapsed_ms".into(), Json::Num(pass.elapsed.as_secs_f64() * 1e3)),
+                            ("us_per_digest".into(), Json::Num(*us_per_digest)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_correlate.json");
+    std::fs::write(path, json.to_string_pretty() + "\n").expect("write BENCH_correlate.json");
+    println!("wrote {path}");
+}

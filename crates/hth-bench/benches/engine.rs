@@ -113,6 +113,7 @@ fn bench_policy_event(c: &mut Criterion) {
                 address: 0,
                 executable_content: false,
                 server: None,
+                bytes: 16,
             };
             secpert.process_event(&event).unwrap().len()
         });

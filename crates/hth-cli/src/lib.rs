@@ -10,9 +10,10 @@
 //! hth listing <prog.s>    # assemble and print the listing
 //! hth fleet [--sessions N] [--shards N] [--workers N] [--queue N]
 //!           [--batch-size N] [--drop-oldest] [--chaos-seed N]
+//!           [--correlate] [--digests OUT.hthd]
 //!           [--trust NAME]… [--trace OUT.json] [--metrics]
 //! hth replay <events.hthj> [--repair] [--batch-size N] [--trust NAME]…
-//! hth explain <events.hthj> <warning-idx> [--trust NAME]…
+//! hth explain <events.hthj|digests.hthd> <warning-idx> [--trust NAME]…
 //! hth serve [--addr H:P] [--workers N] [--budget-mb N] [--idle-ms N]
 //!           [--trust NAME]… [--metrics]
 //! hth load [--addr H:P] [--sessions N] [--events N] [--shutdown]
@@ -70,9 +71,12 @@ pub enum Command {
     Load(LoadOptions),
     /// Explain one warning from a journal replay: print its causal
     /// tree (triggering event, rule chain, supporting facts, taint
-    /// sources).
+    /// sources). Given a digest stream (`hth fleet --digests`) instead,
+    /// explains a *fleet* warning: the tree spans the contributing
+    /// sessions.
     Explain {
-        /// Path to the journal recorded with `hth run --journal`.
+        /// Path to a journal (`hth run --journal`) or a digest stream
+        /// (`hth fleet --digests`); told apart by the header version.
         journal: String,
         /// 0-based index of the warning in replay order.
         index: usize,
@@ -102,6 +106,11 @@ pub struct FleetOptions {
     /// Seed for deterministic fault injection (chaos testing); `None`
     /// runs the fleet fault-free.
     pub chaos_seed: Option<u64>,
+    /// Run the coordinated-campaign catalog and correlate the fleet's
+    /// session digests after the run.
+    pub correlate: bool,
+    /// Write the fleet's session digest stream here.
+    pub digests: Option<String>,
     /// Extra trusted binaries.
     pub trust: Vec<String>,
     /// Write a Chrome `trace_event` JSON timeline of the run here.
@@ -120,6 +129,8 @@ impl Default for FleetOptions {
             batch_size: hth_fleet::PoolConfig::default().batch_size,
             drop_oldest: false,
             chaos_seed: None,
+            correlate: false,
+            digests: None,
             trust: Vec::new(),
             trace: None,
             metrics: false,
@@ -237,11 +248,14 @@ USAGE:
                                damaged journal and reports what was lost;
                                --batch-size N feeds the engine N events
                                per batch (same warnings at any size)
-  hth explain <events.hthj> <warning-idx>
+  hth explain <events.hthj|digests.hthd> <warning-idx>
                                replay a journal and print the causal tree
                                behind one warning (0-based replay order):
                                triggering event, rule-firing chain,
-                               supporting facts, taint sources
+                               supporting facts, taint sources; given a
+                               digest stream (hth fleet --digests) the
+                               tree is fleet-level and spans the
+                               sessions behind the correlated warning
   hth serve [options]          run the fleet daemon: sessions over TCP,
                                LRU + idle eviction under a memory
                                budget, snapshot/restore on eviction,
@@ -285,6 +299,13 @@ FLEET OPTIONS:
   --chaos-seed N     inject deterministic faults (shard panics, queue
                      stalls) derived from seed N; losses are counted,
                      never silent
+  --correlate        run the coordinated-campaign catalog (bots sharing
+                     one C2, droppers planting one artifact, leakers
+                     slicing exfil under per-session thresholds) and
+                     correlate the fleet's session digests after the
+                     run — fleet warnings print with the report
+  --digests OUT.hthd write the fleet's session digest stream; feed it
+                     to `hth explain` for fleet-level causal trees
   --trust NAME       add a trusted binary (substring match)
   --trace OUT.json   write a Chrome trace_event timeline of the fleet
                      run (all worker and analyst threads)
@@ -482,6 +503,8 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
                         .map_err(|_| format!("bad --chaos-seed `{text}` (want a u64)"))?,
                 );
             }
+            "--correlate" => opts.correlate = true,
+            "--digests" => opts.digests = Some(value("--digests")?),
             "--trust" => opts.trust.push(value("--trust")?),
             "--trace" => opts.trace = Some(value("--trace")?),
             "--metrics" => opts.metrics = true,
@@ -716,12 +739,20 @@ fn load(opts: LoadOptions) -> Result<String, String> {
     Ok(out)
 }
 
-/// Runs `opts.sessions` workload sessions (the Table 8 exploit catalog,
-/// cycled) through the sharded analyst pool and renders the report.
+/// Runs `opts.sessions` workload sessions through the sharded analyst
+/// pool and renders the report. The catalog is the Table 8 exploit set,
+/// cycled — or, with `--correlate`, the coordinated campaign whose
+/// sessions are individually (near-)silent and only damn each other in
+/// aggregate.
 fn fleet(opts: FleetOptions) -> Result<String, String> {
+    let catalog = if opts.correlate {
+        hth_workloads::coordinated::scenarios
+    } else {
+        hth_workloads::exploits::scenarios
+    };
     let mut scenarios = Vec::with_capacity(opts.sessions);
     while scenarios.len() < opts.sessions {
-        for scenario in hth_workloads::exploits::scenarios() {
+        for scenario in catalog() {
             if scenarios.len() == opts.sessions {
                 break;
             }
@@ -738,12 +769,26 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
     if let Some(seed) = opts.chaos_seed {
         config.pool.faults = Some(Arc::new(FaultPlan::from_seed(seed)));
     }
+    if opts.correlate {
+        config.correlate = Some(hth_core::CorrelateConfig::default());
+    }
     config.session.policy.trusted_binaries.extend(opts.trust.iter().cloned());
     if opts.trace.is_some() {
         hth_trace::set_enabled(true);
     }
     let report = hth_fleet::run_scenarios(scenarios, &config).map_err(|e| e.to_string())?;
     let mut out = report.render();
+    if let Some(path) = &opts.digests {
+        let stream = hth_fleet::write_digest_stream(&report.digests);
+        std::fs::write(path, &stream)
+            .map_err(|e| format!("cannot write digest stream `{path}`: {e}"))?;
+        let _ = writeln!(
+            out,
+            "digests: {} sessions ({} bytes) written to {path}",
+            report.digests.len(),
+            stream.len(),
+        );
+    }
     if !report.match_stats.is_empty() {
         let _ = writeln!(out, "{}", render_match_stats(&report.match_stats, "  "));
     }
@@ -767,15 +812,39 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
 }
 
 /// Replays a journal through a fresh Secpert and prints the causal
-/// tree behind warning number `index` (0-based, replay order).
+/// tree behind warning number `index` (0-based, replay order). A
+/// digest stream — told apart by its header version byte — is instead
+/// fed to the fleet correlator, and the tree printed is fleet-level:
+/// its supports are the per-session digest facts behind the correlated
+/// warning, so it spans the contributing sessions.
 fn explain(journal: &str, index: usize, trust: Vec<String>) -> Result<String, String> {
+    let bytes =
+        std::fs::read(journal).map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
+    if matches!(hth_fleet::wire::read_header_any(&bytes), Ok(hth_fleet::DIGEST_VERSION)) {
+        let digests =
+            hth_fleet::read_digest_stream(&bytes).map_err(|e| format!("`{journal}`: {e}"))?;
+        let mut correlator = hth_core::Correlator::new(hth_core::CorrelateConfig::default());
+        for digest in digests {
+            correlator.ingest(digest);
+        }
+        let report = correlator.correlate().map_err(|e| format!("`{journal}`: {e}"))?;
+        let warning = report.warnings.get(index).ok_or_else(|| {
+            format!(
+                "`{journal}` correlated {} sessions into {} fleet warnings; index {index} is out of range (0-based)",
+                report.sessions,
+                report.warnings.len()
+            )
+        })?;
+        return match &warning.provenance {
+            Some(provenance) => Ok(provenance.render_tree(warning)),
+            None => Err(format!("fleet warning {index} has no recorded provenance")),
+        };
+    }
     let mut policy = PolicyConfig::default();
     policy.trusted_binaries.extend(trust);
     let mut secpert = Secpert::new(&policy).map_err(|e| e.to_string())?;
-    let file = std::fs::File::open(journal)
-        .map_err(|e| format!("cannot read journal `{journal}`: {e}"))?;
-    let reader = JournalReader::new(std::io::BufReader::new(file))
-        .map_err(|e| format!("`{journal}`: {e}"))?;
+    let reader =
+        JournalReader::new(std::io::Cursor::new(bytes)).map_err(|e| format!("`{journal}`: {e}"))?;
     let warnings =
         hth_fleet::replay(reader, &mut secpert).map_err(|e| format!("`{journal}`: {e}"))?;
     let warning = warnings.get(index).ok_or_else(|| {
@@ -1064,6 +1133,17 @@ mod tests {
         assert!(parse(&strs(&["fleet", "--batch-size", "0"])).is_err());
         assert!(parse(&strs(&["fleet", "--batch-size"])).is_err());
         assert!(parse(&strs(&["fleet", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_fleet_correlate_options() {
+        let cmd = parse(&strs(&["fleet", "--correlate", "--digests", "fleet.hthd"])).unwrap();
+        let Command::Fleet(opts) = cmd else { panic!() };
+        assert!(opts.correlate);
+        assert_eq!(opts.digests.as_deref(), Some("fleet.hthd"));
+        assert!(!FleetOptions::default().correlate);
+        assert_eq!(FleetOptions::default().digests, None);
+        assert!(parse(&strs(&["fleet", "--digests"])).is_err());
     }
 
     #[test]
@@ -1393,6 +1473,40 @@ mod tests {
         assert!(tree.contains("/bin/ls"), "{tree}");
         let err = execute(Command::Explain { journal: path, index: 99, trust: vec![] });
         assert!(err.is_err());
+        assert!(err.unwrap_err().contains("out of range"));
+    }
+
+    /// `hth fleet --correlate --digests` runs the coordinated campaign,
+    /// prints the fleet warnings, and writes a digest stream that
+    /// `hth explain` turns into a cross-session causal tree.
+    #[test]
+    fn fleet_correlate_then_explain_end_to_end() {
+        let dir = std::env::temp_dir().join("hth-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let digests = dir.join("fleet.hthd");
+        let out = execute(Command::Fleet(FleetOptions {
+            sessions: 12,
+            shards: 2,
+            workers: 2,
+            correlate: true,
+            digests: Some(digests.to_string_lossy().into_owned()),
+            ..FleetOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("fleet correlation: 12 sessions"), "{out}");
+        assert!(out.contains("shared_c2"), "{out}");
+        assert!(out.contains("recurring_dropper"), "{out}");
+        assert!(out.contains("distributed_exfil"), "{out}");
+        assert!(out.contains("digests: 12 sessions"), "{out}");
+
+        let path = digests.to_string_lossy().into_owned();
+        let tree =
+            execute(Command::Explain { journal: path.clone(), index: 0, trust: vec![] }).unwrap();
+        assert!(tree.contains("rule chain:"), "{tree}");
+        assert!(tree.contains("digest-stream"), "{tree}");
+        // The fleet tree names the sessions that conspired.
+        assert!(tree.contains("session-"), "{tree}");
+        let err = execute(Command::Explain { journal: path, index: 99, trust: vec![] });
         assert!(err.unwrap_err().contains("out of range"));
     }
 

@@ -1,0 +1,314 @@
+//! Session digests: the compact facts one monitored session exports for
+//! fleet-wide correlation.
+//!
+//! The paper scores one process at a time; a fleet correlator needs a
+//! summary of each session that is (a) tiny compared to the event
+//! stream, (b) order-insensitive, and (c) mergeable — a digest built
+//! from two halves of a stream must equal the digest of the whole.
+//! [`SessionDigest`] is that summary: warning skeletons (severity +
+//! rule), hardcoded beacon endpoints, dropped-artifact identities, and
+//! per-target exfiltration byte counters. All collections are B-tree
+//! ordered so two digests built from the same events are *structurally
+//! identical*, whatever shard or batch boundary produced them — the
+//! property `tests/correlate_equivalence.rs` pins.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use harrier::{ResourceType, SecpertEvent};
+
+use crate::warning::{Severity, Warning};
+
+/// Identity of an artifact a session dropped on disk: the path plus the
+/// content classification. Two sessions writing executable socket-fed
+/// bytes to the same path share a [`DropIdentity`] — the fleet-level
+/// "recurring dropper" signal.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DropIdentity {
+    /// Path written to.
+    pub path: String,
+    /// True when the written bytes looked executable.
+    pub executable: bool,
+    /// Sorted, deduplicated taint kinds of the written bytes
+    /// (`SOCKET`, `FILE`, …).
+    pub content: Vec<String>,
+}
+
+/// The compact, mergeable summary of one session that crosses the wire
+/// to the fleet correlator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionDigest {
+    /// Fleet-wide session id.
+    pub session: u64,
+    /// Program label (scenario id under `hth fleet`, client-supplied
+    /// under `hth serve`); empty when never registered.
+    pub label: String,
+    /// Events the session produced.
+    pub events: u64,
+    /// Per-session warning skeletons: `(severity, rule)` → count.
+    pub warnings: BTreeMap<(Severity, String), u64>,
+    /// Endpoints the program connected to using a *hardcoded* address —
+    /// the per-session C2 beacon candidates.
+    pub beacons: BTreeSet<String>,
+    /// Artifacts written to disk from socket-tainted bytes.
+    pub drops: BTreeSet<DropIdentity>,
+    /// Bytes of file/user-input-tainted data written per socket target.
+    pub exfil: BTreeMap<String, u64>,
+}
+
+impl SessionDigest {
+    /// An empty digest for a session.
+    pub fn new(session: u64, label: impl Into<String>) -> SessionDigest {
+        SessionDigest {
+            session,
+            label: label.into(),
+            events: 0,
+            warnings: BTreeMap::new(),
+            beacons: BTreeSet::new(),
+            drops: BTreeSet::new(),
+            exfil: BTreeMap::new(),
+        }
+    }
+
+    /// True when the session produced nothing a correlator could use.
+    pub fn is_quiet(&self) -> bool {
+        self.warnings.is_empty()
+            && self.beacons.is_empty()
+            && self.drops.is_empty()
+            && self.exfil.is_empty()
+    }
+
+    /// Folds another digest of the *same session* into this one: counts
+    /// add, sets union. Digesting a stream in two halves and merging
+    /// equals digesting the whole — the property chaos recovery leans
+    /// on when a quarantined shard's lost digests are replayed.
+    pub fn merge(&mut self, other: &SessionDigest) {
+        debug_assert_eq!(self.session, other.session, "merging digests of different sessions");
+        if self.label.is_empty() {
+            self.label = other.label.clone();
+        }
+        self.events += other.events;
+        for (key, count) in &other.warnings {
+            *self.warnings.entry(key.clone()).or_insert(0) += count;
+        }
+        self.beacons.extend(other.beacons.iter().cloned());
+        self.drops.extend(other.drops.iter().cloned());
+        for (target, bytes) in &other.exfil {
+            *self.exfil.entry(target.clone()).or_insert(0) += bytes;
+        }
+    }
+}
+
+/// Incrementally builds a [`SessionDigest`] from a session's event and
+/// warning stream. Order-insensitive: any interleaving of the same
+/// multiset of observations yields the same digest.
+#[derive(Clone, Debug)]
+pub struct DigestBuilder {
+    digest: SessionDigest,
+}
+
+impl DigestBuilder {
+    /// A builder for one session.
+    pub fn new(session: u64, label: impl Into<String>) -> DigestBuilder {
+        DigestBuilder { digest: SessionDigest::new(session, label) }
+    }
+
+    /// (Re)binds the program label.
+    pub fn set_label(&mut self, label: &str) {
+        self.digest.label = label.to_string();
+    }
+
+    /// Folds one event into the digest.
+    pub fn observe(&mut self, event: &SecpertEvent) {
+        self.digest.events += 1;
+        match event {
+            SecpertEvent::ResourceAccess { syscall, resource, origin, .. } => {
+                // A connect to an endpoint the program carries in its
+                // own image: the beacon shape. User-directed or
+                // file-configured endpoints don't count — they differ
+                // per session and would only add noise fleet-wide.
+                if *syscall == "SYS_connect"
+                    && resource.kind == ResourceType::Socket
+                    && origin.has(ResourceType::Binary)
+                {
+                    self.digest.beacons.insert(resource.name.clone());
+                }
+            }
+            SecpertEvent::DataTransfer {
+                data_sources, target, executable_content, bytes, ..
+            } => {
+                let tainted = |kind| data_sources.iter().any(|s| s.kind == kind);
+                if target.kind == ResourceType::File && tainted(ResourceType::Socket) {
+                    // Downloaded bytes landing on disk: a drop.
+                    let mut content: Vec<String> =
+                        data_sources.iter().map(|s| s.kind.symbol().to_string()).collect();
+                    content.sort();
+                    content.dedup();
+                    self.digest.drops.insert(DropIdentity {
+                        path: target.name.clone(),
+                        executable: *executable_content,
+                        content,
+                    });
+                }
+                if target.kind == ResourceType::Socket
+                    && (tainted(ResourceType::File) || tainted(ResourceType::UserInput))
+                {
+                    // Local data leaving over the network: count the
+                    // bytes per target so the correlator can sum a
+                    // fleet-wide exfiltration volume that no single
+                    // session's counter reveals.
+                    *self.digest.exfil.entry(target.name.clone()).or_insert(0) += bytes;
+                }
+            }
+        }
+    }
+
+    /// Folds one warning skeleton into the digest.
+    pub fn observe_warning(&mut self, warning: &Warning) {
+        *self.digest.warnings.entry((warning.severity, warning.rule.clone())).or_insert(0) += 1;
+    }
+
+    /// The digest built so far.
+    pub fn digest(&self) -> &SessionDigest {
+        &self.digest
+    }
+
+    /// A copy of the digest built so far (live streaming under
+    /// `hth serve`, where the session keeps running).
+    pub fn snapshot(&self) -> SessionDigest {
+        self.digest.clone()
+    }
+
+    /// Consumes the builder.
+    pub fn finish(self) -> SessionDigest {
+        self.digest
+    }
+}
+
+/// Digests a recorded session in one call (offline replay paths).
+pub fn digest_session(
+    session: u64,
+    label: &str,
+    events: &[SecpertEvent],
+    warnings: &[Warning],
+) -> SessionDigest {
+    let mut builder = DigestBuilder::new(session, label);
+    for event in events {
+        builder.observe(event);
+    }
+    for warning in warnings {
+        builder.observe_warning(warning);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harrier::{Origin, SourceInfo};
+
+    fn connect(endpoint: &str, hardcoded: bool) -> SecpertEvent {
+        SecpertEvent::ResourceAccess {
+            pid: 1,
+            syscall: "SYS_connect",
+            resource: SourceInfo::new(ResourceType::Socket, endpoint),
+            origin: if hardcoded {
+                Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/bot")] }
+            } else {
+                Origin { sources: vec![SourceInfo::new(ResourceType::UserInput, "STDIN")] }
+            },
+            time: 1,
+            frequency: 1,
+            address: 0,
+            proc_count: None,
+            proc_rate: None,
+            mem_total: None,
+            server: None,
+        }
+    }
+
+    fn transfer(target: SourceInfo, source: ResourceType, bytes: u64) -> SecpertEvent {
+        SecpertEvent::DataTransfer {
+            pid: 1,
+            syscall: "SYS_write",
+            data_sources: vec![SourceInfo::new(source, "src")],
+            data_origin: Origin::unknown(),
+            target,
+            target_origin: Origin::unknown(),
+            time: 2,
+            frequency: 1,
+            address: 0,
+            executable_content: source == ResourceType::Socket,
+            server: None,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn extraction_rules() {
+        let mut b = DigestBuilder::new(7, "bot");
+        b.observe(&connect("c2.example:6667", true));
+        b.observe(&connect("user.example:80", false)); // user-directed: not a beacon
+        b.observe(&transfer(
+            SourceInfo::new(ResourceType::File, "/tmp/payload"),
+            ResourceType::Socket,
+            100,
+        ));
+        b.observe(&transfer(
+            SourceInfo::new(ResourceType::Socket, "drop.example:81"),
+            ResourceType::File,
+            600,
+        ));
+        b.observe(&transfer(
+            SourceInfo::new(ResourceType::Socket, "drop.example:81"),
+            ResourceType::File,
+            24,
+        ));
+        // Binary-tainted socket writes (the xeyes shape) are not exfil.
+        b.observe(&transfer(
+            SourceInfo::new(ResourceType::Socket, "x11:6000"),
+            ResourceType::Binary,
+            999,
+        ));
+        let d = b.finish();
+        assert_eq!(d.events, 6);
+        assert_eq!(d.beacons.iter().collect::<Vec<_>>(), ["c2.example:6667"]);
+        assert_eq!(d.drops.len(), 1);
+        let drop = d.drops.iter().next().unwrap();
+        assert_eq!(drop.path, "/tmp/payload");
+        assert!(drop.executable);
+        assert_eq!(drop.content, ["SOCKET"]);
+        assert_eq!(d.exfil.get("drop.example:81"), Some(&624));
+        assert_eq!(d.exfil.len(), 1);
+    }
+
+    #[test]
+    fn merge_of_halves_equals_digest_of_whole() {
+        let events = vec![
+            connect("c2.example:6667", true),
+            transfer(SourceInfo::new(ResourceType::Socket, "t:1"), ResourceType::File, 10),
+            connect("c2.example:6667", true),
+            transfer(SourceInfo::new(ResourceType::Socket, "t:1"), ResourceType::File, 32),
+        ];
+        let whole = digest_session(3, "w", &events, &[]);
+        let mut first = digest_session(3, "w", &events[..2], &[]);
+        let second = digest_session(3, "", &events[2..], &[]);
+        first.merge(&second);
+        assert_eq!(first, whole);
+    }
+
+    #[test]
+    fn quiet_digest() {
+        let d = SessionDigest::new(1, "idle");
+        assert!(d.is_quiet());
+        let mut b = DigestBuilder::new(1, "idle");
+        b.observe_warning(&Warning {
+            severity: Severity::Low,
+            rule: "r".into(),
+            pid: 1,
+            time: 0,
+            message: "m".into(),
+            provenance: None,
+        });
+        assert!(!b.finish().is_quiet());
+    }
+}

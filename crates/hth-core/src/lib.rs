@@ -34,14 +34,18 @@
 
 #![warn(missing_docs)]
 
+mod correlate;
 mod cross_session;
+mod digest;
 mod policy;
 mod provenance;
 mod secpert;
 mod session;
 mod warning;
 
+pub use correlate::{CorrelateConfig, CorrelationReport, Correlator};
 pub use cross_session::{BotnetReport, DropRecord, SessionHistory};
+pub use digest::{digest_session, DigestBuilder, DropIdentity, SessionDigest};
 pub use policy::{PolicyConfig, POLICY_CLIPS};
 pub use provenance::{FactSupport, Provenance};
 pub use secpert::Secpert;

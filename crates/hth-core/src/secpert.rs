@@ -700,6 +700,9 @@ impl Secpert {
                 address,
                 executable_content,
                 server,
+                // Byte counts feed the fleet correlator's digests, not
+                // the per-session policy's facts.
+                bytes: _,
             } => {
                 let mut b = engine
                     .fact("data_transfer")?
@@ -802,6 +805,12 @@ fn register_filters(engine: &mut Engine, config: &PolicyConfig) {
     let t = none;
     engine.register_fn("filter_hardware", move |args| filter(args, "HARDWARE", t.clone()));
 
+    register_severity_text(engine);
+}
+
+/// Registers the `severity-text` native (level → `Warning [LOW]` …).
+/// Shared with the fleet correlator, which has no `filter_*` natives.
+pub(crate) fn register_severity_text(engine: &mut Engine) {
     engine.register_fn("severity-text", |args| {
         let level = args
             .first()
@@ -818,7 +827,7 @@ fn register_filters(engine: &mut Engine, config: &PolicyConfig) {
 }
 
 /// Registers the `warn` native: `(warn level rule pid time message)`.
-fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Arc<Warning>>>>) {
+pub(crate) fn register_warn(engine: &mut Engine, sink: Arc<Mutex<Vec<Arc<Warning>>>>) {
     engine.register_fn("warn", move |args| {
         let [level, rule, pid, time, message] = args else {
             return Err(EngineError::Type {
@@ -1001,6 +1010,7 @@ mod tests {
             address: 0,
             executable_content: false,
             server,
+            bytes: 0,
         }
     }
 

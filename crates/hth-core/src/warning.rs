@@ -25,6 +25,16 @@ impl Severity {
         })
     }
 
+    /// The policy's numeric encoding (inverse of
+    /// [`Severity::from_level`]).
+    pub fn level(self) -> i64 {
+        match self {
+            Severity::Low => 1,
+            Severity::Medium => 2,
+            Severity::High => 3,
+        }
+    }
+
     /// The paper's rendering: `LOW`, `MEDIUM`, `HIGH`.
     pub fn label(self) -> &'static str {
         match self {

@@ -11,7 +11,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use harrier::TaintStats;
-use hth_core::{SessionConfig, Severity};
+use hth_core::{
+    CorrelateConfig, CorrelationReport, Correlator, SessionConfig, SessionDigest, Severity,
+};
 use hth_trace::MetricsSnapshot;
 use hth_workloads::Scenario;
 use secpert_engine::{EngineError, MatchStats};
@@ -30,11 +32,20 @@ pub struct FleetConfig {
     /// forced off — analysis happens in the pool — and `record_events`
     /// off; the event stream lives in the queues, not in session memory.
     pub session: SessionConfig,
+    /// Run the fleet correlator over the per-session digests after the
+    /// pool drains (`hth fleet --correlate`). `None` skips correlation;
+    /// the digests are collected either way.
+    pub correlate: Option<CorrelateConfig>,
 }
 
 impl Default for FleetConfig {
     fn default() -> FleetConfig {
-        FleetConfig { pool: PoolConfig::default(), workers: 4, session: SessionConfig::default() }
+        FleetConfig {
+            pool: PoolConfig::default(),
+            workers: 4,
+            session: SessionConfig::default(),
+            correlate: None,
+        }
     }
 }
 
@@ -75,6 +86,12 @@ pub struct FleetReport {
     pub match_stats: MatchStats,
     /// Taint-store counters folded across every session's monitor.
     pub taint_stats: TaintStats,
+    /// Per-session digests (session order), labelled with scenario ids
+    /// — the facts the fleet correlator consumes.
+    pub digests: Vec<SessionDigest>,
+    /// The fleet correlator's verdict, when
+    /// [`FleetConfig::correlate`] was set.
+    pub correlation: Option<CorrelationReport>,
 }
 
 impl FleetReport {
@@ -109,6 +126,11 @@ impl FleetReport {
         );
         for ((severity, rule), count) in self.warning_counts.iter().rev() {
             let _ = writeln!(out, "  {count:5}x [{severity}] {rule}");
+        }
+        if let Some(correlation) = &self.correlation {
+            for line in correlation.render().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
         }
         if self.lost() > 0 || self.respawns > 0 {
             let _ = writeln!(
@@ -159,6 +181,10 @@ impl FleetReport {
         for shard in &self.shards {
             metrics.observe("hth_pool_shard_events", shard.events);
             metrics.max_gauge("hth_pool_queue_high_water", shard.high_water as i64);
+        }
+        metrics.add_counter("hth_fleet_digests", self.digests.len() as u64);
+        if let Some(correlation) = &self.correlation {
+            metrics.add_counter("hth_fleet_correlator_warnings", correlation.warnings.len() as u64);
         }
         metrics
     }
@@ -234,6 +260,22 @@ pub fn run_scenarios(
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
     session_errors.extend(runner_errors);
+    let mut analyst_errors = report.errors;
+    let correlation = config.correlate.as_ref().map(|correlate_config| {
+        let mut correlator = Correlator::new(correlate_config.clone());
+        for digest in &report.digests {
+            correlator.ingest(digest.clone());
+        }
+        correlator.correlate()
+    });
+    let correlation = match correlation {
+        Some(Ok(report)) => Some(report),
+        Some(Err(e)) => {
+            analyst_errors.push(format!("correlator: {e}"));
+            None
+        }
+        None => None,
+    };
     Ok(FleetReport {
         sessions,
         submitted: report.submitted,
@@ -247,12 +289,14 @@ pub fn run_scenarios(
         warning_counts: warning_multiset(&report.warnings),
         shards: report.shards,
         session_errors,
-        analyst_errors: report.errors,
+        analyst_errors,
         match_stats: report.match_stats,
         taint_stats: Arc::try_unwrap(taint_totals)
             .unwrap_or_default()
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner),
+        digests: report.digests,
+        correlation,
     })
 }
 
@@ -272,6 +316,7 @@ fn run_one(
     pool: &Arc<AnalystPool>,
     batch_size: usize,
 ) -> Result<TaintStats, hth_core::SessionError> {
+    pool.set_label(sid, scenario.id);
     let mut session = hth_core::Session::new(config)?;
     let start = (scenario.setup)(&mut session);
     let tap_pool = Arc::clone(pool);

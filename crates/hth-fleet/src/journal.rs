@@ -3,17 +3,21 @@
 //! real recordings die.
 //!
 //! A journal is a [`wire`](crate::wire) stream with one extra layer of
-//! framing. Two framing versions coexist:
+//! framing. Three framing versions coexist:
 //!
 //! * **v1** (`HTHW` + `0x01`) — each event is its varint-encoded length
 //!   followed by the payload. Readable forever, but a flipped payload
 //!   byte is invisible until the decoder trips over it (or worse,
 //!   decodes the wrong event silently).
-//! * **v2** (`HTHW` + `0x02`, the default) — each frame is the varint
-//!   payload length, a CRC32 of the payload (4 bytes little-endian),
-//!   then the payload. Bit rot and torn writes are *detected*, and
-//!   [`recover`] distinguishes a clean end of stream from a torn tail
-//!   from mid-stream corruption, salvaging every decodable prefix.
+//! * **v2** (`HTHW` + `0x02`) — each frame is the varint payload
+//!   length, a CRC32 of the payload (4 bytes little-endian), then the
+//!   payload. Bit rot and torn writes are *detected*, and [`recover`]
+//!   distinguishes a clean end of stream from a torn tail from
+//!   mid-stream corruption, salvaging every decodable prefix.
+//! * **v3** (`HTHW` + `0x03`, the default) — v2's CRC framing carrying
+//!   version-2 *event* payloads (the `bytes` transfer counter that
+//!   fleet correlation sums). v1/v2 journals keep decoding forever;
+//!   their transfers simply report zero bytes.
 //!
 //! The string-interning table spans one journal stream — records must
 //! be read in order, and nothing after a corrupt frame can be trusted.
@@ -39,8 +43,21 @@ use crate::wire::{
 /// Journal framing version 1: `[len][payload]`, no checksum.
 pub const JOURNAL_V1: u8 = 1;
 
-/// Journal framing version 2: `[len][crc32][payload]` (the default).
+/// Journal framing version 2: `[len][crc32][payload]`.
 pub const JOURNAL_V2: u8 = 2;
+
+/// Journal framing version 3: v2 framing, version-2 event payloads
+/// (adds the per-transfer byte counter). The default.
+pub const JOURNAL_V3: u8 = 3;
+
+/// The wire *event* version carried by a journal framing version.
+fn event_version(journal_version: u8) -> u8 {
+    if journal_version >= JOURNAL_V3 {
+        2
+    } else {
+        1
+    }
+}
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -68,14 +85,14 @@ pub struct JournalWriter<W: Write> {
 }
 
 impl<W: Write> JournalWriter<W> {
-    /// Starts a v2 (CRC-framed) journal: writes the stream header
-    /// immediately.
+    /// Starts a v3 (CRC-framed, byte-counting events) journal: writes
+    /// the stream header immediately.
     ///
     /// # Errors
     ///
     /// Propagates sink write errors.
     pub fn new(sink: W) -> Result<JournalWriter<W>, WireError> {
-        JournalWriter::with_version(sink, JOURNAL_V2)
+        JournalWriter::with_version(sink, JOURNAL_V3)
     }
 
     /// Starts a journal in the legacy v1 framing (no per-frame CRC).
@@ -89,13 +106,23 @@ impl<W: Write> JournalWriter<W> {
         JournalWriter::with_version(sink, JOURNAL_V1)
     }
 
-    fn with_version(mut sink: W, version: u8) -> Result<JournalWriter<W>, WireError> {
+    /// Starts a journal in an explicit framing version (compatibility
+    /// fixtures and downgrade paths).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadVersion`] for unknown versions, sink write
+    /// errors otherwise.
+    pub fn with_version(mut sink: W, version: u8) -> Result<JournalWriter<W>, WireError> {
+        if !(JOURNAL_V1..=JOURNAL_V3).contains(&version) {
+            return Err(WireError::BadVersion(version));
+        }
         let mut header = Vec::with_capacity(HEADER_LEN);
         write_header_versioned(&mut header, version);
         sink.write_all(&header)?;
         Ok(JournalWriter {
             sink,
-            encoder: EventEncoder::new(),
+            encoder: EventEncoder::for_version(event_version(version)),
             scratch: Vec::new(),
             events: 0,
             bytes: HEADER_LEN as u64,
@@ -205,13 +232,18 @@ impl<R: Read> JournalReader<R> {
             _ => WireError::Io(e),
         })?;
         let version = read_header_any(&header)?;
-        if !(JOURNAL_V1..=JOURNAL_V2).contains(&version) {
+        if !(JOURNAL_V1..=JOURNAL_V3).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
-        Ok(JournalReader { source, decoder: EventDecoder::new(), frame: Vec::new(), version })
+        Ok(JournalReader {
+            source,
+            decoder: EventDecoder::for_version(event_version(version)),
+            frame: Vec::new(),
+            version,
+        })
     }
 
-    /// The journal's framing version (1 or 2).
+    /// The journal's framing version (1, 2 or 3).
     pub fn version(&self) -> u8 {
         self.version
     }
@@ -399,7 +431,7 @@ pub fn recover(buf: &[u8]) -> (Vec<SecpertEvent>, RecoveryReport) {
         error: None,
     };
     let version = match read_header_any(buf) {
-        Ok(v) if (JOURNAL_V1..=JOURNAL_V2).contains(&v) => v,
+        Ok(v) if (JOURNAL_V1..=JOURNAL_V3).contains(&v) => v,
         Ok(v) => {
             report.error = Some(WireError::BadVersion(v).to_string());
             return (Vec::new(), report);
@@ -410,7 +442,7 @@ pub fn recover(buf: &[u8]) -> (Vec<SecpertEvent>, RecoveryReport) {
         }
     };
     report.version = version;
-    let mut decoder = EventDecoder::new();
+    let mut decoder = EventDecoder::for_version(event_version(version));
     let mut events = Vec::new();
     let mut pos = HEADER_LEN;
 
@@ -842,9 +874,55 @@ mod tests {
         assert_eq!(writer.events(), 10);
         let bytes = writer.finish().unwrap();
         let reader = JournalReader::new(&bytes[..]).unwrap();
-        assert_eq!(reader.version(), JOURNAL_V2);
+        assert_eq!(reader.version(), JOURNAL_V3);
         let decoded: Result<Vec<SecpertEvent>, WireError> = reader.collect();
         assert_eq!(decoded.unwrap(), events);
+    }
+
+    fn transfer(bytes: u64) -> SecpertEvent {
+        SecpertEvent::DataTransfer {
+            pid: 1,
+            syscall: "SYS_send",
+            data_sources: vec![SourceInfo::new(ResourceType::File, "/etc/passwd")],
+            data_origin: Origin::unknown(),
+            target: SourceInfo::new(ResourceType::Socket, "10.0.0.1:80"),
+            target_origin: Origin::unknown(),
+            time: 1,
+            frequency: 1,
+            address: 0,
+            executable_content: false,
+            server: None,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn v3_round_trips_transfer_bytes() {
+        let mut writer = JournalWriter::new(Vec::new()).unwrap();
+        writer.append(&transfer(4096)).unwrap();
+        let bytes = writer.finish().unwrap();
+        assert_eq!(bytes[4], JOURNAL_V3);
+        let decoded: Vec<SecpertEvent> =
+            JournalReader::new(&bytes[..]).unwrap().map(Result::unwrap).collect();
+        assert_eq!(decoded, vec![transfer(4096)]);
+    }
+
+    #[test]
+    fn v2_journal_decodes_transfers_with_zero_bytes() {
+        let mut writer = JournalWriter::with_version(Vec::new(), JOURNAL_V2).unwrap();
+        writer.append(&transfer(4096)).unwrap();
+        let bytes = writer.finish().unwrap();
+        let decoded: Vec<SecpertEvent> =
+            JournalReader::new(&bytes[..]).unwrap().map(Result::unwrap).collect();
+        assert_eq!(decoded, vec![transfer(0)], "v2 event payloads predate the counter");
+    }
+
+    #[test]
+    fn unknown_journal_version_is_rejected_at_write_time() {
+        assert!(matches!(
+            JournalWriter::with_version(Vec::new(), 9),
+            Err(WireError::BadVersion(9))
+        ));
     }
 
     #[test]

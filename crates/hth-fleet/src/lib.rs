@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod digest_wire;
 pub mod faults;
 pub mod fleet;
 pub mod journal;
@@ -35,13 +36,16 @@ pub mod pool;
 pub mod wire;
 
 pub use batch::EventBatch;
+pub use digest_wire::{
+    read_digest_stream, write_digest_stream, DigestDecoder, DigestEncoder, DIGEST_VERSION,
+};
 pub use faults::{ConnectionFault, FaultPlan, JournalFault};
 pub use fleet::{run_scenarios, warning_multiset, FleetConfig, FleetReport, WarningKey};
 pub use journal::{
     recover, recover_segments, replay, replay_batched, replay_repair, replay_repair_batched,
     replay_segments, replay_segments_batched, segment_path, segment_paths, JournalReader,
     JournalWriter, RecoveryOutcome, RecoveryReport, ReplayError, SegmentedJournalWriter,
-    JOURNAL_V1, JOURNAL_V2,
+    JOURNAL_V1, JOURNAL_V2, JOURNAL_V3,
 };
 pub use pool::{AnalystPool, Backpressure, PoolConfig, PoolReport, SessionId, ShardStats};
 pub use wire::{crc32, EventDecoder, EventEncoder, WireError, MAX_FRAME_LEN};

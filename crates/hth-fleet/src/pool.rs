@@ -25,15 +25,16 @@
 //! path has a counter: `submitted == analysed + dropped + quarantined
 //! + discarded` holds for every shard, always.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use harrier::SecpertEvent;
-use hth_core::{PolicyConfig, Secpert, Warning};
+use hth_core::{DigestBuilder, PolicyConfig, Secpert, SessionDigest, Warning};
 use secpert_engine::{EngineError, MatchStats};
 
+use crate::digest_wire::{read_digest_stream, write_digest_stream};
 use crate::faults::FaultPlan;
 
 /// Identifies one monitored session within a fleet (used only for shard
@@ -152,12 +153,18 @@ pub struct PoolReport {
     /// One line per quarantined event: which shard, which event, what
     /// the panic said.
     pub quarantine_log: Vec<String>,
-    /// The lost events themselves, when
-    /// [`PoolConfig::keep_lost_events`] was set (dropped + quarantined
-    /// + discarded, in no particular global order).
-    pub lost_events: Vec<SecpertEvent>,
+    /// The lost events themselves (with the session they belonged to),
+    /// when [`PoolConfig::keep_lost_events`] was set (dropped +
+    /// quarantined + discarded, in no particular global order).
+    pub lost_events: Vec<(SessionId, SecpertEvent)>,
     /// Match-network counters aggregated across all shards.
     pub match_stats: MatchStats,
+    /// One digest per session, in session order: what each shard's
+    /// analyst actually observed, shipped over the digest wire codec
+    /// and merged here. Labels registered via
+    /// [`AnalystPool::set_label`] are applied; unlabelled sessions keep
+    /// an empty label (the correlator renders them `session-<id>`).
+    pub digests: Vec<SessionDigest>,
 }
 
 impl PoolReport {
@@ -168,13 +175,13 @@ impl PoolReport {
 }
 
 struct QueueState {
-    deque: VecDeque<SecpertEvent>,
+    deque: VecDeque<(SessionId, SecpertEvent)>,
     closed: bool,
     submitted: u64,
     dropped: u64,
     high_water: usize,
     /// Evicted events, kept only under `keep_lost_events`.
-    evicted: Vec<SecpertEvent>,
+    evicted: Vec<(SessionId, SecpertEvent)>,
 }
 
 struct ShardQueue {
@@ -200,8 +207,20 @@ struct ShardOutcome {
     respawns: u32,
     errors: Vec<String>,
     quarantine_log: Vec<String>,
-    lost_events: Vec<SecpertEvent>,
+    lost_events: Vec<(SessionId, SecpertEvent)>,
     match_stats: MatchStats,
+    /// Digest builders for the sessions this shard analysed; serialised
+    /// into `digest_stream` when the shard drains.
+    digests: BTreeMap<SessionId, DigestBuilder>,
+    /// The shard's digests as a wire stream (header + CRC frames) —
+    /// the same bytes a remote shard would ship to a correlator.
+    digest_stream: Vec<u8>,
+}
+
+impl ShardOutcome {
+    fn digest(&mut self, session: SessionId) -> &mut DigestBuilder {
+        self.digests.entry(session).or_insert_with(|| DigestBuilder::new(session, ""))
+    }
 }
 
 /// The pool: construct, `submit` events, then `finish` to drain and
@@ -213,6 +232,11 @@ pub struct AnalystPool {
     capacity: usize,
     backpressure: Backpressure,
     keep_lost_events: bool,
+    /// Program labels for the final digests, registered by whoever
+    /// knows what a session *is* (the fleet runner's scenario id, a
+    /// serve client's hello). Workers never read this — labels are
+    /// applied when the digests are merged in [`AnalystPool::finish`].
+    labels: Mutex<BTreeMap<SessionId, String>>,
 }
 
 impl AnalystPool {
@@ -274,12 +298,23 @@ impl AnalystPool {
             capacity: config.queue_capacity,
             backpressure: config.backpressure,
             keep_lost_events: config.keep_lost_events,
+            labels: Mutex::new(BTreeMap::new()),
         })
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.queues.len()
+    }
+
+    /// Registers the program label a session's digest will carry (the
+    /// correlator's "distinct programs" dimension). Idempotent; last
+    /// writer wins.
+    pub fn set_label(&self, session: SessionId, label: &str) {
+        self.labels
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(session, label.to_string());
     }
 
     /// The shard a session's events are routed to (Fibonacci hashing on
@@ -314,7 +349,7 @@ impl AnalystPool {
                 }
             }
         }
-        state.deque.push_back(event);
+        state.deque.push_back((session, event));
         state.high_water = state.high_water.max(state.deque.len());
         drop(state);
         queue.not_empty.notify_one();
@@ -357,7 +392,7 @@ impl AnalystPool {
                     }
                 }
             }
-            state.deque.push_back(event);
+            state.deque.push_back((session, event));
             state.high_water = state.high_water.max(state.deque.len());
         }
         drop(state);
@@ -374,6 +409,7 @@ impl AnalystPool {
             queue.not_full.notify_all();
         }
         let mut report = PoolReport::default();
+        let mut digests: BTreeMap<SessionId, SessionDigest> = BTreeMap::new();
         for (shard, (queue, worker)) in self.queues.iter().zip(self.workers).enumerate() {
             let outcome = worker.join().unwrap_or_else(|panic| {
                 let mut outcome = ShardOutcome::default();
@@ -386,7 +422,7 @@ impl AnalystPool {
             // A lost worker leaves its queue undrained; account the
             // leftovers as discarded so the submit invariant holds.
             let leftovers = state.deque.len() as u64;
-            let leftover_events: Vec<SecpertEvent> = state.deque.drain(..).collect();
+            let leftover_events: Vec<(SessionId, SecpertEvent)> = state.deque.drain(..).collect();
             let evicted = std::mem::take(&mut state.evicted);
             let stats = ShardStats {
                 submitted: state.submitted,
@@ -416,7 +452,34 @@ impl AnalystPool {
                 report.lost_events.extend(leftover_events);
             }
             report.warnings.extend(outcome.warnings);
+            // Decode the shard's digest stream exactly as a remote
+            // correlator would. A shard whose stream fails to decode is
+            // a codec bug, not an event-loss path: report it loudly.
+            match read_digest_stream(&outcome.digest_stream) {
+                Ok(decoded) => {
+                    for digest in decoded {
+                        match digests.get_mut(&digest.session) {
+                            Some(existing) => existing.merge(&digest),
+                            None => {
+                                digests.insert(digest.session, digest);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    if !outcome.digest_stream.is_empty() {
+                        report.errors.push(format!("shard {shard}: digest stream corrupt: {e}"));
+                    }
+                }
+            }
         }
+        let labels = self.labels.lock().unwrap_or_else(PoisonError::into_inner);
+        for (session, digest) in &mut digests {
+            if let Some(label) = labels.get(session) {
+                digest.label = label.clone();
+            }
+        }
+        report.digests = digests.into_values().collect();
         report
     }
 }
@@ -464,17 +527,24 @@ fn analyst_loop(
     let mut analyst = Analyst::Running(Box::new(engine));
     let mut nth = 0u64;
     let batch_size = batch_size.max(1);
-    // The reusable drain buffer: one allocation for the life of the
-    // shard, refilled on every queue crossing.
+    // The reusable drain buffers: struct-of-arrays so the engine still
+    // sees a contiguous `&[SecpertEvent]` run while every slot keeps
+    // its session id for digest attribution. One allocation for the
+    // life of the shard, refilled on every queue crossing.
+    let mut sids: Vec<SessionId> = Vec::with_capacity(batch_size);
     let mut batch: Vec<SecpertEvent> = Vec::with_capacity(batch_size);
     loop {
+        sids.clear();
         batch.clear();
         {
             let mut state = lock_state(queue);
             loop {
                 if !state.deque.is_empty() {
                     let n = batch_size.min(state.deque.len());
-                    batch.extend(state.deque.drain(..n));
+                    for (sid, event) in state.deque.drain(..n) {
+                        sids.push(sid);
+                        batch.push(event);
+                    }
                     break;
                 }
                 if state.closed {
@@ -485,17 +555,23 @@ fn analyst_loop(
         }
         if batch.is_empty() {
             // Closed and drained: fold the live engine's match counters
-            // into the outcome before the engine is dropped.
+            // into the outcome before the engine is dropped, then ship
+            // the shard's digests as one wire stream.
             if let Analyst::Running(engine) = &analyst {
                 outcome.match_stats.merge(&engine.match_stats());
             }
+            let digests: Vec<SessionDigest> = std::mem::take(&mut outcome.digests)
+                .into_values()
+                .map(DigestBuilder::finish)
+                .collect();
+            outcome.digest_stream = write_digest_stream(&digests);
             return outcome;
         }
         match batch.len() {
             1 => queue.not_full.notify_one(),
             _ => queue.not_full.notify_all(),
         }
-        process_drained(&mut analyst, &mut outcome, &supervisor, &batch, &mut nth);
+        process_drained(&mut analyst, &mut outcome, &supervisor, &sids, &batch, &mut nth);
     }
 }
 
@@ -510,6 +586,7 @@ fn process_drained(
     analyst: &mut Analyst,
     outcome: &mut ShardOutcome,
     supervisor: &Supervisor,
+    sids: &[SessionId],
     batch: &[SecpertEvent],
     nth: &mut u64,
 ) {
@@ -534,7 +611,7 @@ fn process_drained(
                 }
                 outcome.discarded += 1;
                 if supervisor.keep_lost_events {
-                    outcome.lost_events.push(event.clone());
+                    outcome.lost_events.push((sids[i], event.clone()));
                 }
                 i += 1;
             }
@@ -559,7 +636,10 @@ fn process_drained(
             match result {
                 Ok(Ok(warnings)) => {
                     outcome.events += run.len() as u64;
-                    outcome.warnings.extend(warnings);
+                    for k in i..j {
+                        outcome.digest(sids[k]).observe(&batch[k]);
+                    }
+                    record_warnings(outcome, warnings, &sids[i..j], events_before);
                     i = j;
                 }
                 Ok(Err(e)) => {
@@ -570,15 +650,15 @@ fn process_drained(
                     // results.
                     let ok = completed_before_failure(engine, events_before);
                     outcome.events += ok as u64;
-                    outcome.warnings.extend(completed_warnings(
-                        engine,
-                        sink_before,
-                        events_before + ok as u64,
-                    ));
+                    for k in i..i + ok {
+                        outcome.digest(sids[k]).observe(&batch[k]);
+                    }
+                    let kept = completed_warnings(engine, sink_before, events_before + ok as u64);
+                    record_warnings(outcome, kept, &sids[i..j], events_before);
                     outcome.errors.push(format!("shard {shard}: engine error: {e}"));
                     outcome.discarded += 1;
                     if supervisor.keep_lost_events {
-                        outcome.lost_events.push(batch[i + ok].clone());
+                        outcome.lost_events.push((sids[i + ok], batch[i + ok].clone()));
                     }
                     // Retired merge: this engine never runs again, so
                     // its live tokens are folded into `tokens_removed`
@@ -594,15 +674,16 @@ fn process_drained(
                     let ok = completed_before_failure(engine, events_before);
                     let culprit = i + ok;
                     outcome.events += ok as u64;
-                    outcome.warnings.extend(completed_warnings(
-                        engine,
-                        sink_before,
-                        events_before + ok as u64,
-                    ));
+                    for k in i..culprit {
+                        outcome.digest(sids[k]).observe(&batch[k]);
+                    }
+                    let kept = completed_warnings(engine, sink_before, events_before + ok as u64);
+                    record_warnings(outcome, kept, &sids[i..j], events_before);
                     quarantine(
                         analyst,
                         outcome,
                         supervisor,
+                        sids[culprit],
                         &batch[culprit],
                         nth_of(culprit),
                         panic,
@@ -628,23 +709,53 @@ fn process_drained(
         match result {
             Ok(Ok(warnings)) => {
                 outcome.events += 1;
+                outcome.digest(sids[i]).observe(event);
+                for warning in &warnings {
+                    outcome.digest(sids[i]).observe_warning(warning);
+                }
                 outcome.warnings.extend(warnings);
             }
             Ok(Err(e)) => {
                 outcome.errors.push(format!("shard {shard}: engine error: {e}"));
                 outcome.discarded += 1;
                 if supervisor.keep_lost_events {
-                    outcome.lost_events.push(event.clone());
+                    outcome.lost_events.push((sids[i], event.clone()));
                 }
                 outcome.match_stats.merge_retired(&engine.match_stats());
                 *analyst = Analyst::Failed;
             }
             Err(panic) => {
-                quarantine(analyst, outcome, supervisor, event, event_nth, panic);
+                quarantine(analyst, outcome, supervisor, sids[i], event, event_nth, panic);
             }
         }
         i += 1;
     }
+}
+
+/// Extends the outcome's warning list and folds each warning's skeleton
+/// into the digest of the session it belongs to. Attribution goes
+/// through the warning's provenance event index — the engine counts
+/// events for its whole life, so `event_index - events_before - 1` is
+/// the warning's offset within this run whatever the batch boundaries
+/// were, which is what keeps digests identical across batch sizes.
+fn record_warnings(
+    outcome: &mut ShardOutcome,
+    warnings: Vec<Warning>,
+    run_sids: &[SessionId],
+    events_before: u64,
+) {
+    for warning in &warnings {
+        let sid = warning
+            .provenance
+            .as_ref()
+            .and_then(|p| {
+                let offset = p.event_index.checked_sub(events_before + 1)?;
+                run_sids.get(offset as usize).copied()
+            })
+            .unwrap_or(run_sids[0]);
+        outcome.digest(sid).observe_warning(warning);
+    }
+    outcome.warnings.extend(warnings);
 }
 
 /// How many events of a partially-failed engine call completed cleanly.
@@ -673,6 +784,7 @@ fn quarantine(
     analyst: &mut Analyst,
     outcome: &mut ShardOutcome,
     supervisor: &Supervisor,
+    session: SessionId,
     event: &SecpertEvent,
     event_nth: u64,
     panic: Box<dyn std::any::Any + Send>,
@@ -682,7 +794,7 @@ fn quarantine(
     outcome.quarantined += 1;
     outcome.quarantine_log.push(format!("shard {shard} event {event_nth}: {message}"));
     if supervisor.keep_lost_events {
-        outcome.lost_events.push(event.clone());
+        outcome.lost_events.push((session, event.clone()));
     }
     // The engine is about to be replaced or dropped either way; bank
     // its match counters first. A retired merge: the replacement starts

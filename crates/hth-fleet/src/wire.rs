@@ -32,8 +32,12 @@ use harrier::{intern_syscall, Origin, ResourceType, SecpertEvent, ServerInfo, So
 /// First bytes of every stream.
 pub const MAGIC: [u8; 4] = *b"HTHW";
 
-/// Current wire-format version.
-pub const VERSION: u8 = 1;
+/// Current wire-format version. Version 2 appends the `bytes` counter
+/// to `DataTransfer` records; version-1 streams decode it as 0.
+pub const VERSION: u8 = 2;
+
+/// Oldest event-codec version this build still decodes.
+pub const MIN_VERSION: u8 = 1;
 
 const TAG_RESOURCE_ACCESS: u8 = 0;
 const TAG_DATA_TRANSFER: u8 = 1;
@@ -51,6 +55,8 @@ pub enum WireError {
     BadTag(u8),
     /// Unknown [`ResourceType`] code.
     BadResourceType(u8),
+    /// Unknown severity level in a digest stream.
+    BadSeverity(u8),
     /// A string back-reference pointed outside the interning table.
     BadStringRef(u64),
     /// An inline string was not valid UTF-8.
@@ -85,6 +91,7 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v} (max {VERSION})"),
             WireError::BadTag(t) => write!(f, "unknown event tag {t}"),
             WireError::BadResourceType(c) => write!(f, "unknown resource-type code {c}"),
+            WireError::BadSeverity(l) => write!(f, "unknown severity level {l}"),
             WireError::BadStringRef(i) => write!(f, "string back-reference {i} out of range"),
             WireError::Utf8(e) => write!(f, "string is not UTF-8: {e}"),
             WireError::Truncated => f.write_str("input truncated mid-value"),
@@ -177,7 +184,7 @@ pub fn read_header(buf: &[u8]) -> Result<usize, WireError> {
     if header[..4] != MAGIC {
         return Err(WireError::BadMagic([header[0], header[1], header[2], header[3]]));
     }
-    if header[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
         return Err(WireError::BadVersion(header[4]));
     }
     Ok(HEADER_LEN)
@@ -214,15 +221,29 @@ pub fn read_varint(buf: &[u8]) -> Result<(u64, usize), WireError> {
 /// Encodes [`SecpertEvent`]s into a stream, growing the string table as
 /// it goes. One encoder per stream; events must be decoded by a single
 /// [`EventDecoder`] in the same order.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventEncoder {
     strings: HashMap<String, u64>,
+    version: u8,
+}
+
+impl Default for EventEncoder {
+    fn default() -> EventEncoder {
+        EventEncoder::new()
+    }
 }
 
 impl EventEncoder {
-    /// A fresh encoder with an empty string table.
+    /// A fresh encoder with an empty string table, emitting the current
+    /// event-codec version.
     pub fn new() -> EventEncoder {
-        EventEncoder::default()
+        EventEncoder::for_version(VERSION)
+    }
+
+    /// An encoder for an explicit event-codec version (legacy journal
+    /// framings imply legacy event records).
+    pub fn for_version(version: u8) -> EventEncoder {
+        EventEncoder { strings: HashMap::new(), version }
     }
 
     /// Number of distinct strings interned so far.
@@ -271,6 +292,7 @@ impl EventEncoder {
                 address,
                 executable_content,
                 server,
+                bytes,
             } => {
                 out.push(TAG_DATA_TRANSFER);
                 put_varint(out, u64::from(*pid));
@@ -287,6 +309,9 @@ impl EventEncoder {
                 put_varint(out, u64::from(*address));
                 out.push(u8::from(*executable_content));
                 self.put_server(out, server);
+                if self.version >= 2 {
+                    put_varint(out, *bytes);
+                }
             }
         }
     }
@@ -338,32 +363,40 @@ impl EventEncoder {
 
 /// Decodes a stream produced by one [`EventEncoder`], mirroring its
 /// string table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventDecoder {
     strings: Vec<String>,
+    version: u8,
 }
 
-/// Cursor over the undecoded remainder of a buffer.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+impl Default for EventDecoder {
+    fn default() -> EventDecoder {
+        EventDecoder::new()
+    }
+}
+
+/// Cursor over the undecoded remainder of a buffer (shared with the
+/// digest codec in [`crate::digest_wire`]).
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl Cursor<'_> {
-    fn byte(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn byte(&mut self) -> Result<u8, WireError> {
         let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
         let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(bytes)
     }
 
-    fn varint(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, WireError> {
         let mut value = 0u64;
         let mut shift = 0u32;
         loop {
@@ -381,9 +414,16 @@ impl Cursor<'_> {
 }
 
 impl EventDecoder {
-    /// A fresh decoder with an empty string table.
+    /// A fresh decoder with an empty string table, expecting the
+    /// current event-codec version.
     pub fn new() -> EventDecoder {
-        EventDecoder::default()
+        EventDecoder::for_version(VERSION)
+    }
+
+    /// A decoder for an explicit event-codec version (version-1 streams
+    /// predate the `DataTransfer` byte counter and decode it as 0).
+    pub fn for_version(version: u8) -> EventDecoder {
+        EventDecoder { strings: Vec::new(), version }
     }
 
     /// Decodes one event from the front of `buf`; returns the event and
@@ -428,6 +468,7 @@ impl EventDecoder {
                 address: cur.varint()? as u32,
                 executable_content: cur.byte()? != 0,
                 server: self.get_server(&mut cur)?,
+                bytes: if self.version >= 2 { cur.varint()? } else { 0 },
             },
             tag => return Err(WireError::BadTag(tag)),
         };
@@ -521,7 +562,25 @@ mod tests {
                 address: "LocalHost:11116 (AF_INET)".into(),
                 origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "pmad")] },
             }),
+            bytes: 1 << 40,
         }
+    }
+
+    /// A v1 encoder/decoder pair round-trips everything except the
+    /// byte counter, which v1 streams cannot carry.
+    #[test]
+    fn v1_streams_decode_with_zero_bytes() {
+        let mut enc = EventEncoder::for_version(1);
+        let mut buf = Vec::new();
+        enc.encode(&sample_transfer(), &mut buf);
+        let mut dec = EventDecoder::for_version(1);
+        let (decoded, used) = dec.decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        let mut expected = sample_transfer();
+        if let SecpertEvent::DataTransfer { bytes, .. } = &mut expected {
+            *bytes = 0;
+        }
+        assert_eq!(decoded, expected);
     }
 
     #[test]

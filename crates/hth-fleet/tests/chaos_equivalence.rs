@@ -137,7 +137,7 @@ fn chaos_fleet_loses_exactly_what_the_counters_say() {
         let missing = multiset_sub(&baseline, &survivors);
         let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
         let mut lost_warnings = Vec::new();
-        for event in &report.lost_events {
+        for (_session, event) in &report.lost_events {
             lost_warnings.extend(secpert.process_event(event).expect("stateless replay"));
         }
         assert_eq!(
@@ -241,8 +241,9 @@ fn chaos_inside_a_batch_is_counted_exactly_like_per_event() {
             warning_multiset(&serial.warnings),
             "seed {seed}: survivor warnings diverged"
         );
-        let multiset = |events: &[SecpertEvent]| {
-            let mut rendered: Vec<String> = events.iter().map(|e| format!("{e:?}")).collect();
+        let multiset = |events: &[(u64, SecpertEvent)]| {
+            let mut rendered: Vec<String> =
+                events.iter().map(|(sid, e)| format!("{sid} {e:?}")).collect();
             rendered.sort();
             rendered
         };
@@ -250,6 +251,99 @@ fn chaos_inside_a_batch_is_counted_exactly_like_per_event() {
             multiset(&batched.lost_events),
             multiset(&serial.lost_events),
             "seed {seed}: lost events diverged"
+        );
+    }
+}
+
+/// The correlator's chaos guarantee: a quarantined shard loses events,
+/// but it cannot lose the *fleet verdict*. For every seed, the chaos
+/// pool's (partial) digests plus digests rebuilt from the captured
+/// lost events reconcile — via [`SessionDigest::merge`] inside
+/// [`Correlator::ingest`] — to byte-identical correlation with the
+/// fault-free baseline: same warnings, same cross-session provenance
+/// trees. This is the two-halves-merge property of the digest, proved
+/// end to end against the campaign that actually coordinates.
+#[test]
+fn lost_digests_replayed_reconcile_the_fleet_correlation() {
+    use hth_core::{CorrelateConfig, Correlator, DigestBuilder};
+
+    let scenarios = hth_workloads::coordinated::scenarios();
+    let streams: Vec<(String, Vec<SecpertEvent>)> =
+        scenarios.iter().map(|s| (s.id.to_string(), record(s).1)).collect();
+
+    let run = |faults: Option<Arc<FaultPlan>>, max_respawns: u32| {
+        let config = PoolConfig {
+            shards: 4,
+            faults,
+            max_respawns,
+            keep_lost_events: true,
+            ..PoolConfig::default()
+        };
+        let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy loads");
+        for (sid, (label, stream)) in streams.iter().enumerate() {
+            pool.set_label(sid as u64, label);
+            for event in stream {
+                pool.submit(sid as u64, event.clone());
+            }
+        }
+        pool.finish()
+    };
+
+    let baseline_report = run(None, 0);
+    assert_eq!(baseline_report.lost(), 0);
+    let mut baseline = Correlator::new(CorrelateConfig::default());
+    for digest in &baseline_report.digests {
+        baseline.ingest(digest.clone());
+    }
+    let baseline = baseline.correlate().expect("correlate");
+    assert_eq!(
+        baseline.warnings.len(),
+        3,
+        "the campaign must coordinate in the control run:\n{}",
+        baseline.render()
+    );
+
+    for seed in SEEDS {
+        let mut plan = FaultPlan::from_seed(seed);
+        for shard in 0..4 {
+            plan = plan.panic_on(shard, 2 + seed % 3);
+        }
+        let report = run(Some(Arc::new(plan)), (seed % 3) as u32);
+        assert!(report.quarantined > 0, "seed {seed}: the guaranteed panics must fire");
+        assert_eq!(report.lost_events.len() as u64, report.lost(), "seed {seed}");
+
+        // Rebuild what the quarantined shards never digested: replay
+        // each lost event through a fresh stateless engine (for its
+        // warnings) into a per-session salvage digest.
+        let mut salvage: BTreeMap<u64, DigestBuilder> = BTreeMap::new();
+        let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+        for (sid, event) in &report.lost_events {
+            let label = &streams[*sid as usize].0;
+            let builder =
+                salvage.entry(*sid).or_insert_with(|| DigestBuilder::new(*sid, label.as_str()));
+            builder.observe(event);
+            for warning in secpert.process_event(event).expect("stateless replay") {
+                builder.observe_warning(&warning);
+            }
+        }
+
+        // Partial digests + salvage digests merge to the whole.
+        let mut correlator = Correlator::new(CorrelateConfig::default());
+        for digest in &report.digests {
+            correlator.ingest(digest.clone());
+        }
+        for (_, builder) in salvage {
+            correlator.ingest(builder.finish());
+        }
+        let reconciled = correlator.correlate().expect("correlate");
+        assert_eq!(
+            reconciled, baseline,
+            "seed {seed}: reconciled correlation diverged from the fault-free baseline"
+        );
+        assert_eq!(
+            reconciled.render_trees(),
+            baseline.render_trees(),
+            "seed {seed}: rendered fleet trees diverged"
         );
     }
 }

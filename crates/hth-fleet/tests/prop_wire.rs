@@ -72,13 +72,13 @@ fn data_transfer() -> impl Strategy<Value = SecpertEvent> {
     (
         (any::<u32>(), syscall(), prop::collection::vec(source(), 0..4), origin()),
         (source(), origin()),
-        (any::<u64>(), any::<u64>(), any::<u32>(), any::<bool>(), server()),
+        (any::<u64>(), any::<u64>(), any::<u32>(), any::<bool>(), server(), any::<u64>()),
     )
         .prop_map(
             |(
                 (pid, syscall, data_sources, data_origin),
                 (target, target_origin),
-                (time, frequency, address, executable_content, server),
+                (time, frequency, address, executable_content, server, bytes),
             )| {
                 SecpertEvent::DataTransfer {
                     pid,
@@ -92,6 +92,7 @@ fn data_transfer() -> impl Strategy<Value = SecpertEvent> {
                     address,
                     executable_content,
                     server,
+                    bytes,
                 }
             },
         )

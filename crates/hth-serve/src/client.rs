@@ -71,6 +71,12 @@ impl Client {
         self.roundtrip(0, &Request::Flush).map(|_| ())
     }
 
+    /// Binds a program label to a session (it rides the digest stream
+    /// into the fleet correlator).
+    pub fn label(&mut self, session: u64, label: &str) -> Result<(), ServeError> {
+        self.roundtrip(session, &Request::Label { session, label: label.to_string() }).map(|_| ())
+    }
+
     /// Retires a session; returns its total warning count.
     pub fn close(&mut self, session: u64) -> Result<u64, ServeError> {
         self.roundtrip(session, &Request::Close { session })

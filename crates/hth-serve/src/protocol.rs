@@ -22,6 +22,7 @@
 //! | 4   | Close    | varint session id                           |
 //! | 5   | Stats    | —                                           |
 //! | 6   | Shutdown | —                                           |
+//! | 7   | Label    | varint session id, varint length, UTF-8 label |
 //!
 //! Acks:
 //!
@@ -71,6 +72,14 @@ pub enum Request {
     Stats,
     /// Begin a graceful drain: stop accepting, finish queued work.
     Shutdown,
+    /// Bind a program label to a session (shown in fleet digests and
+    /// consumed by the correlator's label-diversity rules).
+    Label {
+        /// Session id.
+        session: u64,
+        /// The label (last writer wins).
+        label: String,
+    },
 }
 
 /// An ack frame, decoded.
@@ -111,6 +120,10 @@ pub struct ServeStats {
     pub fallback_replays: u64,
     /// Bytes of resident engine state, as accounted.
     pub resident_bytes: u64,
+    /// Fleet-level warnings from the correlator's latest pass over the
+    /// live digests (zero when the table was built without a
+    /// correlator configuration).
+    pub correlator_warnings: u64,
 }
 
 const TAG_OPEN: u8 = 1;
@@ -119,6 +132,7 @@ const TAG_FLUSH: u8 = 3;
 const TAG_CLOSE: u8 = 4;
 const TAG_STATS: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_LABEL: u8 = 7;
 const TAG_OK: u8 = 0x80;
 const TAG_ERR: u8 = 0x81;
 const TAG_STATS_ACK: u8 = 0x82;
@@ -203,6 +217,12 @@ pub fn encode_request(req: &Request, encoder: &mut EventEncoder) -> Vec<u8> {
         }
         Request::Stats => payload.push(TAG_STATS),
         Request::Shutdown => payload.push(TAG_SHUTDOWN),
+        Request::Label { session, label } => {
+            payload.push(TAG_LABEL);
+            wire::put_varint(&mut payload, *session);
+            wire::put_varint(&mut payload, label.len() as u64);
+            payload.extend_from_slice(label.as_bytes());
+        }
     }
     frame(&payload)
 }
@@ -231,6 +251,19 @@ pub fn decode_request(payload: &[u8], decoder: &mut EventDecoder) -> Result<Requ
         }
         TAG_STATS => Request::Stats,
         TAG_SHUTDOWN => Request::Shutdown,
+        TAG_LABEL => {
+            let (session, n) = wire::read_varint(rest)?;
+            let (len, m) = wire::read_varint(&rest[n..])?;
+            let start = n + m;
+            let bytes = rest
+                .get(start..start + len as usize)
+                .ok_or(ServeError::Wire(WireError::Truncated))?;
+            expect_consumed(rest, start + len as usize)?;
+            let label = std::str::from_utf8(bytes)
+                .map_err(|_| ServeError::Protocol("label not UTF-8".into()))?
+                .to_string();
+            Request::Label { session, label }
+        }
         other => return Err(ServeError::Protocol(format!("unknown request tag {other:#x}"))),
     };
     if matches!(req, Request::Flush | Request::Stats | Request::Shutdown) && !rest.is_empty() {
@@ -313,7 +346,7 @@ pub fn write_all(stream: &mut impl Write, bytes: &[u8]) -> Result<(), ServeError
 
 impl ServeStats {
     /// Number of counters carried in a Stats ack.
-    pub const FIELDS: usize = 8;
+    pub const FIELDS: usize = 9;
 
     fn as_fields(&self) -> [u64; ServeStats::FIELDS] {
         [
@@ -325,6 +358,7 @@ impl ServeStats {
             self.restores,
             self.fallback_replays,
             self.resident_bytes,
+            self.correlator_warnings,
         ]
     }
 
@@ -338,6 +372,7 @@ impl ServeStats {
             restores: f[5],
             fallback_replays: f[6],
             resident_bytes: f[7],
+            correlator_warnings: f[8],
         }
     }
 }
@@ -371,6 +406,7 @@ mod tests {
             Request::Submit { session: 3, event: sample_event(0) },
             Request::Submit { session: 3, event: sample_event(1) },
             Request::Flush,
+            Request::Label { session: 3, label: "pwsafe".into() },
             Request::Close { session: 3 },
             Request::Stats,
             Request::Shutdown,
@@ -399,6 +435,7 @@ mod tests {
             restores: 2,
             fallback_replays: 1,
             resident_bytes: 1 << 20,
+            correlator_warnings: 2,
         };
         for ack in [
             Ack::Ok { value: 0 },

@@ -62,6 +62,9 @@ pub struct ServeSummary {
     pub http_requests: u64,
     /// Highest number of simultaneously resident sessions.
     pub resident_high_water: u64,
+    /// Final correlation pass over every session's digest (open and
+    /// retired), when the table was configured with a correlator.
+    pub correlation: Option<hth_core::CorrelationReport>,
 }
 
 /// A handle for stopping a running server from another thread.
@@ -180,12 +183,17 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
+        let correlation = match self.table.config().correlate.clone() {
+            Some(config) => Some(self.table.correlate(&config)?),
+            None => None,
+        };
         Ok(ServeSummary {
             stats: self.table.stats(),
             warning_counts: self.table.warning_counts(),
             connections: shared.connections.load(Ordering::SeqCst),
             http_requests: shared.http_requests.load(Ordering::SeqCst),
             resident_high_water: self.table.resident_high_water(),
+            correlation,
         })
     }
 }
@@ -234,8 +242,14 @@ fn handle_protocol(
     let mut header = [0u8; wire::HEADER_LEN];
     header[..4].copy_from_slice(&sniffed);
     stream.read_exact(&mut header[4..]).map_err(ServeError::Io)?;
-    wire::read_header_any(&header).map_err(ServeError::Wire)?;
-    let mut decoder = wire::EventDecoder::new();
+    let version = wire::read_header_any(&header).map_err(ServeError::Wire)?;
+    // The preamble names the *event-codec* version the client will
+    // speak; older clients keep working, but journal or digest stream
+    // headers are not a protocol opening.
+    if version > wire::VERSION {
+        return Err(ServeError::Wire(hth_fleet::WireError::BadVersion(version)));
+    }
+    let mut decoder = wire::EventDecoder::for_version(version);
     loop {
         let Some(payload) = read_frame(&mut stream)? else { return Ok(()) };
         let request = match decode_request(&payload, &mut decoder) {
@@ -257,6 +271,9 @@ fn handle_protocol(
                 ack_of(swept.map(|n| n as u64))
             }
             Request::Close { session } => ack_of(shared.table.close(session)),
+            Request::Label { session, label } => {
+                ack_of(shared.table.set_label(session, &label).map(|()| 0))
+            }
             Request::Stats => Ack::Stats(shared.table.stats()),
             Request::Shutdown => {
                 write_all(&mut stream, &encode_ack(&Ack::Ok { value: 0 }))?;

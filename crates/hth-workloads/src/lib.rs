@@ -17,10 +17,14 @@
 //! * [`extensions`] — §10 future-work features implemented here
 //!   (memory abuse, downloaded-executable content analysis),
 //! * [`table1_models`] — behavioural models of the §2.1 real-world
-//!   malware (PWSteal.Tarno.Q, Trojan.Lodeight.A, W32.Mytob.J@mm).
+//!   malware (PWSteal.Tarno.Q, Trojan.Lodeight.A, W32.Mytob.J@mm),
+//! * [`coordinated`] — the 12-session coordinated campaign for the
+//!   fleet correlator (§10 item 6); *not* in [`all_scenarios`], since
+//!   the paper tables score sessions one at a time.
 
 #![warn(missing_docs)]
 
+pub mod coordinated;
 pub mod exploits;
 pub mod extensions;
 pub mod libc;

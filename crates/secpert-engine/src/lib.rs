@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod builtins;
+pub mod correlate;
 mod engine;
 mod error;
 mod explain;
@@ -66,6 +67,7 @@ pub mod snapshot;
 mod template;
 mod value;
 
+pub use correlate::{CORRELATE_RULES, DIGEST_TEMPLATES};
 pub use engine::{Engine, Matcher, NativeFn, Strategy, UserFn};
 pub use error::{EngineError, Result};
 pub use explain::{FactSupportRecord, FiringRecord};

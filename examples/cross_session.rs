@@ -1,10 +1,14 @@
 //! Cross-session hunting (paper §10, items 3 and 6): correlate behaviour
 //! *across* monitored runs — a dropper in one session, the execution of
 //! its payload in another, and two bots sharing a command-and-control
-//! host.
+//! host — and then the full fleet correlator: the coordinated
+//! twelve-session campaign whose members are individually (near-)
+//! silent and only damn each other in aggregate.
 //!
 //! Run with `cargo run --example cross_session`.
 
+use hth::hth_core::{digest_session, CorrelateConfig, Correlator};
+use hth::hth_workloads::coordinated;
 use hth::{Session, SessionConfig, SessionHistory};
 
 const DOWNLOADER: &str = r#"
@@ -105,6 +109,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.endpoint,
             report.programs.join(" and "),
         );
+    }
+
+    // --- The fleet correlator at scale: run the coordinated campaign
+    //     (4 bots sharing a C2, 4 droppers planting one artifact, 4
+    //     leakers slicing exfil under every per-session threshold),
+    //     digest each session, and let the correlator Secpert judge
+    //     the fleet as a whole. This is what `hth fleet --correlate`
+    //     does over the sharded analyst pool. ---
+    let mut correlator = Correlator::new(CorrelateConfig::default());
+    for (sid, scenario) in coordinated::scenarios().iter().enumerate() {
+        let mut session = Session::new(SessionConfig::default())?;
+        let start = (scenario.setup)(&mut session);
+        let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+        let env: Vec<(&str, &str)> =
+            start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        session.start(start.path, &argv, &env)?;
+        session.run()?;
+        correlator.ingest(digest_session(
+            sid as u64,
+            scenario.id,
+            session.events(),
+            session.warnings(),
+        ));
+    }
+    let report = correlator.correlate().map_err(|e| e.to_string())?;
+    println!("\nthe campaign, correlated:");
+    print!("{}", report.render());
+    let c2 =
+        report.warnings.iter().find(|w| w.rule == "shared_c2").expect("the campaign shares a C2");
+    println!("\nthe shared_c2 causal tree (fleet-level `hth explain`):");
+    if let Some(provenance) = &c2.provenance {
+        print!("{}", provenance.render_tree(c2));
     }
     Ok(())
 }

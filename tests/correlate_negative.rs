@@ -1,0 +1,50 @@
+//! Negative control for the fleet correlator: an honest fleet must be
+//! silent at the fleet level.
+//!
+//! The paper's Table 1 trusted programs (ls, make, g++, awk, …) run as
+//! a 32-session fleet — each program appearing several times, as it
+//! would across real users — with the correlator on. None of the three
+//! fleet rules may fire: repeated *labels* are not coordination
+//! (`shared_c2` wants distinct programs sharing one endpoint), honest
+//! file writes are not dropper artifacts, and there is no exfiltration
+//! to sum. A correlator that warns here would bury the real campaign
+//! in noise.
+
+use hth::hth_core::CorrelateConfig;
+use hth::hth_fleet::{run_scenarios, FleetConfig};
+use hth::hth_workloads::{trusted, Scenario};
+
+/// 32 sessions cycled from the trusted catalog.
+fn benign_fleet(sessions: usize) -> Vec<Scenario> {
+    let mut scenarios = Vec::with_capacity(sessions);
+    while scenarios.len() < sessions {
+        for scenario in trusted::scenarios() {
+            if scenarios.len() == sessions {
+                break;
+            }
+            scenarios.push(scenario);
+        }
+    }
+    scenarios
+}
+
+#[test]
+fn a_benign_fleet_raises_no_fleet_warnings() {
+    let mut config = FleetConfig::default();
+    config.pool.shards = 4;
+    config.workers = 4;
+    config.correlate = Some(CorrelateConfig::default());
+    let report = run_scenarios(benign_fleet(32), &config).expect("fleet runs");
+    assert_eq!(report.session_errors, Vec::<String>::new());
+    assert_eq!(report.analyst_errors, Vec::<String>::new());
+    assert_eq!(report.sessions, 32);
+
+    let correlation = report.correlation.expect("correlate was configured");
+    assert_eq!(correlation.sessions, 32, "every session must contribute a digest");
+    assert!(
+        correlation.warnings.is_empty(),
+        "benign fleet must stay fleet-silent:\n{}",
+        correlation.render()
+    );
+    assert_eq!(correlation.render_trees(), "", "no warnings, no trees");
+}
