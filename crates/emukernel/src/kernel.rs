@@ -1,55 +1,24 @@
-//! The kernel: syscall dispatch, process construction, virtual time.
+//! The kernel: syscall handlers, process construction, virtual time.
 //!
 //! Syscalls follow the i386 Linux convention the paper's Harrier hooks:
 //! `int 0x80` with the number in `eax` and arguments in `ebx`, `ecx`,
-//! `edx`. Every serviced call returns a [`SyscallRecord`] describing the
-//! *observable effect* — which resource was touched, which memory ranges
-//! were read or written, where name/address arguments lived — which is
-//! exactly the information Harrier needs to tag data and emit Secpert
-//! events without re-parsing arguments itself.
+//! `edx`. The ABI itself — numbers, names, argument kinds, dispatch —
+//! is defined once in [`crate::abi`] by `define_syscalls!`; this module
+//! provides the handler *semantics*. Every serviced call returns a
+//! [`SyscallRecord`] describing the *observable effect* — which
+//! resource was touched, which memory ranges were read or written,
+//! where name/address arguments lived — which is exactly the
+//! information Harrier needs to tag data and emit Secpert events
+//! without re-parsing arguments itself.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use hth_vm::{asm, Core, Reg, VmError};
 
+use crate::abi::{self, sockcall, CStrArg};
 use crate::net::{Endpoint, NetError, Network, SocketState};
 use crate::process::{FdKind, FdTable, ProcState, Process};
 use crate::vfs::{FileKind, Vfs};
-
-/// Syscall numbers (i386 Linux flavour; `SYS_RESOLVE` is the custom
-/// name-resolution backend used by the toy libc's `gethostbyname`).
-pub mod sysno {
-    #![allow(missing_docs)]
-    pub const EXIT: u32 = 1;
-    pub const FORK: u32 = 2;
-    pub const READ: u32 = 3;
-    pub const WRITE: u32 = 4;
-    pub const OPEN: u32 = 5;
-    pub const CLOSE: u32 = 6;
-    pub const EXECVE: u32 = 11;
-    pub const TIME: u32 = 13;
-    pub const MKNOD: u32 = 14;
-    pub const CHMOD: u32 = 15;
-    pub const GETPID: u32 = 20;
-    pub const DUP: u32 = 41;
-    pub const BRK: u32 = 45;
-    pub const SOCKETCALL: u32 = 102;
-    pub const CLONE: u32 = 120;
-    pub const NANOSLEEP: u32 = 162;
-    pub const RESOLVE: u32 = 200;
-}
-
-/// `socketcall` sub-call numbers.
-pub mod sockcall {
-    #![allow(missing_docs)]
-    pub const SOCKET: u32 = 1;
-    pub const BIND: u32 = 2;
-    pub const CONNECT: u32 = 3;
-    pub const LISTEN: u32 = 4;
-    pub const ACCEPT: u32 = 5;
-    pub const SEND: u32 = 9;
-    pub const RECV: u32 = 10;
-}
 
 /// `open` flag bits (subset).
 pub mod oflags {
@@ -66,9 +35,11 @@ pub mod oflags {
 pub mod errno {
     #![allow(missing_docs)]
     pub const ENOENT: i32 = 2;
+    pub const ESRCH: i32 = 3;
     pub const ENOEXEC: i32 = 8;
     pub const EBADF: i32 = 9;
     pub const EAGAIN: i32 = 11;
+    pub const ENOMEM: i32 = 12;
     pub const EFAULT: i32 = 14;
     pub const EINVAL: i32 = 22;
     pub const ENOSYS: i32 = 38;
@@ -101,6 +72,16 @@ pub enum Resource {
         listening: bool,
         /// This connection was produced by `accept`.
         accepted: bool,
+    },
+    /// An anonymous pipe (taint is carried end to end by the monitor).
+    Pipe {
+        /// Kernel pipe id (shared by both ends, inherited across fork).
+        id: u64,
+    },
+    /// A synthesized read-only `/proc` view (self-inspection surface).
+    Proc {
+        /// Path it was opened with (e.g. `/proc/self/status`).
+        path: String,
     },
 }
 
@@ -158,7 +139,7 @@ pub enum SyscallEffect {
         /// Bytes written.
         len: u32,
     },
-    /// `dup`.
+    /// `dup`/`dup2`.
     Dup {
         /// Original descriptor.
         old: i32,
@@ -237,6 +218,41 @@ pub enum SyscallEffect {
         /// Total heap bytes allocated by the process so far.
         total: u64,
     },
+    /// `mmap` mapped file bytes into process memory — the monitor tags
+    /// `[addr, addr+len)` with the file's data source, so reads through
+    /// the mapping inherit the file's taint.
+    Mmap {
+        /// The mapped file.
+        resource: Resource,
+        /// Mapping base address.
+        addr: u32,
+        /// Bytes of file content mapped.
+        len: u32,
+    },
+    /// `munmap` — the monitor clears the range's taint.
+    Munmap {
+        /// Mapping base address.
+        addr: u32,
+        /// Length unmapped.
+        len: u32,
+    },
+    /// `pipe` created an anonymous pipe pair.
+    PipeCreated {
+        /// Read-end descriptor.
+        read_fd: i32,
+        /// Write-end descriptor.
+        write_fd: i32,
+        /// Kernel pipe id.
+        id: u64,
+    },
+    /// `kill`: the session delivers the signal (a registered handler
+    /// absorbs it; otherwise the target dies with `128 + sig`).
+    SignalRequested {
+        /// Target pid as passed by the caller.
+        target: u32,
+        /// Signal number.
+        sig: u32,
+    },
 }
 
 /// A serviced syscall: number, name, return value, effect.
@@ -277,10 +293,24 @@ pub const SCRATCH_SIZE: u32 = 0x0004_0000;
 pub const HEAP_BASE: u32 = 0x0a00_0000;
 /// Maximum heap bytes a process may map (64 MiB).
 pub const MAX_HEAP: u64 = 0x0400_0000;
+/// Base address of the `mmap` region (per-process cursor grows upward).
+pub const MMAP_BASE: u32 = 0x2000_0000;
+/// End of the `mmap` region.
+pub const MMAP_LIMIT: u32 = 0x3000_0000;
+/// Largest single `mmap` length (1 MiB).
+pub const MAX_MMAP_LEN: u32 = 0x0010_0000;
 /// Stack region (grows down from `STACK_TOP`).
 pub const STACK_BASE: u32 = 0xbfe0_0000;
 /// Top of stack mapping.
 pub const STACK_TOP: u32 = 0xc000_0000;
+/// Descriptor numbers are capped here (`dup2` targets past this fail
+/// with `EBADF` instead of growing the table unboundedly).
+pub const FD_MAX: i32 = 1024;
+/// Most virtual ticks a single `nanosleep`/`select` call may advance
+/// the clock by. Without a cap, one garbage 32-bit timeout jumps the
+/// clock ~4 billion ticks and 32-bit `time()` wraps into the errno
+/// window.
+pub const MAX_SLEEP_TICKS: u64 = 100_000;
 
 /// Errors from process construction.
 #[derive(Debug)]
@@ -329,8 +359,11 @@ pub struct Kernel {
     next_pid: u32,
     binaries: HashMap<String, BinarySpec>,
     libs: HashMap<String, String>,
-    stdin_script: std::collections::VecDeque<Vec<u8>>,
+    stdin_script: VecDeque<Vec<u8>>,
     stdout: Vec<u8>,
+    /// Anonymous pipe buffers, keyed by pipe id.
+    pipes: HashMap<u64, VecDeque<u8>>,
+    next_pipe: u64,
     /// Tick of every fork, for the resource-abuse rate rule.
     pub fork_ticks: Vec<u64>,
     /// Every path passed to `execve`, in order.
@@ -431,6 +464,9 @@ impl Kernel {
             initial_stack: (0, 0),
             start_tick: self.now(),
             heap_bytes: 0,
+            mmap_cursor: MMAP_BASE,
+            sig_handlers: HashMap::new(),
+            delivered_signals: Vec::new(),
         };
         proc.initial_stack = build_initial_stack(&mut proc.core, argv, env);
         proc.core.start();
@@ -439,11 +475,12 @@ impl Kernel {
 
     fn build_core(&self, path: &str, spec: &BinarySpec) -> Result<Core, SpawnError> {
         let mut core = Core::new();
-        let app = asm::assemble(path, &spec.source, APP_BASE)?;
+        let consts = abi::asm_consts();
+        let app = asm::assemble_with(path, &spec.source, APP_BASE, &consts)?;
         core.load_image(app);
         for (i, lib) in spec.libs.iter().enumerate() {
             let src = self.libs.get(lib).ok_or_else(|| SpawnError::UnknownLib(lib.clone()))?;
-            let img = asm::assemble(lib, src, LIB_BASE + i as u32 * LIB_STRIDE)?;
+            let img = asm::assemble_with(lib, src, LIB_BASE + i as u32 * LIB_STRIDE, &consts)?;
             core.load_image(img);
         }
         core.link().map_err(SpawnError::Link)?;
@@ -471,6 +508,9 @@ impl Kernel {
             initial_stack: parent.initial_stack,
             start_tick: self.now(),
             heap_bytes: parent.heap_bytes,
+            mmap_cursor: parent.mmap_cursor,
+            sig_handlers: parent.sig_handlers.clone(),
+            delivered_signals: Vec::new(),
         }
     }
 
@@ -499,6 +539,8 @@ impl Kernel {
         proc.cmdline = argv.iter().map(|s| s.to_string()).collect();
         proc.initial_stack = initial_stack;
         proc.heap_bytes = 0;
+        proc.mmap_cursor = MMAP_BASE;
+        proc.sig_handlers.clear();
         Ok(())
     }
 
@@ -507,7 +549,11 @@ impl Kernel {
         self.binaries.contains_key(path)
     }
 
-    // ---- syscall dispatch ------------------------------------------------------
+    // ---- syscall servicing -----------------------------------------------------
+    //
+    // Dispatch itself (argument extraction, CStr validation, name
+    // lookup) is generated from the ABI table in `crate::abi`; the
+    // `sys_*` methods below are the handler semantics it invokes.
 
     /// Services the syscall pending in `proc` (registers per the i386
     /// convention), sets `eax`, and reports what happened.
@@ -518,121 +564,291 @@ impl Kernel {
         SyscallRecord { number: nr, name, ret, effect }
     }
 
-    fn dispatch(&mut self, proc: &mut Process, nr: u32) -> (&'static str, i32, SyscallEffect) {
-        let ebx = proc.core.cpu.get(Reg::Ebx);
-        let ecx = proc.core.cpu.get(Reg::Ecx);
-        let edx = proc.core.cpu.get(Reg::Edx);
-        match nr {
-            sysno::EXIT => {
-                proc.state = ProcState::Exited(ebx as i32);
-                ("SYS_exit", 0, SyscallEffect::Exit { code: ebx as i32 })
-            }
-            sysno::FORK => ("SYS_fork", 0, SyscallEffect::ForkRequested),
-            sysno::CLONE => ("SYS_clone", 0, SyscallEffect::ForkRequested),
-            sysno::READ => self.sys_read(proc, ebx as i32, ecx, edx),
-            sysno::WRITE => self.sys_write(proc, ebx as i32, ecx, edx),
-            sysno::OPEN => self.sys_open(proc, ebx, ecx),
-            sysno::CLOSE => {
-                let name = "SYS_close";
-                match proc.fds.close(ebx as i32) {
-                    Some(kind) => {
-                        let resource = self.resource_of(&kind);
-                        if let FdKind::Socket(id) = kind {
-                            self.net.close(id);
-                        }
-                        (name, 0, SyscallEffect::Close { resource })
-                    }
-                    None => (name, -errno::EBADF, SyscallEffect::None),
+    pub(crate) fn sys_exit(&mut self, proc: &mut Process, code: u32) -> (i32, SyscallEffect) {
+        proc.state = ProcState::Exited(code as i32);
+        (0, SyscallEffect::Exit { code: code as i32 })
+    }
+
+    pub(crate) fn sys_fork(&mut self, _proc: &mut Process) -> (i32, SyscallEffect) {
+        (0, SyscallEffect::ForkRequested)
+    }
+
+    pub(crate) fn sys_time(&mut self, _proc: &mut Process) -> (i32, SyscallEffect) {
+        (self.now() as i32, SyscallEffect::None)
+    }
+
+    pub(crate) fn sys_getpid(&mut self, proc: &mut Process) -> (i32, SyscallEffect) {
+        (proc.pid as i32, SyscallEffect::None)
+    }
+
+    pub(crate) fn sys_close(&mut self, proc: &mut Process, fd: i32) -> (i32, SyscallEffect) {
+        match proc.fds.close(fd) {
+            Some(kind) => {
+                let resource = self.resource_of(&kind);
+                if let FdKind::Socket(id) = kind {
+                    self.net.close(id);
                 }
+                (0, SyscallEffect::Close { resource })
             }
-            sysno::EXECVE => {
-                let path = match proc.core.mem.read_cstr(ebx, 4096) {
-                    Ok(p) => p,
-                    Err(_) => return ("SYS_execve", -errno::EFAULT, SyscallEffect::None),
-                };
-                self.exec_log.push(path.clone());
-                let found = self.knows_binary(&path);
-                // The session performs the actual exec (after Secpert has
-                // seen the event). The return value assumes failure; a
-                // successful exec never returns.
-                let ret = if found {
-                    0
-                } else if self.vfs.exists(&path) {
-                    -errno::ENOEXEC
+            None => (-errno::EBADF, SyscallEffect::None),
+        }
+    }
+
+    pub(crate) fn sys_execve(
+        &mut self,
+        _proc: &mut Process,
+        path: CStrArg,
+    ) -> (i32, SyscallEffect) {
+        let CStrArg { val: path, addr } = path;
+        self.exec_log.push(path.clone());
+        let found = self.knows_binary(&path);
+        // The session performs the actual exec (after Secpert has
+        // seen the event). The return value assumes failure; a
+        // successful exec never returns.
+        let ret = if found {
+            0
+        } else if self.vfs.exists(&path) {
+            -errno::ENOEXEC
+        } else {
+            -errno::ENOENT
+        };
+        (ret, SyscallEffect::ExecRequested { path, path_addr: addr, found })
+    }
+
+    pub(crate) fn sys_mknod(
+        &mut self,
+        _proc: &mut Process,
+        path: CStrArg,
+        _mode: u32,
+    ) -> (i32, SyscallEffect) {
+        let CStrArg { val: path, addr } = path;
+        self.vfs.mkfifo(&path);
+        (0, SyscallEffect::Mknod { path, path_addr: addr })
+    }
+
+    pub(crate) fn sys_chmod(
+        &mut self,
+        _proc: &mut Process,
+        path: CStrArg,
+        mode: u32,
+    ) -> (i32, SyscallEffect) {
+        let exec = mode & 0o111 != 0;
+        if self.vfs.chmod_exec(&path.val, exec) {
+            (0, SyscallEffect::Chmod { path: path.val })
+        } else {
+            (-errno::ENOENT, SyscallEffect::None)
+        }
+    }
+
+    pub(crate) fn sys_dup(&mut self, proc: &mut Process, fd: i32) -> (i32, SyscallEffect) {
+        match proc.fds.dup(fd) {
+            Some(new) => {
+                let resource = proc.fds.get(new).map(|k| self.resource_of(k)).expect("just dup'ed");
+                (new, SyscallEffect::Dup { old: fd, new, resource })
+            }
+            None => (-errno::EBADF, SyscallEffect::None),
+        }
+    }
+
+    pub(crate) fn sys_dup2(
+        &mut self,
+        proc: &mut Process,
+        old: i32,
+        new: i32,
+    ) -> (i32, SyscallEffect) {
+        if !(0..FD_MAX).contains(&new) {
+            return (-errno::EBADF, SyscallEffect::None);
+        }
+        let Some(kind) = proc.fds.get(old).cloned() else {
+            return (-errno::EBADF, SyscallEffect::None);
+        };
+        let resource = self.resource_of(&kind);
+        if old == new {
+            return (new, SyscallEffect::Dup { old, new, resource });
+        }
+        if let Some(FdKind::Socket(id)) = proc.fds.replace(new, kind) {
+            self.net.close(id);
+        }
+        (new, SyscallEffect::Dup { old, new, resource })
+    }
+
+    pub(crate) fn sys_pipe(&mut self, proc: &mut Process, fds_ptr: u32) -> (i32, SyscallEffect) {
+        // Validate the output pointer before allocating anything.
+        if proc.core.mem.write_u32(fds_ptr, 0).is_err()
+            || proc.core.mem.write_u32(fds_ptr + 4, 0).is_err()
+        {
+            return (-errno::EFAULT, SyscallEffect::None);
+        }
+        let id = self.next_pipe;
+        self.next_pipe += 1;
+        self.pipes.insert(id, VecDeque::new());
+        let read_fd = proc.fds.alloc(FdKind::Pipe { id, write: false });
+        let write_fd = proc.fds.alloc(FdKind::Pipe { id, write: true });
+        proc.core.mem.write_u32(fds_ptr, read_fd as u32).expect("validated above");
+        proc.core.mem.write_u32(fds_ptr + 4, write_fd as u32).expect("validated above");
+        (0, SyscallEffect::PipeCreated { read_fd, write_fd, id })
+    }
+
+    pub(crate) fn sys_kill(
+        &mut self,
+        _proc: &mut Process,
+        pid: u32,
+        sig: u32,
+    ) -> (i32, SyscallEffect) {
+        (0, SyscallEffect::SignalRequested { target: pid, sig })
+    }
+
+    pub(crate) fn sys_sigaction(
+        &mut self,
+        proc: &mut Process,
+        sig: u32,
+        handler: u32,
+    ) -> (i32, SyscallEffect) {
+        if sig == 0 || sig > 64 {
+            return (-errno::EINVAL, SyscallEffect::None);
+        }
+        proc.sig_handlers.insert(sig, handler);
+        (0, SyscallEffect::None)
+    }
+
+    pub(crate) fn sys_select(
+        &mut self,
+        proc: &mut Process,
+        nfds: u32,
+        readfds: u32,
+        timeout: u32,
+    ) -> (i32, SyscallEffect) {
+        let Ok(mask) = proc.core.mem.read_u32(readfds) else {
+            return (-errno::EFAULT, SyscallEffect::None);
+        };
+        let mut ready = 0u32;
+        for fd in 0..nfds.min(32) {
+            if mask & (1 << fd) != 0 && self.fd_readable(proc, fd as i32) {
+                ready |= 1 << fd;
+            }
+        }
+        if ready == 0 && timeout > 0 {
+            // A fruitless wait burns the timeout in virtual time, so
+            // polling servers make forward progress on the clock.
+            self.ticks += u64::from(timeout).min(MAX_SLEEP_TICKS);
+        }
+        if proc.core.mem.write_u32(readfds, ready).is_err() {
+            return (-errno::EFAULT, SyscallEffect::None);
+        }
+        (ready.count_ones() as i32, SyscallEffect::None)
+    }
+
+    fn fd_readable(&self, proc: &Process, fd: i32) -> bool {
+        match proc.fds.get(fd) {
+            None | Some(FdKind::Stdout | FdKind::Stderr) => false,
+            Some(FdKind::Stdin) => !self.stdin_script.is_empty(),
+            Some(FdKind::File { path, fifo, .. }) => {
+                if *fifo {
+                    matches!(
+                        self.vfs.get(path).map(|n| &n.kind),
+                        Some(FileKind::Fifo(q)) if !q.is_empty()
+                    )
                 } else {
-                    -errno::ENOENT
-                };
-                ("SYS_execve", ret, SyscallEffect::ExecRequested { path, path_addr: ebx, found })
-            }
-            sysno::TIME => ("SYS_time", self.now() as i32, SyscallEffect::None),
-            sysno::MKNOD => {
-                let path = match proc.core.mem.read_cstr(ebx, 4096) {
-                    Ok(p) => p,
-                    Err(_) => return ("SYS_mknod", -errno::EFAULT, SyscallEffect::None),
-                };
-                self.vfs.mkfifo(&path);
-                ("SYS_mknod", 0, SyscallEffect::Mknod { path, path_addr: ebx })
-            }
-            sysno::CHMOD => {
-                let path = match proc.core.mem.read_cstr(ebx, 4096) {
-                    Ok(p) => p,
-                    Err(_) => return ("SYS_chmod", -errno::EFAULT, SyscallEffect::None),
-                };
-                let exec = ecx & 0o111 != 0;
-                if self.vfs.chmod_exec(&path, exec) {
-                    ("SYS_chmod", 0, SyscallEffect::Chmod { path })
-                } else {
-                    ("SYS_chmod", -errno::ENOENT, SyscallEffect::None)
+                    self.vfs.exists(path)
                 }
             }
-            sysno::GETPID => ("SYS_getpid", proc.pid as i32, SyscallEffect::None),
-            sysno::DUP => match proc.fds.dup(ebx as i32) {
-                Some(new) => {
-                    let resource =
-                        proc.fds.get(new).map(|k| self.resource_of(k)).expect("just dup'ed");
-                    ("SYS_dup", new, SyscallEffect::Dup { old: ebx as i32, new, resource })
-                }
-                None => ("SYS_dup", -errno::EBADF, SyscallEffect::None),
+            Some(FdKind::Pipe { id, write }) => {
+                !*write && self.pipes.get(id).is_some_and(|q| !q.is_empty())
+            }
+            Some(FdKind::Proc { data, offset, .. }) => *offset < data.len(),
+            Some(FdKind::Socket(id)) => self.net.readable(*id),
+        }
+    }
+
+    pub(crate) fn sys_mmap(
+        &mut self,
+        proc: &mut Process,
+        fd: i32,
+        len: u32,
+        offset: u32,
+    ) -> (i32, SyscallEffect) {
+        if len == 0 || len > MAX_MMAP_LEN {
+            return (-errno::EINVAL, SyscallEffect::None);
+        }
+        let Some(kind) = proc.fds.get(fd).cloned() else {
+            return (-errno::EBADF, SyscallEffect::None);
+        };
+        let FdKind::File { path, fifo: false, .. } = kind else {
+            return (-errno::EINVAL, SyscallEffect::None);
+        };
+        let Some(data) = self.vfs.read(&path, offset as usize, len as usize) else {
+            return (-errno::ENOENT, SyscallEffect::None);
+        };
+        let addr = proc.mmap_cursor;
+        let span = (len + 0xfff) & !0xfff;
+        if addr.checked_add(span).is_none_or(|end| end > MMAP_LIMIT) {
+            return (-errno::ENOMEM, SyscallEffect::None);
+        }
+        proc.core.mem.map(addr, addr + span);
+        proc.core.mem.write_bytes(addr, &data).expect("just mapped");
+        proc.mmap_cursor = addr + span;
+        (
+            addr as i32,
+            SyscallEffect::Mmap {
+                resource: Resource::File { path, fifo: false },
+                addr,
+                len: data.len() as u32,
             },
-            sysno::SOCKETCALL => self.sys_socketcall(proc, ebx, ecx),
-            sysno::BRK => {
-                // Simplified brk: ebx = bytes to grow the heap by.
-                let grew = u64::from(ebx);
-                let old_total = proc.heap_bytes;
-                proc.heap_bytes += grew;
-                let base = HEAP_BASE + old_total as u32;
-                if grew > 0 && proc.heap_bytes <= MAX_HEAP {
-                    proc.core.mem.map(base, base + grew as u32);
-                }
-                (
-                    "SYS_brk",
-                    (HEAP_BASE as u64 + proc.heap_bytes) as i32,
-                    SyscallEffect::Brk { grew, total: proc.heap_bytes },
-                )
-            }
-            sysno::NANOSLEEP => {
-                self.ticks += u64::from(ebx);
-                ("SYS_nanosleep", 0, SyscallEffect::Sleep { ticks: u64::from(ebx) })
-            }
-            sysno::RESOLVE => {
-                let name = match proc.core.mem.read_cstr(ebx, 1024) {
-                    Ok(n) => n,
-                    Err(_) => return ("SYS_resolve", -errno::EFAULT, SyscallEffect::None),
-                };
-                match self.net.resolve(&name) {
-                    Ok(ip) => (
-                        "SYS_resolve",
-                        ip as i32,
-                        SyscallEffect::Resolve { name, name_addr: ebx, ok: true },
-                    ),
-                    Err(_) => (
-                        "SYS_resolve",
-                        0,
-                        SyscallEffect::Resolve { name, name_addr: ebx, ok: false },
-                    ),
-                }
-            }
-            _ => ("SYS_unknown", -errno::ENOSYS, SyscallEffect::None),
+        )
+    }
+
+    pub(crate) fn sys_munmap(
+        &mut self,
+        proc: &mut Process,
+        addr: u32,
+        len: u32,
+    ) -> (i32, SyscallEffect) {
+        if len == 0 || addr < MMAP_BASE || addr >= proc.mmap_cursor {
+            return (-errno::EINVAL, SyscallEffect::None);
+        }
+        // Pages stay mapped (stray loads fault-free like real lazy
+        // unmap would not, but determinism matters more here); the
+        // monitor clears the range's taint.
+        (0, SyscallEffect::Munmap { addr, len })
+    }
+
+    pub(crate) fn sys_brk(&mut self, proc: &mut Process, incr: u32) -> (i32, SyscallEffect) {
+        // Simplified brk: `incr` = bytes to grow the heap by.
+        let grew = u64::from(incr);
+        let old_total = proc.heap_bytes;
+        proc.heap_bytes += grew;
+        if grew > 0 && proc.heap_bytes <= MAX_HEAP {
+            // Guarded: old_total < MAX_HEAP here, so the u32 base
+            // arithmetic cannot wrap (fuzzed callers can otherwise push
+            // heap_bytes past 4 GiB).
+            let base = HEAP_BASE + old_total as u32;
+            proc.core.mem.map(base, base + grew as u32);
+        }
+        (
+            (HEAP_BASE as u64 + proc.heap_bytes) as i32,
+            SyscallEffect::Brk { grew, total: proc.heap_bytes },
+        )
+    }
+
+    pub(crate) fn sys_nanosleep(
+        &mut self,
+        _proc: &mut Process,
+        ticks: u32,
+    ) -> (i32, SyscallEffect) {
+        let slept = u64::from(ticks).min(MAX_SLEEP_TICKS);
+        self.ticks += slept;
+        (0, SyscallEffect::Sleep { ticks: slept })
+    }
+
+    pub(crate) fn sys_resolve(
+        &mut self,
+        _proc: &mut Process,
+        name: CStrArg,
+    ) -> (i32, SyscallEffect) {
+        let CStrArg { val: name, addr } = name;
+        match self.net.resolve(&name) {
+            Ok(ip) => (ip as i32, SyscallEffect::Resolve { name, name_addr: addr, ok: true }),
+            Err(_) => (0, SyscallEffect::Resolve { name, name_addr: addr, ok: false }),
         }
     }
 
@@ -642,6 +858,8 @@ impl Kernel {
             FdKind::Stdout => Resource::Stdout,
             FdKind::Stderr => Resource::Stderr,
             FdKind::File { path, fifo, .. } => Resource::File { path: path.clone(), fifo: *fifo },
+            FdKind::Pipe { id, .. } => Resource::Pipe { id: *id },
+            FdKind::Proc { path, .. } => Resource::Proc { path: path.clone() },
             FdKind::Socket(id) => match self.net.get(*id) {
                 Ok(sock) => match sock.state {
                     SocketState::Connected { local, remote, accepted } => Resource::Socket {
@@ -679,22 +897,63 @@ impl Kernel {
         }
     }
 
-    fn sys_open(
+    /// Synthesizes the read-only `/proc` self-view for `path`, when it
+    /// is one the kernel provides (`/proc/self/…` or `/proc/<own pid>/…`
+    /// with leaf `status` or `cmdline`).
+    fn proc_view(&self, proc: &Process, path: &str) -> Option<Vec<u8>> {
+        let rest = path.strip_prefix("/proc/")?;
+        let (who, leaf) = rest.split_once('/')?;
+        let pid = if who == "self" { proc.pid } else { who.parse::<u32>().ok()? };
+        if pid != proc.pid {
+            // Views of *other* processes are not synthesized; a
+            // matching VFS file (e.g. procex's planted /proc/1/environ)
+            // is served as a plain file instead.
+            return None;
+        }
+        match leaf {
+            "status" => {
+                let image = proc.image_name.rsplit('/').next().unwrap_or(proc.image_name.as_str());
+                Some(
+                    format!(
+                        "Name:\t{image}\nPid:\t{}\nPPid:\t{}\nTracerPid:\t0\n",
+                        proc.pid, proc.parent
+                    )
+                    .into_bytes(),
+                )
+            }
+            "cmdline" => {
+                let mut data = Vec::new();
+                for arg in &proc.cmdline {
+                    data.extend_from_slice(arg.as_bytes());
+                    data.push(0);
+                }
+                Some(data)
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn sys_open(
         &mut self,
         proc: &mut Process,
-        path_ptr: u32,
+        path: CStrArg,
         flags: u32,
-    ) -> (&'static str, i32, SyscallEffect) {
-        let name = "SYS_open";
-        let path = match proc.core.mem.read_cstr(path_ptr, 4096) {
-            Ok(p) => p,
-            Err(_) => return (name, -errno::EFAULT, SyscallEffect::None),
-        };
+    ) -> (i32, SyscallEffect) {
+        let CStrArg { val: path, addr: path_addr } = path;
         let writing = flags & (oflags::WRONLY | oflags::RDWR | oflags::CREAT) != 0;
+        if !writing {
+            if let Some(data) = self.proc_view(proc, &path) {
+                let fd = proc.fds.alloc(FdKind::Proc { path: path.clone(), data, offset: 0 });
+                return (
+                    fd,
+                    SyscallEffect::Open { fd, resource: Resource::Proc { path }, path_addr },
+                );
+            }
+        }
         if writing {
             self.vfs.open_write(&path, flags & oflags::TRUNC != 0);
         } else if !self.vfs.exists(&path) {
-            return (name, -errno::ENOENT, SyscallEffect::None);
+            return (-errno::ENOENT, SyscallEffect::None);
         }
         let fifo = matches!(self.vfs.get(&path).map(|n| &n.kind), Some(FileKind::Fifo(_)));
         let offset = if flags & oflags::APPEND != 0 {
@@ -703,93 +962,117 @@ impl Kernel {
             0
         };
         let fd = proc.fds.alloc(FdKind::File { path: path.clone(), offset, fifo });
-        (
-            name,
-            fd,
-            SyscallEffect::Open {
-                fd,
-                resource: Resource::File { path, fifo },
-                path_addr: path_ptr,
-            },
-        )
+        (fd, SyscallEffect::Open { fd, resource: Resource::File { path, fifo }, path_addr })
     }
 
-    fn sys_read(
+    pub(crate) fn sys_read(
         &mut self,
         proc: &mut Process,
         fd: i32,
         buf: u32,
         len: u32,
-    ) -> (&'static str, i32, SyscallEffect) {
-        let name = "SYS_read";
+    ) -> (i32, SyscallEffect) {
         let Some(kind) = proc.fds.get(fd).cloned() else {
-            return (name, -errno::EBADF, SyscallEffect::None);
+            return (-errno::EBADF, SyscallEffect::None);
         };
         let resource = self.resource_of(&kind);
         let bytes: Vec<u8> = match kind {
             FdKind::Stdin => self.stdin_script.pop_front().unwrap_or_default(),
-            FdKind::Stdout | FdKind::Stderr => return (name, -errno::EBADF, SyscallEffect::None),
+            FdKind::Stdout | FdKind::Stderr => return (-errno::EBADF, SyscallEffect::None),
             FdKind::File { ref path, offset, .. } => {
                 let Some(data) = self.vfs.read(path, offset, len as usize) else {
-                    return (name, -errno::ENOENT, SyscallEffect::None);
+                    return (-errno::ENOENT, SyscallEffect::None);
                 };
                 if let Some(FdKind::File { offset, .. }) = proc.fds.get_mut(fd) {
                     *offset += data.len();
                 }
                 data
             }
+            FdKind::Pipe { id, write } => {
+                if write {
+                    return (-errno::EBADF, SyscallEffect::None);
+                }
+                let Some(queue) = self.pipes.get_mut(&id) else {
+                    return (-errno::EBADF, SyscallEffect::None);
+                };
+                if queue.is_empty() {
+                    return (-errno::EAGAIN, SyscallEffect::None);
+                }
+                let take = queue.len().min(len as usize);
+                queue.drain(..take).collect()
+            }
+            FdKind::Proc { ref data, offset, .. } => {
+                let start = offset.min(data.len());
+                let end = (start + len as usize).min(data.len());
+                let chunk = data[start..end].to_vec();
+                if let Some(FdKind::Proc { offset, .. }) = proc.fds.get_mut(fd) {
+                    *offset += chunk.len();
+                }
+                chunk
+            }
             FdKind::Socket(id) => match self.net.recv(id, len as usize) {
                 Ok(data) => data,
-                Err(NetError::WouldBlock) => return (name, -errno::EAGAIN, SyscallEffect::None),
-                Err(_) => return (name, -errno::EINVAL, SyscallEffect::None),
+                Err(NetError::WouldBlock) => return (-errno::EAGAIN, SyscallEffect::None),
+                Err(_) => return (-errno::EINVAL, SyscallEffect::None),
             },
         };
         let take = bytes.len().min(len as usize);
         if proc.core.mem.write_bytes(buf, &bytes[..take]).is_err() {
-            return (name, -errno::EFAULT, SyscallEffect::None);
+            return (-errno::EFAULT, SyscallEffect::None);
         }
-        (name, take as i32, SyscallEffect::Read { resource, buf, len: take as u32 })
+        (take as i32, SyscallEffect::Read { resource, buf, len: take as u32 })
     }
 
-    fn sys_write(
+    pub(crate) fn sys_write(
         &mut self,
         proc: &mut Process,
         fd: i32,
         buf: u32,
         len: u32,
-    ) -> (&'static str, i32, SyscallEffect) {
-        let name = "SYS_write";
+    ) -> (i32, SyscallEffect) {
         let Some(kind) = proc.fds.get(fd).cloned() else {
-            return (name, -errno::EBADF, SyscallEffect::None);
+            return (-errno::EBADF, SyscallEffect::None);
         };
         let resource = self.resource_of(&kind);
         let Ok(bytes) = proc.core.mem.read_bytes(buf, len) else {
-            return (name, -errno::EFAULT, SyscallEffect::None);
+            return (-errno::EFAULT, SyscallEffect::None);
         };
         let written = match kind {
-            FdKind::Stdin => return (name, -errno::EBADF, SyscallEffect::None),
+            FdKind::Stdin | FdKind::Proc { .. } => {
+                return (-errno::EBADF, SyscallEffect::None);
+            }
             FdKind::Stdout | FdKind::Stderr => {
                 self.stdout.extend_from_slice(&bytes);
                 bytes.len()
             }
             FdKind::File { ref path, offset, .. } => {
                 let Some(n) = self.vfs.write(path, offset, &bytes) else {
-                    return (name, -errno::ENOENT, SyscallEffect::None);
+                    return (-errno::ENOENT, SyscallEffect::None);
                 };
                 if let Some(FdKind::File { offset, .. }) = proc.fds.get_mut(fd) {
                     *offset += n;
                 }
                 n
             }
+            FdKind::Pipe { id, write } => {
+                if !write {
+                    return (-errno::EBADF, SyscallEffect::None);
+                }
+                let Some(queue) = self.pipes.get_mut(&id) else {
+                    return (-errno::EBADF, SyscallEffect::None);
+                };
+                queue.extend(bytes.iter().copied());
+                bytes.len()
+            }
             FdKind::Socket(id) => match self.net.send(id, &bytes) {
                 Ok(n) => n,
-                Err(_) => return (name, -errno::EINVAL, SyscallEffect::None),
+                Err(_) => return (-errno::EINVAL, SyscallEffect::None),
             },
         };
-        (name, written as i32, SyscallEffect::Write { resource, buf, len: written as u32 })
+        (written as i32, SyscallEffect::Write { resource, buf, len: written as u32 })
     }
 
-    fn sys_socketcall(
+    pub(crate) fn sys_socketcall(
         &mut self,
         proc: &mut Process,
         call: u32,
@@ -898,8 +1181,8 @@ impl Kernel {
                 else {
                     return ("SYS_send", -errno::EFAULT, SyscallEffect::None);
                 };
-                let (name, ret, effect) = self.sys_write(proc, fd as i32, buf, len);
-                (if name == "SYS_write" { "SYS_send" } else { name }, ret, effect)
+                let (ret, effect) = self.sys_write(proc, fd as i32, buf, len);
+                ("SYS_send", ret, effect)
             }
             sockcall::RECV => {
                 let (Ok(fd), Ok(buf), Ok(len)) =
@@ -907,8 +1190,8 @@ impl Kernel {
                 else {
                     return ("SYS_recv", -errno::EFAULT, SyscallEffect::None);
                 };
-                let (name, ret, effect) = self.sys_read(proc, fd as i32, buf, len);
-                (if name == "SYS_read" { "SYS_recv" } else { name }, ret, effect)
+                let (ret, effect) = self.sys_read(proc, fd as i32, buf, len);
+                ("SYS_recv", ret, effect)
             }
             _ => ("SYS_socketcall", -errno::EINVAL, SyscallEffect::None),
         }
@@ -1058,6 +1341,39 @@ mod tests {
             if path == "/tmp/out"
         ));
         assert!(matches!(records[2].effect, SyscallEffect::Close { .. }));
+    }
+
+    #[test]
+    fn predefined_abi_consts_need_no_equ() {
+        // The generated ABI constants are pre-seeded into every
+        // assembly: the same program as above, without a single .equ.
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/filer2",
+            r#"
+            _start:
+                mov eax, SYS_open
+                mov ebx, path
+                mov ecx, O_CREAT
+                int 0x80
+                mov esi, eax
+                mov eax, SYS_write
+                mov ebx, esi
+                mov ecx, msg
+                mov edx, 5
+                int 0x80
+                mov eax, SYS_exit
+                mov ebx, 0
+                int 0x80
+            .data
+            path: .asciz "/tmp/out2"
+            msg:  .asciz "hello"
+            "#,
+            &[],
+        );
+        let (_, proc) = run(&mut kernel, "/bin/filer2", &["/bin/filer2"]);
+        assert_eq!(proc.state, ProcState::Exited(0));
+        assert_eq!(kernel.vfs.get("/tmp/out2").unwrap().data(), b"hello");
     }
 
     #[test]
@@ -1287,5 +1603,224 @@ mod tests {
             SyscallEffect::Write { resource: Resource::File { fifo: true, .. }, .. }
         ));
         assert_eq!(kernel.vfs.read("inpipe1", 0, 10).unwrap(), b"ok!");
+    }
+
+    #[test]
+    fn pipe_write_read_round_trip_and_dup2() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/plumber",
+            r#"
+            _start:
+                mov eax, SYS_pipe
+                mov ebx, fdbuf
+                int 0x80
+                ; write("abc") into the write end
+                mov eax, SYS_write
+                mov ebx, [wrfd]
+                mov ecx, data
+                mov edx, 3
+                int 0x80
+                ; dup2(read end, 10)
+                mov eax, SYS_dup2
+                mov ebx, [rdfd]
+                mov ecx, 10
+                int 0x80
+                ; read from fd 10
+                mov eax, SYS_read
+                mov ebx, 10
+                mov ecx, 0x09000000
+                mov edx, 16
+                int 0x80
+                hlt
+            .data
+            fdbuf:
+            rdfd: .long 0
+            wrfd: .long 0
+            data: .asciz "abc"
+            "#,
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/plumber", &["p"]);
+        assert!(matches!(
+            records[0].effect,
+            SyscallEffect::PipeCreated { read_fd: 3, write_fd: 4, .. }
+        ));
+        assert!(matches!(
+            records[1].effect,
+            SyscallEffect::Write { resource: Resource::Pipe { .. }, len: 3, .. }
+        ));
+        assert!(matches!(records[2].effect, SyscallEffect::Dup { old: 3, new: 10, .. }));
+        assert_eq!(records[3].ret, 3);
+        assert!(matches!(
+            records[3].effect,
+            SyscallEffect::Read { resource: Resource::Pipe { .. }, len: 3, .. }
+        ));
+        assert_eq!(proc.core.mem.read_bytes(0x0900_0000, 3).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn mmap_maps_file_bytes_and_munmap_validates() {
+        let mut kernel = Kernel::new();
+        kernel.vfs.install("/data/blob", crate::vfs::FileNode::regular(b"mapped-bytes".as_slice()));
+        kernel.register_binary(
+            "/bin/mapper",
+            r#"
+            _start:
+                mov eax, SYS_open
+                mov ebx, path
+                mov ecx, O_RDONLY
+                int 0x80
+                mov esi, eax
+                mov eax, SYS_mmap
+                mov ebx, esi
+                mov ecx, 12
+                mov edx, 0
+                int 0x80
+                mov edi, eax        ; mapping address
+                mov eax, SYS_munmap
+                mov ebx, edi
+                mov ecx, 12
+                int 0x80
+                hlt
+            .data
+            path: .asciz "/data/blob"
+            "#,
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/mapper", &["m"]);
+        let SyscallEffect::Mmap { addr, len: 12, .. } = records[1].effect else {
+            panic!("expected Mmap effect, got {:?}", records[1].effect);
+        };
+        assert_eq!(addr, MMAP_BASE);
+        assert_eq!(proc.core.mem.read_bytes(addr, 12).unwrap(), b"mapped-bytes");
+        assert!(matches!(records[2].effect, SyscallEffect::Munmap { len: 12, .. }));
+    }
+
+    #[test]
+    fn proc_self_status_is_synthesized_read_only() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/introspect",
+            r#"
+            _start:
+                mov eax, SYS_open
+                mov ebx, path
+                mov ecx, O_RDONLY
+                int 0x80
+                mov esi, eax
+                mov eax, SYS_read
+                mov ebx, esi
+                mov ecx, 0x09000000
+                mov edx, 128
+                int 0x80
+                ; writing to a /proc fd must fail
+                mov eax, SYS_write
+                mov ebx, esi
+                mov ecx, path
+                mov edx, 4
+                int 0x80
+                hlt
+            .data
+            path: .asciz "/proc/self/status"
+            "#,
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/introspect", &["me"]);
+        assert!(matches!(
+            &records[0].effect,
+            SyscallEffect::Open { resource: Resource::Proc { path }, .. }
+            if path == "/proc/self/status"
+        ));
+        let n = records[1].ret;
+        assert!(n > 0);
+        let text =
+            String::from_utf8(proc.core.mem.read_bytes(0x0900_0000, n as u32).unwrap()).unwrap();
+        assert!(text.contains("Name:\tintrospect"), "got {text:?}");
+        assert!(text.contains("Pid:\t1"));
+        assert_eq!(records[2].ret, -errno::EBADF, "proc views are read-only");
+    }
+
+    #[test]
+    fn select_reports_readable_fds_and_burns_timeout() {
+        let mut kernel = Kernel::new();
+        kernel.push_stdin(b"x".to_vec());
+        kernel.register_binary(
+            "/bin/selector",
+            r#"
+            _start:
+                ; select over {stdin} -> ready
+                mov eax, SYS_select
+                mov ebx, 1
+                mov ecx, fdset
+                mov edx, 0
+                int 0x80
+                mov esi, eax
+                ; drain stdin, then select again with a timeout
+                mov eax, SYS_read
+                mov ebx, 0
+                mov ecx, 0x09000000
+                mov edx, 8
+                int 0x80
+                mov eax, SYS_select
+                mov ebx, 1
+                mov ecx, fdset2
+                mov edx, 40
+                int 0x80
+                hlt
+            .data
+            fdset:  .long 1
+            fdset2: .long 1
+            "#,
+            &[],
+        );
+        let before = kernel.now();
+        let (records, _) = run(&mut kernel, "/bin/selector", &["s"]);
+        assert_eq!(records[0].ret, 1, "stdin readable");
+        assert_eq!(records[2].ret, 0, "drained stdin not readable");
+        assert!(kernel.now() >= before + 40, "fruitless select burns its timeout");
+    }
+
+    #[test]
+    fn kill_and_sigaction_report_effects() {
+        let mut kernel = Kernel::new();
+        kernel.register_binary(
+            "/bin/killer",
+            r"
+            _start:
+                mov eax, SYS_sigaction
+                mov ebx, SIGTERM
+                mov ecx, handler
+                int 0x80
+                mov eax, SYS_kill
+                mov ebx, 7
+                mov ecx, SIGKILL
+                int 0x80
+                hlt
+            handler:
+                ret
+            ",
+            &[],
+        );
+        let (records, proc) = run(&mut kernel, "/bin/killer", &["k"]);
+        assert_eq!(records[0].ret, 0);
+        assert!(proc.sig_handlers.contains_key(&15));
+        assert!(matches!(records[1].effect, SyscallEffect::SignalRequested { target: 7, sig: 9 }));
+    }
+
+    #[test]
+    fn brk_total_past_cap_does_not_wrap() {
+        let mut kernel = Kernel::new();
+        let mut proc = {
+            kernel.register_binary("/bin/hog", "_start:\n hlt\n", &[]);
+            kernel.spawn("/bin/hog", &["h"], &[]).unwrap()
+        };
+        // Grow far past MAX_HEAP repeatedly: totals keep accumulating
+        // but mapping stops, and the u32 base arithmetic never wraps.
+        for _ in 0..4096 {
+            let (_, effect) = kernel.sys_brk(&mut proc, u32::MAX);
+            assert!(matches!(effect, SyscallEffect::Brk { .. }));
+        }
+        assert!(proc.heap_bytes > MAX_HEAP);
     }
 }

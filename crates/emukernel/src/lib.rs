@@ -53,15 +53,20 @@
 
 #![warn(missing_docs)]
 
+pub mod abi;
 mod kernel;
 mod net;
 mod process;
 mod vfs;
 
+pub use abi::{
+    asm_consts, name_of, sockcall, stub_source, sysno, ArgKind, CStrArg, SyscallDef, MAX_CSTR_LEN,
+    SOCKETCALL_NAMES, TABLE,
+};
 pub use kernel::{
-    build_initial_stack, errno, oflags, sockcall, sysno, BinarySpec, Kernel, Resource, SpawnError,
-    SyscallEffect, SyscallRecord, APP_BASE, HEAP_BASE, LIB_BASE, LIB_STRIDE, MAX_HEAP,
-    SCRATCH_BASE, SCRATCH_SIZE, STACK_BASE, STACK_TOP,
+    build_initial_stack, errno, oflags, BinarySpec, Kernel, Resource, SpawnError, SyscallEffect,
+    SyscallRecord, APP_BASE, FD_MAX, HEAP_BASE, LIB_BASE, LIB_STRIDE, MAX_HEAP, MAX_MMAP_LEN,
+    MAX_SLEEP_TICKS, MMAP_BASE, MMAP_LIMIT, SCRATCH_BASE, SCRATCH_SIZE, STACK_BASE, STACK_TOP,
 };
 pub use net::{Endpoint, Ip, NetError, Network, Peer, RemoteClient, Socket, SocketId, SocketState};
 pub use process::{FdKind, FdTable, ProcState, Process};

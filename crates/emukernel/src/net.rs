@@ -345,6 +345,31 @@ impl Network {
         Ok(chunk)
     }
 
+    /// True when a `recv`/`accept` on this socket would make progress —
+    /// the readiness predicate behind `select`.
+    pub fn readable(&self, id: SocketId) -> bool {
+        let Ok(sock) = self.get(id) else {
+            return false;
+        };
+        match sock.state {
+            SocketState::Listening(ep) => {
+                self.pending_clients.get(&ep.port).is_some_and(|q| !q.is_empty())
+            }
+            SocketState::Connected { .. } => {
+                if !sock.inbox.is_empty() {
+                    return true;
+                }
+                sock.client_ref.is_some_and(|(port, idx)| {
+                    self.accepted_clients
+                        .get(&port)
+                        .and_then(|list| list.get(idx))
+                        .is_some_and(|c| !c.sends.is_empty())
+                })
+            }
+            _ => false,
+        }
+    }
+
     /// `close()`.
     pub fn close(&mut self, id: SocketId) {
         if let Ok(sock) = self.get_mut(id) {

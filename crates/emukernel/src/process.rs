@@ -24,6 +24,22 @@ pub enum FdKind {
     },
     /// A network socket.
     Socket(SocketId),
+    /// One end of an anonymous pipe (`pipe(2)`).
+    Pipe {
+        /// Kernel pipe id, shared by both ends (and across `fork`).
+        id: u64,
+        /// True for the write end.
+        write: bool,
+    },
+    /// A synthesized read-only `/proc` view, snapshotted at `open`.
+    Proc {
+        /// Path it was opened with.
+        path: String,
+        /// Snapshot content.
+        data: Vec<u8>,
+        /// Read cursor.
+        offset: usize,
+    },
 }
 
 /// A per-process descriptor table; fds 0/1/2 are pre-wired to the console.
@@ -78,6 +94,17 @@ impl FdTable {
         Some(self.alloc(kind))
     }
 
+    /// `dup2`: installs `kind` at exactly `fd` (growing the table if
+    /// needed), returning the previous occupant so the kernel can close
+    /// it. The caller bounds `fd`.
+    pub fn replace(&mut self, fd: i32, kind: FdKind) -> Option<FdKind> {
+        let idx = fd as usize;
+        if self.entries.len() <= idx {
+            self.entries.resize(idx + 1, None);
+        }
+        self.entries[idx].replace(kind)
+    }
+
     /// Closes a descriptor, returning what it referred to.
     pub fn close(&mut self, fd: i32) -> Option<FdKind> {
         if fd < 0 {
@@ -125,6 +152,12 @@ pub struct Process {
     pub start_tick: u64,
     /// Total heap bytes allocated via `brk` (resource-abuse tracking).
     pub heap_bytes: u64,
+    /// Next free address in the `mmap` region (bump allocator).
+    pub mmap_cursor: u32,
+    /// Registered signal handlers: signal number → handler address.
+    pub sig_handlers: std::collections::HashMap<u32, u32>,
+    /// Signals absorbed by a registered handler, in delivery order.
+    pub delivered_signals: Vec<u32>,
 }
 
 impl Process {
@@ -165,6 +198,17 @@ mod tests {
         let d = t.dup(f).unwrap();
         assert_eq!(t.get(f), t.get(d));
         assert!(t.dup(99).is_none());
+    }
+
+    #[test]
+    fn replace_grows_and_returns_prior() {
+        let mut t = FdTable::new();
+        let prior = t.replace(1, FdKind::Socket(SocketId(7)));
+        assert_eq!(prior, Some(FdKind::Stdout));
+        assert_eq!(t.get(1), Some(&FdKind::Socket(SocketId(7))));
+        assert_eq!(t.replace(10, FdKind::Stdin), None);
+        assert_eq!(t.get(10), Some(&FdKind::Stdin));
+        assert_eq!(t.get(9), None);
     }
 
     #[test]

@@ -25,11 +25,17 @@ pub enum ResourceType {
     Console,
     /// Provenance unknown — incomplete tracking (paper footnote 4).
     Unknown,
+    /// Anonymous pipe (fd plumbing; taint is carried end to end).
+    Pipe,
+    /// Synthesized `/proc` self-view (self-inspection surface).
+    Proc,
 }
 
 impl ResourceType {
     /// Every variant, in wire-code order (index == [`ResourceType::code`]).
-    pub const ALL: [ResourceType; 7] = [
+    /// Strictly append-only: journals recorded before a variant existed
+    /// must keep decoding to the same types forever.
+    pub const ALL: [ResourceType; 9] = [
         ResourceType::File,
         ResourceType::Socket,
         ResourceType::Binary,
@@ -37,6 +43,8 @@ impl ResourceType {
         ResourceType::Hardware,
         ResourceType::Console,
         ResourceType::Unknown,
+        ResourceType::Pipe,
+        ResourceType::Proc,
     ];
 
     /// Symbol used in CLIPS facts.
@@ -49,6 +57,8 @@ impl ResourceType {
             ResourceType::Hardware => "HARDWARE",
             ResourceType::Console => "CONSOLE",
             ResourceType::Unknown => "UNKNOWN",
+            ResourceType::Pipe => "PIPE",
+            ResourceType::Proc => "PROC",
         }
     }
 
@@ -194,34 +204,23 @@ pub enum SecpertEvent {
     },
 }
 
-/// Syscall names the kernel substrate emits today, so decoding a
-/// recorded event stream normally allocates nothing.
-const KNOWN_SYSCALLS: &[&str] = &[
-    "SYS_accept",
-    "SYS_bind",
-    "SYS_brk",
-    "SYS_chmod",
-    "SYS_clone",
-    "SYS_close",
-    "SYS_connect",
-    "SYS_dup",
-    "SYS_execve",
-    "SYS_exit",
-    "SYS_fork",
-    "SYS_getpid",
-    "SYS_listen",
-    "SYS_mknod",
-    "SYS_nanosleep",
-    "SYS_open",
-    "SYS_read",
-    "SYS_recv",
-    "SYS_resolve",
-    "SYS_send",
-    "SYS_socket",
-    "SYS_time",
-    "SYS_unknown",
-    "SYS_write",
-];
+/// Syscall names the kernel substrate emits today, sorted for binary
+/// search, so decoding a recorded event stream normally allocates
+/// nothing. Built straight from the single-source-of-truth ABI table
+/// (`emukernel::abi`), so a syscall added there is known here with no
+/// hand-maintained list to drift.
+fn known_syscalls() -> &'static [&'static str] {
+    use std::sync::OnceLock;
+    static KNOWN: OnceLock<Vec<&'static str>> = OnceLock::new();
+    KNOWN.get_or_init(|| {
+        let mut names: Vec<&'static str> = emukernel::TABLE.iter().map(|d| d.name).collect();
+        names.extend_from_slice(emukernel::SOCKETCALL_NAMES);
+        names.push("SYS_unknown");
+        names.sort_unstable();
+        names.dedup();
+        names
+    })
+}
 
 /// Interns a syscall name as `&'static str`, as required by
 /// [`SecpertEvent`]'s `syscall` fields. Names from the known kernel set
@@ -229,8 +228,9 @@ const KNOWN_SYSCALLS: &[&str] = &[
 /// kernel, hand-written journals) is leaked once and cached, so repeated
 /// decoding of the same stream stays bounded.
 pub fn intern_syscall(name: &str) -> &'static str {
-    if let Ok(idx) = KNOWN_SYSCALLS.binary_search(&name) {
-        return KNOWN_SYSCALLS[idx];
+    let known = known_syscalls();
+    if let Ok(idx) = known.binary_search(&name) {
+        return known[idx];
     }
     use std::collections::BTreeSet;
     use std::sync::{Mutex, OnceLock};
@@ -293,7 +293,15 @@ mod tests {
 
     #[test]
     fn syscall_interning() {
-        assert!(KNOWN_SYSCALLS.windows(2).all(|w| w[0] < w[1]), "binary search needs order");
+        let known = known_syscalls();
+        assert!(known.windows(2).all(|w| w[0] < w[1]), "binary search needs order");
+        // The ABI-derived set covers every table row, the socketcall
+        // sub-call names, and the unknown sentinel.
+        for def in emukernel::TABLE {
+            assert!(known.contains(&def.name), "missing {}", def.name);
+        }
+        assert!(known.contains(&"SYS_recv"));
+        assert!(known.contains(&"SYS_unknown"));
         // Known names come back as the same static without allocation.
         assert_eq!(intern_syscall("SYS_execve"), "SYS_execve");
         // Unknown names intern to a stable address.

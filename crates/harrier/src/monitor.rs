@@ -77,6 +77,10 @@ pub struct Harrier {
     user_tag: TagRef,
     hardware_tag: TagRef,
     procs: HashMap<u32, ProcMon>,
+    /// Taint carried by each anonymous pipe's buffered bytes, keyed by
+    /// kernel pipe id. Kernel-global (pipes are shared across `fork` and
+    /// `dup2`), so laundering through fd plumbing cannot shed tags.
+    pipe_tags: HashMap<u64, TagRef>,
     events_emitted: u64,
 }
 
@@ -96,6 +100,7 @@ impl Harrier {
             user_tag,
             hardware_tag,
             procs: HashMap::new(),
+            pipe_tags: HashMap::new(),
             events_emitted: 0,
         }
     }
@@ -252,6 +257,8 @@ impl Harrier {
                 };
                 SourceInfo::new(ResourceType::Socket, name.unwrap_or_else(|| "socket".into()))
             }
+            Resource::Pipe { id } => SourceInfo::new(ResourceType::Pipe, format!("pipe:{id}")),
+            Resource::Proc { path } => SourceInfo::new(ResourceType::Proc, path.clone()),
         }
     }
 
@@ -265,6 +272,13 @@ impl Harrier {
                 let info = self.resource_info(resource, kernel);
                 DataSource::socket(info.name)
             }
+            // Pipe reads don't mint a new source: the buffer inherits
+            // the taint the pipe's bytes carried in (see the Read arm).
+            Resource::Pipe { .. } => return None,
+            // /proc content is the process's own state rendered by the
+            // kernel — treat it as file content named by its path so
+            // exfiltration fires the file→socket flow rules.
+            Resource::Proc { path } => DataSource::file(path),
         })
     }
 
@@ -372,7 +386,17 @@ impl Harrier {
             }
             SyscallEffect::Read { resource, buf, len } => {
                 if self.config.track_dataflow && *len > 0 {
-                    if let Some(src) = self.read_source(resource, kernel) {
+                    if let Resource::Pipe { id } = resource {
+                        // Bytes out of a pipe carry whatever taint went
+                        // in — laundering through fd plumbing does NOT
+                        // clear tags.
+                        let tag = self.pipe_tags.get(id).copied().unwrap_or(TagRef::EMPTY);
+                        self.procs
+                            .get_mut(&pid)
+                            .expect("attached above")
+                            .shadow
+                            .set_range(*buf, *len, tag);
+                    } else if let Some(src) = self.read_source(resource, kernel) {
                         let id = self.sources.intern(src);
                         let tag = self.store.single(id);
                         self.procs
@@ -384,6 +408,15 @@ impl Harrier {
                 }
             }
             SyscallEffect::Write { resource, buf, len } => {
+                if self.config.track_dataflow {
+                    if let Resource::Pipe { id } = resource {
+                        // The pipe's buffered bytes accumulate the
+                        // union of everything written into it.
+                        let written = self.procs[&pid].shadow.range(*buf, *len, &mut self.store);
+                        let prior = self.pipe_tags.get(id).copied().unwrap_or(TagRef::EMPTY);
+                        self.pipe_tags.insert(*id, self.store.union(prior, written));
+                    }
+                }
                 let target = self.resource_info(resource, kernel);
                 let executable_content = proc
                     .core
@@ -568,6 +601,71 @@ impl Harrier {
                     proc_rate: None,
                     mem_total: None,
                     server,
+                });
+            }
+            SyscallEffect::PipeCreated { id, .. } => {
+                self.pipe_tags.insert(*id, TagRef::EMPTY);
+            }
+            SyscallEffect::Mmap { resource, addr, len } => {
+                // Mapped file pages inherit the file's data source, so
+                // reads *through the mapping* carry the file's taint
+                // exactly like `read` into a buffer would.
+                if self.config.track_dataflow && *len > 0 {
+                    if let Some(src) = self.read_source(resource, kernel) {
+                        let id = self.sources.intern(src);
+                        let tag = self.store.single(id);
+                        self.procs
+                            .get_mut(&pid)
+                            .expect("attached above")
+                            .shadow
+                            .set_range(*addr, *len, tag);
+                    }
+                }
+                let info = self.resource_info(resource, kernel);
+                let origin = self.procs[&pid]
+                    .origins
+                    .get(&info.name)
+                    .map(|rec| self.origin_from(rec.tags))
+                    .unwrap_or_default();
+                events.push(SecpertEvent::ResourceAccess {
+                    pid,
+                    syscall: record.name,
+                    resource: info,
+                    origin,
+                    time,
+                    frequency,
+                    address,
+                    proc_count: None,
+                    proc_rate: None,
+                    mem_total: None,
+                    server: None,
+                });
+            }
+            SyscallEffect::Munmap { addr, len } => {
+                if self.config.track_dataflow && *len > 0 {
+                    self.procs.get_mut(&pid).expect("attached above").shadow.set_range(
+                        *addr,
+                        *len,
+                        TagRef::EMPTY,
+                    );
+                }
+            }
+            SyscallEffect::SignalRequested { target, sig } => {
+                events.push(SecpertEvent::ResourceAccess {
+                    pid,
+                    syscall: record.name,
+                    resource: SourceInfo::new(
+                        ResourceType::Unknown,
+                        format!("pid {target} sig {sig}"),
+                    ),
+                    origin: Origin::unknown(),
+                    time,
+                    frequency,
+                    address,
+                    proc_count: None,
+                    proc_rate: None,
+                    mem_total: None,
+                    server: None,
                 });
             }
             SyscallEffect::Resolve { name, name_addr, ok } => {

@@ -20,10 +20,45 @@ const ARENA: u32 = 3 * 4096 + 128;
 
 #[derive(Clone, Debug)]
 enum DiffOp {
-    SetByte { off: u32, src: usize },
-    SetRange { off: u32, len: u32, src: Option<usize> },
-    SetReg { reg: usize, srcs: Vec<usize> },
-    Apply { dst: LocSpec, src1: Option<LocSpec>, src2: Option<LocSpec>, imm: bool, hw: bool },
+    SetByte {
+        off: u32,
+        src: usize,
+    },
+    SetRange {
+        off: u32,
+        len: u32,
+        src: Option<usize>,
+    },
+    /// A union of several sources stamped on a range — how the monitor
+    /// tags a buffer read from a pipe or a mapped file (gen2 surface).
+    SetRangeMulti {
+        off: u32,
+        len: u32,
+        srcs: Vec<usize>,
+    },
+    SetReg {
+        reg: usize,
+        srcs: Vec<usize>,
+    },
+    /// `write(pipefd)`: the range's accumulated tags are unioned into a
+    /// kernel-global pipe tag, exactly like `Harrier::pipe_tags` —
+    /// laundering data through fd plumbing must not shed tags.
+    PipeWrite {
+        off: u32,
+        len: u32,
+    },
+    /// `read(pipefd)`: the accumulated pipe tag stamps the buffer.
+    PipeRead {
+        off: u32,
+        len: u32,
+    },
+    Apply {
+        dst: LocSpec,
+        src1: Option<LocSpec>,
+        src2: Option<LocSpec>,
+        imm: bool,
+        hw: bool,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -53,8 +88,12 @@ fn op_strategy() -> impl Strategy<Value = DiffOp> {
         (0u32..ARENA, 0usize..6).prop_map(|(off, src)| DiffOp::SetByte { off, src }),
         (0u32..ARENA - 160, 1u32..160, prop_oneof![Just(None), (0usize..6).prop_map(Some)])
             .prop_map(|(off, len, src)| DiffOp::SetRange { off, len, src }),
+        (0u32..ARENA - 160, 1u32..160, prop::collection::vec(0usize..6, 0..=3))
+            .prop_map(|(off, len, srcs)| DiffOp::SetRangeMulti { off, len, srcs }),
         (0usize..8, prop::collection::vec(0usize..6, 0..=3))
             .prop_map(|(reg, srcs)| DiffOp::SetReg { reg, srcs }),
+        (0u32..ARENA - 160, 1u32..160).prop_map(|(off, len)| DiffOp::PipeWrite { off, len }),
+        (0u32..ARENA - 160, 1u32..160).prop_map(|(off, len)| DiffOp::PipeRead { off, len }),
         (
             loc_strategy(),
             prop_oneof![Just(None), loc_strategy().prop_map(Some)],
@@ -79,6 +118,9 @@ struct Harness {
     hardware: SourceId,
     naive: NaiveShadow,
     fast: Shadow,
+    /// The modeled pipe's accumulated tag, one per implementation.
+    pipe_naive: TagSet,
+    pipe_fast: TagRef,
 }
 
 impl Harness {
@@ -94,6 +136,8 @@ impl Harness {
             hardware,
             naive: NaiveShadow::new(),
             fast: Shadow::new(),
+            pipe_naive: TagSet::empty(),
+            pipe_fast: TagRef::EMPTY,
         }
     }
 
@@ -119,6 +163,24 @@ impl Harness {
                 };
                 self.naive.set_range(BASE + off, *len, &set);
                 self.fast.set_range(BASE + off, *len, tag);
+            }
+            DiffOp::SetRangeMulti { off, len, srcs } => {
+                let ids: Vec<SourceId> = srcs.iter().map(|s| self.srcs[*s]).collect();
+                self.naive.set_range(BASE + off, *len, &TagSet::from_ids(ids.iter().copied()));
+                let tag = self.store.from_ids(ids.iter().copied());
+                self.fast.set_range(BASE + off, *len, tag);
+            }
+            DiffOp::PipeWrite { off, len } => {
+                let written_naive = self.naive.range(BASE + off, *len);
+                self.pipe_naive =
+                    TagSet::from_ids(self.pipe_naive.iter().chain(written_naive.iter()));
+                let written_fast = self.fast.range(BASE + off, *len, &mut self.store);
+                self.pipe_fast = self.store.union(self.pipe_fast, written_fast);
+            }
+            DiffOp::PipeRead { off, len } => {
+                let set = self.pipe_naive.clone();
+                self.naive.set_range(BASE + off, *len, &set);
+                self.fast.set_range(BASE + off, *len, self.pipe_fast);
             }
             DiffOp::SetReg { reg, srcs } => {
                 let ids: Vec<SourceId> = srcs.iter().map(|s| self.srcs[*s]).collect();
@@ -146,6 +208,9 @@ impl Harness {
         match op {
             DiffOp::SetByte { off, .. } => Some((BASE + off, 1)),
             DiffOp::SetRange { off, len, .. } => Some((BASE + off, *len)),
+            DiffOp::SetRangeMulti { off, len, .. } => Some((BASE + off, *len)),
+            DiffOp::PipeWrite { .. } => None,
+            DiffOp::PipeRead { off, len } => Some((BASE + off, *len)),
             DiffOp::SetReg { .. } => None,
             DiffOp::Apply { dst, .. } => match dst {
                 LocSpec::Mem { off, len } => Some((BASE + off, *len)),
@@ -172,6 +237,11 @@ proptest! {
                 let fast_ref = h.fast.reg(reg);
                 prop_assert_eq!(&naive, &h.resolve(fast_ref), "reg {:?} after {:?}", reg, op);
             }
+            // The modeled pipe's accumulated tag must agree — the
+            // laundering path keeps taint across fd plumbing.
+            let pipe_naive: Vec<SourceId> = h.pipe_naive.iter().collect();
+            let pipe_fast = h.pipe_fast;
+            prop_assert_eq!(&pipe_naive, &h.resolve(pipe_fast), "pipe tag after {:?}", op);
             // The touched range must resolve identically, including a
             // widened window to catch off-by-one page-boundary bugs.
             if let Some((addr, len)) = Harness::touched(op) {

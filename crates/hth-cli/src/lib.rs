@@ -10,7 +10,7 @@
 //! hth listing <prog.s>    # assemble and print the listing
 //! hth fleet [--sessions N] [--shards N] [--workers N] [--queue N]
 //!           [--batch-size N] [--drop-oldest] [--chaos-seed N]
-//!           [--correlate] [--digests OUT.hthd]
+//!           [--correlate] [--gen2] [--digests OUT.hthd]
 //!           [--trust NAME]… [--trace OUT.json] [--metrics]
 //! hth replay <events.hthj> [--repair] [--batch-size N] [--trust NAME]…
 //! hth explain <events.hthj|digests.hthd> <warning-idx> [--trust NAME]…
@@ -109,6 +109,10 @@ pub struct FleetOptions {
     /// Run the coordinated-campaign catalog and correlate the fleet's
     /// session digests after the run.
     pub correlate: bool,
+    /// Run the second-generation syscall-surface catalog (mmap dropper,
+    /// pipe laundering, /proc beacon, signal killer, select server)
+    /// instead of the Table 8 exploits.
+    pub gen2: bool,
     /// Write the fleet's session digest stream here.
     pub digests: Option<String>,
     /// Extra trusted binaries.
@@ -130,6 +134,7 @@ impl Default for FleetOptions {
             drop_oldest: false,
             chaos_seed: None,
             correlate: false,
+            gen2: false,
             digests: None,
             trust: Vec::new(),
             trace: None,
@@ -304,6 +309,10 @@ FLEET OPTIONS:
                      slicing exfil under per-session thresholds) and
                      correlate the fleet's session digests after the
                      run — fleet warnings print with the report
+  --gen2             run the second-generation syscall-surface catalog
+                     (mmap dropper, pipe laundering, /proc beacon,
+                     signal killer, select echo server) instead of the
+                     Table 8 exploits
   --digests OUT.hthd write the fleet's session digest stream; feed it
                      to `hth explain` for fleet-level causal trees
   --trust NAME       add a trusted binary (substring match)
@@ -504,6 +513,7 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
                 );
             }
             "--correlate" => opts.correlate = true,
+            "--gen2" => opts.gen2 = true,
             "--digests" => opts.digests = Some(value("--digests")?),
             "--trust" => opts.trust.push(value("--trust")?),
             "--trace" => opts.trace = Some(value("--trace")?),
@@ -743,10 +753,13 @@ fn load(opts: LoadOptions) -> Result<String, String> {
 /// pool and renders the report. The catalog is the Table 8 exploit set,
 /// cycled — or, with `--correlate`, the coordinated campaign whose
 /// sessions are individually (near-)silent and only damn each other in
-/// aggregate.
+/// aggregate — or, with `--gen2`, the second-generation syscall-surface
+/// workloads (mmap, pipes, select, signals, /proc).
 fn fleet(opts: FleetOptions) -> Result<String, String> {
     let catalog = if opts.correlate {
         hth_workloads::coordinated::scenarios
+    } else if opts.gen2 {
+        hth_workloads::gen2::scenarios
     } else {
         hth_workloads::exploits::scenarios
     };
@@ -1147,6 +1160,15 @@ mod tests {
     }
 
     #[test]
+    fn parse_fleet_gen2_option() {
+        let cmd = parse(&strs(&["fleet", "--gen2", "--sessions", "5"])).unwrap();
+        let Command::Fleet(opts) = cmd else { panic!() };
+        assert!(opts.gen2);
+        assert_eq!(opts.sessions, 5);
+        assert!(!FleetOptions::default().gen2);
+    }
+
+    #[test]
     fn parse_replay_options() {
         assert_eq!(
             parse(&strs(&["replay", "events.hthj", "--trust", "make"])).unwrap(),
@@ -1419,6 +1441,27 @@ mod tests {
         assert!(out.contains("fleet: 4 sessions"), "{out}");
         assert!(out.contains("[HIGH]"), "{out}");
         assert!(out.contains("  match: "), "{out}");
+    }
+
+    /// `--gen2` swaps in the second-generation catalog: the report must
+    /// count the laundered execve and the /proc introspection, and the
+    /// trusted select server (session 5 of 5) must add nothing — in
+    /// particular no backdoor-server warning.
+    #[test]
+    fn gen2_fleet_end_to_end() {
+        let out = execute(Command::Fleet(FleetOptions {
+            sessions: 5,
+            shards: 2,
+            workers: 2,
+            gen2: true,
+            ..FleetOptions::default()
+        }))
+        .unwrap();
+        assert!(out.contains("fleet: 5 sessions"), "{out}");
+        assert!(out.contains("[HIGH] check_execve"), "{out}");
+        assert!(out.contains("check_proc_introspection"), "{out}");
+        assert!(out.contains("check_process_kill"), "{out}");
+        assert!(!out.contains("check_backdoor_server"), "{out}");
     }
 
     /// Batched and per-event analyst loops must report the same fleet:

