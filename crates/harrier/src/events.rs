@@ -263,6 +263,26 @@ impl SecpertEvent {
             }
         }
     }
+
+    /// The virtual time of the event.
+    pub fn time(&self) -> u64 {
+        match self {
+            SecpertEvent::ResourceAccess { time, .. } | SecpertEvent::DataTransfer { time, .. } => {
+                *time
+            }
+        }
+    }
+
+    /// The primary resource name the event touched — the accessed
+    /// resource, or a transfer's target. One short line for flight
+    /// recorders and logs; the full origin/taint story stays in the
+    /// event itself.
+    pub fn resource_name(&self) -> &str {
+        match self {
+            SecpertEvent::ResourceAccess { resource, .. } => &resource.name,
+            SecpertEvent::DataTransfer { target, .. } => &target.name,
+        }
+    }
 }
 
 #[cfg(test)]

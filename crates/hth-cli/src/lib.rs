@@ -17,6 +17,7 @@
 //! hth serve [--addr H:P] [--workers N] [--budget-mb N] [--idle-ms N]
 //!           [--trust NAME]… [--metrics]
 //! hth load [--addr H:P] [--sessions N] [--events N] [--shutdown]
+//! hth top [--addr H:P] [--once] [--interval-ms N]
 //! ```
 //!
 //! The argument parser and command execution live here so they are unit
@@ -69,6 +70,9 @@ pub enum Command {
     /// Drive synthetic sessions against a running daemon and report
     /// throughput and ack latency.
     Load(LoadOptions),
+    /// Poll a running daemon's `/statusz` endpoint and render a live
+    /// fleet view (`--once` prints one frame and exits, for scripts).
+    Top(TopOptions),
     /// Explain one warning from a journal replay: print its causal
     /// tree (triggering event, rule chain, supporting facts, taint
     /// sources). Given a digest stream (`hth fleet --digests`) instead,
@@ -121,6 +125,9 @@ pub struct FleetOptions {
     pub trace: Option<String>,
     /// Print the unified Prometheus-style metrics snapshot.
     pub metrics: bool,
+    /// Write the shards' diagnostic bundles (quarantines, watchdog
+    /// overruns) here as a JSON array.
+    pub bundles: Option<String>,
 }
 
 impl Default for FleetOptions {
@@ -139,6 +146,7 @@ impl Default for FleetOptions {
             trust: Vec::new(),
             trace: None,
             metrics: false,
+            bundles: None,
         }
     }
 }
@@ -194,6 +202,23 @@ impl Default for LoadOptions {
             events: 100,
             shutdown: false,
         }
+    }
+}
+
+/// Options for `hth top`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Print one frame and exit (script / golden mode).
+    pub once: bool,
+    /// Refresh interval in milliseconds.
+    pub interval_ms: u64,
+}
+
+impl Default for TopOptions {
+    fn default() -> TopOptions {
+        TopOptions { addr: "127.0.0.1:7177".to_string(), once: false, interval_ms: 1000 }
     }
 }
 
@@ -268,6 +293,9 @@ USAGE:
   hth load [options]           drive synthetic sessions against a
                                running daemon; report events/sec and
                                ack latency
+  hth top [options]            poll a running daemon's /statusz and
+                               render a live fleet view: sessions,
+                               ack latency, diagnostic bundles
   hth help                     this text
 
 RUN OPTIONS:
@@ -320,6 +348,9 @@ FLEET OPTIONS:
                      run (all worker and analyst threads)
   --metrics          print the unified metrics snapshot covering the
                      whole fleet in Prometheus text format
+  --bundles OUT.json write the shards' diagnostic bundles (flight
+                     recorder snapshots captured on quarantines and
+                     watchdog overruns) as a JSON array
 
 SERVE OPTIONS:
   --addr HOST:PORT   listen address (default 127.0.0.1:7177; port 0
@@ -339,6 +370,12 @@ LOAD OPTIONS:
   --sessions N       synthetic sessions to drive (default 8)
   --events N         events per session (default 100)
   --shutdown         ask the daemon to drain and stop after the run
+
+TOP OPTIONS:
+  --addr HOST:PORT   daemon address (default 127.0.0.1:7177)
+  --once             fetch and print one frame, then exit (for
+                     scripts and goldens)
+  --interval-ms N    refresh interval in live mode (default 1000)
 ";
 
 fn parse_ip(text: &str) -> Result<u32, String> {
@@ -389,6 +426,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if command == "load" {
         return parse_load(it);
+    }
+    if command == "top" {
+        return parse_top(it);
     }
     let operand =
         if matches!(command, "replay" | "explain") { "journal file" } else { "source file" };
@@ -518,6 +558,7 @@ fn parse_fleet(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> 
             "--trust" => opts.trust.push(value("--trust")?),
             "--trace" => opts.trace = Some(value("--trace")?),
             "--metrics" => opts.metrics = true,
+            "--bundles" => opts.bundles = Some(value("--bundles")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -573,6 +614,24 @@ fn parse_load(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> {
     Ok(Command::Load(opts))
 }
 
+fn parse_top(mut it: std::slice::Iter<'_, String>) -> Result<Command, String> {
+    let mut opts = TopOptions::default();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--once" => opts.once = true,
+            "--interval-ms" => {
+                opts.interval_ms = parse_count(&value("--interval-ms")?, "--interval-ms")? as u64;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Command::Top(opts))
+}
+
 /// Executes a parsed command; returns the text to print.
 ///
 /// # Errors
@@ -614,6 +673,7 @@ pub fn execute(command: Command) -> Result<String, String> {
         Command::Fleet(opts) => fleet(opts),
         Command::Serve(opts) => serve(opts),
         Command::Load(opts) => load(opts),
+        Command::Top(opts) => top(opts),
         Command::Replay { journal, trust, repair, batch_size } => {
             replay_journal(&journal, trust, repair, batch_size)
         }
@@ -711,6 +771,44 @@ fn serve(opts: ServeOptions) -> Result<String, String> {
         let _ = write!(out, "{}", publish_metrics(snapshot));
     }
     Ok(out)
+}
+
+/// One plain HTTP GET against the daemon's introspection surface (the
+/// workspace is dependency-free, so this speaks just enough HTTP/1.1
+/// itself). Returns the response body of a 200, an error otherwise.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("`{addr}`: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("`{addr}`: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from `{addr}`"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        return Err(format!("`{addr}{path}`: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Polls `/statusz` and renders the live fleet view. `--once` fetches a
+/// single frame and returns it; live mode redraws in place until the
+/// daemon goes away.
+fn top(opts: TopOptions) -> Result<String, String> {
+    if opts.once {
+        return http_get(&opts.addr, "/statusz");
+    }
+    loop {
+        let frame = http_get(&opts.addr, "/statusz")?;
+        // Clear + home: a redrawn dashboard, not a scrollback flood.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms.max(50)));
+    }
 }
 
 /// Drives synthetic sessions against a running daemon over loopback and
@@ -813,6 +911,12 @@ fn fleet(opts: FleetOptions) -> Result<String, String> {
             report.submitted,
             report.respawns,
         );
+    }
+    if let Some(path) = &opts.bundles {
+        let json: Vec<String> = report.bundles.iter().map(|b| b.to_json()).collect();
+        std::fs::write(path, format!("[{}]\n", json.join(",")))
+            .map_err(|e| format!("cannot write bundles `{path}`: {e}"))?;
+        let _ = writeln!(out, "bundles: {} written to {path}", report.bundles.len());
     }
     if opts.metrics {
         let _ = writeln!(out, "--- metrics ---");

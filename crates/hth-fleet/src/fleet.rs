@@ -92,6 +92,9 @@ pub struct FleetReport {
     /// The fleet correlator's verdict, when
     /// [`FleetConfig::correlate`] was set.
     pub correlation: Option<CorrelationReport>,
+    /// Diagnostic bundles the shards' flight recorders captured
+    /// (quarantines, watchdog overruns), shard order.
+    pub bundles: Vec<std::sync::Arc<hth_trace::DiagnosticBundle>>,
 }
 
 impl FleetReport {
@@ -297,6 +300,7 @@ pub fn run_scenarios(
             .unwrap_or_else(PoisonError::into_inner),
         digests: report.digests,
         correlation,
+        bundles: report.bundles,
     })
 }
 

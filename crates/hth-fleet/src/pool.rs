@@ -32,6 +32,10 @@ use std::thread::JoinHandle;
 
 use harrier::SecpertEvent;
 use hth_core::{DigestBuilder, PolicyConfig, Secpert, SessionDigest, Warning};
+use hth_trace::{
+    BundleRing, DiagLevel, DiagnosticBundle, FlightEntryArgs, FlightRecorder, MetricsSnapshot,
+    Trigger,
+};
 use secpert_engine::{EngineError, MatchStats};
 
 use crate::digest_wire::{read_digest_stream, write_digest_stream};
@@ -76,6 +80,20 @@ pub struct PoolConfig {
     /// final report — exact loss accounting for tests; off by default
     /// because it is unbounded memory under sustained loss.
     pub keep_lost_events: bool,
+    /// Per-shard flight-recorder ring capacity: each analyst keeps this
+    /// many recent events for diagnostic bundles, always on (the
+    /// pipeline bench gates its overhead at ≤2%). `0` disables the
+    /// recorder entirely — that exists for the bench's baseline
+    /// measurement, not for production.
+    pub flight_capacity: usize,
+    /// Watchdog: a drained batch whose processing exceeds this deadline
+    /// captures a [`Trigger::Watchdog`] diagnostic bundle (requires a
+    /// non-zero `flight_capacity`). `None` = off.
+    pub batch_deadline: Option<std::time::Duration>,
+    /// Retention ring for captured diagnostic bundles; share one to see
+    /// several pools in one place (a serving layer's bundle index). A
+    /// private ring is created when unset.
+    pub bundles: Option<Arc<BundleRing>>,
 }
 
 impl Default for PoolConfig {
@@ -88,6 +106,9 @@ impl Default for PoolConfig {
             max_respawns: 3,
             faults: None,
             keep_lost_events: false,
+            flight_capacity: hth_trace::DEFAULT_FLIGHT_CAPACITY,
+            batch_deadline: None,
+            bundles: None,
         }
     }
 }
@@ -165,6 +186,10 @@ pub struct PoolReport {
     /// [`AnalystPool::set_label`] are applied; unlabelled sessions keep
     /// an empty label (the correlator renders them `session-<id>`).
     pub digests: Vec<SessionDigest>,
+    /// Diagnostic bundles captured during the run (quarantines,
+    /// watchdog overruns), in shard order, also retained in the pool's
+    /// [`BundleRing`].
+    pub bundles: Vec<Arc<DiagnosticBundle>>,
 }
 
 impl PoolReport {
@@ -215,6 +240,8 @@ struct ShardOutcome {
     /// The shard's digests as a wire stream (header + CRC frames) —
     /// the same bytes a remote shard would ship to a correlator.
     digest_stream: Vec<u8>,
+    /// Diagnostic bundles this shard captured (quarantine, watchdog).
+    bundles: Vec<DiagnosticBundle>,
 }
 
 impl ShardOutcome {
@@ -237,6 +264,8 @@ pub struct AnalystPool {
     /// serve client's hello). Workers never read this — labels are
     /// applied when the digests are merged in [`AnalystPool::finish`].
     labels: Mutex<BTreeMap<SessionId, String>>,
+    /// Where captured diagnostic bundles are retained.
+    bundles: Arc<BundleRing>,
 }
 
 impl AnalystPool {
@@ -288,6 +317,9 @@ impl AnalystPool {
                     faults: config.faults.clone(),
                     max_respawns: config.max_respawns,
                     keep_lost_events: config.keep_lost_events,
+                    flight: (config.flight_capacity > 0)
+                        .then(|| FlightRecorder::new(config.flight_capacity)),
+                    batch_deadline: config.batch_deadline,
                 };
                 std::thread::spawn(move || analyst_loop(engine, &queue, supervisor, batch_size))
             })
@@ -299,7 +331,13 @@ impl AnalystPool {
             backpressure: config.backpressure,
             keep_lost_events: config.keep_lost_events,
             labels: Mutex::new(BTreeMap::new()),
+            bundles: config.bundles.clone().unwrap_or_default(),
         })
+    }
+
+    /// The retention ring captured diagnostic bundles land in.
+    pub fn bundle_ring(&self) -> &Arc<BundleRing> {
+        &self.bundles
     }
 
     /// Number of shards.
@@ -452,6 +490,9 @@ impl AnalystPool {
                 report.lost_events.extend(leftover_events);
             }
             report.warnings.extend(outcome.warnings);
+            for bundle in outcome.bundles {
+                report.bundles.push(self.bundles.push(bundle));
+            }
             // Decode the shard's digest stream exactly as a remote
             // correlator would. A shard whose stream fails to decode is
             // a codec bug, not an event-loss path: report it loudly.
@@ -500,6 +541,10 @@ struct Supervisor {
     faults: Option<Arc<FaultPlan>>,
     max_respawns: u32,
     keep_lost_events: bool,
+    /// Always-on per-shard flight recorder (`None` only when
+    /// `PoolConfig::flight_capacity` is 0 — the bench baseline).
+    flight: Option<FlightRecorder>,
+    batch_deadline: Option<std::time::Duration>,
 }
 
 enum Analyst {
@@ -571,8 +616,51 @@ fn analyst_loop(
             1 => queue.not_full.notify_one(),
             _ => queue.not_full.notify_all(),
         }
+        let drained_at = std::time::Instant::now();
         process_drained(&mut analyst, &mut outcome, &supervisor, &sids, &batch, &mut nth);
+        if let Some(flight) = &supervisor.flight {
+            let elapsed = drained_at.elapsed();
+            flight.stage("pool.batch", elapsed.as_nanos() as u64);
+            if let Some(deadline) = supervisor.batch_deadline {
+                if elapsed > deadline {
+                    let mut stats = MetricsSnapshot::new();
+                    shard_stats_snapshot(&mut stats, &outcome, &analyst);
+                    let trigger = Trigger::Watchdog {
+                        elapsed_us: elapsed.as_micros() as u64,
+                        deadline_us: deadline.as_micros() as u64,
+                    };
+                    let component = format!("pool.shard{}", supervisor.shard);
+                    hth_trace::global_diag().log(
+                        DiagLevel::Warn,
+                        &component,
+                        &format!(
+                            "batch of {} events took {}us (deadline {}us)",
+                            batch.len(),
+                            elapsed.as_micros(),
+                            deadline.as_micros()
+                        ),
+                    );
+                    outcome.bundles.push(flight.capture(&component, trigger, stats, Vec::new()));
+                }
+            }
+        }
     }
+}
+
+/// One metrics snapshot of a shard's counters for a diagnostic bundle:
+/// the outcome's accumulated match stats plus the live engine's (the
+/// outcome only banks an engine's counters when it is retired).
+fn shard_stats_snapshot(stats: &mut MetricsSnapshot, outcome: &ShardOutcome, analyst: &Analyst) {
+    let mut match_stats = outcome.match_stats;
+    if let Analyst::Running(engine) = analyst {
+        match_stats.merge(&engine.match_stats());
+    }
+    match_stats.record_metrics(stats);
+    stats.add_counter("hth_pool_events", outcome.events);
+    stats.add_counter("hth_pool_quarantined", outcome.quarantined);
+    stats.add_counter("hth_pool_discarded", outcome.discarded);
+    stats.add_counter("hth_pool_respawns", u64::from(outcome.respawns));
+    stats.add_counter("hth_pool_warnings", outcome.warnings.len() as u64);
 }
 
 /// Feeds one drained batch through the analyst, preserving the
@@ -639,6 +727,7 @@ fn process_drained(
                     for k in i..j {
                         outcome.digest(sids[k]).observe(&batch[k]);
                     }
+                    record_flight(supervisor, sids, batch, i, j);
                     record_warnings(outcome, warnings, &sids[i..j], events_before);
                     i = j;
                 }
@@ -653,8 +742,14 @@ fn process_drained(
                     for k in i..i + ok {
                         outcome.digest(sids[k]).observe(&batch[k]);
                     }
+                    record_flight(supervisor, sids, batch, i, i + ok);
                     let kept = completed_warnings(engine, sink_before, events_before + ok as u64);
                     record_warnings(outcome, kept, &sids[i..j], events_before);
+                    hth_trace::global_diag().log(
+                        DiagLevel::Error,
+                        &format!("pool.shard{shard}"),
+                        &format!("engine error, shard degraded to drain-and-discard: {e}"),
+                    );
                     outcome.errors.push(format!("shard {shard}: engine error: {e}"));
                     outcome.discarded += 1;
                     if supervisor.keep_lost_events {
@@ -677,6 +772,7 @@ fn process_drained(
                     for k in i..culprit {
                         outcome.digest(sids[k]).observe(&batch[k]);
                     }
+                    record_flight(supervisor, sids, batch, i, culprit);
                     let kept = completed_warnings(engine, sink_before, events_before + ok as u64);
                     record_warnings(outcome, kept, &sids[i..j], events_before);
                     quarantine(
@@ -710,12 +806,18 @@ fn process_drained(
             Ok(Ok(warnings)) => {
                 outcome.events += 1;
                 outcome.digest(sids[i]).observe(event);
+                record_flight(supervisor, sids, batch, i, i + 1);
                 for warning in &warnings {
                     outcome.digest(sids[i]).observe_warning(warning);
                 }
                 outcome.warnings.extend(warnings);
             }
             Ok(Err(e)) => {
+                hth_trace::global_diag().log(
+                    DiagLevel::Error,
+                    &format!("pool.shard{shard}"),
+                    &format!("engine error, shard degraded to drain-and-discard: {e}"),
+                );
                 outcome.errors.push(format!("shard {shard}: engine error: {e}"));
                 outcome.discarded += 1;
                 if supervisor.keep_lost_events {
@@ -778,8 +880,38 @@ fn completed_warnings(engine: &Secpert, sink_before: usize, last_ok_index: u64) 
         .collect()
 }
 
+/// Records one analysed run (`[from, to)` within the drained batch)
+/// into the shard's flight recorder — a no-op when the recorder is
+/// disabled, one lock crossing otherwise.
+fn record_flight(
+    supervisor: &Supervisor,
+    sids: &[SessionId],
+    batch: &[SecpertEvent],
+    from: usize,
+    to: usize,
+) {
+    let Some(flight) = &supervisor.flight else {
+        return;
+    };
+    if from >= to {
+        return;
+    }
+    flight.record_batch(batch[from..to].iter().zip(&sids[from..to]).map(|(event, sid)| {
+        FlightEntryArgs {
+            session: *sid,
+            time: event.time(),
+            kind: "event",
+            label: event.syscall(),
+            detail: event.resource_name(),
+        }
+    }));
+}
+
 /// Quarantines one event after a panic and respawns a fresh engine if
 /// the budget allows; otherwise the shard degrades to drain-and-discard.
+/// The previously-silent path now speaks: a rate-limited diagnostics
+/// line per decision, and a [`Trigger::Quarantine`] bundle capturing
+/// the shard's flight-recorder tail with the faulted event last.
 fn quarantine(
     analyst: &mut Analyst,
     outcome: &mut ShardOutcome,
@@ -803,7 +935,22 @@ fn quarantine(
     if let Analyst::Running(engine) = &*analyst {
         outcome.match_stats.merge_retired(&engine.match_stats());
     }
+    let component = format!("pool.shard{shard}");
+    let diag = hth_trace::global_diag();
+    diag.log(
+        DiagLevel::Error,
+        &component,
+        &format!("quarantined event {event_nth} ({}): {message}", event.syscall()),
+    );
     if outcome.respawns >= supervisor.max_respawns {
+        diag.log(
+            DiagLevel::Error,
+            &component,
+            &format!(
+                "respawn budget ({}) exhausted; draining without analysis",
+                supervisor.max_respawns
+            ),
+        );
         outcome.errors.push(format!(
             "shard {shard}: respawn budget ({}) exhausted after: {message}",
             supervisor.max_respawns
@@ -813,13 +960,33 @@ fn quarantine(
         match Secpert::new(&supervisor.policy) {
             Ok(fresh) => {
                 outcome.respawns += 1;
+                diag.log(
+                    DiagLevel::Warn,
+                    &component,
+                    &format!(
+                        "respawned fresh engine ({}/{})",
+                        outcome.respawns, supervisor.max_respawns
+                    ),
+                );
                 *analyst = Analyst::Running(Box::new(fresh));
             }
             Err(e) => {
+                diag.log(DiagLevel::Error, &component, &format!("respawn failed: {e}"));
                 outcome.errors.push(format!("shard {shard}: respawn failed: {e}"));
                 *analyst = Analyst::Failed;
             }
         }
+    }
+    if let Some(flight) = &supervisor.flight {
+        flight.record(session, event.time(), "fault", event.syscall(), &message);
+        let mut stats = MetricsSnapshot::new();
+        shard_stats_snapshot(&mut stats, outcome, analyst);
+        outcome.bundles.push(flight.capture(
+            &component,
+            Trigger::Quarantine { shard, event_nth, message },
+            stats,
+            Vec::new(),
+        ));
     }
 }
 

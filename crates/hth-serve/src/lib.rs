@@ -14,7 +14,10 @@
 //!   (`secpert_engine::EngineSnapshot`) makes eviction invisible: the
 //!   warning stream is byte-identical to an uninterrupted run.
 //! * [`protocol`] — CRC-framed requests/acks over the fleet wire event
-//!   codec; one port also answers HTTP `GET /metrics` scrapes.
+//!   codec; one port also answers HTTP scrapes: `/metrics` (Prometheus
+//!   text), `/healthz`, `/statusz` ([`status::StatusReport`], what
+//!   `hth top` renders), and `/bundles[/<n>]` (diagnostic bundles from
+//!   the table's always-on flight recorder).
 //! * [`server`] / [`client`] — the accept-loop daemon with a bounded
 //!   worker pool and graceful drain, and the client the `hth load`
 //!   generator and the chaos suite use to talk to it.
@@ -24,6 +27,7 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod status;
 pub mod table;
 
 use std::fmt;
@@ -33,6 +37,7 @@ use harrier::{Origin, ResourceType, SecpertEvent, SourceInfo};
 pub use client::{run_load, Client, LoadReport};
 pub use protocol::{Ack, Request, ServeStats};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
+pub use status::{SessionRow, StatusReport};
 pub use table::{SessionTable, TableConfig};
 
 /// Anything that can go wrong between a client and the session table.

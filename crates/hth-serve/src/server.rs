@@ -19,7 +19,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hth_core::Severity;
 use hth_fleet::wire;
@@ -100,6 +100,7 @@ struct Shared {
     available: Condvar,
     connections: AtomicU64,
     http_requests: AtomicU64,
+    started: Instant,
 }
 
 impl Server {
@@ -143,6 +144,7 @@ impl Server {
             available: Condvar::new(),
             connections: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
+            started: Instant::now(),
         });
         let mut handles = Vec::with_capacity(self.workers);
         for i in 0..self.workers {
@@ -228,7 +230,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), Serve
     }
     if &sniff == b"GET " {
         shared.http_requests.fetch_add(1, Ordering::SeqCst);
-        return handle_http(stream, &sniff, &shared.table);
+        return handle_http(stream, &sniff, shared);
     }
     shared.connections.fetch_add(1, Ordering::SeqCst);
     handle_protocol(stream, sniff, shared)
@@ -251,7 +253,17 @@ fn handle_protocol(
     }
     let mut decoder = wire::EventDecoder::for_version(version);
     loop {
-        let Some(payload) = read_frame(&mut stream)? else { return Ok(()) };
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // A torn frame or CRC mismatch poisons the connection
+                // silently from the client's view; leave the evidence.
+                shared.table.capture_protocol_drop(&e.to_string());
+                return Err(e);
+            }
+        };
+        let served_at = Instant::now();
         let request = match decode_request(&payload, &mut decoder) {
             Ok(request) => request,
             Err(e) => {
@@ -260,6 +272,7 @@ fn handle_protocol(
                 // out of sync with the encoder's).
                 let ack = Ack::Err { message: format!("bad request: {e}") };
                 let _ = write_all(&mut stream, &encode_ack(&ack));
+                shared.table.capture_protocol_drop(&e.to_string());
                 return Err(e);
             }
         };
@@ -283,6 +296,8 @@ fn handle_protocol(
             }
         };
         write_all(&mut stream, &encode_ack(&ack))?;
+        // Server-side ack latency: decoded request to ack on the wire.
+        shared.table.observe_ack_micros(served_at.elapsed().as_micros() as u64);
     }
 }
 
@@ -293,13 +308,13 @@ fn ack_of(result: Result<u64, ServeError>) -> Ack {
     }
 }
 
-/// Answers one HTTP request (`GET /metrics`) and closes. `sniffed` is
-/// the already-consumed method prefix.
-fn handle_http(
-    mut stream: TcpStream,
-    sniffed: &[u8],
-    table: &SessionTable,
-) -> Result<(), ServeError> {
+/// Answers one HTTP request and closes. `sniffed` is the
+/// already-consumed method prefix. Routes: `/metrics` (Prometheus
+/// text), `/healthz` (liveness), `/statusz` (the introspection report),
+/// `/bundles` (diagnostic-bundle index), `/bundles/<n>` (one bundle as
+/// JSON).
+fn handle_http(mut stream: TcpStream, sniffed: &[u8], shared: &Shared) -> Result<(), ServeError> {
+    let table = &shared.table;
     // Read up to the end of the request headers; we only need the
     // request line, and scrapers send small requests.
     let mut buf = Vec::with_capacity(512);
@@ -318,8 +333,8 @@ fn handle_http(
     let request_line = buf.split(|&b| b == b'\r').next().unwrap_or(&[]);
     let request_line = String::from_utf8_lossy(request_line);
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", {
+    let (status, body) = match path {
+        "/metrics" | "/" => ("200 OK", {
             let mut snapshot = MetricsSnapshot::default();
             table.record_metrics(&mut snapshot);
             // Swap (never merge: counters here are re-derived
@@ -327,9 +342,26 @@ fn handle_http(
             // in-process --metrics reader agrees with the scrape.
             hth_trace::global_metrics().replace(snapshot.clone());
             snapshot.render_prometheus()
-        })
-    } else {
-        ("404 Not Found", String::from("not found\n"))
+        }),
+        "/healthz" => ("200 OK", String::from("ok\n")),
+        "/statusz" => ("200 OK", table.status_report(shared.started.elapsed().as_secs()).render()),
+        "/bundles" => ("200 OK", {
+            let lines: Vec<String> =
+                table.bundle_ring().list().iter().map(|b| b.summary()).collect();
+            if lines.is_empty() {
+                String::from("no bundles captured\n")
+            } else {
+                lines.join("\n") + "\n"
+            }
+        }),
+        _ => match path
+            .strip_prefix("/bundles/")
+            .and_then(|n| n.parse::<u64>().ok())
+            .and_then(|id| table.bundle_ring().get(id))
+        {
+            Some(bundle) => ("200 OK", bundle.to_json() + "\n"),
+            None => ("404 Not Found", String::from("not found\n")),
+        },
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",

@@ -1,0 +1,172 @@
+//! The `/statusz` introspection report: a point-in-time, human-first
+//! view of the whole daemon — counters, the per-session table, ack
+//! latency quantiles, and the retained diagnostic-bundle index.
+//!
+//! [`StatusReport`] is a plain value deliberately decoupled from the
+//! live [`crate::table::SessionTable`]: the table builds one with
+//! [`crate::table::SessionTable::status_report`], the HTTP handler
+//! renders it, and `hth top` re-fetches and re-renders it in a loop.
+//! Being a value makes the rendering pinnable by a golden test without
+//! standing up a server.
+
+use std::fmt::Write as _;
+
+use crate::protocol::ServeStats;
+
+/// One row of the per-session table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionRow {
+    /// Session id.
+    pub sid: u64,
+    /// Program label bound via the `Label` request (empty if none).
+    pub label: String,
+    /// Whether the engine is resident (in memory) or evicted.
+    pub resident: bool,
+    /// Accounted resident engine bytes (zero when evicted).
+    pub bytes: u64,
+    /// Events this session has accepted.
+    pub events: u64,
+    /// Warnings this session has raised.
+    pub warnings: u64,
+}
+
+/// Everything `/statusz` shows, as a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// The table's point-in-time counters.
+    pub stats: ServeStats,
+    /// Configured resident-byte budget.
+    pub budget_bytes: u64,
+    /// Per-session rows, in session-id order.
+    pub sessions: Vec<SessionRow>,
+    /// Server-side ack latency, 50th percentile (microseconds).
+    pub ack_p50_us: u64,
+    /// Server-side ack latency, 99th percentile (microseconds).
+    pub ack_p99_us: u64,
+    /// Acks observed by the latency histogram.
+    pub ack_count: u64,
+    /// Diagnostic bundles ever captured (retained or evicted).
+    pub bundles_total: u64,
+    /// Index lines ([`hth_trace::DiagnosticBundle::summary`]) of the
+    /// retained bundles, oldest first.
+    pub bundles: Vec<String>,
+}
+
+impl StatusReport {
+    /// The text form `/statusz` serves and `hth top` displays.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "hth-serve status  (uptime {}s)", self.uptime_secs);
+        let _ = writeln!(
+            out,
+            "sessions  {} open, {} resident, {} / {} bytes",
+            self.stats.sessions_open,
+            self.stats.sessions_resident,
+            self.stats.resident_bytes,
+            self.budget_bytes
+        );
+        let _ = writeln!(
+            out,
+            "totals    {} events, {} warnings, {} correlator warnings",
+            self.stats.events_total, self.stats.warnings_total, self.stats.correlator_warnings
+        );
+        let _ = writeln!(
+            out,
+            "lifecycle {} evictions, {} restores, {} fallback replays",
+            self.stats.evictions, self.stats.restores, self.stats.fallback_replays
+        );
+        let _ = writeln!(
+            out,
+            "ack       p50 {}us  p99 {}us  ({} acks)",
+            self.ack_p50_us, self.ack_p99_us, self.ack_count
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>8}  {:<8}  {:<16}  {:>10}  {:>8}  {:>8}",
+            "sid", "state", "label", "bytes", "events", "warnings"
+        );
+        for row in &self.sessions {
+            let _ = writeln!(
+                out,
+                "{:>8}  {:<8}  {:<16}  {:>10}  {:>8}  {:>8}",
+                row.sid,
+                if row.resident { "resident" } else { "evicted" },
+                if row.label.is_empty() { "-" } else { &row.label },
+                row.bytes,
+                row.events,
+                row.warnings
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "bundles   {} retained / {} captured",
+            self.bundles.len(),
+            self.bundles_total
+        );
+        for line in &self.bundles {
+            let _ = writeln!(out, "  {line}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_every_section() {
+        let report = StatusReport {
+            uptime_secs: 42,
+            stats: ServeStats {
+                sessions_resident: 1,
+                sessions_open: 2,
+                events_total: 30,
+                warnings_total: 3,
+                evictions: 4,
+                restores: 2,
+                fallback_replays: 1,
+                resident_bytes: 1024,
+                correlator_warnings: 1,
+            },
+            budget_bytes: 4096,
+            sessions: vec![
+                SessionRow {
+                    sid: 1,
+                    label: "pwsafe".into(),
+                    resident: true,
+                    bytes: 1024,
+                    events: 20,
+                    warnings: 3,
+                },
+                SessionRow {
+                    sid: 2,
+                    label: String::new(),
+                    resident: false,
+                    bytes: 0,
+                    events: 10,
+                    warnings: 0,
+                },
+            ],
+            ack_p50_us: 127,
+            ack_p99_us: 1023,
+            ack_count: 30,
+            bundles_total: 5,
+            bundles: vec![
+                "#4 restore_fallback (serve.table): session 2: torn snapshot, full replay".into(),
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("uptime 42s"), "{text}");
+        assert!(text.contains("2 open, 1 resident, 1024 / 4096 bytes"), "{text}");
+        assert!(text.contains("p50 127us  p99 1023us"), "{text}");
+        assert!(text.contains("pwsafe"), "{text}");
+        assert!(text.contains("evicted"), "{text}");
+        assert!(text.contains("1 retained / 5 captured"), "{text}");
+        assert!(text.contains("#4 restore_fallback"), "{text}");
+    }
+}

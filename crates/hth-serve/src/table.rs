@@ -39,9 +39,13 @@ use hth_core::{
 };
 use hth_fleet::journal::{recover, JournalWriter};
 use hth_fleet::{read_digest_stream, write_digest_stream, FaultPlan};
-use hth_trace::MetricsSnapshot;
+use hth_trace::{
+    BundleRing, DiagLevel, FlightRecorder, Histogram, MetricsSnapshot, Trigger,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 
 use crate::protocol::ServeStats;
+use crate::status::{SessionRow, StatusReport};
 use crate::ServeError;
 
 /// Growable in-memory journal sink shared between the writer (which
@@ -84,6 +88,10 @@ pub struct TableConfig {
     /// taken (and in the drain summary). `None` keeps digest collection
     /// on but skips correlation.
     pub correlate: Option<CorrelateConfig>,
+    /// Flight-recorder ring capacity (recent events retained for
+    /// diagnostic bundles). Zero disables the recorder; that exists for
+    /// overhead baselines, production tables keep it on.
+    pub flight_capacity: usize,
 }
 
 impl Default for TableConfig {
@@ -94,6 +102,7 @@ impl Default for TableConfig {
             idle_timeout: None,
             faults: Arc::new(FaultPlan::new()),
             correlate: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -143,12 +152,22 @@ struct TableState {
 pub struct SessionTable {
     inner: Mutex<TableState>,
     config: TableConfig,
+    /// Always-on flight recorder (`None` only at `flight_capacity: 0`).
+    flight: Option<FlightRecorder>,
+    /// Retained diagnostic bundles, `/bundles/<n>`-indexable.
+    bundles: Arc<BundleRing>,
+    /// Server-side ack latency in microseconds (decode to ack written).
+    ack_latency: Mutex<Histogram>,
 }
 
 impl SessionTable {
     /// An empty table.
     pub fn new(config: TableConfig) -> SessionTable {
         SessionTable {
+            flight: (config.flight_capacity > 0)
+                .then(|| FlightRecorder::new(config.flight_capacity)),
+            bundles: Arc::new(BundleRing::default()),
+            ack_latency: Mutex::new(Histogram::default()),
             inner: Mutex::new(TableState {
                 slots: BTreeMap::new(),
                 retired: BTreeMap::new(),
@@ -202,6 +221,29 @@ impl SessionTable {
         }
         st.events_total += 1;
         st.warnings_total += raised;
+        if let Some(flight) = &self.flight {
+            flight.record(sid, event.time(), "event", event.syscall(), event.resource_name());
+            for w in warnings.iter().filter(|w| w.severity == Severity::High) {
+                let provenance: Vec<String> = w
+                    .provenance
+                    .as_ref()
+                    .map(|p| p.render_tree(w))
+                    .unwrap_or_default()
+                    .lines()
+                    .map(str::to_string)
+                    .collect();
+                let stats = self.snapshot_locked(&st);
+                self.bundles.push(flight.capture(
+                    "serve.table",
+                    Trigger::Warning {
+                        rule: w.rule.clone(),
+                        severity: w.severity.label().to_string(),
+                    },
+                    stats,
+                    provenance,
+                ));
+            }
+        }
         self.touch(&mut st, sid);
         self.enforce(&mut st)?;
         Ok(raised)
@@ -377,12 +419,118 @@ impl SessionTable {
         metrics.add_counter("hth_serve_correlator_warnings", stats.correlator_warnings);
         metrics
             .max_gauge("hth_serve_sessions_resident_high_water", self.resident_high_water() as i64);
+        metrics.merge_histogram(
+            "hth_serve_ack_latency",
+            &self.ack_latency.lock().unwrap_or_else(PoisonError::into_inner),
+        );
         let st = self.lock();
         for slot in st.slots.values() {
             if let Some(expert) = &slot.expert {
                 expert.record_metrics(metrics);
             }
         }
+    }
+
+    /// Records one server-side ack latency observation: the time from a
+    /// decoded request to its ack written, in microseconds (exported as
+    /// the `hth_serve_ack_latency` histogram).
+    pub fn observe_ack_micros(&self, micros: u64) {
+        self.ack_latency.lock().unwrap_or_else(PoisonError::into_inner).observe(micros);
+    }
+
+    /// The table's flight recorder (`None` at `flight_capacity: 0`).
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// The retained diagnostic bundles (`/bundles/<n>` indexes these).
+    pub fn bundle_ring(&self) -> &Arc<BundleRing> {
+        &self.bundles
+    }
+
+    /// Captures a protocol-drop bundle and logs the drop: a connection
+    /// is about to be poisoned by a framing or decode error, which would
+    /// otherwise be silent on the server side.
+    pub fn capture_protocol_drop(&self, error: &str) {
+        hth_trace::global_diag().log(
+            DiagLevel::Warn,
+            "serve.conn",
+            &format!("dropping connection: {error}"),
+        );
+        let Some(flight) = &self.flight else { return };
+        let stats = {
+            let st = self.lock();
+            self.snapshot_locked(&st)
+        };
+        self.bundles.push(flight.capture(
+            "serve.conn",
+            Trigger::ProtocolDrop { error: error.to_string() },
+            stats,
+            Vec::new(),
+        ));
+    }
+
+    /// Builds the `/statusz` view: counters, per-session rows, ack
+    /// latency quantiles, and the retained bundle index.
+    pub fn status_report(&self, uptime_secs: u64) -> StatusReport {
+        let stats = self.stats();
+        let ack = self.ack_latency.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        let sessions: Vec<SessionRow> = {
+            let st = self.lock();
+            st.slots
+                .iter()
+                .map(|(sid, slot)| {
+                    let digest = slot.digest.digest();
+                    SessionRow {
+                        sid: *sid,
+                        label: digest.label.clone(),
+                        resident: slot.expert.is_some(),
+                        bytes: slot.hot_bytes as u64,
+                        events: digest.events,
+                        warnings: slot.warnings.values().sum::<usize>() as u64,
+                    }
+                })
+                .collect()
+        };
+        StatusReport {
+            uptime_secs,
+            stats,
+            budget_bytes: self.config.budget_bytes as u64,
+            sessions,
+            ack_p50_us: ack.quantile(0.50),
+            ack_p99_us: ack.quantile(0.99),
+            ack_count: ack.count(),
+            bundles_total: self.bundles.total(),
+            bundles: self.bundles.list().iter().map(|b| b.summary()).collect(),
+        }
+    }
+
+    /// A metrics snapshot built from an already-held table lock (bundle
+    /// captures run inside request handling; calling
+    /// [`SessionTable::record_metrics`] there would self-deadlock on the
+    /// table mutex).
+    fn snapshot_locked(&self, st: &TableState) -> MetricsSnapshot {
+        let mut stats = MetricsSnapshot::new();
+        stats.add_counter("hth_serve_events_total", st.events_total);
+        stats.add_counter("hth_serve_warnings_total", st.warnings_total);
+        stats.add_counter("hth_serve_evictions_total", st.evictions);
+        stats.add_counter("hth_serve_restores_total", st.restores);
+        stats.add_counter("hth_serve_fallback_replays_total", st.fallback_replays);
+        stats.set_gauge(
+            "hth_serve_sessions_resident",
+            st.slots.values().filter(|s| s.expert.is_some()).count() as i64,
+        );
+        stats.set_gauge("hth_serve_sessions_open", st.slots.len() as i64);
+        stats.merge_histogram(
+            "hth_serve_ack_latency",
+            &self.ack_latency.lock().unwrap_or_else(PoisonError::into_inner),
+        );
+        for slot in st.slots.values() {
+            if let Some(expert) = &slot.expert {
+                expert.record_metrics(&mut stats);
+            }
+        }
+        stats
     }
 
     fn ensure_slot(&self, st: &mut TableState, sid: u64) -> Result<(), ServeError> {
@@ -497,6 +645,23 @@ impl SessionTable {
             st.restores += 1;
         } else {
             st.fallback_replays += 1;
+            hth_trace::global_diag().log(
+                DiagLevel::Warn,
+                "serve.table",
+                &format!(
+                    "session {sid}: torn or missing snapshot, full replay of {} events",
+                    events.len()
+                ),
+            );
+            if let Some(flight) = &self.flight {
+                let stats = self.snapshot_locked(st);
+                self.bundles.push(flight.capture(
+                    "serve.table",
+                    Trigger::RestoreFallback { session: sid },
+                    stats,
+                    Vec::new(),
+                ));
+            }
         }
         let resident = st.slots.values().filter(|s| s.expert.is_some()).count() as u64;
         st.resident_high_water = st.resident_high_water.max(resident);

@@ -1,0 +1,214 @@
+//! Structured, rate-limited diagnostics log.
+//!
+//! The fleet's failure paths — shard quarantine/respawn, torn-snapshot
+//! full-replay fallback, protocol-error connection drops — used to be
+//! silent: they incremented a counter and moved on, which is the right
+//! hot-path behavior but leaves an operator staring at a number with no
+//! story. This module gives those paths one cheap, *bounded* voice:
+//! `level + component + message` lines through a token-bucket rate
+//! limit, so a fault storm (a chaos seed that kills a shard every few
+//! thousand events, a client spraying torn frames) cannot turn the
+//! daemon's stderr into the bottleneck.
+//!
+//! Suppressed lines are counted and acknowledged on the next emitted
+//! line (`(N suppressed)`), so the log never silently lies about
+//! completeness.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Severity of a diagnostic line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagLevel {
+    /// Developer chatter.
+    Debug,
+    /// Lifecycle events worth a line.
+    Info,
+    /// Degraded but recovering (fallback replay, respawn).
+    Warn,
+    /// Lost something (quarantined shard out of respawns, dropped
+    /// connection).
+    Error,
+}
+
+impl std::fmt::Display for DiagLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DiagLevel::Debug => "DEBUG",
+            DiagLevel::Info => "INFO",
+            DiagLevel::Warn => "WARN",
+            DiagLevel::Error => "ERROR",
+        })
+    }
+}
+
+/// Milli-tokens per line, so refill arithmetic stays integral.
+const LINE_COST: u64 = 1000;
+
+#[derive(Debug)]
+struct DiagState {
+    /// Available budget in milli-tokens, capped at `burst * LINE_COST`.
+    tokens: u64,
+    last_refill: Instant,
+    suppressed: u64,
+    emitted: u64,
+    /// `Some` = capture lines for tests; `None` = write to stderr.
+    buffer: Option<Vec<String>>,
+}
+
+/// A token-bucket rate-limited log: `burst` lines may be emitted
+/// back-to-back, refilling at `per_sec` lines per second.
+#[derive(Debug)]
+pub struct DiagLog {
+    burst: u64,
+    per_sec: u64,
+    state: Mutex<DiagState>,
+}
+
+impl DiagLog {
+    /// A stderr-backed log allowing `burst` immediate lines, refilling
+    /// at `per_sec` lines per second (both min 1).
+    pub fn new(burst: u64, per_sec: u64) -> DiagLog {
+        DiagLog::build(burst, per_sec, None)
+    }
+
+    /// A capturing log for tests: lines accumulate in memory and are
+    /// read back with [`DiagLog::drain`].
+    pub fn buffered(burst: u64, per_sec: u64) -> DiagLog {
+        DiagLog::build(burst, per_sec, Some(Vec::new()))
+    }
+
+    fn build(burst: u64, per_sec: u64, buffer: Option<Vec<String>>) -> DiagLog {
+        let burst = burst.max(1);
+        DiagLog {
+            burst,
+            per_sec: per_sec.max(1),
+            state: Mutex::new(DiagState {
+                tokens: burst * LINE_COST,
+                last_refill: Instant::now(),
+                suppressed: 0,
+                emitted: 0,
+                buffer,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DiagState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Emits one line, or suppresses it when the bucket is empty.
+    /// Returns `true` when the line was emitted.
+    pub fn log(&self, level: DiagLevel, component: &str, message: &str) -> bool {
+        let mut state = self.lock();
+        // Refill: per_sec lines/sec = per_sec milli-tokens per ms.
+        let now = Instant::now();
+        let elapsed_ms = now.duration_since(state.last_refill).as_millis() as u64;
+        if elapsed_ms > 0 {
+            state.tokens = (state.tokens + elapsed_ms * self.per_sec).min(self.burst * LINE_COST);
+            state.last_refill = now;
+        }
+        if state.tokens < LINE_COST {
+            state.suppressed += 1;
+            return false;
+        }
+        state.tokens -= LINE_COST;
+        state.emitted += 1;
+        let backlog = if state.suppressed > 0 {
+            let note = format!(" ({} suppressed)", state.suppressed);
+            state.suppressed = 0;
+            note
+        } else {
+            String::new()
+        };
+        let line = format!("[{level}] {component}: {message}{backlog}");
+        match &mut state.buffer {
+            Some(lines) => lines.push(line),
+            None => eprintln!("hth: {line}"),
+        }
+        true
+    }
+
+    /// Lines emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.lock().emitted
+    }
+
+    /// Lines currently suppressed and not yet acknowledged.
+    pub fn suppressed(&self) -> u64 {
+        self.lock().suppressed
+    }
+
+    /// Takes the captured lines (buffered logs only; empty otherwise).
+    pub fn drain(&self) -> Vec<String> {
+        self.lock().buffer.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+}
+
+/// The process-wide diagnostics log every failure path shares: 32-line
+/// burst, 8 lines/second sustained, to stderr.
+pub fn global() -> &'static DiagLog {
+    static GLOBAL: std::sync::OnceLock<DiagLog> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(|| DiagLog::new(32, 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_suppression_then_acknowledgement() {
+        let log = DiagLog::buffered(2, 1);
+        assert!(log.log(DiagLevel::Warn, "pool.shard0", "first"));
+        assert!(log.log(DiagLevel::Error, "pool.shard0", "second"));
+        // Bucket empty: these are suppressed (refill is 1/s; the test
+        // finishes in microseconds).
+        assert!(!log.log(DiagLevel::Warn, "pool.shard0", "third"));
+        assert!(!log.log(DiagLevel::Warn, "pool.shard0", "fourth"));
+        assert_eq!(log.suppressed(), 2);
+        assert_eq!(log.emitted(), 2);
+        let lines = log.drain();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "[WARN] pool.shard0: first");
+        assert_eq!(lines[1], "[ERROR] pool.shard0: second");
+        // Hand the bucket a token and the next line acknowledges the
+        // backlog.
+        log.lock().tokens = LINE_COST;
+        assert!(log.log(DiagLevel::Warn, "serve.table", "fifth"));
+        assert_eq!(log.suppressed(), 0);
+        let lines = log.drain();
+        assert_eq!(lines, vec!["[WARN] serve.table: fifth (2 suppressed)".to_string()]);
+    }
+
+    #[test]
+    fn refill_is_capped_at_burst() {
+        let log = DiagLog::buffered(3, 1000);
+        for _ in 0..3 {
+            assert!(log.log(DiagLevel::Info, "c", "m"));
+        }
+        // Simulate a long idle period: refill must cap at burst, not
+        // accumulate unboundedly.
+        {
+            let mut state = log.lock();
+            state.last_refill = Instant::now() - std::time::Duration::from_secs(60);
+        }
+        for _ in 0..3 {
+            assert!(log.log(DiagLevel::Info, "c", "m"));
+        }
+        assert!(!log.log(DiagLevel::Info, "c", "m"), "only burst-many tokens refilled");
+    }
+
+    #[test]
+    fn level_rendering() {
+        let log = DiagLog::buffered(8, 8);
+        log.log(DiagLevel::Debug, "x", "d");
+        log.log(DiagLevel::Info, "x", "i");
+        log.log(DiagLevel::Warn, "x", "w");
+        log.log(DiagLevel::Error, "x", "e");
+        let lines = log.drain();
+        assert_eq!(lines[0], "[DEBUG] x: d");
+        assert_eq!(lines[1], "[INFO] x: i");
+        assert_eq!(lines[2], "[WARN] x: w");
+        assert_eq!(lines[3], "[ERROR] x: e");
+    }
+}

@@ -155,6 +155,13 @@ impl MetricsSnapshot {
         self.histograms.entry(name.to_string()).or_default().observe(value);
     }
 
+    /// Folds a whole pre-aggregated histogram into the named histogram
+    /// (created empty if absent) — for components that maintain their
+    /// own [`Histogram`] and export it at snapshot time.
+    pub fn merge_histogram(&mut self, name: &str, histogram: &Histogram) {
+        self.histograms.entry(name.to_string()).or_default().merge(histogram);
+    }
+
     /// Reads a counter (zero when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -168,6 +175,21 @@ impl MetricsSnapshot {
     /// Reads a histogram (`None` when absent).
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Iterates all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(name, value)| (name.as_str(), *value))
+    }
+
+    /// Iterates all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(name, value)| (name.as_str(), *value))
+    }
+
+    /// Iterates all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(name, histogram)| (name.as_str(), histogram))
     }
 
     /// True when nothing was recorded.
@@ -314,6 +336,59 @@ mod tests {
         assert_eq!(h.buckets[3], 2, "4 and 7");
         assert_eq!(h.buckets[4], 1, "8");
         assert_eq!(h.buckets[11], 1, "1024");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_to_first_and_last_observation() {
+        let mut h = Histogram::default();
+        h.observe(3); // bucket 2: bound 3
+        h.observe(100); // bucket 7: bound 127
+        assert_eq!(h.quantile(0.0), 3, "q=0 is the lowest bucket's bound");
+        assert_eq!(h.quantile(-5.0), 3, "below-range q clamps to 0");
+        assert_eq!(h.quantile(1.0), 127, "q=1 is the highest bucket's bound");
+        assert_eq!(h.quantile(5.0), 127, "above-range q clamps to 1");
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_its_bucket_bound() {
+        for (value, bound) in [(0u64, 0u64), (1, 1), (5, 7), (64, 127), (u64::MAX, u64::MAX)] {
+            let mut h = Histogram::default();
+            h.observe(value);
+            for q in [0.0, 0.5, 1.0] {
+                assert_eq!(h.quantile(q), bound, "value {value} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_at_power_of_two_bucket_boundaries() {
+        let mut h = Histogram::default();
+        // 2^k is the *first* value of bucket k+1: its reported bound is
+        // 2^(k+1)-1, while 2^k - 1 tops bucket k.
+        for k in [1u32, 4, 16, 63] {
+            let mut h2 = Histogram::default();
+            h2.observe(1u64 << k);
+            assert_eq!(h2.quantile(1.0), ((1u128 << (k + 1)) - 1).min(u64::MAX as u128) as u64);
+            h2 = Histogram::default();
+            h2.observe((1u64 << k) - 1);
+            assert_eq!(h2.quantile(1.0), (1u64 << k) - 1);
+        }
+        // Median walks the cumulative counts across boundary buckets.
+        h.observe(1);
+        h.observe(2);
+        h.observe(4);
+        h.observe(8);
+        assert_eq!(h.quantile(0.5), 3, "rank 2 of 4 lands in bucket of 2..=3");
+        assert_eq!(h.quantile(0.75), 7, "rank 3 of 4 lands in bucket of 4..=7");
+        assert_eq!(h.quantile(1.0), 15, "rank 4 of 4 lands in bucket of 8..=15");
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! `Histogram::merge` conservation properties: merging two histograms
+//! conserves `count` and `sum` exactly, and no quantile of the merged
+//! histogram can fall below the lower input's quantile floor (merging
+//! can only interleave observations, never invent smaller ones).
+
+use proptest::prelude::*;
+
+use hth_trace::Histogram;
+
+fn fill(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `merge` is addition: counts and sums add exactly, and the result
+    /// equals observing the concatenated value streams.
+    #[test]
+    fn merge_conserves_count_and_sum(
+        a in prop::collection::vec(0u64..1 << 48, 0..64),
+        b in prop::collection::vec(0u64..1 << 48, 0..64),
+    ) {
+        let ha = fill(&a);
+        let hb = fill(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.sum(), ha.sum() + hb.sum());
+        let mut both: Vec<u64> = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(&merged, &fill(&both), "merge == observing the union");
+    }
+
+    /// Every quantile of the merged histogram is at least the smaller
+    /// of the two inputs' quantiles: mixing in another population can
+    /// shift a quantile between the inputs' values but never below
+    /// both.
+    #[test]
+    fn merge_never_lowers_a_quantile_below_either_floor(
+        a in prop::collection::vec(0u64..1 << 48, 1..64),
+        b in prop::collection::vec(0u64..1 << 48, 1..64),
+        qs in prop::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let ha = fill(&a);
+        let hb = fill(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        for q in qs.into_iter().map(|milli| milli as f64 / 1000.0) {
+            let floor = ha.quantile(q).min(hb.quantile(q));
+            prop_assert!(
+                merged.quantile(q) >= floor,
+                "q={} merged={} < floor={}",
+                q,
+                merged.quantile(q),
+                floor
+            );
+        }
+    }
+}

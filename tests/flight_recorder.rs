@@ -1,0 +1,182 @@
+//! The flight recorder and introspection surface, pinned end to end:
+//!
+//! * the `/statusz` rendering (what `hth top --once` prints) against a
+//!   golden snapshot, regenerable with `UPDATE_GOLDEN=1`,
+//! * the chaos-bundle determinism guarantee: a seeded quarantine
+//!   captures a [`hth_trace::DiagnosticBundle`] whose event tail ends
+//!   with the faulted event, whose rendered form is byte-identical
+//!   across two runs with the same fault plan, and whose surrounding
+//!   warning stream replays identically — eviction of the engine is
+//!   observable in the bundle but invisible in the verdict.
+
+use std::sync::Arc;
+
+use harrier::{Origin, ResourceType, SecpertEvent, SourceInfo};
+use hth_core::PolicyConfig;
+use hth_fleet::{AnalystPool, FaultPlan, PoolConfig, PoolReport};
+use hth_serve::{ServeStats, SessionRow, StatusReport};
+use hth_trace::{DiagnosticBundle, Trigger};
+
+/// A tainted execve chain — the dropper shape that always warns.
+fn dropper_event(i: u64) -> SecpertEvent {
+    SecpertEvent::ResourceAccess {
+        pid: 1,
+        syscall: "SYS_execve",
+        resource: SourceInfo::new(ResourceType::File, "/bin/ls"),
+        origin: Origin { sources: vec![SourceInfo::new(ResourceType::Binary, "/bin/x")] },
+        time: i,
+        frequency: 5,
+        address: 0,
+        proc_count: None,
+        proc_rate: None,
+        mem_total: None,
+        server: None,
+    }
+}
+
+/// One seeded chaos pass: a single-shard pool with a fault planted on
+/// the 4th event (`panic_on(0, 3)`), fed a fixed 8-event stream.
+fn chaos_pass() -> PoolReport {
+    let config = PoolConfig {
+        shards: 1,
+        faults: Some(Arc::new(FaultPlan::new().panic_on(0, 3))),
+        ..PoolConfig::default()
+    };
+    let pool = AnalystPool::new(&config, &PolicyConfig::default()).expect("policy loads");
+    for i in 0..8 {
+        pool.submit(7, dropper_event(i));
+    }
+    pool.finish()
+}
+
+/// The warning stream as comparable lines (rule, severity, message).
+fn warning_lines(report: &PoolReport) -> Vec<String> {
+    report
+        .warnings
+        .iter()
+        .map(|w| format!("{} [{}] {}", w.rule, w.severity.label(), w.message))
+        .collect()
+}
+
+#[test]
+fn seeded_quarantine_captures_a_deterministic_bundle() {
+    let first = chaos_pass();
+    let second = chaos_pass();
+
+    assert_eq!(first.quarantined, 1, "{:?}", first.quarantine_log);
+    assert_eq!(first.bundles.len(), 1, "one quarantine, one bundle");
+    let bundle: &DiagnosticBundle = &first.bundles[0];
+
+    // The trigger names the faulted shard and event.
+    match &bundle.trigger {
+        Trigger::Quarantine { shard, event_nth, message } => {
+            assert_eq!(*shard, 0);
+            assert_eq!(*event_nth, 3);
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected a quarantine trigger, got {}", other.kind()),
+    }
+
+    // The event tail ends with the faulted event itself: the recorder
+    // logs the panic as a `fault` entry before the capture, so the last
+    // ring slot is the event that killed the engine.
+    let last = bundle.events.last().expect("non-empty tail");
+    assert_eq!(last.kind, "fault");
+    assert_eq!(last.label.as_str(), "SYS_execve");
+    assert_eq!(last.time, 2, "the event the plan's counter landed on (time = index)");
+    // ... preceded by the events the engine analysed before it.
+    let analysed = bundle.events.iter().filter(|e| e.kind == "event").count();
+    assert_eq!(analysed, 2, "events recorded before the fault");
+
+    // Byte-stable across runs with the same plan: the rendered form
+    // (trigger, tail, provenance) carries no wall-clock state.
+    assert_eq!(second.bundles.len(), 1);
+    assert_eq!(bundle.render(), second.bundles[0].render(), "bundle must be byte-stable");
+
+    // And the verdict replays: same warnings, both runs, despite the
+    // mid-stream engine respawn.
+    assert_eq!(warning_lines(&first), warning_lines(&second));
+    assert!(!first.warnings.is_empty(), "the dropper chain must still warn");
+    assert_eq!(first.respawns, 1, "fresh engine after the quarantine");
+}
+
+#[test]
+fn bundle_json_names_the_faulted_shard() {
+    let report = chaos_pass();
+    let json = report.bundles[0].to_json();
+    // Hand-rolled JSON; the CI chaos smoke parses this with python3.
+    assert!(json.contains("\"kind\":\"quarantine\""), "{json}");
+    assert!(json.contains("\"shard\":0"), "{json}");
+    assert!(json.contains("\"event_nth\":3"), "{json}");
+    assert!(json.contains("SYS_execve"), "{json}");
+}
+
+/// The `/statusz` rendering (served by the daemon, displayed by
+/// `hth top`), pinned byte-for-byte over a fixed report. Any change to
+/// the layout shows up here as a readable diff. Regenerate
+/// intentionally with `UPDATE_GOLDEN=1 cargo test --test flight_recorder`.
+#[test]
+fn statusz_rendering_matches_golden_snapshot() {
+    let report = StatusReport {
+        uptime_secs: 3671,
+        stats: ServeStats {
+            sessions_resident: 2,
+            sessions_open: 3,
+            events_total: 4096,
+            warnings_total: 7,
+            evictions: 5,
+            restores: 4,
+            fallback_replays: 1,
+            resident_bytes: 147_456,
+            correlator_warnings: 2,
+        },
+        budget_bytes: 262_144,
+        sessions: vec![
+            SessionRow {
+                sid: 1,
+                label: "pwsafe".into(),
+                resident: true,
+                bytes: 81_920,
+                events: 2048,
+                warnings: 4,
+            },
+            SessionRow {
+                sid: 2,
+                label: String::new(),
+                resident: true,
+                bytes: 65_536,
+                events: 1024,
+                warnings: 0,
+            },
+            SessionRow {
+                sid: 9,
+                label: "wget-drop".into(),
+                resident: false,
+                bytes: 0,
+                events: 1024,
+                warnings: 3,
+            },
+        ],
+        ack_p50_us: 127,
+        ack_p99_us: 2047,
+        ack_count: 4096,
+        bundles_total: 6,
+        bundles: vec![
+            "#4 warning (serve.table): rule exec-tainted severity high".into(),
+            "#5 restore_fallback (serve.table): session 9: torn or missing snapshot".into(),
+        ],
+    };
+    let rendered = report.render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/statusz.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("golden path writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        golden, rendered,
+        "statusz rendering diverged from tests/golden/statusz.txt; \
+         if the change is intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
